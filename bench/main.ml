@@ -1,0 +1,79 @@
+(** Benchmark harness: reproduces every table and figure of the paper's
+    evaluation, plus ablations and wall-clock microbenchmarks of this
+    implementation itself.
+
+    Reported experiment times are cost-model seconds on the paper's device
+    models (see DESIGN.md §2 for the substitution rationale); wall-clock
+    bechamel numbers measure this OCaml implementation's own throughput. *)
+
+let run_figures () =
+  Figures.figure1 ();
+  Figures.figure14 ();
+  Figures.figure15 ();
+  Figures.figure16 ()
+
+let run_tpch () =
+  Tpch_bench.figure13 ();
+  Tpch_bench.figure12 ();
+  Tpch_bench.ablations ()
+
+(* ---- wall-clock microbenchmarks (bechamel): this implementation's own
+   speed, one Test per reproduced figure family ---- *)
+
+let wall_clock () =
+  let open Bechamel in
+  let values = Voodoo_benchkit.Workloads.selection_input ~n:65536 ~seed:5 in
+  let store = Voodoo_benchkit.Micro.selection_store values in
+  let target_rows = 65536 in
+  let c1, c2 = Voodoo_benchkit.Workloads.target_table ~rows:target_rows ~seed:6 in
+  let positions =
+    Voodoo_benchkit.Workloads.positions ~n:65536 ~target_rows ~access:Voodoo_benchkit.Workloads.Random ~seed:7
+  in
+  let lstore = Voodoo_benchkit.Micro.layout_store ~positions ~c1 ~c2 in
+  let fact_v, fk = Voodoo_benchkit.Workloads.fk_fact ~n:65536 ~target_rows ~seed:8 in
+  let fstore = Voodoo_benchkit.Micro.fkjoin_store ~fact_v ~fk ~target:c1 in
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:0.001 () in
+  let q6 = Option.get (Voodoo_tpch.Queries.find ~sf:0.001 "Q6") in
+  let tests =
+    [
+      Test.make ~name:"fig1/15 selection (64k)" (Staged.stage (fun () ->
+          ignore (Voodoo_benchkit.Micro.select_branching ~store ~cut:50.0)));
+      Test.make ~name:"fig14 layout (64k)" (Staged.stage (fun () ->
+          ignore (Voodoo_benchkit.Micro.layout_single_loop ~store:lstore)));
+      Test.make ~name:"fig16 fk-join (64k)" (Staged.stage (fun () ->
+          ignore (Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store:fstore ~cut:50.0)));
+      Test.make ~name:"fig12/13 tpch q6 (sf 0.001)" (Staged.stage (fun () ->
+          ignore
+            (q6.run (fun c p -> Voodoo_engine.Engine.compiled c p) cat)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg [ instance ] test
+  in
+  print_endline "\n=== wall-clock throughput of this implementation ===";
+  List.iter
+    (fun t ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ t ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let want s = List.mem s args || List.length args = 1 in
+  if want "figures" then run_figures ();
+  if want "tpch" then run_tpch ();
+  if want "wall" then wall_clock ();
+  print_endline "\nbench: done."

@@ -1,0 +1,237 @@
+(** The voodoo command-line interface.
+
+    {v
+    voodoo dbgen   --sf 0.01                  # generate + summarize TPC-H
+    voodoo query Q6 --sf 0.01 --engine compiled --costs
+    voodoo plan  Q1 --sf 0.01                 # RA plan, Voodoo program, fragments
+    voodoo kernels Q6 --sf 0.01               # generated OpenCL
+    voodoo exec program.voo --sf 0.01         # run a textual Voodoo program
+    v} *)
+
+open Cmdliner
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Backend = Voodoo_compiler.Backend
+module Config = Voodoo_device.Config
+module Cost = Voodoo_device.Cost
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log compilation decisions")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug) else Logs.set_level (Some Logs.Warning)
+
+let sf_arg =
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc:"TPC-H scale factor")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"query name, e.g. Q6")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("compiled", `Compiled); ("interp", `Interp); ("reference", `Reference) ]) `Compiled
+    & info [ "engine" ] ~doc:"execution engine")
+
+let costs_arg =
+  Arg.(value & flag & info [ "costs" ] ~doc:"print cost-model estimates per device")
+
+let find_query sf name =
+  match Q.find ~sf name with
+  | Some q -> q
+  | None ->
+      Fmt.epr "unknown query %s (have: %s)@." name (String.concat ", " Q.cpu_figure13);
+      exit 1
+
+let decode cat row =
+  String.concat ", "
+    (List.map
+       (fun (name, v) ->
+         let rendered =
+           match v with
+           | None -> "ε"
+           | Some (Scalar.I code) -> (
+               match Catalog.owner cat name with
+               | Some tname -> (
+                   let c = Table.column (Catalog.table cat tname) name in
+                   match c.ctype with
+                   | TStr -> Printf.sprintf "%S" (Table.decode c code)
+                   | TDate -> Table.string_of_date code
+                   | _ -> string_of_int code)
+               | None -> string_of_int code)
+           | Some (Scalar.F f) -> Printf.sprintf "%.2f" f
+         in
+         Printf.sprintf "%s=%s" name rendered)
+       row)
+
+(* --- dbgen --- *)
+
+let dbgen sf =
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  Fmt.pr "TPC-H database at SF %g:@." sf;
+  List.iter
+    (fun name ->
+      let t = Catalog.table cat name in
+      Fmt.pr "  %-10s %8d rows, %2d columns@." name t.nrows (List.length t.columns))
+    [ "region"; "nation"; "supplier"; "part"; "partsupp"; "customer"; "orders"; "lineitem" ]
+
+let dbgen_cmd =
+  Cmd.v (Cmd.info "dbgen" ~doc:"generate and summarize a TPC-H database")
+    Term.(const dbgen $ sf_arg)
+
+(* --- query --- *)
+
+let run_query name sf engine costs =
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let q = find_query sf name in
+  let kernels = ref [] in
+  let eval c p =
+    match engine with
+    | `Reference -> E.reference c p
+    | `Interp -> E.interp c p
+    | `Compiled ->
+        let r = E.compiled_full c p in
+        kernels := !kernels @ r.kernels;
+        r.rows
+  in
+  let rows = q.run eval cat in
+  Fmt.pr "%s (%d rows):@." q.name (List.length rows);
+  List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
+  if costs && engine = `Compiled then
+    List.iter
+      (fun d ->
+        Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
+          (1000.0 *. (Cost.total d !kernels).total_s))
+      Config.all
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"run a TPC-H query")
+    Term.(const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg)
+
+(* --- plan / kernels: single-plan queries only --- *)
+
+let single_plan sf (q : Q.t) =
+  (* capture the (first) relational plan the query evaluates *)
+  let captured = ref None in
+  (try
+     ignore
+       (q.run
+          (fun _ p ->
+            captured := Some p;
+            raise Exit)
+          (Voodoo_tpch.Dbgen.generate ~sf ()))
+   with Exit -> ());
+  Option.get !captured
+
+let show_plan name sf verbose =
+  setup_logs verbose;
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let q = find_query sf name in
+  let plan = single_plan sf q in
+  Fmt.pr "relational plan:@.  %a@.@." Ra.pp plan;
+  let lowered = Lower.lower cat plan in
+  Fmt.pr "voodoo program:@.%a@.@." Pretty.pp_program lowered.program;
+  let c = Backend.compile ~store:cat.store lowered.program in
+  Fmt.pr "fragments:@.%a@." Backend.pp_plan c
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan" ~doc:"show a query's relational plan, Voodoo program and fragments")
+    Term.(const show_plan $ query_arg $ sf_arg $ verbose_arg)
+
+let show_kernels name sf =
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let q = find_query sf name in
+  let plan = single_plan sf q in
+  let lowered = Lower.lower cat plan in
+  let c = Backend.compile ~store:cat.store lowered.program in
+  print_string (Backend.source c)
+
+let kernels_cmd =
+  Cmd.v (Cmd.info "kernels" ~doc:"print the generated OpenCL for a query")
+    Term.(const show_kernels $ query_arg $ sf_arg)
+
+(* --- exec: textual Voodoo programs over the TPC-H store --- *)
+
+let exec_file file sf =
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let program = Parse.program text in
+  Typing.check ~load_schema:(Store.load_schema cat.store) program;
+  let c = Backend.compile ~store:cat.store program in
+  let r = Backend.run c in
+  List.iter
+    (fun id ->
+      let v = Voodoo_compiler.Exec.output r id in
+      let kp = List.hd (Svector.keypaths v) in
+      let col = Svector.column v kp in
+      let n = Column.length col in
+      let shown = min n 20 in
+      Fmt.pr "%s%a (%d slots%s):@. " id Keypath.pp kp n
+        (if shown < n then Printf.sprintf ", first %d" shown else "");
+      for i = 0 to shown - 1 do
+        match Column.get col i with
+        | Some s -> Fmt.pr " %a" Scalar.pp s
+        | None -> Fmt.pr " ε"
+      done;
+      Fmt.pr "@.")
+    (Program.outputs c.plan.program)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Voodoo program")
+
+let exec_cmd =
+  Cmd.v
+    (Cmd.info "exec" ~doc:"compile and run a textual Voodoo program against the TPC-H store")
+    Term.(const exec_file $ file_arg $ sf_arg)
+
+(* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
+
+let run_sql text sf engine costs =
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let plan =
+    try Sql.plan cat text
+    with Sql.Sql_error m ->
+      Fmt.epr "SQL error: %s@." m;
+      exit 1
+  in
+  Fmt.pr "plan: %a@." Ra.pp plan;
+  let kernels = ref [] in
+  let rows =
+    match engine with
+    | `Reference -> E.reference cat plan
+    | `Interp -> E.interp cat plan
+    | `Compiled ->
+        let r = E.compiled_full cat plan in
+        kernels := r.kernels;
+        r.rows
+  in
+  Fmt.pr "%d rows:@." (List.length rows);
+  List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
+  if costs && engine = `Compiled then
+    List.iter
+      (fun d ->
+        Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
+          (1000.0 *. (Cost.total d !kernels).total_s))
+      Config.all
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"the query text")
+
+let sql_cmd =
+  Cmd.v (Cmd.info "sql" ~doc:"run an ad-hoc SQL query over the TPC-H catalog")
+    Term.(const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg)
+
+let () =
+  let doc = "Voodoo: a vector algebra for portable database performance" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "voodoo" ~doc)
+          [ dbgen_cmd; query_cmd; plan_cmd; kernels_cmd; exec_cmd; sql_cmd ]))

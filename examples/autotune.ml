@@ -1,0 +1,53 @@
+(* The future-work optimizer, running: pick the cheapest lowering strategy
+   per device, per query — "we argue that these could eventually be chosen
+   via an optimizer that generates Voodoo code" (paper, Section 1).
+
+   Run with: dune exec examples/autotune.exe *)
+
+open Voodoo_relational
+module Tuner = Voodoo_engine.Tuner
+module Config = Voodoo_device.Config
+
+let () =
+  let sf = 0.005 in
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let workloads =
+    [
+      ( "highly selective sum (qty <= 2)",
+        Ra.aggregate
+          (Ra.select (Ra.scan "lineitem") Rexpr.(col "l_quantity" <=: i 2))
+          [ Ra.agg ~name:"s" Sum (Rexpr.col "l_extendedprice") ] );
+      ( "mid-selectivity sum (qty <= 25)",
+        Ra.aggregate
+          (Ra.select (Ra.scan "lineitem") Rexpr.(col "l_quantity" <=: i 25))
+          [ Ra.agg ~name:"s" Sum (Rexpr.col "l_extendedprice") ] );
+      ( "join + selective sum (Q14 shape)",
+        Ra.aggregate
+          (Ra.select
+             (Ra.fk_join (Ra.scan "lineitem") ~fk:"l_partkey" (Ra.scan "part")
+                ~pk:"p_partkey")
+             Rexpr.(col "l_quantity" <=: i 10))
+          [ Ra.agg ~name:"s" Sum Rexpr.(col "l_extendedprice" *: col "p_retailprice") ]
+      );
+    ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      Fmt.pr "@.%s:@." label;
+      List.iter
+        (fun device ->
+          let cs = Tuner.explore cat plan device in
+          let best = List.hd cs in
+          Fmt.pr "  %-8s -> %-16s (%.4f ms;  field: %s)@."
+            device.Config.name best.Tuner.label
+            (1000.0 *. best.Tuner.cost_s)
+            (String.concat ", "
+               (List.map
+                  (fun (c : Tuner.candidate) ->
+                    Printf.sprintf "%s %.3f" c.label (1000.0 *. c.cost_s))
+                  cs)))
+        [ Config.cpu_single; Config.cpu_simd; Config.gpu ])
+    workloads;
+  Fmt.pr
+    "@.The same query picks different implementations on different \
+     devices — chosen by cost, not by hand.@."

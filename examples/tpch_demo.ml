@@ -1,0 +1,70 @@
+(* TPC-H through the relational frontend: generate a database, lower Q1 and
+   Q6 to Voodoo, run both backends, decode and print the results, and show
+   what the plans would cost across device models.
+
+   Run with: dune exec examples/tpch_demo.exe *)
+
+open Voodoo_vector
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Config = Voodoo_device.Config
+module Cost = Voodoo_device.Cost
+
+let sf = 0.01
+
+let decode cat row =
+  String.concat ", "
+    (List.map
+       (fun (name, v) ->
+         let rendered =
+           match v with
+           | None -> "ε"
+           | Some (Scalar.I code) -> (
+               (* decode dictionary-encoded keys back to strings *)
+               match Catalog.owner cat name with
+               | Some tname -> (
+                   let c = Table.column (Catalog.table cat tname) name in
+                   match c.ctype with
+                   | TStr -> Printf.sprintf "%S" (Table.decode c code)
+                   | TDate -> Table.string_of_date code
+                   | _ -> string_of_int code)
+               | None -> string_of_int code)
+           | Some (Scalar.F f) -> Printf.sprintf "%.2f" f
+         in
+         Printf.sprintf "%s=%s" name rendered)
+       row)
+
+let () =
+  Fmt.pr "generating TPC-H at SF %g...@." sf;
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let li = Catalog.table cat "lineitem" in
+  Fmt.pr "lineitem: %d rows, %d columns@.@." li.nrows (List.length li.columns);
+
+  List.iter
+    (fun name ->
+      let q = Option.get (Q.find ~sf name) in
+      Fmt.pr "=== %s ===@." q.name;
+      (* the compiled backend, with kernel/event accounting *)
+      let kernels = ref [] in
+      let rows =
+        q.run
+          (fun c p ->
+            let r = E.compiled_full c p in
+            kernels := !kernels @ r.kernels;
+            r.rows)
+          cat
+      in
+      List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
+      (* cross-check on the interpreter backend *)
+      let rows' = q.run (fun c p -> E.interp c p) cat in
+      let canon r = Reference.sort_rows (Reference.project_rows q.columns r) in
+      assert (Reference.rows_equal (canon rows) (canon rows'));
+      Fmt.pr "  (interpreter backend agrees)@.";
+      List.iter
+        (fun d ->
+          Fmt.pr "  cost on %-8s %.3f ms@." d.Config.name
+            (1000.0 *. (Cost.total d !kernels).total_s))
+        Config.all;
+      Fmt.pr "@.")
+    [ "Q1"; "Q6" ]

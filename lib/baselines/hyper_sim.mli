@@ -1,0 +1,24 @@
+(** HyPeR-style baseline: compiled, pipelined, tuple-at-a-time execution
+    (paper Section 5.2's CPU comparison system).
+
+    Models fully pipelined query compilation without Voodoo's metadata
+    exploitation: joins and group-bys go through general hash tables with
+    collision handling, selections branch.  Results come from the trusted
+    reference machinery (the baseline is about cost); events are accounted
+    per pipeline: one kernel per hash-table build, one per probe pipeline,
+    branch outcomes streamed through predictors, hash probes as random
+    accesses into entry-count-sized tables with a collision surcharge. *)
+
+open Voodoo_relational
+open Voodoo_device
+
+type run = {
+  rows : Reference.row list;
+  kernels : (int * Events.t) list;
+}
+
+val run : Catalog.t -> Ra.t -> run
+
+(** Rows only.  HyPeR would additionally win order-by/limit queries via
+    priority queues; the evaluated subset omits order-by on both sides. *)
+val eval : Catalog.t -> Ra.t -> Reference.row list

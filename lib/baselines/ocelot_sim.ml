@@ -1,0 +1,21 @@
+(** Ocelot-style baseline: hardware-oblivious bulk processing.
+
+    Ocelot (Heimel et al., VLDB 2013) ports MonetDB's operator-at-a-time
+    model to OpenCL: every operator is its own kernel and every
+    intermediate result is fully materialized in device memory.  That is
+    exactly our compiling backend with fusion, virtual scatter and
+    empty-slot suppression disabled — so this baseline {e is} the Voodoo
+    backend, de-optimized, which is also how the paper frames the
+    comparison (bulk processing pays memory bandwidth for materialization;
+    a GPU's bandwidth hides much of that cost, a CPU's does not). *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+
+let options : Voodoo_compiler.Codegen.options =
+  { fuse = false; virtual_scatter = false; suppress_empty_slots = false }
+
+let run (cat : Catalog.t) (plan : Ra.t) : E.compiled_run =
+  E.compiled_full ~backend_opts:options cat plan
+
+let eval cat plan = (run cat plan).rows

@@ -1,0 +1,18 @@
+(** Ocelot-style baseline: hardware-oblivious operator-at-a-time bulk
+    processing (paper Section 5.2's GPU comparison system).
+
+    Every operator is its own kernel; every intermediate materializes in
+    device memory — i.e. the Voodoo compiling backend with fusion, virtual
+    scatter and empty-slot suppression disabled, which is how the paper
+    frames the comparison (bulk processing pays bandwidth for
+    materialization; a GPU's bandwidth hides much of it, a CPU's does
+    not). *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+
+(** The de-optimizing backend options this baseline uses. *)
+val options : Voodoo_compiler.Codegen.options
+
+val run : Catalog.t -> Ra.t -> E.compiled_run
+val eval : Catalog.t -> Ra.t -> E.rows

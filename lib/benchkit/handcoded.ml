@@ -1,0 +1,249 @@
+(** The "Implemented in C" sides of Figures 1, 14, 15 and 16.
+
+    Each variant is the loop a C programmer would write, executed over the
+    real data (so branch-outcome streams and position patterns are
+    authentic) while recording the hardware events the loop performs.
+    Returns the computed result for cross-checking against the Voodoo
+    implementations, plus the kernels for the cost model. *)
+
+open Voodoo_device
+
+let width = 4
+
+type run = { result : float; kernels : (int * Events.t) list }
+
+(* ---------- selection (Figures 1 and 15) ---------- *)
+
+(* Branching: if (v[i] < cut) out[cursor++] = v[i]; *)
+let select_branching ~(values : float array) ~cut : run =
+  let n = Array.length values in
+  let ev = Events.create () in
+  let sum = ref 0.0 and count = ref 0 in
+  for i = 0 to n - 1 do
+    let taken = values.(i) < cut in
+    Events.branch ev ~site:"sel" taken;
+    if taken then begin
+      sum := !sum +. values.(i);
+      incr count
+    end
+  done;
+  Events.alu ev Float n (* predicate *);
+  Events.guarded ev !count;
+  Events.mem ev ~site:"in" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  Events.mem ev ~site:"out" ~pattern:Cache.Sequential ~elem_bytes:width !count;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Branch-free: out[cursor] = v[i]; cursor += (v[i] < cut); *)
+let select_branch_free ~(values : float array) ~cut : run =
+  let n = Array.length values in
+  let ev = Events.create () in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    if values.(i) < cut then sum := !sum +. values.(i)
+  done;
+  Events.alu ev Float n (* predicate *);
+  Events.alu ev Int n (* cursor arithmetic *);
+  Events.mem ev ~site:"in" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  (* every element is written (non-qualifying ones get overwritten) *)
+  Events.mem ev ~site:"out" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Predicated aggregation (the branch-free variant for aggregating
+   selections, Figure 15): sum += v[i] * (v[i] < cut). *)
+let select_predicated ~(values : float array) ~cut : run =
+  let n = Array.length values in
+  let ev = Events.create () in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    if values.(i) < cut then sum := !sum +. values.(i)
+  done;
+  Events.alu ev Float (3 * n) (* predicate, multiply, add *);
+  Events.mem ev ~site:"in" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Vectorized: per cache-sized chunk, a branch-free position-list pass and
+   a gathering pass over the list. *)
+let select_vectorized ~(values : float array) ~cut ~chunk : run =
+  let n = Array.length values in
+  let ev = Events.create () in
+  let sum = ref 0.0 and total_hits = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let hi = min n (!i + chunk) in
+    let hits = ref 0 in
+    for j = !i to hi - 1 do
+      if values.(j) < cut then begin
+        incr hits;
+        sum := !sum +. values.(j)
+      end
+    done;
+    (* pass 1: branch-free position generation into a chunk buffer *)
+    let len = hi - !i in
+    Events.alu ev Float len;
+    Events.alu ev Int len;
+    Events.mem ev ~site:"in" ~pattern:Cache.Sequential ~elem_bytes:width len;
+    Events.mem ~scalable:false ev ~site:"poslist"
+      ~pattern:(Cache.Random (chunk * width)) ~elem_bytes:width len;
+    (* pass 2: traverse the position list, process qualifying tuples *)
+    Events.mem ~scalable:false ev ~site:"poslist2"
+      ~pattern:(Cache.Random (chunk * width)) ~elem_bytes:width !hits;
+    Events.mem ~scalable:false ev ~site:"gather"
+      ~pattern:(Cache.Random (chunk * width)) ~elem_bytes:width !hits;
+    Events.alu ev Float !hits;
+    total_hits := !total_hits + !hits;
+    i := hi
+  done;
+  ignore !total_hits;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* ---------- just-in-time layout transformation (Figure 14) ---------- *)
+
+(* Single loop: one traversal resolving both columns per position. *)
+let layout_single_loop ~(positions : int array) ~(c1 : float array)
+    ~(c2 : float array) : run =
+  let n = Array.length positions in
+  let rows = Array.length c1 in
+  let ev = Events.create () in
+  let sum = ref 0.0 in
+  let monotone = ref true and last = ref min_int in
+  Array.iter
+    (fun p ->
+      if p < !last then monotone := false;
+      last := p;
+      sum := !sum +. c1.(p) +. c2.(p))
+    positions;
+  Events.mem ev ~site:"pos" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  let pat : Cache.pattern =
+    if !monotone then Sequential else Random (rows * width * 2)
+  in
+  Events.mem ev ~site:"c1" ~pattern:pat ~elem_bytes:width n;
+  (* the second lookup of the pair is issued in the same iteration: its hit
+     latency is exposed *)
+  Events.mem ~serial:true ev ~site:"c2" ~pattern:pat ~elem_bytes:width n;
+  Events.alu ev Float (2 * n);
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Separate loops: two traversals, each resolving one column. *)
+let layout_separate_loops ~(positions : int array) ~(c1 : float array)
+    ~(c2 : float array) : run =
+  let n = Array.length positions in
+  let rows = Array.length c1 in
+  let sum = ref 0.0 in
+  let monotone = ref true and last = ref min_int in
+  Array.iter
+    (fun p ->
+      if p < !last then monotone := false;
+      last := p)
+    positions;
+  Array.iter (fun p -> sum := !sum +. c1.(p)) positions;
+  Array.iter (fun p -> sum := !sum +. c2.(p)) positions;
+  let kernel col_site =
+    let ev = Events.create () in
+    Events.mem ev ~site:"pos" ~pattern:Cache.Sequential ~elem_bytes:width n;
+    let pat : Cache.pattern =
+      if !monotone then Sequential else Random (rows * width)
+    in
+    Events.mem ev ~site:col_site ~pattern:pat ~elem_bytes:width n;
+    Events.alu ev Float n;
+    (n, ev)
+  in
+  { result = !sum; kernels = [ kernel "c1"; kernel "c2" ] }
+
+(* Layout transform: column-to-row transformation of the target, then a
+   single loop over co-located pairs. *)
+let layout_transform ~(positions : int array) ~(c1 : float array)
+    ~(c2 : float array) : run =
+  let n = Array.length positions in
+  let rows = Array.length c1 in
+  let sum = ref 0.0 in
+  let monotone = ref true and last = ref min_int in
+  Array.iter
+    (fun p ->
+      if p < !last then monotone := false;
+      last := p;
+      sum := !sum +. c1.(p) +. c2.(p))
+    positions;
+  (* transform kernel: stream both columns into a row-major buffer *)
+  let tev = Events.create () in
+  Events.mem tev ~site:"t:in" ~pattern:Cache.Sequential ~elem_bytes:width (2 * rows);
+  Events.mem tev ~site:"t:out" ~pattern:Cache.Sequential ~elem_bytes:width (2 * rows);
+  Events.alu tev Int (2 * rows);
+  (* lookup kernel: one access fetches the co-located pair *)
+  let ev = Events.create () in
+  Events.mem ev ~site:"pos" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  let pat : Cache.pattern =
+    if !monotone then Sequential else Random (rows * width * 2)
+  in
+  Events.mem ev ~site:"pair" ~pattern:pat ~elem_bytes:(2 * width) n;
+  Events.alu ev Float (2 * n);
+  { result = !sum; kernels = [ (rows, tev); (n, ev) ] }
+
+(* ---------- branch-free foreign-key joins (Figure 16) ---------- *)
+
+(* Branching: if (fact_v[i] < cut) sum += target[fk[i]]; *)
+let fkjoin_branching ~(fact_v : float array) ~(fk : int array)
+    ~(target : float array) ~cut : run =
+  let n = Array.length fact_v in
+  let rows = Array.length target in
+  let ev = Events.create () in
+  let sum = ref 0.0 and hits = ref 0 in
+  for i = 0 to n - 1 do
+    let taken = fact_v.(i) < cut in
+    Events.branch ev ~site:"sel" taken;
+    if taken then begin
+      sum := !sum +. target.(fk.(i));
+      incr hits
+    end
+  done;
+  Events.alu ev Float n;
+  Events.guarded ev !hits;
+  Events.mem ev ~site:"v" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  Events.mem ev ~site:"fk" ~pattern:Cache.Sequential ~elem_bytes:width !hits;
+  Events.mem ev ~site:"lookup" ~pattern:(Cache.Random (rows * width))
+    ~elem_bytes:width !hits;
+  Events.alu ev Float !hits;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Predicated aggregation: sum += target[fk[i]] * (fact_v[i] < cut); *)
+let fkjoin_predicated_agg ~(fact_v : float array) ~(fk : int array)
+    ~(target : float array) ~cut : run =
+  let n = Array.length fact_v in
+  let rows = Array.length target in
+  let ev = Events.create () in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    if fact_v.(i) < cut then sum := !sum +. target.(fk.(i))
+  done;
+  Events.alu ev Float (3 * n) (* predicate, multiply, add *);
+  Events.mem ev ~site:"v" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  Events.mem ev ~site:"fk" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  (* unconditional lookups: every row misses around the cache *)
+  Events.mem ev ~site:"lookup" ~pattern:(Cache.Random (rows * width))
+    ~elem_bytes:width n;
+  { result = !sum; kernels = [ (n, ev) ] }
+
+(* Predicated lookups: sum += target[fk[i] * pred] * pred — non-qualifying
+   lookups all hit slot zero ("one very hot cache line"). *)
+let fkjoin_predicated_lookup ~(fact_v : float array) ~(fk : int array)
+    ~(target : float array) ~cut : run =
+  let n = Array.length fact_v in
+  let rows = Array.length target in
+  let ev = Events.create () in
+  let sum = ref 0.0 and hits = ref 0 in
+  for i = 0 to n - 1 do
+    if fact_v.(i) < cut then begin
+      sum := !sum +. target.(fk.(i));
+      incr hits
+    end
+  done;
+  (* predicate, position multiply, value multiply, add: extra integer
+     arithmetic is what hurts on the GPU *)
+  Events.alu ev Float (2 * n);
+  Events.alu ev Int (2 * n);
+  Events.mem ev ~site:"v" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  Events.mem ev ~site:"fk" ~pattern:Cache.Sequential ~elem_bytes:width n;
+  Events.mem ev ~site:"lookup" ~pattern:(Cache.Random (rows * width))
+    ~elem_bytes:width !hits;
+  Events.mem ev ~site:"lookup:hot" ~pattern:Cache.Single_hot ~elem_bytes:width
+    (n - !hits);
+  { result = !sum; kernels = [ (n, ev) ] }

@@ -1,0 +1,56 @@
+(** The "Implemented in C" sides of Figures 1, 14, 15 and 16.
+
+    Each variant is the loop a C programmer would write, executed over the
+    real data (branch-outcome streams and position patterns are authentic)
+    while recording the hardware events the loop performs.  Each returns
+    the computed result for cross-checking against the Voodoo
+    implementations, plus the kernels for the cost model. *)
+
+open Voodoo_device
+
+type run = { result : float; kernels : (int * Events.t) list }
+
+(** Selection (Figures 1 and 15): sum of values below [cut]. *)
+
+(** [if (v[i] < cut) out[cursor++] = v[i]] — branches. *)
+val select_branching : values:float array -> cut:float -> run
+
+(** [out[cursor] = v[i]; cursor += (v[i] < cut)] — cursor arithmetic; every
+    element is written (Figure 1's copy-out selection). *)
+val select_branch_free : values:float array -> cut:float -> run
+
+(** [sum += v[i] * (v[i] < cut)] — predicated aggregation (Figure 15's
+    branch-free variant). *)
+val select_predicated : values:float array -> cut:float -> run
+
+(** Per cache-sized [chunk]: a branch-free position-list pass, then a
+    gathering pass over the list. *)
+val select_vectorized : values:float array -> cut:float -> chunk:int -> run
+
+(** Layout transformation (Figure 14): sum [c1[p] + c2[p]] over positions. *)
+
+val layout_single_loop :
+  positions:int array -> c1:float array -> c2:float array -> run
+
+val layout_separate_loops :
+  positions:int array -> c1:float array -> c2:float array -> run
+
+(** Column-to-row transform of the target, then one loop over co-located
+    pairs. *)
+val layout_transform :
+  positions:int array -> c1:float array -> c2:float array -> run
+
+(** Branch-free FK joins (Figure 16): sum of [target[fk[i]]] where
+    [fact_v[i] < cut]. *)
+
+val fkjoin_branching :
+  fact_v:float array -> fk:int array -> target:float array -> cut:float -> run
+
+(** Unconditional lookups, multiplied by the predicate outcome. *)
+val fkjoin_predicated_agg :
+  fact_v:float array -> fk:int array -> target:float array -> cut:float -> run
+
+(** Position multiplied by the predicate first: non-qualifying lookups all
+    hit slot zero's "very hot" cache line. *)
+val fkjoin_predicated_lookup :
+  fact_v:float array -> fk:int array -> target:float array -> cut:float -> run

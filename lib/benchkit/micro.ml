@@ -1,0 +1,221 @@
+(** Voodoo implementations of the micro-benchmarks (Figures 1, 14, 15, 16),
+    built directly against the algebra with {!Program.Builder} — the same
+    handful-of-lines programs the paper shows, compiled and executed by the
+    compiling backend.
+
+    Every experiment returns the computed scalar (cross-checked against
+    {!Handcoded}) and the executed kernels for the cost model. *)
+
+open Voodoo_vector
+open Voodoo_core
+module B = Program.Builder
+module Backend = Voodoo_compiler.Backend
+module Exec = Voodoo_compiler.Exec
+
+type run = { result : float; kernels : (int * Voodoo_device.Events.t) list }
+
+let grain = 8192
+
+let run_program store program total_id : run =
+  let c = Backend.compile ~store program in
+  let r = Backend.run c in
+  let v = Exec.output r total_id in
+  let col = Svector.column v (List.hd (Svector.keypaths v)) in
+  let result =
+    match Column.get col 0 with Some s -> Scalar.to_float s | None -> 0.0
+  in
+  { result; kernels = r.kernels }
+
+(* hierarchical sum of a (possibly ε-padded) vector, under a grain control
+   vector: Figure 3's plan shape *)
+let hier_sum b v =
+  let ids = B.range b (Of_vector v) in
+  let g = B.const_int b grain in
+  let fold = B.divide b ids g in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (v, []) in
+  let partial = B.fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
+  B.fold_sum b ~name:"total" (partial, [])
+
+let selection_common b =
+  let input = B.load b ~name:"in" "values" in
+  let ids = B.range b (Of_vector input) in
+  let g = B.const_int b grain in
+  let fold = B.divide b ids g in
+  (input, fold)
+
+(* ---------- selection variants (Figures 1 and 15) ---------- *)
+
+(* Branching: a controlled FoldSelect emits qualifying positions. *)
+let select_branching ~store ~cut : run =
+  let b = B.create () in
+  let input, fold = selection_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv input (* v < cut *) in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "p" ] (fold, []) (pred, []) in
+  let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
+  let vals = B.gather b input (pos, []) in
+  let total = hier_sum b vals in
+  run_program store (B.finish b) total
+
+(* Branch-free: cursor arithmetic — exclusive prefix sum of the predicate
+   gives the write position; every tuple is written unconditionally. *)
+let select_branch_free ~store ~cut : run =
+  let b = B.create () in
+  let input, fold = selection_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv input in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "p" ] (fold, []) (pred, []) in
+  let scan = B.fold_scan b ~fold:[ "f" ] (z, [ "p" ]) in
+  let off = B.subtract b scan pred in
+  (* run-local offsets become global write positions *)
+  let g = B.const_int b grain in
+  let base = B.multiply b fold g in
+  let wpos = B.add_ b base off in
+  (* scatter v*pred: the slot past each run's final cursor would otherwise
+     retain a non-qualifying leftover; predicating the value keeps the
+     unconditional writes while zeroing it *)
+  let vp = B.multiply b input pred in
+  let out = B.scatter b ~shape:input vp (wpos, []) in
+  let total = hier_sum b out in
+  run_program store (B.finish b) total
+
+(* Predicated aggregation: multiply the value by the predicate outcome and
+   fold — no control flow at all. *)
+let select_predicated ~store ~cut : run =
+  let b = B.create () in
+  let input, fold = selection_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv input in
+  let vp = B.multiply b input pred in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (vp, []) in
+  let partial = B.fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
+  let total = B.fold_sum b ~name:"total" (partial, []) in
+  run_program store (B.finish b) total
+
+(* Vectorized: one extra operator — a Materialize with a chunk-sized
+   control vector buffers the predicate outcome in cache. *)
+let select_vectorized ~store ~cut : run =
+  let b = B.create () in
+  let input, fold = selection_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv input in
+  let chunked = B.materialize b ~chunks:(fold, []) pred in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "p" ] (fold, []) (chunked, []) in
+  let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
+  let vals = B.gather b input (pos, []) in
+  let total = hier_sum b vals in
+  run_program store (B.finish b) total
+
+(* ---------- layout variants (Figure 14) ---------- *)
+
+(* Single loop: one gather resolves both columns of the columnar target. *)
+let layout_single_loop ~store : run =
+  let b = B.create () in
+  let target = B.load b "target" in
+  let pos = B.load b "positions" in
+  let g = B.gather b target (pos, []) in
+  let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
+  let total = hier_sum b both in
+  run_program store (B.finish b) total
+
+(* Separate loops: a Break between two single-column gathers splits the
+   traversals. *)
+let layout_separate_loops ~store : run =
+  let b = B.create () in
+  let target = B.load b "target" in
+  let pos = B.load b "positions" in
+  let c1 = B.project b ~out:[ "v" ] (target, [ "c1" ]) in
+  let g1 = B.gather b c1 (pos, []) in
+  let g1m = B.break_ b g1 in
+  let c2 = B.project b ~out:[ "v" ] (target, [ "c2" ]) in
+  let g2 = B.gather b c2 (pos, []) in
+  let both = B.binary b Op.Add (g1m, []) (g2, []) in
+  let total = hier_sum b both in
+  run_program store (B.finish b) total
+
+(* Layout transform: zip + materialize turn the target row-major before a
+   single gathering loop. *)
+let layout_transform ~store : run =
+  let b = B.create () in
+  let target = B.load b "target" in
+  let pos = B.load b "positions" in
+  let rowwise = B.materialize b target in
+  let g = B.gather b rowwise (pos, []) in
+  let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
+  let total = hier_sum b both in
+  run_program store (B.finish b) total
+
+(* ---------- branch-free FK joins (Figure 16) ---------- *)
+
+let fkjoin_common b =
+  let fact = B.load b "fact" in
+  let target = B.load b "target" in
+  let v = B.project b ~out:[ "v" ] (fact, [ "v" ]) in
+  let fk = B.project b ~out:[ "fk" ] (fact, [ "fk" ]) in
+  (v, fk, target)
+
+(* Branching: select first, look up qualifying tuples only. *)
+let fkjoin_branching ~store ~cut : run =
+  let b = B.create () in
+  let v, fk, target = fkjoin_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv v in
+  let ids = B.range b (Of_vector v) in
+  let g = B.const_int b grain in
+  let fold = B.divide b ids g in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "p" ] (fold, []) (pred, []) in
+  let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
+  let fkq = B.gather b fk (pos, []) in
+  let tv = B.gather b target (fkq, []) in
+  let total = hier_sum b tv in
+  run_program store (B.finish b) total
+
+(* Predicated aggregation: look up every tuple, multiply by the predicate
+   outcome. *)
+let fkjoin_predicated_agg ~store ~cut : run =
+  let b = B.create () in
+  let v, fk, target = fkjoin_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv v in
+  let tv = B.gather b target (fk, []) in
+  let tvp = B.multiply b tv pred in
+  let total = hier_sum b tvp in
+  run_program store (B.finish b) total
+
+(* Predicated lookups: multiply the position by the predicate first — all
+   non-qualifying lookups hit slot zero's "very hot" line. *)
+let fkjoin_predicated_lookup ~store ~cut : run =
+  let b = B.create () in
+  let v, fk, target = fkjoin_common b in
+  let cutv = B.const_float b cut in
+  let pred = B.greater b cutv v in
+  let ppos = B.multiply b fk pred in
+  let tv = B.gather b target (ppos, []) in
+  let tvp = B.multiply b tv pred in
+  let total = hier_sum b tvp in
+  run_program store (B.finish b) total
+
+(* ---------- store builders ---------- *)
+
+let selection_store values =
+  Store.of_list [ ("values", Svector.single [ "v" ] (Column.of_float_array values)) ]
+
+let layout_store ~positions ~c1 ~c2 =
+  Store.of_list
+    [
+      ("positions", Svector.single [ "pos" ] (Column.of_int_array positions));
+      ( "target",
+        Svector.of_columns
+          [ ([ "c1" ], Column.of_float_array c1); ([ "c2" ], Column.of_float_array c2) ]
+      );
+    ]
+
+let fkjoin_store ~fact_v ~fk ~target =
+  Store.of_list
+    [
+      ( "fact",
+        Svector.of_columns
+          [ ([ "v" ], Column.of_float_array fact_v); ([ "fk" ], Column.of_int_array fk) ]
+      );
+      ("target", Svector.single [ "tv" ] (Column.of_float_array target));
+    ]

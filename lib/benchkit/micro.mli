@@ -1,0 +1,41 @@
+(** Voodoo implementations of the micro-benchmarks (Figures 1, 14, 15,
+    16), built directly against the algebra — the same handful-of-lines
+    programs the paper shows, compiled and executed by the compiling
+    backend.  Each returns the computed scalar (cross-checked against
+    {!Handcoded}) and the executed kernels for the cost model. *)
+
+open Voodoo_core
+
+type run = { result : float; kernels : (int * Voodoo_device.Events.t) list }
+
+(** The control-vector run length used by all programs. *)
+val grain : int
+
+(** Selection variants (Figures 1 and 15). *)
+
+val select_branching : store:Store.t -> cut:float -> run
+val select_branch_free : store:Store.t -> cut:float -> run
+val select_predicated : store:Store.t -> cut:float -> run
+val select_vectorized : store:Store.t -> cut:float -> run
+
+(** Layout variants (Figure 14). *)
+
+val layout_single_loop : store:Store.t -> run
+val layout_separate_loops : store:Store.t -> run
+val layout_transform : store:Store.t -> run
+
+(** FK-join variants (Figure 16). *)
+
+val fkjoin_branching : store:Store.t -> cut:float -> run
+val fkjoin_predicated_agg : store:Store.t -> cut:float -> run
+val fkjoin_predicated_lookup : store:Store.t -> cut:float -> run
+
+(** Store builders for the workloads above. *)
+
+val selection_store : float array -> Store.t
+
+val layout_store :
+  positions:int array -> c1:float array -> c2:float array -> Store.t
+
+val fkjoin_store :
+  fact_v:float array -> fk:int array -> target:float array -> Store.t

@@ -1,0 +1,51 @@
+(** Synthetic workload data for the micro-benchmarks (Figures 1, 14, 15,
+    16), generated deterministically.
+
+    Execution happens at a reduced element count; the cost model scales the
+    recorded events to the paper's data sizes (the lookup {e target} tables
+    are allocated at full paper scale so that cache working sets are
+    honest). *)
+
+type rng = { mutable s : int }
+
+let rng seed = { s = (seed * 0x9E3779B9) lor 1 }
+
+let next r =
+  let s = r.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.s <- s;
+  s land max_int
+
+let uniform_int r n = next r mod n
+
+let uniform_float r = float_of_int (next r land 0xFFFFFF) /. 16777216.0
+
+(** Selection input: [n] uniform floats in [0, 100). *)
+let selection_input ~n ~seed =
+  let r = rng seed in
+  Array.init n (fun _ -> uniform_float r *. 100.0)
+
+(** Positions for the layout experiment. *)
+type access = Sequential | Random
+
+let positions ~n ~target_rows ~access ~seed =
+  let r = rng seed in
+  Array.init n (fun i ->
+      match access with
+      | Sequential -> i mod target_rows
+      | Random -> uniform_int r target_rows)
+
+(** A two-column float target table. *)
+let target_table ~rows ~seed =
+  let r = rng seed in
+  ( Array.init rows (fun _ -> uniform_float r),
+    Array.init rows (fun _ -> uniform_float r) )
+
+(** Fact table for the FK-join experiment: a selection column (uniform in
+    [0,100)) and a foreign key into the target. *)
+let fk_fact ~n ~target_rows ~seed =
+  let r = rng seed in
+  ( Array.init n (fun _ -> uniform_float r *. 100.0),
+    Array.init n (fun _ -> uniform_int r target_rows) )

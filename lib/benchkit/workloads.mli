@@ -1,0 +1,17 @@
+(** Synthetic workload data for the micro-benchmarks (Figures 1, 14, 15,
+    16), generated deterministically from a seeded xorshift generator. *)
+
+(** Selection input: [n] uniform floats in [0, 100). *)
+val selection_input : n:int -> seed:int -> float array
+
+type access = Sequential | Random
+
+(** Lookup positions into a target of [target_rows] rows. *)
+val positions : n:int -> target_rows:int -> access:access -> seed:int -> int array
+
+(** A two-column float target table. *)
+val target_table : rows:int -> seed:int -> float array * float array
+
+(** Fact table for the FK-join experiment: a selection column (uniform in
+    [0,100)) and a foreign key into the target. *)
+val fk_fact : n:int -> target_rows:int -> seed:int -> float array * int array

@@ -1,0 +1,50 @@
+(** The compiling backend, tied together: optimize → plan → execute/price.
+
+    This is the public entry point mirroring the paper's OpenCL backend:
+    [compile] turns a program into a plan (fragments/kernels), [run]
+    executes it against a store, [cost] prices the recorded events on a
+    device model, and [source] renders the OpenCL C. *)
+
+open Voodoo_core
+open Voodoo_device
+
+type compiled = {
+  plan : Fragment.plan;
+  options : Codegen.options;
+  store : Store.t;
+  subst : (Op.id * Op.id) list;
+      (** CSE renames: original statement name → surviving name *)
+}
+
+(** [compile ?options ?optimize ~store program] builds the kernel plan.
+    [optimize] (default true) runs CSE, constant folding and DCE first. *)
+let compile ?(options = Codegen.default_options) ?(optimize = true) ~store
+    (p : Program.t) : compiled =
+  Program.validate p;
+  let p, subst =
+    if optimize then Optimize.default_with_subst p else (p, [])
+  in
+  let vector_length name = Option.map Voodoo_vector.Svector.length (Store.find store name) in
+  let plan = Codegen.build ~options ~vector_length p in
+  { plan; options; store; subst }
+
+(** Execute, returning vectors and per-kernel events.  Statements that CSE
+    merged stay reachable under their original names. *)
+let run (c : compiled) : Exec.result =
+  let r = Exec.run ~options:c.options ~store:c.store c.plan in
+  List.iter
+    (fun (orig, kept) ->
+      match Hashtbl.find_opt r.env kept with
+      | Some v when not (Hashtbl.mem r.env orig) -> Hashtbl.replace r.env orig v
+      | _ -> ())
+    c.subst;
+  r
+
+(** [eval c id] compiles-and-runs, returning one result vector. *)
+let eval c id = Exec.output (run c) id
+
+let cost (r : Exec.result) (d : Config.t) = Exec.cost r d
+
+let source (c : compiled) = Emit.source c.plan
+
+let pp_plan ppf (c : compiled) = Fragment.pp_plan ppf c.plan

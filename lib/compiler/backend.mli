@@ -1,0 +1,33 @@
+(** The compiling backend, tied together: optimize → plan → execute/price —
+    the public entry point mirroring the paper's OpenCL backend. *)
+
+open Voodoo_core
+open Voodoo_device
+
+type compiled = {
+  plan : Fragment.plan;
+  options : Codegen.options;
+  store : Store.t;
+  subst : (Op.id * Op.id) list;
+      (** CSE renames: original statement name → surviving name *)
+}
+
+(** [compile ?options ?optimize ~store program] builds the kernel plan.
+    [optimize] (default true) runs constant folding, CSE and DCE first. *)
+val compile :
+  ?options:Codegen.options -> ?optimize:bool -> store:Store.t -> Program.t ->
+  compiled
+
+(** Execute, returning vectors and per-kernel events.  Statements that CSE
+    merged stay reachable under their original names. *)
+val run : compiled -> Exec.result
+
+(** [eval c id] compiles-and-runs, returning one result vector. *)
+val eval : compiled -> Op.id -> Voodoo_vector.Svector.t
+
+val cost : Exec.result -> Config.t -> Cost.breakdown
+
+(** Emitted OpenCL C for the whole plan. *)
+val source : compiled -> string
+
+val pp_plan : Format.formatter -> compiled -> unit

@@ -1,0 +1,516 @@
+(** Voodoo → fragment/kernel code generation (paper Section 3.1).
+
+    The compiler traverses the (already optimized) program in dependency
+    order, appending each statement to a compatible open fragment or
+    opening a new one, exactly as the paper describes:
+
+    - data-parallel, maintenance and shape operators fuse freely into a
+      fragment over the same element domain;
+    - control vectors and compile-time constants are {e virtual}: they are
+      never computed, only their {!Voodoo_vector.Ctrl} metadata is kept;
+    - a controlled fold derives its run length from its control attribute's
+      metadata.  Runs of length 1 are fully data-parallel; a single run is
+      fully sequential; uniform runs of length L give a fragment of extent
+      ⌈n/L⌉ and intent L.  Folds of different run lengths cannot share a
+      fragment (a global barrier — a kernel boundary — separates them);
+    - [Break] and [Materialize] close their fragment (pipeline breakers);
+    - a [Scatter] whose positions are the identity (a [Partition] of an
+      already-run-ordered control attribute, as in Figure 3) is virtual;
+    - with {!options.virtual_scatter}, a [Partition]→[Scatter]→[FoldAgg]
+      chain over data values is fused into a direct grouped aggregation
+      that never materializes the scattered vector (Figures 10 and 11). *)
+
+open Voodoo_vector
+open Voodoo_core
+open Fragment
+
+type options = {
+  fuse : bool;  (** operator fusion into fragments; off = bulk processing *)
+  virtual_scatter : bool;
+  suppress_empty_slots : bool;
+}
+
+let default_options =
+  { fuse = true; virtual_scatter = true; suppress_empty_slots = true }
+
+(* compilation decisions are logged under this source (enable with
+   [Logs.Src.set_level src (Some Debug)] or the CLI's [--verbose]) *)
+let log_src = Logs.Src.create "voodoo.codegen" ~doc:"Voodoo fragment assignment"
+
+module Log = (val Logs.src_log log_src)
+
+type builder = {
+  opts : options;
+  meta : (Op.id, Meta.info) Hashtbl.t;
+  program : Program.t;
+  consumers : (Op.id, Program.stmt list) Hashtbl.t;
+  frag_of : (Op.id, int) Hashtbl.t;  (** fragment index of computational stmts *)
+  compiled : (Op.id, compiled_stmt) Hashtbl.t;
+  mutable frags : frag list;  (** reverse order *)
+  mutable closed : (int, unit) Hashtbl.t;
+}
+
+let info b id =
+  match Hashtbl.find_opt b.meta id with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Codegen: no metadata for %s" id)
+
+let consumers_of b id = Option.value (Hashtbl.find_opt b.consumers id) ~default:[]
+
+(* --- virtual statements: control vectors and constants --- *)
+
+(* A statement is virtual when every attribute it produces has a known
+   closed form (control metadata or compile-time constant). *)
+let is_virtual b (s : Program.stmt) =
+  match s.op with
+  | Constant _ -> true
+  | Range _ -> true
+  | Binary { out; _ } ->
+      let i = info b s.id in
+      Meta.ctrl_of i out <> None || Meta.const_of i out <> None
+  | _ -> false
+
+(* Partition of a control attribute whose runs are already contiguous and
+   ordered: the resulting positions are the identity permutation. *)
+let _partition_is_identity b (values : Op.src) =
+  let i = info b values.v in
+  let kp = if values.kp = [] then [] else values.kp in
+  let ctrl =
+    match Meta.ctrl_of i kp with
+    | Some c -> Some c
+    | None -> (
+        (* resolve the root reference against tracked attributes *)
+        match i.ctrls with [ (_, c) ] when kp = [] -> Some c | _ -> None)
+  in
+  match ctrl with
+  | Some c -> (
+      c.num >= 0
+      &&
+      match Ctrl.runs c ~n:i.length with
+      | Single_run | Uniform _ -> c.cap = None
+      | Irregular -> false)
+  | None -> false
+
+(* --- fold run lengths --- *)
+
+(* Run length of a fold's control attribute over its input, from metadata:
+   None when irregular (backend must scan for boundaries sequentially). *)
+let fold_runlen b (input_v : Op.id) (fold : Keypath.t option) : int option =
+  let i = info b input_v in
+  let n = i.length in
+  match fold with
+  | None -> Some (max n 1)
+  | Some kp -> (
+      let ctrl =
+        match Meta.ctrl_of i kp with
+        | Some c -> Some c
+        | None -> ( match i.ctrls with [ (_, c) ] when kp = [] -> Some c | _ -> None)
+      in
+      match ctrl with
+      | None -> None
+      | Some c -> (
+          match Ctrl.runs c ~n with
+          | Single_run -> Some (max n 1)
+          | Uniform l -> Some l
+          | Irregular -> None))
+
+(* --- fragment management --- *)
+
+let new_frag b ~domain ~runlen =
+  let index = List.length b.frags in
+  let f =
+    {
+      index;
+      domain;
+      extent = 1;
+      intent = 1;
+      fold_runlen = runlen;
+      barrier = false;
+      body = [];
+    }
+  in
+  b.frags <- f :: b.frags;
+  f
+
+let frag_by_index b i = List.find (fun f -> f.index = i) b.frags
+
+let is_open b (f : frag) = not (Hashtbl.mem b.closed f.index)
+
+let close b (f : frag) = Hashtbl.replace b.closed f.index ()
+
+(* The fragment that produced [id], if it is a computational statement. *)
+let producer_frag b id = Hashtbl.find_opt b.frag_of id
+
+(* Computational statements backing [id], looking through structural
+   aliases (zip/project/upsert) and virtualized scatters. *)
+let rec underlying b id =
+  let virtual_scatter id =
+    match Hashtbl.find_opt b.compiled id with
+    | Some { storage = Virtual; stmt = { op = Scatter _; _ }; _ } -> true
+    | _ -> false
+  in
+  match Program.find b.program id with
+  | Some { op = Zip { src1; src2; _ }; _ } -> underlying b src1.v @ underlying b src2.v
+  | Some { op = Project { src; _ }; _ } -> underlying b src.v
+  | Some { op = Upsert { target; src; _ }; _ } ->
+      underlying b target @ underlying b src.v
+  | Some { op = Scatter { data; _ }; _ } when virtual_scatter id -> underlying b data
+  | _ -> [ id ]
+
+(* Pick the fragment for a statement over [domain] elements whose
+   computational producers live in [producer_ids]; [runlen] is [Some l] for
+   folds. Returns the fragment (possibly new). *)
+let assign ?(grouped = false) b ~domain ~runlen_req producer_ids =
+  let producer_ids = List.concat_map (underlying b) producer_ids in
+  let producer_frags =
+    List.filter_map (producer_frag b) producer_ids |> List.sort_uniq compare
+  in
+  let compatible f =
+    b.opts.fuse && is_open b f && f.domain = domain
+    && ((not f.barrier) || grouped)
+    &&
+    match runlen_req, f.fold_runlen with
+    | None, _ -> true
+    | Some _, None -> true
+    | Some l, Some l' -> l = l'
+  in
+  let latest =
+    match List.rev producer_frags with
+    | i :: _ -> Some (frag_by_index b i)
+    | [] ->
+        (* all inputs are loads/virtuals: free to join the newest open
+           compatible fragment (fusing e.g. the conjuncts of a predicate
+           over several base columns into one kernel) *)
+        List.find_opt compatible b.frags
+  in
+  match latest with
+  | Some f when compatible f ->
+      (match runlen_req, f.fold_runlen with
+      | Some l, None -> f.fold_runlen <- Some l
+      | _ -> ());
+      f
+  | _ -> new_frag b ~domain ~runlen:runlen_req
+
+let append b (f : frag) (cs : compiled_stmt) =
+  Log.debug (fun m ->
+      m "%s -> fragment %d (domain=%d runlen=%s storage=%a)" cs.stmt.id f.index
+        f.domain
+        (match f.fold_runlen with Some l -> string_of_int l | None -> "?")
+        pp_storage cs.storage);
+  f.body <- cs :: f.body;
+  Hashtbl.replace b.frag_of cs.stmt.id f.index;
+  Hashtbl.replace b.compiled cs.stmt.id cs
+
+(* --- grouped aggregation detection (virtual scatter) --- *)
+
+(* Scatter(data, _, positions=Partition(values=group, pivots)) whose only
+   consumers are FoldAggs folding on the scattered group attribute, with
+   identity pivots (0..k-1) so group ids index accumulators directly. *)
+let pivots_are_identity b (pivots : Op.src) =
+  let i = info b pivots.v in
+  match i.ctrls with
+  | [ (_, c) ] -> c.from = 0 && c.num = 1 && c.den = 1 && c.cap = None
+  | _ -> false
+
+let detect_grouped_fold b (s : Program.stmt) =
+  if not b.opts.virtual_scatter then None
+  else
+    match s.op with
+    | Scatter { data; positions; _ } -> (
+        match Program.find b.program positions.v with
+        | Some { op = Partition { values; pivots; _ }; _ }
+          when pivots_are_identity b pivots ->
+            let group_count = (info b pivots.v).length + 1 in
+            let consumers = consumers_of b s.id in
+            let all_fold_aggs =
+              consumers <> []
+              && List.for_all
+                   (fun (c : Program.stmt) ->
+                     match c.op with
+                     | FoldAgg { fold = Some _; _ } -> true
+                     | _ -> false)
+                   consumers
+            in
+            if all_fold_aggs then
+              Some { source = data; group_src = values; value_src = values; group_count }
+            else None
+        | _ -> None)
+    | _ -> None
+
+(* --- main entry --- *)
+
+let build ?(options = default_options) ~vector_length (p : Program.t) : plan =
+  let meta_list = Meta.infer ~vector_length p in
+  let meta = Hashtbl.create 32 in
+  List.iter (fun (id, i) -> Hashtbl.replace meta id i) meta_list;
+  let consumers = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Program.stmt) ->
+      List.iter
+        (fun v ->
+          let cur = Option.value (Hashtbl.find_opt consumers v) ~default:[] in
+          Hashtbl.replace consumers v (cur @ [ s ]))
+        (Op.inputs s.op))
+    (Program.stmts p);
+  let b =
+    {
+      opts = options;
+      meta;
+      program = p;
+      consumers;
+      frag_of = Hashtbl.create 32;
+      compiled = Hashtbl.create 32;
+      frags = [];
+      closed = Hashtbl.create 8;
+    }
+  in
+  let outputs = Program.outputs p in
+  let is_output id =
+    List.mem id outputs
+    || List.exists
+         (fun (c : Program.stmt) ->
+           match c.op with Persist (_, v) -> v = id | _ -> false)
+         (consumers_of b id)
+  in
+  (* --- pre-pass: identify virtual scatters and identity partitions --- *)
+  let virtual_scatters : (Op.id, grouped_fold) Hashtbl.t = Hashtbl.create 4 in
+  let identity_scatters : (Op.id, Op.id) Hashtbl.t = Hashtbl.create 4 in
+  let virtual_partitions : (Op.id, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Scatter { data; positions; _ } -> (
+          match detect_grouped_fold b s with
+          | Some g -> Hashtbl.replace virtual_scatters s.id g
+          | None ->
+              (* identity positions (e.g. a Partition of an already
+                 run-ordered control attribute): scatter is a pure alias *)
+              let pi = info b positions.v in
+              let ctrl =
+                match Meta.ctrl_of pi positions.kp, pi.ctrls with
+                | Some c, _ -> Some c
+                | None, [ (_, c) ] when positions.kp = [] -> Some c
+                | None, _ -> None
+              in
+              (match ctrl with
+              | Some c when c.from = 0 && c.num = 1 && c.den = 1 && c.cap = None
+                -> Hashtbl.replace identity_scatters s.id data
+              | _ -> ()))
+      | _ -> ())
+    (Program.stmts p);
+  (* a partition whose positions feed only virtualized scatters is itself
+     never computed *)
+  List.iter
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Partition _ ->
+          let consumers = consumers_of b s.id in
+          if
+            consumers <> []
+            && List.for_all
+                 (fun (c : Program.stmt) ->
+                   Hashtbl.mem virtual_scatters c.id
+                   || Hashtbl.mem identity_scatters c.id)
+                 consumers
+          then Hashtbl.replace virtual_partitions s.id ()
+      | _ -> ())
+    (Program.stmts p);
+  List.iter
+    (fun (s : Program.stmt) ->
+      let domain = (info b s.id).length in
+      match s.op with
+      | Load _ | Constant _ | Range _ ->
+          Hashtbl.replace b.compiled s.id
+            {
+              stmt = s;
+              storage = (match s.op with Load _ -> Global | _ -> Virtual);
+              grouped_fold = None;
+            }
+      | _ when is_virtual b s ->
+          Hashtbl.replace b.compiled s.id
+            { stmt = s; storage = Virtual; grouped_fold = None }
+      | Partition _ when Hashtbl.mem virtual_partitions s.id ->
+          (* purely logical partitioning: identity or fused positions *)
+          Hashtbl.replace b.compiled s.id
+            { stmt = s; storage = Virtual; grouped_fold = None }
+      | Scatter _
+        when Hashtbl.mem identity_scatters s.id || Hashtbl.mem virtual_scatters s.id
+        ->
+          Hashtbl.replace b.compiled s.id
+            { stmt = s; storage = Virtual; grouped_fold = None }
+      | Zip _ | Project _ | Upsert _ ->
+          (* structural: pure column aliasing, no computation, no fragment *)
+          ignore domain;
+          Hashtbl.replace b.compiled s.id
+            { stmt = s; storage = Virtual; grouped_fold = None }
+      | FoldAgg { fold; input; _ }
+        when Hashtbl.mem virtual_scatters input.v ->
+          (* grouped aggregation: direct accumulation over the un-scattered
+             source, one accumulator per partition *)
+          let g = Hashtbl.find virtual_scatters input.v in
+          let g =
+            {
+              g with
+              group_src =
+                {
+                  Op.v = g.source;
+                  kp = (match fold with Some fkp -> fkp | None -> g.group_src.kp);
+                };
+              value_src = { Op.v = g.source; kp = input.kp };
+            }
+          in
+          let src_domain = (info b g.source).length in
+          let f =
+            assign ~grouped:true b ~domain:src_domain ~runlen_req:None
+              [ g.source ]
+          in
+          (* two grouped folds may share a kernel (one pass, several
+             accumulator arrays) — but not when this one reads the other's
+             output, which completes only at kernel end *)
+          let reads_grouped_in_f =
+            List.exists
+              (fun pid ->
+                match Hashtbl.find_opt b.compiled pid with
+                | Some { grouped_fold = Some _; _ } ->
+                    producer_frag b pid = Some f.index
+                | _ -> false)
+              (underlying b g.source)
+          in
+          let f =
+            if reads_grouped_in_f then begin
+              close b f;
+              new_frag b ~domain:src_domain ~runlen:None
+            end
+            else f
+          in
+          f.barrier <- true;
+          append b f { stmt = s; storage = Register; grouped_fold = Some g }
+      | FoldSelect { fold; input; _ }
+      | FoldAgg { fold; input; _ }
+      | FoldScan { fold; input; _ } ->
+          let runlen = fold_runlen b input.v fold in
+          let n = (info b input.v).length in
+          let runlen_req = Some (Option.value runlen ~default:(max n 1)) in
+          let f =
+            match runlen with
+            | None ->
+                (* irregular runs: sequential fragment scanning boundaries *)
+                let f = new_frag b ~domain ~runlen:(Some (max n 1)) in
+                f
+            | Some _ -> assign b ~domain ~runlen_req [ input.v ]
+          in
+          append b f { stmt = s; storage = Register; grouped_fold = None }
+      | Materialize { data; chunks } ->
+          let f = assign b ~domain ~runlen_req:None [ data ] in
+          let ws =
+            match chunks with
+            | None -> max_int
+            | Some c -> (
+                let ci = info b c.v in
+                let chunk_len =
+                  match Meta.ctrl_of ci (if c.kp = [] then [] else c.kp), ci.ctrls with
+                  | Some ctrl, _ -> (
+                      match Ctrl.runs ctrl ~n:domain with
+                      | Uniform l -> l
+                      | Single_run -> domain
+                      | Irregular -> domain)
+                  | None, [ (_, ctrl) ] when c.kp = [] -> (
+                      match Ctrl.runs ctrl ~n:domain with
+                      | Uniform l -> l
+                      | Single_run | Irregular -> domain)
+                  | None, _ -> domain
+                in
+                chunk_len * 8)
+          in
+          let storage = if ws = max_int then Global else Local ws in
+          append b f { stmt = s; storage; grouped_fold = None };
+          close b f
+      | Break { data; _ } ->
+          let f = assign b ~domain ~runlen_req:None [ data ] in
+          append b f { stmt = s; storage = Global; grouped_fold = None };
+          close b f
+      | Scatter { data; positions; _ } ->
+          let f = assign b ~domain:(info b data).length ~runlen_req:None
+              [ data; positions.v ]
+          in
+          append b f { stmt = s; storage = Global; grouped_fold = None };
+          close b f
+      | Partition { values; _ } ->
+          (* two-pass operator: histogram + prefix + emit; own fragment *)
+          let f = new_frag b ~domain:(info b values.v).length ~runlen:None in
+          append b f { stmt = s; storage = Global; grouped_fold = None };
+          close b f
+      | Persist (_, v) ->
+          let f = assign b ~domain ~runlen_req:None [ v ] in
+          append b f { stmt = s; storage = Register; grouped_fold = None }
+      | Gather { data; positions } ->
+          (* positions are read aligned and may fuse; the gathered data is
+             read at arbitrary indices, so it must come from a completed
+             (materialized) fragment — never from the fragment the gather
+             itself joins *)
+          let f = assign b ~domain ~runlen_req:None [ positions.v; data ] in
+          let data_frags =
+            List.filter_map (producer_frag b) (underlying b data)
+          in
+          let f =
+            if List.mem f.index data_frags then begin
+              close b f;
+              new_frag b ~domain ~runlen:None
+            end
+            else f
+          in
+          append b f { stmt = s; storage = Register; grouped_fold = None }
+      | Cross _ | Binary _ ->
+          let f = assign b ~domain ~runlen_req:None (Op.inputs s.op) in
+          append b f { stmt = s; storage = Register; grouped_fold = None })
+    (Program.stmts p);
+  (* finalize extents and storage *)
+  let frags = List.rev b.frags in
+  (* consumers seen through structural aliases (zip/project/upsert) and
+     virtualized scatters: those forward reads to the underlying columns *)
+  let rec effective_consumers id =
+    List.concat_map
+      (fun (c : Program.stmt) ->
+        match c.op with
+        | Zip _ | Project _ | Upsert _ -> effective_consumers c.id
+        | Scatter _
+          when Hashtbl.mem identity_scatters c.id
+               || Hashtbl.mem virtual_scatters c.id ->
+            effective_consumers c.id
+        | _ -> [ c ])
+      (consumers_of b id)
+  in
+  List.iter
+    (fun f ->
+      let runlen = Option.value f.fold_runlen ~default:1 in
+      let runlen = max 1 runlen in
+      f.extent <- max 1 ((f.domain + runlen - 1) / runlen);
+      f.intent <- runlen;
+      f.body <-
+        List.map
+          (fun (cs : compiled_stmt) ->
+            match cs.storage with
+            | Virtual | Global | Local _ -> cs
+            | Register ->
+                let escapes =
+                  is_output cs.stmt.id
+                  || List.exists
+                       (fun (c : Program.stmt) ->
+                         match producer_frag b c.id with
+                         | Some fi -> fi <> f.index
+                         | None -> false)
+                       (effective_consumers cs.stmt.id)
+                in
+                let cs = if escapes then { cs with storage = Global } else cs in
+                Hashtbl.replace b.compiled cs.stmt.id cs;
+                cs)
+          f.body)
+    frags;
+  {
+    frags;
+    meta = meta_list;
+    program = p;
+    outputs;
+    identity_scatters =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) identity_scatters [];
+  }

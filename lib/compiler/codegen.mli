@@ -1,0 +1,35 @@
+(** Voodoo → fragment/kernel code generation (paper Section 3.1).
+
+    Traverses the program in dependency order, appending each statement to
+    a compatible open fragment or opening a new one:
+
+    - data-parallel, maintenance and shape operators fuse freely into a
+      fragment over the same element domain;
+    - control vectors and compile-time constants are {e virtual};
+    - a controlled fold derives its run length from its control
+      attribute's metadata — runs of length 1 are fully data-parallel, a
+      single run is fully sequential, uniform runs of length L give extent
+      ⌈n/L⌉ and intent L; folds of different run lengths never share a
+      fragment (a kernel boundary separates them);
+    - [Break] and [Materialize] close their fragment;
+    - identity scatters are virtual;
+    - with {!options.virtual_scatter}, a [Partition]→[Scatter]→[FoldAgg]
+      chain over data values becomes a direct grouped aggregation that
+      never materializes the scattered vector (Figures 10–11). *)
+
+open Voodoo_core
+
+type options = {
+  fuse : bool;  (** operator fusion into fragments; off = bulk processing *)
+  virtual_scatter : bool;
+  suppress_empty_slots : bool;
+}
+
+val default_options : options
+
+(** [build ?options ~vector_length p] compiles an (already optimized)
+    program; [vector_length name] gives the length of persistent vector
+    [name]. *)
+val build :
+  ?options:options -> vector_length:(string -> int option) -> Program.t ->
+  Fragment.plan

@@ -1,0 +1,303 @@
+(** OpenCL C source emission.
+
+    Renders each fragment of a compiled plan as one fully inlined,
+    function-call-free OpenCL kernel, in the style the paper's backend
+    generates: the extent becomes the global work size, the intent a
+    sequential loop per work item, register-class intermediates become
+    scalars, folds become accumulators, control vectors appear only as
+    index arithmetic, and suppressed fold outputs index by run rather than
+    by element.
+
+    This renderer is the inspectable artifact of the compilation decisions
+    (fusion, virtualization, suppression); the executable semantics live in
+    {!Exec}. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Fragment
+
+let buf_name id (kp : Keypath.t) =
+  match kp with [] -> id | _ -> id ^ "_" ^ String.concat "_" kp
+
+let _ctype : Scalar.dtype -> string = function Int -> "int" | Float -> "float"
+
+type ectx = {
+  plan : plan;
+  buf : Buffer.t;
+  mutable params : (string * string) list;  (** (ctype, name), reverse order *)
+  exprs : (Op.id * Keypath.t, string) Hashtbl.t;
+      (** register-class values as C expressions *)
+  aliases : (Op.id * Keypath.t, Op.id * Keypath.t) Hashtbl.t;
+  storage : (Op.id, storage) Hashtbl.t;
+  meta : (Op.id, Meta.info) Hashtbl.t;
+}
+
+let line ctx fmt = Printf.ksprintf (fun s -> Buffer.add_string ctx.buf (s ^ "\n")) fmt
+
+let add_param ctx ty name =
+  if not (List.mem (ty, name) ctx.params) then ctx.params <- (ty, name) :: ctx.params
+
+let storage_of ctx id =
+  Option.value (Hashtbl.find_opt ctx.storage id) ~default:Global
+
+(* Follow structural aliases through the program, as the executor does:
+   zips/projects/upserts and virtualized scatters forward to the buffers
+   that actually back them. *)
+let rec resolve ctx (id : Op.id) (kp : Keypath.t) : Op.id * Keypath.t =
+  match Hashtbl.find_opt ctx.aliases (id, kp) with
+  | Some (id', kp') -> resolve ctx id' kp'
+  | None -> (
+      match Program.find ctx.plan.program id with
+      | Some { op = Zip { out1; src1; out2; src2 }; _ } ->
+          if Keypath.is_prefix out1 kp then
+            resolve ctx src1.v (Keypath.append src1.kp (Keypath.strip out1 kp))
+          else if Keypath.is_prefix out2 kp then
+            resolve ctx src2.v (Keypath.append src2.kp (Keypath.strip out2 kp))
+          else (id, kp)
+      | Some { op = Project { out; src }; _ } ->
+          if Keypath.is_prefix out kp then
+            resolve ctx src.v (Keypath.append src.kp (Keypath.strip out kp))
+          else (id, kp)
+      | Some { op = Upsert { target; out; src }; _ } ->
+          if Keypath.equal out kp then resolve ctx src.v src.kp
+          else resolve ctx target kp
+      | Some { op = Scatter { data; _ }; _ }
+        when storage_of ctx id = Virtual ->
+          resolve ctx data kp
+      | _ -> (id, kp))
+
+(* The single leaf below (id, kp), consulting the schema via metadata when
+   the keypath is a defaulted root. *)
+let leaf_of ctx id kp =
+  match Hashtbl.find_opt ctx.exprs (id, kp) with
+  | Some _ -> kp
+  | None -> (
+      let i = Hashtbl.find_opt ctx.meta id in
+      match i with
+      | Some { ctrls = [ (k, _) ]; _ } when kp = [] -> k
+      | Some { const = [ (k, _) ]; _ } when kp = [] -> k
+      | _ -> kp)
+
+(* C expression for reading attribute [kp] of vector [id] at index [idx]. *)
+let read ctx (id : Op.id) (kp : Keypath.t) ~idx : string =
+  let id, kp = resolve ctx id (leaf_of ctx id kp) in
+  match Hashtbl.find_opt ctx.exprs (id, kp) with
+  | Some e -> e
+  | None -> (
+      let i = Hashtbl.find_opt ctx.meta id in
+      let ctrl = Option.bind i (fun i -> Meta.ctrl_of i kp) in
+      let ctrl =
+        match ctrl, i with
+        | Some c, _ -> Some c
+        | None, Some { Meta.ctrls = [ (_, c) ]; _ } when kp = [] -> Some c
+        | _ -> None
+      in
+      let const =
+        match Option.bind i (fun i -> Meta.const_of i kp), i with
+        | Some c, _ -> Some c
+        | None, Some { Meta.const = [ (_, c) ]; _ } when kp = [] -> Some c
+        | _ -> None
+      in
+      match ctrl, const with
+      | _, Some (Scalar.I v) -> string_of_int v
+      | _, Some (Scalar.F v) -> Printf.sprintf "%gf" v
+      | Some c, _ ->
+          (* a control vector: pure index arithmetic, never materialized *)
+          let base =
+            if c.den = 1 then Printf.sprintf "(%d + (int)%s * %d)" c.from idx c.num
+            else Printf.sprintf "(%d + (int)%s * %d / %d)" c.from idx c.num c.den
+          in
+          (match c.cap with
+          | None -> base
+          | Some cap -> Printf.sprintf "(%s %% %d)" base cap)
+      | None, None ->
+          let name = buf_name id kp in
+          add_param ctx "__global const int*" name;
+          Printf.sprintf "%s[%s]" name idx)
+
+let binop_c : Op.binop -> string = function
+  | Add -> "+"
+  | Subtract -> "-"
+  | Multiply -> "*"
+  | Divide -> "/"
+  | Modulo -> "%"
+  | BitShift -> "<<"
+  | LogicalAnd -> "&&"
+  | LogicalOr -> "||"
+  | Greater -> ">"
+  | GreaterEqual -> ">="
+  | Equals -> "=="
+
+let emit_stmt ctx (_f : frag) (cs : compiled_stmt) =
+  let s = cs.stmt in
+  let idx = "i" in
+  match s.op with
+  | Load _ | Constant _ | Range _ | Persist _ -> ()
+  | Zip { out1; src1; out2; src2 } ->
+      Hashtbl.replace ctx.aliases (s.id, out1) (src1.v, src1.kp);
+      Hashtbl.replace ctx.aliases (s.id, out2) (src2.v, src2.kp)
+  | Project { out; src } -> Hashtbl.replace ctx.aliases (s.id, out) (src.v, src.kp)
+  | Upsert { target; out; src } ->
+      Hashtbl.replace ctx.aliases (s.id, out) (src.v, src.kp);
+      Hashtbl.replace ctx.aliases (s.id, []) (target, [])
+  | Binary { op; out; left; right } -> (
+      let l = read ctx left.v left.kp ~idx and r = read ctx right.v right.kp ~idx in
+      let e = Printf.sprintf "(%s %s %s)" l (binop_c op) r in
+      match storage_of ctx s.id with
+      | Virtual -> ()
+      | Register ->
+          line ctx "    int %s = %s;" (buf_name s.id out) e;
+          Hashtbl.replace ctx.exprs (s.id, out) (buf_name s.id out)
+      | Global | Local _ ->
+          let name = buf_name s.id out in
+          add_param ctx "__global int*" name;
+          line ctx "    %s[i] = %s;" name e;
+          Hashtbl.replace ctx.exprs (s.id, out) (Printf.sprintf "%s[i]" name))
+  | Gather { data; positions } ->
+      let p = read ctx positions.v positions.kp ~idx in
+      let id, _ = resolve ctx data [] in
+      let src = buf_name id [] in
+      add_param ctx "__global const int*" src;
+      let name = buf_name s.id [] in
+      line ctx "    int %s = %s[%s];" name src p;
+      Hashtbl.replace ctx.exprs (s.id, []) name
+  | Scatter { data; positions; _ } ->
+      if storage_of ctx s.id = Virtual then
+        Hashtbl.replace ctx.aliases (s.id, []) (data, [])
+      else begin
+        let p = read ctx positions.v positions.kp ~idx in
+        let v = read ctx data [] ~idx in
+        let name = buf_name s.id [] in
+        add_param ctx "__global int*" name;
+        line ctx "    %s[%s] = %s; /* ordered within runs */" name p v
+      end
+  | Materialize { data; _ } | Break { data; _ } ->
+      let v = read ctx data [] ~idx in
+      let name = buf_name s.id [] in
+      add_param ctx "__global int*" name;
+      line ctx "    %s[i] = %s; /* pipeline breaker */" name v;
+      Hashtbl.replace ctx.exprs (s.id, []) (Printf.sprintf "%s[i]" name)
+  | Partition { values; _ } ->
+      let v = read ctx values.v values.kp ~idx in
+      line ctx "    /* two-pass partition of %s: histogram + prefix + emit */" v
+  | Cross _ -> line ctx "    /* cross-product position generator */"
+  | FoldSelect { input; _ } ->
+      let v = read ctx input.v input.kp ~idx in
+      let name = buf_name s.id [] in
+      add_param ctx "__global int*" name;
+      line ctx "    if (%s) { %s[cursor_%s++] = i; }" v name s.id
+  | FoldAgg { agg; input; _ } -> (
+      let v = read ctx input.v input.kp ~idx in
+      let acc = "acc_" ^ s.id in
+      (match (agg : Op.agg) with
+      | Sum -> line ctx "    %s += %s;" acc v
+      | Count -> line ctx "    %s += 1;" acc
+      | Max -> line ctx "    %s = max(%s, %s);" acc acc v
+      | Min -> line ctx "    %s = min(%s, %s);" acc acc v);
+      match cs.grouped_fold with
+      | Some g ->
+          line ctx "    /* virtual scatter: %s accumulated per partition of %s */"
+            s.id g.source
+      | None -> ())
+  | FoldScan { input; _ } ->
+      let v = read ctx input.v input.kp ~idx in
+      let name = buf_name s.id [] in
+      add_param ctx "__global int*" name;
+      line ctx "    acc_%s += %s;" s.id v;
+      line ctx "    %s[i] = acc_%s;" name s.id
+
+let fold_prologue ctx (cs : compiled_stmt) =
+  match cs.stmt.op with
+  | FoldAgg { agg; _ } ->
+      let init =
+        match (agg : Op.agg) with Sum | Count -> "0" | Max -> "INT_MIN" | Min -> "INT_MAX"
+      in
+      line ctx "  int acc_%s = %s;" cs.stmt.id init
+  | FoldScan _ -> line ctx "  int acc_%s = 0;" cs.stmt.id
+  | FoldSelect _ -> line ctx "  size_t cursor_%s = run_start;" cs.stmt.id
+  | _ -> ()
+
+let fold_epilogue ctx (cs : compiled_stmt) =
+  match cs.stmt.op with
+  | FoldAgg _ when cs.grouped_fold = None -> (
+      let name = buf_name cs.stmt.id [] in
+      add_param ctx "__global int*" name;
+      match storage_of ctx cs.stmt.id with
+      | Global ->
+          line ctx "  %s[gid] = acc_%s; /* empty slots suppressed: dense by run */"
+            name cs.stmt.id
+      | _ -> line ctx "  %s[run_start] = acc_%s;" name cs.stmt.id)
+  | _ -> ()
+
+let emit_fragment ctx (f : frag) =
+  let body_buf = Buffer.create 256 in
+  let saved = Buffer.contents ctx.buf in
+  Buffer.clear ctx.buf;
+  ctx.params <- [];
+  let body = stmts_in_order f in
+  List.iter (fold_prologue ctx) body;
+  line ctx "  for (size_t j = 0; j < %d; ++j) {" f.intent;
+  line ctx "    size_t i = run_start + j;";
+  line ctx "    if (i >= %d) break;" f.domain;
+  List.iter (emit_stmt ctx f) body;
+  line ctx "  }";
+  List.iter (fold_epilogue ctx) body;
+  Buffer.add_string body_buf (Buffer.contents ctx.buf);
+  Buffer.clear ctx.buf;
+  Buffer.add_string ctx.buf saved;
+  let params =
+    List.rev ctx.params
+    |> List.map (fun (ty, name) -> Printf.sprintf "%s %s" ty name)
+    |> String.concat ", "
+  in
+  line ctx "/* fragment %d: extent=%d (global work size), intent=%d */" f.index
+    f.extent f.intent;
+  line ctx "__kernel void fragment_%d(%s) {" f.index params;
+  line ctx "  size_t gid = get_global_id(0);";
+  line ctx "  size_t run_start = gid * %d;" f.intent;
+  Buffer.add_string ctx.buf (Buffer.contents body_buf);
+  line ctx "}";
+  line ctx ""
+
+(** [source plan] renders the whole plan as OpenCL C. *)
+let source (plan : plan) : string =
+  let storage = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (cs : compiled_stmt) -> Hashtbl.replace storage cs.stmt.id cs.storage)
+        (stmts_in_order f))
+    plan.frags;
+  (* statements outside every fragment are loads or virtual *)
+  List.iter
+    (fun (s : Program.stmt) ->
+      if not (Hashtbl.mem storage s.id) then
+        Hashtbl.replace storage s.id
+          (match s.op with Load _ -> Global | _ -> Virtual))
+    (Program.stmts plan.program);
+  let meta = Hashtbl.create 16 in
+  List.iter (fun (id, i) -> Hashtbl.replace meta id i) plan.meta;
+  let ctx =
+    {
+      plan;
+      buf = Buffer.create 1024;
+      params = [];
+      exprs = Hashtbl.create 16;
+      aliases = Hashtbl.create 16;
+      storage;
+      meta;
+    }
+  in
+  line ctx "/* generated by the Voodoo OpenCL backend */";
+  line ctx "";
+  (* process non-fragment structural statements for aliasing *)
+  List.iter
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Zip { out1; src1; out2; src2 } when not (Hashtbl.mem storage s.id) ->
+          Hashtbl.replace ctx.aliases (s.id, out1) (src1.v, src1.kp);
+          Hashtbl.replace ctx.aliases (s.id, out2) (src2.v, src2.kp)
+      | _ -> ())
+    (Program.stmts plan.program);
+  List.iter (emit_fragment ctx) plan.frags;
+  Buffer.contents ctx.buf

@@ -1,0 +1,12 @@
+(** OpenCL C source emission.
+
+    Renders each fragment of a compiled plan as one fully inlined,
+    function-call-free OpenCL kernel: the extent becomes the global work
+    size, the intent a sequential loop per work item, register-class
+    intermediates become scalars, folds become accumulators, control
+    vectors appear only as index arithmetic, and suppressed fold outputs
+    index by run.  This is the inspectable artifact of the compilation
+    decisions; the executable semantics live in {!Exec}. *)
+
+(** [source plan] renders the whole plan as OpenCL C. *)
+val source : Fragment.plan -> string

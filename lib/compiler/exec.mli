@@ -1,0 +1,40 @@
+(** Fragment executor: runs a compiled {!Fragment.plan} and accounts the
+    hardware events the cost model prices.
+
+    Execution follows the generated kernels' structure — each fragment
+    loops over its extent of work items, each work item processes its
+    intent-sized range through the fused statement list.  Semantics equal
+    the reference interpreter (property-tested); the storage classes
+    decide which accesses touch device memory.  Dynamic behaviour the cost
+    model needs is observed live: predicate outcomes stream through branch
+    predictors, position sequences are classified (sequential / random /
+    hot-line), and empty-slot suppression shrinks fold-output traffic to
+    the run count. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_device
+
+(** Device element width in bytes (the paper's workloads are 32-bit). *)
+val width : int
+
+type result = {
+  env : (Op.id, Svector.t) Hashtbl.t;
+  kernels : (int * Events.t) list;  (** (extent, events) per fragment *)
+  plan : Fragment.plan;
+}
+
+exception Exec_error of string
+
+val run :
+  ?options:Codegen.options -> store:Store.t -> Fragment.plan -> result
+
+(** [output r id] reads a result vector.  Raises {!Exec_error}. *)
+val output : result -> Op.id -> Svector.t
+
+(** [cost r device] prices the executed kernels on [device]. *)
+val cost : result -> Config.t -> Cost.breakdown
+
+(** [scale_events r k] scales all recorded events (and extents) by [k],
+    for reporting a larger data scale than was executed. *)
+val scale_events : result -> float -> result

@@ -1,0 +1,88 @@
+(** Code fragments: the unit of kernel generation (paper Section 3.1).
+
+    The compiler fuses runs of operators into fragments.  Each fragment
+    becomes one kernel with an {e extent} (the number of parallel work
+    items) and an {e intent} (sequential iterations per work item); work
+    item [w] owns the element range [w*intent .. (w+1)*intent).  Fully
+    data-parallel fragments have intent 1; fully sequential ones have
+    extent 1.  Result materialization happens only at the seams between
+    fragments. *)
+
+open Voodoo_core
+
+(** How a statement's result is stored. *)
+type storage =
+  | Register
+      (** consumed only inside its fragment by aligned operators; never
+          stored (fully inlined into consumers) *)
+  | Local of int
+      (** buffer that stays cache-resident; the payload is its working-set
+          size in bytes (e.g. one X100-style chunk) *)
+  | Global
+      (** materialized to device memory at a fragment seam *)
+  | Virtual
+      (** never computed at all: control vectors, compile-time constants,
+          identity scatters (the paper's "purple" operators) *)
+
+type compiled_stmt = {
+  stmt : Program.stmt;
+  storage : storage;
+  grouped_fold : grouped_fold option;
+      (** set when this FoldAgg was fused with its producing scatter into a
+          direct grouped aggregation (virtual scatter, Figures 10-11) *)
+}
+
+and grouped_fold = {
+  source : Op.id;  (** the pre-scatter data vector *)
+  group_src : Op.src;  (** group-id attribute of [source] *)
+  value_src : Op.src;  (** aggregated attribute of [source] *)
+  group_count : int;  (** number of partitions (from the pivot vector) *)
+}
+
+type frag = {
+  index : int;
+  domain : int;  (** number of elements iterated *)
+  mutable extent : int;
+  mutable intent : int;
+  mutable fold_runlen : int option;
+      (** the shared run length of this fragment's folds *)
+  mutable barrier : bool;
+      (** contains a grouped fold whose output completes only at kernel
+          end: only other grouped folds may still fuse in *)
+  mutable body : compiled_stmt list;  (** reverse order during construction *)
+}
+
+type plan = {
+  frags : frag list;  (** in execution order *)
+  meta : (Op.id * Meta.info) list;
+  program : Program.t;
+  outputs : Op.id list;
+  identity_scatters : (Op.id * Op.id) list;
+      (** scatter → data aliases: scatters by identity positions (purely
+          logical partitioning, as in Figure 3) *)
+}
+
+let stmts_in_order f = List.rev f.body
+
+let pp_storage ppf = function
+  | Register -> Fmt.string ppf "reg"
+  | Local ws -> Fmt.pf ppf "local(%dB)" ws
+  | Global -> Fmt.string ppf "global"
+  | Virtual -> Fmt.string ppf "virtual"
+
+let pp_frag ppf f =
+  Fmt.pf ppf "@[<v2>fragment %d: domain=%d extent=%d intent=%d%a@,%a@]" f.index
+    f.domain f.extent f.intent
+    (fun ppf -> function
+      | None -> ()
+      | Some l -> Fmt.pf ppf " runlen=%d" l)
+    f.fold_runlen
+    (Fmt.list ~sep:Fmt.cut (fun ppf (c : compiled_stmt) ->
+         Fmt.pf ppf "%s [%a]%s" c.stmt.id pp_storage c.storage
+           (match c.grouped_fold with
+           | Some g -> Printf.sprintf " (grouped-fold over %s)" g.source
+           | None -> "")))
+    (stmts_in_order f)
+
+let pp_plan ppf p =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_frag) p.frags

@@ -1,0 +1,66 @@
+(** Code fragments: the unit of kernel generation (paper Section 3.1).
+
+    The compiler fuses runs of operators into fragments; each fragment
+    becomes one kernel with an {e extent} (parallel work items) and an
+    {e intent} (sequential iterations per work item).  Work item [w] owns
+    the element range [w·intent, (w+1)·intent).  Result materialization
+    happens only at the seams between fragments. *)
+
+open Voodoo_core
+
+(** How a statement's result is stored. *)
+type storage =
+  | Register
+      (** consumed only inside its fragment by aligned operators; fully
+          inlined into consumers, never stored *)
+  | Local of int
+      (** cache-resident buffer; payload is its working-set size in bytes
+          (e.g. one X100-style chunk) *)
+  | Global  (** materialized to device memory at a fragment seam *)
+  | Virtual
+      (** never computed at all: control vectors, compile-time constants,
+          identity scatters — the paper's "purple" operators *)
+
+type compiled_stmt = {
+  stmt : Program.stmt;
+  storage : storage;
+  grouped_fold : grouped_fold option;
+      (** set when this FoldAgg was fused with its producing scatter into a
+          direct grouped aggregation (virtual scatter, Figures 10–11) *)
+}
+
+and grouped_fold = {
+  source : Op.id;  (** the pre-scatter data vector *)
+  group_src : Op.src;  (** group-id attribute of [source] *)
+  value_src : Op.src;  (** aggregated attribute of [source] *)
+  group_count : int;  (** number of partitions (from the pivot vector) *)
+}
+
+type frag = {
+  index : int;
+  domain : int;  (** number of elements iterated *)
+  mutable extent : int;
+  mutable intent : int;
+  mutable fold_runlen : int option;
+      (** the shared run length of this fragment's folds *)
+  mutable barrier : bool;
+      (** contains a grouped fold whose output completes only at kernel
+          end: only other grouped folds may still fuse in *)
+  mutable body : compiled_stmt list;  (** reverse order during construction *)
+}
+
+type plan = {
+  frags : frag list;  (** in execution order *)
+  meta : (Op.id * Meta.info) list;
+  program : Program.t;
+  outputs : Op.id list;
+  identity_scatters : (Op.id * Op.id) list;
+      (** scatter → data aliases: scatters by identity positions (purely
+          logical partitioning, as in Figure 3) *)
+}
+
+val stmts_in_order : frag -> compiled_stmt list
+
+val pp_storage : Format.formatter -> storage -> unit
+val pp_frag : Format.formatter -> frag -> unit
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,211 @@
+(** Static vector metadata: concrete sizes and control-vector closed forms.
+
+    Because Voodoo code is generated just in time, "we have information
+    about factors such as datasizes at compile time" (paper, Section 2).
+    This analysis propagates, for every statement:
+
+    - the concrete length of the result vector, and
+    - for each integer attribute that is a recognizable control vector, its
+      {!Voodoo_vector.Ctrl.t} closed form [v[i] = from + ⌊i·step⌋ mod cap].
+
+    The derivation rules are the paper's (Section 3.1.1): a [Range] starts a
+    control vector; dividing by a constant [x] divides [step] by [x]; a
+    modulo by [x] sets [cap] to [x]; adding/subtracting/multiplying by a
+    constant adjusts [from]/[step].  Anything else loses the closed form.
+    The compiler uses this to keep control vectors virtual and to derive
+    each fold's extent and intent. *)
+
+open Voodoo_vector
+
+type info = {
+  length : int;
+  ctrls : (Keypath.t * Ctrl.t) list;
+      (** closed forms for those attributes that have one *)
+  const : (Keypath.t * Scalar.t) list;
+      (** compile-time constant attributes (length-1 vectors) *)
+}
+
+let ctrl_of info kp = List.assoc_opt kp info.ctrls
+let const_of info kp = List.assoc_opt kp info.const
+
+type env = (Op.id, info) Hashtbl.t
+
+exception Unknown_size of string
+
+let info_of (env : env) v =
+  match Hashtbl.find_opt env v with
+  | Some i -> i
+  | None -> raise (Unknown_size v)
+
+(* Resolve a possibly-root keypath against the attributes we track; falls
+   back to the keypath itself.  Metadata tracking is best-effort: a miss
+   only means the compiler treats the attribute as opaque data. *)
+let resolve info kp =
+  if kp <> [] then kp
+  else
+    match info.ctrls, info.const with
+    | [ (k, _) ], _ -> k
+    | _, [ (k, _) ] -> k
+    | _ -> kp
+
+let rebase_assoc xs ~from ~onto =
+  List.filter_map
+    (fun (kp, x) ->
+      if Keypath.is_prefix from kp then Some (Keypath.rebase ~from ~onto kp, x)
+      else None)
+    xs
+
+let derive_binop (op : Op.binop) (c : Ctrl.t) (k : int) : Ctrl.t option =
+  match op with
+  | Divide -> Ctrl.divide c k
+  | Modulo -> Ctrl.modulo c k
+  | Multiply -> Ctrl.multiply c k
+  | Add -> Ctrl.add c k
+  | Subtract -> Ctrl.subtract c k
+  | BitShift | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals -> None
+
+let infer_op (env : env) ~(vector_length : string -> int option) (op : Op.t) : info
+    =
+  let plain length = { length; ctrls = []; const = [] } in
+  match op with
+  | Load table -> (
+      match vector_length table with
+      | Some n -> plain n
+      | None -> raise (Unknown_size table))
+  | Persist (_, v) -> info_of env v
+  | Constant { out; value } -> { length = 1; ctrls = []; const = [ (out, value) ] }
+  | Range { out; from; size; step } ->
+      let n = match size with Lit n -> n | Of_vector v -> (info_of env v).length in
+      { length = n; ctrls = [ (out, Ctrl.range ~from ~step) ]; const = [] }
+  | Cross { v1; v2; _ } ->
+      plain ((info_of env v1).length * (info_of env v2).length)
+  | Binary { op; out; left; right } -> (
+      let li = info_of env left.v and ri = info_of env right.v in
+      let length =
+        if li.length = 1 then ri.length
+        else if ri.length = 1 then li.length
+        else min li.length ri.length
+      in
+      (* control-vector (op) constant, or constant (op) constant *)
+      let lkp = resolve li left.kp and rkp = resolve ri right.kp in
+      match ctrl_of li lkp, const_of ri rkp with
+      | Some c, Some (Scalar.I k) -> (
+          match derive_binop op c k with
+          | Some c' -> { length; ctrls = [ (out, c') ]; const = [] }
+          | None -> plain length)
+      | _ -> (
+          match const_of li lkp, const_of ri rkp with
+          | Some a, Some b when length = 1 -> (
+              match Op.apply_binop op a b with
+              | v -> { length; ctrls = []; const = [ (out, v) ] }
+              | exception Division_by_zero -> plain length)
+          | _ -> plain length))
+  | Zip { out1; src1; out2; src2 } ->
+      let i1 = info_of env src1.v and i2 = info_of env src2.v in
+      let length =
+        if i1.length = 1 then i2.length
+        else if i2.length = 1 then i1.length
+        else min i1.length i2.length
+      in
+      let kp1 = resolve i1 src1.kp and kp2 = resolve i2 src2.kp in
+      let grab (i : info) from onto =
+        ( rebase_assoc i.ctrls ~from ~onto,
+          rebase_assoc i.const ~from ~onto )
+      in
+      let c1, k1 = grab i1 kp1 out1 and c2, k2 = grab i2 kp2 out2 in
+      { length; ctrls = c1 @ c2; const = k1 @ k2 }
+  | Project { out; src } ->
+      let i = info_of env src.v in
+      let kp = resolve i src.kp in
+      {
+        length = i.length;
+        ctrls = rebase_assoc i.ctrls ~from:kp ~onto:out;
+        const = rebase_assoc i.const ~from:kp ~onto:out;
+      }
+  | Upsert { target; out; src } ->
+      let ti = info_of env target and si = info_of env src.v in
+      let skp = resolve si src.kp in
+      let drop kps =
+        List.filter (fun (kp, _) -> not (Keypath.is_prefix out kp)) kps
+      in
+      let ctrls =
+        match ctrl_of si skp with
+        | Some c -> (out, c) :: drop ti.ctrls
+        | None -> drop ti.ctrls
+      in
+      let const =
+        match const_of si skp with
+        | Some k when si.length = 1 && ti.length = 1 -> (out, k) :: drop ti.const
+        | _ -> drop ti.const
+      in
+      { length = ti.length; ctrls; const }
+  | Gather { positions; _ } -> plain (info_of env positions.v).length
+  | Scatter { data; shape; positions; _ } -> (
+      (* a scatter by identity positions permutes nothing: the data's
+         metadata (in particular control-vector closed forms) survives *)
+      let pi = info_of env positions.v in
+      let pkp = resolve pi positions.kp in
+      let pctrl =
+        match ctrl_of pi pkp, pi.ctrls with
+        | Some c, _ -> Some c
+        | None, [ (_, c) ] when pkp = [] -> Some c
+        | None, _ -> None
+      in
+      match pctrl with
+      | Some c when c.from = 0 && c.num = 1 && c.den = 1 && c.cap = None ->
+          let di = info_of env data in
+          if di.length = (info_of env shape).length then di
+          else plain (info_of env shape).length
+      | _ -> plain (info_of env shape).length)
+  | Materialize { data; _ } | Break { data; _ } ->
+      (* identity on values: metadata survives the pipeline break *)
+      info_of env data
+  | Partition { out; values; _ } -> (
+      (* partitioning an attribute whose runs are already contiguous and in
+         pivot order is purely logical: the positions are the identity *)
+      let vi = info_of env values.v in
+      let vkp = resolve vi values.kp in
+      let vctrl =
+        match ctrl_of vi vkp, vi.ctrls with
+        | Some c, _ -> Some c
+        | None, [ (_, c) ] when vkp = [] -> Some c
+        | None, _ -> None
+      in
+      match vctrl with
+      | Some c
+        when c.num >= 0 && c.cap = None
+             && (match Ctrl.runs c ~n:vi.length with
+                | Single_run | Uniform _ -> true
+                | Irregular -> false) ->
+          { length = vi.length; ctrls = [ (out, Ctrl.iota) ]; const = [] }
+      | _ -> plain vi.length)
+  | FoldSelect { input; _ } | FoldScan { input; _ } ->
+      plain (info_of env input.v).length
+  | FoldAgg { input; _ } -> plain (info_of env input.v).length
+
+(** [infer ~vector_length p] computes metadata for every statement.
+    [vector_length name] gives the length of persistent vector [name]. *)
+let infer ~vector_length (p : Program.t) : (Op.id * info) list =
+  let env : env = Hashtbl.create 16 in
+  List.map
+    (fun (s : Program.stmt) ->
+      let i = infer_op env ~vector_length s.op in
+      Hashtbl.replace env s.id i;
+      (s.id, i))
+    (Program.stmts p)
+
+(** Extent/intent of a fold with control attribute metadata [ctrl] over [n]
+    input tuples: the paper's three cases (Section 3.1.1). *)
+type parallelism = {
+  extent : int;  (** parallel work items *)
+  intent : int;  (** sequential iterations per work item *)
+}
+
+let fold_parallelism ~(ctrl : Ctrl.t option) ~n =
+  match ctrl with
+  | None -> { extent = 1; intent = n }
+  | Some c -> (
+      match Ctrl.runs c ~n with
+      | Single_run -> { extent = 1; intent = n }
+      | Uniform len -> { extent = (n + len - 1) / len; intent = len }
+      | Irregular -> { extent = 1; intent = n })

@@ -1,0 +1,41 @@
+(** Static vector metadata: concrete sizes and control-vector closed forms.
+
+    Because Voodoo code is generated just in time, data sizes are known at
+    compile time (paper Section 2).  This analysis propagates, for every
+    statement, the concrete length of its result and — for attributes that
+    are recognizable control vectors — their {!Voodoo_vector.Ctrl.t} closed
+    form, using the paper's derivation rules (Section 3.1.1): a [Range]
+    starts a control vector, dividing by a constant divides the step, a
+    modulo sets the cap, identity scatters and logical partitions preserve
+    the forms.  The compiler uses this to keep control vectors virtual and
+    to derive each fold's extent and intent. *)
+
+open Voodoo_vector
+
+type info = {
+  length : int;
+  ctrls : (Keypath.t * Ctrl.t) list;
+      (** closed forms for those attributes that have one *)
+  const : (Keypath.t * Scalar.t) list;
+      (** compile-time constant attributes (one-element vectors) *)
+}
+
+val ctrl_of : info -> Keypath.t -> Ctrl.t option
+val const_of : info -> Keypath.t -> Scalar.t option
+
+exception Unknown_size of string
+
+(** [infer ~vector_length p] computes metadata for every statement;
+    [vector_length name] gives the length of persistent vector [name].
+    Raises {!Unknown_size} when a loaded vector is unknown. *)
+val infer :
+  vector_length:(string -> int option) -> Program.t -> (Op.id * info) list
+
+(** Extent/intent of a fold with control metadata [ctrl] over [n] input
+    tuples: the paper's three cases (Section 3.1.1). *)
+type parallelism = {
+  extent : int;  (** parallel work items *)
+  intent : int;  (** sequential iterations per work item *)
+}
+
+val fold_parallelism : ctrl:Ctrl.t option -> n:int -> parallelism

@@ -1,0 +1,158 @@
+(** The Voodoo operators (paper Table 2).
+
+    Operators fall into four categories: maintenance, data-parallel, fold,
+    and shape.  All are stateless and deterministic; folds take a {e control
+    attribute} ([fold] keypaths below) that declaratively partitions the
+    input into runs. *)
+
+open Voodoo_vector
+
+type id = string
+(** SSA name of a statement's result vector. *)
+
+type src = { v : id; kp : Keypath.t }
+(** A reference to one attribute of a previously defined vector. *)
+
+let src ?(kp = []) v = { v; kp }
+
+(** Element-wise binary operators ([Binary] below). *)
+type binop =
+  | Add
+  | Subtract
+  | Multiply
+  | Divide
+  | Modulo
+  | BitShift
+  | LogicalAnd
+  | LogicalOr
+  | Greater
+  | GreaterEqual
+  | Equals
+
+(** Controlled-fold aggregates. [Count] is the paper's foldCount macro on
+    top of foldSum. *)
+type agg = Sum | Max | Min | Count
+
+(** Size specification for shape operators. *)
+type size =
+  | Of_vector of id  (** same size as an existing vector *)
+  | Lit of int
+
+type t =
+  (* Maintenance *)
+  | Load of string
+      (** Load a persistent vector by name from storage. *)
+  | Persist of string * id
+      (** Persist vector [id] under the given storage name. *)
+  (* Shape *)
+  | Constant of { out : Keypath.t; value : Scalar.t }
+      (** A one-element vector; broadcast by element-wise operators. *)
+  | Range of { out : Keypath.t; from : int; size : size; step : int }
+      (** [v[i] = from + i*step]; carries control metadata. *)
+  | Cross of { out1 : Keypath.t; v1 : id; out2 : Keypath.t; v2 : id }
+      (** All position pairs of [v1] x [v2], [v2] minor. *)
+  (* Data-parallel *)
+  | Binary of { op : binop; out : Keypath.t; left : src; right : src }
+      (** Element-wise arithmetic/logical/comparison; the output has the
+          single attribute [out].  A one-element operand broadcasts. *)
+  | Zip of { out1 : Keypath.t; src1 : src; out2 : Keypath.t; src2 : src }
+      (** New vector with substructure [src1] as [out1], [src2] as [out2]. *)
+  | Project of { out : Keypath.t; src : src }
+      (** New vector with substructure [src] as [out]. *)
+  | Upsert of { target : id; out : Keypath.t; src : src }
+      (** Copy [target], replacing or inserting attribute [out]. *)
+  | Gather of { data : id; positions : src }
+      (** [out[i] = data[positions[i]]]; out-of-bounds gives ε slots. *)
+  | Scatter of { data : id; shape : id; run : Keypath.t option; positions : src }
+      (** New vector of size [shape]; each tuple of [data] is placed at
+          [positions[i]].  Writes happen in order within a value-run of
+          [shape.run]; runs are unordered w.r.t. each other. *)
+  | Materialize of { data : id; chunks : src option }
+      (** Force materialization, chunked by the runs of [chunks]
+          (X100-style vectorized processing). *)
+  | Break of { data : id; runs : src option }
+      (** Pure tuning hint: break pipelines at segment bounds. *)
+  | Partition of { out : Keypath.t; values : src; pivots : src }
+      (** Scatter-position vector grouping [values] by the pivot list:
+          tuple [i] goes to partition [|{p in pivots : p < v[i]}|], placed
+          stably after all tuples of smaller partitions. *)
+  (* Folds *)
+  | FoldSelect of { out : Keypath.t; fold : Keypath.t option; input : src }
+      (** Global positions of slots with non-zero [input], compacted to the
+          start of each run of [fold]; ε padding in between. *)
+  | FoldAgg of { agg : agg; out : Keypath.t; fold : Keypath.t option; input : src }
+      (** Per-run aggregate written at the start of the run; ε padding. *)
+  | FoldScan of { out : Keypath.t; fold : Keypath.t option; input : src }
+      (** Per-run inclusive prefix sum. *)
+
+let binop_name = function
+  | Add -> "Add"
+  | Subtract -> "Subtract"
+  | Multiply -> "Multiply"
+  | Divide -> "Divide"
+  | Modulo -> "Modulo"
+  | BitShift -> "BitShift"
+  | LogicalAnd -> "LogicalAnd"
+  | LogicalOr -> "LogicalOr"
+  | Greater -> "Greater"
+  | GreaterEqual -> "GreaterEqual"
+  | Equals -> "Equals"
+
+let binop_of_name = function
+  | "Add" -> Some Add
+  | "Subtract" -> Some Subtract
+  | "Multiply" -> Some Multiply
+  | "Divide" -> Some Divide
+  | "Modulo" -> Some Modulo
+  | "BitShift" -> Some BitShift
+  | "LogicalAnd" -> Some LogicalAnd
+  | "LogicalOr" -> Some LogicalOr
+  | "Greater" -> Some Greater
+  | "GreaterEqual" -> Some GreaterEqual
+  | "Equals" -> Some Equals
+  | _ -> None
+
+let agg_name = function Sum -> "Sum" | Max -> "Max" | Min -> "Min" | Count -> "Count"
+
+(** [apply_binop op a b] is the scalar semantics of [op]. *)
+let apply_binop op : Scalar.t -> Scalar.t -> Scalar.t =
+  match op with
+  | Add -> Scalar.add
+  | Subtract -> Scalar.sub
+  | Multiply -> Scalar.mul
+  | Divide -> Scalar.div
+  | Modulo -> Scalar.modulo
+  | BitShift -> Scalar.bit_shift
+  | LogicalAnd -> Scalar.logical_and
+  | LogicalOr -> Scalar.logical_or
+  | Greater -> Scalar.greater
+  | GreaterEqual -> Scalar.greater_equal
+  | Equals -> Scalar.equals
+
+(** Result dtype of a binary operator given operand dtypes. *)
+let binop_dtype op (a : Scalar.dtype) (b : Scalar.dtype) : Scalar.dtype =
+  match op with
+  | Add | Subtract | Multiply | Divide | Modulo -> Scalar.join a b
+  | BitShift -> Int
+  | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals -> Int
+
+(** Vectors read by an operator, in argument order. *)
+let inputs = function
+  | Load _ | Constant _ -> []
+  | Persist (_, v) -> [ v ]
+  | Range { size = Of_vector v; _ } -> [ v ]
+  | Range { size = Lit _; _ } -> []
+  | Cross { v1; v2; _ } -> [ v1; v2 ]
+  | Binary { left; right; _ } -> [ left.v; right.v ]
+  | Zip { src1; src2; _ } -> [ src1.v; src2.v ]
+  | Project { src; _ } -> [ src.v ]
+  | Upsert { target; src; _ } -> [ target; src.v ]
+  | Gather { data; positions } -> [ data; positions.v ]
+  | Scatter { data; shape; positions; _ } -> [ data; shape; positions.v ]
+  | Materialize { data; chunks = Some c } -> [ data; c.v ]
+  | Materialize { data; chunks = None } -> [ data ]
+  | Break { data; runs = Some r } -> [ data; r.v ]
+  | Break { data; runs = None } -> [ data ]
+  | Partition { values; pivots; _ } -> [ values.v; pivots.v ]
+  | FoldSelect { input; _ } | FoldAgg { input; _ } | FoldScan { input; _ } ->
+      [ input.v ]

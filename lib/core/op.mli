@@ -1,0 +1,86 @@
+(** The Voodoo operators (paper Table 2).
+
+    Operators fall into four categories — maintenance, data-parallel, fold,
+    and shape.  All are stateless and deterministic; folds take a {e
+    control attribute} that declaratively partitions the input into runs
+    (paper Section 2.2). *)
+
+open Voodoo_vector
+
+type id = string
+(** SSA name of a statement's result vector. *)
+
+type src = { v : id; kp : Keypath.t }
+(** A reference to one attribute of a previously defined vector.  A root
+    keypath denotes the unique attribute of a single-attribute vector. *)
+
+val src : ?kp:Keypath.t -> id -> src
+
+(** Element-wise binary operators. *)
+type binop =
+  | Add
+  | Subtract
+  | Multiply
+  | Divide
+  | Modulo
+  | BitShift
+  | LogicalAnd
+  | LogicalOr
+  | Greater
+  | GreaterEqual
+  | Equals
+
+(** Controlled-fold aggregates; [Count] is the paper's foldCount macro. *)
+type agg = Sum | Max | Min | Count
+
+(** Size specification for shape operators. *)
+type size = Of_vector of id | Lit of int
+
+type t =
+  | Load of string  (** load a persistent vector from storage *)
+  | Persist of string * id  (** persist a vector under a storage name *)
+  | Constant of { out : Keypath.t; value : Scalar.t }
+      (** one-element vector; broadcast by element-wise operators *)
+  | Range of { out : Keypath.t; from : int; size : size; step : int }
+      (** [v[i] = from + i*step]; carries control metadata *)
+  | Cross of { out1 : Keypath.t; v1 : id; out2 : Keypath.t; v2 : id }
+      (** all position pairs of [v1] × [v2], [v2] minor *)
+  | Binary of { op : binop; out : Keypath.t; left : src; right : src }
+      (** element-wise; output has the single attribute [out]; one-element
+          operands broadcast *)
+  | Zip of { out1 : Keypath.t; src1 : src; out2 : Keypath.t; src2 : src }
+  | Project of { out : Keypath.t; src : src }
+  | Upsert of { target : id; out : Keypath.t; src : src }
+  | Gather of { data : id; positions : src }
+      (** [out[i] = data[positions[i]]]; out-of-bounds or ε gives ε *)
+  | Scatter of { data : id; shape : id; run : Keypath.t option; positions : src }
+      (** new vector of size [shape]; tuple [i] of [data] lands at
+          [positions[i]]; writes are ordered within value-runs of
+          [shape.run] (runs unordered w.r.t. each other) *)
+  | Materialize of { data : id; chunks : src option }
+      (** force materialization, chunked by the runs of [chunks]
+          (X100-style processing) *)
+  | Break of { data : id; runs : src option }
+      (** pure tuning hint: break pipelines *)
+  | Partition of { out : Keypath.t; values : src; pivots : src }
+      (** stable scatter positions grouping [values] by the pivot list *)
+  | FoldSelect of { out : Keypath.t; fold : Keypath.t option; input : src }
+      (** global positions of non-zero slots, compacted to each run start;
+          ε padding in between *)
+  | FoldAgg of { agg : agg; out : Keypath.t; fold : Keypath.t option; input : src }
+      (** per-run aggregate at the run start; ε padding *)
+  | FoldScan of { out : Keypath.t; fold : Keypath.t option; input : src }
+      (** per-run inclusive prefix sum *)
+
+val binop_name : binop -> string
+val binop_of_name : string -> binop option
+val agg_name : agg -> string
+
+(** Scalar semantics of a binary operator. *)
+val apply_binop : binop -> Scalar.t -> Scalar.t -> Scalar.t
+
+(** Result dtype of a binary operator given operand dtypes. *)
+val binop_dtype : binop -> Scalar.dtype -> Scalar.dtype -> Scalar.dtype
+
+(** Vectors read by an operator, in argument order. *)
+val inputs : t -> id list

@@ -1,0 +1,127 @@
+(** Program-level optimizations.
+
+    The paper motivates a {e non-redundant} operator set partly because it
+    "increases the number of opportunities for common subexpression
+    elimination"; both backends run {!cse} and {!dce} before execution. *)
+
+open Voodoo_vector
+
+(** [rename f op] rewrites every vector reference through [f]. *)
+let rename f (op : Op.t) : Op.t =
+  let src (s : Op.src) = { s with v = f s.v } in
+  match op with
+  | Load _ | Constant _ -> op
+  | Persist (n, v) -> Persist (n, f v)
+  | Range r -> (
+      match r.size with
+      | Lit _ -> op
+      | Of_vector v -> Range { r with size = Of_vector (f v) })
+  | Cross c -> Cross { c with v1 = f c.v1; v2 = f c.v2 }
+  | Binary b -> Binary { b with left = src b.left; right = src b.right }
+  | Zip z -> Zip { z with src1 = src z.src1; src2 = src z.src2 }
+  | Project p -> Project { p with src = src p.src }
+  | Upsert u -> Upsert { u with target = f u.target; src = src u.src }
+  | Gather g -> Gather { data = f g.data; positions = src g.positions }
+  | Scatter s ->
+      Scatter { s with data = f s.data; shape = f s.shape; positions = src s.positions }
+  | Materialize m ->
+      Materialize { data = f m.data; chunks = Option.map src m.chunks }
+  | Break b -> Break { data = f b.data; runs = Option.map src b.runs }
+  | Partition p -> Partition { p with values = src p.values; pivots = src p.pivots }
+  | FoldSelect fs -> FoldSelect { fs with input = src fs.input }
+  | FoldAgg fa -> FoldAgg { fa with input = src fa.input }
+  | FoldScan fs -> FoldScan { fs with input = src fs.input }
+
+(** Common subexpression elimination: structurally identical pure operators
+    are merged onto their first occurrence.  [Load] is pure (storage is
+    immutable during a query); [Persist] is an effect and never merged.
+    Returns the rewritten program and the substitution applied (merged name
+    → surviving name). *)
+let cse_with_subst (p : Program.t) : Program.t * (Op.id * Op.id) list =
+  let repl : (Op.id, Op.id) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (Op.t, Op.id) Hashtbl.t = Hashtbl.create 16 in
+  let resolve v = Option.value (Hashtbl.find_opt repl v) ~default:v in
+  let stmts =
+    List.filter_map
+      (fun (s : Program.stmt) ->
+        let op = rename resolve s.op in
+        match op with
+        | Persist _ -> Some { s with op }
+        | _ -> (
+            match Hashtbl.find_opt seen op with
+            | Some prior ->
+                Hashtbl.replace repl s.id prior;
+                None
+            | None ->
+                Hashtbl.replace seen op s.id;
+                Some { s with op }))
+      (Program.stmts p)
+  in
+  (Program.of_stmts stmts, Hashtbl.fold (fun k v acc -> (k, v) :: acc) repl [])
+
+let cse p = fst (cse_with_subst p)
+
+(** Dead code elimination: keep only statements reachable from [roots]
+    (default: the program's natural outputs plus every [Persist]). *)
+let dce ?roots (p : Program.t) : Program.t =
+  let roots =
+    match roots with
+    | Some r -> r
+    | None ->
+        Program.outputs p
+        @ List.filter_map
+            (fun (s : Program.stmt) ->
+              match s.op with Persist _ -> Some s.id | _ -> None)
+            (Program.stmts p)
+  in
+  let keep = Hashtbl.create 16 in
+  let rec mark id =
+    if not (Hashtbl.mem keep id) then begin
+      Hashtbl.replace keep id ();
+      match Program.find p id with
+      | None -> ()
+      | Some s -> List.iter mark (Op.inputs s.op)
+    end
+  in
+  List.iter mark roots;
+  Program.of_stmts
+    (List.filter (fun (s : Program.stmt) -> Hashtbl.mem keep s.id) (Program.stmts p))
+
+(** Constant folding for binary operators over two [Constant]s. *)
+let const_fold (p : Program.t) : Program.t =
+  let consts : (Op.id, Scalar.t) Hashtbl.t = Hashtbl.create 16 in
+  let stmts =
+    List.map
+      (fun (s : Program.stmt) ->
+        match s.op with
+        | Constant { value; _ } ->
+            Hashtbl.replace consts s.id value;
+            s
+        | Binary { op; out; left; right } -> (
+            match Hashtbl.find_opt consts left.v, Hashtbl.find_opt consts right.v with
+            | Some a, Some b -> (
+                match Op.apply_binop op a b with
+                | value ->
+                    Hashtbl.replace consts s.id value;
+                    { s with op = Constant { out; value } }
+                | exception Division_by_zero -> s)
+            | _ -> s)
+        | _ -> s)
+      (Program.stmts p)
+  in
+  Program.of_stmts stmts
+
+(** The standard pipeline both backends apply.  Also returns the CSE
+    substitution so callers can resolve pre-optimization names (a merged
+    program output keeps working under its original name). *)
+let default_with_subst ?roots p =
+  let p, subst = cse_with_subst (const_fold p) in
+  let roots =
+    Option.map
+      (List.map (fun r ->
+           match List.assoc_opt r subst with Some r' -> r' | None -> r))
+      roots
+  in
+  (dce ?roots p, subst)
+
+let default ?roots p = fst (default_with_subst ?roots p)

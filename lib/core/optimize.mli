@@ -1,0 +1,28 @@
+(** Program-level optimizations: constant folding, common-subexpression
+    elimination and dead-code elimination.  Both backends run {!default}
+    before execution (the paper's non-redundant operator set exists partly
+    to make CSE effective). *)
+
+(** [rename f op] rewrites every vector reference through [f]. *)
+val rename : (Op.id -> Op.id) -> Op.t -> Op.t
+
+(** CSE: structurally identical pure operators merge onto their first
+    occurrence ([Persist] never merges).  Also returns the substitution
+    applied (merged name → surviving name). *)
+val cse_with_subst : Program.t -> Program.t * (Op.id * Op.id) list
+
+val cse : Program.t -> Program.t
+
+(** DCE: keep only statements reachable from [roots] (default: the
+    program's natural outputs plus every [Persist]). *)
+val dce : ?roots:Op.id list -> Program.t -> Program.t
+
+(** Constant folding for binary operators over two [Constant]s. *)
+val const_fold : Program.t -> Program.t
+
+(** The standard pipeline, plus the CSE substitution for resolving
+    pre-optimization names. *)
+val default_with_subst :
+  ?roots:Op.id list -> Program.t -> Program.t * (Op.id * Op.id) list
+
+val default : ?roots:Op.id list -> Program.t -> Program.t

@@ -1,0 +1,281 @@
+(** Parser for the textual SSA form produced by {!Pretty}.
+
+    The grammar is exactly the notation of the paper's figures:
+
+    {v
+    program  ::= stmt*
+    stmt     ::= ident ":=" opname "(" arg ("," arg)* ")"
+    arg      ::= string | int | float | keypath | ident keypath?
+               | "fold" "=" keypath
+    keypath  ::= ("." ident)+
+    v}
+
+    Comments run from ["//"] to end of line. *)
+
+open Voodoo_vector
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | KEYPATH of Keypath.t
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS_SIGN
+  | EOF
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let read_ident () =
+    let start = !i in
+    while !i < n && is_ident_char s.[!i] do incr i done;
+    String.sub s start (!i - start)
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = ':' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      emit ASSIGN;
+      i := !i + 2
+    end
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '=' then (emit EQUALS_SIGN; incr i)
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '"' do incr i done;
+      if !i >= n then fail "unterminated string literal";
+      emit (STRING (String.sub s start (!i - start)));
+      incr i
+    end
+    else if c = '.' then begin
+      (* keypath: one or more .component *)
+      let comps = ref [] in
+      while !i < n && s.[!i] = '.' do
+        incr i;
+        let id = read_ident () in
+        if id = "" then fail "empty keypath component";
+        comps := id :: !comps
+      done;
+      emit (KEYPATH (List.rev !comps))
+    end
+    else if (c >= '0' && c <= '9') || c = '-' then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.' || s.[!i] = 'e' || s.[!i] = 'E' || s.[!i] = '+' || (s.[!i] = '-' && (s.[!i-1] = 'e' || s.[!i-1] = 'E'))) do incr i done;
+      let lit = String.sub s start (!i - start) in
+      (match int_of_string_opt lit with
+      | Some v -> emit (INT v)
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> emit (FLOAT f)
+          | None -> fail "bad numeric literal %S" lit))
+    end
+    else if is_ident_char c then emit (IDENT (read_ident ()))
+    else fail "unexpected character %C" c
+  done;
+  List.rev (EOF :: !toks)
+
+(* Parsed argument forms, later matched against each operator's signature. *)
+type arg =
+  | A_str of string
+  | A_int of int
+  | A_float of float
+  | A_kp of Keypath.t
+  | A_src of Op.src  (* ident with optional keypath *)
+  | A_fold of Keypath.t
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let next st =
+  match st.toks with
+  | [] -> EOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t what =
+  let got = next st in
+  if got <> t then fail "expected %s" what
+
+let parse_arg st =
+  match next st with
+  | STRING s -> A_str s
+  | INT i -> A_int i
+  | FLOAT f -> A_float f
+  | KEYPATH kp -> A_kp kp
+  | IDENT "fold" when peek st = EQUALS_SIGN ->
+      ignore (next st);
+      (match next st with
+      | KEYPATH kp -> A_fold kp
+      | _ -> fail "expected keypath after fold=")
+  | IDENT v -> (
+      match peek st with
+      | KEYPATH kp ->
+          ignore (next st);
+          A_src { v; kp }
+      | _ -> A_src { v; kp = [] })
+  | _ -> fail "expected argument"
+
+let parse_args st =
+  expect st LPAREN "(";
+  if peek st = RPAREN then (ignore (next st); [])
+  else begin
+    let args = ref [ parse_arg st ] in
+    while peek st = COMMA do
+      ignore (next st);
+      args := parse_arg st :: !args
+    done;
+    expect st RPAREN ")";
+    List.rev !args
+  end
+
+let as_src = function
+  | A_src s -> s
+  | A_kp kp -> fail "expected vector reference, got bare keypath %s" (Keypath.to_string kp)
+  | _ -> fail "expected vector reference"
+
+let as_id a = (as_src a).v
+
+let _as_kp = function A_kp kp -> kp | _ -> fail "expected keypath"
+
+let as_scalar = function
+  | A_int i -> Scalar.I i
+  | A_float f -> Scalar.F f
+  | _ -> fail "expected numeric literal"
+
+let split_fold args =
+  let fold = List.filter_map (function A_fold kp -> Some kp | _ -> None) args in
+  let rest = List.filter (function A_fold _ -> false | _ -> true) args in
+  match fold with
+  | [] -> (None, rest)
+  | [ kp ] -> (Some kp, rest)
+  | _ -> fail "multiple fold= arguments"
+
+let build_op name args : Op.t =
+  let fold, args = split_fold args in
+  let no_fold () = if fold <> None then fail "%s takes no fold= argument" name in
+  match name, args with
+  | "Load", [ A_str t ] -> no_fold (); Load t
+  | "Persist", [ A_str t; v ] -> no_fold (); Persist (t, as_id v)
+  | "Constant", [ s ] -> no_fold (); Constant { out = [ "val" ]; value = as_scalar s }
+  | "Constant", [ A_kp out; s ] -> no_fold (); Constant { out; value = as_scalar s }
+  | "Range", [ v ] -> no_fold ();
+      Range { out = [ "val" ]; from = 0; size = Of_vector (as_id v); step = 1 }
+  | "Range", [ A_kp out; A_int from; size; A_int step ] ->
+      no_fold ();
+      let size =
+        match size with A_int n -> Op.Lit n | s -> Op.Of_vector (as_id s)
+      in
+      Range { out; from; size; step }
+  | "Cross", [ A_kp out1; v1; A_kp out2; v2 ] ->
+      no_fold ();
+      Cross { out1; v1 = as_id v1; out2; v2 = as_id v2 }
+  | "Zip", [ A_kp out1; s1; A_kp out2; s2 ] ->
+      no_fold ();
+      Zip { out1; src1 = as_src s1; out2; src2 = as_src s2 }
+  | "Zip", [ s1; s2 ] ->
+      no_fold ();
+      Zip { out1 = [ "fst" ]; src1 = as_src s1; out2 = [ "snd" ]; src2 = as_src s2 }
+  | "Project", [ A_kp out; s ] -> no_fold (); Project { out; src = as_src s }
+  | "Upsert", [ t; A_kp out; s ] ->
+      no_fold ();
+      Upsert { target = as_id t; out; src = as_src s }
+  | "Gather", [ d; p ] -> no_fold (); Gather { data = as_id d; positions = as_src p }
+  | "Scatter", [ d; sh; p ] ->
+      no_fold ();
+      let sh = as_src sh in
+      Scatter
+        {
+          data = as_id d;
+          shape = sh.v;
+          run = (if sh.kp = [] then None else Some sh.kp);
+          positions = as_src p;
+        }
+  | "Scatter", [ d; p ] ->
+      (* two-argument sugar of Figure 3: shape = data *)
+      no_fold ();
+      Scatter { data = as_id d; shape = as_id d; run = None; positions = as_src p }
+  | "Materialize", [ d ] -> no_fold (); Materialize { data = as_id d; chunks = None }
+  | "Materialize", [ d; c ] ->
+      no_fold ();
+      Materialize { data = as_id d; chunks = Some (as_src c) }
+  | "Break", [ d ] -> no_fold (); Break { data = as_id d; runs = None }
+  | "Break", [ d; r ] -> no_fold (); Break { data = as_id d; runs = Some (as_src r) }
+  | "Partition", [ A_kp out; v; p ] ->
+      no_fold ();
+      Partition { out; values = as_src v; pivots = as_src p }
+  | "Partition", [ v; p ] ->
+      no_fold ();
+      Partition { out = [ "pos" ]; values = as_src v; pivots = as_src p }
+  | "FoldSelect", [ A_kp out; s ] -> FoldSelect { out; fold; input = as_src s }
+  | "FoldSelect", [ s ] -> FoldSelect { out = [ "pos" ]; fold; input = as_src s }
+  | "FoldScan", [ A_kp out; s ] -> FoldScan { out; fold; input = as_src s }
+  | "FoldScan", [ s ] -> FoldScan { out = [ "val" ]; fold; input = as_src s }
+  | ("FoldSum" | "FoldMax" | "FoldMin" | "FoldCount"), _ -> (
+      let agg : Op.agg =
+        match name with
+        | "FoldSum" -> Sum
+        | "FoldMax" -> Max
+        | "FoldMin" -> Min
+        | _ -> Count
+      in
+      match args with
+      | [ A_kp out; s ] -> FoldAgg { agg; out; fold; input = as_src s }
+      | [ s ] -> FoldAgg { agg; out = [ "val" ]; fold; input = as_src s }
+      | [ s; f ] ->
+          (* Figure 3 sugar: FoldSum(v.val, v.partition) *)
+          let f = as_src f in
+          FoldAgg { agg; out = [ "val" ]; fold = Some f.kp; input = as_src s }
+      | _ -> fail "bad arguments for %s" name)
+  | _ -> (
+      match Op.binop_of_name name with
+      | Some op -> (
+          no_fold ();
+          match args with
+          | [ A_kp out; l; r ] -> Binary { op; out; left = as_src l; right = as_src r }
+          | [ l; r ] ->
+              Binary { op; out = [ "val" ]; left = as_src l; right = as_src r }
+          | _ -> fail "bad arguments for %s" name)
+      | None -> fail "unknown operator %S" name)
+
+(** [program s] parses the textual SSA form. *)
+let program s : Program.t =
+  let st = { toks = tokenize s } in
+  let stmts = ref [] in
+  let rec loop () =
+    match next st with
+    | EOF -> ()
+    | IDENT id ->
+        expect st ASSIGN ":=";
+        let name =
+          match next st with IDENT n -> n | _ -> fail "expected operator name"
+        in
+        let args = parse_args st in
+        stmts := { Program.id; op = build_op name args } :: !stmts;
+        loop ()
+    | _ -> fail "expected statement"
+  in
+  loop ();
+  let p = Program.of_stmts (List.rev !stmts) in
+  Program.validate p;
+  p

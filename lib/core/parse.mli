@@ -1,0 +1,19 @@
+(** Parser for the textual SSA form produced by {!Pretty} — the notation of
+    the paper's figures:
+
+    {v
+    input := Load("input")          // comments run to end of line
+    ids := Range(input)
+    partitionIDs := Divide(ids, partitionSize)
+    pSum := FoldSum(partInput.val, partInput.partition)
+    v}
+
+    Positional sugar matches the figures: [Range(v)] over a vector's size,
+    two-argument [Scatter], [FoldSum(v.val, v.part)] with the control
+    attribute as second argument, and [fold=.kp] keyword arguments. *)
+
+exception Parse_error of string
+
+(** [program text] parses and validates a program.
+    Raises {!Parse_error} or {!Program.Invalid}. *)
+val program : string -> Program.t

@@ -1,0 +1,69 @@
+(** Printing Voodoo programs in the paper's SSA notation (cf. Figure 3):
+
+    {v
+    input := Load("input")
+    ids := Range(input)
+    partitionIDs := Divide(ids, partitionSize)
+    v} *)
+
+open Voodoo_vector
+
+let pp_kp = Keypath.pp
+
+let pp_src ppf (s : Op.src) =
+  if s.kp = [] then Fmt.string ppf s.v
+  else Fmt.pf ppf "%s%a" s.v pp_kp s.kp
+
+let pp_size ppf = function
+  | Op.Of_vector v -> Fmt.string ppf v
+  | Op.Lit n -> Fmt.int ppf n
+
+let pp_opt_fold ppf = function
+  | None -> ()
+  | Some kp -> Fmt.pf ppf ", fold=%a" pp_kp kp
+
+let pp_op ppf (op : Op.t) =
+  match op with
+  | Load table -> Fmt.pf ppf "Load(%S)" table
+  | Persist (store, v) -> Fmt.pf ppf "Persist(%S, %s)" store v
+  | Constant { out; value } ->
+      Fmt.pf ppf "Constant(%a, %a)" pp_kp out Scalar.pp value
+  | Range { out; from; size; step } ->
+      Fmt.pf ppf "Range(%a, %d, %a, %d)" pp_kp out from pp_size size step
+  | Cross { out1; v1; out2; v2 } ->
+      Fmt.pf ppf "Cross(%a, %s, %a, %s)" pp_kp out1 v1 pp_kp out2 v2
+  | Binary { op; out; left; right } ->
+      Fmt.pf ppf "%s(%a, %a, %a)" (Op.binop_name op) pp_kp out pp_src left pp_src right
+  | Zip { out1; src1; out2; src2 } ->
+      Fmt.pf ppf "Zip(%a, %a, %a, %a)" pp_kp out1 pp_src src1 pp_kp out2 pp_src src2
+  | Project { out; src } -> Fmt.pf ppf "Project(%a, %a)" pp_kp out pp_src src
+  | Upsert { target; out; src } ->
+      Fmt.pf ppf "Upsert(%s, %a, %a)" target pp_kp out pp_src src
+  | Gather { data; positions } -> Fmt.pf ppf "Gather(%s, %a)" data pp_src positions
+  | Scatter { data; shape; run; positions } ->
+      let pp_run ppf = function
+        | None -> ()
+        | Some kp -> Fmt.pf ppf "%a" pp_kp kp
+      in
+      Fmt.pf ppf "Scatter(%s, %s%a, %a)" data shape pp_run run pp_src positions
+  | Materialize { data; chunks = None } -> Fmt.pf ppf "Materialize(%s)" data
+  | Materialize { data; chunks = Some c } ->
+      Fmt.pf ppf "Materialize(%s, %a)" data pp_src c
+  | Break { data; runs = None } -> Fmt.pf ppf "Break(%s)" data
+  | Break { data; runs = Some r } -> Fmt.pf ppf "Break(%s, %a)" data pp_src r
+  | Partition { out; values; pivots } ->
+      Fmt.pf ppf "Partition(%a, %a, %a)" pp_kp out pp_src values pp_src pivots
+  | FoldSelect { out; fold; input } ->
+      Fmt.pf ppf "FoldSelect(%a, %a%a)" pp_kp out pp_src input pp_opt_fold fold
+  | FoldAgg { agg; out; fold; input } ->
+      Fmt.pf ppf "Fold%s(%a, %a%a)" (Op.agg_name agg) pp_kp out pp_src input
+        pp_opt_fold fold
+  | FoldScan { out; fold; input } ->
+      Fmt.pf ppf "FoldScan(%a, %a%a)" pp_kp out pp_src input pp_opt_fold fold
+
+let pp_stmt ppf (s : Program.stmt) = Fmt.pf ppf "%s := %a" s.id pp_op s.op
+
+let pp_program ppf (p : Program.t) =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_stmt) (Program.stmts p)
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,8 @@
+(** Printing Voodoo programs in the paper's SSA notation (cf. Figure 3).
+    The output parses back with {!Parse.program}. *)
+
+val pp_src : Format.formatter -> Op.src -> unit
+val pp_op : Format.formatter -> Op.t -> unit
+val pp_stmt : Format.formatter -> Program.stmt -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val program_to_string : Program.t -> string

@@ -1,0 +1,182 @@
+(** Voodoo programs: a list of SSA statements forming a DAG.
+
+    Each statement binds a fresh name to the result vector of one operator;
+    operators refer to earlier names only (checked by {!validate}).  The
+    {!Builder} offers the frontend-facing construction API used throughout
+    the examples, the relational lowering and the benchmarks. *)
+
+open Voodoo_vector
+
+type stmt = { id : Op.id; op : Op.t }
+
+type t = { stmts : stmt list }
+
+let stmts t = t.stmts
+
+let of_stmts stmts = { stmts }
+
+let find t id = List.find_opt (fun s -> String.equal s.id id) t.stmts
+
+let find_exn t id =
+  match find t id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Program: unknown statement %s" id)
+
+(** Names whose vectors are the program's results: defined but never
+    consumed by a later statement. *)
+let outputs t =
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun s -> List.iter (fun v -> Hashtbl.replace used v ()) (Op.inputs s.op))
+    t.stmts;
+  List.filter_map
+    (fun s -> if Hashtbl.mem used s.id then None else Some s.id)
+    t.stmts
+
+exception Invalid of string
+
+(** [validate t] checks SSA well-formedness: unique names, every use after
+    its definition.  Raises {!Invalid}. *)
+let validate t =
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem defined s.id then
+        raise (Invalid (Printf.sprintf "duplicate definition of %s" s.id));
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem defined v) then
+            raise
+              (Invalid (Printf.sprintf "%s uses %s before its definition" s.id v)))
+        (Op.inputs s.op);
+      Hashtbl.replace defined s.id ())
+    t.stmts
+
+(** Statements on which [id] (transitively) depends, in program order,
+    including [id] itself. *)
+let slice t id =
+  let keep = Hashtbl.create 16 in
+  let rec mark id =
+    if not (Hashtbl.mem keep id) then begin
+      Hashtbl.replace keep id ();
+      match find t id with
+      | None -> ()
+      | Some s -> List.iter mark (Op.inputs s.op)
+    end
+  in
+  mark id;
+  { stmts = List.filter (fun s -> Hashtbl.mem keep s.id) t.stmts }
+
+(** Frontend construction API. *)
+module Builder = struct
+  type ctx = {
+    mutable rev_stmts : stmt list;
+    mutable counter : int;
+    names : (string, unit) Hashtbl.t;
+  }
+
+  let create () = { rev_stmts = []; counter = 0; names = Hashtbl.create 16 }
+
+  let fresh ctx base =
+    let rec go i =
+      let cand = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem ctx.names cand then go (i + 1) else cand
+    in
+    go 0
+
+  (** [add ctx ?name op] appends a statement and returns its name. *)
+  let add ctx ?name op =
+    let base =
+      match name with
+      | Some n -> n
+      | None ->
+          ctx.counter <- ctx.counter + 1;
+          Printf.sprintf "v%d" ctx.counter
+    in
+    let id = fresh ctx base in
+    Hashtbl.replace ctx.names id ();
+    ctx.rev_stmts <- { id; op } :: ctx.rev_stmts;
+    id
+
+  let finish ctx =
+    let t = { stmts = List.rev ctx.rev_stmts } in
+    validate t;
+    t
+
+  (* Convenience wrappers.  [?kp] arguments default to the root keypath,
+     which resolves to the single attribute of single-attribute vectors. *)
+
+  let load ctx ?name table = add ctx ?name (Load table)
+  let persist ctx ?name store v = add ctx ?name (Persist (store, v))
+
+  let constant ctx ?name ?(out = [ "val" ]) value =
+    add ctx ?name (Constant { out; value })
+
+  let const_int ctx ?name ?out i = constant ctx ?name ?out (Scalar.I i)
+  let const_float ctx ?name ?out f = constant ctx ?name ?out (Scalar.F f)
+
+  let range ctx ?name ?(out = [ "val" ]) ?(from = 0) ?(step = 1) size =
+    add ctx ?name (Range { out; from; size; step })
+
+  let cross ctx ?name ?(out1 = [ "pos1" ]) ?(out2 = [ "pos2" ]) v1 v2 =
+    add ctx ?name (Cross { out1; v1; out2; v2 })
+
+  let binary ctx ?name ?(out = [ "val" ]) op (v1, kp1) (v2, kp2) =
+    add ctx ?name
+      (Binary { op; out; left = Op.src ~kp:kp1 v1; right = Op.src ~kp:kp2 v2 })
+
+  let bin0 op ctx ?name ?out v1 v2 = binary ctx ?name ?out op (v1, []) (v2, [])
+
+  let add_ ctx = bin0 Op.Add ctx
+  let subtract ctx = bin0 Op.Subtract ctx
+  let multiply ctx = bin0 Op.Multiply ctx
+  let divide ctx = bin0 Op.Divide ctx
+  let modulo ctx = bin0 Op.Modulo ctx
+  let greater ctx = bin0 Op.Greater ctx
+  let greater_equal ctx = bin0 Op.GreaterEqual ctx
+  let equals ctx = bin0 Op.Equals ctx
+  let logical_and ctx = bin0 Op.LogicalAnd ctx
+  let logical_or ctx = bin0 Op.LogicalOr ctx
+
+  let zip ctx ?name ?(out1 = [ "fst" ]) ?(out2 = [ "snd" ]) (v1, kp1) (v2, kp2) =
+    add ctx ?name
+      (Zip { out1; src1 = Op.src ~kp:kp1 v1; out2; src2 = Op.src ~kp:kp2 v2 })
+
+  let project ctx ?name ?(out = [ "val" ]) (v, kp) =
+    add ctx ?name (Project { out; src = Op.src ~kp v })
+
+  let upsert ctx ?name ~out target (v, kp) =
+    add ctx ?name (Upsert { target; out; src = Op.src ~kp v })
+
+  let gather ctx ?name data (positions, kp) =
+    add ctx ?name (Gather { data; positions = Op.src ~kp positions })
+
+  let scatter ctx ?name ?run ~shape data (positions, kp) =
+    add ctx ?name (Scatter { data; shape; run; positions = Op.src ~kp positions })
+
+  let materialize ctx ?name ?chunks data =
+    let chunks = Option.map (fun (v, kp) -> Op.src ~kp v) chunks in
+    add ctx ?name (Materialize { data; chunks })
+
+  let break_ ctx ?name ?runs data =
+    let runs = Option.map (fun (v, kp) -> Op.src ~kp v) runs in
+    add ctx ?name (Break { data; runs })
+
+  let partition ctx ?name ?(out = [ "pos" ]) (values, vkp) (pivots, pkp) =
+    add ctx ?name
+      (Partition { out; values = Op.src ~kp:vkp values; pivots = Op.src ~kp:pkp pivots })
+
+  let fold_select ctx ?name ?(out = [ "pos" ]) ?fold (v, kp) =
+    add ctx ?name (FoldSelect { out; fold; input = Op.src ~kp v })
+
+  let fold_agg ctx ?name ?(out = [ "val" ]) ?fold agg (v, kp) =
+    add ctx ?name (FoldAgg { agg; out; fold; input = Op.src ~kp v })
+
+  let fold_sum ctx ?name ?out ?fold s = fold_agg ctx ?name ?out ?fold Op.Sum s
+  let fold_max ctx ?name ?out ?fold s = fold_agg ctx ?name ?out ?fold Op.Max s
+  let fold_min ctx ?name ?out ?fold s = fold_agg ctx ?name ?out ?fold Op.Min s
+  let fold_count ctx ?name ?out ?fold s = fold_agg ctx ?name ?out ?fold Op.Count s
+
+  let fold_scan ctx ?name ?(out = [ "val" ]) ?fold (v, kp) =
+    add ctx ?name (FoldScan { out; fold; input = Op.src ~kp v })
+end

@@ -1,0 +1,134 @@
+(** Voodoo programs: a list of SSA statements forming a DAG.
+
+    Each statement binds a fresh name to the result of one operator;
+    operators refer to earlier names only (checked by {!validate}).  The
+    {!Builder} is the frontend-facing construction API. *)
+
+open Voodoo_vector
+
+type stmt = { id : Op.id; op : Op.t }
+
+type t
+
+val stmts : t -> stmt list
+val of_stmts : stmt list -> t
+val find : t -> Op.id -> stmt option
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find_exn : t -> Op.id -> stmt
+
+(** Names whose vectors are the program's results: defined but never
+    consumed by a later statement. *)
+val outputs : t -> Op.id list
+
+exception Invalid of string
+
+(** [validate t] checks SSA well-formedness: unique names, every use after
+    its definition.  Raises {!Invalid}. *)
+val validate : t -> unit
+
+(** [slice t id] keeps only the statements [id] transitively depends on
+    (including itself), in program order. *)
+val slice : t -> Op.id -> t
+
+(** Frontend construction API.  Every function appends one statement and
+    returns its (auto- or explicitly-named) SSA name.  [?kp] pairs default
+    to the root keypath, which resolves to the unique attribute of
+    single-attribute vectors; [?out] attributes default to [.val] (or the
+    conventional name noted per operation). *)
+module Builder : sig
+  type ctx
+
+  val create : unit -> ctx
+
+  (** [add ctx ?name op] appends a raw statement. *)
+  val add : ctx -> ?name:string -> Op.t -> Op.id
+
+  (** Validates and returns the finished program. *)
+  val finish : ctx -> t
+
+  val load : ctx -> ?name:string -> string -> Op.id
+  val persist : ctx -> ?name:string -> string -> Op.id -> Op.id
+
+  val constant : ctx -> ?name:string -> ?out:Keypath.t -> Scalar.t -> Op.id
+  val const_int : ctx -> ?name:string -> ?out:Keypath.t -> int -> Op.id
+  val const_float : ctx -> ?name:string -> ?out:Keypath.t -> float -> Op.id
+
+  val range :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?from:int -> ?step:int -> Op.size ->
+    Op.id
+
+  val cross :
+    ctx -> ?name:string -> ?out1:Keypath.t -> ?out2:Keypath.t -> Op.id -> Op.id ->
+    Op.id
+
+  val binary :
+    ctx -> ?name:string -> ?out:Keypath.t -> Op.binop ->
+    Op.id * Keypath.t -> Op.id * Keypath.t -> Op.id
+
+  (** Root-keypath shorthands for {!binary}. *)
+
+  val add_ : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val subtract : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val multiply : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val divide : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val modulo : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val greater : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val greater_equal : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val equals : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val logical_and : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+  val logical_or : ctx -> ?name:string -> ?out:Keypath.t -> Op.id -> Op.id -> Op.id
+
+  val zip :
+    ctx -> ?name:string -> ?out1:Keypath.t -> ?out2:Keypath.t ->
+    Op.id * Keypath.t -> Op.id * Keypath.t -> Op.id
+
+  val project :
+    ctx -> ?name:string -> ?out:Keypath.t -> Op.id * Keypath.t -> Op.id
+
+  val upsert :
+    ctx -> ?name:string -> out:Keypath.t -> Op.id -> Op.id * Keypath.t -> Op.id
+
+  val gather : ctx -> ?name:string -> Op.id -> Op.id * Keypath.t -> Op.id
+
+  val scatter :
+    ctx -> ?name:string -> ?run:Keypath.t -> shape:Op.id -> Op.id ->
+    Op.id * Keypath.t -> Op.id
+
+  val materialize :
+    ctx -> ?name:string -> ?chunks:(Op.id * Keypath.t) -> Op.id -> Op.id
+
+  val break_ : ctx -> ?name:string -> ?runs:(Op.id * Keypath.t) -> Op.id -> Op.id
+
+  val partition :
+    ctx -> ?name:string -> ?out:Keypath.t -> Op.id * Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_select :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_agg :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t -> Op.agg ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_sum :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_max :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_min :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_count :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+
+  val fold_scan :
+    ctx -> ?name:string -> ?out:Keypath.t -> ?fold:Keypath.t ->
+    Op.id * Keypath.t -> Op.id
+end

@@ -1,0 +1,32 @@
+(** The persistent-vector store backends load from and persist to.
+
+    This plays the role MonetDB's storage plays for the paper's system: a
+    catalog of named structured vectors.  The relational layer
+    ({!Voodoo_relational.Storage}) populates it from tables. *)
+
+open Voodoo_vector
+
+type t = { tbl : (string, Svector.t) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let add t name v = Hashtbl.replace t.tbl name v
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let find_exn t name =
+  match find t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Store: no persistent vector %S" name)
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []
+
+(** Schema oracle for {!Typing.infer}. *)
+let load_schema t name = Option.map Svector.schema (find t name)
+
+let of_list xs =
+  let t = create () in
+  List.iter (fun (name, v) -> add t name v) xs;
+  t

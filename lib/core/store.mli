@@ -1,0 +1,22 @@
+(** The persistent-vector store backends load from and persist to — the
+    role MonetDB's storage plays for the paper's system: a catalog of named
+    structured vectors. *)
+
+open Voodoo_vector
+
+type t
+
+val create : unit -> t
+val add : t -> string -> Svector.t -> unit
+val find : t -> string -> Svector.t option
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find_exn : t -> string -> Svector.t
+
+val mem : t -> string -> bool
+val names : t -> string list
+
+(** Schema oracle for {!Typing.infer}. *)
+val load_schema : t -> string -> (Keypath.t * Scalar.dtype) list option
+
+val of_list : (string * Svector.t) list -> t

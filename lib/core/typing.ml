@@ -1,0 +1,149 @@
+(** Schema inference and static validation for Voodoo programs.
+
+    Typing assigns every statement a flattened schema (keypath → dtype).
+    It resolves the builder's defaulted (root) keypaths: a root reference
+    into a vector with exactly one scalar leaf denotes that leaf.  Length
+    agreement is a runtime concern of the backends (the compiler knows all
+    sizes at code-generation time, as the paper notes). *)
+
+open Voodoo_vector
+
+type schema = (Keypath.t * Scalar.dtype) list
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let pp_schema ppf (s : schema) =
+  let pp_one ppf (kp, dt) = Fmt.pf ppf "%a:%a" Keypath.pp kp Scalar.pp_dtype dt in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") pp_one) s
+
+(** Leaves of [schema] lying below [kp]. *)
+let sub (schema : schema) kp =
+  List.filter (fun (kp', _) -> Keypath.is_prefix kp kp') schema
+
+(** [resolve_leaf schema kp] names a single scalar leaf: either [kp] itself,
+    or — when [kp] is a prefix with exactly one leaf below (in particular
+    the root of a single-attribute vector) — that unique leaf. *)
+let resolve_leaf (schema : schema) kp =
+  match List.assoc_opt kp schema with
+  | Some dt -> (kp, dt)
+  | None -> (
+      match sub schema kp with
+      | [ leaf ] -> leaf
+      | [] ->
+          err "no attribute %s in %s" (Keypath.to_string kp)
+            (Fmt.str "%a" pp_schema schema)
+      | _ -> err "ambiguous attribute %s" (Keypath.to_string kp))
+
+let rebase_sub schema ~from ~onto =
+  match sub schema from with
+  | [] -> err "no substructure under %s" (Keypath.to_string from)
+  | leaves ->
+      List.map (fun (kp, dt) -> (Keypath.rebase ~from ~onto kp, dt)) leaves
+
+type env = (Op.id, schema) Hashtbl.t
+
+let schema_of (env : env) v =
+  match Hashtbl.find_opt env v with
+  | Some s -> s
+  | None -> err "unknown vector %s" v
+
+let leaf_of env (s : Op.src) = resolve_leaf (schema_of env s.v) s.kp
+
+let require_int env (s : Op.src) what =
+  let kp, dt = leaf_of env s in
+  if dt <> Scalar.Int then
+    err "%s %s%s must be integer-typed" what s.v (Keypath.to_string kp)
+
+let check_fold env v = function
+  | None -> ()
+  | Some fkp ->
+      let schema = schema_of env v in
+      let kp, dt = resolve_leaf schema fkp in
+      if dt <> Scalar.Int then
+        err "fold attribute %s of %s must be integer-typed" (Keypath.to_string kp) v
+
+(** Schema produced by [op] under [env]. *)
+let infer_op ~load_schema (env : env) (op : Op.t) : schema =
+  match op with
+  | Load table -> (
+      match load_schema table with
+      | Some s -> s
+      | None -> err "unknown persistent vector %S" table)
+  | Persist (_, v) -> schema_of env v
+  | Constant { out; value } -> [ (out, Scalar.dtype_of value) ]
+  | Range { out; _ } -> [ (out, Scalar.Int) ]
+  | Cross { out1; out2; _ } -> [ (out1, Scalar.Int); (out2, Scalar.Int) ]
+  | Binary { op; out; left; right } ->
+      let _, dl = leaf_of env left and _, dr = leaf_of env right in
+      [ (out, Op.binop_dtype op dl dr) ]
+  | Zip { out1; src1; out2; src2 } ->
+      let s1 = rebase_sub (schema_of env src1.v) ~from:src1.kp ~onto:out1 in
+      let s2 = rebase_sub (schema_of env src2.v) ~from:src2.kp ~onto:out2 in
+      let clash =
+        List.exists (fun (kp, _) -> List.mem_assoc kp s2) s1
+      in
+      if clash then err "Zip: output attributes collide";
+      s1 @ s2
+  | Project { out; src } -> rebase_sub (schema_of env src.v) ~from:src.kp ~onto:out
+  | Upsert { target; out; src } ->
+      (* replacing removes the whole substructure below [out]: a schema
+         must never hold a leaf that is also a prefix of another leaf *)
+      let _, dt = leaf_of env src in
+      let base = schema_of env target in
+      if List.mem_assoc out base then
+        List.map (fun (kp, d) -> if Keypath.equal kp out then (kp, dt) else (kp, d)) base
+      else
+        List.filter (fun (kp, _) -> not (Keypath.is_prefix out kp)) base
+        @ [ (out, dt) ]
+  | Gather { data; positions } ->
+      require_int env positions "Gather positions";
+      schema_of env data
+  | Scatter { data; shape; run; positions } ->
+      require_int env positions "Scatter positions";
+      (match run with
+      | None -> ()
+      | Some r ->
+          let _ = resolve_leaf (schema_of env shape) r in
+          ());
+      schema_of env data
+  | Materialize { data; chunks } ->
+      Option.iter (fun c -> require_int env c "Materialize chunk control") chunks;
+      schema_of env data
+  | Break { data; runs } ->
+      Option.iter (fun r -> require_int env r "Break run control") runs;
+      schema_of env data
+  | Partition { out; values; pivots } ->
+      let _ = leaf_of env values and _ = leaf_of env pivots in
+      [ (out, Scalar.Int) ]
+  | FoldSelect { out; fold; input } ->
+      check_fold env input.v fold;
+      let _ = leaf_of env input in
+      [ (out, Scalar.Int) ]
+  | FoldAgg { agg; out; fold; input } ->
+      check_fold env input.v fold;
+      let _, dt = leaf_of env input in
+      [ (out, (match agg with Count -> Scalar.Int | Sum | Max | Min -> dt)) ]
+  | FoldScan { out; fold; input } ->
+      check_fold env input.v fold;
+      let _, dt = leaf_of env input in
+      [ (out, dt) ]
+
+(** [infer ~load_schema program] types every statement.
+    [load_schema name] gives the schema of persistent vector [name]. *)
+let infer ~load_schema (p : Program.t) : (Op.id * schema) list =
+  Program.validate p;
+  let env : env = Hashtbl.create 16 in
+  List.map
+    (fun (s : Program.stmt) ->
+      let schema =
+        try infer_op ~load_schema env s.op
+        with Type_error m -> err "in %s: %s" s.id m
+      in
+      Hashtbl.replace env s.id schema;
+      (s.id, schema))
+    (Program.stmts p)
+
+(** [check ~load_schema p] validates and discards the schemas. *)
+let check ~load_schema p = ignore (infer ~load_schema p)

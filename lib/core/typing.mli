@@ -1,0 +1,30 @@
+(** Schema inference and static validation for Voodoo programs.
+
+    Typing assigns every statement a flattened schema (keypath → dtype) and
+    resolves the builder's defaulted (root) keypaths.  Length agreement is
+    a runtime concern of the backends. *)
+
+open Voodoo_vector
+
+type schema = (Keypath.t * Scalar.dtype) list
+
+exception Type_error of string
+
+val pp_schema : Format.formatter -> schema -> unit
+
+(** Leaves of [schema] lying below [kp]. *)
+val sub : schema -> Keypath.t -> schema
+
+(** [resolve_leaf schema kp] names a single scalar leaf: either [kp]
+    itself, or — when [kp] is a prefix with exactly one leaf below — that
+    unique leaf.  Raises {!Type_error} otherwise. *)
+val resolve_leaf : schema -> Keypath.t -> Keypath.t * Scalar.dtype
+
+(** [infer ~load_schema p] types every statement; [load_schema name] gives
+    the schema of persistent vector [name] ([None] = unknown).  Raises
+    {!Type_error} on ill-typed programs. *)
+val infer :
+  load_schema:(string -> schema option) -> Program.t -> (Op.id * schema) list
+
+(** [check ~load_schema p] validates and discards the schemas. *)
+val check : load_schema:(string -> schema option) -> Program.t -> unit

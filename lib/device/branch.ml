@@ -1,0 +1,44 @@
+(** Two-bit saturating-counter branch predictor.
+
+    Mispredictions are the effect behind Figure 1 and Figure 15: a
+    selectivity-0.5 selection mispredicts roughly half its branches on a
+    speculating CPU while selectivities near 0 or 1 are nearly free.  The
+    executor streams every dynamic branch outcome of a site through one of
+    these predictors and the cost model charges the misprediction count. *)
+
+type state = Strong_not | Weak_not | Weak_taken | Strong_taken
+
+type t = {
+  mutable state : state;
+  mutable predictions : int;
+  mutable mispredictions : int;
+}
+
+let create () = { state = Weak_not; predictions = 0; mispredictions = 0 }
+
+let predict t =
+  match t.state with
+  | Strong_not | Weak_not -> false
+  | Weak_taken | Strong_taken -> true
+
+let update t taken =
+  t.state <-
+    (match t.state, taken with
+    | Strong_not, true -> Weak_not
+    | Strong_not, false -> Strong_not
+    | Weak_not, true -> Weak_taken
+    | Weak_not, false -> Strong_not
+    | Weak_taken, true -> Strong_taken
+    | Weak_taken, false -> Weak_not
+    | Strong_taken, true -> Strong_taken
+    | Strong_taken, false -> Weak_taken)
+
+(** [record t taken] predicts, scores, and trains on one dynamic branch. *)
+let record t taken =
+  t.predictions <- t.predictions + 1;
+  if predict t <> taken then t.mispredictions <- t.mispredictions + 1;
+  update t taken
+
+let misprediction_rate t =
+  if t.predictions = 0 then 0.0
+  else float_of_int t.mispredictions /. float_of_int t.predictions

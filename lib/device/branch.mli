@@ -1,0 +1,22 @@
+(** Two-bit saturating-counter branch predictor.
+
+    Mispredictions drive Figures 1 and 15: a selectivity-0.5 selection
+    mispredicts roughly half its branches on a speculating CPU while
+    selectivities near 0 or 1 are nearly free.  The executor streams every
+    dynamic branch outcome through one of these; the cost model charges
+    the misprediction count. *)
+
+type t
+
+val create : unit -> t
+
+(** Current prediction (true = taken). *)
+val predict : t -> bool
+
+(** Train on an outcome without scoring. *)
+val update : t -> bool -> unit
+
+(** [record t taken] predicts, scores, and trains on one dynamic branch. *)
+val record : t -> bool -> unit
+
+val misprediction_rate : t -> float

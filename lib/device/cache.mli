@@ -1,0 +1,54 @@
+(** Cache modelling.
+
+    Two layers: {!Sim}, a faithful set-associative LRU simulator (used by
+    the test suite to validate the model), and {!Analytic}, the closed-form
+    miss model the cost layer uses at scale.  Access sites are classified
+    structurally by the kernel executor, so no address trace is needed for
+    full-size runs. *)
+
+(** Set-associative LRU cache simulator (one level). *)
+module Sim : sig
+  type t = {
+    sets : int;
+    assoc : int;
+    line_bytes : int;
+    lines : int array array;  (** [set -> way -> tag], -1 = invalid *)
+    stamp : int array array;  (** LRU stamps *)
+    mutable clock : int;
+    mutable accesses : int;
+    mutable misses : int;
+  }
+
+  val create : Config.cache_level -> t
+
+  (** [access t addr] touches the byte address; returns [true] on hit. *)
+  val access : t -> int -> bool
+
+  val miss_rate : t -> float
+end
+
+(** Structural classification of a memory-access site. *)
+type pattern =
+  | Sequential  (** streaming: consecutive elements *)
+  | Strided of int  (** fixed byte stride *)
+  | Random of int  (** uniform within a working set of this many bytes *)
+  | Single_hot  (** all accesses to one line (predicated null lookups) *)
+
+val pp_pattern : Format.formatter -> pattern -> unit
+
+module Analytic : sig
+  (** Expected hit rate of a site at one cache level, at steady state. *)
+  val hit_fraction : Config.cache_level -> pattern -> elem_bytes:int -> float
+
+  type site_cost = {
+    dram_bytes : float;  (** bandwidth-relevant traffic to memory *)
+    dram_accesses : float;  (** latency-relevant misses to memory *)
+    avg_latency_cycles : float;  (** average hit latency across levels *)
+  }
+
+  (** Expected memory behaviour of [count] accesses of [elem_bytes] each:
+      streaming patterns pay bandwidth for their line leaders (prefetched,
+      no exposed latency); random patterns cascade through the hierarchy
+      by working-set ratio; hot lines stay in L1. *)
+  val site : Config.t -> pattern -> count:int -> elem_bytes:int -> site_cost
+end

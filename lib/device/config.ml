@@ -1,0 +1,126 @@
+(** Device models.
+
+    The paper evaluates on a Skylake Xeon E3-1270v5 (4 cores / 8 threads,
+    3.6 GHz, AVX2) and a GeForce GTX TITAN X (3072 CUDA cores, ~1 GHz,
+    ~300 GB/s, 12 GB).  These records parameterize the cost model
+    ({!Cost}) with the architectural properties that drive every effect the
+    evaluation studies: speculation and its misprediction penalty, SIMD
+    lane width, core counts, the cache hierarchy, memory bandwidth and
+    latency, latency hiding through massive multithreading, GPU branch
+    divergence, and the GPU's deliberately weak integer ALUs (the paper's
+    explanation for Figure 16c). *)
+
+type cache_level = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  latency_cycles : float;  (** hit latency *)
+}
+
+type t = {
+  name : string;
+  cores : int;  (** independent execution units (CPU cores / GPU SMs×warps) *)
+  simd_lanes : int;  (** data-parallel lanes usable per core *)
+  freq_ghz : float;
+  ipc : float;  (** sustained scalar instructions per cycle per lane *)
+  int_op_cycles : float;
+  float_op_cycles : float;
+  speculates : bool;  (** out-of-order speculation on branches *)
+  branch_penalty_cycles : float;  (** misprediction penalty when speculating *)
+  divergence_factor : float;
+      (** without speculation (GPU): guarded code costs both sides; a
+          guarded operation is multiplied by this factor *)
+  caches : cache_level list;  (** inner to outer *)
+  mem_bandwidth_gbs : float;
+  mem_latency_ns : float;
+  mlp : float;  (** outstanding misses per core (memory-level parallelism) *)
+  latency_hiding : float;
+      (** fraction of memory latency hidden by hardware multithreading *)
+  kernel_launch_us : float;  (** per-kernel dispatch overhead *)
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let skylake_caches =
+  [
+    { size_bytes = kib 32; line_bytes = 64; assoc = 8; latency_cycles = 4.0 };
+    { size_bytes = kib 256; line_bytes = 64; assoc = 4; latency_cycles = 12.0 };
+    { size_bytes = mib 8; line_bytes = 64; assoc = 16; latency_cycles = 42.0 };
+  ]
+
+(** One Skylake core, scalar code: the "Single Thread" series of Figure 1
+    and the "Implemented in C" sub-figures. *)
+let cpu_single =
+  {
+    name = "cpu-1t";
+    cores = 1;
+    simd_lanes = 1;
+    freq_ghz = 3.6;
+    ipc = 1.6;
+    int_op_cycles = 1.0;
+    float_op_cycles = 1.0;
+    speculates = true;
+    branch_penalty_cycles = 16.0;
+    divergence_factor = 1.0;
+    caches = skylake_caches;
+    mem_bandwidth_gbs = 18.0 (* single-core streaming limit *);
+    mem_latency_ns = 85.0;
+    mlp = 10.0;
+    latency_hiding = 0.0;
+    kernel_launch_us = 0.0;
+  }
+
+(** All cores, scalar code (TBB-style multithreading). *)
+let cpu_multi =
+  {
+    cpu_single with
+    name = "cpu-mt";
+    cores = 4;
+    mem_bandwidth_gbs = 34.0;
+    kernel_launch_us = 4.0 (* thread-pool fork/join *);
+  }
+
+(** All cores with AVX2 SIMD lanes: what the Voodoo OpenCL backend reaches
+    on the CPU (the paper: "the use of SIMD instructions by the OpenCL
+    compiler"). *)
+let cpu_simd =
+  { cpu_multi with name = "cpu-simd"; simd_lanes = 8; ipc = 1.2 }
+
+(** GTX TITAN X-like device.  No speculation (divergence instead), huge
+    bandwidth, latency hidden by warps, weak integer units. *)
+let gpu =
+  {
+    name = "gpu";
+    cores = 24 (* SMs *);
+    simd_lanes = 128 (* resident warps x 32 lanes, effective *);
+    freq_ghz = 1.0;
+    ipc = 1.0;
+    int_op_cycles = 4.0 (* integer throughput sacrificed for float *);
+    float_op_cycles = 1.0;
+    speculates = false;
+    branch_penalty_cycles = 0.0;
+    divergence_factor = 1.8;
+    caches =
+      [
+        { size_bytes = kib 48; line_bytes = 128; assoc = 6; latency_cycles = 30.0 };
+        { size_bytes = mib 3; line_bytes = 128; assoc = 16; latency_cycles = 200.0 };
+      ];
+    mem_bandwidth_gbs = 300.0;
+    mem_latency_ns = 400.0;
+    mlp = 64.0;
+    latency_hiding = 0.92;
+    kernel_launch_us = 8.0;
+  }
+
+(** Total parallel lanes the device can apply to a data-parallel kernel. *)
+let total_lanes d = d.cores * d.simd_lanes
+
+let by_name = function
+  | "cpu-1t" -> Some cpu_single
+  | "cpu-mt" -> Some cpu_multi
+  | "cpu-simd" -> Some cpu_simd
+  | "gpu" -> Some gpu
+  | _ -> None
+
+let all = [ cpu_single; cpu_multi; cpu_simd; gpu ]

@@ -1,0 +1,59 @@
+(** Device models.
+
+    The paper evaluates on a Skylake Xeon E3-1270v5 (4 cores / 8 threads,
+    3.6 GHz, AVX2) and a GeForce GTX TITAN X (3072 CUDA cores, ~1 GHz,
+    ~300 GB/s).  These records parameterize the cost model with the
+    architectural properties the evaluation studies: speculation and its
+    misprediction penalty, SIMD lane width, core counts, the cache
+    hierarchy, memory bandwidth and latency, latency hiding through
+    massive multithreading, GPU branch divergence, and the GPU's weak
+    integer ALUs (the paper's explanation for Figure 16c). *)
+
+type cache_level = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  latency_cycles : float;  (** hit latency *)
+}
+
+type t = {
+  name : string;
+  cores : int;  (** independent execution units *)
+  simd_lanes : int;  (** data-parallel lanes usable per core *)
+  freq_ghz : float;
+  ipc : float;  (** sustained scalar instructions/cycle per lane *)
+  int_op_cycles : float;
+  float_op_cycles : float;
+  speculates : bool;  (** out-of-order speculation on branches *)
+  branch_penalty_cycles : float;  (** misprediction penalty when speculating *)
+  divergence_factor : float;
+      (** without speculation (GPU): guarded operations cost both sides *)
+  caches : cache_level list;  (** inner to outer *)
+  mem_bandwidth_gbs : float;
+  mem_latency_ns : float;
+  mlp : float;  (** outstanding misses per core *)
+  latency_hiding : float;
+      (** fraction of memory latency hidden by hardware multithreading *)
+  kernel_launch_us : float;  (** per-kernel dispatch overhead *)
+}
+
+(** One Skylake core, scalar code: the "Single Thread" series of Figure 1
+    and the "Implemented in C" sub-figures. *)
+val cpu_single : t
+
+(** All cores, scalar code (TBB-style multithreading). *)
+val cpu_multi : t
+
+(** All cores with AVX2 SIMD lanes: what the Voodoo OpenCL backend reaches
+    on the CPU. *)
+val cpu_simd : t
+
+(** GTX TITAN X-like device: no speculation, huge bandwidth, latency hidden
+    by warps, weak integer units. *)
+val gpu : t
+
+(** Total parallel lanes the device applies to a data-parallel kernel. *)
+val total_lanes : t -> int
+
+val by_name : string -> t option
+val all : t list

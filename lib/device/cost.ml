@@ -1,0 +1,115 @@
+(** The cost model: events × device → seconds.
+
+    A roofline-style model per kernel.  Compute cycles, branch-misprediction
+    stalls and average cache-hit latency belong to the execution side and
+    are divided by the parallelism the kernel actually exposes (its extent,
+    capped by the device's lanes); DRAM traffic is priced against the
+    device bandwidth; DRAM latency is divided by the device's memory-level
+    parallelism and the latency-hiding factor.  The kernel's time is the
+    max of the execution and bandwidth sides plus the exposed latency, plus
+    a launch overhead per kernel.
+
+    On non-speculating devices (GPUs) branches cost nothing, but guarded
+    operations pay the divergence factor and integer operations pay the
+    device's weak integer throughput — the two effects behind Figures 15c
+    and 16c. *)
+
+type breakdown = {
+  compute_s : float;
+  branch_s : float;
+  bandwidth_s : float;
+  latency_s : float;
+  launch_s : float;
+  total_s : float;
+}
+
+let zero =
+  {
+    compute_s = 0.0;
+    branch_s = 0.0;
+    bandwidth_s = 0.0;
+    latency_s = 0.0;
+    launch_s = 0.0;
+    total_s = 0.0;
+  }
+
+let add a b =
+  {
+    compute_s = a.compute_s +. b.compute_s;
+    branch_s = a.branch_s +. b.branch_s;
+    bandwidth_s = a.bandwidth_s +. b.bandwidth_s;
+    latency_s = a.latency_s +. b.latency_s;
+    launch_s = a.launch_s +. b.launch_s;
+    total_s = a.total_s +. b.total_s;
+  }
+
+(** [kernel d ~extent events] prices one kernel whose parallel extent is
+    [extent] work items. *)
+let kernel (d : Config.t) ~extent (ev : Events.t) : breakdown =
+  let freq_hz = d.freq_ghz *. 1e9 in
+  let parallel = float_of_int (max 1 (min extent (Config.total_lanes d))) in
+  (* --- compute --- *)
+  let divergence =
+    if d.speculates then 0.0 else ev.guarded_ops *. (d.divergence_factor -. 1.0)
+  in
+  let compute_cycles =
+    ((ev.int_ops +. divergence) *. d.int_op_cycles
+    +. ev.float_ops *. d.float_op_cycles)
+    /. d.ipc
+  in
+  (* --- memory --- *)
+  let dram_bytes = ref 0.0
+  and dram_accesses = ref 0.0
+  and hit_latency_cycles = ref 0.0 in
+  Hashtbl.iter
+    (fun _ (s : Events.mem_site) ->
+      let c =
+        Cache.Analytic.site d s.pattern
+          ~count:(int_of_float s.count)
+          ~elem_bytes:s.elem_bytes
+      in
+      dram_bytes := !dram_bytes +. c.dram_bytes;
+      dram_accesses := !dram_accesses +. c.dram_accesses;
+      (* out-of-order execution pipelines most hit latency — except for
+         accesses that depend on a value loaded in the same iteration *)
+      let overlap =
+        match s.serial, s.pattern with
+        | true, Cache.Random _ -> 1.0
+        | _ -> 0.25
+      in
+      hit_latency_cycles :=
+        !hit_latency_cycles +. (overlap *. c.avg_latency_cycles *. s.count))
+    ev.mem;
+  let compute_cycles = compute_cycles +. !hit_latency_cycles in
+  let compute_s = compute_cycles /. freq_hz /. parallel in
+  (* --- branches --- *)
+  let branch_s =
+    if d.speculates then
+      let cores_used = float_of_int (max 1 (min extent d.cores)) in
+      Events.mispredictions ev *. d.branch_penalty_cycles /. freq_hz /. cores_used
+    else 0.0
+  in
+  (* --- bandwidth --- *)
+  let bandwidth_s = !dram_bytes /. (d.mem_bandwidth_gbs *. 1e9) in
+  (* --- exposed DRAM latency --- *)
+  let outstanding = float_of_int d.cores *. d.mlp in
+  let latency_s =
+    !dram_accesses *. (d.mem_latency_ns *. 1e-9) *. (1.0 -. d.latency_hiding)
+    /. outstanding
+  in
+  let launch_s = d.kernel_launch_us *. 1e-6 in
+  let execution = compute_s +. branch_s in
+  let total_s = Float.max execution bandwidth_s +. latency_s +. launch_s in
+  { compute_s; branch_s; bandwidth_s; latency_s; launch_s; total_s }
+
+(** [total d kernels] prices a fragment sequence: a list of
+    [(extent, events)] pairs, executed back to back (global barriers
+    between them). *)
+let total d kernels =
+  List.fold_left (fun acc (extent, ev) -> add acc (kernel d ~extent ev)) zero
+    kernels
+
+let pp ppf b =
+  Fmt.pf ppf
+    "total=%.6fs (compute=%.6f branch=%.6f bw=%.6f lat=%.6f launch=%.6f)"
+    b.total_s b.compute_s b.branch_s b.bandwidth_s b.latency_s b.launch_s

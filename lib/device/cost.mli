@@ -1,0 +1,30 @@
+(** The cost model: events × device → seconds.
+
+    A roofline-style model per kernel: compute cycles, branch-misprediction
+    stalls and exposed cache-hit latency form the execution side, divided
+    by the parallelism the kernel exposes (extent, capped by device lanes);
+    DRAM traffic is priced against bandwidth; DRAM latency is divided by
+    memory-level parallelism and latency hiding.  Kernel time is
+    [max(execution, bandwidth) + latency + launch].  Non-speculating
+    devices pay divergence on guarded operations and their weak integer
+    throughput instead of branch penalties. *)
+
+type breakdown = {
+  compute_s : float;
+  branch_s : float;
+  bandwidth_s : float;
+  latency_s : float;
+  launch_s : float;
+  total_s : float;
+}
+
+val zero : breakdown
+val add : breakdown -> breakdown -> breakdown
+
+(** [kernel d ~extent events] prices one kernel of [extent] work items. *)
+val kernel : Config.t -> extent:int -> Events.t -> breakdown
+
+(** [total d kernels] prices a kernel sequence (global barriers between). *)
+val total : Config.t -> (int * Events.t) list -> breakdown
+
+val pp : Format.formatter -> breakdown -> unit

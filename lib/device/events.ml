@@ -1,0 +1,156 @@
+(** Event accounting for executed kernels.
+
+    The kernel executor records, per kernel, the dynamic work it performed:
+    scalar ALU operations by type, memory accesses grouped by site (with a
+    structural {!Cache.pattern}), dynamic branch outcomes (streamed through
+    a {!Branch.t} predictor per site), and guarded operations (which
+    diverge on non-speculating devices).  The cost model prices these
+    against a {!Config.t}.
+
+    Counts are [float] so that a run executed at a small scale can be
+    {!scale}d to the paper's data sizes: per-tuple statistics of the
+    data-parallel plans are scale-invariant. *)
+
+type mem_site = {
+  pattern : Cache.pattern;
+  elem_bytes : int;
+  serial : bool;
+      (** the access depends on a value produced in the same iteration
+          (e.g. the second column of a single-loop multi-column lookup):
+          its cache-hit latency cannot be overlapped *)
+  scalable : bool;
+      (** the working set grows with the data scale (key-domain structures);
+          false for deliberately cache-sized buffers (X100 chunks) *)
+  mutable count : float;
+}
+
+type branch_site = {
+  predictor : Branch.t;
+  mutable total : float;
+  mutable taken : float;
+}
+
+type t = {
+  mutable int_ops : float;
+  mutable float_ops : float;
+  mutable guarded_ops : float;
+  mem : (string, mem_site) Hashtbl.t;
+  branches : (string, branch_site) Hashtbl.t;
+}
+
+let create () =
+  {
+    int_ops = 0.0;
+    float_ops = 0.0;
+    guarded_ops = 0.0;
+    mem = Hashtbl.create 8;
+    branches = Hashtbl.create 8;
+  }
+
+let alu t (dt : Voodoo_vector.Scalar.dtype) n =
+  match dt with
+  | Int -> t.int_ops <- t.int_ops +. float_of_int n
+  | Float -> t.float_ops <- t.float_ops +. float_of_int n
+
+(** [guarded t n] records [n] operations under a predicate guard. *)
+let guarded t n = t.guarded_ops <- t.guarded_ops +. float_of_int n
+
+(** [mem t ~site ~pattern ~elem_bytes n] records [n] accesses. *)
+let mem ?(serial = false) ?(scalable = true) t ~site ~pattern ~elem_bytes n =
+  let s =
+    match Hashtbl.find_opt t.mem site with
+    | Some s -> s
+    | None ->
+        let s = { pattern; elem_bytes; serial; scalable; count = 0.0 } in
+        Hashtbl.replace t.mem site s;
+        s
+  in
+  s.count <- s.count +. float_of_int n
+
+(** [branch t ~site taken] records one dynamic branch outcome, streamed
+    through the site's two-bit predictor. *)
+let branch t ~site taken =
+  let s =
+    match Hashtbl.find_opt t.branches site with
+    | Some s -> s
+    | None ->
+        let s = { predictor = Branch.create (); total = 0.0; taken = 0.0 } in
+        Hashtbl.replace t.branches site s;
+        s
+  in
+  s.total <- s.total +. 1.0;
+  if taken then s.taken <- s.taken +. 1.0;
+  Branch.record s.predictor taken
+
+let mispredictions t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc +. (Branch.misprediction_rate s.predictor *. s.total))
+    t.branches 0.0
+
+let total_branches t = Hashtbl.fold (fun _ s acc -> acc +. s.total) t.branches 0.0
+
+(** [scale t k] multiplies all counts by [k] (misprediction and taken rates
+    are preserved).  Used to report paper-scale numbers from runs executed
+    at a smaller scale. *)
+let scale t k =
+  t.int_ops <- t.int_ops *. k;
+  t.float_ops <- t.float_ops *. k;
+  t.guarded_ops <- t.guarded_ops *. k;
+  Hashtbl.iter (fun _ s -> s.count <- s.count *. k) t.mem;
+  Hashtbl.iter
+    (fun _ s ->
+      s.total <- s.total *. k;
+      s.taken <- s.taken *. k)
+    t.branches
+
+(** [scale_working_sets t ~k ~min_bytes] grows the working sets of random
+    access sites by [k], for sites at least [min_bytes] large.  Used when
+    reporting a larger data scale than was executed: key-domain-proportional
+    structures (join marks, group accumulators over customer/part/supplier
+    keys) grow with the scale factor, while small fixed domains (nations,
+    flags, cache-sized chunks) do not. *)
+let scale_working_sets t ~k ~min_bytes =
+  let scaled = Hashtbl.create (Hashtbl.length t.mem) in
+  Hashtbl.iter
+    (fun site (s : mem_site) ->
+      let s =
+        match s.pattern with
+        | Cache.Random ws when s.scalable && ws >= min_bytes ->
+            { s with pattern = Cache.Random (int_of_float (float_of_int ws *. k)) }
+        | _ -> s
+      in
+      Hashtbl.replace scaled site s)
+    t.mem;
+  Hashtbl.reset t.mem;
+  Hashtbl.iter (Hashtbl.replace t.mem) scaled
+
+(** [merge ~into src] accumulates [src] into [into] (predictor state of
+    [src] wins for shared sites; sites are usually distinct). *)
+let merge ~into (src : t) =
+  into.int_ops <- into.int_ops +. src.int_ops;
+  into.float_ops <- into.float_ops +. src.float_ops;
+  into.guarded_ops <- into.guarded_ops +. src.guarded_ops;
+  Hashtbl.iter
+    (fun site s ->
+      match Hashtbl.find_opt into.mem site with
+      | Some s' -> s'.count <- s'.count +. s.count
+      | None -> Hashtbl.replace into.mem site { s with count = s.count })
+    src.mem;
+  Hashtbl.iter
+    (fun site s ->
+      match Hashtbl.find_opt into.branches site with
+      | Some s' ->
+          s'.total <- s'.total +. s.total;
+          s'.taken <- s'.taken +. s.taken
+      | None -> Hashtbl.replace into.branches site s)
+    src.branches
+
+let pp ppf t =
+  Fmt.pf ppf "int=%.0f float=%.0f guarded=%.0f branches=%.0f (mispred %.0f)"
+    t.int_ops t.float_ops t.guarded_ops (total_branches t) (mispredictions t);
+  Hashtbl.iter
+    (fun site s ->
+      Fmt.pf ppf "@ mem[%s]=%.0fx%dB %a" site s.count s.elem_bytes
+        Cache.pp_pattern s.pattern)
+    t.mem

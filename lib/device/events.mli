@@ -1,0 +1,72 @@
+(** Event accounting for executed kernels.
+
+    The kernel executor records, per kernel, the dynamic work it performed:
+    scalar ALU operations by type, memory accesses grouped by site (with a
+    structural {!Cache.pattern}), dynamic branch outcomes (streamed through
+    a {!Branch.t} predictor per site), and guarded operations (which
+    diverge on non-speculating devices).  The cost model prices these
+    against a {!Config.t}.  Counts are [float] so that a run executed at a
+    small scale can be {!scale}d to the paper's data sizes. *)
+
+type mem_site = {
+  pattern : Cache.pattern;
+  elem_bytes : int;
+  serial : bool;
+      (** depends on a value produced in the same iteration (e.g. the
+          second column of a single-loop multi-column lookup): its
+          cache-hit latency cannot be overlapped *)
+  scalable : bool;
+      (** the working set grows with the data scale (key-domain
+          structures); false for deliberately cache-sized buffers *)
+  mutable count : float;
+}
+
+type branch_site = {
+  predictor : Branch.t;
+  mutable total : float;
+  mutable taken : float;
+}
+
+type t = {
+  mutable int_ops : float;
+  mutable float_ops : float;
+  mutable guarded_ops : float;
+  mem : (string, mem_site) Hashtbl.t;
+  branches : (string, branch_site) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val alu : t -> Voodoo_vector.Scalar.dtype -> int -> unit
+
+(** [guarded t n] records [n] operations under a predicate guard. *)
+val guarded : t -> int -> unit
+
+(** [mem t ~site ~pattern ~elem_bytes n] records [n] accesses; [serial]
+    marks same-iteration-dependent lookups, [scalable:false] marks
+    cache-sized buffers whose working set must not grow with the reported
+    data scale. *)
+val mem :
+  ?serial:bool -> ?scalable:bool -> t -> site:string ->
+  pattern:Cache.pattern -> elem_bytes:int -> int -> unit
+
+(** [branch t ~site taken] records one dynamic branch outcome, streamed
+    through the site's two-bit predictor. *)
+val branch : t -> site:string -> bool -> unit
+
+val mispredictions : t -> float
+val total_branches : t -> float
+
+(** [scale t k] multiplies all counts by [k]; misprediction and taken rates
+    are preserved. *)
+val scale : t -> float -> unit
+
+(** [scale_working_sets t ~k ~min_bytes] grows the working sets of random
+    sites at least [min_bytes] large by [k] (key-domain-proportional
+    structures grow with the reported scale; small fixed domains do not). *)
+val scale_working_sets : t -> k:float -> min_bytes:int -> unit
+
+(** [merge ~into src] accumulates [src] into [into]. *)
+val merge : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

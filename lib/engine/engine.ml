@@ -1,0 +1,95 @@
+(** Query engines: ways of answering a relational plan.
+
+    - {!reference}: the trusted naive evaluator (no Voodoo);
+    - {!interp}: lower to Voodoo, run the reference interpreter backend;
+    - {!compiled}: lower to Voodoo, run the compiling (OpenCL-style)
+      backend; also reports the executed kernels for the cost model.
+
+    All three return rows in the same shape, so query results are directly
+    comparable. *)
+
+open Voodoo_relational
+module Backend = Voodoo_compiler.Backend
+module Exec = Voodoo_compiler.Exec
+module Interp = Voodoo_interp.Interp
+
+type rows = Reference.row list
+
+(** Result columns of a grouped plan: keys then aggregate names. *)
+let result_columns (plan : Ra.t) =
+  match plan with
+  | Ra.GroupAgg { keys; aggs; _ } -> keys @ List.map (fun (a : Ra.agg) -> a.name) aggs
+  | _ -> invalid_arg "Engine.result_columns: root must be a GroupAgg"
+
+let canon plan rows =
+  Reference.sort_rows (Reference.project_rows (result_columns plan) rows)
+
+let reference (cat : Catalog.t) (plan : Ra.t) : rows = Reference.run cat plan
+
+let interp ?lower_opts (cat : Catalog.t) (plan : Ra.t) : rows =
+  let l = Lower.lower ?options:lower_opts cat plan in
+  let env = Interp.run cat.store l.program in
+  Lower.fetch cat l (fun id -> Hashtbl.find env id)
+
+type compiled_run = {
+  rows : rows;
+  kernels : (int * Voodoo_device.Events.t) list;
+  plan : Voodoo_compiler.Fragment.plan;
+}
+
+let compiled_full ?lower_opts ?backend_opts (cat : Catalog.t) (plan : Ra.t) :
+    compiled_run =
+  let l = Lower.lower ?options:lower_opts cat plan in
+  let c =
+    Backend.compile ?options:backend_opts ~store:cat.store l.program
+  in
+  let r = Backend.run c in
+  {
+    rows = Lower.fetch cat l (fun id -> Exec.output r id);
+    kernels = r.kernels;
+    plan = c.plan;
+  }
+
+let compiled ?lower_opts ?backend_opts cat plan : rows =
+  (compiled_full ?lower_opts ?backend_opts cat plan).rows
+
+(** [agree plan rows1 rows2] compares results modulo row order, restricted
+    to the plan's result columns. *)
+let agree ?tol (plan : Ra.t) rows1 rows2 =
+  Reference.rows_equal ?tol (canon plan rows1) (canon plan rows2)
+
+(** Build a table from result rows (used to register intermediate results,
+    e.g. TPC-H Q20's inner aggregate). *)
+let table_of_rows ~name ~(columns : (string * Table.coltype) list) (rows : rows) :
+    Table.t =
+  let n = List.length rows in
+  let cols =
+    List.map
+      (fun (cname, ctype) ->
+        let get r =
+          match List.assoc_opt cname r with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "table_of_rows: no column %s" cname)
+        in
+        match ctype with
+        | Table.TFloat ->
+            let arr = Array.make n 0.0 in
+            List.iteri
+              (fun i r ->
+                match get r with
+                | Some v -> arr.(i) <- Voodoo_vector.Scalar.to_float v
+                | None -> ())
+              rows;
+            Table.float_column ~name:cname arr
+        | Table.TInt | Table.TDate | Table.TStr ->
+            let arr = Array.make n 0 in
+            List.iteri
+              (fun i r ->
+                match get r with
+                | Some v -> arr.(i) <- Voodoo_vector.Scalar.to_int v
+                | None -> ())
+              rows;
+            Table.int_column ~name:cname arr)
+      columns
+  in
+  Table.make ~name cols

@@ -1,0 +1,47 @@
+(** Query engines: ways of answering a relational plan.
+
+    {!reference} (trusted naive evaluator), {!interp} (lower to Voodoo, run
+    the interpreter backend) and {!compiled} (lower, run the compiling
+    backend; {!compiled_full} also reports the executed kernels for the
+    cost model).  All return rows in the same shape, so results are
+    directly comparable. *)
+
+open Voodoo_relational
+
+type rows = Reference.row list
+
+(** Result columns of a grouped plan: keys then aggregate names.
+    Raises [Invalid_argument] for non-[GroupAgg] roots. *)
+val result_columns : Ra.t -> string list
+
+(** Canonical comparison form: project to result columns, sort rows. *)
+val canon : Ra.t -> rows -> rows
+
+val reference : Catalog.t -> Ra.t -> rows
+
+val interp : ?lower_opts:Lower.options -> Catalog.t -> Ra.t -> rows
+
+type compiled_run = {
+  rows : rows;
+  kernels : (int * Voodoo_device.Events.t) list;
+  plan : Voodoo_compiler.Fragment.plan;
+}
+
+val compiled_full :
+  ?lower_opts:Lower.options ->
+  ?backend_opts:Voodoo_compiler.Codegen.options ->
+  Catalog.t -> Ra.t -> compiled_run
+
+val compiled :
+  ?lower_opts:Lower.options ->
+  ?backend_opts:Voodoo_compiler.Codegen.options ->
+  Catalog.t -> Ra.t -> rows
+
+(** [agree plan rows1 rows2] compares results modulo row order, restricted
+    to the plan's result columns. *)
+val agree : ?tol:float -> Ra.t -> rows -> rows -> bool
+
+(** Build a table from result rows (used to register intermediate results,
+    e.g. TPC-H Q20's inner aggregate). *)
+val table_of_rows :
+  name:string -> columns:(string * Table.coltype) list -> rows -> Table.t

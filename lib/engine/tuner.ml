@@ -1,0 +1,76 @@
+(** A cost-based strategy chooser — the paper's future-work direction.
+
+    The paper deliberately does not choose between the hardware-conscious
+    techniques it can express ("we argue that these could eventually be
+    chosen via an optimizer that generates Voodoo code").  This module is
+    a minimal such optimizer: it enumerates the lowering strategies the
+    frontend exposes (branching / predication / vectorization / layout
+    transformation, over a set of control-vector grain sizes), compiles
+    and executes each candidate once at the catalog's (small) scale, prices
+    the recorded events on the target device model, and returns the
+    cheapest plan.  Because the price is device-specific, the same query
+    tunes differently for different devices — the tunability thesis,
+    mechanized. *)
+
+open Voodoo_relational
+open Voodoo_device
+
+type candidate = {
+  label : string;
+  options : Lower.options;
+  cost_s : float;
+  rows : Engine.rows;
+}
+
+let strategies =
+  let base = Lower.default_options in
+  [
+    ("branching/4k", base);
+    ("branching/64k", { base with parallel_grain = 65536 });
+    ("predicated", { base with predication = true });
+    ("vectorized/4k", { base with vectorized = true });
+    ("vectorized/16k", { base with vectorized = true; parallel_grain = 16384 });
+    ("layout-transform", { base with layout_transform = true });
+  ]
+
+(** [explore cat plan device] prices every applicable strategy (strategies
+    a plan does not support — e.g. predication with Min/Max — are skipped)
+    and returns them sorted cheapest first.  All candidates' rows are
+    answer-checked against each other. *)
+let explore ?(scale = 1.0) (cat : Catalog.t) (plan : Ra.t) (device : Config.t) :
+    candidate list =
+  let candidates =
+    List.filter_map
+      (fun (label, options) ->
+        match Engine.compiled_full ~lower_opts:options cat plan with
+        | r ->
+            List.iter (fun (_, ev) -> Events.scale ev scale) r.kernels;
+            let kernels =
+              List.map
+                (fun (e, ev) ->
+                  (int_of_float (float_of_int e *. scale), ev))
+                r.kernels
+            in
+            Some
+              {
+                label;
+                options;
+                cost_s = (Cost.total device kernels).total_s;
+                rows = r.rows;
+              }
+        | exception Lower.Unsupported _ -> None)
+      strategies
+  in
+  (match candidates with
+  | first :: rest ->
+      List.iter
+        (fun c ->
+          if not (Engine.agree plan first.rows c.rows) then
+            invalid_arg
+              (Printf.sprintf "Tuner: strategy %s changes the answer" c.label))
+        rest
+  | [] -> invalid_arg "Tuner: no applicable strategy");
+  List.sort (fun a b -> Float.compare a.cost_s b.cost_s) candidates
+
+(** The cheapest strategy for [plan] on [device]. *)
+let choose ?scale cat plan device = List.hd (explore ?scale cat plan device)

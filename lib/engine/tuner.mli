@@ -1,0 +1,29 @@
+(** A cost-based lowering-strategy chooser: the minimal version of the
+    optimizer the paper leaves as future work ("these could eventually be
+    chosen via an optimizer that generates Voodoo code").  Enumerates the
+    frontend's lowering strategies, executes each candidate at catalog
+    scale, prices the events on a device model, and picks the cheapest —
+    so the same query tunes differently per device. *)
+
+open Voodoo_relational
+open Voodoo_device
+
+type candidate = {
+  label : string;
+  options : Lower.options;
+  cost_s : float;
+  rows : Engine.rows;
+}
+
+(** The strategy space explored. *)
+val strategies : (string * Lower.options) list
+
+(** [explore ?scale cat plan device] prices every applicable strategy
+    (events scaled by [scale] first), cheapest first; all candidates are
+    answer-checked against each other.
+    Raises [Invalid_argument] if any strategy changes the answer. *)
+val explore :
+  ?scale:float -> Catalog.t -> Ra.t -> Config.t -> candidate list
+
+(** The cheapest strategy. *)
+val choose : ?scale:float -> Catalog.t -> Ra.t -> Config.t -> candidate

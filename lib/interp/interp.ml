@@ -1,0 +1,308 @@
+(** The reference interpreter backend (paper Section 3.2).
+
+    A classic bulk processor: every statement evaluates to a fully
+    materialized {!Voodoo_vector.Svector.t}, which makes all intermediates
+    inspectable.  It is deliberately simple — the executable specification
+    of the algebra against which the compiling backend is property-tested —
+    and is not built for speed. *)
+
+open Voodoo_vector
+open Voodoo_core
+
+type env = (Op.id, Svector.t) Hashtbl.t
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let lookup (env : env) v =
+  match Hashtbl.find_opt env v with
+  | Some x -> x
+  | None -> err "unbound vector %s" v
+
+(* Resolve a builder-defaulted (root) keypath to the unique leaf column. *)
+let leaf vec (kp : Keypath.t) =
+  let schema = Svector.schema vec in
+  match List.assoc_opt kp schema with
+  | Some _ -> kp
+  | None -> (
+      match List.filter (fun (kp', _) -> Keypath.is_prefix kp kp') schema with
+      | [ (leaf, _) ] -> leaf
+      | [] -> err "no attribute %s" (Keypath.to_string kp)
+      | _ -> err "ambiguous attribute %s" (Keypath.to_string kp))
+
+let leaf_column vec kp = Svector.column vec (leaf vec kp)
+
+let src_column env (s : Op.src) =
+  let vec = lookup env s.v in
+  (vec, leaf_column vec s.kp)
+
+(** Maximal runs of equal adjacent values of [fold] (or one single run when
+    [fold] is [None]): list of (start, length). *)
+let runs_of_fold vec (fold : Keypath.t option) =
+  let n = Svector.length vec in
+  match fold with
+  | None -> [ (0, n) ]
+  | Some kp ->
+      let col = leaf_column vec kp in
+      let rec go start i acc =
+        if i >= n then List.rev ((start, n - start) :: acc)
+        else if Column.get col i <> Column.get col (i - 1) then
+          go i (i + 1) ((start, i - start) :: acc)
+        else go start (i + 1) acc
+      in
+      if n = 0 then [] else go 0 1 []
+
+let broadcast_get col i =
+  if Column.length col = 1 then Column.get col 0 else Column.get col i
+
+let eval_binary op out (lvec, lcol) (rvec, rcol) =
+  let ln = Svector.length lvec and rn = Svector.length rvec in
+  let n =
+    if ln = 1 then rn else if rn = 1 then ln else min ln rn
+  in
+  let dt =
+    Op.binop_dtype op (Column.dtype lcol) (Column.dtype rcol)
+  in
+  let result = Column.create dt n in
+  for i = 0 to n - 1 do
+    match broadcast_get lcol i, broadcast_get rcol i with
+    | Some a, Some b -> Column.set result i (Op.apply_binop op a b)
+    | None, _ | _, None -> () (* ε propagates *)
+  done;
+  Svector.single out result
+
+let eval_gather data (pvec, pcol) =
+  let n = Svector.length pvec in
+  let dn = Svector.length data in
+  let fields =
+    List.map
+      (fun (kp, dt) ->
+        let src = Svector.column data kp in
+        let out = Column.create dt n in
+        for i = 0 to n - 1 do
+          match Column.get pcol i with
+          | Some p ->
+              let p = Scalar.to_int p in
+              if p >= 0 && p < dn then begin
+                match Column.get src p with
+                | Some v -> Column.set out i v
+                | None -> ()
+              end
+          | None -> ()
+        done;
+        (kp, out))
+      (Svector.schema data)
+  in
+  Svector.of_columns fields
+
+let eval_scatter data shape (pvec, pcol) =
+  let out_n = Svector.length shape in
+  let n = min (Svector.length data) (Svector.length pvec) in
+  let fields =
+    List.map
+      (fun (kp, dt) ->
+        let src = Svector.column data kp in
+        let out = Column.create dt out_n in
+        for i = 0 to n - 1 do
+          match Column.get pcol i with
+          | Some p ->
+              let p = Scalar.to_int p in
+              if p >= 0 && p < out_n then begin
+                match Column.get src i with
+                | Some v -> Column.set out p v
+                | None -> Column.set_empty out p
+              end
+          | None -> ()
+        done;
+        (kp, out))
+      (Svector.schema data)
+  in
+  Svector.of_columns fields
+
+let eval_partition out (vvec, vcol) (_pvec, pcol) =
+  let n = Svector.length vvec in
+  let pivots =
+    List.filter_map Fun.id (Column.to_scalars pcol)
+    |> List.sort Scalar.compare_scalar
+    |> Array.of_list
+  in
+  let npart = Array.length pivots + 1 in
+  (* partition of v = number of pivots strictly less than v *)
+  let part_of v =
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Scalar.compare_scalar pivots.(mid) v < 0 then bsearch (mid + 1) hi
+        else bsearch lo mid
+    in
+    bsearch 0 (Array.length pivots)
+  in
+  let parts =
+    Array.init n (fun i ->
+        match Column.get vcol i with
+        | Some v -> part_of v
+        | None -> npart - 1)
+  in
+  (* stable counting sort positions *)
+  let counts = Array.make npart 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) parts;
+  let base = Array.make npart 0 in
+  for p = 1 to npart - 1 do
+    base.(p) <- base.(p - 1) + counts.(p - 1)
+  done;
+  let cursor = Array.copy base in
+  let result = Column.create Int n in
+  for i = 0 to n - 1 do
+    let p = parts.(i) in
+    Column.set result i (Scalar.I cursor.(p));
+    cursor.(p) <- cursor.(p) + 1
+  done;
+  Svector.single out result
+
+let eval_fold_select out fold (vec, col) =
+  let n = Svector.length vec in
+  let result = Column.create Int n in
+  List.iter
+    (fun (start, len) ->
+      let cursor = ref start in
+      for i = start to start + len - 1 do
+        match Column.get col i with
+        | Some v when Scalar.truthy v ->
+            Column.set result !cursor (Scalar.I i);
+            incr cursor
+        | Some _ | None -> ()
+      done)
+    (runs_of_fold vec fold);
+  Svector.single out result
+
+let eval_fold_agg agg out fold (vec, col) =
+  let n = Svector.length vec in
+  let dt : Scalar.dtype =
+    match agg with Op.Count -> Int | Op.Sum | Op.Max | Op.Min -> Column.dtype col
+  in
+  let result = Column.create dt n in
+  List.iter
+    (fun (start, len) ->
+      let acc = ref None in
+      for i = start to start + len - 1 do
+        match Column.get col i with
+        | Some v ->
+            let combine cur =
+              match (agg : Op.agg) with
+              | Sum -> Scalar.add cur v
+              | Max -> Scalar.max_s cur v
+              | Min -> Scalar.min_s cur v
+              | Count -> Scalar.add cur (Scalar.I 1)
+            in
+            acc :=
+              Some
+                (match !acc with
+                | None -> (
+                    match agg with Count -> Scalar.I 1 | Sum | Max | Min -> v)
+                | Some cur -> combine cur)
+        | None -> ()
+      done;
+      match !acc, (agg : Op.agg) with
+      | Some v, _ -> Column.set result start v
+      | None, (Sum | Count) -> Column.set result start (Scalar.zero dt)
+      | None, (Max | Min) -> () (* all-ε run keeps an ε result *))
+    (runs_of_fold vec fold);
+  Svector.single out result
+
+let eval_fold_scan out fold (vec, col) =
+  let n = Svector.length vec in
+  let result = Column.create (Column.dtype col) n in
+  List.iter
+    (fun (start, len) ->
+      let acc = ref (Scalar.zero (Column.dtype col)) in
+      for i = start to start + len - 1 do
+        (match Column.get col i with
+        | Some v -> acc := Scalar.add !acc v
+        | None -> ());
+        Column.set result i !acc
+      done)
+    (runs_of_fold vec fold);
+  Svector.single out result
+
+let eval_op (store : Store.t) (env : env) (op : Op.t) : Svector.t =
+  match op with
+  | Load table -> Store.find_exn store table
+  | Persist (name, v) ->
+      let vec = lookup env v in
+      Store.add store name vec;
+      vec
+  | Constant { out; value } ->
+      let col = Column.create (Scalar.dtype_of value) 1 in
+      Column.set col 0 value;
+      let vec = Svector.single out col in
+      Svector.with_ctrl vec out (Ctrl.constant (Scalar.to_int value))
+  | Range { out; from; size; step } ->
+      let n =
+        match size with
+        | Lit n -> n
+        | Of_vector v -> Svector.length (lookup env v)
+      in
+      let ctrl = Ctrl.range ~from ~step in
+      Svector.of_ctrl out ctrl n
+  | Cross { out1; v1; out2; v2 } ->
+      let n1 = Svector.length (lookup env v1) and n2 = Svector.length (lookup env v2) in
+      let n = n1 * n2 in
+      Svector.of_columns
+        [
+          (out1, Column.init Int n (fun i -> Scalar.I (i / n2)));
+          (out2, Column.init Int n (fun i -> Scalar.I (i mod n2)));
+        ]
+  | Binary { op; out; left; right } ->
+      eval_binary op out (src_column env left) (src_column env right)
+  | Zip { out1; src1; out2; src2 } ->
+      Svector.zip
+        (out1, lookup env src1.v, src1.kp)
+        (out2, lookup env src2.v, src2.kp)
+  | Project { out; src } -> Svector.project ~out (lookup env src.v) src.kp
+  | Upsert { target; out; src } ->
+      let tvec = lookup env target in
+      let svec = lookup env src.v in
+      Svector.upsert tvec ~out svec (leaf svec src.kp)
+  | Gather { data; positions } ->
+      eval_gather (lookup env data) (src_column env positions)
+  | Scatter { data; shape; positions; run = _ } ->
+      (* The run attribute only constrains parallel write ordering; the
+         sequential reference is already "in order". *)
+      eval_scatter (lookup env data) (lookup env shape) (src_column env positions)
+  | Materialize { data; _ } | Break { data; _ } ->
+      (* Pure tuning hints: identity on values. *)
+      lookup env data
+  | Partition { out; values; pivots } ->
+      eval_partition out (src_column env values) (src_column env pivots)
+  | FoldSelect { out; fold; input } ->
+      let vec, col = src_column env input in
+      eval_fold_select out (Option.map (leaf vec) fold) (vec, col)
+  | FoldAgg { agg; out; fold; input } ->
+      let vec, col = src_column env input in
+      eval_fold_agg agg out (Option.map (leaf vec) fold) (vec, col)
+  | FoldScan { out; fold; input } ->
+      let vec, col = src_column env input in
+      eval_fold_scan out (Option.map (leaf vec) fold) (vec, col)
+
+(** [run store p] evaluates the whole program; the returned environment
+    holds every intermediate (the interpreter's raison d'être). *)
+let run (store : Store.t) (p : Program.t) : env =
+  Program.validate p;
+  let env : env = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Program.stmt) ->
+      let v =
+        try eval_op store env s.op with
+        | Runtime_error m -> err "in %s: %s" s.id m
+        | Invalid_argument m -> err "in %s: %s" s.id m
+      in
+      Hashtbl.replace env s.id v)
+    (Program.stmts p);
+  env
+
+(** [eval store p id] evaluates only what [id] needs and returns it. *)
+let eval store p id =
+  let env = run store (Program.slice p id) in
+  lookup env id

@@ -1,0 +1,21 @@
+(** The reference interpreter backend (paper Section 3.2).
+
+    A classic bulk processor: every statement evaluates to a fully
+    materialized {!Voodoo_vector.Svector.t}, which makes all intermediates
+    inspectable.  It is the executable specification of the algebra against
+    which the compiling backend is property-tested; it is not built for
+    speed. *)
+
+open Voodoo_vector
+open Voodoo_core
+
+type env = (Op.id, Svector.t) Hashtbl.t
+
+exception Runtime_error of string
+
+(** [run store p] evaluates the whole program; the returned environment
+    holds every intermediate.  Raises {!Runtime_error}. *)
+val run : Store.t -> Program.t -> env
+
+(** [eval store p id] evaluates only what [id] needs and returns it. *)
+val eval : Store.t -> Program.t -> Op.id -> Svector.t

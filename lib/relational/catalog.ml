@@ -1,0 +1,68 @@
+(** The database catalog: tables, their device vectors, and the statistics
+    the lowering exploits (min/max per column, dense primary keys).
+
+    The paper's frontend "aggressively exploit[s] available metadata (min,
+    max, FK-constraints) which, in many cases, allows us to bypass
+    operations such as hashing or collision management". *)
+
+open Voodoo_core
+
+type table_info = {
+  table : Table.t;
+  stats : (string * (int * int)) list;  (** per int-like column: (min, max) *)
+}
+
+type t = {
+  mutable tables : (string * table_info) list;
+  store : Store.t;  (** device-resident column images *)
+}
+
+let create () = { tables = []; store = Store.create () }
+
+(** [add_table t table] registers and loads [table] onto the device. *)
+let add_table t (table : Table.t) =
+  let stats =
+    List.filter_map
+      (fun (c : Table.column) ->
+        match c.ctype with
+        | TInt | TDate | TStr -> Some (c.name, Table.int_stats c)
+        | TFloat -> None)
+      table.columns
+  in
+  t.tables <- (table.name, { table; stats }) :: t.tables;
+  Store.add t.store table.name (Table.to_svector table)
+
+let table t name =
+  match List.assoc_opt name t.tables with
+  | Some info -> info.table
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %S" name)
+
+let table_info t name =
+  match List.assoc_opt name t.tables with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %S" name)
+
+let mem t name = List.mem_assoc name t.tables
+
+(** [stats t table col] is the (min, max) of an integer-like column. *)
+let stats t tname col =
+  let info = table_info t tname in
+  match List.assoc_opt col info.stats with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Catalog: no stats for %s.%s" tname col)
+
+(** Find which registered table owns column [col] (TPC-H column names are
+    globally unique thanks to their prefixes). *)
+let owner t col =
+  let rec go = function
+    | [] -> None
+    | (name, info) :: rest ->
+        if Table.mem_column info.table col then Some name else go rest
+  in
+  go (List.rev t.tables)
+
+let owner_exn t col =
+  match owner t col with
+  | Some name -> name
+  | None -> invalid_arg (Printf.sprintf "Catalog: no table owns column %S" col)

@@ -1,0 +1,36 @@
+(** The database catalog: tables, their device vectors, and the statistics
+    the lowering exploits (per-column min/max over integer-like columns).
+    The paper's frontend "aggressively exploits available metadata (min,
+    max, FK-constraints)" to bypass hashing and collision management. *)
+
+open Voodoo_core
+
+type table_info = {
+  table : Table.t;
+  stats : (string * (int * int)) list;  (** per int-like column: (min, max) *)
+}
+
+type t = {
+  mutable tables : (string * table_info) list;
+  store : Store.t;  (** device-resident column images *)
+}
+
+val create : unit -> t
+
+(** [add_table t table] registers and loads [table] onto the device. *)
+val add_table : t -> Table.t -> unit
+
+(** Raise [Invalid_argument] for unknown tables/columns. *)
+
+val table : t -> string -> Table.t
+val table_info : t -> string -> table_info
+val mem : t -> string -> bool
+
+(** [stats t table col] is the (min, max) of an integer-like column. *)
+val stats : t -> string -> string -> int * int
+
+(** Which registered table owns column [col] (TPC-H names are globally
+    unique thanks to their prefixes). *)
+val owner : t -> string -> string option
+
+val owner_exn : t -> string -> string

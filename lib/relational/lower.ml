@@ -1,0 +1,607 @@
+(** Lowering relational plans to Voodoo programs.
+
+    The translation mirrors the paper's MonetDB frontend (Section 4):
+
+    - scans read the device-resident columns ({!Catalog});
+    - selections evaluate the predicate data-parallel, then compact
+      positions with a controlled [FoldSelect] (the branching
+      implementation); optimizer flags switch to predication (multiply
+      aggregates by the 0/1 outcome) or X100-style vectorization (a chunked
+      [Materialize] between predicate and position generation);
+    - foreign-key joins are positional lookups: [position = fk - min(pk)]
+      followed by [Gather]s — no hashing, thanks to dense-key metadata;
+    - semi joins scatter presence marks over the key domain (identity
+      hashing, table sized from min/max, as the paper describes);
+    - grouped aggregation normalizes the key columns into a dense group id
+      (identity hashing on the value domain), then
+      [Partition] → [Scatter] → controlled [FoldAgg]s — the pattern the
+      compiling backend turns into a virtual scatter;
+    - aggregation without grouping is lowered hierarchically (per-run
+      partial folds under a control vector, then a global fold), which is
+      Figure 3's plan shape. *)
+
+open Voodoo_vector
+open Voodoo_core
+module B = Program.Builder
+
+type options = {
+  parallel_grain : int;
+      (** run length of selection/aggregation control vectors *)
+  predication : bool;  (** branch-free selections via flag multiplication *)
+  vectorized : bool;  (** chunked materialization before position lists *)
+  layout_transform : bool;
+      (** materialize row-major before multi-column FK gathers *)
+}
+
+let default_options =
+  {
+    parallel_grain = 4096;
+    predication = false;
+    vectorized = false;
+    layout_transform = false;
+  }
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type ctx = {
+  cat : Catalog.t;
+  b : B.ctx;
+  opts : options;
+  loads : (string, Op.id) Hashtbl.t;
+}
+
+(* A binding gives access to the current row set: every column materializes
+   as a full-length, ε-padded vector aligned with the binding's row order.
+   [sel] is a 0/1 flag column under predication (rows remain unfiltered). *)
+type binding = {
+  length_of : string;  (** a vector id with the binding's length *)
+  get : string -> Op.id;
+  sel : Op.id option;
+  basis : Op.id option;
+      (** a single-attribute vector whose ε slots mark filtered-out rows
+          (the position list of the innermost compacting selection);
+          column-free aggregate inputs are masked through it *)
+}
+
+let load ctx tname =
+  match Hashtbl.find_opt ctx.loads tname with
+  | Some id -> id
+  | None ->
+      let id = B.load ctx.b ~name:tname tname in
+      Hashtbl.replace ctx.loads tname id;
+      id
+
+let resolve_expr ctx e =
+  Rexpr.resolve
+    ~encode:(fun colname s ->
+      let tname = Catalog.owner_exn ctx.cat colname in
+      Table.encode (Table.column (Catalog.table ctx.cat tname) colname) s)
+    e
+
+let const_one ctx = B.const_int ctx.b 1
+
+(* --- expression lowering: produces a vector aligned with [bind] --- *)
+
+let rec lower_expr ctx (bind : binding) (e : Rexpr.t) : Op.id =
+  let bin op a b =
+    B.binary ctx.b op (lower_expr ctx bind a, []) (lower_expr ctx bind b, [])
+  in
+  match e with
+  | Col c -> bind.get c
+  | Int_lit i -> B.const_int ctx.b i
+  | Float_lit f -> B.const_float ctx.b f
+  | Str_lit s -> unsupported "unresolved string literal %S" s
+  | Date_lit d -> B.const_int ctx.b (Table.date_of_string d)
+  | Add (a, b) -> bin Op.Add a b
+  | Sub (a, b) -> bin Op.Subtract a b
+  | Mul (a, b) -> bin Op.Multiply a b
+  | Div (a, b) -> bin Op.Divide a b
+  | Gt (a, b) -> bin Op.Greater a b
+  | Ge (a, b) -> bin Op.GreaterEqual a b
+  | Lt (a, b) -> bin Op.Greater b a
+  | Le (a, b) -> bin Op.GreaterEqual b a
+  | Eq (a, b) -> bin Op.Equals a b
+  | Ne (a, b) ->
+      let eq = bin Op.Equals a b in
+      B.subtract ctx.b (const_one ctx) eq
+  | And (a, b) -> bin Op.LogicalAnd a b
+  | Or (a, b) -> bin Op.LogicalOr a b
+  | Not a ->
+      let v = lower_expr ctx bind a in
+      B.subtract ctx.b (const_one ctx) v
+  | Between (a, lo, hi) -> lower_expr ctx bind (And (Ge (a, lo), Le (a, hi)))
+  | In_list (a, xs) ->
+      List.fold_left
+        (fun acc x ->
+          let eq = bin Op.Equals a x in
+          B.logical_or ctx.b acc eq)
+        (B.const_int ctx.b 0)
+        xs
+
+(* Control vector with runs of [grain] over the length of [v]. *)
+let grain_ctrl ctx v =
+  let ids = B.range ctx.b (Of_vector v) in
+  let g = B.const_int ctx.b ctx.opts.parallel_grain in
+  B.divide ctx.b ids g
+
+(* Positions of rows satisfying [pred] (ε-padded, compacted per run). *)
+let select_positions ctx pred =
+  let pred =
+    if ctx.opts.vectorized then
+      let chunk = grain_ctrl ctx pred in
+      B.materialize ctx.b ~chunks:(chunk, []) pred
+    else pred
+  in
+  let fold_vec = grain_ctrl ctx pred in
+  let z = B.zip ctx.b ~out1:[ "f" ] ~out2:[ "p" ] (fold_vec, []) (pred, []) in
+  B.fold_select ctx.b ~fold:[ "f" ] (z, [ "p" ])
+
+let cached get =
+  let tbl = Hashtbl.create 8 in
+  fun c ->
+    match Hashtbl.find_opt tbl c with
+    | Some id -> id
+    | None ->
+        let id = get c in
+        Hashtbl.replace tbl c id;
+        id
+
+(* --- plan lowering --- *)
+
+let rec lower_plan ctx (plan : Ra.t) : binding =
+  match plan with
+  | Scan tname ->
+      let tbl = Catalog.table ctx.cat tname in
+      let lid = load ctx tname in
+      let get c =
+        if not (Table.mem_column tbl c) then
+          unsupported "column %s not in %s" c tname;
+        B.project ctx.b ~out:[ "val" ] (lid, [ c ])
+      in
+      { length_of = lid; get = cached get; sel = None; basis = None }
+  | Map (p, defs) ->
+      let bind = lower_plan ctx p in
+      let get c =
+        match List.assoc_opt c defs with
+        | Some e -> lower_expr ctx bind (resolve_expr ctx e)
+        | None -> bind.get c
+      in
+      { bind with get = cached get }
+  | Select (p, e) ->
+      let bind = lower_plan ctx p in
+      let pred = lower_expr ctx bind (resolve_expr ctx e) in
+      let pred =
+        match bind.sel with
+        | Some flag -> B.logical_and ctx.b pred flag
+        | None -> pred
+      in
+      if ctx.opts.predication then { bind with sel = Some pred }
+      else begin
+        let pos = select_positions ctx pred in
+        let get c = B.gather ctx.b (bind.get c) (pos, []) in
+        { length_of = pos; get = cached get; sel = None; basis = Some pos }
+      end
+  | FkJoin { fact; fk; dim; pk } ->
+      let fbind = lower_plan ctx fact in
+      let dbind = lower_plan ctx dim in
+      let dim_table = Ra.base_table dim in
+      let pk_min, _ = Catalog.stats ctx.cat dim_table pk in
+      let fk_col = fbind.get fk in
+      let pos =
+        if pk_min = 0 then fk_col
+        else B.subtract ctx.b fk_col (B.const_int ctx.b pk_min)
+      in
+      let dim_table_cols =
+        (Catalog.table ctx.cat dim_table).columns
+        |> List.map (fun (c : Table.column) -> c.name)
+      in
+      (* under the layout-transform option (Figure 14), the dimension table
+         is materialized row-major once and a single shared gather fetches
+         whole rows; columns are then projections of that gather *)
+      let shared_gather =
+        lazy
+          (let rowwise = B.materialize ctx.b (load ctx dim_table) in
+           B.gather ctx.b rowwise (pos, []))
+      in
+      let dim_cols c =
+        if
+          ctx.opts.layout_transform
+          && List.mem c dim_table_cols
+          && (match dim with Scan _ -> true | _ -> false)
+        then B.project ctx.b ~out:[ "val" ] (Lazy.force shared_gather, [ c ])
+        else
+          (* columns resolved on the dimension side, gathered to fact rows *)
+          B.gather ctx.b (dbind.get c) (pos, [])
+      in
+      let fact_has c =
+        (* fact side wins on name clashes (TPC-H names are unique) *)
+        match fbind.get c with
+        | id -> Some id
+        | exception Unsupported _ -> None
+      in
+      let get c = match fact_has c with Some id -> id | None -> dim_cols c in
+      { fbind with get = cached get }
+  | LookupJoin { fact; fact_key; dim; dim_key; domain = kmin, kmax } ->
+      (* identity-hashed lookup table over the key domain, holding dim row
+         positions; the paper's metadata-driven replacement for hash join *)
+      let fbind = lower_plan ctx fact in
+      let dbind = lower_plan ctx dim in
+      let domain = kmax - kmin + 1 in
+      let dkeys = lower_expr ctx dbind (resolve_expr ctx dim_key) in
+      let rowids = B.range ctx.b ~out:[ "rid" ] (Of_vector dkeys) in
+      let mpos =
+        if kmin = 0 then dkeys
+        else B.subtract ctx.b dkeys (B.const_int ctx.b kmin)
+      in
+      let shape = B.range ctx.b ~out:[ "slot" ] (Lit domain) in
+      let table = B.scatter ctx.b ~shape rowids (mpos, []) in
+      let fkeys = lower_expr ctx fbind (resolve_expr ctx fact_key) in
+      let fpos =
+        if kmin = 0 then fkeys
+        else B.subtract ctx.b fkeys (B.const_int ctx.b kmin)
+      in
+      let idx = B.gather ctx.b table (fpos, []) in
+      let fact_has c =
+        match fbind.get c with
+        | id -> Some id
+        | exception Unsupported _ -> None
+      in
+      let get c =
+        match fact_has c with
+        | Some id -> id
+        | None -> B.gather ctx.b (dbind.get c) (idx, [])
+      in
+      { fbind with get = cached get }
+  | SemiJoin { fact; key; dim; dim_key } ->
+      let fbind = lower_plan ctx fact in
+      let dbind = lower_plan ctx dim in
+      let dim_table = Ra.base_table dim in
+      let kmin, kmax = Catalog.stats ctx.cat dim_table dim_key in
+      let domain = kmax - kmin + 1 in
+      let dkeys = dbind.get dim_key in
+      let dkeys =
+        (* under predication the dim rows are unfiltered: mask them *)
+        match dbind.sel with
+        | Some flag ->
+            (* key+1 if selected else 0; 0-kmin lands out of the mark table *)
+            let k1 = B.add_ ctx.b dkeys (const_one ctx) in
+            let masked = B.multiply ctx.b k1 flag in
+            B.subtract ctx.b masked (const_one ctx)
+        | None -> dkeys
+      in
+      let ones =
+        B.greater_equal ctx.b dkeys (B.const_int ctx.b kmin)
+      in
+      let mpos = B.subtract ctx.b dkeys (B.const_int ctx.b kmin) in
+      let shape = B.range ctx.b ~out:[ "slot" ] (Lit domain) in
+      let marks = B.scatter ctx.b ~shape ones (mpos, []) in
+      let fkey = fbind.get key in
+      let fpos = B.subtract ctx.b fkey (B.const_int ctx.b kmin) in
+      let flag = B.gather ctx.b marks (fpos, []) in
+      (* flag is 1 for members, ε otherwise *)
+      if ctx.opts.predication then
+        let sel =
+          match fbind.sel with
+          | Some prior -> B.logical_and ctx.b flag prior
+          | None -> flag
+        in
+        { fbind with sel = Some sel }
+      else begin
+        let pos = select_positions ctx flag in
+        let get c = B.gather ctx.b (fbind.get c) (pos, []) in
+        { length_of = pos; get = cached get; sel = None; basis = Some pos }
+      end
+  | AntiJoin _ ->
+      unsupported "AntiJoin lowering (not needed by the evaluated queries)"
+  | GroupAgg _ -> unsupported "GroupAgg must be the plan root"
+
+(* --- grouped aggregation at the root --- *)
+
+type lowered_agg = {
+  name : string;
+  kind : Ra.agg_kind;
+  vec : Op.id;  (** aggregate values (at run starts / slot 0) *)
+  count_vec : Op.id option;  (** companion count for Avg *)
+}
+
+type lowered = {
+  program : Program.t;
+  keys : (string * Op.id) list;
+      (** per key column: vector holding the key value at each group's run
+          start (recovered with FoldMax) *)
+  key_decode : (string * (int * int)) list;
+      (** key column → (min, stride) to decompose the dense group id *)
+  group_id : Op.id option;  (** dense group id at run starts *)
+  aggs : lowered_agg list;
+}
+
+(* Column-free expressions lower to one-element vectors; aggregation needs
+   them aligned with the binding AND masked by its selection: rows a
+   compacting selection dropped are ε in the position list (the binding's
+   basis), so multiply through an indicator derived from it.  Without a
+   basis (no selection upstream) a virtual zero vector provides alignment
+   (Add of a control vector and a constant stays virtual). *)
+let broadcast ctx (bind : binding) e v =
+  if Rexpr.columns e <> [] then v
+  else
+    match bind.basis with
+    | Some basis ->
+        (* positions are >= 0, ε propagates: indicator is 1/ε *)
+        let indicator =
+          B.greater_equal ctx.b basis (B.const_int ctx.b 0)
+        in
+        B.multiply ctx.b indicator v
+    | None ->
+        let ids = B.range ctx.b (Of_vector bind.length_of) in
+        let zero = B.multiply ctx.b ids (B.const_int ctx.b 0) in
+        B.add_ ctx.b zero v
+
+let lower_agg_input ctx bind (a : Ra.agg) =
+  let e = resolve_expr ctx a.expr in
+  let v = broadcast ctx bind e (lower_expr ctx bind e) in
+  match bind.sel, a.kind with
+  | None, _ -> v
+  | Some flag, (Ra.Sum | Ra.Avg | Ra.Count) ->
+      (* predication: zero out unselected rows; for Count the flag itself
+         participates via multiplication (0 contributes nothing only for
+         Sum, so Count switches to summing the flag — handled below) *)
+      B.multiply ctx.b v flag
+  | Some _, (Ra.Min | Ra.Max) ->
+      unsupported "predication with Min/Max aggregates"
+
+(** [lower ?options cat plan] compiles a plan whose root is a [GroupAgg]. *)
+let lower ?(options = default_options) (cat : Catalog.t) (plan : Ra.t) : lowered
+    =
+  let ctx = { cat; b = B.create (); opts = options; loads = Hashtbl.create 4 } in
+  match plan with
+  | GroupAgg { input; keys = []; aggs } ->
+      (* hierarchical aggregation: per-run partials, then a global fold *)
+      let bind = lower_plan ctx input in
+      let lowered_aggs =
+        List.map
+          (fun (a : Ra.agg) ->
+            let v = lower_agg_input ctx bind a in
+            let fold_vec = grain_ctrl ctx v in
+            let z =
+              B.zip ctx.b ~out1:[ "f" ] ~out2:[ "v" ] (fold_vec, []) (v, [])
+            in
+            let partial kind =
+              B.fold_agg ctx.b kind ~fold:[ "f" ] (z, [ "v" ])
+            in
+            let total kind partial_id = B.fold_agg ctx.b kind (partial_id, []) in
+            let vec, count_vec =
+              match a.kind, bind.sel with
+              | Ra.Sum, _ -> (total Op.Sum (partial Op.Sum), None)
+              | Ra.Min, _ -> (total Op.Min (partial Op.Min), None)
+              | Ra.Max, _ -> (total Op.Max (partial Op.Max), None)
+              | Ra.Count, None -> (total Op.Sum (partial Op.Count), None)
+              | Ra.Count, Some flag ->
+                  (* count = sum of flags *)
+                  let fold_vec = grain_ctrl ctx flag in
+                  let zf =
+                    B.zip ctx.b ~out1:[ "f" ] ~out2:[ "v" ] (fold_vec, [])
+                      (flag, [])
+                  in
+                  let p = B.fold_agg ctx.b Op.Sum ~fold:[ "f" ] (zf, [ "v" ]) in
+                  (total Op.Sum p, None)
+              | Ra.Avg, None ->
+                  ( total Op.Sum (partial Op.Sum),
+                    Some (total Op.Sum (partial Op.Count)) )
+              | Ra.Avg, Some flag ->
+                  let fold_vec = grain_ctrl ctx flag in
+                  let zf =
+                    B.zip ctx.b ~out1:[ "f" ] ~out2:[ "v" ] (fold_vec, [])
+                      (flag, [])
+                  in
+                  let pc = B.fold_agg ctx.b Op.Sum ~fold:[ "f" ] (zf, [ "v" ]) in
+                  (total Op.Sum (partial Op.Sum), Some (total Op.Sum pc))
+            in
+            { name = a.name; kind = a.kind; vec; count_vec })
+          aggs
+      in
+      {
+        program = B.finish ctx.b;
+        keys = [];
+        key_decode = [];
+        group_id = None;
+        aggs = lowered_aggs;
+      }
+  | GroupAgg { input; keys; aggs } ->
+      let bind = lower_plan ctx input in
+      (* dense group id from per-key min/max metadata (identity hashing) *)
+      let key_stats =
+        List.map
+          (fun k ->
+            let owner = Catalog.owner_exn ctx.cat k in
+            let mn, mx = Catalog.stats ctx.cat owner k in
+            (k, mn, mx - mn + 1))
+          keys
+      in
+      let _, gid, strides =
+        List.fold_left
+          (fun (stride, acc, strs) (k, mn, card) ->
+            let v = bind.get k in
+            let norm =
+              if mn = 0 then v else B.subtract ctx.b v (B.const_int ctx.b mn)
+            in
+            let scaled =
+              if stride = 1 then norm
+              else B.multiply ctx.b norm (B.const_int ctx.b stride)
+            in
+            let acc' =
+              match acc with
+              | None -> Some scaled
+              | Some a -> Some (B.add_ ctx.b a scaled)
+            in
+            (stride * card, acc', (k, (mn, stride)) :: strs))
+          (1, None, []) key_stats
+      in
+      let gid = Option.get gid in
+      let k_total =
+        List.fold_left (fun acc (_, _, card) -> acc * card) 1 key_stats
+      in
+      let gid =
+        match bind.sel with
+        | None -> gid
+        | Some flag ->
+            (* predication: unselected rows get group id k_total (one extra
+               trash partition, dropped at extraction) *)
+            let sel_gid = B.multiply ctx.b gid flag in
+            let inv = B.subtract ctx.b (const_one ctx) flag in
+            let trash = B.multiply ctx.b inv (B.const_int ctx.b k_total) in
+            B.add_ ctx.b sel_gid trash
+      in
+      let k_groups =
+        k_total + (match bind.sel with Some _ -> 1 | None -> 0)
+      in
+      (* assemble the scattered vector: group id + one attribute per agg *)
+      let agg_inputs =
+        List.mapi
+          (fun i (a : Ra.agg) ->
+            (Printf.sprintf "a%d" i, a, lower_agg_input ctx bind a))
+          aggs
+      in
+      let data =
+        List.fold_left
+          (fun acc (attr, _, v) -> B.upsert ctx.b ~out:[ attr ] acc (v, []))
+          (B.zip ctx.b ~out1:[ "g" ] ~out2:[ "dummy" ] (gid, []) (gid, []))
+          agg_inputs
+      in
+      let pivots = B.range ctx.b ~out:[ "p" ] (Lit k_groups) in
+      let pos = B.partition ctx.b (data, [ "g" ]) (pivots, []) in
+      let scattered = B.scatter ctx.b ~shape:data data (pos, []) in
+      let gid_runs = B.fold_max ctx.b ~fold:[ "g" ] (scattered, [ "g" ]) in
+      let lowered_aggs =
+        List.map
+          (fun (attr, (a : Ra.agg), _) ->
+            let fold_on kind =
+              B.fold_agg ctx.b kind ~fold:[ "g" ] (scattered, [ attr ])
+            in
+            let vec, count_vec =
+              match a.kind, bind.sel with
+              | Ra.Sum, _ -> (fold_on Op.Sum, None)
+              | Ra.Min, _ -> (fold_on Op.Min, None)
+              | Ra.Max, _ -> (fold_on Op.Max, None)
+              | Ra.Count, None -> (fold_on Op.Count, None)
+              | Ra.Count, Some _ ->
+                  (* flags were multiplied in: count = sum of flags only
+                     when the agg input was the flag itself; sum works
+                     because unselected rows contribute 0 *)
+                  (fold_on Op.Sum, None)
+              | Ra.Avg, None -> (fold_on Op.Sum, Some (fold_on Op.Count))
+              | Ra.Avg, Some _ ->
+                  unsupported "predication with grouped Avg aggregates"
+            in
+            { name = a.name; kind = a.kind; vec; count_vec })
+          agg_inputs
+      in
+      {
+        program = B.finish ctx.b;
+        keys = List.map (fun k -> (k, gid_runs)) keys;
+        key_decode = strides;
+        group_id = Some gid_runs;
+        aggs = lowered_aggs;
+      }
+  | _ -> unsupported "plan root must be a GroupAgg (use Ra.aggregate)"
+
+(* --- result extraction --- *)
+
+(** [fetch cat plan lowered read] decodes the result vectors (via [read :
+    id -> Svector.t]) into rows comparable with {!Reference.run}.  Group
+    rows appear in dense-group-id order; the predication trash partition
+    (group id = k_total) is dropped. *)
+let fetch (cat : Catalog.t) (l : lowered) (read : Op.id -> Svector.t) :
+    Reference.row list =
+  let read_col id =
+    let v = read id in
+    match Svector.keypaths v with
+    | [ kp ] -> Svector.column v kp
+    | kps ->
+        invalid_arg
+          (Printf.sprintf "fetch: expected single attribute, got %d"
+             (List.length kps))
+  in
+  match l.group_id with
+  | None ->
+      (* single row at slot 0 of each total *)
+      let row =
+        List.map
+          (fun a ->
+            let v = Column.get (read_col a.vec) 0 in
+            let v =
+              match a.kind, a.count_vec with
+              | Ra.Avg, Some cid -> (
+                  match v, Column.get (read_col cid) 0 with
+                  | Some s, Some c when Scalar.to_float c <> 0.0 ->
+                      Some (Scalar.F (Scalar.to_float s /. Scalar.to_float c))
+                  | _ -> None)
+              | _ -> v
+            in
+            (a.name, v))
+          l.aggs
+      in
+      [ row ]
+  | Some gid_id ->
+      let gcol = read_col gid_id in
+      let n = Column.length gcol in
+      let agg_cols =
+        List.map
+          (fun a -> (a, read_col a.vec, Option.map read_col a.count_vec))
+          l.aggs
+      in
+      let k_total =
+        List.fold_left (fun acc (_, (_, stride)) -> max acc stride) 1
+          l.key_decode
+      in
+      ignore k_total;
+      let max_gid =
+        (* groups at or above the trash id are dropped *)
+        List.fold_left
+          (fun acc (k, (_, stride)) ->
+            let owner = Catalog.owner_exn cat k in
+            let _, mx = Catalog.stats cat owner k in
+            let mn, _ = Catalog.stats cat owner k in
+            max acc (stride * (mx - mn + 1)))
+          1 l.key_decode
+      in
+      let rows = ref [] in
+      for i = n - 1 downto 0 do
+        match Column.get gcol i with
+        | Some g ->
+            let g = Scalar.to_int g in
+            if g < max_gid then begin
+              let key_vals =
+                List.map
+                  (fun (k, (mn, stride)) ->
+                    let owner = Catalog.owner_exn cat k in
+                    let _, omx = Catalog.stats cat owner k in
+                    let omn, _ = Catalog.stats cat owner k in
+                    let card = omx - omn + 1 in
+                    let v = (g / stride) mod card in
+                    (k, Some (Scalar.I (v + mn))))
+                  l.key_decode
+              in
+              let agg_vals =
+                List.map
+                  (fun ((a : lowered_agg), col, ccol) ->
+                    let v = Column.get col i in
+                    let v =
+                      match a.kind, ccol with
+                      | Ra.Avg, Some cc -> (
+                          match v, Column.get cc i with
+                          | Some s, Some c when Scalar.to_float c <> 0.0 ->
+                              Some
+                                (Scalar.F (Scalar.to_float s /. Scalar.to_float c))
+                          | _ -> None)
+                      | _ -> v
+                    in
+                    (a.name, v))
+                  agg_cols
+              in
+              rows := (key_vals @ agg_vals) :: !rows
+            end
+        | None -> ()
+      done;
+      !rows

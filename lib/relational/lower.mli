@@ -1,0 +1,57 @@
+(** Lowering relational plans to Voodoo programs (paper Section 4).
+
+    Scans read device-resident columns; selections evaluate data-parallel
+    predicates and compact positions with a controlled [FoldSelect]
+    (optimizer flags switch to predication or X100-style vectorization);
+    foreign-key joins are positional lookups ([fk - min(pk)] + [Gather]s);
+    semi joins scatter presence marks over the key domain (identity
+    hashing sized from min/max metadata); grouped aggregation normalizes
+    keys into a dense group id and emits the
+    [Partition] → [Scatter] → [FoldAgg] pattern the compiling backend
+    turns into a virtual scatter; ungrouped aggregation lowers
+    hierarchically (Figure 3's plan shape). *)
+
+open Voodoo_core
+
+type options = {
+  parallel_grain : int;
+      (** run length of selection/aggregation control vectors *)
+  predication : bool;  (** branch-free selections via flag multiplication *)
+  vectorized : bool;  (** chunked materialization before position lists *)
+  layout_transform : bool;
+      (** materialize row-major before multi-column FK gathers *)
+}
+
+val default_options : options
+
+exception Unsupported of string
+
+type lowered_agg = {
+  name : string;
+  kind : Ra.agg_kind;
+  vec : Op.id;  (** aggregate values (at run starts / slot 0) *)
+  count_vec : Op.id option;  (** companion count for Avg *)
+}
+
+type lowered = {
+  program : Program.t;
+  keys : (string * Op.id) list;
+      (** per key column: the vector holding the key value at each group's
+          run start (recovered with FoldMax) *)
+  key_decode : (string * (int * int)) list;
+      (** key column → (min, stride) to decompose the dense group id *)
+  group_id : Op.id option;  (** dense group id at run starts *)
+  aggs : lowered_agg list;
+}
+
+(** [lower ?options cat plan] compiles a plan whose root is a [GroupAgg].
+    Raises {!Unsupported} for plans/feature combinations outside the
+    evaluated workload (plain projections, anti joins, predication with
+    Min/Max or grouped Avg). *)
+val lower : ?options:options -> Catalog.t -> Ra.t -> lowered
+
+(** [fetch cat lowered read] decodes the result vectors (via [read]) into
+    rows comparable with {!Reference.run}; the predication trash partition
+    is dropped. *)
+val fetch :
+  Catalog.t -> lowered -> (Op.id -> Voodoo_vector.Svector.t) -> Reference.row list

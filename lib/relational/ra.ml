@@ -1,0 +1,104 @@
+(** Relational algebra plans.
+
+    This is the logical plan shape MonetDB's SQL frontend would hand the
+    Voodoo backend: scans, selections, computed columns, foreign-key
+    (positional) joins, semi-joins and grouped aggregation.  Order-by/limit
+    are omitted, as in the paper's evaluation.
+
+    Conventions the lowering relies on:
+    - The dimension side of an {!FkJoin} must be {e alignment-preserving}:
+      a [Scan] possibly wrapped in [Map]s and further [FkJoin]s, never a
+      [Select] or [GroupAgg].  Dimension predicates are expressed as [Map]
+      columns (0/1 flags) and filtered on the fact side after the join —
+      exactly how a columnar engine evaluates snowflake predicates.
+    - TPC-H column names are globally unique, so joined plans keep a flat
+      namespace. *)
+
+type agg_kind = Sum | Min | Max | Count | Avg
+
+type agg = { name : string; kind : agg_kind; expr : Rexpr.t }
+
+type t =
+  | Scan of string
+  | Select of t * Rexpr.t
+  | Map of t * (string * Rexpr.t) list  (** add computed columns *)
+  | FkJoin of { fact : t; fk : string; dim : t; pk : string }
+      (** positional join: [fk] references the dense key [pk] of [dim];
+          all of [dim]'s columns become available on fact rows.  Fact rows
+          whose [fk] is NULL get NULL dim columns. *)
+  | LookupJoin of {
+      fact : t;
+      fact_key : Rexpr.t;
+      dim : t;
+      dim_key : Rexpr.t;
+      domain : int * int;  (** (min, max) of the key expression *)
+    }
+      (** generalized positional join through an injective integer key
+          expression (e.g. a composite key): an identity-hashed lookup
+          table over the key domain maps fact rows to dim rows.  Fact rows
+          without a match get NULL dim columns. *)
+  | SemiJoin of { fact : t; key : string; dim : t; dim_key : string }
+      (** keep fact rows whose [key] appears in [dim.dim_key] *)
+  | AntiJoin of { fact : t; key : string; dim : t; dim_key : string }
+      (** keep fact rows whose [key] does not appear *)
+  | GroupAgg of { input : t; keys : string list; aggs : agg list }
+      (** grouping keys must be integer-like columns *)
+
+let scan t = Scan t
+let select p e = Select (p, e)
+let map p cols = Map (p, cols)
+let fk_join fact ~fk dim ~pk = FkJoin { fact; fk; dim; pk }
+
+let lookup_join fact ~fact_key dim ~dim_key ~domain =
+  LookupJoin { fact; fact_key; dim; dim_key; domain }
+let semi_join fact ~key dim ~dim_key = SemiJoin { fact; key; dim; dim_key }
+let anti_join fact ~key dim ~dim_key = AntiJoin { fact; key; dim; dim_key }
+let group_by p keys aggs = GroupAgg { input = p; keys; aggs }
+let agg ?name kind expr =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+        match kind with
+        | Sum -> "sum"
+        | Min -> "min"
+        | Max -> "max"
+        | Count -> "count"
+        | Avg -> "avg")
+  in
+  { name; kind; expr }
+
+(** Aggregation without grouping (a single output row). *)
+let aggregate p aggs = GroupAgg { input = p; keys = []; aggs }
+
+let rec base_table = function
+  | Scan t -> t
+  | Select (p, _) | Map (p, _) -> base_table p
+  | FkJoin { fact; _ }
+  | LookupJoin { fact; _ }
+  | SemiJoin { fact; _ }
+  | AntiJoin { fact; _ } ->
+      base_table fact
+  | GroupAgg { input; _ } -> base_table input
+
+let rec pp ppf = function
+  | Scan t -> Fmt.pf ppf "Scan(%s)" t
+  | Select (p, _) -> Fmt.pf ppf "Select(%a)" pp p
+  | Map (p, cols) ->
+      Fmt.pf ppf "Map(%a; %a)" pp p
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+        (List.map fst cols)
+  | FkJoin { fact; fk; dim; pk } ->
+      Fmt.pf ppf "FkJoin(%a, %s=%s, %a)" pp fact fk pk pp dim
+  | LookupJoin { fact; dim; _ } ->
+      Fmt.pf ppf "LookupJoin(%a, %a)" pp fact pp dim
+  | SemiJoin { fact; key; dim; dim_key } ->
+      Fmt.pf ppf "SemiJoin(%a, %s in %s of %a)" pp fact key dim_key pp dim
+  | AntiJoin { fact; key; dim; dim_key } ->
+      Fmt.pf ppf "AntiJoin(%a, %s not in %s of %a)" pp fact key dim_key pp dim
+  | GroupAgg { input; keys; aggs } ->
+      Fmt.pf ppf "GroupAgg(%a; keys=%a; aggs=%a)" pp input
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+        keys
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+        (List.map (fun a -> a.name) aggs)

@@ -1,0 +1,65 @@
+(** Relational algebra plans — the logical plan shape MonetDB's SQL
+    frontend hands the Voodoo backend (paper Section 4): scans,
+    selections, computed columns, foreign-key (positional) joins,
+    generalized injective-key lookup joins, semi/anti joins and grouped
+    aggregation.  Order-by/limit are omitted, as in the paper's
+    evaluation.
+
+    Conventions the lowering relies on: the dimension side of a join must
+    be alignment-preserving (a [Scan] under [Map]s and further joins, never
+    a [Select] — dimension predicates become [Map] flag columns filtered on
+    the fact side); TPC-H column names are globally unique, so joined plans
+    keep a flat namespace. *)
+
+type agg_kind = Sum | Min | Max | Count | Avg
+
+type agg = { name : string; kind : agg_kind; expr : Rexpr.t }
+
+type t =
+  | Scan of string
+  | Select of t * Rexpr.t
+  | Map of t * (string * Rexpr.t) list  (** add computed columns *)
+  | FkJoin of { fact : t; fk : string; dim : t; pk : string }
+      (** positional join: [fk] references the dense key [pk] of [dim];
+          fact rows with NULL [fk] get NULL dim columns *)
+  | LookupJoin of {
+      fact : t;
+      fact_key : Rexpr.t;
+      dim : t;
+      dim_key : Rexpr.t;
+      domain : int * int;  (** (min, max) of the key expression *)
+    }
+      (** positional join through an injective integer key expression
+          (e.g. a composite key): an identity-hashed table over the key
+          domain maps fact rows to dim rows *)
+  | SemiJoin of { fact : t; key : string; dim : t; dim_key : string }
+      (** keep fact rows whose [key] appears in [dim.dim_key] *)
+  | AntiJoin of { fact : t; key : string; dim : t; dim_key : string }
+      (** keep fact rows whose [key] does not appear *)
+  | GroupAgg of { input : t; keys : string list; aggs : agg list }
+      (** grouping keys must be integer-like catalog columns *)
+
+(** Constructors. *)
+
+val scan : string -> t
+val select : t -> Rexpr.t -> t
+val map : t -> (string * Rexpr.t) list -> t
+val fk_join : t -> fk:string -> t -> pk:string -> t
+
+val lookup_join :
+  t -> fact_key:Rexpr.t -> t -> dim_key:Rexpr.t -> domain:int * int -> t
+
+val semi_join : t -> key:string -> t -> dim_key:string -> t
+val anti_join : t -> key:string -> t -> dim_key:string -> t
+val group_by : t -> string list -> agg list -> t
+
+(** [agg ?name kind expr] names the aggregate after its kind by default. *)
+val agg : ?name:string -> agg_kind -> Rexpr.t -> agg
+
+(** Aggregation without grouping (a single output row). *)
+val aggregate : t -> agg list -> t
+
+(** The base fact table a plan scans. *)
+val base_table : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,251 @@
+(** Trusted naive evaluator for relational plans.
+
+    Row-at-a-time, hash-based, no Voodoo involved: this is the independent
+    implementation the test suite checks both Voodoo backends' query
+    results against. *)
+
+open Voodoo_vector
+
+type frame = {
+  n : int;
+  cols : (string * (int -> Scalar.t option)) list;
+}
+
+let getter frame name =
+  match List.assoc_opt name frame.cols with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Reference: unknown column %S" name)
+
+let row_of frame i name = getter frame name i
+
+let resolve_expr cat e =
+  Rexpr.resolve
+    ~encode:(fun colname s ->
+      let tname = Catalog.owner_exn cat colname in
+      Table.encode (Table.column (Catalog.table cat tname) colname) s)
+    e
+
+let rec eval_frame (cat : Catalog.t) (plan : Ra.t) : frame =
+  match plan with
+  | Scan tname ->
+      let table = Catalog.table cat tname in
+      {
+        n = table.nrows;
+        cols =
+          List.map
+            (fun (c : Table.column) -> (c.name, fun i -> Column.get c.data i))
+            table.columns;
+      }
+  | Select (p, e) ->
+      let f = eval_frame cat p in
+      let e = resolve_expr cat e in
+      let keep = ref [] in
+      for i = f.n - 1 downto 0 do
+        match Rexpr.eval ~row:(row_of f i) e with
+        | Some v when Scalar.truthy v -> keep := i :: !keep
+        | _ -> ()
+      done;
+      let idx = Array.of_list !keep in
+      {
+        n = Array.length idx;
+        cols = List.map (fun (name, g) -> (name, fun i -> g idx.(i))) f.cols;
+      }
+  | Map (p, defs) ->
+      let f = eval_frame cat p in
+      let extra =
+        List.map
+          (fun (name, e) ->
+            let e = resolve_expr cat e in
+            (name, fun i -> Rexpr.eval ~row:(row_of f i) e))
+          defs
+      in
+      { f with cols = f.cols @ extra }
+  | FkJoin _ | LookupJoin _ ->
+      let fact, fkey_of, dim, dkey_of =
+        match plan with
+        | FkJoin { fact; fk; dim; pk } ->
+            ( fact,
+              (fun ff -> getter ff fk),
+              dim,
+              fun df -> getter df pk )
+        | LookupJoin { fact; fact_key; dim; dim_key; _ } ->
+            let fk = resolve_expr cat fact_key and dk = resolve_expr cat dim_key in
+            ( fact,
+              (fun ff i -> Rexpr.eval ~row:(row_of ff i) fk),
+              dim,
+              fun df j -> Rexpr.eval ~row:(row_of df j) dk )
+        | _ -> assert false
+      in
+      let ff = eval_frame cat fact and df = eval_frame cat dim in
+      let dkey = dkey_of df in
+      let index = Hashtbl.create (max 16 df.n) in
+      for j = 0 to df.n - 1 do
+        match dkey j with
+        | Some (Scalar.I k) -> if not (Hashtbl.mem index k) then Hashtbl.replace index k j
+        | _ -> ()
+      done;
+      let fkey = fkey_of ff in
+      let mapping =
+        Array.init ff.n (fun i ->
+            match fkey i with
+            | Some v -> Hashtbl.find_opt index (Scalar.to_int v)
+            | None -> None)
+      in
+      let dim_cols =
+        List.filter_map
+          (fun (name, g) ->
+            if List.mem_assoc name ff.cols then None
+            else
+              Some
+                ( name,
+                  fun i ->
+                    match mapping.(i) with Some j -> g j | None -> None ))
+          df.cols
+      in
+      { ff with cols = ff.cols @ dim_cols }
+  | SemiJoin { fact; key; dim; dim_key } | AntiJoin { fact; key; dim; dim_key }
+    ->
+      let anti = match plan with AntiJoin _ -> true | _ -> false in
+      let ff = eval_frame cat fact and df = eval_frame cat dim in
+      let dkey = getter df dim_key in
+      let members = Hashtbl.create (max 16 df.n) in
+      for j = 0 to df.n - 1 do
+        match dkey j with
+        | Some v -> Hashtbl.replace members (Scalar.to_int v) ()
+        | None -> ()
+      done;
+      let fkey = getter ff key in
+      let keep = ref [] in
+      for i = ff.n - 1 downto 0 do
+        let in_set =
+          match fkey i with
+          | Some v -> Hashtbl.mem members (Scalar.to_int v)
+          | None -> false
+        in
+        if in_set <> anti then keep := i :: !keep
+      done;
+      let idx = Array.of_list !keep in
+      {
+        n = Array.length idx;
+        cols = List.map (fun (name, g) -> (name, fun i -> g idx.(i))) ff.cols;
+      }
+  | GroupAgg { input; keys; aggs } ->
+      let f = eval_frame cat input in
+      let key_getters = List.map (getter f) keys in
+      let aggs =
+        List.map (fun (a : Ra.agg) -> (a, resolve_expr cat a.expr)) aggs
+      in
+      let groups : (int list, (Scalar.t option * int) array) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      for i = 0 to f.n - 1 do
+        let key =
+          List.map
+            (fun g -> match g i with Some v -> Scalar.to_int v | None -> min_int)
+            key_getters
+        in
+        let states =
+          match Hashtbl.find_opt groups key with
+          | Some s -> s
+          | None ->
+              let s = Array.make (List.length aggs) (None, 0) in
+              Hashtbl.replace groups key s;
+              order := key :: !order;
+              s
+        in
+        List.iteri
+          (fun ai ((a : Ra.agg), e) ->
+            match Rexpr.eval ~row:(row_of f i) e with
+            | None -> ()
+            | Some v ->
+                let acc, cnt = states.(ai) in
+                let acc' =
+                  match acc, a.kind with
+                  | None, Ra.Count -> Some (Scalar.I 1)
+                  | None, _ -> Some v
+                  | Some cur, (Ra.Sum | Ra.Avg) -> Some (Scalar.add cur v)
+                  | Some cur, Ra.Min -> Some (Scalar.min_s cur v)
+                  | Some cur, Ra.Max -> Some (Scalar.max_s cur v)
+                  | Some cur, Ra.Count -> Some (Scalar.add cur (Scalar.I 1))
+                in
+                states.(ai) <- (acc', cnt + 1))
+          aggs
+      done;
+      let rows = List.rev !order in
+      let n = List.length rows in
+      let rows_arr = Array.of_list rows in
+      let key_cols =
+        List.mapi
+          (fun ki name ->
+            ( name,
+              fun i ->
+                let v = List.nth rows_arr.(i) ki in
+                if v = min_int then None else Some (Scalar.I v) ))
+          keys
+      in
+      let agg_cols =
+        List.mapi
+          (fun ai ((a : Ra.agg), _) ->
+            ( a.name,
+              fun i ->
+                let states = Hashtbl.find groups rows_arr.(i) in
+                let acc, cnt = states.(ai) in
+                match a.kind, acc with
+                | Ra.Avg, Some s when cnt > 0 ->
+                    Some (Scalar.F (Scalar.to_float s /. float_of_int cnt))
+                | (Ra.Sum | Ra.Count), None -> Some (Scalar.I 0)
+                | _, acc -> acc ))
+          aggs
+      in
+      { n; cols = key_cols @ agg_cols }
+
+type row = (string * Scalar.t option) list
+
+(** [run cat plan] evaluates to a list of rows (column name → value). *)
+let run (cat : Catalog.t) (plan : Ra.t) : row list =
+  let f = eval_frame cat plan in
+  List.init f.n (fun i -> List.map (fun (name, g) -> (name, g i)) f.cols)
+
+(** Canonical comparison form: keep only the named columns, sort rows. *)
+let project_rows columns rows =
+  List.map (fun r -> List.map (fun c -> (c, List.assoc c r)) columns) rows
+
+let sort_rows rows =
+  let cmp_val a b =
+    match a, b with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> Scalar.compare_scalar x y
+  in
+  let cmp_row r1 r2 =
+    let rec go = function
+      | [], [] -> 0
+      | (_, a) :: r1, (_, b) :: r2 ->
+          let c = cmp_val a b in
+          if c <> 0 then c else go (r1, r2)
+      | _ -> 0
+    in
+    go (r1, r2)
+  in
+  List.sort cmp_row rows
+
+(** Approximate row-set equality (floats compared with relative
+    tolerance). *)
+let rows_equal ?(tol = 1e-6) rows1 rows2 =
+  let val_eq a b =
+    match a, b with
+    | None, None -> true
+    | Some (Scalar.I x), Some (Scalar.I y) -> x = y
+    | Some x, Some y ->
+        let x = Scalar.to_float x and y = Scalar.to_float y in
+        Float.abs (x -. y) <= tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+    | _ -> false
+  in
+  List.length rows1 = List.length rows2
+  && List.for_all2
+       (fun r1 r2 ->
+         List.length r1 = List.length r2
+         && List.for_all2 (fun (_, a) (_, b) -> val_eq a b) r1 r2)
+       (sort_rows rows1) (sort_rows rows2)

@@ -1,0 +1,36 @@
+(** Trusted naive evaluator for relational plans.
+
+    Row-at-a-time, hash-based, no Voodoo involved: the independent
+    implementation the test suite checks both Voodoo backends' query
+    results against. *)
+
+open Voodoo_vector
+
+type frame = {
+  n : int;
+  cols : (string * (int -> Scalar.t option)) list;
+}
+
+val getter : frame -> string -> int -> Scalar.t option
+
+(** [row_of frame i] is the row accessor for {!Rexpr.eval}. *)
+val row_of : frame -> int -> string -> Scalar.t option
+
+(** Resolve string/date literals against the catalog's dictionaries. *)
+val resolve_expr : Catalog.t -> Rexpr.t -> Rexpr.t
+
+val eval_frame : Catalog.t -> Ra.t -> frame
+
+type row = (string * Scalar.t option) list
+
+(** [run cat plan] evaluates to a list of rows (column name → value). *)
+val run : Catalog.t -> Ra.t -> row list
+
+(** Canonical comparison form: keep only the named columns. *)
+val project_rows : string list -> row list -> row list
+
+val sort_rows : row list -> row list
+
+(** Row-set equality modulo order; floats compare with relative [tol]
+    (default 1e-6). *)
+val rows_equal : ?tol:float -> row list -> row list -> bool

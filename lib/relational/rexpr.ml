@@ -1,0 +1,151 @@
+(** Scalar expressions over table columns.
+
+    Used both by the reference evaluator (row-at-a-time, {!eval}) and by
+    the Voodoo lowering (vector-at-a-time, {!Lower}).  String literals are
+    resolved against the owning column's dictionary; date literals become
+    day numbers. *)
+
+open Voodoo_vector
+
+type t =
+  | Col of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string  (** resolved against the compared column's dictionary *)
+  | Date_lit of string  (** "YYYY-MM-DD" *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Between of t * t * t  (** [Between (x, lo, hi)], inclusive *)
+  | In_list of t * t list
+
+let rec columns = function
+  | Col c -> [ c ]
+  | Int_lit _ | Float_lit _ | Str_lit _ | Date_lit _ -> []
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b)
+  | Gt (a, b) | Ge (a, b) | Lt (a, b) | Le (a, b) | Eq (a, b) | Ne (a, b)
+  | And (a, b) | Or (a, b) ->
+      columns a @ columns b
+  | Not a -> columns a
+  | Between (a, b, c) -> columns a @ columns b @ columns c
+  | In_list (a, xs) -> columns a @ List.concat_map columns xs
+
+(* The column an expression compares against, used to resolve string
+   literals to dictionary codes. *)
+let rec principal_column = function
+  | Col c -> Some c
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> (
+      match principal_column a with Some c -> Some c | None -> principal_column b)
+  | _ -> None
+
+(** Resolve [Str_lit]/[Date_lit] leaves to integer codes/day numbers, given
+    a lookup from column name to its dictionary encoder.  Unresolvable
+    string literals (value absent from the dictionary) become a code of -1,
+    which no row carries — the predicate is simply never satisfied. *)
+let rec resolve ~(encode : string -> string -> int option) e =
+  let r = resolve ~encode in
+  let resolve_against col lit =
+    match lit with
+    | Str_lit s -> (
+        match col with
+        | Some c -> (
+            match encode c s with Some code -> Int_lit code | None -> Int_lit (-1))
+        | None -> invalid_arg (Printf.sprintf "cannot resolve string literal %S" s))
+    | Date_lit d -> Int_lit (Table.date_of_string d)
+    | other -> r other
+  in
+  let rcmp rebuild a b =
+    let col = match principal_column a with Some c -> Some c | None -> principal_column b in
+    rebuild (resolve_against col a) (resolve_against col b)
+  in
+  match e with
+  | Col _ | Int_lit _ | Float_lit _ -> e
+  | Str_lit s -> invalid_arg (Printf.sprintf "free-standing string literal %S" s)
+  | Date_lit d -> Int_lit (Table.date_of_string d)
+  | Add (a, b) -> Add (r a, r b)
+  | Sub (a, b) -> Sub (r a, r b)
+  | Mul (a, b) -> Mul (r a, r b)
+  | Div (a, b) -> Div (r a, r b)
+  | Gt (a, b) -> rcmp (fun a b -> Gt (a, b)) a b
+  | Ge (a, b) -> rcmp (fun a b -> Ge (a, b)) a b
+  | Lt (a, b) -> rcmp (fun a b -> Lt (a, b)) a b
+  | Le (a, b) -> rcmp (fun a b -> Le (a, b)) a b
+  | Eq (a, b) -> rcmp (fun a b -> Eq (a, b)) a b
+  | Ne (a, b) -> rcmp (fun a b -> Ne (a, b)) a b
+  | And (a, b) -> And (r a, r b)
+  | Or (a, b) -> Or (r a, r b)
+  | Not a -> Not (r a)
+  | Between (a, lo, hi) ->
+      let col = principal_column a in
+      Between (r a, resolve_against col lo, resolve_against col hi)
+  | In_list (a, xs) ->
+      let col = principal_column a in
+      In_list (r a, List.map (fun x -> resolve_against col x) xs)
+
+(** Row-at-a-time evaluation for the reference executor.  [row col] yields
+    the column's value for the current row ([None] = SQL NULL / ε).
+    Expressions must be {!resolve}d first. *)
+let rec eval ~(row : string -> Scalar.t option) (e : t) : Scalar.t option =
+  let bin f a b =
+    match eval ~row a, eval ~row b with
+    | Some x, Some y -> Some (f x y)
+    | _ -> None
+  in
+  match e with
+  | Col c -> row c
+  | Int_lit i -> Some (Scalar.I i)
+  | Float_lit f -> Some (Scalar.F f)
+  | Str_lit s -> invalid_arg (Printf.sprintf "unresolved string literal %S" s)
+  | Date_lit d -> Some (Scalar.I (Table.date_of_string d))
+  | Add (a, b) -> bin Scalar.add a b
+  | Sub (a, b) -> bin Scalar.sub a b
+  | Mul (a, b) -> bin Scalar.mul a b
+  | Div (a, b) -> bin Scalar.div a b
+  | Gt (a, b) -> bin Scalar.greater a b
+  | Ge (a, b) -> bin Scalar.greater_equal a b
+  | Lt (a, b) -> bin (fun x y -> Scalar.greater y x) a b
+  | Le (a, b) -> bin (fun x y -> Scalar.greater_equal y x) a b
+  | Eq (a, b) -> bin Scalar.equals a b
+  | Ne (a, b) -> bin (fun x y -> Scalar.of_bool (not (Scalar.truthy (Scalar.equals x y)))) a b
+  | And (a, b) -> bin Scalar.logical_and a b
+  | Or (a, b) -> bin Scalar.logical_or a b
+  | Not a ->
+      Option.map (fun v -> Scalar.of_bool (not (Scalar.truthy v))) (eval ~row a)
+  | Between (a, lo, hi) ->
+      eval ~row (And (Ge (a, lo), Le (a, hi)))
+  | In_list (a, xs) ->
+      List.fold_left
+        (fun acc x ->
+          match acc, eval ~row (Eq (a, x)) with
+          | Some acc, Some v -> Some (Scalar.logical_or acc v)
+          | _ -> None)
+        (Some (Scalar.I 0)) xs
+
+(* convenience constructors *)
+let col c = Col c
+let i n = Int_lit n
+let f x = Float_lit x
+let str s = Str_lit s
+let date d = Date_lit d
+let ( +: ) a b = Add (a, b)
+let ( -: ) a b = Sub (a, b)
+let ( *: ) a b = Mul (a, b)
+let ( /: ) a b = Div (a, b)
+let ( >: ) a b = Gt (a, b)
+let ( >=: ) a b = Ge (a, b)
+let ( <: ) a b = Lt (a, b)
+let ( <=: ) a b = Le (a, b)
+let ( =: ) a b = Eq (a, b)
+let ( <>: ) a b = Ne (a, b)
+let ( &&: ) a b = And (a, b)
+let ( ||: ) a b = Or (a, b)

@@ -1,0 +1,61 @@
+(** Scalar expressions over table columns, used by both the reference
+    evaluator (row-at-a-time) and the Voodoo lowering (vector-at-a-time).
+    String literals resolve against the compared column's dictionary; date
+    literals become day numbers. *)
+
+open Voodoo_vector
+
+type t =
+  | Col of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Date_lit of string  (** "YYYY-MM-DD" *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Eq of t * t
+  | Ne of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Between of t * t * t  (** [Between (x, lo, hi)], inclusive *)
+  | In_list of t * t list
+
+(** Column names an expression reads (with repetition). *)
+val columns : t -> string list
+
+(** Resolve [Str_lit]/[Date_lit] leaves to integer codes/day numbers;
+    [encode col s] gives the dictionary code of [s] in [col].  Strings
+    absent from a dictionary become code [-1] (never satisfied). *)
+val resolve : encode:(string -> string -> int option) -> t -> t
+
+(** Row-at-a-time evaluation (reference executor).  [row col] yields the
+    column's value for the current row ([None] = NULL/ε).  Expressions
+    must be {!resolve}d first. *)
+val eval : row:(string -> Scalar.t option) -> t -> Scalar.t option
+
+(** Convenience constructors and infix operators. *)
+
+val col : string -> t
+val i : int -> t
+val f : float -> t
+val str : string -> t
+val date : string -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val ( >: ) : t -> t -> t
+val ( >=: ) : t -> t -> t
+val ( <: ) : t -> t -> t
+val ( <=: ) : t -> t -> t
+val ( =: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( &&: ) : t -> t -> t
+val ( ||: ) : t -> t -> t

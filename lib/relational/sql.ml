@@ -1,0 +1,462 @@
+(** A SQL frontend for the subset the evaluation workload needs.
+
+    The paper reuses MonetDB's SQL-to-relational-algebra compiler; this is
+    our stand-in.  Supported grammar:
+
+    {v
+    query   ::= SELECT item ("," item)*
+                FROM table ("," table)*
+                [WHERE pred]
+                [GROUP BY column ("," column)*]
+    item    ::= expr [AS ident] | agg "(" expr ")" [AS ident] | COUNT "(*)"
+    agg     ::= SUM | MIN | MAX | COUNT | AVG
+    pred    ::= disjunctions/conjunctions/NOT over comparisons,
+                BETWEEN ... AND ..., IN (lit, ...), LIKE 'prefix%'
+    expr    ::= arithmetic over columns and literals; literals are numbers,
+                'strings' and DATE 'YYYY-MM-DD'
+    v}
+
+    Planning: equality predicates [fact.fk = dim.pk] between two of the
+    FROM tables become foreign-key (positional) joins when the catalog
+    shows [pk] to be a dense key of [dim]; remaining predicates become a
+    selection on the join result; LIKE resolves against the column's
+    dictionary into an [In_list].  The query must aggregate (plain
+    projections are not part of the evaluated workload). *)
+
+exception Sql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+(* ---------- lexer ---------- *)
+
+type token =
+  | KW of string  (** upper-cased keyword or identifier *)
+  | IDENT of string
+  | NUM of float
+  | INT of int
+  | STR of string
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | STAR
+  | EOF
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AS"; "AND"; "OR"; "NOT";
+    "BETWEEN"; "IN"; "LIKE"; "DATE"; "SUM"; "MIN"; "MAX"; "COUNT"; "AVG" ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (emit LPAREN; incr i)
+    else if c = ')' then (emit RPAREN; incr i)
+    else if c = ',' then (emit COMMA; incr i)
+    else if c = '*' then (emit STAR; incr i)
+    else if c = '\'' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '\'' do incr i done;
+      if !i >= n then fail "unterminated string literal";
+      emit (STR (String.sub s start (!i - start)));
+      incr i
+    end
+    else if c = '<' && !i + 1 < n && (s.[!i + 1] = '=' || s.[!i + 1] = '>') then begin
+      emit (OP (String.sub s !i 2));
+      i := !i + 2
+    end
+    else if c = '>' && !i + 1 < n && s.[!i + 1] = '=' then begin
+      emit (OP ">=");
+      i := !i + 2
+    end
+    else if c = '<' || c = '>' || c = '=' || c = '+' || c = '-' || c = '/' then begin
+      emit (OP (String.make 1 c));
+      incr i
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((s.[!i] >= '0' && s.[!i] <= '9') || s.[!i] = '.') do incr i done;
+      let lit = String.sub s start (!i - start) in
+      match int_of_string_opt lit with
+      | Some v -> emit (INT v)
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> emit (NUM f)
+          | None -> fail "bad number %S" lit)
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      let word = String.sub s start (!i - start) in
+      let up = String.uppercase_ascii word in
+      if List.mem up keywords then emit (KW up) else emit (IDENT word)
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev (EOF :: !toks)
+
+(* ---------- parser ---------- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> EOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t what = if next st <> t then fail "expected %s" what
+
+let accept st t = if peek st = t then (ignore (next st); true) else false
+
+(* a parsed scalar/predicate expression; LIKE needs catalog resolution, so
+   predicates stay symbolic until planning *)
+type pexpr =
+  | E of Rexpr.t
+  | Like of string * string  (** column, pattern *)
+  | PAnd of pexpr * pexpr
+  | POr of pexpr * pexpr
+  | PNot of pexpr
+
+let as_rexpr = function
+  | E e -> e
+  | Like _ | PAnd _ | POr _ | PNot _ ->
+      fail "predicates are not allowed in scalar position"
+
+(* strip an optional table qualifier: TPC-H column names are unique *)
+let bare_column c =
+  match String.rindex_opt c '.' with
+  | Some i -> String.sub c (i + 1) (String.length c - i - 1)
+  | None -> c
+
+let rec parse_or st =
+  let l = parse_and st in
+  if accept st (KW "OR") then POr (l, parse_or st) else l
+
+and parse_and st =
+  let l = parse_not st in
+  if accept st (KW "AND") then PAnd (l, parse_and st) else l
+
+and parse_not st =
+  if accept st (KW "NOT") then PNot (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let l = parse_additive st in
+  match peek st with
+  | OP op ->
+      ignore (next st);
+      let r = parse_additive st in
+      let a = as_rexpr l and b = as_rexpr r in
+      E
+        (match op with
+        | "=" -> Rexpr.Eq (a, b)
+        | "<>" -> Rexpr.Ne (a, b)
+        | "<" -> Rexpr.Lt (a, b)
+        | "<=" -> Rexpr.Le (a, b)
+        | ">" -> Rexpr.Gt (a, b)
+        | ">=" -> Rexpr.Ge (a, b)
+        | _ -> fail "unknown comparison %s" op)
+  | KW "BETWEEN" ->
+      ignore (next st);
+      let lo = parse_additive st in
+      expect st (KW "AND") "AND";
+      let hi = parse_additive st in
+      E (Rexpr.Between (as_rexpr l, as_rexpr lo, as_rexpr hi))
+  | KW "IN" ->
+      ignore (next st);
+      expect st LPAREN "(";
+      let lits = ref [ as_rexpr (parse_additive st) ] in
+      while accept st COMMA do
+        lits := as_rexpr (parse_additive st) :: !lits
+      done;
+      expect st RPAREN ")";
+      E (Rexpr.In_list (as_rexpr l, List.rev !lits))
+  | KW "LIKE" -> (
+      ignore (next st);
+      match l, next st with
+      | E (Rexpr.Col c), STR pat -> Like (c, pat)
+      | _ -> fail "LIKE needs a column on the left and a string pattern")
+  | _ -> l
+
+and parse_additive st =
+  let l = parse_multiplicative st in
+  match peek st with
+  | OP "+" ->
+      ignore (next st);
+      E (Rexpr.Add (as_rexpr l, as_rexpr (parse_additive st)))
+  | OP "-" ->
+      ignore (next st);
+      E (Rexpr.Sub (as_rexpr l, as_rexpr (parse_additive st)))
+  | _ -> l
+
+and parse_multiplicative st =
+  let l = parse_atom st in
+  match peek st with
+  | STAR ->
+      ignore (next st);
+      E (Rexpr.Mul (as_rexpr l, as_rexpr (parse_multiplicative st)))
+  | OP "/" ->
+      ignore (next st);
+      E (Rexpr.Div (as_rexpr l, as_rexpr (parse_multiplicative st)))
+  | _ -> l
+
+and parse_atom st =
+  match next st with
+  | INT i -> E (Rexpr.Int_lit i)
+  | NUM f -> E (Rexpr.Float_lit f)
+  | STR s -> E (Rexpr.Str_lit s)
+  | KW "DATE" -> (
+      match next st with
+      | STR d -> E (Rexpr.Date_lit d)
+      | _ -> fail "DATE needs a 'YYYY-MM-DD' literal")
+  | IDENT c -> E (Rexpr.Col (bare_column c))
+  | LPAREN ->
+      let e = parse_or st in
+      expect st RPAREN ")";
+      e
+  | OP "-" -> (
+      match next st with
+      | INT i -> E (Rexpr.Int_lit (-i))
+      | NUM f -> E (Rexpr.Float_lit (-.f))
+      | _ -> fail "dangling unary minus")
+  | t ->
+      fail "unexpected token %s"
+        (match t with
+        | KW k -> k
+        | EOF -> "end of input"
+        | COMMA -> ","
+        | RPAREN -> ")"
+        | _ -> "?")
+
+type item = {
+  alias : string;
+  kind : [ `Plain of Rexpr.t | `Agg of Ra.agg_kind * Rexpr.t ];
+}
+
+let parse_item st idx =
+  let agg_kw k = List.mem k [ "SUM"; "MIN"; "MAX"; "COUNT"; "AVG" ] in
+  let kind =
+    match peek st with
+    | KW k when agg_kw k ->
+        ignore (next st);
+        expect st LPAREN "(";
+        let e =
+          if k = "COUNT" && peek st = STAR then (ignore (next st); Rexpr.Int_lit 1)
+          else as_rexpr (parse_or st)
+        in
+        expect st RPAREN ")";
+        let kind : Ra.agg_kind =
+          match k with
+          | "SUM" -> Sum
+          | "MIN" -> Min
+          | "MAX" -> Max
+          | "COUNT" -> Count
+          | _ -> Avg
+        in
+        `Agg (kind, e)
+    | _ -> `Plain (as_rexpr (parse_or st))
+  in
+  let alias =
+    if accept st (KW "AS") then
+      match next st with
+      | IDENT a -> a
+      | _ -> fail "expected alias after AS"
+    else
+      match kind with
+      | `Plain (Rexpr.Col c) -> c
+      | `Agg _ | `Plain _ -> Printf.sprintf "expr%d" idx
+  in
+  { alias; kind }
+
+type parsed = {
+  items : item list;
+  tables : string list;
+  where : pexpr option;
+  group_by : string list;
+}
+
+let parse_query text =
+  let st = { toks = tokenize text } in
+  expect st (KW "SELECT") "SELECT";
+  let items = ref [ parse_item st 0 ] in
+  while accept st COMMA do
+    items := parse_item st (List.length !items) :: !items
+  done;
+  expect st (KW "FROM") "FROM";
+  let tables = ref [] in
+  (match next st with
+  | IDENT t -> tables := [ t ]
+  | _ -> fail "expected table name");
+  while accept st COMMA do
+    match next st with
+    | IDENT t -> tables := t :: !tables
+    | _ -> fail "expected table name"
+  done;
+  let where = if accept st (KW "WHERE") then Some (parse_or st) else None in
+  let group_by =
+    if accept st (KW "GROUP") then begin
+      expect st (KW "BY") "BY";
+      let cols = ref [] in
+      (match next st with
+      | IDENT c -> cols := [ bare_column c ]
+      | _ -> fail "expected grouping column");
+      while accept st COMMA do
+        match next st with
+        | IDENT c -> cols := bare_column c :: !cols
+        | _ -> fail "expected grouping column"
+      done;
+      List.rev !cols
+    end
+    else []
+  in
+  (match next st with
+  | EOF -> ()
+  | _ -> fail "trailing input after query");
+  { items = List.rev !items; tables = List.rev !tables; where; group_by }
+
+(* ---------- planning ---------- *)
+
+(* split a predicate tree into conjuncts *)
+let rec conjuncts = function
+  | Rexpr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* LIKE against a dictionary column: 'foo%' is a prefix match, '%foo%' a
+   substring match, otherwise exact *)
+let like_to_inlist (cat : Catalog.t) colname pattern =
+  let tname = Catalog.owner_exn cat colname in
+  let c = Table.column (Catalog.table cat tname) colname in
+  match c.dict with
+  | None -> fail "LIKE on non-string column %s" colname
+  | Some dict ->
+      let matchp =
+        let l = String.length pattern in
+        if l > 1 && pattern.[l - 1] = '%' && pattern.[0] = '%' then
+          let inner = String.sub pattern 1 (l - 2) in
+          fun s ->
+            let sl = String.length s and il = String.length inner in
+            let rec go i = i + il <= sl && (String.sub s i il = inner || go (i + 1)) in
+            go 0
+        else if l > 0 && pattern.[l - 1] = '%' then
+          has_prefix ~prefix:(String.sub pattern 0 (l - 1))
+        else String.equal pattern
+      in
+      let codes = ref [] in
+      Array.iteri (fun code s -> if matchp s then codes := code :: !codes) dict;
+      Rexpr.In_list (Rexpr.Col colname, List.map (fun c -> Rexpr.Int_lit c) !codes)
+
+(* resolve the symbolic predicate tree against the catalog *)
+let rec to_rexpr cat = function
+  | E e -> e
+  | Like (c, pat) -> like_to_inlist cat c pat
+  | PAnd (a, b) -> Rexpr.And (to_rexpr cat a, to_rexpr cat b)
+  | POr (a, b) -> Rexpr.Or (to_rexpr cat a, to_rexpr cat b)
+  | PNot a -> Rexpr.Not (to_rexpr cat a)
+
+(* is [col] a dense key (min..max covers the row count) of [tname]? *)
+let is_dense_key cat tname col =
+  Table.mem_column (Catalog.table cat tname) col
+  &&
+  let mn, mx = Catalog.stats cat tname col in
+  mx - mn + 1 = (Catalog.table cat tname).nrows
+
+let owner_among cat tables col =
+  List.find_opt (fun t -> Table.mem_column (Catalog.table cat t) col) tables
+
+(** [plan cat text] parses and plans a query against the catalog. *)
+let plan (cat : Catalog.t) text : Ra.t =
+  let q = parse_query text in
+  List.iter
+    (fun t -> if not (Catalog.mem cat t) then fail "unknown table %s" t)
+    q.tables;
+  (* split WHERE into join conditions and scan predicates *)
+  let preds =
+    match q.where with None -> [] | Some p -> conjuncts (to_rexpr cat p)
+  in
+  let is_join_pred = function
+    | Rexpr.Eq (Rexpr.Col a, Rexpr.Col b) ->
+        let ta = owner_among cat q.tables a and tb = owner_among cat q.tables b in
+        (match ta, tb with
+        | Some ta, Some tb when ta <> tb ->
+            if is_dense_key cat tb b then Some (a, tb, b)
+            else if is_dense_key cat ta a then Some (b, ta, a)
+            else None
+        | _ -> None)
+    | _ -> None
+  in
+  let joins = List.filter_map is_join_pred preds in
+  let rest = List.filter (fun p -> is_join_pred p = None) preds in
+  (* fact table: the FROM table that is never a join dimension *)
+  let dims = List.map (fun (_, t, _) -> t) joins in
+  let fact =
+    match List.filter (fun t -> not (List.mem t dims)) q.tables with
+    | [ f ] -> f
+    | [] -> List.hd q.tables
+    | f :: _ -> f
+  in
+  if List.length joins + 1 < List.length q.tables then
+    fail "FROM lists tables without recognizable join conditions";
+  (* order joins so each fk is available when joined (fact first, then
+     transitively through already-joined dims) *)
+  let plan = ref (Ra.scan fact) in
+  let available = ref [ fact ] in
+  let pending = ref joins in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (fk, dim, pk) ->
+        let fk_table = owner_among cat !available fk in
+        if fk_table <> None then begin
+          plan := Ra.fk_join !plan ~fk (Ra.scan dim) ~pk;
+          available := dim :: !available;
+          progress := true
+        end
+        else still := (fk, dim, pk) :: !still)
+      !pending;
+    pending := !still
+  done;
+  if !pending <> [] then fail "could not order the joins";
+  let plan =
+    match rest with
+    | [] -> !plan
+    | p :: ps -> Ra.select !plan (List.fold_left (fun a b -> Rexpr.And (a, b)) p ps)
+  in
+  (* aggregation *)
+  let aggs =
+    List.filter_map
+      (fun it ->
+        match it.kind with
+        | `Agg (kind, e) -> Some (Ra.agg ~name:it.alias kind e)
+        | `Plain _ -> None)
+      q.items
+  in
+  let plains =
+    List.filter_map
+      (fun it -> match it.kind with `Plain (Rexpr.Col c) -> Some c | _ -> None)
+      q.items
+  in
+  if aggs = [] then fail "the query must aggregate (plain SELECT is not supported)";
+  List.iter
+    (fun c ->
+      if not (List.mem c q.group_by) then
+        fail "selected column %s is not in GROUP BY" c)
+    plains;
+  Ra.group_by plan q.group_by aggs

@@ -1,0 +1,18 @@
+(** A SQL frontend for the subset the evaluation workload needs — the
+    stand-in for MonetDB's SQL-to-relational-algebra compiler (paper
+    Section 4).
+
+    Supported: [SELECT] items (expressions and SUM/MIN/MAX/COUNT/AVG
+    aggregates, COUNT star, [AS] aliases), multi-table [FROM] with
+    equality join conditions in [WHERE] (planned as positional joins when
+    the catalog shows a dense key), scan predicates with
+    [AND]/[OR]/[NOT]/[BETWEEN]/[IN]/[LIKE] (prefix, substring and exact
+    patterns resolve against the column dictionary), numeric, string and
+    [DATE 'YYYY-MM-DD'] literals, and [GROUP BY].  The query must
+    aggregate. *)
+
+exception Sql_error of string
+
+(** [plan cat text] parses and plans a query against the catalog.
+    Raises {!Sql_error}. *)
+val plan : Catalog.t -> string -> Ra.t

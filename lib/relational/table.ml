@@ -1,0 +1,148 @@
+(** Relational tables and their device representation.
+
+    A table is a set of same-length columns.  On the device (the
+    {!Voodoo_core.Store}) a table is one structured vector whose attributes
+    are the columns — binary column-wise storage, with strings dictionary
+    encoded, exactly the MonetDB format the paper loads from.
+
+    Column types: integers, floats, dates (stored as day numbers since
+    1970-01-01) and strings (stored as dictionary codes). *)
+
+open Voodoo_vector
+
+type coltype = TInt | TFloat | TDate | TStr
+
+type column = {
+  name : string;
+  ctype : coltype;
+  data : Column.t;  (** device representation: Int (codes/days) or Float *)
+  dict : string array option;  (** decode table for TStr columns *)
+}
+
+type t = { name : string; nrows : int; columns : column list }
+
+let dtype_of_coltype = function
+  | TInt | TDate | TStr -> Scalar.Int
+  | TFloat -> Scalar.Float
+
+let column t name =
+  match List.find_opt (fun (c : column) -> String.equal c.name name) t.columns with
+  | Some c -> c
+  | None ->
+      invalid_arg (Printf.sprintf "Table %s: no column %s" t.name name)
+
+let mem_column t name =
+  List.exists (fun (c : column) -> String.equal c.name name) t.columns
+
+let make ~name columns =
+  match columns with
+  | [] -> invalid_arg "Table.make: no columns"
+  | (c0 : column) :: _ ->
+      let nrows = Column.length c0.data in
+      List.iter
+        (fun (c : column) ->
+          if Column.length c.data <> nrows then
+            invalid_arg
+              (Printf.sprintf "Table.make: column %s length mismatch" c.name))
+        columns;
+      { name; nrows; columns }
+
+let int_column ~name xs = { name; ctype = TInt; data = Column.of_int_array xs; dict = None }
+
+let float_column ~name xs =
+  { name; ctype = TFloat; data = Column.of_float_array xs; dict = None }
+
+let date_column ~name xs =
+  { name; ctype = TDate; data = Column.of_int_array xs; dict = None }
+
+(** Dictionary-encode a string column (codes ordered by first occurrence). *)
+let str_column ~name xs =
+  let tbl = Hashtbl.create 16 in
+  let rev = ref [] in
+  let next = ref 0 in
+  let codes =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt tbl s with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            Hashtbl.replace tbl s c;
+            rev := s :: !rev;
+            incr next;
+            c)
+      xs
+  in
+  {
+    name;
+    ctype = TStr;
+    data = Column.of_int_array codes;
+    dict = Some (Array.of_list (List.rev !rev));
+  }
+
+(** Dictionary code of [s] in column [c] ([None] when the string never
+    occurs — a selection on it is unsatisfiable). *)
+let encode c s =
+  match c.dict with
+  | None -> invalid_arg (Printf.sprintf "column %s is not a string column" c.name)
+  | Some dict ->
+      let rec go i =
+        if i >= Array.length dict then None
+        else if String.equal dict.(i) s then Some i
+        else go (i + 1)
+      in
+      go 0
+
+let decode c code =
+  match c.dict with
+  | Some dict when code >= 0 && code < Array.length dict -> dict.(code)
+  | _ -> invalid_arg (Printf.sprintf "bad dictionary code %d for %s" code c.name)
+
+(** Min/max of an integer-representable column: the metadata the lowering
+    exploits for identity hashing and positional joins. *)
+let int_stats c =
+  let n = Column.length c.data in
+  let mn = ref max_int and mx = ref min_int in
+  for i = 0 to n - 1 do
+    match Column.get c.data i with
+    | Some v ->
+        let v = Scalar.to_int v in
+        if v < !mn then mn := v;
+        if v > !mx then mx := v
+    | None -> ()
+  done;
+  if !mn > !mx then (0, 0) else (!mn, !mx)
+
+(** The device image: one structured vector, one attribute per column. *)
+let to_svector t =
+  Svector.of_columns
+    (List.map (fun (c : column) -> ([ c.name ], c.data)) t.columns)
+
+(** Days since 1970-01-01 for a ["YYYY-MM-DD"] literal (proleptic
+    Gregorian). *)
+let date_of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+      let y = int_of_string y and m = int_of_string m and d = int_of_string d in
+      (* days from civil algorithm (Howard Hinnant) *)
+      let y = if m <= 2 then y - 1 else y in
+      let era = (if y >= 0 then y else y - 399) / 400 in
+      let yoe = y - (era * 400) in
+      let mp = (m + 9) mod 12 in
+      let doy = ((153 * mp) + 2) / 5 + d - 1 in
+      let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+      (era * 146097) + doe - 719468
+  | _ -> invalid_arg (Printf.sprintf "bad date literal %S" s)
+
+let string_of_date days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  Printf.sprintf "%04d-%02d-%02d" y m d

@@ -1,0 +1,55 @@
+(** Relational tables and their device representation.
+
+    A table is a set of same-length columns; on the device it is one
+    structured vector whose attributes are the columns — binary
+    column-wise, strings dictionary-encoded, the MonetDB format the paper
+    loads from.  Column types: integers, floats, dates (day numbers since
+    1970-01-01), strings (dictionary codes). *)
+
+open Voodoo_vector
+
+type coltype = TInt | TFloat | TDate | TStr
+
+type column = {
+  name : string;
+  ctype : coltype;
+  data : Column.t;  (** device representation: Int (codes/days) or Float *)
+  dict : string array option;  (** decode table for TStr columns *)
+}
+
+type t = { name : string; nrows : int; columns : column list }
+
+val dtype_of_coltype : coltype -> Scalar.dtype
+
+(** Raises [Invalid_argument] for unknown columns. *)
+val column : t -> string -> column
+
+val mem_column : t -> string -> bool
+
+(** [make ~name columns] checks all columns share one length. *)
+val make : name:string -> column list -> t
+
+val int_column : name:string -> int array -> column
+val float_column : name:string -> float array -> column
+val date_column : name:string -> int array -> column
+
+(** Dictionary-encode a string column (codes by first occurrence). *)
+val str_column : name:string -> string array -> column
+
+(** Dictionary code of a string ([None] when it never occurs — a selection
+    on it is unsatisfiable). *)
+val encode : column -> string -> int option
+
+val decode : column -> int -> string
+
+(** Min/max of an integer-representable column: the metadata the lowering
+    exploits for identity hashing and positional joins. *)
+val int_stats : column -> int * int
+
+(** The device image: one structured vector, one attribute per column. *)
+val to_svector : t -> Svector.t
+
+(** Days since 1970-01-01 for a ["YYYY-MM-DD"] literal. *)
+val date_of_string : string -> int
+
+val string_of_date : int -> string

@@ -1,0 +1,300 @@
+(** Deterministic synthetic TPC-H generator.
+
+    Reproduces the schema, dense key structure, foreign keys, value
+    domains and the standard selectivity-bearing distributions of dbgen
+    (dates, quantities, discounts, flags, types, brands, containers,
+    segments, priorities, ship modes) without its text corpus.  Keys are
+    dense 1..N — the property the paper's metadata-driven lowering
+    exploits.  Two derived columns are materialized at load time
+    ([l_year], [o_year]) standing in for SQL's [extract(year ...)].
+
+    All randomness comes from a seeded xorshift generator: the same scale
+    factor and seed always produce the same database. *)
+
+open Voodoo_relational
+
+type rng = { mutable s : int }
+
+let rng seed = { s = (seed * 2654435761) lor 1 }
+
+let next r =
+  (* xorshift64* *)
+  let s = r.s in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  r.s <- s;
+  s land max_int
+
+(** uniform integer in [lo, hi] inclusive *)
+let uniform r lo hi = lo + (next r mod (hi - lo + 1))
+
+let pick r arr = arr.(next r mod Array.length arr)
+
+(* --- value domains (dbgen appendix) --- *)
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4);
+    ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0);
+    ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3);
+    ("UNITED KINGDOM", 3); ("UNITED STATES", 1);
+  |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let ship_instructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let type_syl1 =
+  [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers_syl1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers_syl2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let name_words =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished";
+    "chartreuse"; "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk";
+    "cream"; "cyan"; "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick";
+    "floral"; "forest"; "frosted"; "gainsboro"; "ghost"; "goldenrod";
+    "green"; "grey"; "honeydew"; "hot"; "indian"; "ivory"; "khaki";
+    "lace"; "lavender"; "lawn"; "lemon"; "light"; "lime"; "linen";
+    "magenta"; "maroon"; "medium";
+  |]
+
+(* key dates *)
+let epoch_start = Table.date_of_string "1992-01-01"
+let epoch_end = Table.date_of_string "1998-08-02"
+let current_date = Table.date_of_string "1995-06-17"
+
+type sizes = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+}
+
+let sizes_of_sf sf =
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  {
+    suppliers = scale 10_000;
+    parts = scale 200_000;
+    customers = scale 150_000;
+    orders = scale 1_500_000;
+  }
+
+(** Suppliers per part in partsupp. *)
+let ps_per_part = 4
+
+(** [generate ~sf ?seed ()] builds a catalog with all eight tables loaded
+    onto the device. *)
+let generate ~sf ?(seed = 1) () : Catalog.t =
+  let r = rng seed in
+  let sz = sizes_of_sf sf in
+  let cat = Catalog.create () in
+
+  (* region *)
+  Catalog.add_table cat
+    (Table.make ~name:"region"
+       [
+         Table.int_column ~name:"r_regionkey" (Array.init 5 Fun.id);
+         Table.str_column ~name:"r_name" regions;
+       ]);
+
+  (* nation *)
+  Catalog.add_table cat
+    (Table.make ~name:"nation"
+       [
+         Table.int_column ~name:"n_nationkey" (Array.init 25 Fun.id);
+         Table.str_column ~name:"n_name" (Array.map fst nations);
+         Table.int_column ~name:"n_regionkey" (Array.map snd nations);
+       ]);
+
+  (* supplier *)
+  let s_nation = Array.init sz.suppliers (fun _ -> uniform r 0 24) in
+  Catalog.add_table cat
+    (Table.make ~name:"supplier"
+       [
+         Table.int_column ~name:"s_suppkey" (Array.init sz.suppliers (fun i -> i + 1));
+         Table.int_column ~name:"s_nationkey" s_nation;
+         Table.float_column ~name:"s_acctbal"
+           (Array.init sz.suppliers (fun _ ->
+                float_of_int (uniform r (-99999) 999999) /. 100.0));
+       ]);
+
+  (* part *)
+  let p_type =
+    Array.init sz.parts (fun _ ->
+        Printf.sprintf "%s %s %s" (pick r type_syl1) (pick r type_syl2)
+          (pick r type_syl3))
+  in
+  let p_name =
+    Array.init sz.parts (fun _ ->
+        Printf.sprintf "%s %s" (pick r name_words) (pick r name_words))
+  in
+  Catalog.add_table cat
+    (Table.make ~name:"part"
+       [
+         Table.int_column ~name:"p_partkey" (Array.init sz.parts (fun i -> i + 1));
+         Table.str_column ~name:"p_name" p_name;
+         Table.str_column ~name:"p_type" p_type;
+         Table.int_column ~name:"p_size" (Array.init sz.parts (fun _ -> uniform r 1 50));
+         Table.str_column ~name:"p_brand"
+           (Array.init sz.parts (fun _ ->
+                Printf.sprintf "Brand#%d%d" (uniform r 1 5) (uniform r 1 5)));
+         Table.str_column ~name:"p_container"
+           (Array.init sz.parts (fun _ ->
+                Printf.sprintf "%s %s" (pick r containers_syl1) (pick r containers_syl2)));
+         Table.float_column ~name:"p_retailprice"
+           (Array.init sz.parts (fun i ->
+                900.0 +. (float_of_int ((i + 1) mod 1000) /. 10.0)));
+       ]);
+
+  (* partsupp: ps_per_part suppliers per part, deterministic spread *)
+  let nps = sz.parts * ps_per_part in
+  let ps_part = Array.make nps 0 and ps_supp = Array.make nps 0 in
+  for p = 0 to sz.parts - 1 do
+    for i = 0 to ps_per_part - 1 do
+      ps_part.((p * ps_per_part) + i) <- p + 1;
+      ps_supp.((p * ps_per_part) + i) <-
+        ((p + (i * ((sz.suppliers / ps_per_part) + 1))) mod sz.suppliers) + 1
+    done
+  done;
+  Catalog.add_table cat
+    (Table.make ~name:"partsupp"
+       [
+         Table.int_column ~name:"ps_partkey" ps_part;
+         Table.int_column ~name:"ps_suppkey" ps_supp;
+         Table.int_column ~name:"ps_availqty"
+           (Array.init nps (fun _ -> uniform r 1 9999));
+         Table.float_column ~name:"ps_supplycost"
+           (Array.init nps (fun _ -> float_of_int (uniform r 100 100000) /. 100.0));
+       ]);
+
+  (* customer *)
+  Catalog.add_table cat
+    (Table.make ~name:"customer"
+       [
+         Table.int_column ~name:"c_custkey" (Array.init sz.customers (fun i -> i + 1));
+         Table.int_column ~name:"c_nationkey"
+           (Array.init sz.customers (fun _ -> uniform r 0 24));
+         Table.str_column ~name:"c_mktsegment"
+           (Array.init sz.customers (fun _ -> pick r segments));
+         Table.float_column ~name:"c_acctbal"
+           (Array.init sz.customers (fun _ ->
+                float_of_int (uniform r (-99999) 999999) /. 100.0));
+       ]);
+
+  (* orders + lineitem *)
+  let o_orderdate = Array.make sz.orders 0 in
+  let o_custkey = Array.make sz.orders 0 in
+  let o_priority = Array.make sz.orders "" in
+  let o_year = Array.make sz.orders 0 in
+  let line_count = Array.make sz.orders 0 in
+  let nlines = ref 0 in
+  for o = 0 to sz.orders - 1 do
+    o_orderdate.(o) <- uniform r epoch_start (epoch_end - 121);
+    o_custkey.(o) <- uniform r 1 sz.customers;
+    o_priority.(o) <- pick r priorities;
+    o_year.(o) <- int_of_string (String.sub (Table.string_of_date o_orderdate.(o)) 0 4);
+    let lc = uniform r 1 7 in
+    line_count.(o) <- lc;
+    nlines := !nlines + lc
+  done;
+  let n = !nlines in
+  let l_orderkey = Array.make n 0
+  and l_partkey = Array.make n 0
+  and l_suppkey = Array.make n 0
+  and l_linenumber = Array.make n 0
+  and l_quantity = Array.make n 0
+  and l_extendedprice = Array.make n 0.0
+  and l_discount = Array.make n 0.0
+  and l_tax = Array.make n 0.0
+  and l_returnflag = Array.make n ""
+  and l_linestatus = Array.make n ""
+  and l_shipdate = Array.make n 0
+  and l_commitdate = Array.make n 0
+  and l_receiptdate = Array.make n 0
+  and l_shipmode = Array.make n ""
+  and l_shipinstruct = Array.make n ""
+  and l_year = Array.make n 0 in
+  let li = ref 0 in
+  for o = 0 to sz.orders - 1 do
+    for ln = 1 to line_count.(o) do
+      let i = !li in
+      incr li;
+      l_orderkey.(i) <- o + 1;
+      let pk = uniform r 1 sz.parts in
+      l_partkey.(i) <- pk;
+      (* the supplier comes from the part's partsupp set, keeping the
+         composite (partkey, suppkey) FK into partsupp valid *)
+      let s_idx = uniform r 0 (ps_per_part - 1) in
+      l_suppkey.(i) <- ps_supp.(((pk - 1) * ps_per_part) + s_idx);
+      l_linenumber.(i) <- ln;
+      let qty = uniform r 1 50 in
+      l_quantity.(i) <- qty;
+      let price = 900.0 +. (float_of_int (pk mod 1000) /. 10.0) in
+      l_extendedprice.(i) <- float_of_int qty *. price;
+      l_discount.(i) <- float_of_int (uniform r 0 10) /. 100.0;
+      l_tax.(i) <- float_of_int (uniform r 0 8) /. 100.0;
+      let ship = o_orderdate.(o) + uniform r 1 121 in
+      let commit = o_orderdate.(o) + uniform r 30 90 in
+      let receipt = ship + uniform r 1 30 in
+      l_shipdate.(i) <- ship;
+      l_commitdate.(i) <- commit;
+      l_receiptdate.(i) <- receipt;
+      l_returnflag.(i) <-
+        (if receipt <= current_date then (if next r land 1 = 0 then "R" else "A")
+         else "N");
+      l_linestatus.(i) <- (if ship > current_date then "O" else "F");
+      l_shipmode.(i) <- pick r ship_modes;
+      l_shipinstruct.(i) <- pick r ship_instructs;
+      l_year.(i) <- int_of_string (String.sub (Table.string_of_date ship) 0 4)
+    done
+  done;
+  Catalog.add_table cat
+    (Table.make ~name:"orders"
+       [
+         Table.int_column ~name:"o_orderkey" (Array.init sz.orders (fun i -> i + 1));
+         Table.int_column ~name:"o_custkey" o_custkey;
+         Table.date_column ~name:"o_orderdate" o_orderdate;
+         Table.str_column ~name:"o_orderpriority" o_priority;
+         Table.int_column ~name:"o_year" o_year;
+       ]);
+  Catalog.add_table cat
+    (Table.make ~name:"lineitem"
+       [
+         Table.int_column ~name:"l_orderkey" l_orderkey;
+         Table.int_column ~name:"l_partkey" l_partkey;
+         Table.int_column ~name:"l_suppkey" l_suppkey;
+         Table.int_column ~name:"l_linenumber" l_linenumber;
+         Table.int_column ~name:"l_quantity" l_quantity;
+         Table.float_column ~name:"l_extendedprice" l_extendedprice;
+         Table.float_column ~name:"l_discount" l_discount;
+         Table.float_column ~name:"l_tax" l_tax;
+         Table.str_column ~name:"l_returnflag" l_returnflag;
+         Table.str_column ~name:"l_linestatus" l_linestatus;
+         Table.date_column ~name:"l_shipdate" l_shipdate;
+         Table.date_column ~name:"l_commitdate" l_commitdate;
+         Table.date_column ~name:"l_receiptdate" l_receiptdate;
+         Table.str_column ~name:"l_shipmode" l_shipmode;
+         Table.str_column ~name:"l_shipinstruct" l_shipinstruct;
+         Table.int_column ~name:"l_year" l_year;
+       ]);
+  cat

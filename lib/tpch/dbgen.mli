@@ -1,0 +1,21 @@
+(** Deterministic synthetic TPC-H generator.
+
+    Reproduces dbgen's schema, dense key structure, foreign keys, value
+    domains and the standard selectivity-bearing distributions (dates,
+    quantities, discounts, flags, types, brands, containers, segments,
+    priorities, ship modes) without its text corpus.  Two derived columns
+    are materialized at load time ([l_year], [o_year]) standing in for
+    SQL's [extract(year ...)].  Same scale factor and seed always produce
+    the same database (DESIGN.md §2). *)
+
+(** Cardinalities at a scale factor (lineitem is 1–7 lines per order). *)
+type sizes = { suppliers : int; parts : int; customers : int; orders : int }
+
+val sizes_of_sf : float -> sizes
+
+(** Suppliers per part in partsupp (dbgen: 4). *)
+val ps_per_part : int
+
+(** [generate ~sf ?seed ()] builds a catalog with all eight tables loaded
+    onto the device. *)
+val generate : sf:float -> ?seed:int -> unit -> Voodoo_relational.Catalog.t

@@ -1,0 +1,38 @@
+(** The evaluated TPC-H query subset (paper Figures 12 and 13):
+    Q1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 15, 19, 20.
+
+    Each query is one or more relational plans plus pure post-processing
+    (HAVING filters, ratios, argmax) shared by every engine, so engine
+    comparisons exercise exactly the plan evaluation.  ORDER BY / LIMIT
+    are omitted, as in the paper.  Grouping keys are reported as integer
+    codes; the CLI decodes them for display. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+
+(** One engine invocation on one plan; temp tables produced by earlier
+    phases are registered into the catalog before later phases run. *)
+type evaluator = Catalog.t -> Ra.t -> E.rows
+
+type t = {
+  name : string;
+  figure : string;  (** which paper figure(s) evaluate it *)
+  run : evaluator -> Catalog.t -> E.rows;
+  columns : string list;  (** result columns compared across engines *)
+}
+
+(** Dictionary codes of [table.col] values satisfying [pred], as an
+    [In_list] predicate (how LIKE and equality on strings reach plans). *)
+val codes_matching : Catalog.t -> string -> string -> (string -> bool) -> Rexpr.t
+
+(** All evaluated queries; Q11's HAVING fraction depends on the scale
+    factor. *)
+val all : sf:float -> t list
+
+(** Figure 13's CPU query set (all fourteen). *)
+val cpu_figure13 : string list
+
+(** Figure 12's GPU query subset. *)
+val gpu_figure12 : string list
+
+val find : sf:float -> string -> t option

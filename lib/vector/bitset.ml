@@ -1,0 +1,45 @@
+(** Compact mutable bitsets, used as validity masks (empty-slot ε tracking)
+    on columns. *)
+
+type t = { bits : Bytes.t; length : int }
+
+let create ~length ~default =
+  let nbytes = (length + 7) / 8 in
+  { bits = Bytes.make nbytes (if default then '\xff' else '\x00'); length }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitset: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i v =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte land 0xff))
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to t.length - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let for_all p t =
+  let rec go i = i >= t.length || (p (get t i) && go (i + 1)) in
+  go 0
+
+let all_set t = for_all (fun b -> b) t
+
+let equal a b =
+  a.length = b.length
+  &&
+  let rec go i = i >= a.length || (get a i = get b i && go (i + 1)) in
+  go 0

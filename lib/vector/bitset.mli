@@ -1,0 +1,25 @@
+(** Compact mutable bitsets, used as validity masks (empty-slot ε tracking)
+    on columns. *)
+
+type t
+
+(** [create ~length ~default] makes a bitset of [length] bits, all set to
+    [default]. *)
+val create : length:int -> default:bool -> t
+
+val length : t -> int
+
+(** [get t i] reads bit [i].  Raises [Invalid_argument] out of bounds. *)
+val get : t -> int -> bool
+
+(** [set t i v] writes bit [i].  Raises [Invalid_argument] out of bounds. *)
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+(** Number of set bits. *)
+val count : t -> int
+
+val for_all : (bool -> bool) -> t -> bool
+val all_set : t -> bool
+val equal : t -> t -> bool

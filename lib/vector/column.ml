@@ -1,0 +1,111 @@
+(** A column: one scalar attribute of a structured vector.
+
+    Every slot either holds a scalar of the column's dtype or is {e empty}
+    (the paper's ε).  Empty slots appear when a scatter does not target a
+    slot or when a controlled fold pads between run results; they are
+    tracked with a validity bitset that is only allocated once the first
+    empty slot is produced. *)
+
+type data =
+  | I of int array
+  | F of float array
+
+type t = {
+  data : data;
+  mutable valid : Bitset.t option;  (** [None] means every slot is valid *)
+}
+
+let length t = match t.data with I a -> Array.length a | F a -> Array.length a
+
+let dtype t : Scalar.dtype = match t.data with I _ -> Int | F _ -> Float
+
+(** [create dt n] is a column of [n] empty slots. *)
+let create (dt : Scalar.dtype) n =
+  let data = match dt with Int -> I (Array.make n 0) | Float -> F (Array.make n 0.0) in
+  { data; valid = Some (Bitset.create ~length:n ~default:false) }
+
+let of_int_array a = { data = I a; valid = None }
+let of_float_array a = { data = F a; valid = None }
+
+let init (dt : Scalar.dtype) n f =
+  match dt with
+  | Int -> of_int_array (Array.init n (fun i -> Scalar.to_int (f i)))
+  | Float -> of_float_array (Array.init n (fun i -> Scalar.to_float (f i)))
+
+let is_valid t i = match t.valid with None -> true | Some b -> Bitset.get b i
+
+(** [get t i] is [Some] scalar, or [None] for an empty slot. *)
+let get t i =
+  if not (is_valid t i) then None
+  else
+    Some
+      (match t.data with
+      | I a -> Scalar.I a.(i)
+      | F a -> Scalar.F a.(i))
+
+(** [get_exn t i] reads a slot that must be valid. *)
+let get_exn t i =
+  match get t i with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Column.get_exn: slot %d is empty" i)
+
+(** Raw reads that ignore validity (backends use these together with
+    explicit validity checks, mirroring separate data and mask buffers). *)
+let raw_int t i = match t.data with I a -> a.(i) | F a -> int_of_float a.(i)
+let raw_float t i = match t.data with I a -> float_of_int a.(i) | F a -> a.(i)
+
+let ensure_mask t =
+  match t.valid with
+  | Some b -> b
+  | None ->
+      let b = Bitset.create ~length:(length t) ~default:true in
+      t.valid <- Some b;
+      b
+
+let set t i (s : Scalar.t) =
+  (match t.data, s with
+  | I a, v -> a.(i) <- Scalar.to_int v
+  | F a, v -> a.(i) <- Scalar.to_float v);
+  match t.valid with None -> () | Some b -> Bitset.set b i true
+
+let set_empty t i = Bitset.set (ensure_mask t) i false
+
+let copy t =
+  {
+    data = (match t.data with I a -> I (Array.copy a) | F a -> F (Array.copy a));
+    valid = Option.map Bitset.copy t.valid;
+  }
+
+(** [of_scalars dt xs] builds a column from optional scalars ([None] = ε). *)
+let of_scalars (dt : Scalar.dtype) (xs : Scalar.t option list) =
+  let n = List.length xs in
+  let c = create dt n in
+  List.iteri (fun i x -> match x with Some s -> set c i s | None -> ()) xs;
+  c
+
+let to_scalars t = List.init (length t) (get t)
+
+(** Count of valid (non-ε) slots. *)
+let count_valid t =
+  match t.valid with None -> length t | Some b -> Bitset.count b
+
+let equal a b =
+  length a = length b
+  && dtype a = dtype b
+  &&
+  let rec go i =
+    i >= length a
+    ||
+    (match get a i, get b i with
+     | None, None -> true
+     | Some x, Some y -> Scalar.equal x y
+     | None, Some _ | Some _, None -> false)
+    && go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  let slot ppf i =
+    match get t i with None -> Fmt.string ppf "ε" | Some s -> Scalar.pp ppf s
+  in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") slot) (List.init (length t) Fun.id)

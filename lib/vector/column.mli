@@ -1,0 +1,61 @@
+(** A column: one scalar attribute of a structured vector.
+
+    Every slot either holds a scalar of the column's dtype or is {e empty}
+    (the paper's ε).  Empty slots appear when a scatter does not target a
+    slot or when a controlled fold pads between run results; they are
+    tracked with a validity bitset allocated lazily. *)
+
+type data = I of int array | F of float array
+
+type t = {
+  data : data;
+  mutable valid : Bitset.t option;  (** [None] means every slot is valid *)
+}
+
+val length : t -> int
+val dtype : t -> Scalar.dtype
+
+(** [create dt n] is a column of [n] empty slots. *)
+val create : Scalar.dtype -> int -> t
+
+(** Wrap existing arrays (shared, not copied); all slots valid. *)
+val of_int_array : int array -> t
+val of_float_array : float array -> t
+
+(** [init dt n f] builds a fully valid column from [f]. *)
+val init : Scalar.dtype -> int -> (int -> Scalar.t) -> t
+
+val is_valid : t -> int -> bool
+
+(** [get t i] is [Some] scalar, or [None] for an empty slot. *)
+val get : t -> int -> Scalar.t option
+
+(** [get_exn t i] reads a slot that must be valid. *)
+val get_exn : t -> int -> Scalar.t
+
+(** Raw reads that ignore validity (backends pair these with explicit
+    validity checks, mirroring separate data and mask buffers). *)
+val raw_int : t -> int -> int
+val raw_float : t -> int -> float
+
+(** [set t i s] writes [s] (converted to the column dtype) and marks the
+    slot valid. *)
+val set : t -> int -> Scalar.t -> unit
+
+(** [set_empty t i] turns slot [i] into ε. *)
+val set_empty : t -> int -> unit
+
+val copy : t -> t
+
+(** [of_scalars dt xs] builds a column from optional scalars ([None] = ε). *)
+val of_scalars : Scalar.dtype -> Scalar.t option list -> t
+
+val to_scalars : t -> Scalar.t option list
+
+(** Count of valid (non-ε) slots. *)
+val count_valid : t -> int
+
+(** Slot-wise equality, including ε positions. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

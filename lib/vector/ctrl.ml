@@ -1,0 +1,116 @@
+(** Control-vector metadata.
+
+    Control vectors are virtual attributes that declaratively encode the
+    partitioning (and hence parallelism) of controlled folds.  The compiler
+    never materializes them; instead it tracks the closed form the paper
+    gives in Section 3.1.1:
+
+    {v v[i] = from + ⌊i * step⌋ mod cap v}
+
+    [step] is kept as an exact rational so that [Divide] by [x] (runs of
+    length [x]) composes with [Modulo] by [c] (cycling partition ids) without
+    loss.  All the derivations the paper lists are implemented here:
+    dividing a vector by a constant divides [step]; a modulo sets [cap]. *)
+
+type t = {
+  from : int;
+  num : int;  (** step numerator *)
+  den : int;  (** step denominator, > 0 *)
+  cap : int option;  (** modulo cap, if any *)
+}
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make ~from ~num ~den ~cap =
+  if den <= 0 then invalid_arg "Ctrl.make: den must be positive";
+  let g = gcd num den in
+  let g = if g = 0 then 1 else g in
+  { from; num = num / g; den = den / g; cap }
+
+(** The identity control vector: [v[i] = i], i.e. every tuple its own run. *)
+let iota = make ~from:0 ~num:1 ~den:1 ~cap:None
+
+(** A constant vector: one single run spanning the whole input. *)
+let constant c = make ~from:c ~num:0 ~den:1 ~cap:None
+
+(** Metadata of [Range(from, _, step)]. *)
+let range ~from ~step = make ~from ~num:step ~den:1 ~cap:None
+
+(** [value m i] computes [v[i]]. *)
+let value m i =
+  let v = m.from + (i * m.num / m.den) in
+  match m.cap with None -> v | Some c -> ((v mod c) + abs c) mod abs c
+
+(** [materialize m n] realizes the first [n] values (interpreter use only:
+    the compiler keeps control vectors virtual). *)
+let materialize m n = Array.init n (value m)
+
+(** Metadata transformations under arithmetic with a constant.  [None] means
+    the result is no longer a recognizable control vector. *)
+
+(* Soundness of these rules rests on ⌊⌊x/a⌋/b⌋ = ⌊x/(ab)⌋ for non-negative x
+   and positive a, b.  Where a precondition fails we return [None] — the
+   attribute simply stops being a recognized control vector, which is always
+   sound (the backend falls back to treating it as data). *)
+
+let divide m x =
+  if
+    x <= 0 || m.cap <> None (* dividing a capped vector loses the closed form *)
+    || m.num < 0
+    || m.from < 0
+    || m.from mod x <> 0 (* floor division does not distribute over [from] *)
+  then None
+  else Some (make ~from:(m.from / x) ~num:m.num ~den:(m.den * x) ~cap:None)
+
+let modulo m x = if x <= 0 then None else Some { m with cap = Some x }
+
+let multiply m x =
+  if m.cap <> None || m.den <> 1 || x < 0 then None
+  else Some (make ~from:(m.from * x) ~num:(m.num * x) ~den:1 ~cap:None)
+
+let add m x =
+  if m.cap <> None then None else Some { m with from = m.from + x }
+
+let subtract m x = add m (-x)
+
+(** How the values of a control vector partition an input of length [n] into
+    runs (maximal stretches of equal adjacent values).  This is what the
+    compiler turns into kernel extent and intent. *)
+type runs =
+  | Single_run  (** one run of length [n]: fully sequential fold *)
+  | Uniform of int
+      (** runs of this exact length; [Uniform 1] is fully data-parallel *)
+  | Irregular  (** no static structure; backend must scan for boundaries *)
+
+let runs m ~n =
+  if n <= 1 then Single_run
+  else if m.num = 0 then Single_run
+  else if m.num = 1 then begin
+    (* v = from + i/den (mod cap): runs of exactly [den]; a cap only cycles
+       the ids, every boundary still changes the value. *)
+    if m.den >= n then Single_run
+    else
+      match m.cap with
+      | Some 1 -> Single_run
+      | _ -> Uniform m.den
+  end
+  else if m.den = 1 then
+    (* strictly increasing with step >= 2 (mod cap): runs of length 1 unless
+       the cap collapses everything. *)
+    match m.cap with Some 1 -> Single_run | _ -> Uniform 1
+  else Irregular
+
+(** Number of runs implied by [runs] over an input of length [n] (rounding
+    the last partial run up). *)
+let run_count m ~n =
+  match runs m ~n with
+  | Single_run -> 1
+  | Uniform len -> (n + len - 1) / len
+  | Irregular -> n
+
+let equal a b = a.from = b.from && a.num = b.num && a.den = b.den && a.cap = b.cap
+
+let pp ppf m =
+  Fmt.pf ppf "{from=%d; step=%d/%d; cap=%a}" m.from m.num m.den
+    Fmt.(option ~none:(any "none") int)
+    m.cap

@@ -1,0 +1,66 @@
+(** Control-vector metadata.
+
+    Control vectors are virtual attributes that declaratively encode the
+    partitioning (and hence parallelism) of controlled folds.  The compiler
+    never materializes them; instead it tracks the closed form of paper
+    Section 3.1.1:
+
+    {v v[i] = from + ⌊i * step⌋ mod cap v}
+
+    [step] is an exact rational, so dividing by [x] (runs of length [x])
+    composes with a modulo by [c] (cycling partition ids) without loss. *)
+
+type t = {
+  from : int;
+  num : int;  (** step numerator *)
+  den : int;  (** step denominator, > 0 *)
+  cap : int option;  (** modulo cap, if any *)
+}
+
+(** [make ~from ~num ~den ~cap] normalizes the rational step.
+    Raises [Invalid_argument] when [den <= 0]. *)
+val make : from:int -> num:int -> den:int -> cap:int option -> t
+
+(** The identity control vector: [v[i] = i] — every tuple its own run. *)
+val iota : t
+
+(** A constant vector: one single run spanning the whole input. *)
+val constant : int -> t
+
+(** Metadata of [Range(from, _, step)]. *)
+val range : from:int -> step:int -> t
+
+(** [value m i] computes [v[i]]. *)
+val value : t -> int -> int
+
+(** [materialize m n] realizes the first [n] values (interpreter use only;
+    the compiler keeps control vectors virtual). *)
+val materialize : t -> int -> int array
+
+(** Derivations under arithmetic with a constant; [None] means the result
+    is no longer a recognizable control vector (always sound — the backend
+    then treats the attribute as data).  All rules are property-tested
+    against materialization. *)
+
+val divide : t -> int -> t option
+val modulo : t -> int -> t option
+val multiply : t -> int -> t option
+val add : t -> int -> t option
+val subtract : t -> int -> t option
+
+(** How the values partition an input of length [n] into runs (maximal
+    stretches of equal adjacent values) — what the compiler turns into
+    kernel extent and intent. *)
+type runs =
+  | Single_run  (** one run of length [n]: fully sequential fold *)
+  | Uniform of int
+      (** runs of this exact length; [Uniform 1] is fully data-parallel *)
+  | Irregular  (** no static structure; backend must scan for boundaries *)
+
+val runs : t -> n:int -> runs
+
+(** Number of runs over an input of length [n] (last partial run counts). *)
+val run_count : t -> n:int -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Keypaths navigate the nested structure of a structured vector.
+
+    In the paper's notation a keypath is written with a leading dot,
+    e.g. [.value] or [.input.value].  We represent a keypath as the list of
+    component names; the textual forms parse and print with the leading
+    dot. *)
+
+type t = string list
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+
+(** [of_string ".a.b"] parses the dotted notation (the leading dot is
+    optional). *)
+let of_string s =
+  let s = if String.length s > 0 && s.[0] = '.' then String.sub s 1 (String.length s - 1) else s in
+  if s = "" then [] else String.split_on_char '.' s
+
+let to_string (kp : t) = "." ^ String.concat "." kp
+
+let pp ppf kp = Fmt.string ppf (to_string kp)
+
+(** [v name] is the single-component keypath [.name]. *)
+let v name : t = [ name ]
+
+let root : t = []
+
+(** [append a b] navigates [b] below [a]. *)
+let append (a : t) (b : t) : t = a @ b
+
+(** [is_prefix p kp] holds when [kp] lies inside the substructure [p]. *)
+let rec is_prefix (p : t) (kp : t) =
+  match p, kp with
+  | [], _ -> true
+  | x :: p', y :: kp' -> String.equal x y && is_prefix p' kp'
+  | _ :: _, [] -> false
+
+(** [strip p kp] removes the prefix [p] from [kp].
+    Raises [Invalid_argument] if [p] is not a prefix. *)
+let rec strip (p : t) (kp : t) =
+  match p, kp with
+  | [], kp -> kp
+  | x :: p', y :: kp' when String.equal x y -> strip p' kp'
+  | _ -> invalid_arg "Keypath.strip: not a prefix"
+
+(** [rebase ~from ~onto kp] moves [kp] from below [from] to below [onto]. *)
+let rebase ~from ~onto kp = append onto (strip from kp)

@@ -1,0 +1,35 @@
+(** Keypaths navigate the nested structure of a structured vector.
+
+    In the paper's notation a keypath is written with a leading dot, e.g.
+    [.value] or [.input.value].  A keypath is the list of component names;
+    the textual forms parse and print with the leading dot. *)
+
+type t = string list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [of_string ".a.b"] parses the dotted notation (the leading dot is
+    optional). *)
+val of_string : string -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [v name] is the single-component keypath [.name]. *)
+val v : string -> t
+
+val root : t
+
+(** [append a b] navigates [b] below [a]. *)
+val append : t -> t -> t
+
+(** [is_prefix p kp] holds when [kp] lies inside the substructure [p]. *)
+val is_prefix : t -> t -> bool
+
+(** [strip p kp] removes the prefix [p] from [kp].
+    Raises [Invalid_argument] if [p] is not a prefix. *)
+val strip : t -> t -> t
+
+(** [rebase ~from ~onto kp] moves [kp] from below [from] to below [onto]. *)
+val rebase : from:t -> onto:t -> t -> t

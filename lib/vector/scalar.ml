@@ -1,0 +1,93 @@
+(** Scalar values and their types.
+
+    Voodoo stores only two machine scalar types: 63-bit integers and
+    double-precision floats.  Booleans are integers 0/1 (the paper uses
+    predicate outcomes directly in arithmetic, e.g. for predication), dates
+    are day numbers, and strings are dictionary codes (see
+    {!Voodoo_relational.Storage}). *)
+
+(** The type of a scalar slot. *)
+type dtype =
+  | Int
+  | Float
+
+(** A scalar value. *)
+type t =
+  | I of int
+  | F of float
+
+let dtype_of = function I _ -> Int | F _ -> Float
+
+let dtype_equal (a : dtype) (b : dtype) = a = b
+
+let pp_dtype ppf = function
+  | Int -> Fmt.string ppf "int"
+  | Float -> Fmt.string ppf "float"
+
+let pp ppf = function
+  | I i -> Fmt.int ppf i
+  | F f -> Fmt.float ppf f
+
+let equal a b =
+  match a, b with
+  | I x, I y -> x = y
+  | F x, F y -> Float.equal x y
+  | I _, F _ | F _, I _ -> false
+
+(** [to_float s] widens to float (ints convert exactly up to 2^53). *)
+let to_float = function I i -> float_of_int i | F f -> f
+
+(** [to_int s] narrows to int; floats truncate toward zero. *)
+let to_int = function I i -> i | F f -> int_of_float f
+
+(** [truthy s] is the boolean reading: non-zero means true. *)
+let truthy = function I 0 -> false | I _ -> true | F f -> f <> 0.0
+
+let of_bool b = I (if b then 1 else 0)
+
+let zero = function Int -> I 0 | Float -> F 0.0
+
+(** Identity for [max] folds. *)
+let min_value = function Int -> I min_int | Float -> F neg_infinity
+
+(** Identity for [min] folds. *)
+let max_value = function Int -> I max_int | Float -> F infinity
+
+(** [join a b] is the wider of the two dtypes: any float makes float. *)
+let join a b =
+  match a, b with Int, Int -> Int | Int, Float | Float, Int | Float, Float -> Float
+
+(** Binary arithmetic with C-like promotion: two ints give an int (integer
+    division and modulo), otherwise float.  Division or modulo by zero on
+    ints raises [Division_by_zero], matching the backends' behaviour. *)
+let arith fint ffloat a b =
+  match a, b with
+  | I x, I y -> I (fint x y)
+  | _ -> F (ffloat (to_float a) (to_float b))
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+let div = arith ( / ) ( /. )
+
+let modulo =
+  arith (fun x y -> ((x mod y) + abs y) mod abs y) (fun x y -> Float.rem x y)
+
+let bit_shift a b =
+  (* Shift left for non-negative amounts, right for negative ones. *)
+  let x = to_int a and s = to_int b in
+  I (if s >= 0 then x lsl s else x asr -s)
+
+let logical_and a b = of_bool (truthy a && truthy b)
+let logical_or a b = of_bool (truthy a || truthy b)
+
+let compare_scalar a b =
+  match a, b with
+  | I x, I y -> compare x y
+  | _ -> Float.compare (to_float a) (to_float b)
+
+let greater a b = of_bool (compare_scalar a b > 0)
+let greater_equal a b = of_bool (compare_scalar a b >= 0)
+let equals a b = of_bool (compare_scalar a b = 0)
+let max_s a b = if compare_scalar a b >= 0 then a else b
+let min_s a b = if compare_scalar a b <= 0 then a else b

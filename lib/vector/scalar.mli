@@ -1,0 +1,75 @@
+(** Scalar values and their types.
+
+    Voodoo stores only two machine scalar types: integers and floats.
+    Booleans are integers 0/1 (the paper uses predicate outcomes directly
+    in arithmetic, e.g. for predication), dates are day numbers, and
+    strings are dictionary codes. *)
+
+(** The type of a scalar slot. *)
+type dtype = Int | Float
+
+(** A scalar value. *)
+type t = I of int | F of float
+
+val dtype_of : t -> dtype
+
+val dtype_equal : dtype -> dtype -> bool
+
+val pp_dtype : Format.formatter -> dtype -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+(** [to_float s] widens to float (ints convert exactly up to 2{^53}). *)
+val to_float : t -> float
+
+(** [to_int s] narrows to int; floats truncate toward zero. *)
+val to_int : t -> int
+
+(** [truthy s] is the boolean reading: non-zero means true. *)
+val truthy : t -> bool
+
+val of_bool : bool -> t
+
+(** [zero dt] is the additive identity of [dt]. *)
+val zero : dtype -> t
+
+(** Identity for [max] folds. *)
+val min_value : dtype -> t
+
+(** Identity for [min] folds. *)
+val max_value : dtype -> t
+
+(** [join a b] is the wider of the two dtypes: any float makes float. *)
+val join : dtype -> dtype -> dtype
+
+(** Binary arithmetic with C-like promotion: two ints give an int (integer
+    division and modulo), otherwise float.  Integer division or modulo by
+    zero raises [Division_by_zero]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** [modulo a b] is the mathematical (non-negative) remainder. *)
+val modulo : t -> t -> t
+
+(** [bit_shift a b] shifts left for non-negative [b], right otherwise. *)
+val bit_shift : t -> t -> t
+
+val logical_and : t -> t -> t
+val logical_or : t -> t -> t
+
+(** Total order over scalars (ints and floats compare numerically). *)
+val compare_scalar : t -> t -> int
+
+(** Comparisons return integer 0/1. *)
+
+val greater : t -> t -> t
+val greater_equal : t -> t -> t
+val equals : t -> t -> t
+
+val max_s : t -> t -> t
+val min_s : t -> t -> t

@@ -1,0 +1,195 @@
+(** Structured vectors: the Voodoo data model.
+
+    A structured vector is an ordered collection of fixed-size items all
+    conforming to one (possibly nested) schema.  We store it flattened: each
+    scalar leaf of the schema is one {!Column.t} keyed by its full
+    {!Keypath.t}.  An attribute may additionally carry {!Ctrl.t} metadata
+    when its values are known to follow a control-vector closed form — the
+    compiler uses this to keep such attributes virtual. *)
+
+type field = { col : Column.t; ctrl : Ctrl.t option }
+
+type t = {
+  length : int;
+  fields : (Keypath.t * field) list;  (** in schema order *)
+}
+
+let length t = t.length
+
+let schema t : (Keypath.t * Scalar.dtype) list =
+  List.map (fun (kp, f) -> (kp, Column.dtype f.col)) t.fields
+
+let keypaths t = List.map fst t.fields
+
+(** [make fields] builds a vector; all columns must share one length. *)
+let make (fields : (Keypath.t * field) list) =
+  match fields with
+  | [] -> invalid_arg "Svector.make: a vector needs at least one attribute"
+  | (_, f0) :: rest ->
+      let n = Column.length f0.col in
+      List.iter
+        (fun (kp, f) ->
+          if Column.length f.col <> n then
+            invalid_arg
+              (Printf.sprintf "Svector.make: column %s has mismatched length"
+                 (Keypath.to_string kp)))
+        rest;
+      { length = n; fields }
+
+let of_columns cols =
+  make (List.map (fun (kp, col) -> (kp, { col; ctrl = None })) cols)
+
+(** A single-attribute vector. *)
+let single kp col = of_columns [ (kp, col) ]
+
+(** A single-attribute vector whose values follow control metadata [ctrl]
+    (materialized here so any backend may also read it by value). *)
+let of_ctrl kp ctrl n =
+  make [ (kp, { col = Column.of_int_array (Ctrl.materialize ctrl n); ctrl = Some ctrl }) ]
+
+let find_field t kp =
+  match List.assoc_opt kp t.fields with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Svector: no attribute %s (have: %s)"
+           (Keypath.to_string kp)
+           (String.concat ", " (List.map Keypath.to_string (keypaths t))))
+
+let column t kp = (find_field t kp).col
+
+let ctrl t kp = (find_field t kp).ctrl
+
+let mem t kp = List.mem_assoc kp t.fields
+
+(** [project t kp] extracts the substructure below [kp], re-rooted.  When
+    [kp] names a scalar leaf the result is a single-attribute vector whose
+    attribute is the leaf's last component (projection of [.a.b] yields
+    [.b]), matching the paper's [Project(.out, V, .kp)] with [.out] chosen
+    by the program. *)
+let sub_fields t kp =
+  List.filter (fun (kp', _) -> Keypath.is_prefix kp kp') t.fields
+
+(** [project ~out t kp] creates a new vector with substructure [t.kp]
+    re-rooted at [out]. *)
+let project ~out t kp =
+  match sub_fields t kp with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Svector.project: no attribute under %s" (Keypath.to_string kp))
+  | fields ->
+      make
+        (List.map
+           (fun (kp', f) -> (Keypath.rebase ~from:kp ~onto:out kp', f))
+           fields)
+
+(** [zip (out1, t1, kp1) (out2, t2, kp2)] pairs the substructures; the
+    result has the length of the shorter input (the paper: "the size of the
+    output ... is the size of the smaller input").  Columns longer than the
+    result are truncated by view-copy. *)
+let truncate_col col n =
+  if Column.length col = n then col
+  else if Column.length col < n then
+    invalid_arg "Svector: column shorter than requested length"
+  else
+    let c = Column.create (Column.dtype col) n in
+    for i = 0 to n - 1 do
+      match Column.get col i with
+      | Some s -> Column.set c i s
+      | None -> ()
+    done;
+    c
+
+let zip (out1, t1, kp1) (out2, t2, kp2) =
+  (* one-element inputs broadcast (like element-wise operators); otherwise
+     the shorter input bounds the result *)
+  let n =
+    if t1.length = 1 then t2.length
+    else if t2.length = 1 then t1.length
+    else min t1.length t2.length
+  in
+  let fit col =
+    if Column.length col = 1 && n > 1 then
+      match Column.get col 0 with
+      | Some v -> Column.init (Column.dtype col) n (fun _ -> v)
+      | None -> Column.create (Column.dtype col) n
+    else truncate_col col n
+  in
+  let grab out t kp =
+    List.map
+      (fun (kp', f) ->
+        (Keypath.rebase ~from:kp ~onto:out kp', { f with col = fit f.col }))
+      (sub_fields t kp)
+  in
+  let fields = grab out1 t1 kp1 @ grab out2 t2 kp2 in
+  (match fields with [] -> invalid_arg "Svector.zip: empty substructures" | _ -> ());
+  make fields
+
+(** [upsert t1 ~out t2 kp] copies [t1], replacing or inserting attribute
+    [out] with the values of [t2.kp].  Replacement removes the whole
+    substructure below [out] (a schema must never hold a leaf that is also
+    a prefix of another leaf).  A one-element value broadcasts. *)
+let upsert t1 ~out t2 kp =
+  let f = find_field t2 kp in
+  let f =
+    if Column.length f.col = 1 && t1.length > 1 then
+      {
+        f with
+        col =
+          (match Column.get f.col 0 with
+          | Some v -> Column.init (Column.dtype f.col) t1.length (fun _ -> v)
+          | None -> Column.create (Column.dtype f.col) t1.length);
+      }
+    else { f with col = truncate_col f.col t1.length }
+  in
+  if Column.length f.col <> t1.length then
+    invalid_arg "Svector.upsert: value vector shorter than target";
+  let kept =
+    List.filter (fun (kp', _) -> not (Keypath.is_prefix out kp')) t1.fields
+  in
+  (* keep schema position when replacing; append when inserting *)
+  let fields =
+    if List.length kept = List.length t1.fields then t1.fields @ [ (out, f) ]
+    else
+      List.filter_map
+        (fun (kp', f') ->
+          if Keypath.equal kp' out || not (Keypath.is_prefix out kp') then
+            Some (if Keypath.is_prefix out kp' then (out, f) else (kp', f'))
+          else None)
+        (if List.exists (fun (kp', _) -> Keypath.equal kp' out) t1.fields then
+             t1.fields
+         else
+           (* replaced a nested substructure: put the new leaf first where
+              the substructure was *)
+           kept @ [ (out, f) ])
+  in
+  make fields
+
+(** [with_ctrl t kp ctrl] annotates attribute [kp] with control metadata. *)
+let with_ctrl t kp ctrl =
+  {
+    t with
+    fields =
+      List.map
+        (fun (kp', f) -> if Keypath.equal kp' kp then (kp', { f with ctrl = Some ctrl }) else (kp', f))
+        t.fields;
+  }
+
+let equal a b =
+  a.length = b.length
+  && List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun (kp1, f1) (kp2, f2) -> Keypath.equal kp1 kp2 && Column.equal f1.col f2.col)
+       a.fields b.fields
+
+(** Structural equality up to attribute order. *)
+let equal_unordered a b =
+  a.length = b.length
+  && List.length a.fields = List.length b.fields
+  && List.for_all
+       (fun (kp, f) -> mem b kp && Column.equal f.col (column b kp))
+       a.fields
+
+let pp ppf t =
+  let pp_field ppf (kp, f) = Fmt.pf ppf "%a = %a" Keypath.pp kp Column.pp f.col in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_field) t.fields

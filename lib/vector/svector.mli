@@ -1,0 +1,71 @@
+(** Structured vectors: the Voodoo data model (paper Section 2.1).
+
+    A structured vector is an ordered collection of fixed-size items all
+    conforming to one (possibly nested) schema.  It is stored flattened:
+    each scalar leaf of the schema is one {!Column.t} keyed by its full
+    {!Keypath.t}.  An attribute may carry {!Ctrl.t} metadata when its
+    values follow a control-vector closed form — the compiler keeps such
+    attributes virtual. *)
+
+type field = { col : Column.t; ctrl : Ctrl.t option }
+
+type t = private {
+  length : int;
+  fields : (Keypath.t * field) list;  (** in schema order *)
+}
+
+val length : t -> int
+
+(** Flattened schema: every scalar leaf with its dtype, in order. *)
+val schema : t -> (Keypath.t * Scalar.dtype) list
+
+val keypaths : t -> Keypath.t list
+
+(** [make fields] builds a vector; all columns must share one length.
+    Raises [Invalid_argument] otherwise or when [fields] is empty. *)
+val make : (Keypath.t * field) list -> t
+
+val of_columns : (Keypath.t * Column.t) list -> t
+
+(** A single-attribute vector. *)
+val single : Keypath.t -> Column.t -> t
+
+(** A single-attribute vector whose values follow [ctrl] (materialized so
+    any backend may also read it by value). *)
+val of_ctrl : Keypath.t -> Ctrl.t -> int -> t
+
+(** [column t kp] is the column at exactly [kp].
+    Raises [Invalid_argument] when absent. *)
+val column : t -> Keypath.t -> Column.t
+
+(** Control metadata of attribute [kp], if annotated. *)
+val ctrl : t -> Keypath.t -> Ctrl.t option
+
+val mem : t -> Keypath.t -> bool
+
+(** Fields lying below prefix [kp]. *)
+val sub_fields : t -> Keypath.t -> (Keypath.t * field) list
+
+(** [project ~out t kp] re-roots the substructure below [kp] at [out]. *)
+val project : out:Keypath.t -> t -> Keypath.t -> t
+
+(** [zip (out1, t1, kp1) (out2, t2, kp2)] pairs two substructures; the
+    result has the length of the shorter input (paper Table 2), except
+    that one-element inputs broadcast, like element-wise operators. *)
+val zip : Keypath.t * t * Keypath.t -> Keypath.t * t * Keypath.t -> t
+
+(** [upsert t1 ~out t2 kp] copies [t1], replacing or inserting attribute
+    [out] with the values of [t2.kp]; replacement removes the whole
+    substructure below [out]; a one-element value broadcasts. *)
+val upsert : t -> out:Keypath.t -> t -> Keypath.t -> t
+
+(** [with_ctrl t kp ctrl] annotates attribute [kp] with control metadata. *)
+val with_ctrl : t -> Keypath.t -> Ctrl.t -> t
+
+(** Structural equality (schema order matters), slot-wise including ε. *)
+val equal : t -> t -> bool
+
+(** Structural equality up to attribute order. *)
+val equal_unordered : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+(** Random well-typed Voodoo program generation, shared by the
+    backend-equivalence and parser-roundtrip property tests.
+
+    A program is built from a list of abstract construction choices over a
+    growing pool of defined vectors; every generated program is valid SSA
+    over a store with one table ["data"] holding a single integer column. *)
+
+open Voodoo_vector
+open Voodoo_core
+
+type genop =
+  | G_range of int
+  | G_const of int
+  | G_divide of int
+  | G_modulo of int
+  | G_add_const of int
+  | G_bin of int * int * int  (** binop index, operand picks *)
+  | G_fold of int * int  (** agg index, operand *)
+  | G_fold_div of int * int * int  (** agg, operand, partition size *)
+  | G_select of int * int  (** operand, threshold *)
+  | G_scan of int
+  | G_gather of int * int  (** data, positions *)
+  | G_grouped of int * int  (** value operand, group count *)
+  | G_materialize of int
+  | G_break of int
+  | G_cross  (** a small fixed-size position cross product *)
+  | G_persist of int
+  | G_zip_project of int * int  (** structural chain: zip then project back *)
+  | G_upsert of int * int
+
+let gen_genop =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun i -> G_range i) (int_bound 10));
+        (2, map (fun i -> G_const (i - 5)) (int_bound 10));
+        (2, map (fun i -> G_divide (1 + i)) (int_bound 7));
+        (2, map (fun i -> G_modulo (1 + i)) (int_bound 7));
+        (1, map (fun i -> G_add_const (i - 3)) (int_bound 6));
+        ( 3,
+          map3
+            (fun a b c -> G_bin (a, b, c))
+            (int_bound 6) (int_bound 20) (int_bound 20) );
+        (3, map2 (fun a b -> G_fold (a, b)) (int_bound 3) (int_bound 20));
+        ( 3,
+          map3
+            (fun a b c -> G_fold_div (a, b, 1 + c))
+            (int_bound 3) (int_bound 20) (int_bound 9) );
+        (3, map2 (fun a b -> G_select (a, b)) (int_bound 20) (int_bound 30));
+        (2, map (fun a -> G_scan a) (int_bound 20));
+        (2, map2 (fun a b -> G_gather (a, b)) (int_bound 20) (int_bound 20));
+        (2, map2 (fun a b -> G_grouped (a, 2 + b)) (int_bound 20) (int_bound 5));
+        (1, map (fun a -> G_materialize a) (int_bound 20));
+        (1, map (fun a -> G_break a) (int_bound 20));
+        (1, return G_cross);
+        (1, map (fun a -> G_persist a) (int_bound 20));
+        (1, map2 (fun a b -> G_zip_project (a, b)) (int_bound 20) (int_bound 20));
+        (1, map2 (fun a b -> G_upsert (a, b)) (int_bound 20) (int_bound 20));
+      ])
+
+(** A generator of choice lists of 1..[max_len] steps. *)
+let gen_choices ?(max_len = 12) () =
+  QCheck.Gen.(list_size (int_range 1 max_len) gen_genop)
+
+(** [build choices] interprets the choices into a validated program. *)
+let build choices : Program.t =
+  let open Program.Builder in
+  let b = create () in
+  let input = load b "data" in
+  let pool = ref [ input ] in
+  let pick i = List.nth !pool (i mod List.length !pool) in
+  let push id = pool := !pool @ [ id ] in
+  List.iter
+    (fun g ->
+      match g with
+      | G_range step -> push (range b ~step:(step - 5) (Of_vector (pick 0)))
+      | G_const k -> push (const_int b k)
+      | G_divide k ->
+          let ids = range b (Of_vector (pick 0)) in
+          push (divide b ids (const_int b k))
+      | G_modulo k ->
+          let ids = range b (Of_vector (pick 0)) in
+          push (modulo b ids (const_int b k))
+      | G_add_const k -> push (add_ b (pick 0) (const_int b k))
+      | G_bin (opi, x, y) ->
+          let op =
+            List.nth
+              [ Op.Add; Op.Subtract; Op.Multiply; Op.Greater; Op.Equals;
+                Op.LogicalAnd; Op.LogicalOr ]
+              (opi mod 7)
+          in
+          push (binary b op (pick x, []) (pick y, []))
+      | G_fold (a, x) ->
+          let agg = List.nth [ Op.Sum; Op.Max; Op.Min; Op.Count ] (a mod 4) in
+          push (fold_agg b agg (pick x, []))
+      | G_fold_div (a, x, psize) ->
+          let agg = List.nth [ Op.Sum; Op.Max; Op.Min; Op.Count ] (a mod 4) in
+          let v = pick x in
+          let ids = range b (Of_vector v) in
+          let part = divide b ids (const_int b psize) in
+          let z = zip b ~out1:[ "v" ] ~out2:[ "f" ] (v, []) (part, []) in
+          push (fold_agg b agg ~fold:[ "f" ] (z, [ "v" ]))
+      | G_select (x, cut) ->
+          let v = pick x in
+          let pred = greater b v (const_int b cut) in
+          push (fold_select b (pred, []))
+      | G_scan x -> push (fold_scan b (pick x, []))
+      | G_gather (x, p) -> push (gather b (pick x) (pick p, []))
+      | G_grouped (x, k) ->
+          let v = pick x in
+          let ids = range b (Of_vector v) in
+          let grp = modulo b ids (const_int b k) in
+          let z = zip b ~out1:[ "g" ] ~out2:[ "v" ] (grp, []) (v, []) in
+          let piv = range b ~out:[ "p" ] (Lit k) in
+          let pos = partition b (z, [ "g" ]) (piv, []) in
+          let sc = scatter b ~shape:z z (pos, []) in
+          push (fold_sum b ~fold:[ "g" ] (sc, [ "v" ]))
+      | G_materialize x -> push (materialize b (pick x))
+      | G_break x -> push (break_ b (pick x))
+      | G_cross ->
+          let a = range b ~out:[ "i" ] (Lit 5) in
+          let c = range b ~out:[ "i" ] (Lit 7) in
+          let x = cross b a c in
+          (* consume one position column so the op's values matter *)
+          push (project b ~out:[ "val" ] (x, [ "pos2" ]))
+      | G_persist x -> push (persist b "scratch" (pick x))
+      | G_zip_project (x, y) ->
+          (* structural chain ending in a single-attribute vector (the
+             pool invariant): zip, project, upsert, then combine *)
+          let z = zip b ~out1:[ "a" ] ~out2:[ "b" ] (pick x, []) (pick y, []) in
+          let pa = project b ~out:[ "v" ] (z, [ "a" ]) in
+          let u = upsert b ~out:[ "b2" ] pa (z, [ "b" ]) in
+          push (binary b Op.Add (u, [ "v" ]) (u, [ "b2" ]))
+      | G_upsert (x, y) ->
+          let z = zip b ~out1:[ "a" ] ~out2:[ "b" ] (pick x, []) (pick y, []) in
+          let u = upsert b ~out:[ "a" ] z (pick y, []) in
+          push (project b ~out:[ "val" ] (u, [ "a" ])))
+    choices;
+  finish b
+
+(** The fixed store the programs run against. *)
+let store () =
+  Store.of_list
+    [
+      ( "data",
+        Svector.single [ "val" ]
+          (Column.of_int_array
+             (Array.init 64 (fun i -> (i * 37 mod 29) - (i mod 5)))) );
+    ]

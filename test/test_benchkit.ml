@@ -1,0 +1,148 @@
+(* Benchmark-kit tests: the hand-coded ("Implemented in C") variants and
+   the Voodoo programs of every micro-benchmark must compute identical
+   answers, and their recorded events must show the effects each experiment
+   is about. *)
+
+open Voodoo_benchkit
+open Voodoo_device
+
+let check = Alcotest.(check bool)
+
+let near a b =
+  Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let n = 1 lsl 14
+
+(* ---------- selection ---------- *)
+
+let values = lazy (Workloads.selection_input ~n ~seed:101)
+let sel_store = lazy (Micro.selection_store (Lazy.force values))
+
+let test_selection_agreement () =
+  let values = Lazy.force values and store = Lazy.force sel_store in
+  List.iter
+    (fun cut ->
+      let expect = (Handcoded.select_branching ~values ~cut).result in
+      List.iter
+        (fun (name, r) ->
+          if not (near expect r) then
+            Alcotest.failf "%s at cut %.2f: %f vs %f" name cut r expect)
+        [
+          ("hand predicated", (Handcoded.select_predicated ~values ~cut).result);
+          ("hand vectorized", (Handcoded.select_vectorized ~values ~cut ~chunk:4096).result);
+          ("voodoo branching", (Micro.select_branching ~store ~cut).result);
+          ("voodoo branch-free", (Micro.select_branch_free ~store ~cut).result);
+          ("voodoo predicated", (Micro.select_predicated ~store ~cut).result);
+          ("voodoo vectorized", (Micro.select_vectorized ~store ~cut).result);
+        ])
+    [ 0.0; 1.0; 37.5; 99.0; 100.0 ]
+
+let total_branches kernels =
+  List.fold_left (fun acc (_, ev) -> acc +. Events.total_branches ev) 0.0 kernels
+
+let test_selection_events () =
+  let store = Lazy.force sel_store in
+  let branching = Micro.select_branching ~store ~cut:50.0 in
+  let predicated = Micro.select_predicated ~store ~cut:50.0 in
+  check "branching branches per tuple" true
+    (total_branches branching.kernels >= float_of_int n);
+  check "predication has no branches" true
+    (total_branches predicated.kernels = 0.0)
+
+(* ---------- layout ---------- *)
+
+let test_layout_agreement_and_patterns () =
+  let rows = 1 lsl 16 in
+  let c1, c2 = Workloads.target_table ~rows ~seed:102 in
+  List.iter
+    (fun access ->
+      let positions = Workloads.positions ~n ~target_rows:rows ~access ~seed:103 in
+      let store = Micro.layout_store ~positions ~c1 ~c2 in
+      let expect = (Handcoded.layout_single_loop ~positions ~c1 ~c2).result in
+      List.iter
+        (fun (name, r) ->
+          if not (near expect r) then Alcotest.failf "%s: %f vs %f" name r expect)
+        [
+          ("hand separate", (Handcoded.layout_separate_loops ~positions ~c1 ~c2).result);
+          ("hand transform", (Handcoded.layout_transform ~positions ~c1 ~c2).result);
+          ("voodoo single", (Micro.layout_single_loop ~store).result);
+          ("voodoo separate", (Micro.layout_separate_loops ~store).result);
+          ("voodoo transform", (Micro.layout_transform ~store).result);
+        ])
+    [ Workloads.Sequential; Workloads.Random ]
+
+let has_pattern kernels p =
+  List.exists
+    (fun (_, (ev : Events.t)) ->
+      Hashtbl.fold
+        (fun _ (s : Events.mem_site) acc -> acc || p s.pattern)
+        ev.mem false)
+    kernels
+
+let test_layout_patterns () =
+  let rows = 1 lsl 16 in
+  let c1, c2 = Workloads.target_table ~rows ~seed:104 in
+  let mk access =
+    let positions = Workloads.positions ~n ~target_rows:rows ~access ~seed:105 in
+    Micro.layout_store ~positions ~c1 ~c2
+  in
+  let seq = Micro.layout_single_loop ~store:(mk Workloads.Sequential) in
+  let rand = Micro.layout_single_loop ~store:(mk Workloads.Random) in
+  check "sequential positions classified sequential" false
+    (has_pattern seq.kernels (function Cache.Random _ -> true | _ -> false));
+  check "random positions classified random" true
+    (has_pattern rand.kernels (function Cache.Random _ -> true | _ -> false))
+
+(* ---------- fk join ---------- *)
+
+let test_fkjoin_agreement () =
+  let rows = 1 lsl 16 in
+  let fact_v, fk = Workloads.fk_fact ~n ~target_rows:rows ~seed:106 in
+  let target, _ = Workloads.target_table ~rows ~seed:107 in
+  let store = Micro.fkjoin_store ~fact_v ~fk ~target in
+  List.iter
+    (fun cut ->
+      let expect = (Handcoded.fkjoin_branching ~fact_v ~fk ~target ~cut).result in
+      List.iter
+        (fun (name, r) ->
+          if not (near expect r) then
+            Alcotest.failf "%s at cut %.1f: %f vs %f" name cut r expect)
+        [
+          ("hand pred-agg", (Handcoded.fkjoin_predicated_agg ~fact_v ~fk ~target ~cut).result);
+          ("hand pred-lookup", (Handcoded.fkjoin_predicated_lookup ~fact_v ~fk ~target ~cut).result);
+          ("voodoo branching", (Micro.fkjoin_branching ~store ~cut).result);
+          ("voodoo pred-agg", (Micro.fkjoin_predicated_agg ~store ~cut).result);
+          ("voodoo pred-lookup", (Micro.fkjoin_predicated_lookup ~store ~cut).result);
+        ])
+    [ 5.0; 50.0; 95.0 ]
+
+let test_fkjoin_hot_detection () =
+  (* at low selectivity the predicated-lookup positions concentrate on slot
+     zero, which the executor must classify as a hot line *)
+  let rows = 1 lsl 16 in
+  let fact_v, fk = Workloads.fk_fact ~n ~target_rows:rows ~seed:108 in
+  let target, _ = Workloads.target_table ~rows ~seed:109 in
+  let store = Micro.fkjoin_store ~fact_v ~fk ~target in
+  let r = Micro.fkjoin_predicated_lookup ~store ~cut:5.0 in
+  check "hot line detected" true
+    (has_pattern r.kernels (function Cache.Single_hot -> true | _ -> false))
+
+let () =
+  Alcotest.run "benchkit"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "agreement" `Quick test_selection_agreement;
+          Alcotest.test_case "events" `Quick test_selection_events;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "agreement" `Quick test_layout_agreement_and_patterns;
+          Alcotest.test_case "patterns" `Quick test_layout_patterns;
+        ] );
+      ( "fkjoin",
+        [
+          Alcotest.test_case "agreement" `Quick test_fkjoin_agreement;
+          Alcotest.test_case "hot detection" `Quick test_fkjoin_hot_detection;
+        ] );
+    ]

@@ -1,0 +1,477 @@
+(* Compiler backend tests: plan shapes (virtualization, fragment
+   extent/intent, fusion), OpenCL emission, event accounting, and the
+   central property — the compiled backend computes exactly what the
+   reference interpreter computes. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_device
+module Interp = Voodoo_interp.Interp
+module Backend = Voodoo_compiler.Backend
+module Codegen = Voodoo_compiler.Codegen
+module Exec = Voodoo_compiler.Exec
+module Fragment = Voodoo_compiler.Fragment
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ints xs = Column.of_int_array (Array.of_list xs)
+
+let fig3_text =
+  {|
+    input := Load("input")
+    ids := Range(input)
+    partitionSize := Constant(1024)
+    partitionIDs := Divide(ids, partitionSize)
+    positions := Partition(partitionIDs, partitionIDs)
+    inputWPart := Zip(.val, input, .partition, partitionIDs)
+    partInput := Scatter(inputWPart, positions)
+    pSum := FoldSum(partInput.val, partInput.partition)
+    totalSum := FoldSum(pSum)
+  |}
+
+let fig3_store n =
+  Store.of_list
+    [
+      ( "input",
+        Svector.single [ "val" ]
+          (Column.of_int_array (Array.init n (fun i -> i mod 7))) );
+    ]
+
+let frag_of_stmt (plan : Fragment.plan) id =
+  List.find_opt
+    (fun (f : Fragment.frag) ->
+      List.exists
+        (fun (cs : Fragment.compiled_stmt) -> cs.stmt.id = id)
+        (Fragment.stmts_in_order f))
+    plan.frags
+
+(* ---------- plan shape ---------- *)
+
+let test_fig3_plan () =
+  let store = fig3_store 8192 in
+  let c = Backend.compile ~store (Parse.program fig3_text) in
+  let plan = c.plan in
+  (* control vectors virtual: partitionIDs computed nowhere *)
+  check "partitionIDs is virtual" true (frag_of_stmt plan "partitionIDs" = None);
+  check "positions (identity partition) is virtual" true
+    (frag_of_stmt plan "positions" = None);
+  check "scatter by identity positions is aliased" true
+    (List.mem_assoc "partInput" plan.identity_scatters);
+  (* the partial fold runs with extent 8, intent 1024 *)
+  (match frag_of_stmt plan "pSum" with
+  | Some f ->
+      check_int "pSum intent" 1024 f.intent;
+      check_int "pSum extent" 8 f.extent
+  | None -> Alcotest.fail "pSum should be in a fragment");
+  (* the global fold is its own sequential fragment (global barrier) *)
+  match frag_of_stmt plan "totalSum" with
+  | Some f ->
+      check_int "totalSum extent" 1 f.extent;
+      check "separate fragments" true
+        (match frag_of_stmt plan "pSum" with
+        | Some f' -> f'.index <> f.index
+        | None -> false)
+  | None -> Alcotest.fail "totalSum should be in a fragment"
+
+let test_fig3_values () =
+  let n = 8192 in
+  let store = fig3_store n in
+  let c = Backend.compile ~store (Parse.program fig3_text) in
+  let total = Backend.eval c "totalSum" in
+  let expect = Array.fold_left ( + ) 0 (Array.init n (fun i -> i mod 7)) in
+  check "compiled total" true
+    (Column.get (Svector.column total [ "val" ]) 0 = Some (Scalar.I expect))
+
+let fig9_text =
+  {|
+    in := Load("in")
+    ids := Range(in)
+    grain := Constant(4)
+    fold := Divide(ids, grain)
+    six := Constant(6)
+    pred := Greater(in, six)
+    z := Zip(.fold, fold, .p, pred)
+    pos := FoldSelect(.pos, z.p, fold=.fold)
+    vals := Gather(in, pos)
+    zv := Zip(.fold, fold, .v, vals.val)
+    psum := FoldSum(.s, zv.v, fold=.fold)
+  |}
+
+(* the fold attribute of .fold comes through the Zip; psum folds vals which
+   has no fold attr, so give it one via another zip *)
+let fig9_store () =
+  Store.of_list
+    [ ("in", Svector.single [ "val" ] (ints [ 1; 3; 7; 9; 4; 2; 1; 7; 9; 2; 5; 7 ])) ]
+
+let test_fig9_fusion () =
+  let store = fig9_store () in
+  let c = Backend.compile ~store (Parse.program fig9_text) in
+  let plan = c.plan in
+  (* pred, select and gather all share one fragment with intent 4 *)
+  let f_pred = Option.get (frag_of_stmt plan "pred") in
+  let f_pos = Option.get (frag_of_stmt plan "pos") in
+  let f_vals = Option.get (frag_of_stmt plan "vals") in
+  check_int "fused select" f_pred.index f_pos.index;
+  check_int "fused gather" f_pred.index f_vals.index;
+  check_int "intent is grain size" 4 f_pos.intent;
+  check_int "extent is run count" 3 f_pos.extent
+
+let test_fig9_values_match_interp () =
+  let store = fig9_store () in
+  let p = Parse.program fig9_text in
+  let ienv = Interp.run (fig9_store ()) p in
+  let c = Backend.compile ~store p in
+  let r = Backend.run c in
+  List.iter
+    (fun id ->
+      let iv = Hashtbl.find ienv id in
+      let cv = Exec.output r id in
+      if not (Svector.equal_unordered iv cv) then
+        Alcotest.failf "mismatch on %s:@.interp=%a@.compiled=%a" id Svector.pp iv
+          Svector.pp cv)
+    [ "pos"; "vals"; "psum" ]
+
+(* ---------- grouped aggregation (virtual scatter) ---------- *)
+
+let grouped_text =
+  {|
+    t := Load("t")
+    piv := Range(.p, 0, 4, 1)
+    pos := Partition(t.g, piv)
+    grouped := Scatter(t, t, pos)
+    sums := FoldSum(.s, grouped.v, fold=.g)
+  |}
+
+let grouped_store () =
+  Store.of_list
+    [
+      ( "t",
+        Svector.of_columns
+          [
+            ([ "g" ], ints [ 0; 1; 0; 2; 2; 1; 2; 0; 3; 1 ]);
+            ([ "v" ], ints [ 2; 0; 1; 4; 6; 2; 0; 9; 2; 7 ]);
+          ] );
+    ]
+
+let test_grouped_fold_virtualized () =
+  let store = grouped_store () in
+  let c = Backend.compile ~store (Parse.program grouped_text) in
+  let plan = c.plan in
+  check "partition virtual" true (frag_of_stmt plan "pos" = None);
+  check "scatter virtual" true (frag_of_stmt plan "grouped" = None);
+  (match frag_of_stmt plan "sums" with
+  | Some f ->
+      let cs =
+        List.find
+          (fun (cs : Fragment.compiled_stmt) -> cs.stmt.id = "sums")
+          (Fragment.stmts_in_order f)
+      in
+      check "grouped fold recognized" true (cs.grouped_fold <> None)
+  | None -> Alcotest.fail "sums should be in a fragment");
+  (* and values still match the interpreter *)
+  let ienv = Interp.run (grouped_store ()) (Parse.program grouped_text) in
+  let r = Backend.run c in
+  check "grouped values equal interp" true
+    (Svector.equal_unordered (Hashtbl.find ienv "sums") (Exec.output r "sums"))
+
+let test_grouped_fold_disabled () =
+  let store = grouped_store () in
+  let options = { Codegen.default_options with virtual_scatter = false } in
+  let c = Backend.compile ~options ~store (Parse.program grouped_text) in
+  check "scatter is real without the optimization" true
+    (frag_of_stmt c.plan "grouped" <> None);
+  let ienv = Interp.run (grouped_store ()) (Parse.program grouped_text) in
+  let r = Backend.run c in
+  check "values equal interp (eager scatter)" true
+    (Svector.equal_unordered (Hashtbl.find ienv "sums") (Exec.output r "sums"))
+
+(* ---------- fusion off (bulk processing) ---------- *)
+
+let test_fusion_off () =
+  let store = fig9_store () in
+  let options = { Codegen.default_options with fuse = false } in
+  let c = Backend.compile ~options ~store (Parse.program fig9_text) in
+  let f_pred = Option.get (frag_of_stmt c.plan "pred") in
+  let f_pos = Option.get (frag_of_stmt c.plan "pos") in
+  check "no fusion" true (f_pred.index <> f_pos.index);
+  let ienv = Interp.run (fig9_store ()) (Parse.program fig9_text) in
+  let r = Backend.run c in
+  check "bulk values equal interp" true
+    (Svector.equal_unordered (Hashtbl.find ienv "psum") (Exec.output r "psum"))
+
+(* ---------- OpenCL emission ---------- *)
+
+let test_emit_opencl () =
+  let store = fig3_store 8192 in
+  let c = Backend.compile ~store (Parse.program fig3_text) in
+  let src = Backend.source c in
+  let contains needle =
+    let nl = String.length needle and sl = String.length src in
+    let rec go i = i + nl <= sl && (String.sub src i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "has kernels" true (contains "__kernel void fragment_0");
+  check "has second kernel" true (contains "__kernel void fragment_1");
+  check "has fold accumulator" true (contains "acc_pSum");
+  (* the fold's parallelism is encoded in the loop structure *)
+  check "intent loop" true (contains "j < 1024");
+  (* empty-slot suppression: dense, run-indexed output *)
+  check "suppressed output" true (contains "pSum[gid]");
+  (* virtual operators never materialize *)
+  check "no partition materialization" false (contains "positions[");
+  check "no control vector buffer" false (contains "partitionIDs[")
+
+(* golden test: the exact OpenCL generated for Figure 3's program.  If a
+   codegen change alters this intentionally, update the expectation. *)
+let fig3_golden =
+  "/* generated by the Voodoo OpenCL backend */\n\n\
+   /* fragment 0: extent=8 (global work size), intent=1024 */\n\
+   __kernel void fragment_0(__global const int* input, __global int* pSum) {\n\
+  \  size_t gid = get_global_id(0);\n\
+  \  size_t run_start = gid * 1024;\n\
+  \  int acc_pSum = 0;\n\
+  \  for (size_t j = 0; j < 1024; ++j) {\n\
+  \    size_t i = run_start + j;\n\
+  \    if (i >= 8192) break;\n\
+  \    acc_pSum += input[i];\n\
+  \  }\n\
+  \  pSum[gid] = acc_pSum; /* empty slots suppressed: dense by run */\n\
+   }\n\n\
+   /* fragment 1: extent=1 (global work size), intent=8192 */\n\
+   __kernel void fragment_1(__global const int* pSum, __global int* totalSum) {\n\
+  \  size_t gid = get_global_id(0);\n\
+  \  size_t run_start = gid * 8192;\n\
+  \  int acc_totalSum = 0;\n\
+  \  for (size_t j = 0; j < 8192; ++j) {\n\
+  \    size_t i = run_start + j;\n\
+  \    if (i >= 8192) break;\n\
+  \    acc_totalSum += pSum[i];\n\
+  \  }\n\
+  \  totalSum[gid] = acc_totalSum; /* empty slots suppressed: dense by run */\n\
+   }\n\n"
+
+let test_emit_golden () =
+  let store = fig3_store 8192 in
+  let c = Backend.compile ~store (Parse.program fig3_text) in
+  Alcotest.(check string) "fig3 OpenCL" fig3_golden (Backend.source c)
+
+let test_emit_select_kernel () =
+  (* a FoldSelect emits a guarded cursor write; its Gather consumer reads
+     through the emitted positions *)
+  let store = fig9_store () in
+  let c = Backend.compile ~store (Parse.program fig9_text) in
+  let src = Backend.source c in
+  let contains needle =
+    let nl = String.length needle and sl = String.length src in
+    let rec go i = i + nl <= sl && (String.sub src i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "guarded emit" true (contains "if (");
+  check "cursor write" true (contains "cursor_");
+  check "cursor initialized at run start" true (contains "= run_start;")
+
+(* ---------- failure injection ---------- *)
+
+let test_missing_table () =
+  let store = Store.of_list [] in
+  check "compile of unknown table fails" true
+    (match Backend.compile ~store (Parse.program {|x := Load("nope")|}) with
+    | _ -> false
+    | exception Meta.Unknown_size _ -> true)
+
+let test_unbound_output () =
+  let store = fig3_store 16 in
+  let c = Backend.compile ~store (Parse.program fig3_text) in
+  let r = Backend.run c in
+  check "unknown output rejected" true
+    (match Exec.output r "no_such" with
+    | _ -> false
+    | exception Exec.Exec_error _ -> true)
+
+(* ---------- events and cost sanity ---------- *)
+
+let selection_program sel n =
+  (* branching selection over n ints, threshold at selectivity [sel] *)
+  Printf.sprintf
+    {|
+      in := Load("in")
+      cut := Constant(%d)
+      pred := Greater(cut, in)
+      z := Zip(.v, in, .p, pred)
+      pos := FoldSelect(.pos, z.p)
+      vals := Gather(in, pos)
+      s := FoldSum(vals)
+    |}
+    (int_of_float (sel *. float_of_int n))
+
+let selection_store n seed =
+  let st = Random.State.make [| seed |] in
+  Store.of_list
+    [
+      ( "in",
+        Svector.single [ "val" ]
+          (Column.of_int_array (Array.init n (fun _ -> Random.State.int st n))) );
+    ]
+
+let run_selection sel n =
+  let store = selection_store n 42 in
+  let c = Backend.compile ~store (Parse.program (selection_program sel n)) in
+  Backend.run c
+
+let total_mispredicts r =
+  List.fold_left (fun acc (_, ev) -> acc +. Events.mispredictions ev) 0.0 r.Exec.kernels
+
+let test_branch_prediction_by_selectivity () =
+  let n = 20000 in
+  let m50 = total_mispredicts (run_selection 0.5 n) in
+  let m01 = total_mispredicts (run_selection 0.01 n) in
+  let m99 = total_mispredicts (run_selection 0.99 n) in
+  check "50% mispredicts a lot" true (m50 > float_of_int n *. 0.3);
+  check "1% mispredicts little" true (m01 < float_of_int n *. 0.1);
+  check "99% mispredicts little" true (m99 < float_of_int n *. 0.1)
+
+let test_cost_shapes () =
+  let n = 100000 in
+  let r50 = run_selection 0.5 n and r01 = run_selection 0.01 n in
+  let cpu t = (Exec.cost t Config.cpu_single).total_s in
+  check "mid selectivity costs more on a speculating CPU" true (cpu r50 > cpu r01);
+  (* the GPU doesn't speculate: selectivity barely matters *)
+  let gpu t = (Exec.cost t Config.gpu).total_s in
+  check "gpu roughly flat" true (gpu r50 < gpu r01 *. 2.0);
+  (* hierarchical aggregation (parallel folds) is much faster on more
+     parallel devices *)
+  let n = 1 lsl 20 in
+  let store = fig3_store n in
+  let rh = Backend.run (Backend.compile ~store (Parse.program fig3_text)) in
+  check "gpu beats one core on the parallel plan" true (gpu rh < cpu rh)
+
+(* ---------- the equivalence property ---------- *)
+
+(* Random well-typed programs over a small integer store, interpreted and
+   compiled with every combination of compiler options; all outputs must
+   agree.  The generator lives in test/support/gen.ml. *)
+module Gen = Test_support.Gen
+
+let option_matrix =
+  [
+    Codegen.default_options;
+    { Codegen.default_options with fuse = false };
+    { Codegen.default_options with virtual_scatter = false };
+    { Codegen.default_options with suppress_empty_slots = false };
+  ]
+
+let prop_backend_equivalence =
+  QCheck.Test.make ~name:"compiled backend = interpreter on random programs"
+    ~count:300
+    (QCheck.make (Gen.gen_choices ()))
+    (fun choices ->
+      let p = Gen.build choices in
+      match Interp.run (Gen.store ()) p with
+      | exception Division_by_zero -> QCheck.assume_fail ()
+      | ienv ->
+          List.for_all
+            (fun options ->
+              let c = Backend.compile ~options ~store:(Gen.store ()) p in
+              let r = Backend.run c in
+              List.for_all
+                (fun id ->
+                  let iv = Hashtbl.find ienv id in
+                  let cv =
+                    try Exec.output r id
+                    with Exec.Exec_error m ->
+                      QCheck.Test.fail_reportf "exec error %s on:@.%s" m
+                        (Pretty.program_to_string p)
+                  in
+                  let ok = Svector.equal_unordered iv cv in
+                  if not ok then
+                    QCheck.Test.fail_reportf
+                      "output %s differs (fuse=%b vs=%b sup=%b):@.program:@.%s@.interp: %s@.compiled: %s"
+                      id options.fuse options.virtual_scatter
+                      options.suppress_empty_slots
+                      (Pretty.program_to_string p)
+                      (Fmt.str "%a" Svector.pp iv)
+                      (Fmt.str "%a" Svector.pp cv);
+                  ok)
+                (Program.outputs p))
+            option_matrix)
+
+(* The metadata analysis is the compiler's whole basis for virtualization:
+   its predicted lengths and control-vector closed forms must equal what
+   the interpreter actually materializes, on any program. *)
+let prop_meta_matches_interp =
+  QCheck.Test.make ~name:"static metadata matches interpreted vectors" ~count:300
+    (QCheck.make (Gen.gen_choices ()))
+    (fun choices ->
+      let p = Gen.build choices in
+      let store = Gen.store () in
+      let metas =
+        Meta.infer
+          ~vector_length:(fun name ->
+            Option.map Svector.length (Store.find store name))
+          p
+      in
+      match Interp.run store p with
+      | exception Division_by_zero -> QCheck.assume_fail ()
+      | env ->
+          List.for_all
+            (fun (id, (info : Meta.info)) ->
+              let vec = Hashtbl.find env id in
+              if Svector.length vec <> info.length then
+                QCheck.Test.fail_reportf "length of %s: meta %d, interp %d@.%s"
+                  id info.length (Svector.length vec)
+                  (Pretty.program_to_string p);
+              List.for_all
+                (fun (kp, ctrl) ->
+                  match Svector.column vec kp with
+                  | col ->
+                      let ok = ref true in
+                      for i = 0 to Column.length col - 1 do
+                        match Column.get col i with
+                        | Some v ->
+                            if Scalar.to_int v <> Ctrl.value ctrl i then ok := false
+                        | None -> ok := false
+                      done;
+                      if not !ok then
+                        QCheck.Test.fail_reportf
+                          "closed form of %s%s diverges@.%s" id
+                          (Keypath.to_string kp)
+                          (Pretty.program_to_string p);
+                      !ok
+                  | exception Invalid_argument _ -> true)
+                info.ctrls)
+            metas)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "compiler"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "figure 3 plan" `Quick test_fig3_plan;
+          Alcotest.test_case "figure 3 values" `Quick test_fig3_values;
+          Alcotest.test_case "figure 9 fusion" `Quick test_fig9_fusion;
+          Alcotest.test_case "figure 9 values" `Quick test_fig9_values_match_interp;
+          Alcotest.test_case "grouped fold" `Quick test_grouped_fold_virtualized;
+          Alcotest.test_case "grouped fold off" `Quick test_grouped_fold_disabled;
+          Alcotest.test_case "fusion off" `Quick test_fusion_off;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "opencl source" `Quick test_emit_opencl;
+          Alcotest.test_case "fig3 golden" `Quick test_emit_golden;
+          Alcotest.test_case "select kernel" `Quick test_emit_select_kernel;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "missing table" `Quick test_missing_table;
+          Alcotest.test_case "unbound output" `Quick test_unbound_output;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "branch prediction" `Quick
+            test_branch_prediction_by_selectivity;
+          Alcotest.test_case "cost shapes" `Quick test_cost_shapes;
+        ] );
+      ("equivalence", [ q prop_backend_equivalence; q prop_meta_matches_interp ]);
+    ]

@@ -1,0 +1,329 @@
+(* Tests for the algebra: program construction, validation, typing,
+   parser/printer roundtrip, metadata analysis and optimizations. *)
+
+open Voodoo_vector
+open Voodoo_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* The paper's Figure 3 program: multithreaded hierarchical aggregation. *)
+let fig3 () =
+  let open Program.Builder in
+  let b = create () in
+  let input = load b ~name:"input" "input" in
+  let ids = range b ~name:"ids" (Of_vector input) in
+  let partition_size = const_int b ~name:"partitionSize" 1024 in
+  let partition_ids = divide b ~name:"partitionIDs" ids partition_size in
+  let positions = partition b ~name:"positions" (partition_ids, []) (partition_ids, []) in
+  let input_w_part =
+    zip b ~name:"inputWPart" ~out1:[ "val" ] ~out2:[ "partition" ] (input, [])
+      (partition_ids, [])
+  in
+  let part_input =
+    scatter b ~name:"partInput" ~shape:input_w_part input_w_part (positions, [])
+  in
+  let p_sum =
+    fold_sum b ~name:"pSum" ~fold:[ "partition" ] (part_input, [ "val" ])
+  in
+  let _total = fold_sum b ~name:"totalSum" (p_sum, []) in
+  finish b
+
+let input_schema : Typing.schema = [ ([ "val" ], Scalar.Float) ]
+let load_schema = function "input" -> Some input_schema | _ -> None
+
+let test_validate_ok () = Program.validate (fig3 ())
+
+let test_validate_duplicate () =
+  let p =
+    Program.of_stmts
+      [
+        { id = "a"; op = Constant { out = [ "val" ]; value = I 1 } };
+        { id = "a"; op = Constant { out = [ "val" ]; value = I 2 } };
+      ]
+  in
+  check "duplicate rejected" true
+    (try Program.validate p; false with Program.Invalid _ -> true)
+
+let test_validate_use_before_def () =
+  let p =
+    Program.of_stmts
+      [ { id = "a"; op = Op.Gather { data = "b"; positions = Op.src "b" } } ]
+  in
+  check "use before def rejected" true
+    (try Program.validate p; false with Program.Invalid _ -> true)
+
+let test_outputs () =
+  Alcotest.(check (list string)) "fig3 outputs" [ "totalSum" ] (Program.outputs (fig3 ()))
+
+let test_typing_fig3 () =
+  let types = Typing.infer ~load_schema (fig3 ()) in
+  let schema_of id = List.assoc id types in
+  check "pSum is float" true (schema_of "pSum" = [ ([ "val" ], Scalar.Float) ]);
+  check "partitionIDs is int" true
+    (schema_of "partitionIDs" = [ ([ "val" ], Scalar.Int) ]);
+  check "inputWPart has two attrs" true
+    (List.length (schema_of "inputWPart") = 2)
+
+let test_typing_rejects_bad_load () =
+  let b = Program.Builder.create () in
+  let _ = Program.Builder.load b "nope" in
+  let p = Program.Builder.finish b in
+  check "unknown table rejected" true
+    (try Typing.check ~load_schema p; false with Typing.Type_error _ -> true)
+
+let test_typing_rejects_float_fold () =
+  (* fold attribute must be integer-typed *)
+  let b = Program.Builder.create () in
+  let open Program.Builder in
+  let input = load b "input" in
+  let z =
+    zip b ~out1:[ "v" ] ~out2:[ "f" ] (input, [ "val" ]) (input, [ "val" ])
+  in
+  let _ = fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
+  let p = finish b in
+  check "float fold rejected" true
+    (try Typing.check ~load_schema p; false with Typing.Type_error _ -> true)
+
+let test_typing_zip_collision () =
+  let b = Program.Builder.create () in
+  let open Program.Builder in
+  let input = load b "input" in
+  let _ = zip b ~out1:[ "x" ] ~out2:[ "x" ] (input, []) (input, []) in
+  let p = finish b in
+  check "zip collision rejected" true
+    (try Typing.check ~load_schema p; false with Typing.Type_error _ -> true)
+
+(* ---------- printer/parser roundtrip ---------- *)
+
+let test_roundtrip_fig3 () =
+  let p = fig3 () in
+  let text = Pretty.program_to_string p in
+  let p' = Parse.program text in
+  check_str "roundtrip is identity" text (Pretty.program_to_string p')
+
+let test_parse_figure3_text () =
+  (* The program as written in the paper (Figure 3), using the sugared
+     forms. *)
+  let text =
+    {|
+      input := Load("input") // Single column: val
+      ids := Range(input)
+      partitionSize := Constant(1024)
+      partitionIDs := Divide(ids, partitionSize)
+      positions := Partition(partitionIDs, partitionIDs)
+      inputWPart := Zip(.val, input, .partition, partitionIDs)
+      partInput := Scatter(inputWPart, positions)
+      pSum := FoldSum(partInput.val, partInput.partition)
+      totalSum := FoldSum(pSum)
+    |}
+  in
+  let p = Parse.program text in
+  check_int "statement count" 9 (List.length (Program.stmts p));
+  Typing.check ~load_schema p
+
+let test_parse_errors () =
+  let bad s =
+    try ignore (Parse.program s); false with Parse.Parse_error _ -> true
+  in
+  check "unknown op" true (bad {|a := Frobnicate(1)|});
+  check "unterminated string" true (bad {|a := Load("x|});
+  check "missing assign" true (bad {|a Load("x")|});
+  check "bad arg count" true (bad {|a := Load("x") b := Project(a)|})
+
+(* ---------- metadata analysis ---------- *)
+
+let vector_length = function "input" -> Some 8192 | _ -> None
+
+let test_meta_fig3 () =
+  let metas = Meta.infer ~vector_length (fig3 ()) in
+  let info id = List.assoc id metas in
+  check_int "input length" 8192 (info "input").length;
+  check_int "constant length" 1 (info "partitionSize").length;
+  check_int "binary broadcasts constant" 8192 (info "partitionIDs").length;
+  (match Meta.ctrl_of (info "partitionIDs") [ "val" ] with
+  | Some c -> (
+      match Ctrl.runs c ~n:8192 with
+      | Uniform 1024 -> ()
+      | _ -> Alcotest.fail "partitionIDs should have uniform runs of 1024")
+  | None -> Alcotest.fail "partitionIDs should carry control metadata");
+  (* The zip carries the control form through to the fold input. *)
+  (match Meta.ctrl_of (info "inputWPart") [ "partition" ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "zip should preserve control metadata")
+
+let test_meta_simd_variant () =
+  (* Figure 4: Modulo instead of Divide gives lane ids (runs of 1). *)
+  let text =
+    {|
+      input := Load("input")
+      ids := Range(input)
+      laneCount := Constant(2)
+      partitionIDs := Modulo(ids, laneCount)
+    |}
+  in
+  let metas = Meta.infer ~vector_length (Parse.program text) in
+  match Meta.ctrl_of (List.assoc "partitionIDs" metas) [ "val" ] with
+  | Some c -> (
+      match Ctrl.runs c ~n:8192 with
+      | Uniform 1 -> ()
+      | _ -> Alcotest.fail "modulo lanes should be fully data-parallel")
+  | None -> Alcotest.fail "modulo should preserve control metadata"
+
+let test_fold_parallelism () =
+  let p = Meta.fold_parallelism ~ctrl:(Ctrl.divide Ctrl.iota 1024) ~n:8192 in
+  check_int "extent" 8 p.extent;
+  check_int "intent" 1024 p.intent;
+  let p = Meta.fold_parallelism ~ctrl:None ~n:100 in
+  check_int "sequential extent" 1 p.extent;
+  check_int "sequential intent" 100 p.intent;
+  let p = Meta.fold_parallelism ~ctrl:(Some Ctrl.iota) ~n:100 in
+  check_int "parallel extent" 100 p.extent;
+  check_int "parallel intent" 1 p.intent
+
+(* ---------- optimizations ---------- *)
+
+let test_cse () =
+  let text =
+    {|
+      input := Load("input")
+      a := Range(input)
+      b := Range(input)
+      c := Add(a, b)
+    |}
+  in
+  let p = Optimize.cse (Parse.program text) in
+  check_int "duplicate range merged" 3 (List.length (Program.stmts p));
+  match (Program.find_exn p "c").op with
+  | Binary { left; right; _ } ->
+      check_str "left renamed" "a" left.v;
+      check_str "right renamed" "a" right.v
+  | _ -> Alcotest.fail "c should still be a Binary"
+
+let test_dce () =
+  let text =
+    {|
+      input := Load("input")
+      unused := Range(input)
+      used := FoldSum(input)
+    |}
+  in
+  let p = Optimize.dce ~roots:[ "used" ] (Parse.program text) in
+  check_int "dead range removed" 2 (List.length (Program.stmts p));
+  check "unused gone" true (Program.find p "unused" = None)
+
+let test_const_fold () =
+  let text =
+    {|
+      a := Constant(6)
+      b := Constant(7)
+      c := Multiply(a, b)
+      input := Load("input")
+      d := Add(input, c)
+    |}
+  in
+  let p = Optimize.const_fold (Parse.program text) in
+  match (Program.find_exn p "c").op with
+  | Constant { value = I 42; _ } -> ()
+  | _ -> Alcotest.fail "c should fold to Constant(42)"
+
+let test_optimize_preserves_persist () =
+  let text =
+    {|
+      input := Load("input")
+      s := FoldSum(input)
+      p := Persist("result", s)
+    |}
+  in
+  let p = Optimize.default (Parse.program text) in
+  check "persist kept" true (Program.find p "p" <> None)
+
+(* property: the textual SSA form roundtrips through the parser for any
+   generated program *)
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed programs parse back identically"
+    ~count:300
+    (QCheck.make (Test_support.Gen.gen_choices ~max_len:15 ()))
+    (fun choices ->
+      let p = Test_support.Gen.build choices in
+      let text = Pretty.program_to_string p in
+      match Parse.program text with
+      | p' -> String.equal text (Pretty.program_to_string p')
+      | exception Parse.Parse_error m ->
+          QCheck.Test.fail_reportf "did not parse back (%s):@.%s" m text)
+
+(* property: optimization pipeline keeps programs valid and keeps roots *)
+let prop_optimize_valid =
+  (* build random straight-line programs from a tiny op pool *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 15 in
+      let* choices = list_size (return n) (int_bound 4) in
+      return choices)
+  in
+  QCheck.Test.make ~name:"optimize keeps programs valid" ~count:200
+    (QCheck.make gen) (fun choices ->
+      let b = Program.Builder.create () in
+      let open Program.Builder in
+      let input = load b "input" in
+      let last = ref input in
+      List.iter
+        (fun c ->
+          let v =
+            match c with
+            | 0 -> range b (Of_vector !last)
+            | 1 -> fold_sum b (!last, [])
+            | 2 ->
+                let k = const_int b 7 in
+                add_ b !last k
+            | 3 -> fold_scan b (!last, [])
+            | _ -> break_ b !last
+          in
+          last := v)
+        choices;
+      let p = finish b in
+      let opt = Optimize.default ~roots:[ !last ] p in
+      Program.validate opt;
+      Program.find opt !last <> None)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "duplicate def" `Quick test_validate_duplicate;
+          Alcotest.test_case "use before def" `Quick test_validate_use_before_def;
+          Alcotest.test_case "outputs" `Quick test_outputs;
+        ] );
+      ( "typing",
+        [
+          Alcotest.test_case "fig3" `Quick test_typing_fig3;
+          Alcotest.test_case "bad load" `Quick test_typing_rejects_bad_load;
+          Alcotest.test_case "float fold" `Quick test_typing_rejects_float_fold;
+          Alcotest.test_case "zip collision" `Quick test_typing_zip_collision;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_fig3;
+          Alcotest.test_case "figure 3 text" `Quick test_parse_figure3_text;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          q prop_parse_roundtrip;
+        ] );
+      ( "meta",
+        [
+          Alcotest.test_case "fig3" `Quick test_meta_fig3;
+          Alcotest.test_case "simd variant" `Quick test_meta_simd_variant;
+          Alcotest.test_case "fold parallelism" `Quick test_fold_parallelism;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "cse" `Quick test_cse;
+          Alcotest.test_case "dce" `Quick test_dce;
+          Alcotest.test_case "const fold" `Quick test_const_fold;
+          Alcotest.test_case "persist kept" `Quick test_optimize_preserves_persist;
+          q prop_optimize_valid;
+        ] );
+    ]

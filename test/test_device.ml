@@ -1,0 +1,210 @@
+(* Device-model tests: branch predictor, cache simulator vs the analytical
+   model, event accounting, and cost-model sanity. *)
+
+open Voodoo_device
+
+let check = Alcotest.(check bool)
+
+(* ---------- branch predictor ---------- *)
+
+let test_predictor_biased () =
+  let p = Branch.create () in
+  for _ = 1 to 10000 do
+    Branch.record p true
+  done;
+  check "all-taken learns" true (Branch.misprediction_rate p < 0.01);
+  let p = Branch.create () in
+  for _ = 1 to 10000 do
+    Branch.record p false
+  done;
+  check "never-taken learns" true (Branch.misprediction_rate p < 0.01)
+
+let test_predictor_random () =
+  let p = Branch.create () in
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 100000 do
+    Branch.record p (Random.State.bool st)
+  done;
+  let r = Branch.misprediction_rate p in
+  check "random is ~50% mispredicted" true (r > 0.4 && r < 0.6)
+
+let prop_predictor_rate_tracks_selectivity =
+  QCheck.Test.make ~name:"low/high selectivity mispredicts less than 50%"
+    ~count:50
+    QCheck.(pair (int_range 0 100) (int_range 1 1000))
+    (fun (pct, seed) ->
+      let p = Branch.create () in
+      let st = Random.State.make [| seed |] in
+      for _ = 1 to 20000 do
+        Branch.record p (Random.State.int st 100 < pct)
+      done;
+      let r = Branch.misprediction_rate p in
+      let sel = float_of_int pct /. 100.0 in
+      (* never worse than always-mispredict; biased streams beat coin flips *)
+      r <= 1.0
+      && if sel < 0.05 || sel > 0.95 then r < 0.15 else true)
+
+(* ---------- cache: simulator vs analytical model ---------- *)
+
+let l1 : Config.cache_level =
+  { size_bytes = 32 * 1024; line_bytes = 64; assoc = 8; latency_cycles = 4.0 }
+
+let test_sim_sequential () =
+  let sim = Cache.Sim.create l1 in
+  for i = 0 to 99999 do
+    ignore (Cache.Sim.access sim (i * 4))
+  done;
+  let measured = 1.0 -. Cache.Sim.miss_rate sim in
+  let predicted = Cache.Analytic.hit_fraction l1 Cache.Sequential ~elem_bytes:4 in
+  check "sequential hit rate matches analytic" true
+    (Float.abs (measured -. predicted) < 0.01)
+
+let test_sim_random_small () =
+  (* uniform random within half the cache: everything hits after warmup *)
+  let sim = Cache.Sim.create l1 in
+  let st = Random.State.make [| 7 |] in
+  let ws = l1.size_bytes / 2 in
+  for _ = 0 to 200000 do
+    ignore (Cache.Sim.access sim (Random.State.int st ws))
+  done;
+  check "resident working set hits" true (Cache.Sim.miss_rate sim < 0.02)
+
+let test_sim_random_large () =
+  let sim = Cache.Sim.create l1 in
+  let st = Random.State.make [| 8 |] in
+  let ws = l1.size_bytes * 16 in
+  for _ = 0 to 200000 do
+    ignore (Cache.Sim.access sim (Random.State.int st ws))
+  done;
+  let measured = 1.0 -. Cache.Sim.miss_rate sim in
+  let predicted = Cache.Analytic.hit_fraction l1 (Cache.Random ws) ~elem_bytes:4 in
+  (* LRU within lines gives slightly better locality than the size ratio;
+     the analytic model must be within a few points *)
+  check "large working set hit rates comparable" true
+    (Float.abs (measured -. predicted) < 0.08)
+
+let test_sim_lru () =
+  (* a two-line ping-pong in one set must always hit with assoc >= 2 *)
+  let sim = Cache.Sim.create { l1 with assoc = 2 } in
+  ignore (Cache.Sim.access sim 0);
+  ignore (Cache.Sim.access sim (64 * 64 (* same set, different tag *)));
+  for _ = 0 to 99 do
+    ignore (Cache.Sim.access sim 0);
+    ignore (Cache.Sim.access sim (64 * 64))
+  done;
+  check "ping-pong within associativity hits" true
+    (sim.Cache.Sim.misses = 2)
+
+(* ---------- events ---------- *)
+
+let test_events_scale () =
+  let ev = Events.create () in
+  Events.alu ev Int 100;
+  Events.mem ev ~site:"x" ~pattern:Cache.Sequential ~elem_bytes:4 1000;
+  Events.branch ev ~site:"b" true;
+  Events.branch ev ~site:"b" false;
+  Events.scale ev 10.0;
+  check "alu scaled" true (ev.int_ops = 1000.0);
+  check "branches scaled" true (Events.total_branches ev = 20.0)
+
+let test_events_working_set_scaling () =
+  let ev = Events.create () in
+  Events.mem ev ~site:"big" ~pattern:(Cache.Random 100_000) ~elem_bytes:4 10;
+  Events.mem ev ~site:"small" ~pattern:(Cache.Random 100) ~elem_bytes:4 10;
+  Events.scale_working_sets ev ~k:10.0 ~min_bytes:4096;
+  let ws site =
+    match (Hashtbl.find ev.mem site).pattern with
+    | Cache.Random ws -> ws
+    | _ -> -1
+  in
+  Alcotest.(check int) "big domain grows" 1_000_000 (ws "big");
+  Alcotest.(check int) "small domain fixed" 100 (ws "small")
+
+(* ---------- cost model ---------- *)
+
+let streaming_kernel n =
+  let ev = Events.create () in
+  Events.mem ev ~site:"in" ~pattern:Cache.Sequential ~elem_bytes:4 n;
+  Events.alu ev Float n;
+  (n, ev)
+
+let test_cost_bandwidth_bound () =
+  let n = 100_000_000 in
+  let b = Cost.kernel Config.cpu_multi ~extent:n (snd (streaming_kernel n)) in
+  let expected = float_of_int (n * 4) /. (Config.cpu_multi.mem_bandwidth_gbs *. 1e9) in
+  check "streaming is bandwidth-bound" true
+    (Float.abs (b.total_s -. expected) /. expected < 0.15)
+
+let test_cost_parallelism () =
+  let n = 10_000_000 in
+  let t d = (Cost.kernel d ~extent:n (snd (streaming_kernel n))).total_s in
+  check "multicore faster than one core" true (t Config.cpu_multi < t Config.cpu_single);
+  check "gpu fastest on streams" true (t Config.gpu < t Config.cpu_multi)
+
+let test_cost_branch_penalty () =
+  let n = 1_000_000 in
+  let with_mispredicts rate =
+    let ev = Events.create () in
+    let st = Random.State.make [| 5 |] in
+    for _ = 1 to n do
+      Events.branch ev ~site:"b" (Random.State.float st 1.0 < rate)
+    done;
+    (Cost.kernel Config.cpu_single ~extent:n ev).total_s
+  in
+  check "50% costs more than 1%" true (with_mispredicts 0.5 > 2.0 *. with_mispredicts 0.01);
+  (* the GPU does not speculate: branches cost nothing *)
+  let ev = Events.create () in
+  for i = 1 to n do
+    Events.branch ev ~site:"b" (i mod 2 = 0)
+  done;
+  check "gpu ignores branches" true ((Cost.kernel Config.gpu ~extent:n ev).branch_s = 0.0)
+
+let test_cost_divergence () =
+  let guarded = Events.create () in
+  Events.guarded guarded 1_000_000;
+  Events.alu guarded Int 1_000_000;
+  let plain = Events.create () in
+  Events.alu plain Int 1_000_000;
+  let t ev = (Cost.kernel Config.gpu ~extent:1_000_000 ev).total_s in
+  check "guarded ops diverge on gpu" true (t guarded > t plain)
+
+let test_cost_hot_vs_random () =
+  let mk pattern =
+    let ev = Events.create () in
+    Events.mem ev ~site:"l" ~pattern ~elem_bytes:4 10_000_000;
+    (Cost.kernel Config.cpu_single ~extent:10_000_000 ev).total_s
+  in
+  check "hot line much cheaper than dram-random" true
+    (mk Cache.Single_hot *. 5.0 < mk (Cache.Random (1 lsl 30)))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "device"
+    [
+      ( "branch",
+        [
+          Alcotest.test_case "biased" `Quick test_predictor_biased;
+          Alcotest.test_case "random" `Quick test_predictor_random;
+          q prop_predictor_rate_tracks_selectivity;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "sim sequential" `Quick test_sim_sequential;
+          Alcotest.test_case "sim random small" `Quick test_sim_random_small;
+          Alcotest.test_case "sim random large" `Quick test_sim_random_large;
+          Alcotest.test_case "sim lru" `Quick test_sim_lru;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "scale" `Quick test_events_scale;
+          Alcotest.test_case "working sets" `Quick test_events_working_set_scaling;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "bandwidth" `Quick test_cost_bandwidth_bound;
+          Alcotest.test_case "parallelism" `Quick test_cost_parallelism;
+          Alcotest.test_case "branches" `Quick test_cost_branch_penalty;
+          Alcotest.test_case "divergence" `Quick test_cost_divergence;
+          Alcotest.test_case "hot vs random" `Quick test_cost_hot_vs_random;
+        ] );
+    ]

@@ -1,0 +1,641 @@
+(* Interpreter semantics tests: each operator, plus the paper's worked
+   figures (7, 9, 11) and the Figure 3 end-to-end aggregation. *)
+
+open Voodoo_vector
+open Voodoo_core
+module Interp = Voodoo_interp.Interp
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ints xs = Column.of_int_array (Array.of_list xs)
+let int_opts xs = Column.of_scalars Int (List.map (Option.map (fun i -> Scalar.I i)) xs)
+
+let slots col = List.map (Option.map Scalar.to_int) (Column.to_scalars col)
+
+let store_of xs = Store.of_list xs
+
+let run_text store text =
+  let p = Parse.program text in
+  Interp.run store p
+
+let col_of env id = Svector.column (Hashtbl.find env id) []
+
+let the_col env id =
+  let v : Svector.t = Hashtbl.find env id in
+  match Svector.keypaths v with
+  | [ kp ] -> Svector.column v kp
+  | kps ->
+      Alcotest.failf "expected single attribute, got %d" (List.length kps)
+
+let _ = col_of
+
+(* ---------- Figure 7: controlled folds ---------- *)
+
+let test_figure7_fold_sum () =
+  (* .fold = 1 1 1 1 0 0 0 0 ; .value = 2 0 4 1 3 1 5 0
+     foldSum gives .sum = 7 ε ε ε 9 ε ε ε *)
+  let vec =
+    Svector.of_columns
+      [
+        ([ "fold" ], ints [ 1; 1; 1; 1; 0; 0; 0; 0 ]);
+        ([ "value" ], ints [ 2; 0; 4; 1; 3; 1; 5; 0 ]);
+      ]
+  in
+  let store = store_of [ ("v", vec) ] in
+  let env =
+    run_text store {| v := Load("v")
+                      s := FoldSum(.sum, v.value, fold=.fold) |}
+  in
+  Alcotest.(check (list (option int)))
+    "figure 7 sum"
+    [ Some 7; None; None; None; Some 9; None; None; None ]
+    (slots (the_col env "s"))
+
+let test_fold_sum_no_control () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 1; 2; 3; 4 ])) ] in
+  let env = run_text store {| v := Load("v")
+                              s := FoldSum(v) |} in
+  Alcotest.(check (list (option int)))
+    "single run sum at slot 0"
+    [ Some 10; None; None; None ]
+    (slots (the_col env "s"))
+
+let test_fold_max_min_count () =
+  let vec =
+    Svector.of_columns
+      [
+        ([ "fold" ], ints [ 0; 0; 1; 1; 1 ]);
+        ([ "value" ], ints [ 3; 9; 4; 1; 5 ]);
+      ]
+  in
+  let store = store_of [ ("v", vec) ] in
+  let env =
+    run_text store
+      {| v := Load("v")
+         mx := FoldMax(.m, v.value, fold=.fold)
+         mn := FoldMin(.m, v.value, fold=.fold)
+         ct := FoldCount(.c, v.value, fold=.fold) |}
+  in
+  Alcotest.(check (list (option int)))
+    "max" [ Some 9; None; Some 5; None; None ] (slots (the_col env "mx"));
+  Alcotest.(check (list (option int)))
+    "min" [ Some 3; None; Some 1; None; None ] (slots (the_col env "mn"));
+  Alcotest.(check (list (option int)))
+    "count" [ Some 2; None; Some 3; None; None ] (slots (the_col env "ct"))
+
+let test_fold_skips_empty_slots () =
+  (* Aggregating a vector that contains ε (e.g. the output of a previous
+     fold) skips the empties, as in Figure 9's second foldSum. *)
+  let vec =
+    Svector.of_columns
+      [ ([ "v" ], int_opts [ Some 8; Some 2; None; None; Some 5; None ]) ]
+  in
+  let store = store_of [ ("v", vec) ] in
+  let env = run_text store {| v := Load("v")
+                              s := FoldSum(v) |} in
+  check "sum skips eps" true (Column.get (the_col env "s") 0 = Some (Scalar.I 15))
+
+let test_fold_all_empty_run () =
+  let vec =
+    Svector.of_columns
+      [
+        ([ "fold" ], ints [ 0; 0; 1; 1 ]);
+        ([ "value" ], int_opts [ None; None; Some 3; Some 4 ]);
+      ]
+  in
+  let store = store_of [ ("v", vec) ] in
+  let env =
+    run_text store
+      {| v := Load("v")
+         s := FoldSum(.s, v.value, fold=.fold)
+         m := FoldMax(.m, v.value, fold=.fold) |}
+  in
+  check "sum of empty run is 0" true (Column.get (the_col env "s") 0 = Some (Scalar.I 0));
+  check "max of empty run is eps" true (Column.get (the_col env "m") 0 = None)
+
+(* ---------- FoldSelect (Figure 9 pipeline) ---------- *)
+
+let test_figure9_pipeline () =
+  (* input 1 3 7 9 4 2 1 7 9 2 5 7, grainsize 4, predicate > 6 *)
+  let input = ints [ 1; 3; 7; 9; 4; 2; 1; 7; 9; 2; 5; 7 ] in
+  let store = store_of [ ("in", Svector.single [ "v" ] input) ] in
+  let env =
+    run_text store
+      {|
+        in := Load("in")
+        ids := Range(in)
+        grain := Constant(4)
+        fold := Divide(ids, grain)
+        six := Constant(6)
+        pred := Greater(in, six)
+        z := Zip(.fold, fold, .p, pred)
+        pos := FoldSelect(.pos, z.p, fold=.fold)
+      |}
+  in
+  Alcotest.(check (list (option int)))
+    "figure 9 foldSelect"
+    [
+      Some 2; Some 3; None; None; Some 7; None; None; None; Some 8; Some 11;
+      None; None;
+    ]
+    (slots (the_col env "pos"))
+
+let test_fold_select_gather_then_sum () =
+  (* Continue the Figure 9 pipeline: gather qualifying values, then sum. *)
+  let input = ints [ 1; 3; 7; 9; 4; 2; 1; 7; 9; 2; 5; 7 ] in
+  let store = store_of [ ("in", Svector.single [ "v" ] input) ] in
+  let env =
+    run_text store
+      {|
+        in := Load("in")
+        ids := Range(in)
+        grain := Constant(4)
+        fold := Divide(ids, grain)
+        six := Constant(6)
+        pred := Greater(in, six)
+        z := Zip(.fold, fold, .p, pred)
+        pos := FoldSelect(.pos, z.p, fold=.fold)
+        vals := Gather(in, pos)
+        total := FoldSum(vals)
+      |}
+  in
+  (* qualifying values: 7 9 7 9 7 -> 39 *)
+  check "total" true (Column.get (the_col env "total") 0 = Some (Scalar.I 39))
+
+(* ---------- Gather / Scatter ---------- *)
+
+let test_gather_out_of_bounds () =
+  let store =
+    store_of
+      [
+        ("d", Svector.single [ "x" ] (ints [ 10; 20; 30 ]));
+        ("p", Svector.single [ "pos" ] (ints [ 2; 5; 0; -1 ]));
+      ]
+  in
+  let env = run_text store {| d := Load("d")
+                              p := Load("p")
+                              g := Gather(d, p) |} in
+  Alcotest.(check (list (option int)))
+    "oob gives eps" [ Some 30; None; Some 10; None ] (slots (the_col env "g"))
+
+let test_gather_multi_attribute () =
+  let d =
+    Svector.of_columns
+      [ ([ "a" ], ints [ 1; 2; 3 ]); ([ "b" ], ints [ 10; 20; 30 ]) ]
+  in
+  let store =
+    store_of [ ("d", d); ("p", Svector.single [ "pos" ] (ints [ 1; 1; 0 ])) ]
+  in
+  let env = run_text store {| d := Load("d")
+                              p := Load("p")
+                              g := Gather(d, p) |} in
+  let g = Hashtbl.find env "g" in
+  Alcotest.(check (list (option int)))
+    "attr a" [ Some 2; Some 2; Some 1 ] (slots (Svector.column g [ "a" ]));
+  Alcotest.(check (list (option int)))
+    "attr b" [ Some 20; Some 20; Some 10 ] (slots (Svector.column g [ "b" ]))
+
+let test_scatter_basic_and_conflicts () =
+  let store =
+    store_of
+      [
+        ("d", Svector.single [ "x" ] (ints [ 1; 2; 3; 4 ]));
+        ("p", Svector.single [ "pos" ] (ints [ 3; 0; 3; 1 ]));
+      ]
+  in
+  let env = run_text store {| d := Load("d")
+                              p := Load("p")
+                              s := Scatter(d, d, p) |}
+  in
+  (* slot 3 written twice: later value (3) wins; slot 2 never written -> eps *)
+  Alcotest.(check (list (option int)))
+    "scatter with conflict" [ Some 2; Some 4; None; Some 3 ]
+    (slots (the_col env "s"))
+
+let test_scatter_two_arg_sugar () =
+  let store =
+    store_of
+      [
+        ("d", Svector.single [ "x" ] (ints [ 5; 6 ]));
+        ("p", Svector.single [ "pos" ] (ints [ 1; 0 ]));
+      ]
+  in
+  let env = run_text store {| d := Load("d")
+                              p := Load("p")
+                              s := Scatter(d, p) |} in
+  Alcotest.(check (list (option int)))
+    "reversed" [ Some 6; Some 5 ] (slots (the_col env "s"))
+
+(* scatter then gather with the same permutation is the identity *)
+let prop_scatter_gather_inverse =
+  QCheck.Test.make ~name:"scatter/gather with a permutation is identity" ~count:200
+    QCheck.(pair (int_range 1 50) int)
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let data = Array.init n (fun i -> 100 + i) in
+      let store =
+        store_of
+          [
+            ("d", Svector.single [ "x" ] (Column.of_int_array data));
+            ("p", Svector.single [ "pos" ] (Column.of_int_array perm));
+          ]
+      in
+      let env =
+        run_text store
+          {| d := Load("d")
+             p := Load("p")
+             s := Scatter(d, d, p)
+             inv := Gather(s, p) |}
+      in
+      slots (the_col env "inv")
+      = List.map (fun i -> Some (100 + i)) (List.init n Fun.id))
+
+(* ---------- Partition (Figure 11 style) ---------- *)
+
+let test_partition_stable () =
+  (* values a b a c c b c a d b encoded 0 1 0 2 2 1 2 0 3 1; pivots 0..3.
+     Figure 11's position vector: 0 3 1 6 7 4 8 2 9 5 *)
+  let store =
+    store_of
+      [
+        ("v", Svector.single [ "g" ] (ints [ 0; 1; 0; 2; 2; 1; 2; 0; 3; 1 ]));
+        ("piv", Svector.single [ "p" ] (ints [ 0; 1; 2; 3 ]));
+      ]
+  in
+  let env =
+    run_text store {| v := Load("v")
+                      piv := Load("piv")
+                      pos := Partition(v, piv) |}
+  in
+  Alcotest.(check (list (option int)))
+    "figure 11 positions"
+    [ Some 0; Some 3; Some 1; Some 6; Some 7; Some 4; Some 8; Some 2; Some 9; Some 5 ]
+    (slots (the_col env "pos"))
+
+let test_partition_scatter_fold_group_by () =
+  (* Figure 11 end-to-end: partition, scatter, per-group sums compacted. *)
+  let store =
+    store_of
+      [
+        ("t",
+         Svector.of_columns
+           [
+             ([ "g" ], ints [ 0; 1; 0; 2; 2; 1; 2; 0; 3; 1 ]);
+             ([ "v" ], ints [ 2; 0; 1; 4; 6; 2; 0; 9; 2; 7 ]);
+           ]);
+        ("piv", Svector.single [ "p" ] (ints [ 0; 1; 2; 3 ]));
+      ]
+  in
+  let env =
+    run_text store
+      {|
+        t := Load("t")
+        piv := Load("piv")
+        pos := Partition(t.g, piv)
+        grouped := Scatter(t, t, pos)
+        sums := FoldSum(.s, grouped.v, fold=.g)
+        positions := FoldSelect(.pos, sums.s)
+        compact := Gather(sums, positions)
+      |}
+  in
+  (* group sums: g0: 2+1+9=12, g1: 0+2+7=9, g2: 4+6+0=10, g3: 2 *)
+  let compact = Hashtbl.find env "compact" in
+  Alcotest.(check (list (option int)))
+    "compacted group sums"
+    [ Some 12; Some 9; Some 10; Some 2; None; None; None; None; None; None ]
+    (slots (Svector.column compact [ "s" ]))
+
+(* ---------- FoldScan ---------- *)
+
+let test_fold_scan () =
+  let vec =
+    Svector.of_columns
+      [
+        ([ "fold" ], ints [ 0; 0; 0; 1; 1 ]);
+        ([ "v" ], ints [ 1; 2; 3; 10; 20 ]);
+      ]
+  in
+  let store = store_of [ ("x", vec) ] in
+  let env =
+    run_text store {| x := Load("x")
+                      s := FoldScan(.s, x.v, fold=.fold) |}
+  in
+  Alcotest.(check (list (option int)))
+    "per-run inclusive prefix sums"
+    [ Some 1; Some 3; Some 6; Some 10; Some 30 ]
+    (slots (the_col env "s"))
+
+(* branch-free selection via FoldScan + Scatter (paper Figure 1's
+   cursor-arithmetic technique, expressed in the algebra) *)
+let test_branch_free_selection () =
+  let store =
+    store_of [ ("in", Svector.single [ "v" ] (ints [ 5; 9; 3; 8; 7; 1 ])) ]
+  in
+  let env =
+    run_text store
+      {|
+        in := Load("in")
+        six := Constant(6)
+        pred := Greater(in, six)
+        scan := FoldScan(pred)
+        pos := Subtract(scan, pred)
+        out := Scatter(in, in, pos)
+      |}
+  in
+  (* qualifying: 9 8 7 -> positions 0 1 2; rest collapse onto earlier slots *)
+  let out = slots (the_col env "out") in
+  check "first three are the qualifiers" true
+    (match out with
+     | Some 9 :: Some 8 :: Some 7 :: _ -> true
+     | _ -> false)
+
+(* ---------- shape ops, zip/project/upsert, persist ---------- *)
+
+let test_range_cross_constant () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 0; 0; 0 ])) ] in
+  let env =
+    run_text store
+      {|
+        v := Load("v")
+        r := Range(.i, 5, v, 2)
+        a := Range(.i, 0, 2, 1)
+        b := Range(.i, 0, 3, 1)
+        c := Cross(.p1, a, .p2, b)
+      |}
+  in
+  Alcotest.(check (list (option int)))
+    "range" [ Some 5; Some 7; Some 9 ] (slots (the_col env "r"));
+  let c = Hashtbl.find env "c" in
+  check_int "cross size" 6 (Svector.length c);
+  Alcotest.(check (list (option int)))
+    "cross major"
+    [ Some 0; Some 0; Some 0; Some 1; Some 1; Some 1 ]
+    (slots (Svector.column c [ "p1" ]));
+  Alcotest.(check (list (option int)))
+    "cross minor"
+    [ Some 0; Some 1; Some 2; Some 0; Some 1; Some 2 ]
+    (slots (Svector.column c [ "p2" ]))
+
+let test_eps_propagates_through_binary () =
+  let store =
+    store_of
+      [
+        ("a", Svector.single [ "x" ] (int_opts [ Some 1; None; Some 3 ]));
+        ("b", Svector.single [ "y" ] (ints [ 10; 20; 30 ]));
+      ]
+  in
+  let env = run_text store {| a := Load("a")
+                              b := Load("b")
+                              c := Add(a, b) |} in
+  Alcotest.(check (list (option int)))
+    "eps propagates" [ Some 11; None; Some 33 ] (slots (the_col env "c"))
+
+let test_persist_roundtrip () =
+  let store = store_of [ ("in", Svector.single [ "v" ] (ints [ 1; 2 ])) ] in
+  let _ =
+    run_text store {| in := Load("in")
+                      s := FoldSum(in)
+                      p := Persist("out", s) |}
+  in
+  let out = Store.find_exn store "out" in
+  check "persisted" true (Column.get (Svector.column out [ "val" ]) 0 = Some (Scalar.I 3))
+
+let test_eval_slice () =
+  (* Interp.eval runs only the dependency slice of the requested vector *)
+  let store = store_of [ ("in", Svector.single [ "v" ] (ints [ 1; 2; 3 ])) ] in
+  let p =
+    Parse.program
+      {| in := Load("in")
+         s := FoldSum(in)
+         boom := Gather(in, in) |}
+  in
+  (* "boom" would gather out of bounds harmlessly, but more to the point,
+     evaluating "s" must not require it *)
+  let v = Interp.eval store p "s" in
+  check "sliced eval" true
+    (Column.get (Svector.column v [ "val" ]) 0 = Some (Scalar.I 6))
+
+let test_materialize_break_identity () =
+  let store = store_of [ ("in", Svector.single [ "v" ] (ints [ 4; 5; 6 ])) ] in
+  let env =
+    run_text store
+      {| in := Load("in")
+         m := Materialize(in)
+         b := Break(m)
+         s := FoldSum(b) |}
+  in
+  check "identity chain" true (Column.get (the_col env "s") 0 = Some (Scalar.I 15))
+
+(* ---------- fold semantics against an independent model ---------- *)
+
+(* Executable specification: split values by the fold attribute's runs,
+   aggregate each run, place results at run starts.  Generated inputs get
+   random run structures and ε patterns. *)
+let prop_fold_agg_model =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* vals = list_size (return n) (option (int_range (-20) 20)) in
+      let* folds = list_size (return n) (int_range 0 3) in
+      return (vals, folds))
+  in
+  QCheck.Test.make ~name:"fold aggregates match a run-by-run model" ~count:300
+    (QCheck.make gen)
+    (fun (vals, folds) ->
+      let n = List.length vals in
+      let vec =
+        Svector.of_columns
+          [
+            ([ "fold" ], ints folds);
+            ( [ "value" ],
+              Column.of_scalars Int
+                (List.map (Option.map (fun i -> Scalar.I i)) vals) );
+          ]
+      in
+      let store = store_of [ ("v", vec) ] in
+      let env =
+        run_text store
+          {| v := Load("v")
+             s := FoldSum(.s, v.value, fold=.fold)
+             m := FoldMax(.m, v.value, fold=.fold)
+             c := FoldCount(.c, v.value, fold=.fold) |}
+      in
+      (* model *)
+      let vals = Array.of_list vals and folds = Array.of_list folds in
+      let expect_sum = Array.make n None
+      and expect_max = Array.make n None
+      and expect_count = Array.make n None in
+      let start = ref 0 in
+      let flush stop =
+        let in_run = Array.to_list (Array.sub vals !start (stop - !start)) in
+        let valid = List.filter_map Fun.id in_run in
+        expect_sum.(!start) <- Some (List.fold_left ( + ) 0 valid);
+        expect_count.(!start) <-
+          (match valid with [] -> Some 0 | l -> Some (List.length l));
+        expect_max.(!start) <-
+          (match valid with [] -> None | l -> Some (List.fold_left max min_int l));
+        start := stop
+      in
+      for i = 1 to n - 1 do
+        if folds.(i) <> folds.(i - 1) then flush i
+      done;
+      flush n;
+      let matches col expect =
+        List.for_all2
+          (fun got want -> got = want)
+          (slots (the_col env col))
+          (Array.to_list expect)
+      in
+      matches "s" expect_sum && matches "m" expect_max && matches "c" expect_count)
+
+(* more operator edge cases *)
+
+let test_bitshift_logicalor () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 1; 2; 3 ])) ] in
+  let env =
+    run_text store
+      {| v := Load("v")
+         three := Constant(3)
+         sh := BitShift(v, three)
+         zero := Constant(0)
+         o := LogicalOr(v, zero) |}
+  in
+  Alcotest.(check (list (option int)))
+    "shift left" [ Some 8; Some 16; Some 24 ] (slots (the_col env "sh"));
+  Alcotest.(check (list (option int)))
+    "or" [ Some 1; Some 1; Some 1 ] (slots (the_col env "o"))
+
+let test_range_negative_step () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 0; 0; 0; 0 ])) ] in
+  let env = run_text store {| v := Load("v")
+                              r := Range(.i, 9, v, -3) |} in
+  Alcotest.(check (list (option int)))
+    "descending range" [ Some 9; Some 6; Some 3; Some 0 ] (slots (the_col env "r"))
+
+let test_persist_overwrite () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 5 ])) ] in
+  let _ =
+    run_text store
+      {| v := Load("v")
+         one := Constant(1)
+         w := Add(v, one)
+         p1 := Persist("out", v)
+         p2 := Persist("out", w) |}
+  in
+  check "later persist wins" true
+    (Column.get (Svector.column (Store.find_exn store "out") [ "val" ]) 0
+    = Some (Scalar.I 6))
+
+let test_gather_from_eps_data () =
+  (* gathering a slot that is itself ε yields ε *)
+  let store =
+    store_of
+      [
+        ("d", Svector.single [ "x" ] (int_opts [ Some 1; None; Some 3 ]));
+        ("p", Svector.single [ "pos" ] (ints [ 1; 0; 2 ]));
+      ]
+  in
+  let env = run_text store {| d := Load("d")
+                              p := Load("p")
+                              g := Gather(d, p) |} in
+  Alcotest.(check (list (option int)))
+    "eps passes through" [ None; Some 1; Some 3 ] (slots (the_col env "g"))
+
+let test_upsert_broadcast () =
+  let store = store_of [ ("v", Svector.single [ "x" ] (ints [ 7; 8; 9 ])) ] in
+  let env =
+    run_text store
+      {| v := Load("v")
+         k := Constant(.c, 42)
+         u := Upsert(v, .tag, k.c) |}
+  in
+  let u = Hashtbl.find env "u" in
+  Alcotest.(check (list (option int)))
+    "one-element upsert broadcasts" [ Some 42; Some 42; Some 42 ]
+    (slots (Svector.column u [ "tag" ]))
+
+(* ---------- Figure 3 end-to-end ---------- *)
+
+let test_figure3_end_to_end () =
+  let n = 4000 in
+  let input = Column.of_float_array (Array.init n (fun i -> float_of_int (i mod 7))) in
+  let store = store_of [ ("input", Svector.single [ "val" ] input) ] in
+  let env =
+    run_text store
+      {|
+        input := Load("input")
+        ids := Range(input)
+        partitionSize := Constant(1024)
+        partitionIDs := Divide(ids, partitionSize)
+        positions := Partition(partitionIDs, partitionIDs)
+        inputWPart := Zip(.val, input, .partition, partitionIDs)
+        partInput := Scatter(inputWPart, positions)
+        pSum := FoldSum(partInput.val, partInput.partition)
+        totalSum := FoldSum(pSum)
+      |}
+  in
+  let expect = Array.fold_left ( +. ) 0.0 (Array.init n (fun i -> float_of_int (i mod 7))) in
+  let got = Column.get (the_col env "totalSum") 0 in
+  check "hierarchical total equals naive total" true
+    (got = Some (Scalar.F expect));
+  (* the partial-sum vector has one value per 1024-partition *)
+  let p_sum = the_col env "pSum" in
+  check_int "partials at run starts" 4
+    (List.length (List.filter Option.is_some (slots p_sum)))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "interp"
+    [
+      ( "folds",
+        [
+          Alcotest.test_case "figure 7 sum" `Quick test_figure7_fold_sum;
+          Alcotest.test_case "uncontrolled sum" `Quick test_fold_sum_no_control;
+          Alcotest.test_case "max/min/count" `Quick test_fold_max_min_count;
+          Alcotest.test_case "skips eps" `Quick test_fold_skips_empty_slots;
+          Alcotest.test_case "all-eps run" `Quick test_fold_all_empty_run;
+          Alcotest.test_case "figure 9 select" `Quick test_figure9_pipeline;
+          Alcotest.test_case "select+gather+sum" `Quick test_fold_select_gather_then_sum;
+          Alcotest.test_case "scan" `Quick test_fold_scan;
+          Alcotest.test_case "branch-free select" `Quick test_branch_free_selection;
+        ] );
+      ( "movement",
+        [
+          Alcotest.test_case "gather oob" `Quick test_gather_out_of_bounds;
+          Alcotest.test_case "gather multi-attr" `Quick test_gather_multi_attribute;
+          Alcotest.test_case "scatter conflicts" `Quick test_scatter_basic_and_conflicts;
+          Alcotest.test_case "scatter sugar" `Quick test_scatter_two_arg_sugar;
+          q prop_scatter_gather_inverse;
+          Alcotest.test_case "partition stable" `Quick test_partition_stable;
+          Alcotest.test_case "group-by pipeline" `Quick test_partition_scatter_fold_group_by;
+        ] );
+      ( "fold-model",
+        [
+          q prop_fold_agg_model;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "bitshift/or" `Quick test_bitshift_logicalor;
+          Alcotest.test_case "negative range" `Quick test_range_negative_step;
+          Alcotest.test_case "persist overwrite" `Quick test_persist_overwrite;
+          Alcotest.test_case "gather eps data" `Quick test_gather_from_eps_data;
+          Alcotest.test_case "upsert broadcast" `Quick test_upsert_broadcast;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "range/cross" `Quick test_range_cross_constant;
+          Alcotest.test_case "eps in binary" `Quick test_eps_propagates_through_binary;
+          Alcotest.test_case "persist" `Quick test_persist_roundtrip;
+          Alcotest.test_case "eval slice" `Quick test_eval_slice;
+          Alcotest.test_case "materialize/break" `Quick test_materialize_break_identity;
+          Alcotest.test_case "figure 3" `Quick test_figure3_end_to_end;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Unit tests for the relational substrate itself (tables, catalog,
+   expressions, lowering mechanics) on small hand-made schemas — the
+   TPC-H-scale integration lives in test_tpch.ml. *)
+
+open Voodoo_vector
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---------- tables ---------- *)
+
+let test_str_column_roundtrip () =
+  let c = Table.str_column ~name:"s" [| "b"; "a"; "b"; "c"; "a" |] in
+  check_int "codes by first occurrence" 0 (Option.get (Table.encode c "b"));
+  check_int "second distinct" 1 (Option.get (Table.encode c "a"));
+  check "missing string" true (Table.encode c "zzz" = None);
+  check_str "decode" "c" (Table.decode c 2);
+  (* the device column carries the codes *)
+  check "code data" true (Column.get c.data 3 = Some (Scalar.I 2))
+
+let test_int_stats () =
+  let c = Table.int_column ~name:"k" [| 5; 2; 9; 2 |] in
+  check "stats" true (Table.int_stats c = (2, 9))
+
+let test_date_conversions () =
+  List.iter
+    (fun (s, _) ->
+      check_str (Printf.sprintf "roundtrip %s" s) s
+        (Table.string_of_date (Table.date_of_string s)))
+    [ ("1992-01-01", ()); ("1998-08-02", ()); ("1996-02-29", ()); ("1970-01-01", ()) ];
+  check_int "epoch" 0 (Table.date_of_string "1970-01-01");
+  check_int "one year" 365 (Table.date_of_string "1971-01-01");
+  check "ordering" true
+    (Table.date_of_string "1995-06-17" < Table.date_of_string "1995-06-18")
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"day numbers roundtrip through Y-M-D" ~count:500
+    QCheck.(int_range (-20000) 40000)
+    (fun days -> Table.date_of_string (Table.string_of_date days) = days)
+
+(* ---------- a small custom schema ---------- *)
+
+let sales_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    (Table.make ~name:"products"
+       [
+         Table.int_column ~name:"prod_id" [| 1; 2; 3; 4 |];
+         Table.str_column ~name:"prod_name" [| "ale"; "bun"; "cod"; "dip" |];
+         Table.float_column ~name:"price" [| 2.5; 1.0; 6.0; 3.5 |];
+       ]);
+  Catalog.add_table cat
+    (Table.make ~name:"sales"
+       [
+         Table.int_column ~name:"sale_id" [| 1; 2; 3; 4; 5; 6 |];
+         Table.int_column ~name:"prod_fk" [| 1; 3; 2; 3; 1; 4 |];
+         Table.int_column ~name:"qty" [| 2; 1; 5; 2; 1; 3 |];
+       ]);
+  cat
+
+let test_catalog_owner () =
+  let cat = sales_catalog () in
+  check "owner of qty" true (Catalog.owner cat "qty" = Some "sales");
+  check "owner of price" true (Catalog.owner cat "price" = Some "products");
+  check "no owner" true (Catalog.owner cat "nope" = None);
+  check "stats of fk" true (Catalog.stats cat "sales" "prod_fk" = (1, 4))
+
+(* ---------- expressions ---------- *)
+
+let test_rexpr_eval () =
+  let row = function
+    | "a" -> Some (Scalar.I 10)
+    | "b" -> Some (Scalar.F 2.5)
+    | "n" -> None
+    | _ -> invalid_arg "row"
+  in
+  let open Rexpr in
+  let ev e = Rexpr.eval ~row e in
+  check "arith" true (ev (col "a" *: i 3) = Some (Scalar.I 30));
+  check "mixed promotes" true (ev (col "a" +: col "b") = Some (Scalar.F 12.5));
+  check "null propagates" true (ev (col "n" +: i 1) = None);
+  check "between" true (ev (Between (col "a", i 10, i 11)) = Some (Scalar.I 1));
+  check "in list" true (ev (In_list (col "a", [ i 3; i 10 ])) = Some (Scalar.I 1));
+  check "not" true (ev (Not (col "a" >: i 100)) = Some (Scalar.I 1))
+
+let test_rexpr_resolve () =
+  let cat = sales_catalog () in
+  let encode colname s =
+    Table.encode (Table.column (Catalog.table cat (Catalog.owner_exn cat colname)) colname) s
+  in
+  let open Rexpr in
+  (match Rexpr.resolve ~encode (col "prod_name" =: str "cod") with
+  | Eq (Col "prod_name", Int_lit 2) -> ()
+  | _ -> Alcotest.fail "string literal should resolve to its code");
+  (match Rexpr.resolve ~encode (col "prod_name" =: str "zzz") with
+  | Eq (Col "prod_name", Int_lit -1) -> ()
+  | _ -> Alcotest.fail "unknown strings resolve to an unsatisfiable code");
+  match Rexpr.resolve ~encode (date "1970-01-02" <: col "a") with
+  | Lt (Int_lit 1, Col "a") -> ()
+  | _ -> Alcotest.fail "dates resolve to day numbers"
+
+(* ---------- lowering mechanics on the custom schema ---------- *)
+
+let engines_agree plan =
+  let cat = sales_catalog () in
+  let reference = E.reference cat plan in
+  check "nonempty" true (reference <> []);
+  List.iter
+    (fun (name, rows) ->
+      if not (E.agree plan reference rows) then
+        Alcotest.failf "%s disagrees with reference" name)
+    [
+      ("interp", E.interp cat plan);
+      ("compiled", E.compiled cat plan);
+      ( "compiled predicated",
+        try E.compiled ~lower_opts:{ Lower.default_options with predication = true } cat plan
+        with Lower.Unsupported _ -> reference );
+    ]
+
+let test_lower_select_agg () =
+  engines_agree
+    Ra.(
+      aggregate
+        (select (scan "sales") Rexpr.(col "qty" >: i 1))
+        [ agg ~name:"total" Sum (Rexpr.col "qty"); agg ~name:"n" Count (Rexpr.i 1) ])
+
+let test_lower_fk_join () =
+  engines_agree
+    Ra.(
+      group_by
+        (fk_join (scan "sales") ~fk:"prod_fk" (scan "products") ~pk:"prod_id")
+        [ "prod_fk" ]
+        [ agg ~name:"revenue" Sum Rexpr.(col "qty" *: col "price") ])
+
+let test_lower_semi_join () =
+  engines_agree
+    Ra.(
+      aggregate
+        (semi_join (scan "sales") ~key:"prod_fk"
+           (select (scan "products") Rexpr.(col "price" >: f 3.0))
+           ~dim_key:"prod_id")
+        [ agg ~name:"n" Count (Rexpr.i 1) ])
+
+let test_lower_lookup_join () =
+  engines_agree
+    Ra.(
+      aggregate
+        (lookup_join (scan "sales")
+           ~fact_key:Rexpr.(col "prod_fk" -: i 1)
+           (scan "products")
+           ~dim_key:Rexpr.(col "prod_id" -: i 1)
+           ~domain:(0, 3))
+        [ agg ~name:"s" Sum (Rexpr.col "price") ])
+
+let test_lower_rejects () =
+  let cat = sales_catalog () in
+  let bad plan =
+    match Lower.lower cat plan with
+    | _ -> false
+    | exception Lower.Unsupported _ -> true
+  in
+  check "non-agg root" true (bad (Ra.scan "sales"));
+  check "anti join" true
+    (bad
+       Ra.(
+         aggregate
+           (anti_join (scan "sales") ~key:"prod_fk" (scan "products")
+              ~dim_key:"prod_id")
+           [ agg Count (Rexpr.i 1) ]));
+  check "unknown column" true
+    (bad Ra.(aggregate (scan "sales") [ agg Sum (Rexpr.col "nope") ]))
+
+let test_table_of_rows () =
+  let rows =
+    [
+      [ ("k", Some (Scalar.I 1)); ("v", Some (Scalar.F 1.5)) ];
+      [ ("k", Some (Scalar.I 2)); ("v", Some (Scalar.F 2.5)) ];
+    ]
+  in
+  let t =
+    E.table_of_rows ~name:"tmp" ~columns:[ ("k", Table.TInt); ("v", Table.TFloat) ] rows
+  in
+  check_int "rows" 2 t.nrows;
+  check "float col" true
+    (Column.get (Table.column t "v").data 1 = Some (Scalar.F 2.5))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "relational"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "dictionary" `Quick test_str_column_roundtrip;
+          Alcotest.test_case "stats" `Quick test_int_stats;
+          Alcotest.test_case "dates" `Quick test_date_conversions;
+          q prop_date_roundtrip;
+        ] );
+      ("catalog", [ Alcotest.test_case "owner" `Quick test_catalog_owner ]);
+      ( "expressions",
+        [
+          Alcotest.test_case "eval" `Quick test_rexpr_eval;
+          Alcotest.test_case "resolve" `Quick test_rexpr_resolve;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "select+agg" `Quick test_lower_select_agg;
+          Alcotest.test_case "fk join" `Quick test_lower_fk_join;
+          Alcotest.test_case "semi join" `Quick test_lower_semi_join;
+          Alcotest.test_case "lookup join" `Quick test_lower_lookup_join;
+          Alcotest.test_case "rejections" `Quick test_lower_rejects;
+          Alcotest.test_case "table of rows" `Quick test_table_of_rows;
+        ] );
+    ]

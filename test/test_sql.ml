@@ -1,0 +1,139 @@
+(* SQL frontend tests: parsing, planning against the catalog, and full
+   agreement with the hand-built TPC-H plans through every engine. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+
+let sf = 0.002
+let catalog = lazy (Voodoo_tpch.Dbgen.generate ~sf ())
+
+let check = Alcotest.(check bool)
+
+let q6_sql =
+  {| SELECT SUM(l_extendedprice * l_discount) AS revenue
+     FROM lineitem
+     WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+       AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24 |}
+
+let q1_sql =
+  {| SELECT l_returnflag, l_linestatus,
+            SUM(l_quantity) AS sum_qty,
+            SUM(l_extendedprice) AS sum_base_price,
+            AVG(l_discount) AS avg_disc,
+            COUNT(*) AS count_order
+     FROM lineitem
+     WHERE l_shipdate <= DATE '1998-09-02'
+     GROUP BY l_returnflag, l_linestatus |}
+
+let join_sql =
+  {| SELECT o_orderpriority, COUNT(*) AS n, SUM(l_quantity) AS qty
+     FROM lineitem, orders
+     WHERE l_orderkey = o_orderkey AND o_orderdate >= DATE '1995-01-01'
+     GROUP BY o_orderpriority |}
+
+let like_sql =
+  {| SELECT COUNT(*) AS promos
+     FROM lineitem, part
+     WHERE l_partkey = p_partkey AND p_type LIKE 'PROMO%' |}
+
+let canon plan rows = E.canon plan rows
+
+let engines_agree sql =
+  let cat = Lazy.force catalog in
+  let plan = Sql.plan cat sql in
+  let reference = E.reference cat plan in
+  check "reference nonempty" true (reference <> []);
+  List.iter
+    (fun (name, rows) ->
+      if not (Reference.rows_equal (canon plan reference) (canon plan rows)) then
+        Alcotest.failf "%s disagrees with reference on:\n%s" name sql)
+    [ ("interp", E.interp cat plan); ("compiled", E.compiled cat plan) ]
+
+let test_q6_engines () = engines_agree q6_sql
+let test_q1_engines () = engines_agree q1_sql
+let test_join_engines () = engines_agree join_sql
+let test_like_engines () = engines_agree like_sql
+
+(* the SQL plan must produce the same answer as the hand-built Q6 plan *)
+let test_q6_matches_handbuilt () =
+  let cat = Lazy.force catalog in
+  let q6 = Option.get (Q.find ~sf "Q6") in
+  let hand = q6.run (fun c p -> E.reference c p) cat in
+  let plan = Sql.plan cat q6_sql in
+  let sql_rows = E.compiled cat plan in
+  let get rows =
+    match rows with
+    | [ row ] -> (
+        match List.assoc "revenue" row with
+        | Some v -> Voodoo_vector.Scalar.to_float v
+        | None -> nan)
+    | _ -> nan
+  in
+  let a = get hand and b = get sql_rows in
+  check "same revenue" true (Float.abs (a -. b) < 1e-6 *. Float.max 1.0 (Float.abs a))
+
+let test_parse_shape () =
+  let cat = Lazy.force catalog in
+  match Sql.plan cat join_sql with
+  | Ra.GroupAgg { keys = [ "o_orderpriority" ]; aggs; input } ->
+      Alcotest.(check int) "two aggregates" 2 (List.length aggs);
+      (match input with
+      | Ra.Select (Ra.FkJoin { fk = "l_orderkey"; pk = "o_orderkey"; _ }, _) -> ()
+      | _ -> Alcotest.fail "expected Select over FkJoin")
+  | _ -> Alcotest.fail "expected GroupAgg root"
+
+let test_errors () =
+  let cat = Lazy.force catalog in
+  let bad sql =
+    match Sql.plan cat sql with
+    | _ -> false
+    | exception Sql.Sql_error _ -> true
+  in
+  check "unknown table" true (bad "SELECT COUNT(*) FROM nonsense");
+  check "plain select" true (bad "SELECT l_quantity FROM lineitem");
+  check "non-grouped column" true
+    (bad "SELECT l_quantity, COUNT(*) FROM lineitem GROUP BY l_returnflag");
+  check "unterminated string" true (bad "SELECT COUNT(*) FROM lineitem WHERE l_returnflag = 'R");
+  check "missing join condition" true
+    (bad "SELECT COUNT(*) FROM lineitem, orders");
+  check "trailing garbage" true (bad "SELECT COUNT(*) FROM lineitem GROUP")
+
+let test_like_variants () =
+  let cat = Lazy.force catalog in
+  (* '%green%' containment over p_name *)
+  let plan =
+    Sql.plan cat
+      {| SELECT COUNT(*) AS n FROM part WHERE p_name LIKE '%green%' |}
+  in
+  let rows = E.reference cat plan in
+  let n =
+    match rows with
+    | [ row ] -> (
+        match List.assoc "n" row with
+        | Some v -> Voodoo_vector.Scalar.to_int v
+        | None -> -1)
+    | _ -> -1
+  in
+  check "some green parts" true (n > 0);
+  check "engines agree on containment" true
+    (Reference.rows_equal (canon plan rows) (canon plan (E.compiled cat plan)))
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "engines",
+        [
+          Alcotest.test_case "q6" `Quick test_q6_engines;
+          Alcotest.test_case "q1" `Quick test_q1_engines;
+          Alcotest.test_case "join" `Quick test_join_engines;
+          Alcotest.test_case "like" `Quick test_like_engines;
+        ] );
+      ( "planning",
+        [
+          Alcotest.test_case "q6 = hand-built" `Quick test_q6_matches_handbuilt;
+          Alcotest.test_case "join shape" `Quick test_parse_shape;
+          Alcotest.test_case "like variants" `Quick test_like_variants;
+        ] );
+      ("errors", [ Alcotest.test_case "rejections" `Quick test_errors ]);
+    ]

@@ -1,0 +1,151 @@
+(* End-to-end TPC-H tests: every evaluated query must produce identical
+   results under the reference evaluator, the Voodoo interpreter backend
+   and the Voodoo compiling backend (with and without its optimizations),
+   across scale factors and seeds. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Dbgen = Voodoo_tpch.Dbgen
+module Codegen = Voodoo_compiler.Codegen
+
+let sf = 0.005
+
+let catalog = lazy (Dbgen.generate ~sf ())
+
+let canon (q : Q.t) rows =
+  Reference.sort_rows (Reference.project_rows q.columns rows)
+
+let rows_pp rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         String.concat ", "
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "%s=%s" k
+                  (match v with
+                  | Some s -> Fmt.str "%a" Voodoo_vector.Scalar.pp s
+                  | None -> "ε"))
+              r))
+       rows)
+
+let check_query_engine name engine_eval =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let got = q.run engine_eval cat in
+  let e = canon q expected and g = canon q got in
+  if not (Reference.rows_equal e g) then
+    Alcotest.failf "%s mismatch.@.reference (%d rows):@.%s@.@.got (%d rows):@.%s"
+      name (List.length e) (rows_pp e) (List.length g) (rows_pp g)
+
+let interp_eval c p = E.interp c p
+
+let compiled_eval ?backend_opts () c p = E.compiled ?backend_opts c p
+
+let test_interp name () = check_query_engine name interp_eval
+
+let test_compiled name () = check_query_engine name (compiled_eval ())
+
+let test_compiled_no_opt name () =
+  check_query_engine name
+    (compiled_eval
+       ~backend_opts:
+         {
+           Codegen.fuse = false;
+           virtual_scatter = false;
+           suppress_empty_slots = false;
+         }
+       ())
+
+(* predication / vectorization lowering strategies, where applicable *)
+let test_lowering_options name () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  List.iter
+    (fun lower_opts ->
+      match q.run (fun c p -> E.compiled ~lower_opts c p) cat with
+      | got ->
+          let e = canon q expected and g = canon q got in
+          if not (Reference.rows_equal e g) then
+            Alcotest.failf "%s mismatch under %s" name
+              (Printf.sprintf "grain=%d pred=%b vec=%b"
+                 lower_opts.Lower.parallel_grain lower_opts.predication
+                 lower_opts.vectorized)
+      | exception Lower.Unsupported _ -> () (* e.g. predication with Min/Max *))
+    [
+      { Lower.default_options with parallel_grain = 1024 };
+      { Lower.default_options with parallel_grain = 1 lsl 20 };
+      { Lower.default_options with vectorized = true };
+      { Lower.default_options with predication = true };
+      { Lower.default_options with layout_transform = true };
+    ]
+
+let queries = Q.cpu_figure13
+
+let scale_robustness () =
+  (* a different scale factor and seed, on the compiled backend *)
+  let cat = Dbgen.generate ~sf:0.003 ~seed:7 () in
+  List.iter
+    (fun name ->
+      let q = Option.get (Q.find ~sf:0.003 name) in
+      let expected = q.run (fun c p -> E.reference c p) cat in
+      let got = q.run (fun c p -> E.compiled c p) cat in
+      if not (Reference.rows_equal (canon q expected) (canon q got)) then
+        Alcotest.failf "%s mismatch at sf=0.003 seed=7" name)
+    [ "Q1"; "Q5"; "Q6"; "Q9"; "Q12"; "Q20" ]
+
+let dbgen_sanity () =
+  let cat = Lazy.force catalog in
+  let li = Catalog.table cat "lineitem" in
+  let orders = Catalog.table cat "orders" in
+  Alcotest.(check bool) "lineitem ~4x orders" true
+    (li.nrows > 3 * orders.nrows && li.nrows < 5 * orders.nrows);
+  (* dense keys *)
+  let mn, mx = Catalog.stats cat "orders" "o_orderkey" in
+  Alcotest.(check int) "orderkey min" 1 mn;
+  Alcotest.(check int) "orderkey max" orders.nrows mx;
+  (* determinism *)
+  let cat2 = Dbgen.generate ~sf ()
+  and cat1 = Dbgen.generate ~sf () in
+  let q6 = Option.get (Q.find ~sf "Q6") in
+  let r1 = q6.run (fun c p -> E.reference c p) cat1 in
+  let r2 = q6.run (fun c p -> E.reference c p) cat2 in
+  Alcotest.(check bool) "same seed, same data" true (Reference.rows_equal r1 r2)
+
+let nonempty_results () =
+  (* every query should return at least one row at this scale — guards
+     against accidentally unsatisfiable predicates *)
+  let cat = Lazy.force catalog in
+  List.iter
+    (fun name ->
+      let q = Option.get (Q.find ~sf name) in
+      let rows = q.run (fun c p -> E.reference c p) cat in
+      if rows = [] then Alcotest.failf "%s returned no rows" name)
+    queries
+
+let () =
+  let cases mk suffix =
+    List.map
+      (fun name -> Alcotest.test_case (name ^ suffix) `Quick (mk name))
+      queries
+  in
+  Alcotest.run "tpch"
+    [
+      ( "dbgen",
+        [
+          Alcotest.test_case "sanity" `Quick dbgen_sanity;
+          Alcotest.test_case "nonempty" `Quick nonempty_results;
+        ] );
+      ("interp", cases test_interp "");
+      ("compiled", cases test_compiled "");
+      ("compiled-no-opt", cases test_compiled_no_opt "");
+      ( "lowering-options",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Quick (test_lowering_options name))
+          [ "Q1"; "Q6"; "Q12"; "Q14"; "Q19"; "Q5"; "Q10" ] );
+      ("robustness", [ Alcotest.test_case "sf/seed" `Slow scale_robustness ]);
+    ]

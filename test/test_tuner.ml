@@ -1,0 +1,87 @@
+(* Tests for the cost-based strategy chooser (the paper's future-work
+   optimizer): all strategies agree on answers, costs are positive and
+   ordered, and device-dependent choices actually occur on a workload
+   built to discriminate. *)
+
+open Voodoo_relational
+open Voodoo_device
+module E = Voodoo_engine.Engine
+module Tuner = Voodoo_engine.Tuner
+
+let check = Alcotest.(check bool)
+
+let catalog = lazy (Voodoo_tpch.Dbgen.generate ~sf:0.003 ())
+
+let q6_plan cat =
+  let q = Option.get (Voodoo_tpch.Queries.find ~sf:0.003 "Q6") in
+  let captured = ref None in
+  (try
+     ignore
+       (q.run
+          (fun _ p ->
+            captured := Some p;
+            raise Exit)
+          cat)
+   with Exit -> ());
+  Option.get !captured
+
+let test_explore_sorted () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let cs = Tuner.explore cat plan Config.cpu_multi in
+  check "several candidates" true (List.length cs >= 4);
+  check "positive costs" true (List.for_all (fun c -> c.Tuner.cost_s > 0.0) cs);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Tuner.cost_s <= b.Tuner.cost_s && sorted rest
+    | _ -> true
+  in
+  check "cheapest first" true (sorted cs)
+
+let test_choice_agrees_with_reference () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let best = Tuner.choose cat plan Config.gpu in
+  check "tuned answer equals reference" true
+    (E.agree plan (E.reference cat plan) best.Tuner.rows)
+
+let test_mid_selectivity_prefers_branch_free () =
+  (* at ~50% selectivity a speculating single core suffers the mispredict
+     bell; the tuner must not pick plain branching *)
+  let cat = Lazy.force catalog in
+  let plan =
+    Ra.aggregate
+      (Ra.select (Ra.scan "lineitem") Rexpr.(col "l_quantity" <=: i 25))
+      [ Ra.agg ~name:"s" Sum (Rexpr.col "l_extendedprice") ]
+  in
+  let best = Tuner.choose cat plan Config.cpu_single in
+  check
+    (Printf.sprintf "picked %s" best.Tuner.label)
+    true
+    (best.Tuner.label <> "branching/4k" && best.Tuner.label <> "branching/64k")
+
+let test_device_dependent_choice () =
+  (* the tunability thesis: across devices the ranking differs for at
+     least one workload in {selective sum, mid-selectivity sum} *)
+  let cat = Lazy.force catalog in
+  let mk cut =
+    Ra.aggregate
+      (Ra.select (Ra.scan "lineitem") Rexpr.(col "l_quantity" <=: i cut))
+      [ Ra.agg ~name:"s" Sum (Rexpr.col "l_extendedprice") ]
+  in
+  let rank plan d = List.map (fun c -> c.Tuner.label) (Tuner.explore cat plan d) in
+  let differs plan =
+    rank plan Config.cpu_single <> rank plan Config.gpu
+  in
+  check "rankings differ somewhere" true (differs (mk 25) || differs (mk 2))
+
+let () =
+  Alcotest.run "tuner"
+    [
+      ( "tuner",
+        [
+          Alcotest.test_case "sorted candidates" `Quick test_explore_sorted;
+          Alcotest.test_case "answers preserved" `Quick test_choice_agrees_with_reference;
+          Alcotest.test_case "mid selectivity" `Quick test_mid_selectivity_prefers_branch_free;
+          Alcotest.test_case "device dependent" `Quick test_device_dependent_choice;
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Unit and property tests for the structured-vector substrate. *)
+
+open Voodoo_vector
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Scalar ---------- *)
+
+let test_scalar_arith () =
+  check_int "int add" 7 (Scalar.to_int (Scalar.add (I 3) (I 4)));
+  Alcotest.(check (float 1e-9)) "float add" 7.5 (Scalar.to_float (Scalar.add (I 3) (F 4.5)));
+  check_int "int div truncates" 3 (Scalar.to_int (Scalar.div (I 7) (I 2)));
+  check_int "modulo positive" 2 (Scalar.to_int (Scalar.modulo (I (-3)) (I 5)));
+  check_int "greater true" 1 (Scalar.to_int (Scalar.greater (I 5) (I 3)));
+  check_int "greater false" 0 (Scalar.to_int (Scalar.greater (I 2) (I 3)));
+  check_int "equals mixed" 1 (Scalar.to_int (Scalar.equals (I 2) (F 2.0)));
+  check_int "shift left" 8 (Scalar.to_int (Scalar.bit_shift (I 1) (I 3)));
+  check_int "shift right" 2 (Scalar.to_int (Scalar.bit_shift (I 8) (I (-2))));
+  check "and" true (Scalar.truthy (Scalar.logical_and (I 1) (F 2.0)));
+  check "or of zeros" false (Scalar.truthy (Scalar.logical_or (I 0) (F 0.0)))
+
+let test_scalar_dtype () =
+  check "join int int" true (Scalar.join Int Int = Int);
+  check "join int float" true (Scalar.join Int Float = Float);
+  check "min identity" true (Scalar.compare_scalar (Scalar.min_value Int) (I (-1000000)) < 0);
+  check "max identity" true (Scalar.compare_scalar (Scalar.max_value Float) (F 1e300) > 0)
+
+(* ---------- Keypath ---------- *)
+
+let test_keypath () =
+  Alcotest.(check (list string)) "parse" [ "a"; "b" ] (Keypath.of_string ".a.b");
+  Alcotest.(check string) "print" ".a.b" (Keypath.to_string [ "a"; "b" ]);
+  check "prefix" true (Keypath.is_prefix [ "a" ] [ "a"; "b" ]);
+  check "not prefix" false (Keypath.is_prefix [ "b" ] [ "a"; "b" ]);
+  Alcotest.(check (list string)) "rebase" [ "x"; "b" ]
+    (Keypath.rebase ~from:[ "a" ] ~onto:[ "x" ] [ "a"; "b" ])
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset () =
+  let b = Bitset.create ~length:70 ~default:false in
+  check "initially clear" false (Bitset.get b 69);
+  Bitset.set b 69 true;
+  Bitset.set b 0 true;
+  check "set high bit" true (Bitset.get b 69);
+  check "set low bit" true (Bitset.get b 0);
+  check_int "count" 2 (Bitset.count b);
+  Bitset.set b 69 false;
+  check "cleared" false (Bitset.get b 69);
+  let all = Bitset.create ~length:9 ~default:true in
+  check "default true" true (Bitset.all_set all)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset set/get roundtrip" ~count:200
+    QCheck.(pair (int_bound 200) (list (int_bound 200)))
+    (fun (extra, idxs) ->
+      let length = 201 + extra in
+      let b = Bitset.create ~length ~default:false in
+      List.iter (fun i -> Bitset.set b i true) idxs;
+      List.for_all (fun i -> Bitset.get b i) idxs
+      && Bitset.count b = List.length (List.sort_uniq compare idxs))
+
+(* ---------- Ctrl ---------- *)
+
+let test_ctrl_values () =
+  let c = Ctrl.range ~from:5 ~step:2 in
+  check_int "range value" 9 (Ctrl.value c 2);
+  let d = Option.get (Ctrl.divide Ctrl.iota 1024) in
+  check_int "divide run id" 0 (Ctrl.value d 1023);
+  check_int "divide run id boundary" 1 (Ctrl.value d 1024);
+  let m = Option.get (Ctrl.modulo Ctrl.iota 2) in
+  check_int "modulo lane 0" 0 (Ctrl.value m 4);
+  check_int "modulo lane 1" 1 (Ctrl.value m 5)
+
+let test_ctrl_runs () =
+  (match Ctrl.runs (Option.get (Ctrl.divide Ctrl.iota 1024)) ~n:4096 with
+  | Uniform 1024 -> ()
+  | _ -> Alcotest.fail "divide 1024 should give uniform runs of 1024");
+  (match Ctrl.runs (Option.get (Ctrl.modulo Ctrl.iota 2)) ~n:100 with
+  | Uniform 1 -> ()
+  | _ -> Alcotest.fail "modulo 2 on iota should give runs of 1");
+  (match Ctrl.runs (Ctrl.constant 7) ~n:100 with
+  | Single_run -> ()
+  | _ -> Alcotest.fail "constant should be a single run");
+  (match Ctrl.runs Ctrl.iota ~n:100 with
+  | Uniform 1 -> ()
+  | _ -> Alcotest.fail "iota is fully data-parallel");
+  check_int "run count divide" 4
+    (Ctrl.run_count (Option.get (Ctrl.divide Ctrl.iota 25)) ~n:100);
+  check_int "run count ragged" 5
+    (Ctrl.run_count (Option.get (Ctrl.divide Ctrl.iota 25)) ~n:101)
+
+(* The closed form must agree with actually materializing and transforming
+   the values, for every derivation rule the compiler uses. *)
+let prop_ctrl_closed_form =
+  QCheck.Test.make ~name:"ctrl closed form matches materialized transforms"
+    ~count:500
+    QCheck.(quad (int_range 1 64) (int_range (-20) 20) (int_range 1 9) (int_range 1 6))
+    (fun (n, from, step, k) ->
+      let c = Ctrl.range ~from ~step in
+      let base = Ctrl.materialize c n in
+      let agrees transform derived =
+        match derived with
+        | None -> true (* losing the form is always sound *)
+        | Some c' ->
+            let expect = Array.map transform base in
+            expect = Ctrl.materialize c' n
+      in
+      agrees (fun v -> v / k) (Ctrl.divide c k)
+      && agrees (fun v -> ((v mod k) + k) mod k) (Ctrl.modulo c k)
+      && agrees (fun v -> v * k) (Ctrl.multiply c k)
+      && agrees (fun v -> v + k) (Ctrl.add c k)
+      && agrees (fun v -> v - k) (Ctrl.subtract c k))
+
+(* runs/run_count must describe the materialized values exactly. *)
+let prop_ctrl_runs_sound =
+  QCheck.Test.make ~name:"ctrl runs describe materialized values" ~count:500
+    QCheck.(
+      quad (int_range 1 200) (int_range 0 5) (int_range 1 40)
+        (option (int_range 2 10)))
+    (fun (n, from, den, cap) ->
+      let c = Ctrl.make ~from ~num:1 ~den ~cap in
+      let vals = Ctrl.materialize c n in
+      let actual_runs =
+        let r = ref [] and start = ref 0 in
+        for i = 1 to n - 1 do
+          if vals.(i) <> vals.(i - 1) then begin
+            r := (i - !start) :: !r;
+            start := i
+          end
+        done;
+        List.rev ((n - !start) :: !r)
+      in
+      match Ctrl.runs c ~n with
+      | Single_run -> List.length actual_runs = 1
+      | Uniform len ->
+          let rec ok = function
+            | [] -> true
+            | [ last ] -> last <= len
+            | x :: rest -> x = len && ok rest
+          in
+          ok actual_runs && Ctrl.run_count c ~n = List.length actual_runs
+      | Irregular -> true)
+
+(* ---------- Column ---------- *)
+
+let test_column_empty_slots () =
+  let c = Column.create Int 4 in
+  check "starts empty" true (Column.get c 0 = None);
+  Column.set c 2 (I 42);
+  check "set slot valid" true (Column.get c 2 = Some (Scalar.I 42));
+  check_int "count valid" 1 (Column.count_valid c);
+  Column.set_empty c 2;
+  check "re-emptied" true (Column.get c 2 = None)
+
+let test_column_of_scalars () =
+  let c = Column.of_scalars Float [ Some (F 1.5); None; Some (F 2.5) ] in
+  check_int "length" 3 (Column.length c);
+  check "eps in middle" true (Column.get c 1 = None);
+  check "roundtrip" true
+    (Column.to_scalars c = [ Some (Scalar.F 1.5); None; Some (Scalar.F 2.5) ])
+
+let prop_column_set_get =
+  QCheck.Test.make ~name:"column set/get roundtrip" ~count:200
+    QCheck.(list (pair (int_bound 63) int))
+    (fun writes ->
+      let c = Column.create Int 64 in
+      List.iter (fun (i, v) -> Column.set c i (I v)) writes;
+      List.for_all
+        (fun (i, _) ->
+          let expect =
+            List.fold_left
+              (fun acc (j, v) -> if i = j then Some v else acc)
+              None writes
+          in
+          match expect with
+          | None -> true
+          | Some v -> Column.get c i = Some (Scalar.I v))
+        writes)
+
+(* ---------- Svector ---------- *)
+
+let sample_vec () =
+  Svector.of_columns
+    [
+      ([ "a"; "x" ], Column.of_int_array [| 1; 2; 3 |]);
+      ([ "a"; "y" ], Column.of_float_array [| 1.0; 2.0; 3.0 |]);
+      ([ "b" ], Column.of_int_array [| 10; 20; 30 |]);
+    ]
+
+let test_svector_project () =
+  let v = sample_vec () in
+  let p = Svector.project ~out:[ "out" ] v [ "a" ] in
+  Alcotest.(check (list string))
+    "projected keypaths"
+    [ ".out.x"; ".out.y" ]
+    (List.map Keypath.to_string (Svector.keypaths p));
+  check_int "length preserved" 3 (Svector.length p)
+
+let test_svector_zip () =
+  let v = sample_vec () in
+  let short = Svector.single [ "c" ] (Column.of_int_array [| 7; 8 |]) in
+  let z = Svector.zip ([ "l" ], v, [ "b" ]) ([ "r" ], short, [ "c" ]) in
+  check_int "zip takes shorter length" 2 (Svector.length z);
+  check "zip left values" true
+    (Column.get (Svector.column z [ "l" ]) 1 = Some (Scalar.I 20));
+  check "zip right values" true
+    (Column.get (Svector.column z [ "r" ]) 0 = Some (Scalar.I 7))
+
+let test_svector_upsert () =
+  let v = sample_vec () in
+  let nv = Svector.single [ "n" ] (Column.of_int_array [| 5; 6; 7 |]) in
+  let u = Svector.upsert v ~out:[ "b" ] nv [ "n" ] in
+  check "replaced" true (Column.get (Svector.column u [ "b" ]) 0 = Some (Scalar.I 5));
+  let u2 = Svector.upsert v ~out:[ "c" ] nv [ "n" ] in
+  check_int "inserted attr count" 4 (List.length (Svector.keypaths u2))
+
+let test_svector_mismatch () =
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Svector.make: column .b has mismatched length")
+    (fun () ->
+      ignore
+        (Svector.of_columns
+           [
+             ([ "a" ], Column.of_int_array [| 1 |]);
+             ([ "b" ], Column.of_int_array [| 1; 2 |]);
+           ]))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vector"
+    [
+      ( "scalar",
+        [
+          Alcotest.test_case "arith" `Quick test_scalar_arith;
+          Alcotest.test_case "dtype" `Quick test_scalar_dtype;
+        ] );
+      ("keypath", [ Alcotest.test_case "basics" `Quick test_keypath ]);
+      ( "bitset",
+        [ Alcotest.test_case "basics" `Quick test_bitset; q prop_bitset_roundtrip ]
+      );
+      ( "ctrl",
+        [
+          Alcotest.test_case "values" `Quick test_ctrl_values;
+          Alcotest.test_case "runs" `Quick test_ctrl_runs;
+          q prop_ctrl_closed_form;
+          q prop_ctrl_runs_sound;
+        ] );
+      ( "column",
+        [
+          Alcotest.test_case "empty slots" `Quick test_column_empty_slots;
+          Alcotest.test_case "of_scalars" `Quick test_column_of_scalars;
+          q prop_column_set_get;
+        ] );
+      ( "svector",
+        [
+          Alcotest.test_case "project" `Quick test_svector_project;
+          Alcotest.test_case "zip" `Quick test_svector_zip;
+          Alcotest.test_case "upsert" `Quick test_svector_upsert;
+          Alcotest.test_case "mismatch" `Quick test_svector_mismatch;
+        ] );
+    ]
