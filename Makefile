@@ -1,0 +1,17 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# CI-style gate: builds every target (libraries, bin/, examples/, bench/)
+# and runs the full test suite. Equivalent to `dune build @check`.
+check:
+	dune build @check
+
+clean:
+	dune clean

@@ -13,6 +13,9 @@ open Voodoo_vector
 open Voodoo_core
 open Voodoo_relational
 module E = Voodoo_engine.Engine
+module R = Voodoo_engine.Resilient
+module F = Voodoo_engine.Faults
+module Verror = Voodoo_core.Verror
 module Q = Voodoo_tpch.Queries
 module Backend = Voodoo_compiler.Backend
 module Config = Voodoo_device.Config
@@ -39,6 +42,50 @@ let engine_arg =
 
 let costs_arg =
   Arg.(value & flag & info [ "costs" ] ~doc:"print cost-model estimates per device")
+
+let resilient_arg =
+  Arg.(
+    value & flag
+    & info [ "resilient" ]
+        ~doc:
+          "answer through the resilient execution layer (compiled → interp → \
+           reference fallback with differential checking; ignores $(b,--engine)) \
+           and print the attempt report")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "arm the deterministic fault injector for the run: kernel:N | \
+           corrupt-kernel:N | step:N | corrupt-step:N | observe")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"seed of the fault injector")
+
+(* Arm the injector (when requested) around [run], keeping injected faults
+   and budget errors from escaping as raw exceptions. *)
+let with_faults fault seed run =
+  let go () =
+    match fault with
+    | None -> run ()
+    | Some s -> (
+        match F.parse s with
+        | Ok spec -> F.with_spec ~seed spec run
+        | Error m ->
+            Fmt.epr "%s@." m;
+            exit 1)
+  in
+  try go () with
+  | Voodoo_core.Fault.Injected m ->
+      Fmt.epr "fault injected and no fallback caught it: %s@." m;
+      exit 1
+  | Voodoo_core.Budget.Exceeded m ->
+      Fmt.epr "resource budget exceeded: %s@." m;
+      exit 1
 
 let find_query sf name =
   match Q.find ~sf name with
@@ -85,23 +132,37 @@ let dbgen_cmd =
 
 (* --- query --- *)
 
-let run_query name sf engine costs =
+let run_query name sf engine costs resilient fault fault_seed =
   let cat = Voodoo_tpch.Dbgen.generate ~sf () in
   let q = find_query sf name in
   let kernels = ref [] in
+  let reports = ref [] in
   let eval c p =
-    match engine with
-    | `Reference -> E.reference c p
-    | `Interp -> E.interp c p
-    | `Compiled ->
-        let r = E.compiled_full c p in
-        kernels := !kernels @ r.kernels;
-        r.rows
+    if resilient then
+      match R.execute R.strict_policy c p with
+      | Ok (rows, report) ->
+          reports := report :: !reports;
+          kernels := !kernels @ report.R.kernels;
+          rows
+      | Error e ->
+          Fmt.epr "resilient execution failed: %s@." (Verror.to_string e);
+          exit 1
+    else
+      match engine with
+      | `Reference -> E.reference c p
+      | `Interp -> E.interp c p
+      | `Compiled ->
+          let r = E.compiled_full c p in
+          kernels := !kernels @ r.kernels;
+          r.rows
   in
-  let rows = q.run eval cat in
+  let rows = with_faults fault fault_seed (fun () -> q.run eval cat) in
   Fmt.pr "%s (%d rows):@." q.name (List.length rows);
   List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
-  if costs && engine = `Compiled then
+  List.iteri
+    (fun i r -> Fmt.pr "resilient plan %d: %a@." (i + 1) R.pp_report r)
+    (List.rev !reports);
+  if costs && (resilient || engine = `Compiled) then
     List.iter
       (fun d ->
         Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
@@ -110,7 +171,9 @@ let run_query name sf engine costs =
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"run a TPC-H query")
-    Term.(const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg)
+    Term.(
+      const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg
+      $ resilient_arg $ fault_arg $ fault_seed_arg)
 
 (* --- plan / kernels: single-plan queries only --- *)
 
@@ -194,7 +257,7 @@ let exec_cmd =
 
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
-let run_sql text sf engine costs =
+let run_sql text sf engine costs resilient fault fault_seed =
   let cat = Voodoo_tpch.Dbgen.generate ~sf () in
   let plan =
     try Sql.plan cat text
@@ -204,18 +267,33 @@ let run_sql text sf engine costs =
   in
   Fmt.pr "plan: %a@." Ra.pp plan;
   let kernels = ref [] in
-  let rows =
-    match engine with
-    | `Reference -> E.reference cat plan
-    | `Interp -> E.interp cat plan
-    | `Compiled ->
-        let r = E.compiled_full cat plan in
-        kernels := r.kernels;
-        r.rows
+  let report = ref None in
+  let eval () =
+    if resilient then
+      match R.execute R.strict_policy cat plan with
+      | Ok (rows, r) ->
+          report := Some r;
+          kernels := r.R.kernels;
+          rows
+      | Error e ->
+          Fmt.epr "resilient execution failed: %s@." (Verror.to_string e);
+          exit 1
+    else
+      match engine with
+      | `Reference -> E.reference cat plan
+      | `Interp -> E.interp cat plan
+      | `Compiled ->
+          let r = E.compiled_full cat plan in
+          kernels := r.kernels;
+          r.rows
   in
+  let rows = with_faults fault fault_seed eval in
   Fmt.pr "%d rows:@." (List.length rows);
   List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
-  if costs && engine = `Compiled then
+  (match !report with
+  | Some r -> Fmt.pr "resilient: %a@." R.pp_report r
+  | None -> ());
+  if costs && (resilient || engine = `Compiled) then
     List.iter
       (fun d ->
         Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
@@ -227,7 +305,9 @@ let sql_arg =
 
 let sql_cmd =
   Cmd.v (Cmd.info "sql" ~doc:"run an ad-hoc SQL query over the TPC-H catalog")
-    Term.(const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg)
+    Term.(
+      const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
+      $ fault_arg $ fault_seed_arg)
 
 let () =
   let doc = "Voodoo: a vector algebra for portable database performance" in

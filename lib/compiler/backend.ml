@@ -29,9 +29,10 @@ let compile ?(options = Codegen.default_options) ?(optimize = true) ~store
   { plan; options; store; subst }
 
 (** Execute, returning vectors and per-kernel events.  Statements that CSE
-    merged stay reachable under their original names. *)
-let run (c : compiled) : Exec.result =
-  let r = Exec.run ~options:c.options ~store:c.store c.plan in
+    merged stay reachable under their original names.  [budget] caps the
+    run's resources (see {!Exec.run}). *)
+let run ?budget (c : compiled) : Exec.result =
+  let r = Exec.run ~options:c.options ?budget ~store:c.store c.plan in
   List.iter
     (fun (orig, kept) ->
       match Hashtbl.find_opt r.env kept with

@@ -19,8 +19,9 @@ val compile :
   compiled
 
 (** Execute, returning vectors and per-kernel events.  Statements that CSE
-    merged stay reachable under their original names. *)
-val run : compiled -> Exec.result
+    merged stay reachable under their original names.  [budget] caps the
+    run's resources (see {!Exec.run}). *)
+val run : ?budget:Budget.t -> compiled -> Exec.result
 
 (** [eval c id] compiles-and-runs, returning one result vector. *)
 val eval : compiled -> Op.id -> Voodoo_vector.Svector.t

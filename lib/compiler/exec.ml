@@ -778,10 +778,57 @@ let record_deferred st ev (cs : compiled_stmt) =
           done)
   | _ -> ()
 
+(* ---------- fault / budget instrumentation ---------- *)
+
+(* Statements whose prepared vector owns fresh columns (as opposed to
+   aliasing a load, a zip/project view or the store): the only safe
+   corruption targets, and the ones whose materialization is charged
+   against the vector-bytes budget. *)
+let owns_fresh_columns (cs : compiled_stmt) =
+  match cs.stmt.op with
+  | Binary _ | Gather _ | Partition _ | Cross _ | FoldSelect _ | FoldAgg _
+  | FoldScan _ ->
+      cs.storage <> Virtual
+  | Scatter _ -> cs.storage <> Virtual
+  | Load _ | Persist _ | Constant _ | Range _ | Zip _ | Project _ | Upsert _
+  | Materialize _ | Break _ ->
+      false
+
+(* Charge the budget for a fragment statement's materialized result. *)
+let charge_budget st tr (cs : compiled_stmt) =
+  match storage_of st cs.stmt.id with
+  | Register | Virtual -> ()
+  | Global | Local _ -> (
+      match Hashtbl.find_opt st.env cs.stmt.id with
+      | Some vec when owns_fresh_columns cs ->
+          Budget.charge_bytes tr
+            (Svector.length vec * List.length (Svector.keypaths vec) * width)
+      | _ -> ())
+
+(* Deterministically perturb one freshly-materialized result of the
+   fragment, so an injected corruption is visible to differential checks
+   without mutating shared (store-resident) vectors.  Prefer a plan
+   output (corruption after the kernel ran is only observable by later
+   kernels or the fetch), falling back to the last fresh statement. *)
+let corrupt_fragment st ~seed (body : compiled_stmt list) =
+  let candidates = List.filter owns_fresh_columns body in
+  let preferred =
+    List.filter
+      (fun (cs : compiled_stmt) -> List.mem cs.stmt.id st.plan.outputs)
+      candidates
+  in
+  match List.rev (if preferred <> [] then preferred else candidates) with
+  | [] -> ()
+  | cs :: _ -> (
+      match Hashtbl.find_opt st.env cs.stmt.id with
+      | Some vec -> Fault.corrupt ~seed vec
+      | None -> ())
+
 (* ---------- driver ---------- *)
 
-let run ?(options = Codegen.default_options) ~(store : Store.t) (plan : plan) :
-    result =
+let run ?(options = Codegen.default_options) ?(budget = Budget.unlimited)
+    ~(store : Store.t) (plan : plan) : result =
+  let tr = Budget.tracker budget in
   let st =
     {
       store;
@@ -818,9 +865,15 @@ let run ?(options = Codegen.default_options) ~(store : Store.t) (plan : plan) :
   let kernels =
     List.map
       (fun (f : frag) ->
+        Fault.kernel_started ();
+        Budget.charge_extent tr f.extent;
         let ev = Events.create () in
         let body = stmts_in_order f in
-        List.iter (fun cs -> prepare st cs) body;
+        List.iter
+          (fun cs ->
+            prepare st cs;
+            charge_budget st tr cs)
+          body;
         let intent = max 1 f.intent in
         for w = 0 to f.extent - 1 do
           let lo = w * intent in
@@ -830,6 +883,9 @@ let run ?(options = Codegen.default_options) ~(store : Store.t) (plan : plan) :
             List.iter (fun cs -> exec_range st ev f cs lo hi) body
         done;
         List.iter (fun cs -> record_deferred st ev cs) body;
+        (match Fault.corrupt_kernel_now () with
+        | Some seed -> corrupt_fragment st ~seed body
+        | None -> ());
         (* persists *)
         List.iter
           (fun (cs : compiled_stmt) ->

@@ -26,8 +26,14 @@ type result = {
 
 exception Exec_error of string
 
+(** [run ?options ?budget ~store plan] executes the plan.  The optional
+    {!Voodoo_core.Budget.t} caps total kernel extent and materialized
+    vector bytes ({!Voodoo_core.Budget.Exceeded} aborts the run); the
+    global {!Voodoo_core.Fault} injector, when armed, is consulted at
+    every kernel launch. *)
 val run :
-  ?options:Codegen.options -> store:Store.t -> Fragment.plan -> result
+  ?options:Codegen.options -> ?budget:Budget.t -> store:Store.t ->
+  Fragment.plan -> result
 
 (** [output r id] reads a result vector.  Raises {!Exec_error}. *)
 val output : result -> Op.id -> Svector.t

@@ -1,0 +1,44 @@
+(** Per-query resource budgets (see the interface). *)
+
+type t = {
+  max_total_extent : int option;
+  max_vector_bytes : int option;
+  max_steps : int option;
+}
+
+let unlimited =
+  { max_total_extent = None; max_vector_bytes = None; max_steps = None }
+
+exception Exceeded of string
+
+type tracker = {
+  budget : t;
+  mutable extent : int;
+  mutable bytes : int;
+  mutable steps : int;
+}
+
+let tracker budget = { budget; extent = 0; bytes = 0; steps = 0 }
+
+let check what limit actual =
+  match limit with
+  | Some cap when actual > cap ->
+      raise
+        (Exceeded (Printf.sprintf "%s budget exceeded: %d > %d" what actual cap))
+  | _ -> ()
+
+let charge_extent tr n =
+  tr.extent <- tr.extent + n;
+  check "total extent" tr.budget.max_total_extent tr.extent
+
+let charge_bytes tr n =
+  tr.bytes <- tr.bytes + n;
+  check "materialized vector bytes" tr.budget.max_vector_bytes tr.bytes
+
+let charge_steps tr n =
+  tr.steps <- tr.steps + n;
+  check "interpreter steps" tr.budget.max_steps tr.steps
+
+let extent_used tr = tr.extent
+let bytes_used tr = tr.bytes
+let steps_used tr = tr.steps

@@ -1,0 +1,49 @@
+(** Per-query resource budgets.
+
+    A {!t} caps the resources one backend invocation may consume; the
+    executors thread a {!tracker} through their main loops and charge it
+    as work is performed, so a runaway query raises {!Exceeded} (a typed,
+    catchable error the resilient layer maps to a [Resource]-stage
+    {!Verror.t}) instead of exhausting the machine.
+
+    The three dimensions mirror what each backend can actually burn:
+
+    - {b total extent}: the sum of kernel extents (parallel work items)
+      the compiled backend launches;
+    - {b vector bytes}: device bytes of materialized (non-virtual)
+      result vectors, in either backend;
+    - {b steps}: element-evaluation steps of the interpreter (the bulk
+      processor's unit of work). *)
+
+type t = {
+  max_total_extent : int option;
+  max_vector_bytes : int option;
+  max_steps : int option;
+}
+
+(** No limits at all. *)
+val unlimited : t
+
+exception Exceeded of string  (** rendered as "what: actual > limit" *)
+
+(** Mutable consumption state for one run. *)
+type tracker
+
+val tracker : t -> tracker
+
+(** Charge functions: add to the dimension's running total and raise
+    {!Exceeded} when it passes its cap. *)
+
+val charge_extent : tracker -> int -> unit
+
+val charge_bytes : tracker -> int -> unit
+
+val charge_steps : tracker -> int -> unit
+
+(** Totals consumed so far (for reports). *)
+
+val extent_used : tracker -> int
+
+val bytes_used : tracker -> int
+
+val steps_used : tracker -> int

@@ -1,0 +1,135 @@
+(** Deterministic fault injection hooks (see the interface). *)
+
+open Voodoo_vector
+
+type spec =
+  | Observe
+  | Fail_kernel of int
+  | Corrupt_kernel of int
+  | Fail_step of int
+  | Corrupt_step of int
+
+exception Injected of string
+
+let describe = function
+  | Observe -> "observe"
+  | Fail_kernel n -> Printf.sprintf "fail kernel %d" n
+  | Corrupt_kernel n -> Printf.sprintf "corrupt kernel %d result" n
+  | Fail_step n -> Printf.sprintf "fail interpreter step %d" n
+  | Corrupt_step n -> Printf.sprintf "corrupt interpreter step %d result" n
+
+let parse s =
+  let num kind mk =
+    match int_of_string_opt kind with
+    | Some n when n >= 0 -> Ok (mk n)
+    | _ -> Error (Printf.sprintf "fault spec %S: expected a non-negative ordinal" s)
+  in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "observe" ] -> Ok Observe
+  | [ "kernel"; n ] -> num n (fun n -> Fail_kernel n)
+  | [ "corrupt-kernel"; n ] -> num n (fun n -> Corrupt_kernel n)
+  | [ "step"; n ] -> num n (fun n -> Fail_step n)
+  | [ "corrupt-step"; n ] -> num n (fun n -> Corrupt_step n)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "fault spec %S: expected observe | kernel:N | corrupt-kernel:N | \
+            step:N | corrupt-step:N"
+           s)
+
+type state = {
+  spec : spec;
+  seed : int;
+  mutable kernels : int;
+  mutable steps : int;
+  mutable fired : bool;
+}
+
+let current : state option ref = ref None
+
+let arm ?(seed = 42) spec =
+  current := Some { spec; seed; kernels = 0; steps = 0; fired = false }
+
+let disarm () = current := None
+
+let armed () = !current <> None
+
+let with_spec ?seed spec f =
+  arm ?seed spec;
+  Fun.protect ~finally:disarm f
+
+let kernels_seen () =
+  match !current with Some s -> s.kernels | None -> 0
+
+let steps_seen () = match !current with Some s -> s.steps | None -> 0
+
+let kernel_started () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      let k = s.kernels in
+      s.kernels <- k + 1;
+      (match s.spec with
+      | Fail_kernel n when n = k && not s.fired ->
+          s.fired <- true;
+          raise (Injected (Printf.sprintf "injected failure entering kernel %d" k))
+      | _ -> ())
+
+let corrupt_kernel_now () =
+  match !current with
+  | Some ({ spec = Corrupt_kernel n; _ } as s)
+    when n = s.kernels - 1 && not s.fired ->
+      s.fired <- true;
+      Some s.seed
+  | _ -> None
+
+let step_started () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      let k = s.steps in
+      s.steps <- k + 1;
+      (match s.spec with
+      | Fail_step n when n = k && not s.fired ->
+          s.fired <- true;
+          raise
+            (Injected (Printf.sprintf "injected failure at interpreter step %d" k))
+      | _ -> ())
+
+let corrupt_step_now () =
+  match !current with
+  | Some ({ spec = Corrupt_step n; _ } as s) when n = s.steps - 1 && not s.fired
+    ->
+      s.fired <- true;
+      Some s.seed
+  | _ -> None
+
+let corrupt ~seed vec =
+  let n = Svector.length vec in
+  if n > 0 then
+    match Svector.keypaths vec with
+    | [] -> ()
+    | kp :: _ ->
+        let col = Svector.column vec kp in
+        (* aim at a valid slot (ε padding slots are often never read
+           downstream); fall back to raw indexing on all-ε columns *)
+        let nvalid = Column.count_valid col in
+        let i =
+          if nvalid = 0 then seed mod Column.length col
+          else begin
+            let target = seed mod nvalid and seen = ref 0 and found = ref 0 in
+            for j = 0 to Column.length col - 1 do
+              if Column.is_valid col j then begin
+                if !seen = target then found := j;
+                incr seen
+              end
+            done;
+            !found
+          end
+        in
+        let v =
+          match Column.get col i with
+          | Some v -> Scalar.add v (Scalar.I 1)
+          | None -> Scalar.I 1
+        in
+        Column.set col i v

@@ -1,0 +1,76 @@
+(** Deterministic fault injection hooks.
+
+    A single global injector that the backends consult at well-defined
+    points of their execution loops: the compiled executor announces each
+    kernel launch, the interpreter each statement evaluation.  An armed
+    {!spec} makes exactly one of those points fail (raising {!Injected})
+    or corrupt its freshly materialized result vector — deterministically,
+    driven by an ordinal and a seed — so the fallback chain of the
+    resilient layer is testable without any real hardware flakiness.
+
+    The injector is process-global and {e one-shot}: once its spec has
+    fired it stays quiet until re-armed.  Ordinals count from arming
+    time and accumulate across runs, so "fail kernel 7" addresses the
+    7th kernel launched anywhere under [with_spec] (e.g. across the
+    phases of a multi-plan query).  When disarmed, every hook is a
+    no-op. *)
+
+open Voodoo_vector
+
+type spec =
+  | Observe  (** count kernel launches / steps, never fire *)
+  | Fail_kernel of int  (** raise {!Injected} entering the Nth kernel *)
+  | Corrupt_kernel of int
+      (** corrupt a result vector of the Nth kernel after it ran *)
+  | Fail_step of int  (** raise {!Injected} at the Nth interpreter stmt *)
+  | Corrupt_step of int
+      (** corrupt the Nth interpreter statement's result *)
+
+exception Injected of string
+
+val describe : spec -> string
+
+(** [parse s] reads a spec from a CLI string: ["kernel:N"],
+    ["corrupt-kernel:N"], ["step:N"], ["corrupt-step:N"], ["observe"]. *)
+val parse : string -> (spec, string) result
+
+(** [arm ?seed spec] installs the injector (replacing any previous one);
+    ordinal counters restart at zero. *)
+val arm : ?seed:int -> spec -> unit
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+(** [with_spec ?seed spec f] runs [f] with the injector armed, always
+    disarming on the way out. *)
+val with_spec : ?seed:int -> spec -> (unit -> 'a) -> 'a
+
+(** Ordinals observed since arming (0 when disarmed). *)
+
+val kernels_seen : unit -> int
+
+val steps_seen : unit -> int
+
+(** {2 Hooks — called by the backends} *)
+
+(** [kernel_started ()] counts a kernel launch; raises {!Injected} when an
+    armed [Fail_kernel] matches. *)
+val kernel_started : unit -> unit
+
+(** [corrupt_kernel_now ()] is [Some seed] when the kernel counted by the
+    latest {!kernel_started} should have a result corrupted (one-shot). *)
+val corrupt_kernel_now : unit -> int option
+
+(** [step_started ()] counts an interpreter statement; raises {!Injected}
+    when an armed [Fail_step] matches. *)
+val step_started : unit -> unit
+
+(** [corrupt_step_now ()] is [Some seed] when the statement counted by the
+    latest {!step_started} should have its result corrupted (one-shot). *)
+val corrupt_step_now : unit -> int option
+
+(** [corrupt ~seed vec] deterministically perturbs one slot of [vec]'s
+    first attribute in place (adds 1 to the chosen slot, or writes 1 into
+    an ε slot).  No-op on empty vectors. *)
+val corrupt : seed:int -> Svector.t -> unit

@@ -1,0 +1,76 @@
+(** Structured error taxonomy (see the interface for the design notes). *)
+
+type stage =
+  | Parse
+  | Type
+  | Lower
+  | Compile
+  | Exec
+  | Runtime
+  | Resource
+  | Disagreement
+
+type context = {
+  backend : string option;
+  op : string option;
+  fragment : int option;
+  keypath : string option;
+}
+
+type t = {
+  stage : stage;
+  message : string;
+  context : context;
+  backtrace : string option;
+}
+
+let stage_name = function
+  | Parse -> "parse"
+  | Type -> "type"
+  | Lower -> "lower"
+  | Compile -> "compile"
+  | Exec -> "exec"
+  | Runtime -> "runtime"
+  | Resource -> "resource"
+  | Disagreement -> "disagreement"
+
+let no_context = { backend = None; op = None; fragment = None; keypath = None }
+
+let capture_backtrace () =
+  if Printexc.backtrace_status () then
+    match Printexc.get_backtrace () with "" -> None | bt -> Some bt
+  else None
+
+let make ?backend ?op ?fragment ?keypath stage message =
+  {
+    stage;
+    message;
+    context = { backend; op; fragment; keypath };
+    backtrace = capture_backtrace ();
+  }
+
+let makef ?backend ?op ?fragment ?keypath stage fmt =
+  Printf.ksprintf (make ?backend ?op ?fragment ?keypath stage) fmt
+
+let with_backend name e =
+  match e.context.backend with
+  | Some _ -> e
+  | None -> { e with context = { e.context with backend = Some name } }
+
+let context_string c =
+  let fields =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "backend=%s") c.backend;
+        Option.map (Printf.sprintf "op=%s") c.op;
+        Option.map (Printf.sprintf "frag=%d") c.fragment;
+        Option.map (Printf.sprintf "kp=%s") c.keypath;
+      ]
+  in
+  match fields with [] -> "" | fs -> " [" ^ String.concat " " fs ^ "]"
+
+let to_string e =
+  Printf.sprintf "%s: %s%s" (stage_name e.stage) e.message
+    (context_string e.context)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

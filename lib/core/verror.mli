@@ -1,0 +1,70 @@
+(** The structured error taxonomy of the resilient execution layer.
+
+    Every failure a query can hit on its way through the
+    parse → type → lower → compile → execute pipeline is represented as
+    one {!t}: a {!stage} naming where it happened, a human-readable
+    message, and whatever context the failing layer could attach (op id,
+    fragment index, keypath, backend, captured backtrace).  Backends keep
+    raising their own exceptions ([Typing.Type_error],
+    [Exec.Exec_error], [Interp.Runtime_error], …); the engine boundary
+    catches and wraps them so no raw exception escapes
+    [Resilient.execute]. *)
+
+(** The pipeline stage a failure belongs to. *)
+type stage =
+  | Parse  (** textual program parsing *)
+  | Type  (** schema inference / static validation *)
+  | Lower  (** relational plan → Voodoo program lowering *)
+  | Compile  (** program → fragment/kernel plan construction *)
+  | Exec  (** compiled-backend kernel execution *)
+  | Runtime  (** interpreter-backend evaluation *)
+  | Resource  (** a per-query resource budget was exceeded *)
+  | Disagreement  (** differential check: backends returned different rows *)
+
+(** Structured context attached to an error; every field is optional —
+    layers fill in what they know. *)
+type context = {
+  backend : string option;  (** which engine was running ("compiled", …) *)
+  op : string option;  (** the Voodoo statement (op id) involved *)
+  fragment : int option;  (** kernel/fragment index, for compiled runs *)
+  keypath : string option;  (** the attribute/column involved *)
+}
+
+type t = {
+  stage : stage;
+  message : string;
+  context : context;
+  backtrace : string option;  (** raw backtrace, when recording is on *)
+}
+
+val stage_name : stage -> string
+
+val no_context : context
+
+(** [make ?backend ?op ?fragment ?keypath stage msg] builds an error. *)
+val make :
+  ?backend:string ->
+  ?op:string ->
+  ?fragment:int ->
+  ?keypath:string ->
+  stage ->
+  string ->
+  t
+
+(** [makef stage fmt …] is {!make} with a format string. *)
+val makef :
+  ?backend:string ->
+  ?op:string ->
+  ?fragment:int ->
+  ?keypath:string ->
+  stage ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+(** [with_backend name e] fills the backend field when absent. *)
+val with_backend : string -> t -> t
+
+(** One-line rendering: [stage: message [backend=… op=… frag=… kp=…]]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -15,20 +15,27 @@ module Interp = Voodoo_interp.Interp
 
 type rows = Reference.row list
 
-(** Result columns of a grouped plan: keys then aggregate names. *)
-let result_columns (plan : Ra.t) =
+(** Result columns of a grouped plan: keys then aggregate names; [None]
+    for non-[GroupAgg] roots. *)
+let result_columns_opt (plan : Ra.t) =
   match plan with
-  | Ra.GroupAgg { keys; aggs; _ } -> keys @ List.map (fun (a : Ra.agg) -> a.name) aggs
-  | _ -> invalid_arg "Engine.result_columns: root must be a GroupAgg"
+  | Ra.GroupAgg { keys; aggs; _ } ->
+      Some (keys @ List.map (fun (a : Ra.agg) -> a.name) aggs)
+  | _ -> None
+
+let result_columns (plan : Ra.t) =
+  match result_columns_opt plan with
+  | Some cols -> cols
+  | None -> invalid_arg "Engine.result_columns: root must be a GroupAgg"
 
 let canon plan rows =
   Reference.sort_rows (Reference.project_rows (result_columns plan) rows)
 
 let reference (cat : Catalog.t) (plan : Ra.t) : rows = Reference.run cat plan
 
-let interp ?lower_opts (cat : Catalog.t) (plan : Ra.t) : rows =
+let interp ?lower_opts ?budget (cat : Catalog.t) (plan : Ra.t) : rows =
   let l = Lower.lower ?options:lower_opts cat plan in
-  let env = Interp.run cat.store l.program in
+  let env = Interp.run ?budget cat.store l.program in
   Lower.fetch cat l (fun id -> Hashtbl.find env id)
 
 type compiled_run = {
@@ -37,21 +44,21 @@ type compiled_run = {
   plan : Voodoo_compiler.Fragment.plan;
 }
 
-let compiled_full ?lower_opts ?backend_opts (cat : Catalog.t) (plan : Ra.t) :
-    compiled_run =
+let compiled_full ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
+    (plan : Ra.t) : compiled_run =
   let l = Lower.lower ?options:lower_opts cat plan in
   let c =
     Backend.compile ?options:backend_opts ~store:cat.store l.program
   in
-  let r = Backend.run c in
+  let r = Backend.run ?budget c in
   {
     rows = Lower.fetch cat l (fun id -> Exec.output r id);
     kernels = r.kernels;
     plan = c.plan;
   }
 
-let compiled ?lower_opts ?backend_opts cat plan : rows =
-  (compiled_full ?lower_opts ?backend_opts cat plan).rows
+let compiled ?lower_opts ?backend_opts ?budget cat plan : rows =
+  (compiled_full ?lower_opts ?backend_opts ?budget cat plan).rows
 
 (** [agree plan rows1 rows2] compares results modulo row order, restricted
     to the plan's result columns. *)

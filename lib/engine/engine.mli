@@ -10,8 +10,12 @@ open Voodoo_relational
 
 type rows = Reference.row list
 
-(** Result columns of a grouped plan: keys then aggregate names.
-    Raises [Invalid_argument] for non-[GroupAgg] roots. *)
+(** Result columns of a grouped plan: keys then aggregate names; [None]
+    for non-[GroupAgg] roots. *)
+val result_columns_opt : Ra.t -> string list option
+
+(** Like {!result_columns_opt} but raises [Invalid_argument] for
+    non-[GroupAgg] roots. *)
 val result_columns : Ra.t -> string list
 
 (** Canonical comparison form: project to result columns, sort rows. *)
@@ -19,7 +23,9 @@ val canon : Ra.t -> rows -> rows
 
 val reference : Catalog.t -> Ra.t -> rows
 
-val interp : ?lower_opts:Lower.options -> Catalog.t -> Ra.t -> rows
+val interp :
+  ?lower_opts:Lower.options -> ?budget:Voodoo_core.Budget.t ->
+  Catalog.t -> Ra.t -> rows
 
 type compiled_run = {
   rows : rows;
@@ -30,11 +36,13 @@ type compiled_run = {
 val compiled_full :
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
+  ?budget:Voodoo_core.Budget.t ->
   Catalog.t -> Ra.t -> compiled_run
 
 val compiled :
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
+  ?budget:Voodoo_core.Budget.t ->
   Catalog.t -> Ra.t -> rows
 
 (** [agree plan rows1 rows2] compares results modulo row order, restricted

@@ -1,0 +1,23 @@
+(** Fault-injection harness (see the interface). *)
+
+module Fault = Voodoo_core.Fault
+
+type spec = Fault.spec =
+  | Observe
+  | Fail_kernel of int
+  | Corrupt_kernel of int
+  | Fail_step of int
+  | Corrupt_step of int
+
+let describe = Fault.describe
+let parse = Fault.parse
+let with_spec = Fault.with_spec
+
+let counting seen f =
+  Fault.arm Observe;
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let r = f () in
+      (r, seen ()))
+
+let count_kernels f = counting Fault.kernels_seen f
+let count_steps f = counting Fault.steps_seen f

@@ -1,0 +1,32 @@
+(** Fault-injection harness: the engine-level face of the global
+    {!Voodoo_core.Fault} injector.
+
+    Re-exports the spec language and scoped arming, and adds the
+    counting helpers a deterministic fault campaign needs: measure how
+    many kernels (or interpreter steps) a workload executes, then replay
+    it once per ordinal with a fault aimed at each. *)
+
+module Fault = Voodoo_core.Fault
+
+type spec = Fault.spec =
+  | Observe
+  | Fail_kernel of int
+  | Corrupt_kernel of int
+  | Fail_step of int
+  | Corrupt_step of int
+
+val describe : spec -> string
+
+(** See {!Voodoo_core.Fault.parse}. *)
+val parse : string -> (spec, string) result
+
+(** [with_spec ?seed spec f] runs [f] with the injector armed, always
+    disarming on the way out. *)
+val with_spec : ?seed:int -> spec -> (unit -> 'a) -> 'a
+
+(** [count_kernels f] runs [f] with a passive injector and returns its
+    result alongside the number of compiled kernels launched. *)
+val count_kernels : (unit -> 'a) -> 'a * int
+
+(** [count_steps f] likewise counts interpreter statements evaluated. *)
+val count_steps : (unit -> 'a) -> 'a * int

@@ -1,0 +1,189 @@
+(** Resilient execution: typed errors, backend fallback, differential
+    checking and resource guards (see the interface). *)
+
+open Voodoo_relational
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+module Fault = Voodoo_core.Fault
+module Typing = Voodoo_core.Typing
+module Parse = Voodoo_core.Parse
+module Program = Voodoo_core.Program
+module Exec = Voodoo_compiler.Exec
+module Interp = Voodoo_interp.Interp
+
+type rows = Engine.rows
+
+type backend = Compiled | Interp | Reference
+
+let backend_name = function
+  | Compiled -> "compiled"
+  | Interp -> "interp"
+  | Reference -> "reference"
+
+type policy = {
+  chain : backend list;
+  max_attempts : int;
+  verify : bool;
+  tol : float;
+  fallback_on : Verror.stage list;
+  budget : Budget.t;
+  lower_opts : Lower.options option;
+  backend_opts : Voodoo_compiler.Codegen.options option;
+}
+
+let all_stages : Verror.stage list =
+  [ Parse; Type; Lower; Compile; Exec; Runtime; Resource; Disagreement ]
+
+let default_policy =
+  {
+    chain = [ Compiled; Interp; Reference ];
+    max_attempts = 3;
+    verify = false;
+    tol = 1e-6;
+    fallback_on = all_stages;
+    budget = Budget.unlimited;
+    lower_opts = None;
+    backend_opts = None;
+  }
+
+let strict_policy = { default_policy with verify = true }
+
+type attempt = { backend : backend; error : Verror.t option }
+
+type report = {
+  attempts : attempt list;
+  answered_by : backend option;
+  swallowed : Verror.t list;
+  kernels : (int * Voodoo_device.Events.t) list;
+}
+
+let pp_report ppf (r : report) =
+  let answered =
+    match r.answered_by with
+    | Some b -> backend_name b
+    | None -> "nobody"
+  in
+  Fmt.pf ppf "@[<v>answered by %s after %d attempt%s" answered
+    (List.length r.attempts)
+    (if List.length r.attempts = 1 then "" else "s");
+  List.iteri
+    (fun i (a : attempt) ->
+      match a.error with
+      | None -> Fmt.pf ppf "@,  attempt %d (%s): ok" (i + 1) (backend_name a.backend)
+      | Some e ->
+          Fmt.pf ppf "@,  attempt %d (%s): %s" (i + 1) (backend_name a.backend)
+            (Verror.to_string e))
+    r.attempts;
+  if r.kernels <> [] then
+    Fmt.pf ppf "@,  kernels executed: %d" (List.length r.kernels);
+  Fmt.pf ppf "@]"
+
+(* The stage a backend's otherwise-unclassified failures belong to. *)
+let default_stage = function
+  | Compiled -> Verror.Exec
+  | Interp | Reference -> Verror.Runtime
+
+(* Exception → Verror conversion shim: the known typed exceptions of each
+   pipeline stage map to their stage; anything else lands in the
+   backend's execution stage, with the raw exception rendered. *)
+let classify (backend : backend) (exn : exn) : Verror.t =
+  let b = backend_name backend in
+  (* an injected kernel fault carries the ordinal of the kernel that was
+     entered last — the fragment the failure surfaced in *)
+  let fragment =
+    match backend with
+    | Compiled when Fault.armed () && Fault.kernels_seen () > 0 ->
+        Some (Fault.kernels_seen () - 1)
+    | _ -> None
+  in
+  let make = Verror.make ~backend:b ?fragment in
+  match exn with
+  | Parse.Parse_error m -> make Parse m
+  | Typing.Type_error m -> make Type m
+  | Lower.Unsupported m -> make Lower m
+  | Program.Invalid m -> make Compile m
+  | Exec.Exec_error m -> make Exec m
+  | Interp.Runtime_error m -> make Runtime m
+  | Budget.Exceeded m -> make Resource m
+  | Fault.Injected m -> make (default_stage backend) m
+  | Invalid_argument m -> make (default_stage backend) m
+  | Failure m -> make (default_stage backend) m
+  | Division_by_zero -> make (default_stage backend) "division by zero"
+  | e -> make (default_stage backend) (Printexc.to_string e)
+
+let execute (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
+    (rows * report, Verror.t) result =
+  match Engine.result_columns_opt plan with
+  | None ->
+      Error
+        (Verror.make Lower
+           "plan root is not a GroupAgg: no result columns to lower")
+  | Some _ -> (
+      (* the trusted oracle, computed at most once (verification and the
+         Reference backend share it) *)
+      let reference = lazy (Engine.reference cat plan) in
+      let kernels = ref [] in
+      let run_backend = function
+        | Reference -> Lazy.force reference
+        | Interp ->
+            Engine.interp ?lower_opts:policy.lower_opts ~budget:policy.budget
+              cat plan
+        | Compiled ->
+            let r =
+              Engine.compiled_full ?lower_opts:policy.lower_opts
+                ?backend_opts:policy.backend_opts ~budget:policy.budget cat
+                plan
+            in
+            kernels := r.kernels;
+            r.rows
+      in
+      let attempt backend : (rows, Verror.t) result =
+        match run_backend backend with
+        | exception e -> Error (classify backend e)
+        | rows ->
+            if policy.verify && backend <> Reference then
+              match Lazy.force reference with
+              | exception e -> Error (classify Reference e)
+              | ref_rows ->
+                  if Engine.agree ~tol:policy.tol plan rows ref_rows then
+                    Ok rows
+                  else
+                    Error
+                      (Verror.make ~backend:(backend_name backend)
+                         Disagreement
+                         "result disagrees with the reference evaluator")
+            else Ok rows
+      in
+      let exhausted (swallowed : Verror.t list) =
+        match swallowed with
+        | last :: _ -> Error last
+        | [] ->
+            Error
+              (Verror.make Lower "resilient policy permits no execution attempt")
+      in
+      let rec go made (attempts : attempt list) (swallowed : Verror.t list)
+          chain =
+        match chain with
+        | _ when made >= policy.max_attempts -> exhausted swallowed
+        | [] -> exhausted swallowed
+        | b :: rest -> (
+            match attempt b with
+            | Ok rows ->
+                let attempts =
+                  List.rev ({ backend = b; error = None } :: attempts)
+                in
+                Ok
+                  ( rows,
+                    {
+                      attempts;
+                      answered_by = Some b;
+                      swallowed = List.rev swallowed;
+                      kernels = (if b = Compiled then !kernels else []);
+                    } )
+            | Error e ->
+                let attempts = { backend = b; error = Some e } :: attempts in
+                if List.mem e.Verror.stage policy.fallback_on && rest <> []
+                then go (made + 1) attempts (e :: swallowed) rest
+                else Error e)
+      in
+      go 0 [] [] policy.chain)

@@ -1,0 +1,73 @@
+(** The resilient execution layer: typed errors, backend fallback,
+    differential checking and resource guards over {!Engine}.
+
+    Voodoo's portability promise — one program, many backends — gives a
+    natural recovery path when a backend fails: re-answer the query on a
+    slower but independent engine.  [execute] drives a {!policy}-ordered
+    fallback chain [compiled → interp → reference], converts every
+    exception escaping a backend ([Typing.Type_error], [Lower.Unsupported],
+    [Exec.Exec_error], [Interp.Runtime_error], [Budget.Exceeded], injected
+    faults, stray [Failure]/[Invalid_argument]) into a structured
+    {!Voodoo_core.Verror.t}, optionally cross-checks each answer against
+    the trusted reference evaluator (treating disagreement as one more
+    recoverable failure), and reports exactly what happened. *)
+
+open Voodoo_relational
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+
+type rows = Engine.rows
+
+type backend = Compiled | Interp | Reference
+
+val backend_name : backend -> string
+
+type policy = {
+  chain : backend list;  (** fallback order; tried left to right *)
+  max_attempts : int;  (** cap on backends tried, even if the chain is longer *)
+  verify : bool;
+      (** differential check: compare every non-reference answer against
+          {!Engine.reference} via {!Engine.agree}; a mismatch becomes a
+          [Disagreement] error that triggers fallback like any other *)
+  tol : float;  (** float tolerance of the differential check *)
+  fallback_on : Verror.stage list;
+      (** only errors in these stages may fall back to the next backend;
+          anything else propagates immediately *)
+  budget : Budget.t;  (** resource caps for compiled/interp attempts *)
+  lower_opts : Lower.options option;
+  backend_opts : Voodoo_compiler.Codegen.options option;
+}
+
+(** Full chain, 3 attempts, all stages recoverable, no verification, no
+    budget. *)
+val default_policy : policy
+
+(** {!default_policy} with the differential check switched on. *)
+val strict_policy : policy
+
+type attempt = {
+  backend : backend;
+  error : Verror.t option;  (** [None] = this attempt answered *)
+}
+
+type report = {
+  attempts : attempt list;  (** in the order they were made *)
+  answered_by : backend option;
+  swallowed : Verror.t list;  (** errors recovered from by falling back *)
+  kernels : (int * Voodoo_device.Events.t) list;
+      (** executed kernels, when the compiled backend answered *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [execute policy cat plan] answers [plan] through the fallback chain.
+    [Ok (rows, report)] names the backend that answered; [Error e] means
+    no permitted backend could answer (or the plan was rejected up
+    front — e.g. a non-[GroupAgg] root is a typed [Lower] error).  No raw
+    exception from any pipeline stage escapes. *)
+val execute : policy -> Catalog.t -> Ra.t -> (rows * report, Verror.t) result
+
+(** [classify backend exn] is the exception→{!Verror.t} conversion shim
+    [execute] applies at the engine boundary (exposed for tests and other
+    harnesses). *)
+val classify : backend -> exn -> Verror.t

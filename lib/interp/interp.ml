@@ -286,18 +286,44 @@ let eval_op (store : Store.t) (env : env) (op : Op.t) : Svector.t =
       let vec, col = src_column env input in
       eval_fold_scan out (Option.map (leaf vec) fold) (vec, col)
 
-(** [run store p] evaluates the whole program; the returned environment
-    holds every intermediate (the interpreter's raison d'être). *)
-let run (store : Store.t) (p : Program.t) : env =
+(* Statements whose result owns fresh columns: the only safe targets for
+   injected corruption (aliases would mutate shared store vectors), and
+   the ones charged against the vector-bytes budget. *)
+let owns_fresh_columns (op : Op.t) =
+  match op with
+  | Constant _ | Range _ | Cross _ | Binary _ | Gather _ | Scatter _
+  | Partition _ | FoldSelect _ | FoldAgg _ | FoldScan _ ->
+      true
+  | Load _ | Persist _ | Zip _ | Project _ | Upsert _ | Materialize _ | Break _
+    ->
+      false
+
+(** [run ?budget store p] evaluates the whole program; the returned
+    environment holds every intermediate (the interpreter's raison
+    d'être).  The optional {!Voodoo_core.Budget.t} caps evaluation steps
+    (element slots produced) and materialized vector bytes; the global
+    {!Voodoo_core.Fault} injector, when armed, is consulted at every
+    statement. *)
+let run ?(budget = Budget.unlimited) (store : Store.t) (p : Program.t) : env =
   Program.validate p;
+  let tr = Budget.tracker budget in
   let env : env = Hashtbl.create 16 in
   List.iter
     (fun (s : Program.stmt) ->
+      Fault.step_started ();
       let v =
         try eval_op store env s.op with
         | Runtime_error m -> err "in %s: %s" s.id m
         | Invalid_argument m -> err "in %s: %s" s.id m
       in
+      if owns_fresh_columns s.op then begin
+        Budget.charge_steps tr (Svector.length v);
+        Budget.charge_bytes tr
+          (Svector.length v * List.length (Svector.keypaths v) * 4);
+        match Fault.corrupt_step_now () with
+        | Some seed -> Fault.corrupt ~seed v
+        | None -> ()
+      end;
       Hashtbl.replace env s.id v)
     (Program.stmts p);
   env

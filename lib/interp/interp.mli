@@ -13,9 +13,13 @@ type env = (Op.id, Svector.t) Hashtbl.t
 
 exception Runtime_error of string
 
-(** [run store p] evaluates the whole program; the returned environment
-    holds every intermediate.  Raises {!Runtime_error}. *)
-val run : Store.t -> Program.t -> env
+(** [run ?budget store p] evaluates the whole program; the returned
+    environment holds every intermediate.  Raises {!Runtime_error}; a
+    {!Voodoo_core.Budget.t} caps evaluation steps and materialized bytes
+    ({!Voodoo_core.Budget.Exceeded} aborts the run), and the global
+    {!Voodoo_core.Fault} injector, when armed, is consulted at every
+    statement. *)
+val run : ?budget:Budget.t -> Store.t -> Program.t -> env
 
 (** [eval store p id] evaluates only what [id] needs and returns it. *)
 val eval : Store.t -> Program.t -> Op.id -> Svector.t

@@ -36,14 +36,16 @@ let mem_column t name =
 
 let make ~name columns =
   match columns with
-  | [] -> invalid_arg "Table.make: no columns"
+  | [] -> invalid_arg (Printf.sprintf "Table.make: table %s has no columns" name)
   | (c0 : column) :: _ ->
       let nrows = Column.length c0.data in
       List.iter
         (fun (c : column) ->
           if Column.length c.data <> nrows then
             invalid_arg
-              (Printf.sprintf "Table.make: column %s length mismatch" c.name))
+              (Printf.sprintf
+                 "Table.make: column %s.%s length mismatch (%d, expected %d)"
+                 name c.name (Column.length c.data) nrows))
         columns;
       { name; nrows; columns }
 
@@ -121,9 +123,16 @@ let to_svector t =
 (** Days since 1970-01-01 for a ["YYYY-MM-DD"] literal (proleptic
     Gregorian). *)
 let date_of_string s =
+  (* int_of_string would raise a bare [Failure]; keep the error typed and
+     name the offending literal *)
+  let part p =
+    match int_of_string_opt p with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "bad date literal %S" s)
+  in
   match String.split_on_char '-' s with
   | [ y; m; d ] ->
-      let y = int_of_string y and m = int_of_string m and d = int_of_string d in
+      let y = part y and m = part m and d = part d in
       (* days from civil algorithm (Howard Hinnant) *)
       let y = if m <= 2 then y - 1 else y in
       let era = (if y >= 0 then y else y - 399) / 400 in

@@ -31,8 +31,9 @@ let make (fields : (Keypath.t * field) list) =
         (fun (kp, f) ->
           if Column.length f.col <> n then
             invalid_arg
-              (Printf.sprintf "Svector.make: column %s has mismatched length"
-                 (Keypath.to_string kp)))
+              (Printf.sprintf
+                 "Svector.make: column %s has mismatched length (%d, expected %d)"
+                 (Keypath.to_string kp) (Column.length f.col) n))
         rest;
       { length = n; fields }
 
@@ -87,10 +88,13 @@ let project ~out t kp =
     result has the length of the shorter input (the paper: "the size of the
     output ... is the size of the smaller input").  Columns longer than the
     result are truncated by view-copy. *)
-let truncate_col col n =
+let truncate_col kp col n =
   if Column.length col = n then col
   else if Column.length col < n then
-    invalid_arg "Svector: column shorter than requested length"
+    invalid_arg
+      (Printf.sprintf
+         "Svector: column %s shorter than requested length (%d < %d)"
+         (Keypath.to_string kp) (Column.length col) n)
   else
     let c = Column.create (Column.dtype col) n in
     for i = 0 to n - 1 do
@@ -108,21 +112,26 @@ let zip (out1, t1, kp1) (out2, t2, kp2) =
     else if t2.length = 1 then t1.length
     else min t1.length t2.length
   in
-  let fit col =
+  let fit kp col =
     if Column.length col = 1 && n > 1 then
       match Column.get col 0 with
       | Some v -> Column.init (Column.dtype col) n (fun _ -> v)
       | None -> Column.create (Column.dtype col) n
-    else truncate_col col n
+    else truncate_col kp col n
   in
   let grab out t kp =
     List.map
       (fun (kp', f) ->
-        (Keypath.rebase ~from:kp ~onto:out kp', { f with col = fit f.col }))
+        (Keypath.rebase ~from:kp ~onto:out kp', { f with col = fit kp' f.col }))
       (sub_fields t kp)
   in
   let fields = grab out1 t1 kp1 @ grab out2 t2 kp2 in
-  (match fields with [] -> invalid_arg "Svector.zip: empty substructures" | _ -> ());
+  (match fields with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf "Svector.zip: empty substructures under %s and %s"
+           (Keypath.to_string kp1) (Keypath.to_string kp2))
+  | _ -> ());
   make fields
 
 (** [upsert t1 ~out t2 kp] copies [t1], replacing or inserting attribute
@@ -140,10 +149,14 @@ let upsert t1 ~out t2 kp =
           | Some v -> Column.init (Column.dtype f.col) t1.length (fun _ -> v)
           | None -> Column.create (Column.dtype f.col) t1.length);
       }
-    else { f with col = truncate_col f.col t1.length }
+    else { f with col = truncate_col kp f.col t1.length }
   in
   if Column.length f.col <> t1.length then
-    invalid_arg "Svector.upsert: value vector shorter than target";
+    invalid_arg
+      (Printf.sprintf
+         "Svector.upsert: value vector %s shorter than target %s (%d < %d)"
+         (Keypath.to_string kp) (Keypath.to_string out) (Column.length f.col)
+         t1.length);
   let kept =
     List.filter (fun (kp', _) -> not (Keypath.is_prefix out kp')) t1.fields
   in

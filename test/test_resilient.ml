@@ -1,0 +1,346 @@
+(* Resilient execution layer: deterministic fault-injection campaigns
+   (fail/corrupt every compiled kernel in turn; interpreter faults),
+   resource budgets, policy semantics, and a property run of every TPC-H
+   query through Resilient.execute under a strict differential policy. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module R = Voodoo_engine.Resilient
+module F = Voodoo_engine.Faults
+module Q = Voodoo_tpch.Queries
+module Dbgen = Voodoo_tpch.Dbgen
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+module Fault = Voodoo_core.Fault
+module Interp = Voodoo_interp.Interp
+module Exec = Voodoo_compiler.Exec
+
+let sf = 0.002
+
+let catalog = lazy (Dbgen.generate ~sf ())
+
+let canon (q : Q.t) rows =
+  Reference.sort_rows (Reference.project_rows q.columns rows)
+
+let stage : Verror.stage Alcotest.testable =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Verror.stage_name s))
+    ( = )
+
+let exec_ok policy c p =
+  match R.execute policy c p with
+  | Ok (rows, report) -> (rows, report)
+  | Error e ->
+      Alcotest.failf "unexpected resilient error: %s" (Verror.to_string e)
+
+let exec_err policy c p =
+  match R.execute policy c p with
+  | Ok (_, report) ->
+      Alcotest.failf "expected an error, got an answer (%s)"
+        (Fmt.str "%a" R.pp_report report)
+  | Error e -> e
+
+(* A resilient evaluator for whole-query runs that records which backend
+   answered each plan. *)
+let resilient_eval policy answered c p =
+  let rows, (report : R.report) = exec_ok policy c p in
+  (match report.answered_by with
+  | Some b -> answered := b :: !answered
+  | None -> Alcotest.fail "report does not name an answering backend");
+  rows
+
+(* --- fault campaign: fail every compiled kernel in turn, every query --- *)
+
+let fault_every_kernel name () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let _, total =
+    F.count_kernels (fun () -> q.run (fun c p -> E.compiled c p) cat)
+  in
+  if total = 0 then Alcotest.failf "%s executed no kernels" name;
+  for k = 0 to total - 1 do
+    F.with_spec (Fail_kernel k) (fun () ->
+        let answered = ref [] in
+        let got = q.run (resilient_eval R.default_policy answered) cat in
+        if not (Reference.rows_equal (canon q expected) (canon q got)) then
+          Alcotest.failf "%s: wrong result with kernel %d failing" name k;
+        if not (List.mem R.Interp !answered) then
+          Alcotest.failf
+            "%s: kernel %d fault did not fall back to the interpreter" name k)
+  done
+
+(* --- corruption campaign: corrupt every kernel's result in turn; the
+   strict (differential) policy must still answer correctly --- *)
+
+let corrupt_every_kernel name () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let _, total =
+    F.count_kernels (fun () -> q.run (fun c p -> E.compiled c p) cat)
+  in
+  let fallbacks = ref 0 in
+  for k = 0 to total - 1 do
+    F.with_spec ~seed:(3 * k) (Corrupt_kernel k) (fun () ->
+        let answered = ref [] in
+        let got = q.run (resilient_eval R.strict_policy answered) cat in
+        if not (Reference.rows_equal (canon q expected) (canon q got)) then
+          Alcotest.failf "%s: wrong result with kernel %d corrupted" name k;
+        if List.exists (fun b -> b <> R.Compiled) !answered then incr fallbacks)
+  done;
+  (* at least one corruption must have been caught by the differential
+     check and recovered from (a corrupted final aggregate is visible) *)
+  if !fallbacks = 0 then
+    Alcotest.failf "%s: no corruption triggered a verified fallback" name
+
+(* --- interpreter faults fall through to the reference evaluator --- *)
+
+let interp_fault_falls_back () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf "Q6") in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let policy = { R.default_policy with chain = [ R.Interp; R.Reference ] } in
+  F.with_spec (Fail_step 2) (fun () ->
+      let answered = ref [] in
+      let got = q.run (resilient_eval policy answered) cat in
+      Alcotest.(check bool) "rows agree" true
+        (Reference.rows_equal (canon q expected) (canon q got));
+      Alcotest.(check bool) "reference answered" true
+        (List.mem R.Reference !answered))
+
+(* --- resource budgets --- *)
+
+let q6_plan cat =
+  (* capture Q6's single relational plan *)
+  let q = Option.get (Q.find ~sf "Q6") in
+  let captured = ref None in
+  (try
+     ignore
+       (q.run
+          (fun _ p ->
+            captured := Some p;
+            raise Exit)
+          cat)
+   with Exit -> ());
+  Option.get !captured
+
+let budget_exceeded_compiled () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let policy =
+    {
+      R.default_policy with
+      chain = [ R.Compiled ];
+      budget = { Budget.unlimited with max_total_extent = Some 1 };
+    }
+  in
+  let e = exec_err policy cat plan in
+  Alcotest.check stage "stage" Verror.Resource e.Verror.stage;
+  Alcotest.(check (option string))
+    "backend" (Some "compiled") e.Verror.context.backend
+
+let budget_exceeded_interp () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let policy =
+    {
+      R.default_policy with
+      chain = [ R.Interp ];
+      budget = { Budget.unlimited with max_steps = Some 10 };
+    }
+  in
+  let e = exec_err policy cat plan in
+  Alcotest.check stage "stage" Verror.Resource e.Verror.stage
+
+let budget_falls_back_to_reference () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf "Q6") in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let policy =
+    {
+      R.default_policy with
+      budget =
+        {
+          Budget.max_total_extent = Some 1;
+          max_vector_bytes = Some 64;
+          max_steps = Some 10;
+        };
+    }
+  in
+  let answered = ref [] in
+  let got = q.run (resilient_eval policy answered) cat in
+  Alcotest.(check bool) "rows agree" true
+    (Reference.rows_equal (canon q expected) (canon q got));
+  Alcotest.(check bool) "reference answered" true
+    (List.for_all (fun b -> b = R.Reference) !answered)
+
+(* --- policy semantics --- *)
+
+let fallback_disabled_propagates () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let policy = { R.default_policy with fallback_on = [] } in
+  F.with_spec (Fail_kernel 0) (fun () ->
+      let e = exec_err policy cat plan in
+      Alcotest.check stage "stage" Verror.Exec e.Verror.stage;
+      Alcotest.(check (option string))
+        "backend" (Some "compiled") e.Verror.context.backend;
+      Alcotest.(check (option int)) "fragment" (Some 0) e.Verror.context.fragment)
+
+let short_chain_propagates () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let policy = { R.default_policy with chain = [ R.Compiled ] } in
+  F.with_spec (Fail_kernel 0) (fun () ->
+      let e = exec_err policy cat plan in
+      Alcotest.check stage "stage" Verror.Exec e.Verror.stage)
+
+let max_attempts_respected () =
+  let cat = Lazy.force catalog in
+  let plan = q6_plan cat in
+  let policy = { R.default_policy with max_attempts = 1 } in
+  F.with_spec (Fail_kernel 0) (fun () ->
+      let e = exec_err policy cat plan in
+      Alcotest.check stage "stage" Verror.Exec e.Verror.stage)
+
+let non_groupagg_is_lower_error () =
+  let cat = Lazy.force catalog in
+  let e = exec_err R.default_policy cat (Ra.scan "lineitem") in
+  Alcotest.check stage "stage" Verror.Lower e.Verror.stage
+
+let unknown_column_is_typed_error () =
+  let cat = Lazy.force catalog in
+  let plan =
+    Ra.aggregate (Ra.scan "lineitem") [ Ra.agg Ra.Sum (Rexpr.col "no_such") ]
+  in
+  (* must arrive as Error, never as a raised exception *)
+  match R.execute R.default_policy cat plan with
+  | Ok _ -> Alcotest.fail "expected an error for an unknown column"
+  | Error e ->
+      Alcotest.(check bool) "context populated" true
+        (e.Verror.context.backend <> None);
+      let contains ~sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message mentions column" true
+        (contains ~sub:"no_such" e.Verror.message)
+
+(* --- exception classification shims --- *)
+
+let classification () =
+  let check_stage exn backend expected =
+    Alcotest.check stage
+      (Printexc.to_string exn)
+      expected
+      (R.classify backend exn).Verror.stage
+  in
+  check_stage (Voodoo_core.Typing.Type_error "t") R.Compiled Verror.Type;
+  check_stage (Lower.Unsupported "l") R.Compiled Verror.Lower;
+  check_stage (Voodoo_core.Parse.Parse_error "p") R.Compiled Verror.Parse;
+  check_stage (Voodoo_core.Program.Invalid "i") R.Compiled Verror.Compile;
+  check_stage (Exec.Exec_error "e") R.Compiled Verror.Exec;
+  check_stage (Interp.Runtime_error "r") R.Interp Verror.Runtime;
+  check_stage (Budget.Exceeded "b") R.Compiled Verror.Resource;
+  check_stage (Fault.Injected "f") R.Compiled Verror.Exec;
+  check_stage (Fault.Injected "f") R.Interp Verror.Runtime;
+  check_stage (Invalid_argument "x") R.Compiled Verror.Exec;
+  check_stage (Failure "y") R.Interp Verror.Runtime;
+  let e = R.classify R.Compiled (Exec.Exec_error "boom") in
+  Alcotest.(check (option string))
+    "backend recorded" (Some "compiled") e.Verror.context.backend
+
+(* --- budget unit behaviour --- *)
+
+let budget_tracker () =
+  let tr =
+    Budget.tracker { Budget.unlimited with max_vector_bytes = Some 100 }
+  in
+  Budget.charge_bytes tr 60;
+  Budget.charge_bytes tr 40;
+  Alcotest.(check int) "bytes accumulated" 100 (Budget.bytes_used tr);
+  (match Budget.charge_bytes tr 1 with
+  | () -> Alcotest.fail "expected Budget.Exceeded"
+  | exception Budget.Exceeded _ -> ());
+  let tr2 = Budget.tracker Budget.unlimited in
+  Budget.charge_extent tr2 max_int;
+  Budget.charge_steps tr2 42;
+  Alcotest.(check int) "steps tracked" 42 (Budget.steps_used tr2)
+
+let fault_spec_parsing () =
+  let spec = Alcotest.testable (Fmt.of_to_string F.describe) ( = ) in
+  let ok s v =
+    match F.parse s with
+    | Ok got -> Alcotest.check spec s v got
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "kernel:3" (F.Fail_kernel 3);
+  ok "corrupt-kernel:0" (F.Corrupt_kernel 0);
+  ok "step:12" (F.Fail_step 12);
+  ok "corrupt-step:1" (F.Corrupt_step 1);
+  ok "observe" F.Observe;
+  (match F.parse "kernel:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative ordinal accepted");
+  match F.parse "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus spec accepted"
+
+(* --- property: every TPC-H query under the strict policy, no faults --- *)
+
+let strict_property name () =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let expected = q.run (fun c p -> E.reference c p) cat in
+  let answered = ref [] in
+  let got = q.run (resilient_eval R.strict_policy answered) cat in
+  if not (Reference.rows_equal (canon q expected) (canon q got)) then
+    Alcotest.failf "%s: strict resilient result differs from reference" name;
+  List.iter
+    (fun b ->
+      if b <> R.Compiled then
+        Alcotest.failf "%s: fell back without any fault armed" name)
+    !answered
+
+let queries = Q.cpu_figure13
+
+let () =
+  let sweep mk suffix =
+    List.map
+      (fun name -> Alcotest.test_case (name ^ suffix) `Quick (mk name))
+      queries
+  in
+  Alcotest.run "resilient"
+    [
+      ("fail-every-kernel", sweep fault_every_kernel "");
+      ( "corrupt-kernels",
+        List.map
+          (fun name ->
+            Alcotest.test_case name `Quick (corrupt_every_kernel name))
+          [ "Q1"; "Q6" ] );
+      ( "interp-faults",
+        [ Alcotest.test_case "fall back to reference" `Quick interp_fault_falls_back ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "compiled extent cap" `Quick budget_exceeded_compiled;
+          Alcotest.test_case "interp step cap" `Quick budget_exceeded_interp;
+          Alcotest.test_case "fallback to reference" `Quick budget_falls_back_to_reference;
+          Alcotest.test_case "tracker" `Quick budget_tracker;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "fallback disabled" `Quick fallback_disabled_propagates;
+          Alcotest.test_case "short chain" `Quick short_chain_propagates;
+          Alcotest.test_case "max attempts" `Quick max_attempts_respected;
+          Alcotest.test_case "non-GroupAgg root" `Quick non_groupagg_is_lower_error;
+          Alcotest.test_case "unknown column" `Quick unknown_column_is_typed_error;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "classification" `Quick classification;
+          Alcotest.test_case "fault specs" `Quick fault_spec_parsing;
+        ] );
+      ("strict-tpch", sweep strict_property "");
+    ]

@@ -218,7 +218,7 @@ let test_svector_upsert () =
 
 let test_svector_mismatch () =
   Alcotest.check_raises "length mismatch rejected"
-    (Invalid_argument "Svector.make: column .b has mismatched length")
+    (Invalid_argument "Svector.make: column .b has mismatched length (2, expected 1)")
     (fun () ->
       ignore
         (Svector.of_columns
