@@ -119,9 +119,9 @@ let figure15 () =
   let voodoo variant cut : (int * Events.t) list * float =
     let r : Voodoo_benchkit.Micro.run =
       match variant with
-      | Branching -> Voodoo_benchkit.Micro.select_branching ~store ~cut
-      | Branch_free -> Voodoo_benchkit.Micro.select_predicated ~store ~cut
-      | Vectorized -> Voodoo_benchkit.Micro.select_vectorized ~store ~cut
+      | Branching -> Voodoo_benchkit.Micro.select_branching ~store ~cut ()
+      | Branch_free -> Voodoo_benchkit.Micro.select_predicated ~store ~cut ()
+      | Vectorized -> Voodoo_benchkit.Micro.select_vectorized ~store ~cut ()
     in
     (scale_run r.kernels ~k, r.result)
   in
@@ -188,9 +188,9 @@ let figure14 () =
     in
     let voodoo v : Voodoo_benchkit.Micro.run =
       match v with
-      | Separate -> Voodoo_benchkit.Micro.layout_separate_loops ~store
-      | Single -> Voodoo_benchkit.Micro.layout_single_loop ~store
-      | Transform -> Voodoo_benchkit.Micro.layout_transform ~store
+      | Separate -> Voodoo_benchkit.Micro.layout_separate_loops ~store ()
+      | Single -> Voodoo_benchkit.Micro.layout_single_loop ~store ()
+      | Transform -> Voodoo_benchkit.Micro.layout_transform ~store ()
     in
     let expected = (hand Single).result in
     List.iter
@@ -245,9 +245,9 @@ let figure16 () =
   in
   let voodoo v cut : Voodoo_benchkit.Micro.run =
     match v with
-    | FBranching -> Voodoo_benchkit.Micro.fkjoin_branching ~store ~cut
-    | Pred_agg -> Voodoo_benchkit.Micro.fkjoin_predicated_agg ~store ~cut
-    | Pred_lookup -> Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store ~cut
+    | FBranching -> Voodoo_benchkit.Micro.fkjoin_branching ~store ~cut ()
+    | Pred_agg -> Voodoo_benchkit.Micro.fkjoin_predicated_agg ~store ~cut ()
+    | Pred_lookup -> Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store ~cut ()
   in
   let variants = [ FBranching; Pred_agg; Pred_lookup ] in
   List.iter

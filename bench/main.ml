@@ -17,6 +17,8 @@ let run_tpch () =
   Tpch_bench.figure12 ();
   Tpch_bench.ablations ()
 
+let run_stages () = Tpch_bench.stages ()
+
 (* ---- wall-clock microbenchmarks (bechamel): this implementation's own
    speed, one Test per reproduced figure family ---- *)
 
@@ -37,11 +39,11 @@ let wall_clock () =
   let tests =
     [
       Test.make ~name:"fig1/15 selection (64k)" (Staged.stage (fun () ->
-          ignore (Voodoo_benchkit.Micro.select_branching ~store ~cut:50.0)));
+          ignore (Voodoo_benchkit.Micro.select_branching ~store ~cut:50.0 ())));
       Test.make ~name:"fig14 layout (64k)" (Staged.stage (fun () ->
-          ignore (Voodoo_benchkit.Micro.layout_single_loop ~store:lstore)));
+          ignore (Voodoo_benchkit.Micro.layout_single_loop ~store:lstore ())));
       Test.make ~name:"fig16 fk-join (64k)" (Staged.stage (fun () ->
-          ignore (Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store:fstore ~cut:50.0)));
+          ignore (Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store:fstore ~cut:50.0 ())));
       Test.make ~name:"fig12/13 tpch q6 (sf 0.001)" (Staged.stage (fun () ->
           ignore
             (q6.run (fun c p -> Voodoo_engine.Engine.compiled c p) cat)));
@@ -75,5 +77,6 @@ let () =
   let want s = List.mem s args || List.length args = 1 in
   if want "figures" then run_figures ();
   if want "tpch" then run_tpch ();
+  if want "stages" then run_stages ();
   if want "wall" then wall_clock ();
   print_endline "\nbench: done."

@@ -13,6 +13,7 @@ module E = Voodoo_engine.Engine
 module Q = Voodoo_tpch.Queries
 module Hyper = Voodoo_baselines.Hyper_sim
 module Ocelot = Voodoo_baselines.Ocelot_sim
+module Trace = Voodoo_core.Trace
 
 let pr fmt = Printf.printf fmt
 
@@ -104,6 +105,57 @@ let figure12 () =
     "paper: Voodoo 294/102/288/13/208/170/37 vs Ocelot \
      347/213/-/13/184/61?/47 (ms; labels partly illegible) — Ocelot \
      suffers far less from materialization at 300 GB/s than on the CPU.\n"
+
+(** Per-stage breakdown of the compiled pipeline, from the structured
+    trace.  Unlike the figures above these are wall-clock milliseconds of
+    this implementation at the bench's execution scale factor — the cost
+    model plays no part; the point is to show where the pipeline itself
+    spends its time (see docs/OBSERVABILITY.md). *)
+let stages () =
+  pr "\n=== Per-stage breakdown (traced compiled runs, SF %g, wall-clock ms) ===\n"
+    exec_sf;
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:exec_sf () in
+  let traced_run name =
+    let q = Option.get (Q.find ~sf:exec_sf name) in
+    let tr = Trace.create () in
+    ignore (q.run (fun c p -> (E.compiled_full ~trace:tr c p).E.rows) cat);
+    tr
+  in
+  pr "%-6s %9s %9s %9s %9s %6s %12s\n" "query" "lower" "compile" "execute"
+    "fetch" "frags" "mat.bytes";
+  List.iter
+    (fun name ->
+      let tr = traced_run name in
+      let rows = Trace.summary tr in
+      let stage n =
+        match
+          List.find_opt (fun (r : Trace.summary_row) -> r.row_name = n) rows
+        with
+        | Some r -> 1000.0 *. r.self_s
+        | None -> 0.0
+      in
+      let frags =
+        List.fold_left
+          (fun acc (r : Trace.summary_row) ->
+            if String.starts_with ~prefix:"fragment:" r.row_name then
+              acc + r.calls
+            else acc)
+          0 rows
+      in
+      pr "%-6s %9.2f %9.2f %9.2f %9.2f %6d %12.0f\n" name (stage "lower")
+        (stage "compile") (stage "execute") (stage "fetch") frags
+        (Trace.total tr "bytes.materialized"))
+    Q.cpu_figure13;
+  (* the per-query drill-down the table summarizes: one full trace *)
+  pr "\nQ6 full trace summary:\n%!";
+  Format.printf "%a@." Trace.pp_summary (traced_run "Q6");
+  (* the same trace context threads through the microbenchmark harness *)
+  let values = Voodoo_benchkit.Workloads.selection_input ~n:16384 ~seed:5 in
+  let store = Voodoo_benchkit.Micro.selection_store values in
+  let mtr = Trace.create () in
+  ignore (Voodoo_benchkit.Micro.select_branching ~trace:mtr ~store ~cut:50.0 ());
+  pr "\nmicro select_branching (16k values) trace summary:\n%!";
+  Format.printf "%a@." Trace.pp_summary mtr
 
 (** Ablations: the compiler's design choices, one at a time, on Q1 and Q6
     (CPU model, SF 10). *)

@@ -3,6 +3,8 @@
     {v
     voodoo dbgen   --sf 0.01                  # generate + summarize TPC-H
     voodoo query Q6 --sf 0.01 --engine compiled --costs
+    voodoo query Q6 --trace --trace-out t.json  # per-stage profile + Chrome trace
+    voodoo explain Q1 --sf 0.01               # plan, program, fragment DAG, est-vs-measured
     voodoo plan  Q1 --sf 0.01                 # RA plan, Voodoo program, fragments
     voodoo kernels Q6 --sf 0.01               # generated OpenCL
     voodoo exec program.voo --sf 0.01         # run a textual Voodoo program
@@ -18,6 +20,7 @@ module F = Voodoo_engine.Faults
 module Verror = Voodoo_core.Verror
 module Q = Voodoo_tpch.Queries
 module Backend = Voodoo_compiler.Backend
+module Explain = Voodoo_compiler.Explain
 module Config = Voodoo_device.Config
 module Cost = Voodoo_device.Cost
 
@@ -65,6 +68,50 @@ let fault_seed_arg =
   Arg.(
     value & opt int 42
     & info [ "fault-seed" ] ~docv:"SEED" ~doc:"seed of the fault injector")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "record a structured trace of the run (spans for every pipeline \
+           stage, per-fragment counters) and print the per-stage summary \
+           table afterwards")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "write the recorded trace to $(docv) as Chrome trace-event JSON \
+           (load in about://tracing or https://ui.perfetto.dev; implies \
+           $(b,--trace))")
+
+let device_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun d -> (d.Config.name, d)) Config.all)) Config.cpu_simd
+    & info [ "device" ] ~docv:"DEVICE"
+        ~doc:"device model used for cost estimates (cpu-1t, cpu-mt, cpu-simd, gpu)")
+
+(* [--trace] / [--trace-out FILE]: build the optional trace context, and
+   after the run print the summary and/or write the Chrome JSON file. *)
+let mk_trace traced trace_out =
+  if traced || trace_out <> None then Some (Trace.create ()) else None
+
+let finish_trace tr trace_out =
+  match tr with
+  | None -> ()
+  | Some t ->
+      Fmt.pr "@.trace summary:@.%a@." Trace.pp_summary t;
+      (match trace_out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Trace.to_chrome_json t);
+          close_out oc;
+          Fmt.pr "trace written to %s (Chrome trace-event JSON)@." file)
 
 (* Arm the injector (when requested) around [run], keeping injected faults
    and budget errors from escaping as raw exceptions. *)
@@ -132,14 +179,15 @@ let dbgen_cmd =
 
 (* --- query --- *)
 
-let run_query name sf engine costs resilient fault fault_seed =
+let run_query name sf engine costs resilient fault fault_seed traced trace_out =
   let cat = Voodoo_tpch.Dbgen.generate ~sf () in
   let q = find_query sf name in
+  let tr = mk_trace traced trace_out in
   let kernels = ref [] in
   let reports = ref [] in
   let eval c p =
     if resilient then
-      match R.execute R.strict_policy c p with
+      match R.execute ?trace:tr R.strict_policy c p with
       | Ok (rows, report) ->
           reports := report :: !reports;
           kernels := !kernels @ report.R.kernels;
@@ -149,10 +197,10 @@ let run_query name sf engine costs resilient fault fault_seed =
           exit 1
     else
       match engine with
-      | `Reference -> E.reference c p
-      | `Interp -> E.interp c p
+      | `Reference -> E.reference ?trace:tr c p
+      | `Interp -> E.interp ?trace:tr c p
       | `Compiled ->
-          let r = E.compiled_full c p in
+          let r = E.compiled_full ?trace:tr c p in
           kernels := !kernels @ r.kernels;
           r.rows
   in
@@ -167,13 +215,53 @@ let run_query name sf engine costs resilient fault fault_seed =
       (fun d ->
         Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
           (1000.0 *. (Cost.total d !kernels).total_s))
-      Config.all
+      Config.all;
+  finish_trace tr trace_out
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"run a TPC-H query")
     Term.(
       const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg
-      $ resilient_arg $ fault_arg $ fault_seed_arg)
+      $ resilient_arg $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg)
+
+(* --- explain: plan, program, fragment DAG with estimates, then run --- *)
+
+let explain name sf device traced trace_out verbose =
+  setup_logs verbose;
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let q = find_query sf name in
+  let tr = mk_trace traced trace_out in
+  let phase = ref 0 in
+  let eval c p =
+    incr phase;
+    Fmt.pr "━━━ %s, phase %d ━━━@.@." q.name !phase;
+    Fmt.pr "relational plan:@.  %a@.@." Ra.pp p;
+    let lowered = Lower.lower c p in
+    Fmt.pr "voodoo program:@.%a@.@." Pretty.pp_program lowered.program;
+    (* execute on the compiled backend: multi-phase queries feed earlier
+       phases' rows into later plans, and the measured counters fill the
+       right column of the comparison table *)
+    let r = E.compiled_full ?trace:tr c p in
+    Fmt.pr "%a@.@." (Explain.pp_dag ~device) r.plan;
+    Fmt.pr "estimated vs measured:@.%a@.@."
+      (fun ppf plan -> Explain.pp_compare ~device ppf plan ~measured:r.kernels)
+      r.plan;
+    r.rows
+  in
+  let rows = q.run eval cat in
+  Fmt.pr "%s answered: %d rows@." q.name (List.length rows);
+  finish_trace tr trace_out
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "explain a TPC-H query: relational plan, lowered Voodoo program, \
+          fragment DAG with per-fragment cost estimates, then run it on the \
+          compiled backend and print estimated vs measured counters")
+    Term.(
+      const explain $ query_arg $ sf_arg $ device_arg $ trace_arg
+      $ trace_out_arg $ verbose_arg)
 
 (* --- plan / kernels: single-plan queries only --- *)
 
@@ -257,7 +345,7 @@ let exec_cmd =
 
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
-let run_sql text sf engine costs resilient fault fault_seed =
+let run_sql text sf engine costs resilient fault fault_seed traced trace_out =
   let cat = Voodoo_tpch.Dbgen.generate ~sf () in
   let plan =
     try Sql.plan cat text
@@ -266,11 +354,12 @@ let run_sql text sf engine costs resilient fault fault_seed =
       exit 1
   in
   Fmt.pr "plan: %a@." Ra.pp plan;
+  let tr = mk_trace traced trace_out in
   let kernels = ref [] in
   let report = ref None in
   let eval () =
     if resilient then
-      match R.execute R.strict_policy cat plan with
+      match R.execute ?trace:tr R.strict_policy cat plan with
       | Ok (rows, r) ->
           report := Some r;
           kernels := r.R.kernels;
@@ -280,10 +369,10 @@ let run_sql text sf engine costs resilient fault fault_seed =
           exit 1
     else
       match engine with
-      | `Reference -> E.reference cat plan
-      | `Interp -> E.interp cat plan
+      | `Reference -> E.reference ?trace:tr cat plan
+      | `Interp -> E.interp ?trace:tr cat plan
       | `Compiled ->
-          let r = E.compiled_full cat plan in
+          let r = E.compiled_full ?trace:tr cat plan in
           kernels := r.kernels;
           r.rows
   in
@@ -298,7 +387,8 @@ let run_sql text sf engine costs resilient fault fault_seed =
       (fun d ->
         Fmt.pr "cost on %-8s %10.3f ms@." d.Config.name
           (1000.0 *. (Cost.total d !kernels).total_s))
-      Config.all
+      Config.all;
+  finish_trace tr trace_out
 
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"the query text")
@@ -307,11 +397,19 @@ let sql_cmd =
   Cmd.v (Cmd.info "sql" ~doc:"run an ad-hoc SQL query over the TPC-H catalog")
     Term.(
       const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
-      $ fault_arg $ fault_seed_arg)
+      $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg)
 
 let () =
   let doc = "Voodoo: a vector algebra for portable database performance" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "voodoo" ~doc)
-          [ dbgen_cmd; query_cmd; plan_cmd; kernels_cmd; exec_cmd; sql_cmd ]))
+          [
+            dbgen_cmd;
+            query_cmd;
+            explain_cmd;
+            plan_cmd;
+            kernels_cmd;
+            exec_cmd;
+            sql_cmd;
+          ]))

@@ -16,9 +16,9 @@ type run = { result : float; kernels : (int * Voodoo_device.Events.t) list }
 
 let grain = 8192
 
-let run_program store program total_id : run =
-  let c = Backend.compile ~store program in
-  let r = Backend.run c in
+let run_program ?trace store program total_id : run =
+  let c = Backend.compile ?trace ~store program in
+  let r = Backend.run ?trace c in
   let v = Exec.output r total_id in
   let col = Svector.column v (List.hd (Svector.keypaths v)) in
   let result =
@@ -46,7 +46,7 @@ let selection_common b =
 (* ---------- selection variants (Figures 1 and 15) ---------- *)
 
 (* Branching: a controlled FoldSelect emits qualifying positions. *)
-let select_branching ~store ~cut : run =
+let select_branching ?trace ~store ~cut () : run =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -55,11 +55,11 @@ let select_branching ~store ~cut : run =
   let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
   let vals = B.gather b input (pos, []) in
   let total = hier_sum b vals in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Branch-free: cursor arithmetic — exclusive prefix sum of the predicate
    gives the write position; every tuple is written unconditionally. *)
-let select_branch_free ~store ~cut : run =
+let select_branch_free ?trace ~store ~cut () : run =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -77,11 +77,11 @@ let select_branch_free ~store ~cut : run =
   let vp = B.multiply b input pred in
   let out = B.scatter b ~shape:input vp (wpos, []) in
   let total = hier_sum b out in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Predicated aggregation: multiply the value by the predicate outcome and
    fold — no control flow at all. *)
-let select_predicated ~store ~cut : run =
+let select_predicated ?trace ~store ~cut () : run =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -90,11 +90,11 @@ let select_predicated ~store ~cut : run =
   let z = B.zip b ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (vp, []) in
   let partial = B.fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
   let total = B.fold_sum b ~name:"total" (partial, []) in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Vectorized: one extra operator — a Materialize with a chunk-sized
    control vector buffers the predicate outcome in cache. *)
-let select_vectorized ~store ~cut : run =
+let select_vectorized ?trace ~store ~cut () : run =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -104,23 +104,23 @@ let select_vectorized ~store ~cut : run =
   let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
   let vals = B.gather b input (pos, []) in
   let total = hier_sum b vals in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* ---------- layout variants (Figure 14) ---------- *)
 
 (* Single loop: one gather resolves both columns of the columnar target. *)
-let layout_single_loop ~store : run =
+let layout_single_loop ?trace ~store () : run =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
   let g = B.gather b target (pos, []) in
   let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
   let total = hier_sum b both in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Separate loops: a Break between two single-column gathers splits the
    traversals. *)
-let layout_separate_loops ~store : run =
+let layout_separate_loops ?trace ~store () : run =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
@@ -131,11 +131,11 @@ let layout_separate_loops ~store : run =
   let g2 = B.gather b c2 (pos, []) in
   let both = B.binary b Op.Add (g1m, []) (g2, []) in
   let total = hier_sum b both in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Layout transform: zip + materialize turn the target row-major before a
    single gathering loop. *)
-let layout_transform ~store : run =
+let layout_transform ?trace ~store () : run =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
@@ -143,7 +143,7 @@ let layout_transform ~store : run =
   let g = B.gather b rowwise (pos, []) in
   let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
   let total = hier_sum b both in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* ---------- branch-free FK joins (Figure 16) ---------- *)
 
@@ -155,7 +155,7 @@ let fkjoin_common b =
   (v, fk, target)
 
 (* Branching: select first, look up qualifying tuples only. *)
-let fkjoin_branching ~store ~cut : run =
+let fkjoin_branching ?trace ~store ~cut () : run =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -168,11 +168,11 @@ let fkjoin_branching ~store ~cut : run =
   let fkq = B.gather b fk (pos, []) in
   let tv = B.gather b target (fkq, []) in
   let total = hier_sum b tv in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Predicated aggregation: look up every tuple, multiply by the predicate
    outcome. *)
-let fkjoin_predicated_agg ~store ~cut : run =
+let fkjoin_predicated_agg ?trace ~store ~cut () : run =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -180,11 +180,11 @@ let fkjoin_predicated_agg ~store ~cut : run =
   let tv = B.gather b target (fk, []) in
   let tvp = B.multiply b tv pred in
   let total = hier_sum b tvp in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* Predicated lookups: multiply the position by the predicate first — all
    non-qualifying lookups hit slot zero's "very hot" line. *)
-let fkjoin_predicated_lookup ~store ~cut : run =
+let fkjoin_predicated_lookup ?trace ~store ~cut () : run =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -193,7 +193,7 @@ let fkjoin_predicated_lookup ~store ~cut : run =
   let tv = B.gather b target (ppos, []) in
   let tvp = B.multiply b tv pred in
   let total = hier_sum b tvp in
-  run_program store (B.finish b) total
+  run_program ?trace store (B.finish b) total
 
 (* ---------- store builders ---------- *)
 

@@ -11,24 +11,35 @@ type run = { result : float; kernels : (int * Voodoo_device.Events.t) list }
 (** The control-vector run length used by all programs. *)
 val grain : int
 
+(** Every runner threads an optional {!Voodoo_core.Trace.t} through
+    compile and execute, so BENCH harnesses get per-stage and
+    per-fragment breakdowns of the micro-benchmarks too. *)
+
 (** Selection variants (Figures 1 and 15). *)
 
-val select_branching : store:Store.t -> cut:float -> run
-val select_branch_free : store:Store.t -> cut:float -> run
-val select_predicated : store:Store.t -> cut:float -> run
-val select_vectorized : store:Store.t -> cut:float -> run
+val select_branching :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
+val select_branch_free :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
+val select_predicated :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
+val select_vectorized :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
 
 (** Layout variants (Figure 14). *)
 
-val layout_single_loop : store:Store.t -> run
-val layout_separate_loops : store:Store.t -> run
-val layout_transform : store:Store.t -> run
+val layout_single_loop : ?trace:Trace.t -> store:Store.t -> unit -> run
+val layout_separate_loops : ?trace:Trace.t -> store:Store.t -> unit -> run
+val layout_transform : ?trace:Trace.t -> store:Store.t -> unit -> run
 
 (** FK-join variants (Figure 16). *)
 
-val fkjoin_branching : store:Store.t -> cut:float -> run
-val fkjoin_predicated_agg : store:Store.t -> cut:float -> run
-val fkjoin_predicated_lookup : store:Store.t -> cut:float -> run
+val fkjoin_branching :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
+val fkjoin_predicated_agg :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
+val fkjoin_predicated_lookup :
+  ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
 
 (** Store builders for the workloads above. *)
 

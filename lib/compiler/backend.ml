@@ -18,21 +18,29 @@ type compiled = {
 
 (** [compile ?options ?optimize ~store program] builds the kernel plan.
     [optimize] (default true) runs CSE, constant folding and DCE first. *)
-let compile ?(options = Codegen.default_options) ?(optimize = true) ~store
-    (p : Program.t) : compiled =
+let compile ?trace ?(options = Codegen.default_options) ?(optimize = true)
+    ~store (p : Program.t) : compiled =
   Program.validate p;
   let p, subst =
-    if optimize then Optimize.default_with_subst p else (p, [])
+    Trace.with_span trace "optimize" (fun () ->
+        if optimize then Optimize.default_with_subst p else (p, []))
   in
   let vector_length name = Option.map Voodoo_vector.Svector.length (Store.find store name) in
-  let plan = Codegen.build ~options ~vector_length p in
+  let plan =
+    Trace.with_span trace "codegen" (fun () ->
+        let plan = Codegen.build ~options ~vector_length p in
+        Trace.count trace "fragments" (float_of_int (List.length plan.frags));
+        Trace.count trace "statements"
+          (float_of_int (List.length (Program.stmts plan.program)));
+        plan)
+  in
   { plan; options; store; subst }
 
 (** Execute, returning vectors and per-kernel events.  Statements that CSE
     merged stay reachable under their original names.  [budget] caps the
     run's resources (see {!Exec.run}). *)
-let run ?budget (c : compiled) : Exec.result =
-  let r = Exec.run ~options:c.options ?budget ~store:c.store c.plan in
+let run ?trace ?budget (c : compiled) : Exec.result =
+  let r = Exec.run ?trace ~options:c.options ?budget ~store:c.store c.plan in
   List.iter
     (fun (orig, kept) ->
       match Hashtbl.find_opt r.env kept with

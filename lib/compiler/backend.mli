@@ -12,16 +12,20 @@ type compiled = {
       (** CSE renames: original statement name → surviving name *)
 }
 
-(** [compile ?options ?optimize ~store program] builds the kernel plan.
-    [optimize] (default true) runs constant folding, CSE and DCE first. *)
+(** [compile ?trace ?options ?optimize ~store program] builds the kernel
+    plan.  [optimize] (default true) runs constant folding, CSE and DCE
+    first.  With a trace, the work happens under ["optimize"] and
+    ["codegen"] spans (the latter counting ["fragments"] and
+    ["statements"]). *)
 val compile :
-  ?options:Codegen.options -> ?optimize:bool -> store:Store.t -> Program.t ->
-  compiled
+  ?trace:Trace.t -> ?options:Codegen.options -> ?optimize:bool ->
+  store:Store.t -> Program.t -> compiled
 
 (** Execute, returning vectors and per-kernel events.  Statements that CSE
     merged stay reachable under their original names.  [budget] caps the
-    run's resources (see {!Exec.run}). *)
-val run : ?budget:Budget.t -> compiled -> Exec.result
+    run's resources; [trace] records per-fragment spans (see
+    {!Exec.run}). *)
+val run : ?trace:Trace.t -> ?budget:Budget.t -> compiled -> Exec.result
 
 (** [eval c id] compiles-and-runs, returning one result vector. *)
 val eval : compiled -> Op.id -> Voodoo_vector.Svector.t

@@ -826,8 +826,29 @@ let corrupt_fragment st ~seed (body : compiled_stmt list) =
 
 (* ---------- driver ---------- *)
 
-let run ?(options = Codegen.default_options) ?(budget = Budget.unlimited)
-    ~(store : Store.t) (plan : plan) : result =
+(* Copy a fragment's observed behaviour into its trace span: every event
+   total, the materialized result bytes, and the per-statement storage mix. *)
+let span_counters trace st (f : frag) ev =
+  List.iter (fun (name, v) -> Trace.count trace name v) (Events.totals ev);
+  Trace.count trace "fragment.extent" (float_of_int f.extent);
+  let bytes =
+    List.fold_left
+      (fun acc (cs : compiled_stmt) ->
+        match storage_of st cs.stmt.id with
+        | Register | Virtual -> acc
+        | Global | Local _ -> (
+            match Hashtbl.find_opt st.env cs.stmt.id with
+            | Some vec when owns_fresh_columns cs ->
+                acc
+                + Svector.length vec * List.length (Svector.keypaths vec)
+                  * width
+            | _ -> acc))
+      0 (stmts_in_order f)
+  in
+  Trace.count trace "bytes.materialized" (float_of_int bytes)
+
+let run ?trace ?(options = Codegen.default_options)
+    ?(budget = Budget.unlimited) ~(store : Store.t) (plan : plan) : result =
   let tr = Budget.tracker budget in
   let st =
     {
@@ -865,35 +886,50 @@ let run ?(options = Codegen.default_options) ?(budget = Budget.unlimited)
   let kernels =
     List.map
       (fun (f : frag) ->
-        Fault.kernel_started ();
-        Budget.charge_extent tr f.extent;
-        let ev = Events.create () in
-        let body = stmts_in_order f in
-        List.iter
-          (fun cs ->
-            prepare st cs;
-            charge_budget st tr cs)
-          body;
-        let intent = max 1 f.intent in
-        for w = 0 to f.extent - 1 do
-          let lo = w * intent in
-          let hi = min f.domain ((w + 1) * intent) in
-          Hashtbl.reset st.charged;
-          if hi > lo || lo = 0 then
-            List.iter (fun cs -> exec_range st ev f cs lo hi) body
-        done;
-        List.iter (fun cs -> record_deferred st ev cs) body;
-        (match Fault.corrupt_kernel_now () with
-        | Some seed -> corrupt_fragment st ~seed body
-        | None -> ());
-        (* persists *)
-        List.iter
-          (fun (cs : compiled_stmt) ->
-            match cs.stmt.op with
-            | Persist (name, v) -> Store.add st.store name (lookup st.env v)
-            | _ -> ())
-          body;
-        (f.extent, ev))
+        Trace.with_span trace
+          ~attrs:
+            [
+              ("extent", string_of_int f.extent);
+              ("intent", string_of_int f.intent);
+              ("domain", string_of_int f.domain);
+              ( "stmts",
+                String.concat ","
+                  (List.map
+                     (fun (cs : compiled_stmt) -> cs.stmt.id)
+                     (stmts_in_order f)) );
+            ]
+          (Printf.sprintf "fragment:%d" f.index)
+          (fun () ->
+            Fault.kernel_started ();
+            Budget.charge_extent tr f.extent;
+            let ev = Events.create () in
+            let body = stmts_in_order f in
+            List.iter
+              (fun cs ->
+                prepare st cs;
+                charge_budget st tr cs)
+              body;
+            let intent = max 1 f.intent in
+            for w = 0 to f.extent - 1 do
+              let lo = w * intent in
+              let hi = min f.domain ((w + 1) * intent) in
+              Hashtbl.reset st.charged;
+              if hi > lo || lo = 0 then
+                List.iter (fun cs -> exec_range st ev f cs lo hi) body
+            done;
+            List.iter (fun cs -> record_deferred st ev cs) body;
+            (match Fault.corrupt_kernel_now () with
+            | Some seed -> corrupt_fragment st ~seed body
+            | None -> ());
+            (* persists *)
+            List.iter
+              (fun (cs : compiled_stmt) ->
+                match cs.stmt.op with
+                | Persist (name, v) -> Store.add st.store name (lookup st.env v)
+                | _ -> ())
+              body;
+            span_counters trace st f ev;
+            (f.extent, ev)))
       plan.frags
   in
   (* bind any remaining non-fragment (virtual/structural) statements so the

@@ -26,14 +26,18 @@ type result = {
 
 exception Exec_error of string
 
-(** [run ?options ?budget ~store plan] executes the plan.  The optional
-    {!Voodoo_core.Budget.t} caps total kernel extent and materialized
-    vector bytes ({!Voodoo_core.Budget.Exceeded} aborts the run); the
-    global {!Voodoo_core.Fault} injector, when armed, is consulted at
-    every kernel launch. *)
+(** [run ?trace ?options ?budget ~store plan] executes the plan.  The
+    optional {!Voodoo_core.Budget.t} caps total kernel extent and
+    materialized vector bytes ({!Voodoo_core.Budget.Exceeded} aborts the
+    run); the global {!Voodoo_core.Fault} injector, when armed, is
+    consulted at every kernel launch.  With a {!Voodoo_core.Trace.t},
+    every fragment runs inside a ["fragment:<i>"] span carrying its
+    extent/intent/domain attributes and, as counters, its
+    {!Events.totals} plus ["bytes.materialized"] and
+    ["fragment.extent"]. *)
 val run :
-  ?options:Codegen.options -> ?budget:Budget.t -> store:Store.t ->
-  Fragment.plan -> result
+  ?trace:Trace.t -> ?options:Codegen.options -> ?budget:Budget.t ->
+  store:Store.t -> Fragment.plan -> result
 
 (** [output r id] reads a result vector.  Raises {!Exec_error}. *)
 val output : result -> Op.id -> Svector.t

@@ -1,0 +1,303 @@
+(** EXPLAIN support: fragment DAG and static cost estimates (see the
+    interface). *)
+
+open Voodoo_core
+open Voodoo_device
+open Fragment
+
+let width = Exec.width
+
+(* ---------- plan-wide lookup tables ---------- *)
+
+(* statement id → storage class, mirroring Exec.run's registration *)
+let storage_table (plan : plan) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (cs : compiled_stmt) -> Hashtbl.replace tbl cs.stmt.id cs.storage)
+        (stmts_in_order f))
+    plan.frags;
+  List.iter
+    (fun (s : Program.stmt) ->
+      if not (Hashtbl.mem tbl s.id) then
+        Hashtbl.replace tbl s.id
+          (match s.op with Op.Load _ -> Global | _ -> Virtual))
+    (Program.stmts plan.program);
+  tbl
+
+let length_table (plan : plan) =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (id, (i : Meta.info)) -> Hashtbl.replace tbl id i.length) plan.meta;
+  tbl
+
+(* ---------- the fragment DAG ---------- *)
+
+type frag_deps = { index : int; inputs : int list; from_store : bool }
+
+let deps (plan : plan) : frag_deps list =
+  let frag_of = Hashtbl.create 32 in
+  List.iter
+    (fun (f : frag) ->
+      List.iter
+        (fun (cs : compiled_stmt) -> Hashtbl.replace frag_of cs.stmt.id f.index)
+        (stmts_in_order f))
+    plan.frags;
+  List.map
+    (fun (f : frag) ->
+      let inside id = Hashtbl.find_opt frag_of id = Some f.index in
+      let producers = ref [] in
+      let from_store = ref false in
+      (* follow inputs through non-fragment (virtual/structural) statements
+         to the fragments and loads that really feed this one *)
+      let seen = Hashtbl.create 8 in
+      let rec visit id =
+        if not (Hashtbl.mem seen id || inside id) then begin
+          Hashtbl.replace seen id ();
+          match Hashtbl.find_opt frag_of id with
+          | Some fi -> if not (List.mem fi !producers) then producers := fi :: !producers
+          | None -> (
+              match Program.find plan.program id with
+              | Some { op = Op.Load _; _ } -> from_store := true
+              | Some s -> List.iter visit (Op.inputs s.op)
+              | None -> ())
+        end
+      in
+      List.iter
+        (fun (cs : compiled_stmt) -> List.iter visit (Op.inputs cs.stmt.op))
+        (stmts_in_order f);
+      {
+        index = f.index;
+        inputs = List.sort compare !producers;
+        from_store = !from_store;
+      })
+    plan.frags
+
+(* ---------- static event estimation ---------- *)
+
+(* Deterministic p=0.5 outcome stream: lets the 2-bit predictor settle on
+   a realistic mixed-outcome misprediction rate for the estimate. *)
+let sample_branches ev ~site n =
+  let state = ref 0x9e3779b9 in
+  for _ = 1 to 64 do
+    state := (!state * 1103515245) + 12345;
+    Events.branch ev ~site ((!state lsr 16) land 1 = 1)
+  done;
+  (* the sampled stream fixed the predictor; re-weigh the totals to the
+     fragment's real iteration count *)
+  match Hashtbl.find_opt ev.Events.branches site with
+  | Some s ->
+      s.Events.total <- float_of_int n;
+      s.Events.taken <- float_of_int n /. 2.0
+  | None -> ()
+
+let estimate (plan : plan) : (int * Events.t) list =
+  let storage = storage_table plan in
+  let lengths = length_table plan in
+  let storage_of id = Option.value (Hashtbl.find_opt storage id) ~default:Global in
+  (* follow zip/project/upsert aliases to the buffer that backs a read *)
+  let rec resolve (v : Op.id) (kp : Voodoo_vector.Keypath.t) =
+    let module K = Voodoo_vector.Keypath in
+    match Program.find plan.program v with
+    | Some { op = Op.Zip { out1; src1; out2; src2 }; _ } ->
+        if K.is_prefix out1 kp then resolve src1.v (K.append src1.kp (K.strip out1 kp))
+        else if K.is_prefix out2 kp then
+          resolve src2.v (K.append src2.kp (K.strip out2 kp))
+        else v
+    | Some { op = Op.Project { out; src }; _ } ->
+        if K.is_prefix out kp then resolve src.v (K.append src.kp (K.strip out kp))
+        else v
+    | Some { op = Op.Upsert { target; out; src }; _ } ->
+        if K.equal out kp then resolve src.v src.kp else resolve target kp
+    | _ -> v
+  in
+  (* folds shrink their input (one slot per run, ~half the rows for a
+     selection); remember those estimated output lengths so downstream
+     fragments are priced on what actually flows between them, not on
+     the full domain *)
+  let est_len = Hashtbl.create 16 in
+  let len ~default id =
+    match Hashtbl.find_opt est_len id with
+    | Some n -> n
+    | None -> Option.value (Hashtbl.find_opt lengths id) ~default
+  in
+  List.map
+    (fun (f : frag) ->
+      let ev = Events.create () in
+      let read (s : Op.src) n =
+        let id = resolve s.v s.kp in
+        match storage_of id with
+        | Register | Virtual -> ()
+        | Global ->
+            Events.mem ev ~site:(id ^ ":r") ~pattern:Cache.Sequential
+              ~elem_bytes:width n
+        | Local ws ->
+            Events.mem ~scalable:false ev ~site:(id ^ ":r")
+              ~pattern:(Cache.Random ws) ~elem_bytes:width n
+      in
+      let write id n =
+        match storage_of id with
+        | Register | Virtual -> ()
+        | Global ->
+            Events.mem ev ~site:(id ^ ":w") ~pattern:Cache.Sequential
+              ~elem_bytes:width n
+        | Local ws ->
+            Events.mem ~scalable:false ev ~site:(id ^ ":w")
+              ~pattern:(Cache.Random ws) ~elem_bytes:width n
+      in
+      List.iter
+        (fun (cs : compiled_stmt) ->
+          let s = cs.stmt in
+          let n = len ~default:f.domain s.id in
+          match s.op with
+          | Op.Load _ | Op.Persist _ | Op.Constant _ | Op.Range _ | Op.Zip _
+          | Op.Project _ | Op.Upsert _ ->
+              ()
+          | Op.Cross _ ->
+              Events.alu ev Int (2 * n);
+              write s.id (2 * n)
+          | Op.Materialize { data; _ } | Op.Break { data; _ } ->
+              read { Op.v = data; kp = [] } n;
+              write s.id n
+          | Op.Binary { left; right; _ } ->
+              if cs.storage <> Virtual then begin
+                Events.alu ev Int n;
+                read left n;
+                read right n;
+                write s.id n
+              end
+          | Op.Gather { data; positions } ->
+              let pn = len ~default:n positions.Op.v in
+              let dn = len ~default:pn data in
+              Events.alu ev Int pn;
+              read positions pn;
+              Events.mem ev ~site:(s.id ^ ":g")
+                ~pattern:(Cache.Random (dn * width)) ~elem_bytes:width pn;
+              write s.id pn;
+              Hashtbl.replace est_len s.id pn
+          | Op.Scatter { data; shape; positions; _ } ->
+              if cs.storage <> Virtual then begin
+                let out_n = len ~default:n shape in
+                Events.alu ev Int n;
+                read positions n;
+                read { Op.v = data; kp = [] } n;
+                Events.mem ev ~site:(s.id ^ ":s")
+                  ~pattern:(Cache.Random (out_n * width)) ~elem_bytes:width n
+              end
+          | Op.Partition { values; _ } ->
+              let vn = len ~default:n values.v in
+              read values (2 * vn);
+              Events.alu ev Int (3 * vn);
+              Events.mem ev ~site:(s.id ^ ":hist")
+                ~pattern:(Cache.Random (64 * width)) ~elem_bytes:width (2 * vn);
+              write s.id vn
+          | Op.FoldSelect { input; _ } ->
+              let vn = len ~default:n input.v in
+              Events.alu ev Int vn;
+              sample_branches ev ~site:s.id vn;
+              Events.guarded ev (vn / 2);
+              read input vn;
+              write s.id (vn / 2);
+              Hashtbl.replace est_len s.id (vn / 2)
+          | Op.FoldAgg { input; _ } -> (
+              match cs.grouped_fold with
+              | Some g ->
+                  let vn = len ~default:n g.source in
+                  Events.alu ev Int (2 * vn);
+                  read { Op.v = g.source; kp = g.group_src.kp } vn;
+                  read { Op.v = g.source; kp = g.value_src.kp } vn;
+                  Events.mem ev ~site:(s.id ^ ":acc")
+                    ~pattern:(Cache.Random (g.group_count * width))
+                    ~elem_bytes:width vn;
+                  write s.id g.group_count;
+                  Hashtbl.replace est_len s.id g.group_count
+              | None ->
+                  let vn = len ~default:n input.v in
+                  let runs =
+                    match f.fold_runlen with
+                    | Some l when l > 0 -> max 1 (vn / l)
+                    | _ -> max 1 f.extent
+                  in
+                  Events.alu ev Int vn;
+                  read input vn;
+                  write s.id runs;
+                  Hashtbl.replace est_len s.id runs)
+          | Op.FoldScan { input; _ } ->
+              let vn = len ~default:n input.v in
+              Events.alu ev Int vn;
+              read input vn;
+              write s.id vn)
+        (stmts_in_order f);
+      (f.extent, ev))
+    plan.frags
+
+(* ---------- rendering ---------- *)
+
+let default_device = Config.cpu_simd
+
+let ms d ~extent ev = 1000.0 *. (Cost.kernel d ~extent ev).Cost.total_s
+
+let find_total name totals =
+  Option.value (List.assoc_opt name totals) ~default:0.0
+
+let pp_dag ?(device = default_device) ppf (plan : plan) =
+  let est = estimate plan in
+  let dag = deps plan in
+  Fmt.pf ppf "@[<v>fragment DAG (%d fragments, est. on %s):"
+    (List.length plan.frags) device.Config.name;
+  List.iter2
+    (fun (f : frag) ((extent, ev), (d : frag_deps)) ->
+      let sources =
+        (if d.from_store then [ "store" ] else [])
+        @ List.map (Printf.sprintf "F%d") d.inputs
+      in
+      Fmt.pf ppf "@,  F%d [extent=%d intent=%d domain=%d]%s <- %s" f.index
+        f.extent f.intent f.domain
+        (match f.fold_runlen with
+        | Some l -> Printf.sprintf " runlen=%d" l
+        | None -> "")
+        (match sources with [] -> "(const)" | l -> String.concat ", " l);
+      Fmt.pf ppf "@,     stmts: %s"
+        (String.concat ", "
+           (List.map
+              (fun (cs : compiled_stmt) ->
+                Fmt.str "%s[%a]" cs.stmt.id pp_storage cs.storage)
+              (stmts_in_order f)));
+      let t = Events.totals ev in
+      Fmt.pf ppf
+        "@,     est: %.3f ms  alu=%.0f mem=%.0fB branch=%.0f guarded=%.0f"
+        (ms device ~extent ev)
+        (find_total "alu.int" t +. find_total "alu.float" t)
+        (find_total "mem.bytes" t)
+        (find_total "branch.total" t)
+        (find_total "alu.guarded" t))
+    plan.frags
+    (List.combine est dag);
+  let total =
+    List.fold_left (fun acc (e, ev) -> acc +. ms device ~extent:e ev) 0.0 est
+  in
+  Fmt.pf ppf "@,  total est: %.3f ms on %s@]" total device.Config.name
+
+let pp_compare ?(device = default_device) ppf (plan : plan)
+    ~(measured : (int * Events.t) list) =
+  let est = estimate plan in
+  Fmt.pf ppf "@[<v>%-10s %12s %12s %14s %14s %12s %12s %10s %10s" "fragment"
+    "est.ms" "meas.ms" "est.aluops" "meas.aluops" "est.memB" "meas.memB"
+    "est.br" "meas.br";
+  let alu t = find_total "alu.int" t +. find_total "alu.float" t in
+  let grand = ref (0.0, 0.0) in
+  List.iter2
+    (fun (f : frag) ((e_ext, e_ev), (m_ext, m_ev)) ->
+      let et = Events.totals e_ev and mt = Events.totals m_ev in
+      let e_ms = ms device ~extent:e_ext e_ev
+      and m_ms = ms device ~extent:m_ext m_ev in
+      grand := (fst !grand +. e_ms, snd !grand +. m_ms);
+      Fmt.pf ppf "@,F%-9d %12.3f %12.3f %14.0f %14.0f %12.0f %12.0f %10.0f %10.0f"
+        f.index e_ms m_ms (alu et) (alu mt) (find_total "mem.bytes" et)
+        (find_total "mem.bytes" mt)
+        (find_total "branch.total" et)
+        (find_total "branch.total" mt))
+    plan.frags
+    (List.combine est measured);
+  Fmt.pf ppf "@,%-10s %12.3f %12.3f   (device %s; gap = data-dependent cost)@]"
+    "total" (fst !grand) (snd !grand) device.Config.name

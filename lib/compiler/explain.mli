@@ -1,0 +1,46 @@
+(** EXPLAIN support: the fragment DAG and static per-fragment cost
+    estimates.
+
+    The executor ({!Exec}) observes what a plan {e did}; this module
+    predicts what it {e will do}, from structure alone — statement
+    shapes, storage classes and metadata lengths — so `voodoo explain`
+    can print a fragment DAG with cost estimates before anything runs,
+    and print estimates next to measured counters afterwards
+    (see [docs/OBSERVABILITY.md]).
+
+    Estimates deliberately mirror the executor's accounting rules
+    (storage classes decide what touches memory, folds write one slot
+    per run, selections are priced at 50% selectivity with a sampled
+    branch-predictor stream), so the two columns of the comparison
+    table are in the same units and the gap is the {e data-dependent}
+    part of the cost: real selectivities, real access patterns, real
+    branch behaviour. *)
+
+open Voodoo_device
+
+(** Which fragments feed fragment [index]: dependencies through
+    materialized seams.  [from_store] is true when the fragment also
+    reads persistent (loaded) vectors directly. *)
+type frag_deps = { index : int; inputs : int list; from_store : bool }
+
+(** The fragment DAG of a plan, in execution order. *)
+val deps : Fragment.plan -> frag_deps list
+
+(** [estimate plan] predicts, per fragment, the events the executor
+    would record: [(extent, events)] in fragment order, the same shape
+    {!Exec.result.kernels} has. *)
+val estimate : Fragment.plan -> (int * Events.t) list
+
+(** [pp_dag ?device ppf plan] prints the fragment DAG: per fragment its
+    extent/intent/domain, fused statements with storage classes, incoming
+    edges, estimated event totals and the estimated kernel cost on
+    [device] (default the SIMD CPU model). *)
+val pp_dag : ?device:Config.t -> Format.formatter -> Fragment.plan -> unit
+
+(** [pp_compare ?device ppf plan ~measured] prints estimate-vs-measured
+    per fragment: cost on [device], memory bytes, ALU operations and
+    branches, ending with totals.  [measured] is
+    {!Exec.result.kernels}. *)
+val pp_compare :
+  ?device:Config.t -> Format.formatter -> Fragment.plan ->
+  measured:(int * Events.t) list -> unit

@@ -1,0 +1,260 @@
+(** Structured tracing: hierarchical spans and a counter registry (see
+    the interface). *)
+
+type span = {
+  sid : int;
+  name : string;
+  parent : int option;
+  depth : int;
+  start_s : float;
+  mutable stop_s : float;
+  mutable closed : bool;
+  mutable attrs : (string * string) list;
+  counters : (string, float) Hashtbl.t;
+}
+
+type t = {
+  origin : float;
+  mutable order : span list;  (** reverse start order *)
+  mutable stack : span list;  (** innermost open span first *)
+  mutable next_sid : int;
+  orphans : (string, float) Hashtbl.t;  (** counts with no open span *)
+}
+
+let now () = Sys.time ()
+
+let create () =
+  {
+    origin = now ();
+    order = [];
+    stack = [];
+    next_sid = 0;
+    orphans = Hashtbl.create 4;
+  }
+
+(* ---------- recording ---------- *)
+
+let open_span t ?(attrs = []) name =
+  let parent, depth =
+    match t.stack with
+    | [] -> (None, 0)
+    | p :: _ -> (Some p.sid, p.depth + 1)
+  in
+  let s =
+    {
+      sid = t.next_sid;
+      name;
+      parent;
+      depth;
+      start_s = now () -. t.origin;
+      stop_s = 0.0;
+      closed = false;
+      attrs;
+      counters = Hashtbl.create 4;
+    }
+  in
+  t.next_sid <- t.next_sid + 1;
+  t.order <- s :: t.order;
+  t.stack <- s :: t.stack;
+  s
+
+let close_span t s =
+  s.stop_s <- now () -. t.origin;
+  s.closed <- true;
+  (* unwind to (and past) [s]: exception-safe even if inner spans were
+     left open by a raise below an instrumented frame *)
+  let rec pop = function
+    | [] -> []
+    | x :: rest ->
+        if x.sid = s.sid then rest
+        else begin
+          x.stop_s <- s.stop_s;
+          x.closed <- true;
+          pop rest
+        end
+  in
+  t.stack <- pop t.stack
+
+let with_span ?attrs trace name f =
+  match trace with
+  | None -> f ()
+  | Some t -> (
+      let s = open_span t ?attrs name in
+      match f () with
+      | v ->
+          close_span t s;
+          v
+      | exception e ->
+          s.attrs <- ("error", Printexc.to_string e) :: s.attrs;
+          close_span t s;
+          raise e)
+
+let bump tbl name v =
+  Hashtbl.replace tbl name (v +. Option.value (Hashtbl.find_opt tbl name) ~default:0.0)
+
+let count trace name v =
+  match trace with
+  | None -> ()
+  | Some t -> (
+      match t.stack with
+      | s :: _ -> bump s.counters name v
+      | [] -> bump t.orphans name v)
+
+let set trace key value =
+  match trace with
+  | None -> ()
+  | Some t -> (
+      match t.stack with
+      | s :: _ -> s.attrs <- (key, value) :: List.remove_assoc key s.attrs
+      | [] -> ())
+
+(* ---------- inspection ---------- *)
+
+let spans t = List.rev t.order
+let roots t = List.filter (fun s -> s.parent = None) (spans t)
+
+let children t s =
+  List.filter (fun c -> c.parent = Some s.sid) (spans t)
+
+let find_all t name = List.filter (fun s -> s.name = name) (spans t)
+
+let duration s = if s.closed then s.stop_s -. s.start_s else 0.0
+
+let counter s name =
+  Option.value (Hashtbl.find_opt s.counters name) ~default:0.0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters s = sorted_bindings s.counters
+
+let rec subtree_total t s name =
+  List.fold_left
+    (fun acc c -> acc +. subtree_total t c name)
+    (counter s name) (children t s)
+
+let total t name =
+  List.fold_left
+    (fun acc s -> acc +. counter s name)
+    (Option.value (Hashtbl.find_opt t.orphans name) ~default:0.0)
+    (spans t)
+
+(* ---------- reports ---------- *)
+
+type summary_row = {
+  row_name : string;
+  calls : int;
+  self_s : float;
+  sums : (string * float) list;
+}
+
+let summary t =
+  let rows = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let name = s.name in
+      let calls, secs, sums =
+        match Hashtbl.find_opt rows name with
+        | Some r -> r
+        | None ->
+            order := name :: !order;
+            (0, 0.0, Hashtbl.create 4)
+      in
+      Hashtbl.iter (fun k v -> bump sums k v) s.counters;
+      Hashtbl.replace rows name (calls + 1, secs +. duration s, sums))
+    (spans t);
+  List.rev_map
+    (fun name ->
+      let calls, self_s, sums = Hashtbl.find rows name in
+      { row_name = name; calls; self_s; sums = sorted_bindings sums })
+    !order
+
+let pp_summary ppf t =
+  let rows = summary t in
+  (* the union of counter names, in alphabetical order, becomes columns *)
+  let cols =
+    List.sort_uniq compare
+      (List.concat_map (fun r -> List.map fst r.sums) rows)
+  in
+  Fmt.pf ppf "@[<v>%-28s %6s %10s" "span" "calls" "ms";
+  List.iter (fun c -> Fmt.pf ppf " %14s" c) cols;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "@,%-28s %6d %10.3f" r.row_name r.calls (1000.0 *. r.self_s);
+      List.iter
+        (fun c ->
+          match List.assoc_opt c r.sums with
+          | Some v -> Fmt.pf ppf " %14.0f" v
+          | None -> Fmt.pf ppf " %14s" "-")
+        cols)
+    rows;
+  Fmt.pf ppf "@]"
+
+let pp_tree ppf t =
+  let pp_span ppf s =
+    Fmt.pf ppf "%s%s %.3fms"
+      (String.make (2 * s.depth) ' ')
+      s.name
+      (1000.0 *. duration s);
+    List.iter (fun (k, v) -> Fmt.pf ppf " %s=%s" k v) (List.rev s.attrs);
+    List.iter (fun (k, v) -> Fmt.pf ppf " %s=%.0f" k v) (counters s)
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_span) (spans t)
+
+(* ---------- Chrome trace_event export ---------- *)
+
+(* Hand-rolled JSON: the repo deliberately has no JSON dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      if s.closed then begin
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        let us x = x *. 1e6 in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"voodoo\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1,\"args\":{"
+             (json_escape s.name)
+             (json_float (us s.start_s))
+             (json_float (us (duration s))));
+        let afirst = ref true in
+        let field k v =
+          if not !afirst then Buffer.add_char b ',';
+          afirst := false;
+          Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) v)
+        in
+        List.iter
+          (fun (k, v) -> field k ("\"" ^ json_escape v ^ "\""))
+          (List.rev s.attrs);
+        List.iter (fun (k, v) -> field k (json_float v)) (counters s);
+        Buffer.add_string b "}}"
+      end)
+    (spans t);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b

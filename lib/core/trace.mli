@@ -1,0 +1,106 @@
+(** Structured tracing: hierarchical spans and a counter registry.
+
+    The observability substrate of the whole pipeline (see
+    [docs/OBSERVABILITY.md]).  A {!t} collects {e spans} — named,
+    timestamped intervals forming a tree (parse → optimize → lower →
+    codegen → per-fragment execute) — and each span carries string
+    attributes (extent, backend, …) and float {e counters} (materialized
+    bytes, ALU operations, branch outcomes, …).
+
+    Zero dependencies beyond the stdlib and [fmt]: timing uses
+    {!Sys.time} (processor seconds), which is monotone within a run and
+    needs no extra library.  Every entry point takes a [t option] so call
+    sites thread an optional context at no cost: with [None] every
+    operation is a no-op, so instrumented code pays nothing when tracing
+    is off.
+
+    Collectors are not thread-safe; use one {!t} per run. *)
+
+type span = {
+  sid : int;  (** unique within the collector, in start order *)
+  name : string;
+  parent : int option;  (** enclosing span's [sid] *)
+  depth : int;  (** root spans have depth 0 *)
+  start_s : float;  (** {!Sys.time} seconds at open, relative to origin *)
+  mutable stop_s : float;  (** meaningful once [closed] *)
+  mutable closed : bool;
+  mutable attrs : (string * string) list;  (** most recent first *)
+  counters : (string, float) Hashtbl.t;
+}
+
+type t
+
+(** [create ()] starts an empty collector; its origin timestamp is taken
+    now, so span times are relative to creation. *)
+val create : unit -> t
+
+(** {2 Recording} *)
+
+(** [with_span trace name f] runs [f ()] inside a fresh span nested under
+    the currently open span (a root span if none is open).  The span is
+    closed when [f] returns {e or raises} — the open-span stack is
+    exception-safe, and a span that observed an exception gains an
+    ["error"] attribute.  With [trace = None], [f] just runs. *)
+val with_span :
+  ?attrs:(string * string) list -> t option -> string -> (unit -> 'a) -> 'a
+
+(** [count trace name v] adds [v] to counter [name] of the innermost open
+    span (of the collector itself when no span is open). *)
+val count : t option -> string -> float -> unit
+
+(** [set trace key value] sets attribute [key] on the innermost open
+    span; latest setting wins. *)
+val set : t option -> string -> string -> unit
+
+(** {2 Inspection} *)
+
+(** All spans in start order (closed or still open). *)
+val spans : t -> span list
+
+val roots : t -> span list
+val children : t -> span -> span list
+
+(** Spans named [name], in start order. *)
+val find_all : t -> string -> span list
+
+(** [duration s] in seconds; open spans count as zero-length. *)
+val duration : span -> float
+
+(** [counter s name] is the accumulated value ([0.] when untouched). *)
+val counter : span -> string -> float
+
+(** A span's counters, sorted by name. *)
+val counters : span -> (string * float) list
+
+(** [subtree_total t span name] sums counter [name] over [span] and all
+    its descendants. *)
+val subtree_total : t -> span -> string -> float
+
+(** [total t name] sums counter [name] over every span plus the
+    collector's own (span-less) bucket. *)
+val total : t -> string -> float
+
+(** {2 Reports} *)
+
+type summary_row = {
+  row_name : string;
+  calls : int;  (** number of spans with this name *)
+  self_s : float;  (** summed durations *)
+  sums : (string * float) list;  (** summed counters, sorted by name *)
+}
+
+(** Rows aggregated by span name, in order of first appearance. *)
+val summary : t -> summary_row list
+
+(** A fixed-width table of {!summary}: name, calls, total ms, and the
+    union of counter columns. *)
+val pp_summary : Format.formatter -> t -> unit
+
+(** An indented span tree with durations and per-span counters. *)
+val pp_tree : Format.formatter -> t -> unit
+
+(** The complete trace in Chrome [trace_event] JSON (the format
+    [chrome://tracing] and Perfetto load): one ["ph":"X"] complete event
+    per closed span, timestamps in microseconds since the collector's
+    origin, attributes and counters in ["args"]. *)
+val to_chrome_json : t -> string

@@ -90,6 +90,26 @@ let mispredictions t =
 
 let total_branches t = Hashtbl.fold (fun _ s acc -> acc +. s.total) t.branches 0.0
 
+(** Canonical named totals of a record: the bridge into the span counters
+    of [Voodoo_core.Trace] (this library cannot depend on core, so the
+    engine layers copy these into their trace context). *)
+let totals t =
+  let accesses, bytes =
+    Hashtbl.fold
+      (fun _ (s : mem_site) (n, b) ->
+        (n +. s.count, b +. (s.count *. float_of_int s.elem_bytes)))
+      t.mem (0.0, 0.0)
+  in
+  [
+    ("alu.int", t.int_ops);
+    ("alu.float", t.float_ops);
+    ("alu.guarded", t.guarded_ops);
+    ("branch.total", total_branches t);
+    ("branch.mispredicted", mispredictions t);
+    ("mem.accesses", accesses);
+    ("mem.bytes", bytes);
+  ]
+
 (** [scale t k] multiplies all counts by [k] (misprediction and taken rates
     are preserved).  Used to report paper-scale numbers from runs executed
     at a smaller scale. *)

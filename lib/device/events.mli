@@ -57,6 +57,13 @@ val branch : t -> site:string -> bool -> unit
 val mispredictions : t -> float
 val total_branches : t -> float
 
+(** Canonical named totals (["alu.int"], ["alu.float"], ["alu.guarded"],
+    ["branch.total"], ["branch.mispredicted"], ["mem.accesses"],
+    ["mem.bytes"]): the counter set the engine layers copy into
+    [Voodoo_core.Trace] spans, and the columns of explain's
+    estimate-vs-measured table. *)
+val totals : t -> (string * float) list
+
 (** [scale t k] multiplies all counts by [k]; misprediction and taken rates
     are preserved. *)
 val scale : t -> float -> unit

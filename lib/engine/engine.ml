@@ -31,12 +31,23 @@ let result_columns (plan : Ra.t) =
 let canon plan rows =
   Reference.sort_rows (Reference.project_rows (result_columns plan) rows)
 
-let reference (cat : Catalog.t) (plan : Ra.t) : rows = Reference.run cat plan
+module Trace = Voodoo_core.Trace
 
-let interp ?lower_opts ?budget (cat : Catalog.t) (plan : Ra.t) : rows =
-  let l = Lower.lower ?options:lower_opts cat plan in
-  let env = Interp.run ?budget cat.store l.program in
-  Lower.fetch cat l (fun id -> Hashtbl.find env id)
+let reference ?trace (cat : Catalog.t) (plan : Ra.t) : rows =
+  Trace.with_span trace "engine:reference" (fun () -> Reference.run cat plan)
+
+let interp ?trace ?lower_opts ?budget (cat : Catalog.t) (plan : Ra.t) : rows =
+  Trace.with_span trace "engine:interp" (fun () ->
+      let l =
+        Trace.with_span trace "lower" (fun () ->
+            Lower.lower ?options:lower_opts cat plan)
+      in
+      let env =
+        Trace.with_span trace "execute" (fun () ->
+            Interp.run ?trace ?budget cat.store l.program)
+      in
+      Trace.with_span trace "fetch" (fun () ->
+          Lower.fetch cat l (fun id -> Hashtbl.find env id)))
 
 type compiled_run = {
   rows : rows;
@@ -44,21 +55,29 @@ type compiled_run = {
   plan : Voodoo_compiler.Fragment.plan;
 }
 
-let compiled_full ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
+let compiled_full ?trace ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
     (plan : Ra.t) : compiled_run =
-  let l = Lower.lower ?options:lower_opts cat plan in
-  let c =
-    Backend.compile ?options:backend_opts ~store:cat.store l.program
-  in
-  let r = Backend.run ?budget c in
-  {
-    rows = Lower.fetch cat l (fun id -> Exec.output r id);
-    kernels = r.kernels;
-    plan = c.plan;
-  }
+  Trace.with_span trace "engine:compiled" (fun () ->
+      let l =
+        Trace.with_span trace "lower" (fun () ->
+            Lower.lower ?options:lower_opts cat plan)
+      in
+      let c =
+        Trace.with_span trace "compile" (fun () ->
+            Backend.compile ?trace ?options:backend_opts ~store:cat.store
+              l.program)
+      in
+      let r =
+        Trace.with_span trace "execute" (fun () -> Backend.run ?trace ?budget c)
+      in
+      let rows =
+        Trace.with_span trace "fetch" (fun () ->
+            Lower.fetch cat l (fun id -> Exec.output r id))
+      in
+      { rows; kernels = r.kernels; plan = c.plan })
 
-let compiled ?lower_opts ?backend_opts ?budget cat plan : rows =
-  (compiled_full ?lower_opts ?backend_opts ?budget cat plan).rows
+let compiled ?trace ?lower_opts ?backend_opts ?budget cat plan : rows =
+  (compiled_full ?trace ?lower_opts ?backend_opts ?budget cat plan).rows
 
 (** [agree plan rows1 rows2] compares results modulo row order, restricted
     to the plan's result columns. *)

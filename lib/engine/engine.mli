@@ -21,9 +21,16 @@ val result_columns : Ra.t -> string list
 (** Canonical comparison form: project to result columns, sort rows. *)
 val canon : Ra.t -> rows -> rows
 
-val reference : Catalog.t -> Ra.t -> rows
+(** Every engine takes an optional {!Voodoo_core.Trace.t}: the run is
+    wrapped in an ["engine:<name>"] span with ["lower"] / ["compile"] /
+    ["execute"] / ["fetch"] child spans, and the executing backends
+    record their own spans below those (per-fragment for compiled,
+    per-statement for interp) — see [docs/OBSERVABILITY.md]. *)
+
+val reference : ?trace:Voodoo_core.Trace.t -> Catalog.t -> Ra.t -> rows
 
 val interp :
+  ?trace:Voodoo_core.Trace.t ->
   ?lower_opts:Lower.options -> ?budget:Voodoo_core.Budget.t ->
   Catalog.t -> Ra.t -> rows
 
@@ -34,12 +41,14 @@ type compiled_run = {
 }
 
 val compiled_full :
+  ?trace:Voodoo_core.Trace.t ->
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
   ?budget:Voodoo_core.Budget.t ->
   Catalog.t -> Ra.t -> compiled_run
 
 val compiled :
+  ?trace:Voodoo_core.Trace.t ->
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
   ?budget:Voodoo_core.Budget.t ->

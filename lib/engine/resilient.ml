@@ -111,7 +111,9 @@ let classify (backend : backend) (exn : exn) : Verror.t =
   | Division_by_zero -> make (default_stage backend) "division by zero"
   | e -> make (default_stage backend) (Printexc.to_string e)
 
-let execute (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
+module Trace = Voodoo_core.Trace
+
+let execute ?trace (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
     (rows * report, Verror.t) result =
   match Engine.result_columns_opt plan with
   | None ->
@@ -121,16 +123,16 @@ let execute (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
   | Some _ -> (
       (* the trusted oracle, computed at most once (verification and the
          Reference backend share it) *)
-      let reference = lazy (Engine.reference cat plan) in
+      let reference = lazy (Engine.reference ?trace cat plan) in
       let kernels = ref [] in
       let run_backend = function
         | Reference -> Lazy.force reference
         | Interp ->
-            Engine.interp ?lower_opts:policy.lower_opts ~budget:policy.budget
-              cat plan
+            Engine.interp ?trace ?lower_opts:policy.lower_opts
+              ~budget:policy.budget cat plan
         | Compiled ->
             let r =
-              Engine.compiled_full ?lower_opts:policy.lower_opts
+              Engine.compiled_full ?trace ?lower_opts:policy.lower_opts
                 ?backend_opts:policy.backend_opts ~budget:policy.budget cat
                 plan
             in
@@ -138,21 +140,33 @@ let execute (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
             r.rows
       in
       let attempt backend : (rows, Verror.t) result =
-        match run_backend backend with
-        | exception e -> Error (classify backend e)
-        | rows ->
-            if policy.verify && backend <> Reference then
-              match Lazy.force reference with
-              | exception e -> Error (classify Reference e)
-              | ref_rows ->
-                  if Engine.agree ~tol:policy.tol plan rows ref_rows then
-                    Ok rows
-                  else
-                    Error
-                      (Verror.make ~backend:(backend_name backend)
-                         Disagreement
-                         "result disagrees with the reference evaluator")
-            else Ok rows
+        Trace.with_span trace
+          ~attrs:[ ("backend", backend_name backend) ]
+          ("attempt:" ^ backend_name backend)
+          (fun () ->
+            let outcome : (rows, Verror.t) result =
+              match run_backend backend with
+              | exception e -> Error (classify backend e)
+              | rows ->
+                  if policy.verify && backend <> Reference then
+                    match Lazy.force reference with
+                    | exception e -> Error (classify Reference e)
+                    | ref_rows ->
+                        if Engine.agree ~tol:policy.tol plan rows ref_rows
+                        then Ok rows
+                        else
+                          Error
+                            (Verror.make ~backend:(backend_name backend)
+                               Disagreement
+                               "result disagrees with the reference evaluator")
+                  else Ok rows
+            in
+            (match outcome with
+            | Ok _ -> Trace.set trace "outcome" "ok"
+            | Error e ->
+                Trace.set trace "outcome" (Verror.to_string e);
+                Trace.count trace "resilient.errors" 1.0);
+            outcome)
       in
       let exhausted (swallowed : Verror.t list) =
         match swallowed with
@@ -183,7 +197,10 @@ let execute (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
             | Error e ->
                 let attempts = { backend = b; error = Some e } :: attempts in
                 if List.mem e.Verror.stage policy.fallback_on && rest <> []
-                then go (made + 1) attempts (e :: swallowed) rest
+                then begin
+                  Trace.count trace "resilient.fallbacks" 1.0;
+                  go (made + 1) attempts (e :: swallowed) rest
+                end
                 else Error e)
       in
       go 0 [] [] policy.chain)

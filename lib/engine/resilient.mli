@@ -60,12 +60,20 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
-(** [execute policy cat plan] answers [plan] through the fallback chain.
-    [Ok (rows, report)] names the backend that answered; [Error e] means
-    no permitted backend could answer (or the plan was rejected up
+(** [execute ?trace policy cat plan] answers [plan] through the fallback
+    chain.  [Ok (rows, report)] names the backend that answered; [Error e]
+    means no permitted backend could answer (or the plan was rejected up
     front — e.g. a non-[GroupAgg] root is a typed [Lower] error).  No raw
-    exception from any pipeline stage escapes. *)
-val execute : policy -> Catalog.t -> Ra.t -> (rows * report, Verror.t) result
+    exception from any pipeline stage escapes.
+
+    With a {!Voodoo_core.Trace.t}, each try runs inside an
+    ["attempt:<backend>"] span whose ["outcome"] attribute is ["ok"] or
+    the rendered error; recovered failures bump the
+    ["resilient.fallbacks"] counter, so fallback decisions are visible in
+    trace output (see "Observing fallbacks" in [docs/ROBUSTNESS.md]). *)
+val execute :
+  ?trace:Voodoo_core.Trace.t ->
+  policy -> Catalog.t -> Ra.t -> (rows * report, Verror.t) result
 
 (** [classify backend exn] is the exception→{!Verror.t} conversion shim
     [execute] applies at the engine boundary (exposed for tests and other

@@ -304,27 +304,32 @@ let owns_fresh_columns (op : Op.t) =
     (element slots produced) and materialized vector bytes; the global
     {!Voodoo_core.Fault} injector, when armed, is consulted at every
     statement. *)
-let run ?(budget = Budget.unlimited) (store : Store.t) (p : Program.t) : env =
+let run ?trace ?(budget = Budget.unlimited) (store : Store.t) (p : Program.t)
+    : env =
   Program.validate p;
   let tr = Budget.tracker budget in
   let env : env = Hashtbl.create 16 in
   List.iter
     (fun (s : Program.stmt) ->
-      Fault.step_started ();
-      let v =
-        try eval_op store env s.op with
-        | Runtime_error m -> err "in %s: %s" s.id m
-        | Invalid_argument m -> err "in %s: %s" s.id m
-      in
-      if owns_fresh_columns s.op then begin
-        Budget.charge_steps tr (Svector.length v);
-        Budget.charge_bytes tr
-          (Svector.length v * List.length (Svector.keypaths v) * 4);
-        match Fault.corrupt_step_now () with
-        | Some seed -> Fault.corrupt ~seed v
-        | None -> ()
-      end;
-      Hashtbl.replace env s.id v)
+      Trace.with_span trace ("stmt:" ^ s.id) (fun () ->
+          Fault.step_started ();
+          let v =
+            try eval_op store env s.op with
+            | Runtime_error m -> err "in %s: %s" s.id m
+            | Invalid_argument m -> err "in %s: %s" s.id m
+          in
+          if owns_fresh_columns s.op then begin
+            let steps = Svector.length v in
+            let bytes = steps * List.length (Svector.keypaths v) * 4 in
+            Trace.count trace "steps" (float_of_int steps);
+            Trace.count trace "bytes.materialized" (float_of_int bytes);
+            Budget.charge_steps tr steps;
+            Budget.charge_bytes tr bytes;
+            match Fault.corrupt_step_now () with
+            | Some seed -> Fault.corrupt ~seed v
+            | None -> ()
+          end;
+          Hashtbl.replace env s.id v))
     (Program.stmts p);
   env
 

@@ -13,13 +13,15 @@ type env = (Op.id, Svector.t) Hashtbl.t
 
 exception Runtime_error of string
 
-(** [run ?budget store p] evaluates the whole program; the returned
-    environment holds every intermediate.  Raises {!Runtime_error}; a
-    {!Voodoo_core.Budget.t} caps evaluation steps and materialized bytes
-    ({!Voodoo_core.Budget.Exceeded} aborts the run), and the global
-    {!Voodoo_core.Fault} injector, when armed, is consulted at every
-    statement. *)
-val run : ?budget:Budget.t -> Store.t -> Program.t -> env
+(** [run ?trace ?budget store p] evaluates the whole program; the
+    returned environment holds every intermediate.  Raises
+    {!Runtime_error}; a {!Voodoo_core.Budget.t} caps evaluation steps and
+    materialized bytes ({!Voodoo_core.Budget.Exceeded} aborts the run),
+    and the global {!Voodoo_core.Fault} injector, when armed, is
+    consulted at every statement.  With a {!Voodoo_core.Trace.t}, each
+    statement evaluates inside a ["stmt:<id>"] span counting ["steps"]
+    and ["bytes.materialized"]. *)
+val run : ?trace:Trace.t -> ?budget:Budget.t -> Store.t -> Program.t -> env
 
 (** [eval store p id] evaluates only what [id] needs and returns it. *)
 val eval : Store.t -> Program.t -> Op.id -> Svector.t

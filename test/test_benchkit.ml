@@ -30,10 +30,10 @@ let test_selection_agreement () =
         [
           ("hand predicated", (Handcoded.select_predicated ~values ~cut).result);
           ("hand vectorized", (Handcoded.select_vectorized ~values ~cut ~chunk:4096).result);
-          ("voodoo branching", (Micro.select_branching ~store ~cut).result);
-          ("voodoo branch-free", (Micro.select_branch_free ~store ~cut).result);
-          ("voodoo predicated", (Micro.select_predicated ~store ~cut).result);
-          ("voodoo vectorized", (Micro.select_vectorized ~store ~cut).result);
+          ("voodoo branching", (Micro.select_branching ~store ~cut ()).result);
+          ("voodoo branch-free", (Micro.select_branch_free ~store ~cut ()).result);
+          ("voodoo predicated", (Micro.select_predicated ~store ~cut ()).result);
+          ("voodoo vectorized", (Micro.select_vectorized ~store ~cut ()).result);
         ])
     [ 0.0; 1.0; 37.5; 99.0; 100.0 ]
 
@@ -42,8 +42,8 @@ let total_branches kernels =
 
 let test_selection_events () =
   let store = Lazy.force sel_store in
-  let branching = Micro.select_branching ~store ~cut:50.0 in
-  let predicated = Micro.select_predicated ~store ~cut:50.0 in
+  let branching = Micro.select_branching ~store ~cut:50.0 () in
+  let predicated = Micro.select_predicated ~store ~cut:50.0 () in
   check "branching branches per tuple" true
     (total_branches branching.kernels >= float_of_int n);
   check "predication has no branches" true
@@ -65,9 +65,9 @@ let test_layout_agreement_and_patterns () =
         [
           ("hand separate", (Handcoded.layout_separate_loops ~positions ~c1 ~c2).result);
           ("hand transform", (Handcoded.layout_transform ~positions ~c1 ~c2).result);
-          ("voodoo single", (Micro.layout_single_loop ~store).result);
-          ("voodoo separate", (Micro.layout_separate_loops ~store).result);
-          ("voodoo transform", (Micro.layout_transform ~store).result);
+          ("voodoo single", (Micro.layout_single_loop ~store ()).result);
+          ("voodoo separate", (Micro.layout_separate_loops ~store ()).result);
+          ("voodoo transform", (Micro.layout_transform ~store ()).result);
         ])
     [ Workloads.Sequential; Workloads.Random ]
 
@@ -86,8 +86,8 @@ let test_layout_patterns () =
     let positions = Workloads.positions ~n ~target_rows:rows ~access ~seed:105 in
     Micro.layout_store ~positions ~c1 ~c2
   in
-  let seq = Micro.layout_single_loop ~store:(mk Workloads.Sequential) in
-  let rand = Micro.layout_single_loop ~store:(mk Workloads.Random) in
+  let seq = Micro.layout_single_loop ~store:(mk Workloads.Sequential) () in
+  let rand = Micro.layout_single_loop ~store:(mk Workloads.Random) () in
   check "sequential positions classified sequential" false
     (has_pattern seq.kernels (function Cache.Random _ -> true | _ -> false));
   check "random positions classified random" true
@@ -110,9 +110,9 @@ let test_fkjoin_agreement () =
         [
           ("hand pred-agg", (Handcoded.fkjoin_predicated_agg ~fact_v ~fk ~target ~cut).result);
           ("hand pred-lookup", (Handcoded.fkjoin_predicated_lookup ~fact_v ~fk ~target ~cut).result);
-          ("voodoo branching", (Micro.fkjoin_branching ~store ~cut).result);
-          ("voodoo pred-agg", (Micro.fkjoin_predicated_agg ~store ~cut).result);
-          ("voodoo pred-lookup", (Micro.fkjoin_predicated_lookup ~store ~cut).result);
+          ("voodoo branching", (Micro.fkjoin_branching ~store ~cut ()).result);
+          ("voodoo pred-agg", (Micro.fkjoin_predicated_agg ~store ~cut ()).result);
+          ("voodoo pred-lookup", (Micro.fkjoin_predicated_lookup ~store ~cut ()).result);
         ])
     [ 5.0; 50.0; 95.0 ]
 
@@ -123,7 +123,7 @@ let test_fkjoin_hot_detection () =
   let fact_v, fk = Workloads.fk_fact ~n ~target_rows:rows ~seed:108 in
   let target, _ = Workloads.target_table ~rows ~seed:109 in
   let store = Micro.fkjoin_store ~fact_v ~fk ~target in
-  let r = Micro.fkjoin_predicated_lookup ~store ~cut:5.0 in
+  let r = Micro.fkjoin_predicated_lookup ~store ~cut:5.0 () in
   check "hot line detected" true
     (has_pattern r.kernels (function Cache.Single_hot -> true | _ -> false))
 

@@ -1,0 +1,200 @@
+(* Documentation lint: every internal markdown link, every backticked
+   repo path and every cited `Voodoo_x.Module` name in the prose must
+   resolve to something that actually exists in the tree.  Runs under
+   `dune runtest` (hence `make check` / @check), so doc drift fails the
+   build. *)
+
+(* Tests execute in _build/default/test; the prose lives in the source
+   tree, so walk up to the first ancestor that has both a dune-project
+   and a docs/ directory (_build/default has no docs/ — markdown files
+   are not build deps). *)
+let repo_root =
+  let rec up d =
+    if
+      Sys.file_exists (Filename.concat d "dune-project")
+      && Sys.file_exists (Filename.concat d "docs")
+      && Sys.is_directory (Filename.concat d "docs")
+    then d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then failwith "cannot locate the repository root"
+      else up parent
+  in
+  up (Sys.getcwd ())
+
+let in_repo path = Filename.concat repo_root path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* The linted set: the top-level prose plus everything under docs/. *)
+let doc_files () =
+  let top =
+    List.filter
+      (fun f -> Sys.file_exists (in_repo f))
+      [ "README.md"; "DESIGN.md"; "EXPERIMENTS.md"; "ROADMAP.md" ]
+  in
+  let docs =
+    Sys.readdir (in_repo "docs") |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.map (fun f -> Filename.concat "docs" f)
+    |> List.sort compare
+  in
+  top @ docs
+
+(* library name (voodoo_core) → source directory (lib/core) *)
+let lib_dirs () =
+  Sys.readdir (in_repo "lib") |> Array.to_list
+  |> List.filter_map (fun d ->
+         let dune = in_repo (Filename.concat (Filename.concat "lib" d) "dune") in
+         if Sys.file_exists dune then
+           let text = read_file dune in
+           match Str.search_forward (Str.regexp "(name +\\([a-z_]+\\))") text 0 with
+           | _ -> Some (Str.matched_group 1 text, Filename.concat "lib" d)
+           | exception Not_found -> None
+         else None)
+
+(* All matches of [group 1] of [re] in [text]. *)
+let matches re text =
+  let rec go pos acc =
+    match Str.search_forward re text pos with
+    | _ ->
+        let m = Str.matched_group 1 text in
+        go (Str.match_end ()) (m :: acc)
+    | exception Not_found -> List.rev acc
+  in
+  go 0 []
+
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* --- markdown links --- *)
+
+let test_links () =
+  let errors = ref [] in
+  List.iter
+    (fun file ->
+      let text = read_file (in_repo file) in
+      List.iter
+        (fun target ->
+          if
+            not
+              (starts_with "http://" target || starts_with "https://" target
+             || starts_with "mailto:" target || starts_with "#" target)
+          then begin
+            let path =
+              match String.index_opt target '#' with
+              | Some i -> String.sub target 0 i
+              | None -> target
+            in
+            if path <> "" then
+              let resolved =
+                Filename.concat
+                  (Filename.dirname (in_repo file))
+                  path
+              in
+              if not (Sys.file_exists resolved) then
+                errors := Printf.sprintf "%s: broken link -> %s" file target :: !errors
+          end)
+        (matches (Str.regexp "](\\([^)]+\\))") text))
+    (doc_files ());
+  if !errors <> [] then
+    Alcotest.failf "broken markdown links:\n  %s"
+      (String.concat "\n  " (List.rev !errors))
+
+(* --- backticked repo paths --- *)
+
+let path_ok candidate =
+  let p = in_repo candidate in
+  Sys.file_exists p
+
+let all_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* A backticked token is treated as a repo path (and linted) only when it
+   is unambiguously one: relative, slash-separated, rooted at an existing
+   top-level directory, with no numeric segments (those are arithmetic,
+   e.g. `n/1024`).  Everything else is prose and ignored. *)
+let looks_like_path c =
+  String.contains c '/'
+  && (not (starts_with "/" c))
+  && Str.string_match (Str.regexp "^[A-Za-z0-9_./-]+$") c 0
+  && (not (starts_with "_build" c))
+  && not (starts_with "http" c)
+  &&
+  let segments = String.split_on_char '/' (Filename.chop_suffix_opt ~suffix:"/" c |> Option.value ~default:c) in
+  (not (List.exists all_digits segments))
+  && (match segments with
+     | first :: _ :: _ ->
+         Sys.file_exists (in_repo first) && Sys.is_directory (in_repo first)
+     | _ -> false)
+  (* source or doc files, or bare directories — not output artifacts or
+     glob patterns the prose talks about *)
+  && (List.exists (fun ext -> Filename.check_suffix c ext) [ ".ml"; ".mli"; ".md"; ".voo" ]
+     || not (String.contains (Filename.basename c) '.'))
+
+let test_paths () =
+  let errors = ref [] in
+  List.iter
+    (fun file ->
+      let text = read_file (in_repo file) in
+      List.iter
+        (fun c ->
+          if looks_like_path c && not (path_ok c) then
+            errors := Printf.sprintf "%s: `%s` does not exist" file c :: !errors)
+        (matches (Str.regexp "`\\([^`\n]+\\)`") text))
+    (doc_files ());
+  if !errors <> [] then
+    Alcotest.failf "backticked paths that resolve to nothing:\n  %s"
+      (String.concat "\n  " (List.rev !errors))
+
+(* --- cited module names --- *)
+
+let test_modules () =
+  let libs = lib_dirs () in
+  let errors = ref [] in
+  List.iter
+    (fun file ->
+      let text = read_file (in_repo file) in
+      List.iter
+        (fun m ->
+          match String.split_on_char '.' m with
+          | lib_cap :: modname :: _ -> (
+              let lib = String.lowercase_ascii lib_cap in
+              match List.assoc_opt lib libs with
+              | None ->
+                  errors :=
+                    Printf.sprintf "%s: `%s` names unknown library %s" file m lib
+                    :: !errors
+              | Some dir ->
+                  let base = String.uncapitalize_ascii modname in
+                  let candidates =
+                    [
+                      Filename.concat dir (base ^ ".ml");
+                      Filename.concat dir (base ^ ".mli");
+                    ]
+                  in
+                  if not (List.exists path_ok candidates) then
+                    errors :=
+                      Printf.sprintf "%s: `%s` has no source file under %s" file
+                        m dir
+                      :: !errors)
+          | _ -> ())
+        (matches (Str.regexp "\\(Voodoo_[a-z_]+\\.[A-Z][A-Za-z0-9_]*\\)") text))
+    (doc_files ());
+  if !errors <> [] then
+    Alcotest.failf "cited modules that resolve to nothing:\n  %s"
+      (String.concat "\n  " (List.rev !errors))
+
+let () =
+  Alcotest.run "docs"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "markdown links resolve" `Quick test_links;
+          Alcotest.test_case "backticked paths resolve" `Quick test_paths;
+          Alcotest.test_case "cited modules resolve" `Quick test_modules;
+        ] );
+    ]

@@ -1,0 +1,530 @@
+(* The observability layer: span nesting invariants (including exception
+   safety), per-fragment counter attribution against the engine's own
+   kernel report, EXPLAIN (fragment DAG + estimates, with a golden
+   rendering for TPC-H Q6), trace visibility of resilient fallbacks, and
+   well-formedness of the Chrome trace-event JSON exporter. *)
+
+module Trace = Voodoo_core.Trace
+module E = Voodoo_engine.Engine
+module R = Voodoo_engine.Resilient
+module F = Voodoo_engine.Faults
+module Q = Voodoo_tpch.Queries
+module Dbgen = Voodoo_tpch.Dbgen
+module Explain = Voodoo_compiler.Explain
+module Fragment = Voodoo_compiler.Fragment
+module Events = Voodoo_device.Events
+module Verror = Voodoo_core.Verror
+
+let sf = 0.002
+
+let catalog = lazy (Dbgen.generate ~sf ())
+
+let query name = Option.get (Q.find ~sf name)
+
+(* Run [name] on the compiled engine under a fresh trace; returns the
+   trace and the last phase's compiled run (kernels + fragment plan). *)
+let traced_compiled name =
+  let cat = Lazy.force catalog in
+  let q = query name in
+  let t = Trace.create () in
+  let last = ref None in
+  ignore
+    (q.run
+       (fun c p ->
+         let r = E.compiled_full ~trace:t c p in
+         last := Some r;
+         r.E.rows)
+       cat);
+  (t, Option.get !last)
+
+(* --- span nesting --- *)
+
+let test_nesting () =
+  let t = Trace.create () in
+  let tr = Some t in
+  let got =
+    Trace.with_span tr "a" (fun () ->
+        Trace.count tr "x" 1.0;
+        Trace.with_span tr "b" (fun () ->
+            Trace.count tr "x" 2.0;
+            Trace.with_span tr "c" (fun () -> Trace.count tr "x" 4.0));
+        Trace.with_span tr "d" (fun () -> ());
+        "result")
+  in
+  Alcotest.(check string) "with_span returns f's value" "result" got;
+  let names = List.map (fun (s : Trace.span) -> s.name) (Trace.spans t) in
+  Alcotest.(check (list string)) "start order" [ "a"; "b"; "c"; "d" ] names;
+  let by_name n = List.hd (Trace.find_all t n) in
+  let a = by_name "a" and b = by_name "b" and c = by_name "c" and d = by_name "d" in
+  Alcotest.(check (option int)) "a is a root" None a.parent;
+  Alcotest.(check (option int)) "b under a" (Some a.sid) b.parent;
+  Alcotest.(check (option int)) "c under b" (Some b.sid) c.parent;
+  Alcotest.(check (option int)) "d under a" (Some a.sid) d.parent;
+  Alcotest.(check int) "depths" 2 c.depth;
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) (s.name ^ " closed") true s.closed;
+      Alcotest.(check bool) (s.name ^ " stop after start") true
+        (s.stop_s >= s.start_s))
+    (Trace.spans t);
+  (* counters land on the innermost open span *)
+  Alcotest.(check (float 1e-9)) "a.x" 1.0 (Trace.counter a "x");
+  Alcotest.(check (float 1e-9)) "b.x" 2.0 (Trace.counter b "x");
+  Alcotest.(check (float 1e-9)) "c.x" 4.0 (Trace.counter c "x");
+  Alcotest.(check (float 1e-9)) "subtree from b" 6.0 (Trace.subtree_total t b "x");
+  Alcotest.(check (float 1e-9)) "total" 7.0 (Trace.total t "x")
+
+let test_exception_safety () =
+  let t = Trace.create () in
+  let tr = Some t in
+  (try
+     Trace.with_span tr "outer" (fun () ->
+         Trace.with_span tr "boom" (fun () -> failwith "die"))
+   with Failure _ -> ());
+  let boom = List.hd (Trace.find_all t "boom") in
+  let outer = List.hd (Trace.find_all t "outer") in
+  Alcotest.(check bool) "raising span closed" true boom.closed;
+  Alcotest.(check bool) "outer closed too" true outer.closed;
+  Alcotest.(check bool) "error attr recorded" true
+    (List.mem_assoc "error" boom.attrs);
+  (* the open-span stack unwound: new spans are roots again *)
+  Trace.with_span tr "after" (fun () -> ());
+  let after = List.hd (Trace.find_all t "after") in
+  Alcotest.(check (option int)) "stack unwound" None after.parent
+
+let test_orphans_and_none () =
+  let t = Trace.create () in
+  Trace.count (Some t) "loose" 5.0;
+  Alcotest.(check (float 1e-9)) "orphan counted in total" 5.0
+    (Trace.total t "loose");
+  Alcotest.(check int) "no span materialized" 0 (List.length (Trace.spans t));
+  (* None context: everything is a no-op and values flow through *)
+  Alcotest.(check int) "None passthrough" 7
+    (Trace.with_span None "x" (fun () -> 7));
+  Trace.count None "y" 1.0;
+  Trace.set None "k" "v"
+
+(* --- per-fragment counter attribution --- *)
+
+let test_fragment_attribution () =
+  let t, r = traced_compiled "Q6" in
+  Alcotest.(check bool) "ran some fragments" true (List.length r.E.kernels > 0);
+  (* each fragment span carries exactly the events the engine reported
+     for that kernel *)
+  List.iteri
+    (fun i (extent, ev) ->
+      match Trace.find_all t (Printf.sprintf "fragment:%d" i) with
+      | [ span ] ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "fragment %d extent" i)
+            (float_of_int extent)
+            (Trace.counter span "fragment.extent");
+          List.iter
+            (fun (name, v) ->
+              Alcotest.(check (float 1e-6))
+                (Printf.sprintf "fragment %d %s" i name)
+                v (Trace.counter span name))
+            (Events.totals ev)
+      | spans ->
+          Alcotest.failf "expected one span for fragment %d, found %d" i
+            (List.length spans))
+    r.E.kernels;
+  (* trace-wide totals reconcile with the engine's end-to-end report *)
+  List.iter
+    (fun name ->
+      let from_kernels =
+        List.fold_left
+          (fun acc (_, ev) -> acc +. List.assoc name (Events.totals ev))
+          0.0 r.E.kernels
+      in
+      Alcotest.(check (float 1e-6)) ("total " ^ name) from_kernels
+        (Trace.total t name))
+    [ "alu.int"; "alu.float"; "mem.bytes"; "branch.total" ];
+  (* the span tree has the documented shape *)
+  let root =
+    match Trace.roots t with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected one root span, found %d" (List.length l)
+  in
+  Alcotest.(check string) "root" "engine:compiled" root.Trace.name;
+  let kids = List.map (fun (s : Trace.span) -> s.name) (Trace.children t root) in
+  Alcotest.(check (list string)) "pipeline stages"
+    [ "lower"; "compile"; "execute"; "fetch" ] kids;
+  let execute =
+    List.find (fun (s : Trace.span) -> s.name = "execute") (Trace.children t root)
+  in
+  List.iteri
+    (fun i _ ->
+      let f = List.hd (Trace.find_all t (Printf.sprintf "fragment:%d" i)) in
+      Alcotest.(check (option int))
+        (Printf.sprintf "fragment %d under execute" i)
+        (Some execute.Trace.sid) f.Trace.parent)
+    r.E.kernels
+
+let test_interp_spans () =
+  let cat = Lazy.force catalog in
+  let q = query "Q6" in
+  let t = Trace.create () in
+  ignore (q.run (fun c p -> E.interp ~trace:t c p) cat);
+  let stmts =
+    List.filter
+      (fun (s : Trace.span) -> String.starts_with ~prefix:"stmt:" s.name)
+      (Trace.spans t)
+  in
+  Alcotest.(check bool) "per-statement spans" true (List.length stmts > 10);
+  (* "steps" counts element slots produced (Budget's unit), attributed to
+     the statement spans that produced them *)
+  let per_span =
+    List.fold_left (fun acc s -> acc +. Trace.counter s "steps") 0.0 stmts
+  in
+  Alcotest.(check bool) "steps were counted" true (per_span > 0.0);
+  Alcotest.(check (float 1e-6)) "steps attributed to statement spans" per_span
+    (Trace.total t "steps")
+
+(* --- resilient fallbacks are visible in the trace --- *)
+
+let test_resilient_trace () =
+  let cat = Lazy.force catalog in
+  let q = query "Q6" in
+  let spec =
+    match F.parse "kernel:0" with Ok s -> s | Error m -> Alcotest.fail m
+  in
+  let t = Trace.create () in
+  let rows =
+    F.with_spec ~seed:42 spec (fun () ->
+        q.run
+          (fun c p ->
+            match R.execute ~trace:t R.default_policy c p with
+            | Ok (rows, _) -> rows
+            | Error e ->
+                Alcotest.failf "resilient run failed: %s" (Verror.to_string e))
+          cat)
+  in
+  Alcotest.(check bool) "still answered" true (List.length rows > 0);
+  Alcotest.(check bool) "fallback counted" true
+    (Trace.total t "resilient.fallbacks" >= 1.0);
+  Alcotest.(check bool) "errors counted" true
+    (Trace.total t "resilient.errors" >= 1.0);
+  let failed = List.hd (Trace.find_all t "attempt:compiled") in
+  (match List.assoc_opt "outcome" failed.attrs with
+  | Some o -> Alcotest.(check bool) "compiled attempt failed" true (o <> "ok")
+  | None -> Alcotest.fail "attempt span has no outcome attribute");
+  let recovered = List.hd (Trace.find_all t "attempt:interp") in
+  Alcotest.(check (option string)) "interp attempt answered" (Some "ok")
+    (List.assoc_opt "outcome" recovered.attrs)
+
+(* --- EXPLAIN: DAG structure, estimates, golden rendering --- *)
+
+let test_explain_structure () =
+  List.iter
+    (fun name ->
+      let _, r = traced_compiled name in
+      let plan = r.E.plan in
+      let frags = plan.Fragment.frags in
+      let dag = Explain.deps plan in
+      let est = Explain.estimate plan in
+      Alcotest.(check int)
+        (name ^ ": one deps entry per fragment")
+        (List.length frags) (List.length dag);
+      Alcotest.(check int)
+        (name ^ ": one estimate per fragment")
+        (List.length frags) (List.length est);
+      List.iteri
+        (fun i (d : Explain.frag_deps) ->
+          Alcotest.(check int) (name ^ ": deps in fragment order") i d.index;
+          List.iter
+            (fun src ->
+              Alcotest.(check bool)
+                (name ^ ": edges point backwards")
+                true (src < d.index))
+            d.inputs)
+        dag;
+      Alcotest.(check bool)
+        (name ^ ": some fragment reads the store")
+        true
+        (List.exists (fun (d : Explain.frag_deps) -> d.from_store) dag);
+      List.iter2
+        (fun (f : Fragment.frag) (extent, _) ->
+          Alcotest.(check int)
+            (name ^ ": estimate extent matches fragment")
+            f.extent extent)
+        frags est;
+      (* estimates and measurements are the same shape, so the comparison
+         table renders for any query *)
+      let rendered =
+        Fmt.str "%a" (fun ppf p -> Explain.pp_compare ppf p ~measured:r.E.kernels) plan
+      in
+      Alcotest.(check bool)
+        (name ^ ": comparison has a totals row")
+        true
+        (List.exists
+           (fun line -> String.starts_with ~prefix:"total" line)
+           (String.split_on_char '\n' rendered)))
+    [ "Q1"; "Q6"; "Q9" ]
+
+let q6_golden_dag =
+  "fragment DAG (2 fragments, est. on cpu-simd):\n\
+  \  F0 [extent=3 intent=4096 domain=12093] runlen=4096 <- store\n\
+  \     stmts: v3[reg], v6[reg], v8[reg], v9[reg], v12[reg], v14[reg], \
+   v15[reg], v16[reg], v17[reg], v22[reg], v23[reg], v25[reg], v26[reg], \
+   v31[global]\n\
+  \     est: 0.026 ms  alu=157208 mem=48376B branch=12093 guarded=6046\n\
+  \  F1 [extent=1 intent=12093 domain=12093] runlen=12093 <- F0\n\
+  \     stmts: v32[global]\n\
+  \     est: 0.004 ms  alu=2 mem=12B branch=0 guarded=0\n\
+  \  total est: 0.030 ms on cpu-simd"
+
+let test_explain_golden () =
+  let _, r = traced_compiled "Q6" in
+  let rendered = Fmt.str "%a" (Explain.pp_dag ?device:None) r.E.plan in
+  Alcotest.(check string) "Q6 fragment DAG (sf 0.002)" q6_golden_dag rendered
+
+(* --- Chrome trace-event JSON --- *)
+
+(* A minimal JSON reader — just enough to establish that the exporter's
+   hand-rolled output is well-formed (the repo deliberately has no JSON
+   dependency). *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (text : string) : json =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then text.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match text.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected '%c'" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          let e = peek () in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char b '"'; go ()
+          | '\\' -> Buffer.add_char b '\\'; go ()
+          | '/' -> Buffer.add_char b '/'; go ()
+          | 'n' -> Buffer.add_char b '\n'; go ()
+          | 't' -> Buffer.add_char b '\t'; go ()
+          | 'r' -> Buffer.add_char b '\r'; go ()
+          | 'b' -> Buffer.add_char b '\b'; go ()
+          | 'f' -> Buffer.add_char b '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub text !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+              go ()
+          | _ -> fail "bad escape")
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    match float_of_string_opt s with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" s)
+  in
+  let literal word value =
+    if
+      !pos + String.length word <= n
+      && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        obj []
+    | '[' ->
+        advance ();
+        arr []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> parse_number ()
+    | _ -> fail "unexpected character"
+  and obj acc =
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      Obj (List.rev acc)
+    end
+    else begin
+      let k = parse_string () in
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | ',' ->
+          advance ();
+          obj ((k, v) :: acc)
+      | '}' ->
+          advance ();
+          Obj (List.rev ((k, v) :: acc))
+      | _ -> fail "expected ',' or '}'"
+    end
+  and arr acc =
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      Arr (List.rev acc)
+    end
+    else begin
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | ',' ->
+          advance ();
+          arr (v :: acc)
+      | ']' ->
+          advance ();
+          Arr (List.rev (v :: acc))
+      | _ -> fail "expected ',' or ']'"
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let test_chrome_json () =
+  let t, _ = traced_compiled "Q6" in
+  let doc =
+    match parse_json (Trace.to_chrome_json t) with
+    | j -> j
+    | exception Bad_json m -> Alcotest.failf "exporter emitted bad JSON: %s" m
+  in
+  let events =
+    match field "traceEvents" doc with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let closed =
+    List.filter (fun (s : Trace.span) -> s.closed) (Trace.spans t)
+  in
+  Alcotest.(check int) "one event per closed span" (List.length closed)
+    (List.length events);
+  List.iter
+    (fun ev ->
+      (match field "ph" ev with
+      | Some (Str "X") -> ()
+      | _ -> Alcotest.fail "event is not a complete ('X') event");
+      (match field "name" ev with
+      | Some (Str _) -> ()
+      | _ -> Alcotest.fail "event has no name");
+      List.iter
+        (fun k ->
+          match field k ev with
+          | Some (Num v) ->
+              Alcotest.(check bool) (k ^ " non-negative") true (v >= 0.0)
+          | _ -> Alcotest.failf "event field %s missing or non-numeric" k)
+        [ "ts"; "dur"; "pid"; "tid" ])
+    events
+
+let test_chrome_json_escaping () =
+  let t = Trace.create () in
+  let tricky = "he said \"hi\"\\\n\ttab & <xml> \x01" in
+  Trace.with_span (Some t) ~attrs:[ ("note", tricky) ] "weird \"name\""
+    (fun () -> Trace.count (Some t) "c\"ount" 1.5);
+  let doc =
+    match parse_json (Trace.to_chrome_json t) with
+    | j -> j
+    | exception Bad_json m -> Alcotest.failf "escaping broke the JSON: %s" m
+  in
+  match field "traceEvents" doc with
+  | Some (Arr [ ev ]) -> (
+      (match field "name" ev with
+      | Some (Str n) -> Alcotest.(check string) "name round-trips" "weird \"name\"" n
+      | _ -> Alcotest.fail "no name");
+      match field "args" ev with
+      | Some args -> (
+          match field "note" args with
+          | Some (Str _) -> ()
+          | _ -> Alcotest.fail "attribute lost")
+      | None -> Alcotest.fail "no args")
+  | _ -> Alcotest.fail "expected exactly one event"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and counters" `Quick test_nesting;
+          Alcotest.test_case "exception safety" `Quick test_exception_safety;
+          Alcotest.test_case "orphans and None context" `Quick
+            test_orphans_and_none;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "per-fragment counters" `Quick
+            test_fragment_attribution;
+          Alcotest.test_case "interpreter statement spans" `Quick
+            test_interp_spans;
+          Alcotest.test_case "resilient fallbacks traced" `Quick
+            test_resilient_trace;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "DAG structure and estimates" `Quick
+            test_explain_structure;
+          Alcotest.test_case "Q6 golden DAG" `Quick test_explain_golden;
+        ] );
+      ( "chrome-json",
+        [
+          Alcotest.test_case "well-formed export" `Quick test_chrome_json;
+          Alcotest.test_case "escaping" `Quick test_chrome_json_escaping;
+        ] );
+    ]
