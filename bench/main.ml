@@ -79,4 +79,5 @@ let () =
   if want "tpch" then run_tpch ();
   if want "stages" then run_stages ();
   if want "wall" then wall_clock ();
+  if want "serve" then Serve_bench.run ();
   print_endline "\nbench: done."

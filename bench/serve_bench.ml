@@ -1,0 +1,123 @@
+(** Service-layer benchmark ([bench/main.exe serve]): wall-clock
+    queries/sec through the in-process service front door, cold (every
+    plan parsed, lowered and compiled) versus plan-cache-warm (compile
+    skipped), result-cache hit rates on repeated traffic, and the
+    shed-request count when a burst overruns admission control.  Results
+    go to [BENCH_serve.json]. *)
+
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Pool = Voodoo_service.Pool
+module Plan_cache = Voodoo_service.Plan_cache
+module Result_cache = Voodoo_service.Result_cache
+module Q = Voodoo_tpch.Queries
+
+let sf = 0.001
+
+let queries () = Q.cpu_figure13
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run_all t s names =
+  List.iter
+    (fun name ->
+      match Svc.query t s name with
+      | Ok _ -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "serve bench: %s failed: %s" name
+               (Voodoo_core.Verror.to_string e)))
+    names
+
+let qps n dt = if dt <= 0.0 then 0.0 else float_of_int n /. dt
+
+let rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let run () =
+  let registry = Catalogs.create () in
+  ignore (Catalogs.get registry ~sf ());
+  let names = queries () in
+  let n = List.length names in
+
+  (* -- cold vs plan-cache-warm: result cache off so the warm pass
+     measures the plan cache, not memoized rows -- *)
+  let plan_svc =
+    Svc.create ~registry
+      { Svc.default_config with Svc.sf; workers = 2; result_cache_bytes = 0 }
+  in
+  let s = Svc.open_session plan_svc in
+  let (), cold_s = time (fun () -> run_all plan_svc s names) in
+  let (), warm_s = time (fun () -> run_all plan_svc s names) in
+  let plan_stats = (Svc.stats plan_svc).Svc.plan_cache in
+  Svc.shutdown plan_svc;
+
+  (* -- result cache on: the same traffic twice, second pass answered
+     from cached rows -- *)
+  let res_svc =
+    Svc.create ~registry { Svc.default_config with Svc.sf; workers = 2 }
+  in
+  let rs = Svc.open_session res_svc in
+  run_all res_svc rs names;
+  let (), cached_s = time (fun () -> run_all res_svc rs names) in
+  let st = Svc.stats res_svc in
+  Svc.shutdown res_svc;
+
+  (* -- overload: a burst far beyond the queue bound; admission control
+     must shed, not crash -- *)
+  let burst = 200 in
+  let over_svc =
+    Svc.create ~registry
+      {
+        Svc.default_config with
+        Svc.sf;
+        workers = 2;
+        queue_capacity = 4;
+        result_cache_bytes = 0;
+      }
+  in
+  let os = Svc.open_session over_svc in
+  let futures = List.init burst (fun _ -> Svc.query_async over_svc os "Q6") in
+  let shed_errors =
+    List.fold_left
+      (fun acc fut ->
+        match Svc.await fut with Ok _ -> acc | Error _ -> acc + 1)
+      0 futures
+  in
+  let pool = (Svc.stats over_svc).Svc.pool in
+  Svc.shutdown over_svc;
+
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    {|{
+  "sf": %g,
+  "queries": %d,
+  "cold": { "seconds": %.6f, "queries_per_sec": %.2f },
+  "plan_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f, "speedup": %.2f },
+  "result_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f },
+  "plan_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+  "result_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+  "overload": { "burst": %d, "queue_capacity": 4, "workers": 2,
+                "shed": %d, "completed": %d, "typed_rejections": %d }
+}
+|}
+    sf n cold_s (qps n cold_s) warm_s (qps n warm_s)
+    (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+    cached_s (qps n cached_s) plan_stats.Plan_cache.hits
+    plan_stats.Plan_cache.misses
+    (rate plan_stats.Plan_cache.hits plan_stats.Plan_cache.misses)
+    st.Svc.result_cache.Result_cache.hits st.Svc.result_cache.Result_cache.misses
+    (rate st.Svc.result_cache.Result_cache.hits
+       st.Svc.result_cache.Result_cache.misses)
+    burst pool.Pool.shed pool.Pool.completed shed_errors;
+  close_out oc;
+  Printf.printf
+    "serve: %d queries, cold %.1f q/s, plan-warm %.1f q/s (%.1fx), \
+     result-warm %.1f q/s, overload shed %d/%d -> BENCH_serve.json\n"
+    n (qps n cold_s) (qps n warm_s)
+    (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+    (qps n cached_s) pool.Pool.shed burst

@@ -8,6 +8,8 @@
     voodoo plan  Q1 --sf 0.01                 # RA plan, Voodoo program, fragments
     voodoo kernels Q6 --sf 0.01               # generated OpenCL
     voodoo exec program.voo --sf 0.01         # run a textual Voodoo program
+    voodoo serve --socket voodoo.sock --sf 0.01   # query service front door
+    voodoo client --socket voodoo.sock "QUERY Q6" # talk to it
     v} *)
 
 open Cmdliner
@@ -23,6 +25,16 @@ module Backend = Voodoo_compiler.Backend
 module Explain = Voodoo_compiler.Explain
 module Config = Voodoo_device.Config
 module Cost = Voodoo_device.Cost
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Server = Voodoo_service.Server
+module Proto = Voodoo_service.Protocol
+module Pool = Voodoo_service.Pool
+
+(* Every subcommand draws its catalog from the shared registry: one
+   [Dbgen.generate] per (sf, seed) for the whole process, however many
+   commands or service sessions ask for it. *)
+let catalog sf = (Catalogs.get (Catalogs.shared ()) ~sf ()).Catalogs.cat
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"log compilation decisions")
@@ -165,7 +177,7 @@ let decode cat row =
 (* --- dbgen --- *)
 
 let dbgen sf =
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   Fmt.pr "TPC-H database at SF %g:@." sf;
   List.iter
     (fun name ->
@@ -180,7 +192,7 @@ let dbgen_cmd =
 (* --- query --- *)
 
 let run_query name sf engine costs resilient fault fault_seed traced trace_out =
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let q = find_query sf name in
   let tr = mk_trace traced trace_out in
   let kernels = ref [] in
@@ -228,7 +240,7 @@ let query_cmd =
 
 let explain name sf device traced trace_out verbose =
   setup_logs verbose;
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let q = find_query sf name in
   let tr = mk_trace traced trace_out in
   let phase = ref 0 in
@@ -274,13 +286,13 @@ let single_plan sf (q : Q.t) =
           (fun _ p ->
             captured := Some p;
             raise Exit)
-          (Voodoo_tpch.Dbgen.generate ~sf ()))
+          (catalog sf))
    with Exit -> ());
   Option.get !captured
 
 let show_plan name sf verbose =
   setup_logs verbose;
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let q = find_query sf name in
   let plan = single_plan sf q in
   Fmt.pr "relational plan:@.  %a@.@." Ra.pp plan;
@@ -295,7 +307,7 @@ let plan_cmd =
     Term.(const show_plan $ query_arg $ sf_arg $ verbose_arg)
 
 let show_kernels name sf =
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let q = find_query sf name in
   let plan = single_plan sf q in
   let lowered = Lower.lower cat plan in
@@ -309,7 +321,7 @@ let kernels_cmd =
 (* --- exec: textual Voodoo programs over the TPC-H store --- *)
 
 let exec_file file sf =
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let ic = open_in file in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
@@ -346,7 +358,7 @@ let exec_cmd =
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
 let run_sql text sf engine costs resilient fault fault_seed traced trace_out =
-  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let cat = catalog sf in
   let plan =
     try Sql.plan cat text
     with Sql.Sql_error m ->
@@ -399,17 +411,237 @@ let sql_cmd =
       const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
       $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg)
 
+(* --- serve / client: the query-service socket front door --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"listen/connect on a Unix socket at $(docv)")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"listen/connect on TCP port $(docv)")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port))")
+
+let addr_of ~socket ~host ~port =
+  match (socket, port) with
+  | Some _, Some _ ->
+      Fmt.epr "voodoo: give --socket or --port, not both@.";
+      exit 1
+  | Some path, None -> Server.Unix_socket path
+  | None, Some p -> Server.Tcp (host, p)
+  | None, None -> Server.Unix_socket "voodoo.sock"
+
+let serve sf socket host port workers queue plans result_mb resilient max_extent
+    max_bytes max_steps verbose =
+  setup_logs verbose;
+  let d = Svc.default_config in
+  let config =
+    {
+      d with
+      Svc.sf;
+      workers = Option.value workers ~default:d.Svc.workers;
+      queue_capacity = queue;
+      plan_cache_capacity = plans;
+      result_cache_bytes = result_mb * 1024 * 1024;
+      budget =
+        {
+          Budget.max_total_extent = max_extent;
+          max_vector_bytes = max_bytes;
+          max_steps;
+        };
+      engine = (if resilient then Svc.Resilient R.strict_policy else Svc.Direct);
+    }
+  in
+  let service = Svc.create ~registry:(Catalogs.shared ()) config in
+  let addr = addr_of ~socket ~host ~port in
+  (* build the catalog before accepting, so the first query pays nothing *)
+  ignore (Catalogs.get (Catalogs.shared ()) ~seed:config.Svc.seed ~sf ());
+  Fmt.pr "voodoo serve: listening on %a (sf %g, %d workers, queue %d)@."
+    Server.pp_addr addr sf config.Svc.workers config.Svc.queue_capacity;
+  Server.serve_forever ~service addr
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N" ~doc:"worker domains (default: cores-1, clamped to 2..8)")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"admission bound: pending queries beyond $(docv) are shed")
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "plan-cache" ] ~docv:"N" ~doc:"prepared plans kept in the LRU plan cache")
+  in
+  let result_mb_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "result-cache-mb" ] ~docv:"MB" ~doc:"result cache capacity in MiB (0 disables)")
+  in
+  let max_extent_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-extent" ] ~docv:"N" ~doc:"per-query budget: total kernel extent")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"N" ~doc:"per-query budget: materialized vector bytes")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N" ~doc:"per-query budget: interpreter steps")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the query service: sessions, plan and result caches, admission \
+          control and a multicore worker pool behind a line-protocol socket \
+          (see docs/SERVICE.md)")
+    Term.(
+      const serve $ sf_arg $ socket_arg $ host_arg $ port_arg $ workers_arg
+      $ queue_arg $ plans_arg $ result_mb_arg $ resilient_arg $ max_extent_arg
+      $ max_bytes_arg $ max_steps_arg $ verbose_arg)
+
+let render_client_response ~raw = function
+  | Proto.Rows rows ->
+      Fmt.pr "OK %d rows@." (List.length rows);
+      List.iter
+        (fun row ->
+          if raw then Fmt.pr "  %s@." (Proto.render_row row)
+          else
+            Fmt.pr "  %s@."
+              (String.concat ", "
+                 (List.map
+                    (fun (n, v) ->
+                      Printf.sprintf "%s=%s" n
+                        (match v with
+                        | None -> "ε"
+                        | Some (Scalar.I i) -> string_of_int i
+                        | Some (Scalar.F f) -> Printf.sprintf "%g" f))
+                    row)))
+        rows;
+      true
+  | Proto.Prepared name ->
+      Fmt.pr "OK prepared %s@." name;
+      true
+  | Proto.Stats_reply kvs ->
+      Fmt.pr "OK %d stats@." (List.length kvs);
+      List.iter (fun (k, v) -> Fmt.pr "  %-28s %g@." k v) kvs;
+      true
+  | Proto.Bye ->
+      Fmt.pr "OK bye@.";
+      true
+  | Proto.Err (stage, msg) ->
+      Fmt.epr "ERR %s: %s@." stage msg;
+      false
+
+let client socket host port raw lines =
+  let addr = addr_of ~socket ~host ~port in
+  let conn = Server.Client.connect ~retries:40 addr in
+  let inputs =
+    if lines <> [] then lines
+    else
+      let rec read acc =
+        match input_line stdin with
+        | l -> read (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      read []
+  in
+  let ok = ref true in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" then
+        match Proto.parse_request line with
+        | Error m ->
+            Fmt.epr "ERR parse: %s@." m;
+            ok := false
+        | Ok req -> (
+            match Server.Client.request conn req with
+            | Error m ->
+                Fmt.epr "ERR transport: %s@." m;
+                ok := false
+            | Ok resp -> if not (render_client_response ~raw resp) then ok := false))
+    inputs;
+  Server.Client.close conn;
+  if not !ok then exit 1
+
+let client_cmd =
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~doc:"print rows in wire form (lossless hex floats) instead of decoding")
+  in
+  let lines_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "protocol lines to send (PREPARE name: sql | EXEC name | SQL text | \
+             QUERY Qn | STATS | CLOSE); reads stdin when none given")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"send protocol requests to a running $(b,voodoo serve) and print the replies")
+    Term.(const client $ socket_arg $ host_arg $ port_arg $ raw_arg $ lines_arg)
+
+(* Error hygiene: any typed engine/service error that escapes a subcommand
+   becomes one clean line on stderr and a non-zero exit, never a raw OCaml
+   backtrace.  The stage labels mirror [Verror.stage_name]. *)
+let hygienic f =
+  let die fmt =
+    Fmt.kstr
+      (fun m ->
+        Fmt.epr "voodoo: %s@." m;
+        exit 1)
+      fmt
+  in
+  try f () with
+  | Sql.Sql_error m -> die "sql error: %s" m
+  | Parse.Parse_error m -> die "parse error: %s" m
+  | Typing.Type_error m -> die "type error: %s" m
+  | Lower.Unsupported m -> die "lower error: %s" m
+  | Voodoo_compiler.Exec.Exec_error m -> die "exec error: %s" m
+  | Voodoo_interp.Interp.Runtime_error m -> die "runtime error: %s" m
+  | Budget.Exceeded m -> die "resource error: budget exceeded: %s" m
+  | Fault.Injected m -> die "exec error: fault injected and not recovered: %s" m
+  | Unix.Unix_error (err, fn, arg) ->
+      die "%s%s: %s" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message err)
+
 let () =
   let doc = "Voodoo: a vector algebra for portable database performance" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "voodoo" ~doc)
-          [
-            dbgen_cmd;
-            query_cmd;
-            explain_cmd;
-            plan_cmd;
-            kernels_cmd;
-            exec_cmd;
-            sql_cmd;
-          ]))
+  hygienic (fun () ->
+      exit
+        (Cmd.eval
+           (Cmd.group (Cmd.info "voodoo" ~doc)
+              [
+                dbgen_cmd;
+                query_cmd;
+                explain_cmd;
+                plan_cmd;
+                kernels_cmd;
+                exec_cmd;
+                sql_cmd;
+                serve_cmd;
+                client_cmd;
+              ])))

@@ -79,6 +79,48 @@ let compiled_full ?trace ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
 let compiled ?trace ?lower_opts ?backend_opts ?budget cat plan : rows =
   (compiled_full ?trace ?lower_opts ?backend_opts ?budget cat plan).rows
 
+(** Prepared plans: the lower/compile stages hoisted out of the hot path
+    so a long-lived service can pay them once per distinct query.  A
+    prepared plan is immutable after {!prepare}; {!run_prepared_full}
+    builds fresh per-run executor state, so one prepared plan may be run
+    concurrently from several domains. *)
+
+type prepared = {
+  p_source : Ra.t;
+  p_lowered : Lower.lowered;
+  p_compiled : Voodoo_compiler.Backend.compiled;
+}
+
+let prepare ?trace ?lower_opts ?backend_opts (cat : Catalog.t) (plan : Ra.t) :
+    prepared =
+  Trace.with_span trace "engine:prepare" (fun () ->
+      let l =
+        Trace.with_span trace "lower" (fun () ->
+            Lower.lower ?options:lower_opts cat plan)
+      in
+      let c =
+        Trace.with_span trace "compile" (fun () ->
+            Backend.compile ?trace ?options:backend_opts ~store:cat.store
+              l.program)
+      in
+      { p_source = plan; p_lowered = l; p_compiled = c })
+
+let run_prepared_full ?trace ?budget (cat : Catalog.t) (p : prepared) :
+    compiled_run =
+  Trace.with_span trace "engine:prepared" (fun () ->
+      let r =
+        Trace.with_span trace "execute" (fun () ->
+            Backend.run ?trace ?budget p.p_compiled)
+      in
+      let rows =
+        Trace.with_span trace "fetch" (fun () ->
+            Lower.fetch cat p.p_lowered (fun id -> Exec.output r id))
+      in
+      { rows; kernels = r.kernels; plan = p.p_compiled.plan })
+
+let run_prepared ?trace ?budget cat p : rows =
+  (run_prepared_full ?trace ?budget cat p).rows
+
 (** [agree plan rows1 rows2] compares results modulo row order, restricted
     to the plan's result columns. *)
 let agree ?tol (plan : Ra.t) rows1 rows2 =

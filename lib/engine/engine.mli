@@ -54,6 +54,41 @@ val compiled :
   ?budget:Voodoo_core.Budget.t ->
   Catalog.t -> Ra.t -> rows
 
+(** {2 Prepared plans}
+
+    The lower/compile stages hoisted out of the hot path, so a long-lived
+    service ({!Voodoo_service.Service}) can pay them once per distinct
+    query and answer repeats from a plan cache. *)
+
+type prepared = {
+  p_source : Ra.t;  (** the relational plan this was prepared from *)
+  p_lowered : Lower.lowered;
+  p_compiled : Voodoo_compiler.Backend.compiled;
+}
+
+(** [prepare cat plan] runs parse-free preparation: lower + compile, under
+    ["lower"]/["compile"] spans.  The result is immutable; running it
+    builds fresh executor state each time, so one prepared plan can be
+    executed concurrently from several domains. *)
+val prepare :
+  ?trace:Voodoo_core.Trace.t ->
+  ?lower_opts:Lower.options ->
+  ?backend_opts:Voodoo_compiler.Codegen.options ->
+  Catalog.t -> Ra.t -> prepared
+
+(** [run_prepared_full cat p] executes a prepared plan: only ["execute"]
+    and ["fetch"] spans appear — the absence of ["lower"]/["compile"]
+    spans is how a plan-cache hit shows up in a trace. *)
+val run_prepared_full :
+  ?trace:Voodoo_core.Trace.t ->
+  ?budget:Voodoo_core.Budget.t ->
+  Catalog.t -> prepared -> compiled_run
+
+val run_prepared :
+  ?trace:Voodoo_core.Trace.t ->
+  ?budget:Voodoo_core.Budget.t ->
+  Catalog.t -> prepared -> rows
+
 (** [agree plan rows1 rows2] compares results modulo row order, restricted
     to the plan's result columns. *)
 val agree : ?tol:float -> Ra.t -> rows -> rows -> bool

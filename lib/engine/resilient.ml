@@ -113,8 +113,11 @@ let classify (backend : backend) (exn : exn) : Verror.t =
 
 module Trace = Voodoo_core.Trace
 
-let execute ?trace (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
-    (rows * report, Verror.t) result =
+(* The chain driver shared by {!execute} (compile from scratch) and
+   {!execute_prepared} (compiled attempts replay a pre-compiled plan;
+   interp/reference fall back to re-lowering the prepared source plan). *)
+let execute_gen ?trace ?prepared (policy : policy) (cat : Catalog.t)
+    (plan : Ra.t) : (rows * report, Verror.t) result =
   match Engine.result_columns_opt plan with
   | None ->
       Error
@@ -132,9 +135,13 @@ let execute ?trace (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
               ~budget:policy.budget cat plan
         | Compiled ->
             let r =
-              Engine.compiled_full ?trace ?lower_opts:policy.lower_opts
-                ?backend_opts:policy.backend_opts ~budget:policy.budget cat
-                plan
+              match prepared with
+              | Some p ->
+                  Engine.run_prepared_full ?trace ~budget:policy.budget cat p
+              | None ->
+                  Engine.compiled_full ?trace ?lower_opts:policy.lower_opts
+                    ?backend_opts:policy.backend_opts ~budget:policy.budget cat
+                    plan
             in
             kernels := r.kernels;
             r.rows
@@ -204,3 +211,8 @@ let execute ?trace (policy : policy) (cat : Catalog.t) (plan : Ra.t) :
                 else Error e)
       in
       go 0 [] [] policy.chain)
+
+let execute ?trace policy cat plan = execute_gen ?trace policy cat plan
+
+let execute_prepared ?trace policy cat (p : Engine.prepared) =
+  execute_gen ?trace ~prepared:p policy cat p.Engine.p_source

@@ -75,6 +75,14 @@ val execute :
   ?trace:Voodoo_core.Trace.t ->
   policy -> Catalog.t -> Ra.t -> (rows * report, Verror.t) result
 
+(** [execute_prepared policy cat p] is {!execute} for a pre-compiled plan:
+    compiled attempts replay [p] (no lower/compile work, so a service's
+    plan-cache hits keep their resilience guarantees), while interp and
+    reference fallbacks re-derive what they need from [p]'s source plan. *)
+val execute_prepared :
+  ?trace:Voodoo_core.Trace.t ->
+  policy -> Catalog.t -> Engine.prepared -> (rows * report, Verror.t) result
+
 (** [classify backend exn] is the exception→{!Verror.t} conversion shim
     [execute] applies at the engine boundary (exposed for tests and other
     harnesses). *)

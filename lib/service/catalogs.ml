@@ -1,0 +1,67 @@
+(** The catalog registry: one [Dbgen.generate] per (scale factor, seed),
+    ever (see the interface). *)
+
+open Voodoo_relational
+module Store = Voodoo_core.Store
+
+type entry = {
+  cat : Catalog.t;
+  sf : float;
+  seed : int;
+  generation : int;
+}
+
+type t = {
+  m : Mutex.t;
+  tbl : (float * int, entry) Hashtbl.t;
+  mutable next_generation : int;
+}
+
+let create () = { m = Mutex.create (); tbl = Hashtbl.create 4; next_generation = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Generation is taken under the lock but the (expensive) generate runs
+   outside it only in principle; dbgen is deterministic and registries are
+   small, so holding the lock across generation keeps the memoization
+   race-free: two concurrent [get]s of a new key yield one catalog. *)
+let fresh_entry t ~sf ~seed =
+  let generation = t.next_generation in
+  t.next_generation <- generation + 1;
+  let cat = Voodoo_tpch.Dbgen.generate ~sf ~seed () in
+  { cat; sf; seed; generation }
+
+let get t ?(seed = 1) ~sf () =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (sf, seed) with
+      | Some e -> e
+      | None ->
+          let e = fresh_entry t ~sf ~seed in
+          Hashtbl.replace t.tbl (sf, seed) e;
+          e)
+
+let refresh t ?(seed = 1) ~sf () =
+  locked t (fun () ->
+      let e = fresh_entry t ~sf ~seed in
+      Hashtbl.replace t.tbl (sf, seed) e;
+      e)
+
+let generation (e : entry) = e.generation
+
+let default = lazy (create ())
+
+let shared () = Lazy.force default
+
+(* A shallow fork: the tables association list is shared by value (the
+   fork's own mutable head), the store hashtable is copied entry-by-entry
+   (the column vectors themselves are shared read-only).  Registering a
+   temp table on the fork (TPC-H Q20's inner aggregate) therefore never
+   mutates state another domain can see. *)
+let fork (cat : Catalog.t) : Catalog.t =
+  let store = Store.create () in
+  List.iter
+    (fun name -> Store.add store name (Store.find_exn cat.store name))
+    (Store.names cat.store);
+  { Catalog.tables = cat.tables; store }

@@ -1,0 +1,43 @@
+(** The catalog registry: memoized TPC-H catalog construction.
+
+    A long-lived service cannot afford one [Dbgen.generate] per query (the
+    seed CLI regenerated the whole database on every invocation); the
+    registry shares one catalog per (scale factor, seed) — generated at
+    most once, ever — and stamps each with a monotonically increasing
+    {e generation} that cache keys embed, so swapping a catalog
+    ({!refresh}) implicitly invalidates every plan and result cached
+    against the old one. *)
+
+open Voodoo_relational
+
+type entry = {
+  cat : Catalog.t;
+  sf : float;
+  seed : int;
+  generation : int;  (** registry-unique; embedded in cache keys *)
+}
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry the CLI's subcommands share. *)
+val shared : unit -> t
+
+(** [get t ~sf ()] is the memoized catalog for [(sf, seed)]; the first
+    call generates it, every later call returns the same entry.
+    Thread-safe. *)
+val get : t -> ?seed:int -> sf:float -> unit -> entry
+
+(** [refresh t ~sf ()] regenerates the catalog under a new generation —
+    the "catalog changed" event result caches must observe. *)
+val refresh : t -> ?seed:int -> sf:float -> unit -> entry
+
+val generation : entry -> int
+
+(** [fork cat] is a shallow copy safe for per-execution mutation: the
+    table list and store map are copied, the column vectors shared
+    read-only.  Multi-phase queries register their temp tables (e.g.
+    TPC-H Q20's [q20_qty]) on the fork, so concurrent executions never
+    mutate a catalog another domain is reading. *)
+val fork : Catalog.t -> Catalog.t

@@ -1,0 +1,95 @@
+(** LRU cache of prepared plans (see the interface). *)
+
+module Engine = Voodoo_engine.Engine
+
+type entry = { prepared : Engine.prepared; mutable last_used : int }
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.prepared
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* Evict the least-recently-used entry.  Caches hold tens of entries, so
+   the O(n) scan is cheaper than maintaining an intrusive list. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, lu) when lu <= e.last_used -> acc
+        | _ -> Some (key, e.last_used))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key prepared =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        while Hashtbl.length t.tbl >= t.capacity do
+          evict_lru t
+        done;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { prepared; last_used = t.tick }
+      end)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
+
+let invalidate_prefix t prefix =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if String.starts_with ~prefix key then key :: acc else acc)
+          t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) doomed)
+
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+      })

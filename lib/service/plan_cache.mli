@@ -1,0 +1,37 @@
+(** LRU cache of prepared plans.
+
+    Maps an opaque key — the service derives it from the relational plan,
+    the lowering/codegen options and the catalog generation (see
+    [docs/SERVICE.md], "Cache keys") — to an {!Voodoo_engine.Engine.prepared}
+    plan, so repeated queries skip the parse/lower/compile pipeline
+    entirely.  Capacity-bounded with least-recently-used eviction;
+    thread-safe (one mutex, O(entries) eviction scan). *)
+
+module Engine = Voodoo_engine.Engine
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+(** [create ~capacity] holds at most [capacity] prepared plans. *)
+val create : capacity:int -> t
+
+(** [find t key] returns the cached plan and refreshes its recency;
+    counts a hit or a miss. *)
+val find : t -> string -> Engine.prepared option
+
+(** [add t key p] inserts, evicting LRU entries if at capacity.  An
+    existing binding is kept (first preparation wins — both are valid, and
+    keeping the incumbent preserves its recency). *)
+val add : t -> string -> Engine.prepared -> unit
+
+val mem : t -> string -> bool
+
+(** [invalidate_prefix t p] drops entries whose key starts with [p] (not
+    counted as evictions): plans prepared against a swapped-out catalog
+    generation must not linger and crowd out live ones. *)
+val invalidate_prefix : t -> string -> unit
+
+val clear : t -> unit
+
+val stats : t -> stats

@@ -1,0 +1,54 @@
+(** Multicore worker pool: the first concurrent code path in the repo.
+
+    A fixed set of OCaml 5 domains drains a bounded FIFO job queue.  The
+    bound {e is} the admission-control mechanism: a submission that finds
+    the queue full is rejected immediately ([`Queue_full], counted as
+    shed) rather than queued without limit — the service layer turns that
+    into a typed [Resource]-stage {!Voodoo_core.Verror.t}.  Queries
+    executing on pool domains never share mutable state: each job runs
+    against immutable prepared plans and per-execution catalog forks
+    ({!Catalogs.fork}). *)
+
+(** A write-once cell fulfilled by the worker that runs the job. *)
+type 'a future
+
+(** Block until the job finishes; [Error e] re-surfaces the exception the
+    job raised (typed budget/fault errors included). *)
+val await : 'a future -> ('a, exn) result
+
+(** An already-fulfilled future (how the service represents a request that
+    was answered — or rejected — without reaching the pool). *)
+val resolved : 'a -> 'a future
+
+type t
+
+type stats = {
+  workers : int;
+  queue_capacity : int;
+  queued : int;  (** jobs waiting right now *)
+  running : int;  (** jobs executing right now *)
+  submitted : int;  (** admitted since creation *)
+  completed : int;
+  shed : int;  (** rejected by admission control *)
+}
+
+(** Default worker count: [recommended_domain_count - 1] clamped to
+    [2..8] — leave one core to the submitting thread. *)
+val default_workers : unit -> int
+
+val create : ?workers:int -> queue_capacity:int -> unit -> t
+
+(** [submit t f] enqueues [f] unless the queue is at capacity. *)
+val submit :
+  t -> (unit -> 'a) -> ('a future, [ `Queue_full | `Shutting_down ]) result
+
+(** [run t f] is submit-then-await. *)
+val run :
+  t ->
+  (unit -> 'a) ->
+  ('a, [ `Queue_full | `Shutting_down | `Job_raised of exn ]) result
+
+val stats : t -> stats
+
+(** Drain the queue, stop and join every domain.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,203 @@
+(** The line-oriented wire protocol (see the interface). *)
+
+open Voodoo_vector
+module Engine = Voodoo_engine.Engine
+module Verror = Voodoo_core.Verror
+
+type request =
+  | Prepare of string * string
+  | Exec of string
+  | Sql of string
+  | Query of string
+  | Stats
+  | Close
+
+type response =
+  | Rows of Engine.rows
+  | Prepared of string
+  | Stats_reply of (string * float) list
+  | Bye
+  | Err of string * string  (** stage name, one-line message *)
+
+(* ---- requests ---- *)
+
+let strip = String.trim
+
+let split_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      ( String.sub s 0 i,
+        strip (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let parse_request line : (request, string) result =
+  let verb, rest = split_word (strip line) in
+  match (String.uppercase_ascii verb, rest) with
+  | "PREPARE", rest -> (
+      match split_word rest with
+      | name, sql when name <> "" && sql <> "" ->
+          (* tolerate "PREPARE name: sql" — a trailing colon on the name *)
+          let name =
+            if String.length name > 1 && name.[String.length name - 1] = ':'
+            then String.sub name 0 (String.length name - 1)
+            else name
+          in
+          Ok (Prepare (name, sql))
+      | _ -> Error "usage: PREPARE <name> <sql>")
+  | "EXEC", name when name <> "" -> Ok (Exec name)
+  | "SQL", text when text <> "" -> Ok (Sql text)
+  | "QUERY", name when name <> "" -> Ok (Query name)
+  | "STATS", "" -> Ok Stats
+  | "CLOSE", "" -> Ok Close
+  | "", "" -> Error "empty request"
+  | verb, _ ->
+      Error
+        (Printf.sprintf
+           "unknown request %S (have: PREPARE EXEC SQL QUERY STATS CLOSE)" verb)
+
+let render_request = function
+  | Prepare (name, sql) -> Printf.sprintf "PREPARE %s %s" name sql
+  | Exec name -> "EXEC " ^ name
+  | Sql text -> "SQL " ^ text
+  | Query name -> "QUERY " ^ name
+  | Stats -> "STATS"
+  | Close -> "CLOSE"
+
+(* ---- scalar / row wire form ----
+
+   Values must round-trip exactly so the client sees rows byte-equal to
+   what the engine produced: ints in decimal, floats in OCaml's hex float
+   notation (%h, lossless), NULL/ε as a bare [e].  Fields are
+   tab-separated [name=value] pairs — column names are identifiers, never
+   containing tabs or [=]. *)
+
+let render_value = function
+  | None -> "e"
+  | Some (Scalar.I i) -> Printf.sprintf "i%d" i
+  | Some (Scalar.F f) -> Printf.sprintf "f%h" f
+
+let parse_value s : (Scalar.t option, string) result =
+  if s = "e" then Ok None
+  else if s = "" then Error "empty value"
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'i' -> (
+        match int_of_string_opt body with
+        | Some i -> Ok (Some (Scalar.I i))
+        | None -> Error (Printf.sprintf "bad int value %S" s))
+    | 'f' -> (
+        match float_of_string_opt body with
+        | Some f -> Ok (Some (Scalar.F f))
+        | None -> Error (Printf.sprintf "bad float value %S" s))
+    | _ -> Error (Printf.sprintf "bad value %S" s)
+
+let render_row (row : (string * Scalar.t option) list) =
+  "ROW "
+  ^ String.concat "\t"
+      (List.map (fun (name, v) -> name ^ "=" ^ render_value v) row)
+
+let parse_row line : ((string * Scalar.t option) list, string) result =
+  let verb, rest = split_word line in
+  if verb <> "ROW" then Error (Printf.sprintf "expected ROW, got %S" line)
+  else if rest = "" then Ok []
+  else
+    let fields = String.split_on_char '\t' rest in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | f :: fs -> (
+          match String.index_opt f '=' with
+          | None -> Error (Printf.sprintf "bad row field %S" f)
+          | Some i -> (
+              let name = String.sub f 0 i in
+              match
+                parse_value (String.sub f (i + 1) (String.length f - i - 1))
+              with
+              | Ok v -> go ((name, v) :: acc) fs
+              | Error e -> Error e))
+    in
+    go [] fields
+
+(* ---- responses ---- *)
+
+let oneline s =
+  String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) s
+
+(** A response as the list of lines to write. *)
+let render_response = function
+  | Rows rows ->
+      Printf.sprintf "OK ROWS %d" (List.length rows)
+      :: List.map render_row rows
+      @ [ "END" ]
+  | Prepared name -> [ "OK PREPARED " ^ name ]
+  | Stats_reply fields ->
+      Printf.sprintf "OK STATS %d" (List.length fields)
+      :: List.map (fun (k, v) -> Printf.sprintf "STAT %s %h" k v) fields
+      @ [ "END" ]
+  | Bye -> [ "OK BYE" ]
+  | Err (stage, msg) -> [ Printf.sprintf "ERR %s: %s" stage (oneline msg) ]
+
+let err_of_verror (e : Verror.t) =
+  Err (Verror.stage_name e.Verror.stage, e.Verror.message)
+
+(** [read_response next_line] consumes one full response from a stream of
+    lines ([next_line () = None] means the peer hung up). *)
+let read_response (next_line : unit -> string option) :
+    (response, string) result =
+  let rec read_n n acc parse =
+    if n = 0 then Ok (List.rev acc)
+    else
+      match next_line () with
+      | None -> Error "connection closed mid-response"
+      | Some line -> (
+          match parse line with
+          | Ok v -> read_n (n - 1) (v :: acc) parse
+          | Error e -> Error e)
+  in
+  let expect_end k =
+    match next_line () with
+    | Some "END" -> Ok k
+    | Some other -> Error (Printf.sprintf "expected END, got %S" other)
+    | None -> Error "connection closed before END"
+  in
+  match next_line () with
+  | None -> Error "connection closed"
+  | Some line -> (
+      let verb, rest = split_word (strip line) in
+      match (verb, split_word rest) with
+      | "OK", ("ROWS", n) -> (
+          match int_of_string_opt n with
+          | None -> Error (Printf.sprintf "bad row count %S" n)
+          | Some n -> (
+              match read_n n [] parse_row with
+              | Ok rows -> expect_end (Rows rows)
+              | Error e -> Error e))
+      | "OK", ("PREPARED", name) -> Ok (Prepared name)
+      | "OK", ("STATS", n) -> (
+          let parse_stat line =
+            match String.split_on_char ' ' line with
+            | [ "STAT"; k; v ] -> (
+                match float_of_string_opt v with
+                | Some f -> Ok (k, f)
+                | None -> Error (Printf.sprintf "bad stat value %S" line))
+            | _ -> Error (Printf.sprintf "bad stat line %S" line)
+          in
+          match int_of_string_opt n with
+          | None -> Error (Printf.sprintf "bad stat count %S" n)
+          | Some n -> (
+              match read_n n [] parse_stat with
+              | Ok fields -> expect_end (Stats_reply fields)
+              | Error e -> Error e))
+      | "OK", ("BYE", _) -> Ok Bye
+      | "ERR", _ -> (
+          let payload = String.sub line 4 (String.length line - 4) in
+          match String.index_opt payload ':' with
+          | Some i ->
+              Ok
+                (Err
+                   ( String.sub payload 0 i,
+                     strip
+                       (String.sub payload (i + 1)
+                          (String.length payload - i - 1)) ))
+          | None -> Ok (Err ("unknown", payload)))
+      | _ -> Error (Printf.sprintf "unparseable response line %S" line))

@@ -1,0 +1,47 @@
+(** The line-oriented wire protocol of [voodoo serve] / [voodoo client].
+
+    Requests are single lines; responses are one line ([OK PREPARED …],
+    [OK BYE], [ERR <stage>: <message>]) or a counted block ([OK ROWS <n>]
+    / [OK STATS <n>] followed by that many payload lines and [END]).
+    Scalar values round-trip exactly: ints in decimal, floats in hex
+    float notation, ε as [e].  The full grammar is in
+    [docs/SERVICE.md]. *)
+
+open Voodoo_vector
+module Engine = Voodoo_engine.Engine
+module Verror = Voodoo_core.Verror
+
+type request =
+  | Prepare of string * string  (** statement name, SQL text *)
+  | Exec of string
+  | Sql of string
+  | Query of string  (** named TPC-H query *)
+  | Stats
+  | Close
+
+type response =
+  | Rows of Engine.rows
+  | Prepared of string
+  | Stats_reply of (string * float) list
+  | Bye
+  | Err of string * string  (** [Verror] stage name, one-line message *)
+
+val parse_request : string -> (request, string) result
+
+val render_request : request -> string
+
+(** A response as the exact lines to write. *)
+val render_response : response -> string list
+
+(** Typed error → wire error. *)
+val err_of_verror : Verror.t -> response
+
+(** [read_response next_line] consumes one full response from a line
+    stream ([None] = peer hung up). *)
+val read_response : (unit -> string option) -> (response, string) result
+
+(** {2 Row wire form (exposed for tests)} *)
+
+val render_row : (string * Scalar.t option) list -> string
+
+val parse_row : string -> ((string * Scalar.t option) list, string) result

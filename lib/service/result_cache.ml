@@ -1,0 +1,137 @@
+(** Byte-capped LRU cache of query results (see the interface). *)
+
+open Voodoo_vector
+module Engine = Voodoo_engine.Engine
+
+type entry = { rows : Engine.rows; bytes : int; mutable last_used : int }
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  max_bytes : int;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+}
+
+(* Accounting estimate of a result set's footprint: boxed scalar + option
+   + list-cell overhead per value, plus the column-name strings each row
+   carries. *)
+let bytes_of_rows (rows : Engine.rows) =
+  List.fold_left
+    (fun acc row ->
+      List.fold_left
+        (fun acc (name, v) ->
+          acc + 48 + String.length name
+          + (match v with Some (Scalar.I _) | Some (Scalar.F _) -> 16 | None -> 0))
+        (acc + 24) row)
+    0 rows
+
+let create ~max_bytes =
+  if max_bytes < 0 then invalid_arg "Result_cache.create: max_bytes must be >= 0";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    max_bytes;
+    bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.rows
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let remove_entry t key (e : entry) =
+  Hashtbl.remove t.tbl key;
+  t.bytes <- t.bytes - e.bytes
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, lu) when lu <= e.last_used -> acc
+        | _ -> Some (key, e.last_used))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      remove_entry t key (Hashtbl.find t.tbl key);
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key rows =
+  locked t (fun () ->
+      let bytes = bytes_of_rows rows in
+      (* results larger than the whole cache are never admitted *)
+      if bytes <= t.max_bytes && not (Hashtbl.mem t.tbl key) then begin
+        while t.bytes + bytes > t.max_bytes && Hashtbl.length t.tbl > 0 do
+          evict_lru t
+        done;
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key { rows; bytes; last_used = t.tick };
+        t.bytes <- t.bytes + bytes
+      end)
+
+(* Drop every entry whose key starts with [prefix] — how a catalog swap
+   invalidates all results computed against the old generation. *)
+let invalidate_prefix t prefix =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if String.starts_with ~prefix key then key :: acc else acc)
+          t.tbl []
+      in
+      List.iter
+        (fun key ->
+          remove_entry t key (Hashtbl.find t.tbl key);
+          t.invalidations <- t.invalidations + 1)
+        doomed)
+
+let clear t =
+  locked t (fun () ->
+      t.invalidations <- t.invalidations + Hashtbl.length t.tbl;
+      Hashtbl.reset t.tbl;
+      t.bytes <- 0)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        entries = Hashtbl.length t.tbl;
+        bytes = t.bytes;
+        max_bytes = t.max_bytes;
+      })

@@ -1,0 +1,41 @@
+(** Byte-capped LRU cache over canonical query results.
+
+    Maps an opaque key (catalog generation + query identity, see
+    [docs/SERVICE.md]) to result rows.  Capacity is measured in estimated
+    bytes, not entries — result sets vary by orders of magnitude — with
+    least-recently-used eviction until a new result fits; results larger
+    than the whole cache are never admitted.  Catalog swaps invalidate by
+    key prefix.  Thread-safe. *)
+
+module Engine = Voodoo_engine.Engine
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;  (** currently held *)
+  max_bytes : int;
+}
+
+(** [create ~max_bytes] — a cap of [0] disables caching entirely (nothing
+    is ever admitted). *)
+val create : max_bytes:int -> t
+
+val find : t -> string -> Engine.rows option
+
+val add : t -> string -> Engine.rows -> unit
+
+(** [invalidate_prefix t p] drops every entry whose key starts with [p]
+    (the service passes the old catalog generation's key prefix). *)
+val invalidate_prefix : t -> string -> unit
+
+val clear : t -> unit
+
+val stats : t -> stats
+
+(** The accounting estimate charged per result set. *)
+val bytes_of_rows : Engine.rows -> int

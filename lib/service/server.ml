@@ -1,0 +1,189 @@
+(** Socket front door and client (see the interface). *)
+
+module P = Protocol
+
+type addr = Unix_socket of string | Tcp of string * int
+
+let sockaddr_of_addr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (ip, port)
+
+let pp_addr ppf = function
+  | Unix_socket path -> Fmt.pf ppf "unix:%s" path
+  | Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port
+
+(* ---- request dispatch: one connection = one session ---- *)
+
+let handle_request service session (req : P.request) : P.response * bool =
+  let rows_or_err = function
+    | Ok rows -> P.Rows rows
+    | Error e -> P.err_of_verror e
+  in
+  match req with
+  | P.Prepare (name, sql) -> (
+      match Service.prepare service session ~name sql with
+      | Ok () -> (P.Prepared name, true)
+      | Error e -> (P.err_of_verror e, true))
+  | P.Exec name -> (rows_or_err (Service.exec service session name), true)
+  | P.Sql text -> (rows_or_err (Service.sql service session text), true)
+  | P.Query name -> (rows_or_err (Service.query service session name), true)
+  | P.Stats -> (P.Stats_reply (Service.stats_fields (Service.stats service)), true)
+  | P.Close -> (P.Bye, false)
+
+let write_response oc response =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (P.render_response response);
+  flush oc
+
+let handle_connection service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Service.open_session service in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        let response, continue =
+          match P.parse_request line with
+          | Ok req -> handle_request service session req
+          | Error msg -> (P.Err ("parse", msg), true)
+        in
+        (match write_response oc response with
+        | () -> if continue then loop ()
+        | exception Sys_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.close_session service session;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* ---- the accept loop ---- *)
+
+type t = {
+  listener : Unix.file_descr;
+  addr : addr;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let bind_listener addr =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | (_ : Sys.signal_behavior) -> ()
+  | exception Invalid_argument _ -> () (* no SIGPIPE on this platform *));
+  (match addr with
+  | Unix_socket path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  let domain =
+    match addr with Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (sockaddr_of_addr addr);
+  Unix.listen fd 64;
+  fd
+
+let start ~service addr =
+  let listener = bind_listener addr in
+  let t = { listener; addr; stopping = false; accept_thread = None } in
+  let accept_loop () =
+    let rec go () =
+      match Unix.accept t.listener with
+      | fd, _peer ->
+          if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+          else begin
+            ignore
+              (Thread.create
+                 (fun () ->
+                   try handle_connection service fd
+                   with e ->
+                     if not t.stopping then
+                       Logs.warn (fun m ->
+                           m "connection handler died: %s" (Printexc.to_string e)))
+                 ());
+            go ()
+          end
+      | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+          () (* stopped *)
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* A blocked [accept] is not interrupted by closing the fd on Linux:
+       shut the listener down (wakes it with EINVAL), and as a fallback
+       poke it with a throwaway connection the loop discards. *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try
+       let domain =
+         match t.addr with
+         | Unix_socket _ -> Unix.PF_UNIX
+         | Tcp _ -> Unix.PF_INET
+       in
+       let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+       (try Unix.connect sock (sockaddr_of_addr t.addr)
+        with Unix.Unix_error _ -> ());
+       try Unix.close sock with Unix.Unix_error _ -> ()
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    match t.addr with
+    | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Tcp _ -> ()
+  end
+
+let serve_forever ~service addr =
+  let t = start ~service addr in
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+(* ---- client ---- *)
+
+module Client = struct
+  type conn = { ic : in_channel; oc : out_channel }
+
+  let connect ?(retries = 0) addr =
+    let sockaddr = sockaddr_of_addr addr in
+    let rec go attempt =
+      match Unix.open_connection sockaddr with
+      | ic, oc -> { ic; oc }
+      | exception (Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) as e) ->
+          if attempt >= retries then raise e
+          else begin
+            Thread.delay 0.05;
+            go (attempt + 1)
+          end
+    in
+    go 0
+
+  let request conn req : (P.response, string) result =
+    output_string conn.oc (P.render_request req);
+    output_char conn.oc '\n';
+    flush conn.oc;
+    P.read_response (fun () ->
+        match input_line conn.ic with
+        | line -> Some line
+        | exception End_of_file -> None)
+
+  let close conn =
+    (try
+       output_string conn.oc (P.render_request P.Close);
+       output_char conn.oc '\n';
+       flush conn.oc
+     with Sys_error _ -> ());
+    try close_in conn.ic with Sys_error _ -> ()
+end

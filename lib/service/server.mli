@@ -1,0 +1,41 @@
+(** The socket front door ([voodoo serve]) and its client.
+
+    A server accepts connections on a Unix or TCP socket; each connection
+    is one {!Session} handled by its own thread, speaking the
+    {!Protocol} line grammar.  Query execution itself happens on the
+    service's domain pool — connection threads only parse, submit and
+    render — so slow clients do not hold worker domains, and admission
+    control applies uniformly to socket and in-process callers. *)
+
+type addr = Unix_socket of string | Tcp of string * int  (** host, port *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type t
+
+(** [start ~service addr] binds, listens and spawns the accept thread
+    (an existing Unix socket path is replaced). *)
+val start : service:Service.t -> addr -> t
+
+(** Close the listener, join the accept thread, remove the socket file.
+    Open connections finish their current request and then find their
+    socket closed.  Idempotent. *)
+val stop : t -> unit
+
+(** [start] + block forever (the CLI's [voodoo serve]). *)
+val serve_forever : service:Service.t -> addr -> unit
+
+module Client : sig
+  type conn
+
+  (** [connect addr] opens a connection; [retries] short reconnection
+      attempts smooth over a server that is still binding. *)
+  val connect : ?retries:int -> addr -> conn
+
+  (** One request/response round trip.  [Error] means a transport or
+      framing failure; server-side failures arrive as [Protocol.Err]. *)
+  val request : conn -> Protocol.request -> (Protocol.response, string) result
+
+  (** Send [CLOSE] (best effort) and drop the connection. *)
+  val close : conn -> unit
+end

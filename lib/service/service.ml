@@ -1,0 +1,411 @@
+(** The query service (see the interface). *)
+
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+module R = Voodoo_engine.Resilient
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+module Trace = Voodoo_core.Trace
+module Q = Voodoo_tpch.Queries
+
+type engine_mode = Direct | Resilient of R.policy
+
+type config = {
+  sf : float;
+  seed : int;
+  workers : int;
+  queue_capacity : int;
+  plan_cache_capacity : int;
+  result_cache_bytes : int;
+  budget : Budget.t;
+  engine : engine_mode;
+  lower_opts : Lower.options option;
+  backend_opts : Voodoo_compiler.Codegen.options option;
+}
+
+let default_config =
+  {
+    sf = 0.01;
+    seed = 1;
+    workers = Pool.default_workers ();
+    queue_capacity = 64;
+    plan_cache_capacity = 64;
+    result_cache_bytes = 16 * 1024 * 1024;
+    budget = Budget.unlimited;
+    engine = Direct;
+    lower_opts = None;
+    backend_opts = None;
+  }
+
+type t = {
+  config : config;
+  registry : Catalogs.t;
+  plans : Plan_cache.t;
+  results : Result_cache.t;
+  pool : Pool.t;
+  opts_digest : string;  (** lower/codegen options part of every cache key *)
+  m : Mutex.t;
+  mutable next_session : int;
+  mutable sessions_opened : int;
+  mutable sessions_live : int;
+  mutable queries : int;
+  mutable result_hits : int;
+  mutable errors : int;
+}
+
+type outcome = (Engine.rows, Verror.t) result
+
+(* Internal: lets the plan evaluator inside a multi-phase query abort with
+   a typed error instead of rows. *)
+exception Service_error of Verror.t
+
+let create ?registry (config : config) =
+  let registry =
+    match registry with Some r -> r | None -> Catalogs.create ()
+  in
+  {
+    config;
+    registry;
+    plans = Plan_cache.create ~capacity:config.plan_cache_capacity;
+    results = Result_cache.create ~max_bytes:config.result_cache_bytes;
+    pool = Pool.create ~workers:config.workers ~queue_capacity:config.queue_capacity ();
+    opts_digest =
+      Digest.to_hex
+        (Digest.string
+           (Marshal.to_string (config.lower_opts, config.backend_opts) []));
+    m = Mutex.create ();
+    next_session = 0;
+    sessions_opened = 0;
+    sessions_live = 0;
+    queries = 0;
+    result_hits = 0;
+    errors = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let shutdown t = Pool.shutdown t.pool
+
+(* ---- sessions ---- *)
+
+let open_session ?sf ?seed t =
+  let sf = Option.value sf ~default:t.config.sf in
+  let seed = Option.value seed ~default:t.config.seed in
+  (* make sure the shared catalog exists before the first query *)
+  ignore (Catalogs.get t.registry ~seed ~sf ());
+  locked t (fun () ->
+      let id = t.next_session in
+      t.next_session <- id + 1;
+      t.sessions_opened <- t.sessions_opened + 1;
+      t.sessions_live <- t.sessions_live + 1;
+      Session.make ~id ~sf ~seed)
+
+let close_session t (s : Session.t) =
+  if not (Session.closed s) then begin
+    Session.close s;
+    locked t (fun () -> t.sessions_live <- t.sessions_live - 1)
+  end
+
+(* ---- cache keys (documented in docs/SERVICE.md) ---- *)
+
+let plan_key t ~generation plan =
+  Printf.sprintf "g%d|plan|%s|%s" generation
+    (Digest.to_hex (Digest.string (Marshal.to_string (plan : Ra.t) [])))
+    t.opts_digest
+
+let sql_result_key t ~generation text =
+  Printf.sprintf "g%d|sql|%s|%s" generation text t.opts_digest
+
+let query_result_key t ~generation name =
+  Printf.sprintf "g%d|query|%s|%s" generation name t.opts_digest
+
+(* ---- execution core (runs on pool domains) ---- *)
+
+let get_or_prepare t ?trace (cat : Catalog.t) ~generation (plan : Ra.t) =
+  let key = plan_key t ~generation plan in
+  match Plan_cache.find t.plans key with
+  | Some p -> p
+  | None ->
+      let p =
+        Engine.prepare ?trace ?lower_opts:t.config.lower_opts
+          ?backend_opts:t.config.backend_opts cat plan
+      in
+      Plan_cache.add t.plans key p;
+      p
+
+let run_prepared t ?trace cat (p : Engine.prepared) : outcome =
+  match t.config.engine with
+  | Direct -> (
+      match Engine.run_prepared ?trace ~budget:t.config.budget cat p with
+      | rows -> Ok rows
+      | exception e -> Error (R.classify R.Compiled e))
+  | Resilient policy -> (
+      match R.execute_prepared ?trace policy cat p with
+      | Ok (rows, _report) -> Ok rows
+      | Error e -> Error e)
+
+let count_outcome t (o : outcome) =
+  locked t (fun () ->
+      match o with
+      | Ok _ -> ()
+      | Error _ -> t.errors <- t.errors + 1);
+  o
+
+(* One plan, straight through: plan cache, then execute under the budget. *)
+let plan_job t ?trace ~result_key ~generation ~cat plan () : outcome =
+  count_outcome t
+    (match
+       let p = get_or_prepare t ?trace cat ~generation plan in
+       run_prepared t ?trace cat p
+     with
+    | Ok rows ->
+        Result_cache.add t.results result_key rows;
+        Ok rows
+    | Error e -> Error e
+    | exception e -> Error (R.classify R.Compiled e))
+
+(* A named multi-phase TPC-H query: every phase's plan goes through the
+   plan cache; the whole run happens on a catalog fork so temp-table
+   registration (Q20) cannot race with other domains. *)
+let named_query_job t ?trace ~result_key ~generation ~cat (q : Q.t) () :
+    outcome =
+  count_outcome t
+    (let forked = Catalogs.fork cat in
+     let eval c p =
+       let prep = get_or_prepare t ?trace c ~generation p in
+       match run_prepared t ?trace c prep with
+       | Ok rows -> rows
+       | Error e -> raise (Service_error e)
+     in
+     match q.Q.run eval forked with
+     | rows ->
+         Result_cache.add t.results result_key rows;
+         Ok rows
+     | exception Service_error e -> Error e
+     | exception e -> Error (R.classify R.Compiled e))
+
+(* ---- admission control ---- *)
+
+let shed_error t =
+  let s = Pool.stats t.pool in
+  Verror.makef Verror.Resource
+    "admission control: queue full (%d queued, capacity %d) — request shed"
+    s.Pool.queued s.Pool.queue_capacity
+
+let submit t job : outcome Pool.future =
+  match Pool.submit t.pool job with
+  | Ok fut -> fut
+  | Error `Queue_full ->
+      Pool.resolved (count_outcome t (Error (shed_error t)))
+  | Error `Shutting_down ->
+      Pool.resolved
+        (count_outcome t
+           (Error (Verror.make Verror.Resource "service is shutting down")))
+
+let await (fut : outcome Pool.future) : outcome =
+  match Pool.await fut with
+  | Ok outcome -> outcome
+  | Error e -> Error (R.classify R.Compiled e)
+
+(* ---- request bookkeeping shared by every front door ---- *)
+
+let entry_for t (s : Session.t) =
+  Catalogs.get t.registry ~seed:s.Session.seed ~sf:s.Session.sf ()
+
+let begin_request t (s : Session.t) =
+  Session.count_execution s;
+  locked t (fun () -> t.queries <- t.queries + 1)
+
+let cached_answer t key =
+  match Result_cache.find t.results key with
+  | Some rows ->
+      locked t (fun () -> t.result_hits <- t.result_hits + 1);
+      Some rows
+  | None -> None
+
+let closed_error (s : Session.t) =
+  Verror.makef Verror.Parse "session %d is closed" s.Session.id
+
+let parse_sql (cat : Catalog.t) text : (Ra.t, Verror.t) result =
+  match Sql.plan cat text with
+  | plan -> Ok plan
+  | exception Sql.Sql_error m -> Error (Verror.make Verror.Parse m)
+  | exception e -> Error (R.classify R.Compiled e)
+
+(* ---- front doors ---- *)
+
+let sql_async ?trace t (s : Session.t) text : outcome Pool.future =
+  if Session.closed s then
+    Pool.resolved (count_outcome t (Error (closed_error s)))
+  else begin
+  begin_request t s;
+  let entry = entry_for t s in
+  let generation = entry.Catalogs.generation in
+  match parse_sql entry.Catalogs.cat text with
+  | Error e -> Pool.resolved (count_outcome t (Error e))
+  | Ok plan -> (
+      let result_key = sql_result_key t ~generation text in
+      match cached_answer t result_key with
+      | Some rows -> Pool.resolved (Ok rows)
+      | None ->
+          submit t
+            (plan_job t ?trace ~result_key ~generation ~cat:entry.Catalogs.cat
+               plan))
+  end
+
+let prepare ?trace t (s : Session.t) ~name text : (unit, Verror.t) result =
+  if Session.closed s then begin
+    ignore (count_outcome t (Error (closed_error s)));
+    Error (closed_error s)
+  end
+  else
+  let entry = entry_for t s in
+  let generation = entry.Catalogs.generation in
+  match parse_sql entry.Catalogs.cat text with
+  | Error e ->
+      ignore (count_outcome t (Error e));
+      Error e
+  | Ok plan -> (
+      Session.put_stmt s ~name ~sql:text ~plan ~generation;
+      (* compile eagerly through the plan cache: EXEC becomes pure
+         execution, and re-PREPARE of identical text is a cache hit *)
+      match get_or_prepare t ?trace entry.Catalogs.cat ~generation plan with
+      | (_ : Engine.prepared) -> Ok ()
+      | exception e ->
+          let err = R.classify R.Compiled e in
+          ignore (count_outcome t (Error err));
+          Error err)
+
+let exec_async ?trace t (s : Session.t) name : outcome Pool.future =
+  if Session.closed s then
+    Pool.resolved (count_outcome t (Error (closed_error s)))
+  else begin
+  begin_request t s;
+  let entry = entry_for t s in
+  let generation = entry.Catalogs.generation in
+  match Session.find_stmt s name with
+  | None ->
+      Pool.resolved
+        (count_outcome t
+           (Error
+              (Verror.makef Verror.Parse "no prepared statement named %S" name)))
+  | Some stmt -> (
+      (* a swapped catalog invalidates the stored plan: literals resolve
+         to dictionary codes at planning time *)
+      let replanned =
+        if stmt.Session.planned_generation <> generation then
+          match parse_sql entry.Catalogs.cat stmt.Session.sql with
+          | Ok plan ->
+              Session.restmt s stmt ~plan ~generation;
+              Ok ()
+          | Error e -> Error e
+        else Ok ()
+      in
+      match replanned with
+      | Error e -> Pool.resolved (count_outcome t (Error e))
+      | Ok () -> (
+          let result_key = sql_result_key t ~generation stmt.Session.sql in
+          match cached_answer t result_key with
+          | Some rows -> Pool.resolved (Ok rows)
+          | None ->
+              submit t
+                (plan_job t ?trace ~result_key ~generation
+                   ~cat:entry.Catalogs.cat stmt.Session.plan)))
+  end
+
+let query_async ?trace t (s : Session.t) name : outcome Pool.future =
+  if Session.closed s then
+    Pool.resolved (count_outcome t (Error (closed_error s)))
+  else begin
+  begin_request t s;
+  let entry = entry_for t s in
+  let generation = entry.Catalogs.generation in
+  match Q.find ~sf:s.Session.sf name with
+  | None ->
+      Pool.resolved
+        (count_outcome t
+           (Error
+              (Verror.makef Verror.Parse "unknown query %s (have: %s)" name
+                 (String.concat ", " Q.cpu_figure13))))
+  | Some q -> (
+      let result_key = query_result_key t ~generation name in
+      match cached_answer t result_key with
+      | Some rows -> Pool.resolved (Ok rows)
+      | None ->
+          submit t
+            (named_query_job t ?trace ~result_key ~generation
+               ~cat:entry.Catalogs.cat q))
+  end
+
+let sql ?trace t s text = await (sql_async ?trace t s text)
+let exec ?trace t s name = await (exec_async ?trace t s name)
+let query ?trace t s name = await (query_async ?trace t s name)
+
+(* ---- catalog swaps ---- *)
+
+let refresh_catalog ?seed ~sf t =
+  let seed = Option.value seed ~default:t.config.seed in
+  let old = Catalogs.get t.registry ~seed ~sf () in
+  let fresh = Catalogs.refresh t.registry ~seed ~sf () in
+  let prefix = Printf.sprintf "g%d|" old.Catalogs.generation in
+  Result_cache.invalidate_prefix t.results prefix;
+  Plan_cache.invalidate_prefix t.plans prefix;
+  fresh
+
+(* ---- stats ---- *)
+
+type stats = {
+  sessions_opened : int;
+  sessions_live : int;
+  queries : int;
+  result_hits : int;
+  errors : int;
+  plan_cache : Plan_cache.stats;
+  result_cache : Result_cache.stats;
+  pool : Pool.stats;
+}
+
+let stats t =
+  let sessions_opened, sessions_live, queries, result_hits, errors =
+    locked t (fun () ->
+        (t.sessions_opened, t.sessions_live, t.queries, t.result_hits, t.errors))
+  in
+  {
+    sessions_opened;
+    sessions_live;
+    queries;
+    result_hits;
+    errors;
+    plan_cache = Plan_cache.stats t.plans;
+    result_cache = Result_cache.stats t.results;
+    pool = Pool.stats t.pool;
+  }
+
+let stats_fields (s : stats) : (string * float) list =
+  let f = float_of_int in
+  [
+    ("sessions.opened", f s.sessions_opened);
+    ("sessions.live", f s.sessions_live);
+    ("queries.answered", f s.queries);
+    ("queries.errors", f s.errors);
+    ("result_cache.hits", f (s.result_cache.Result_cache.hits));
+    ("result_cache.misses", f (s.result_cache.Result_cache.misses));
+    ("result_cache.evictions", f (s.result_cache.Result_cache.evictions));
+    ("result_cache.invalidations", f (s.result_cache.Result_cache.invalidations));
+    ("result_cache.entries", f (s.result_cache.Result_cache.entries));
+    ("result_cache.bytes", f (s.result_cache.Result_cache.bytes));
+    ("result_cache.max_bytes", f (s.result_cache.Result_cache.max_bytes));
+    ("plan_cache.hits", f (s.plan_cache.Plan_cache.hits));
+    ("plan_cache.misses", f (s.plan_cache.Plan_cache.misses));
+    ("plan_cache.evictions", f (s.plan_cache.Plan_cache.evictions));
+    ("plan_cache.entries", f (s.plan_cache.Plan_cache.entries));
+    ("pool.workers", f (s.pool.Pool.workers));
+    ("pool.queue_capacity", f (s.pool.Pool.queue_capacity));
+    ("pool.queued", f (s.pool.Pool.queued));
+    ("pool.running", f (s.pool.Pool.running));
+    ("pool.submitted", f (s.pool.Pool.submitted));
+    ("pool.completed", f (s.pool.Pool.completed));
+    ("pool.shed", f (s.pool.Pool.shed));
+  ]

@@ -1,0 +1,134 @@
+(** The query service: a long-lived, concurrent, cache-aware front end
+    over the engines.
+
+    The paper frames Voodoo as the execution engine behind a database
+    frontend (Section 4 replaces MonetDB's engine); this layer supplies
+    the serving side of that contract.  One {!t} owns:
+
+    - a {!Catalogs} registry — one [Dbgen.generate] per (sf, seed), ever;
+    - a {!Plan_cache} — repeated queries skip parse/lower/compile, which a
+      trace shows as absent ["lower"]/["compile"] spans;
+    - a {!Result_cache} — byte-capped LRU over result rows, invalidated
+      when the catalog is swapped;
+    - a {!Pool} of OCaml 5 domains with a bounded queue: admission control
+      sheds load with typed [Resource]-stage errors instead of queueing
+      without bound, and every execution runs under the configured
+      {!Voodoo_core.Budget.t}.
+
+    Every query API exists in async form (returning an {!outcome}
+    {!Pool.future}) and blocking form.  Protocol and socket front doors
+    live in {!Protocol} and {!Server}; the in-process API here is what
+    tests and benchmarks drive directly.  See [docs/SERVICE.md]. *)
+
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+module R = Voodoo_engine.Resilient
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+
+(** How pool jobs answer a plan: [Direct] runs the compiled engine and
+    classifies any escape into a {!Voodoo_core.Verror.t}; [Resilient]
+    drives the full fallback chain per attempt
+    ({!Voodoo_engine.Resilient.execute_prepared}). *)
+type engine_mode = Direct | Resilient of R.policy
+
+type config = {
+  sf : float;  (** default scale factor of new sessions *)
+  seed : int;  (** default dbgen seed of new sessions *)
+  workers : int;  (** pool domains *)
+  queue_capacity : int;  (** admission bound: pending jobs beyond this shed *)
+  plan_cache_capacity : int;  (** prepared plans kept (entries) *)
+  result_cache_bytes : int;  (** result cache cap (estimated bytes) *)
+  budget : Budget.t;  (** per-execution resource budget *)
+  engine : engine_mode;
+  lower_opts : Lower.options option;
+  backend_opts : Voodoo_compiler.Codegen.options option;
+}
+
+(** sf 0.01, seed 1, {!Pool.default_workers} domains, queue 64, 64 plans,
+    16 MiB of results, unlimited budget, [Direct]. *)
+val default_config : config
+
+type t
+
+type outcome = (Engine.rows, Verror.t) result
+
+(** [create config] spawns the worker domains immediately.  [registry]
+    lets several services (or the CLI) share one catalog registry. *)
+val create : ?registry:Catalogs.t -> config -> t
+
+(** Stop accepting work, drain the queue, join the domains.  Idempotent. *)
+val shutdown : t -> unit
+
+(** {2 Sessions} *)
+
+(** [open_session t] makes a session at the service's default (or the
+    given) scale factor/seed; the shared catalog is built now if this is
+    its first use. *)
+val open_session : ?sf:float -> ?seed:int -> t -> Session.t
+
+val close_session : t -> Session.t -> unit
+
+(** {2 Queries}
+
+    The async forms return immediately: either a pending future, or an
+    already-resolved one when the result cache answered or admission
+    control shed the request. *)
+
+(** [prepare t s ~name text] parses [text] and compiles it through the
+    plan cache (eagerly — EXEC is then pure execution, and re-PREPARE of
+    identical text is a plan-cache hit). *)
+val prepare :
+  ?trace:Voodoo_core.Trace.t ->
+  t -> Session.t -> name:string -> string -> (unit, Verror.t) result
+
+(** Run a previously prepared statement by name. *)
+val exec_async :
+  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+
+(** One-shot SQL text (planned, then cached like any other query). *)
+val sql_async :
+  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+
+(** A named TPC-H query ([Q1] … [Q20]); multi-phase queries run all their
+    phases in one pool job on a catalog fork. *)
+val query_async :
+  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+
+val await : outcome Pool.future -> outcome
+
+val exec : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
+val sql : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
+val query : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
+
+(** {2 Catalog swaps} *)
+
+(** [refresh_catalog ~sf t] regenerates the catalog under a new
+    generation and invalidates every plan and result cached against the
+    old one. *)
+val refresh_catalog : ?seed:int -> sf:float -> t -> Catalogs.entry
+
+(** {2 Stats} *)
+
+type stats = {
+  sessions_opened : int;
+  sessions_live : int;
+  queries : int;  (** requests accepted (including cache hits) *)
+  result_hits : int;  (** answered straight from the result cache *)
+  errors : int;  (** typed error outcomes (sheds included) *)
+  plan_cache : Plan_cache.stats;
+  result_cache : Result_cache.stats;
+  pool : Pool.stats;
+}
+
+val stats : t -> stats
+
+(** Flat key/value rendering (the protocol's [STATS] payload). *)
+val stats_fields : stats -> (string * float) list
+
+(** {2 Exposed for tests} *)
+
+(** The plan-cache key: catalog generation + structural digest of the
+    relational plan + digest of the service's lower/codegen options.
+    Equal exactly when a cached prepared plan may be reused. *)
+val plan_key : t -> generation:int -> Ra.t -> string

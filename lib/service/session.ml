@@ -1,0 +1,60 @@
+(** Client sessions (see the interface). *)
+
+open Voodoo_relational
+
+type stmt = {
+  sql : string;
+  mutable plan : Ra.t;
+  mutable planned_generation : int;
+}
+
+type t = {
+  id : int;
+  sf : float;
+  seed : int;
+  m : Mutex.t;
+  stmts : (string, stmt) Hashtbl.t;
+  mutable executed : int;
+  mutable closed : bool;
+}
+
+let make ~id ~sf ~seed =
+  {
+    id;
+    sf;
+    seed;
+    m = Mutex.create ();
+    stmts = Hashtbl.create 8;
+    executed = 0;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let put_stmt t ~name ~sql ~plan ~generation =
+  locked t (fun () ->
+      Hashtbl.replace t.stmts name { sql; plan; planned_generation = generation })
+
+let find_stmt t name = locked t (fun () -> Hashtbl.find_opt t.stmts name)
+
+let restmt t (s : stmt) ~plan ~generation =
+  locked t (fun () ->
+      s.plan <- plan;
+      s.planned_generation <- generation)
+
+let count_execution t = locked t (fun () -> t.executed <- t.executed + 1)
+
+let executed t = locked t (fun () -> t.executed)
+
+let stmt_names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.stmts [] |> List.sort compare)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Hashtbl.reset t.stmts)
+
+let closed t = locked t (fun () -> t.closed)

@@ -1,0 +1,50 @@
+(** Client sessions: named prepared statements over a shared catalog.
+
+    A session is cheap — it holds no catalog of its own, only the
+    (scale factor, seed) pair it resolves through the service's
+    {!Catalogs} registry at each call, plus its named prepared statements.
+    A statement remembers the catalog generation it was planned against;
+    when the registry has swapped the catalog since, the service re-plans
+    transparently (SQL string literals resolve to dictionary codes at
+    planning time, so a plan must never outlive its catalog).
+    Thread-safe: one socket connection or test thread per session is the
+    intended shape, but nothing breaks under sharing. *)
+
+open Voodoo_relational
+
+type stmt = {
+  sql : string;
+  mutable plan : Ra.t;
+  mutable planned_generation : int;
+      (** catalog generation [plan] was derived against *)
+}
+
+type t = {
+  id : int;
+  sf : float;
+  seed : int;
+  m : Mutex.t;
+  stmts : (string, stmt) Hashtbl.t;
+  mutable executed : int;
+  mutable closed : bool;
+}
+
+val make : id:int -> sf:float -> seed:int -> t
+
+val put_stmt :
+  t -> name:string -> sql:string -> plan:Ra.t -> generation:int -> unit
+
+val find_stmt : t -> string -> stmt option
+
+(** Refresh a statement's plan after a catalog swap. *)
+val restmt : t -> stmt -> plan:Ra.t -> generation:int -> unit
+
+val count_execution : t -> unit
+
+val executed : t -> int
+
+val stmt_names : t -> string list
+
+val close : t -> unit
+
+val closed : t -> bool

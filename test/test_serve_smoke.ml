@@ -1,0 +1,155 @@
+(* Serve ↔ client round trip: a real server on a Unix socket, a real
+   client over the wire.  Every TPC-H query answered through the socket
+   must equal the serial compiled engine's rows exactly (the protocol's
+   hex-float wire form is lossless), PREPARE/EXEC must work, errors must
+   arrive typed, and STATS must reflect the traffic. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Server = Voodoo_service.Server
+module P = Voodoo_service.Protocol
+
+let sf = 0.005
+
+let registry = Catalogs.create ()
+
+let canon (q : Q.t) rows = Reference.sort_rows (Reference.project_rows q.Q.columns rows)
+
+let socket_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "voodoo_smoke_%d.sock" (Unix.getpid ()))
+
+let with_server f =
+  let config =
+    { Svc.default_config with Svc.sf; workers = 2; queue_capacity = 32 }
+  in
+  let service = Svc.create ~registry config in
+  let server = Server.start ~service (Server.Unix_socket socket_path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Svc.shutdown service)
+    (fun () -> f service)
+
+let with_client f =
+  let conn = Server.Client.connect ~retries:40 (Server.Unix_socket socket_path) in
+  Fun.protect ~finally:(fun () -> Server.Client.close conn) (fun () -> f conn)
+
+let request conn req =
+  match Server.Client.request conn req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+let rows_of conn req =
+  match request conn req with
+  | P.Rows rows -> rows
+  | P.Err (stage, msg) -> Alcotest.failf "server error [%s]: %s" stage msg
+  | _ -> Alcotest.fail "expected a ROWS response"
+
+let test_all_queries_roundtrip () =
+  with_server (fun _service ->
+      with_client (fun conn ->
+          let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+          List.iter
+            (fun name ->
+              let q = Option.get (Q.find ~sf name) in
+              let expected = q.Q.run (fun c p -> E.compiled c p) cat in
+              let got = rows_of conn (P.Query name) in
+              if not (Reference.rows_equal (canon q expected) (canon q got)) then
+                Alcotest.failf "%s: socket rows differ from serial compiled" name)
+            Q.cpu_figure13))
+
+let test_prepare_exec_stats () =
+  with_server (fun _service ->
+      with_client (fun conn ->
+          (match request conn (P.Prepare ("r", "select count(*) from region")) with
+          | P.Prepared "r" -> ()
+          | _ -> Alcotest.fail "PREPARE should answer OK PREPARED r");
+          let r1 = rows_of conn (P.Exec "r") in
+          let r2 = rows_of conn (P.Exec "r") in
+          Alcotest.(check bool) "EXEC twice, same rows" true
+            (Reference.rows_equal r1 r2);
+          (* a typed error, not a dropped connection *)
+          (match request conn (P.Sql "select count(*) from nowhere") with
+          | P.Err (stage, _) ->
+              Alcotest.(check bool) "error stage is typed" true
+                (List.mem stage [ "parse"; "type"; "lower" ])
+          | _ -> Alcotest.fail "bad SQL must answer ERR");
+          (* the connection survives the error and still answers *)
+          ignore (rows_of conn (P.Exec "r"));
+          match request conn P.Stats with
+          | P.Stats_reply fields ->
+              let get k =
+                match List.assoc_opt k fields with
+                | Some v -> v
+                | None -> Alcotest.failf "STATS missing %s" k
+              in
+              Alcotest.(check bool) "answered some queries" true
+                (get "queries.answered" >= 3.0);
+              Alcotest.(check bool) "exactly one error" true
+                (get "queries.errors" = 1.0);
+              Alcotest.(check bool) "EXEC repeats hit a cache" true
+                (get "result_cache.hits" +. get "plan_cache.hits" >= 1.0)
+          | _ -> Alcotest.fail "STATS should answer OK STATS"))
+
+let test_concurrent_clients () =
+  with_server (fun _service ->
+      let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+      let q6 = Option.get (Q.find ~sf "Q6") in
+      let expected = canon q6 (q6.Q.run (fun c p -> E.compiled c p) cat) in
+      let results = Array.make 4 [] in
+      let threads =
+        List.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                with_client (fun conn ->
+                    results.(i) <- List.init 3 (fun _ -> rows_of conn (P.Query "Q6"))))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iter
+        (fun rows_list ->
+          Alcotest.(check int) "client got all three answers" 3
+            (List.length rows_list);
+          List.iter
+            (fun rows ->
+              Alcotest.(check bool) "concurrent client rows agree" true
+                (Reference.rows_equal expected (canon q6 rows)))
+            rows_list)
+        results)
+
+let test_close_ends_session () =
+  with_server (fun service ->
+      with_client (fun conn ->
+          ignore (rows_of conn (P.Query "Q6"));
+          match request conn P.Close with
+          | P.Bye ->
+              (* give the handler thread a moment to tear the session down *)
+              let rec wait n =
+                let live = (Svc.stats service).Svc.sessions_live in
+                if live = 0 then ()
+                else if n = 0 then
+                  Alcotest.failf "session still live after CLOSE (%d)" live
+                else begin
+                  Thread.delay 0.05;
+                  wait (n - 1)
+                end
+              in
+              wait 40
+          | _ -> Alcotest.fail "CLOSE should answer OK BYE"))
+
+let () =
+  Alcotest.run "serve-smoke"
+    [
+      ( "socket",
+        [
+          Alcotest.test_case "all TPC-H queries round-trip" `Slow
+            test_all_queries_roundtrip;
+          Alcotest.test_case "prepare/exec/err/stats" `Quick test_prepare_exec_stats;
+          Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+          Alcotest.test_case "close ends the session" `Quick test_close_ends_session;
+        ] );
+    ]

@@ -1,0 +1,444 @@
+(* The query service layer: plan-cache hits (absent lower/compile spans),
+   key discrimination, LRU eviction, result-cache invalidation on catalog
+   swap, admission control under overload, per-query budgets, protocol
+   round-trips, pool behavior, and a determinism test — concurrent
+   sessions on several domains must answer every TPC-H query exactly as a
+   serial run does. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Verror = Voodoo_core.Verror
+module Budget = Voodoo_core.Budget
+module Trace = Voodoo_core.Trace
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Plan_cache = Voodoo_service.Plan_cache
+module Result_cache = Voodoo_service.Result_cache
+module Pool = Voodoo_service.Pool
+module Session = Voodoo_service.Session
+module P = Voodoo_service.Protocol
+
+let sf = 0.005
+
+(* One registry for the whole test binary: every service built on it
+   shares the single generated catalog. *)
+let registry = Catalogs.create ()
+
+let base_config =
+  {
+    Svc.default_config with
+    Svc.sf;
+    workers = 2;
+    result_cache_bytes = 0 (* most tests want misses to reach the pool *);
+  }
+
+let with_service ?(config = base_config) f =
+  let t = Svc.create ~registry config in
+  Fun.protect ~finally:(fun () -> Svc.shutdown t) (fun () -> f t)
+
+let ok = function
+  | Ok rows -> rows
+  | Error e -> Alcotest.failf "unexpected service error: %s" (Verror.to_string e)
+
+let canon (q : Q.t) rows = Reference.sort_rows (Reference.project_rows q.Q.columns rows)
+
+let serial_compiled name =
+  let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let q = Option.get (Q.find ~sf name) in
+  (q, q.Q.run (fun c p -> E.compiled c p) cat)
+
+(* ---- plan cache ---- *)
+
+let test_warm_sql_skips_lower_compile () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      let text = "select sum(l_quantity) from lineitem where l_discount >= 0.05" in
+      let tr1 = Trace.create () in
+      let r1 = ok (Svc.sql ~trace:tr1 t s text) in
+      Alcotest.(check bool) "cold run lowered" true (Trace.find_all tr1 "lower" <> []);
+      Alcotest.(check bool) "cold run compiled" true (Trace.find_all tr1 "compile" <> []);
+      let tr2 = Trace.create () in
+      let r2 = ok (Svc.sql ~trace:tr2 t s text) in
+      Alcotest.(check bool) "warm run executed" true (Trace.find_all tr2 "execute" <> []);
+      Alcotest.(check (list string)) "warm run: no lower span" []
+        (List.map (fun (sp : Trace.span) -> sp.Trace.name) (Trace.find_all tr2 "lower"));
+      Alcotest.(check (list string)) "warm run: no compile span" []
+        (List.map (fun (sp : Trace.span) -> sp.Trace.name) (Trace.find_all tr2 "compile"));
+      Alcotest.(check bool) "same rows" true (Reference.rows_equal r1 r2);
+      let st = Svc.stats t in
+      Alcotest.(check int) "one plan-cache hit" 1 st.Svc.plan_cache.Plan_cache.hits)
+
+let test_reprepare_hits_plan_cache () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      let text = "select count(*) from region" in
+      (match Svc.prepare t s ~name:"a" text with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "prepare failed: %s" (Verror.to_string e));
+      (match Svc.prepare t s ~name:"b" text with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "re-prepare failed: %s" (Verror.to_string e));
+      let st = Svc.stats t in
+      Alcotest.(check int) "second PREPARE is a hit" 1 st.Svc.plan_cache.Plan_cache.hits;
+      Alcotest.(check int) "one compile" 1 st.Svc.plan_cache.Plan_cache.misses;
+      let r1 = ok (Svc.exec t s "a") and r2 = ok (Svc.exec t s "b") in
+      Alcotest.(check bool) "both statements answer" true (Reference.rows_equal r1 r2))
+
+let test_plan_key_discrimination () =
+  let no_opt =
+    {
+      Voodoo_compiler.Codegen.fuse = false;
+      virtual_scatter = false;
+      suppress_empty_slots = false;
+    }
+  in
+  with_service (fun t1 ->
+      with_service
+        ~config:{ base_config with Svc.backend_opts = Some no_opt }
+        (fun t2 ->
+          let entry = Catalogs.get registry ~sf () in
+          let cat = entry.Catalogs.cat in
+          let g = entry.Catalogs.generation in
+          let plan1 = Sql.plan cat "select count(*) from region" in
+          let plan1' = Sql.plan cat "select count(*) from region" in
+          let plan2 = Sql.plan cat "select count(*) from nation" in
+          Alcotest.(check string) "same plan, same options: equal keys"
+            (Svc.plan_key t1 ~generation:g plan1)
+            (Svc.plan_key t1 ~generation:g plan1');
+          Alcotest.(check bool) "different plans differ" true
+            (Svc.plan_key t1 ~generation:g plan1 <> Svc.plan_key t1 ~generation:g plan2);
+          Alcotest.(check bool) "different codegen options differ" true
+            (Svc.plan_key t1 ~generation:g plan1 <> Svc.plan_key t2 ~generation:g plan1);
+          Alcotest.(check bool) "different catalog generations differ" true
+            (Svc.plan_key t1 ~generation:g plan1
+            <> Svc.plan_key t1 ~generation:(g + 1) plan1)))
+
+let test_plan_cache_lru_eviction () =
+  with_service
+    ~config:{ base_config with Svc.plan_cache_capacity = 2 }
+    (fun t ->
+      let s = Svc.open_session t in
+      let q1 = "select count(*) from region" in
+      let q2 = "select count(*) from nation" in
+      let q3 = "select count(*) from supplier" in
+      ignore (ok (Svc.sql t s q1));
+      ignore (ok (Svc.sql t s q2));
+      ignore (ok (Svc.sql t s q3));
+      let st = (Svc.stats t).Svc.plan_cache in
+      Alcotest.(check int) "capacity held" 2 st.Plan_cache.entries;
+      Alcotest.(check int) "LRU evicted once" 1 st.Plan_cache.evictions;
+      (* q1 was the least recently used: running it again must re-compile *)
+      ignore (ok (Svc.sql t s q1));
+      let st' = (Svc.stats t).Svc.plan_cache in
+      Alcotest.(check int) "evictee misses again" 4 st'.Plan_cache.misses;
+      (* q3 is still resident *)
+      ignore (ok (Svc.sql t s q3));
+      let st'' = (Svc.stats t).Svc.plan_cache in
+      Alcotest.(check int) "resident entry hits" (st'.Plan_cache.hits + 1)
+        st''.Plan_cache.hits)
+
+(* ---- result cache & catalog swaps ---- *)
+
+let test_result_cache_hit_and_invalidation () =
+  with_service
+    ~config:{ base_config with Svc.result_cache_bytes = 1024 * 1024 }
+    (fun t ->
+      let s = Svc.open_session t in
+      let text = "select count(*), sum(l_quantity) from lineitem" in
+      let r1 = ok (Svc.sql t s text) in
+      let r2 = ok (Svc.sql t s text) in
+      let st = Svc.stats t in
+      Alcotest.(check int) "second run served from result cache" 1 st.Svc.result_hits;
+      Alcotest.(check bool) "cached rows equal" true (Reference.rows_equal r1 r2);
+      (* swapping the catalog must invalidate — same sf and seed regenerate
+         identical data, so rows stay equal but must be recomputed *)
+      ignore (Svc.refresh_catalog ~sf t);
+      let r3 = ok (Svc.sql t s text) in
+      let st' = Svc.stats t in
+      Alcotest.(check int) "no new result-cache hit after swap" st.Svc.result_hits
+        st'.Svc.result_hits;
+      Alcotest.(check bool) "old generation entries dropped" true
+        (st'.Svc.result_cache.Result_cache.invalidations >= 1);
+      Alcotest.(check bool) "recomputed rows equal" true (Reference.rows_equal r1 r3))
+
+let test_prepared_survives_catalog_swap () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      (match Svc.prepare t s ~name:"n" "select count(*) from nation" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "prepare failed: %s" (Verror.to_string e));
+      let r1 = ok (Svc.exec t s "n") in
+      ignore (Svc.refresh_catalog ~sf t);
+      (* the statement re-plans against the new generation transparently *)
+      let r2 = ok (Svc.exec t s "n") in
+      Alcotest.(check bool) "same rows across generations" true
+        (Reference.rows_equal r1 r2))
+
+(* ---- admission control & budgets ---- *)
+
+let test_admission_control_sheds () =
+  with_service
+    ~config:{ base_config with Svc.workers = 1; queue_capacity = 1 }
+    (fun t ->
+      let s = Svc.open_session t in
+      (* occupy the single worker with a heavy query, then rapid-fire *)
+      let slow = Svc.query_async t s "Q9" in
+      let burst = List.init 20 (fun _ -> Svc.query_async t s "Q6") in
+      let _, expected = serial_compiled "Q6" in
+      let q6 = Option.get (Q.find ~sf "Q6") in
+      let shed = ref 0 and answered = ref 0 in
+      List.iter
+        (fun fut ->
+          match Svc.await fut with
+          | Ok rows ->
+              incr answered;
+              Alcotest.(check bool) "admitted burst query answers correctly" true
+                (Reference.rows_equal (canon q6 expected) (canon q6 rows))
+          | Error e ->
+              incr shed;
+              Alcotest.(check string) "shed is a Resource-stage error" "resource"
+                (String.lowercase_ascii (Verror.stage_name e.Verror.stage));
+              Alcotest.(check bool) "shed message names admission control" true
+                (let msg = e.Verror.message in
+                 let has_sub sub =
+                   let n = String.length sub and m = String.length msg in
+                   let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+                   go 0
+                 in
+                 has_sub "shed" || has_sub "queue full"))
+        burst;
+      ignore (Svc.await slow);
+      Alcotest.(check int) "every burst request resolved" 20 (!shed + !answered);
+      Alcotest.(check bool) "overload shed at least one request" true (!shed >= 1);
+      let st = Svc.stats t in
+      Alcotest.(check int) "pool counted the sheds" !shed st.Svc.pool.Pool.shed)
+
+let test_budget_rejection () =
+  with_service
+    ~config:
+      {
+        base_config with
+        Svc.budget =
+          { Budget.max_total_extent = Some 1; max_vector_bytes = None; max_steps = None };
+      }
+    (fun t ->
+      let s = Svc.open_session t in
+      match Svc.sql t s "select sum(l_quantity) from lineitem" with
+      | Ok _ -> Alcotest.fail "a 1-extent budget should reject a lineitem scan"
+      | Error e ->
+          Alcotest.(check string) "budget exhaustion is Resource-stage" "resource"
+            (String.lowercase_ascii (Verror.stage_name e.Verror.stage)))
+
+let test_error_outcome_is_typed () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      (match Svc.sql t s "select count(*) from nowhere" with
+      | Ok _ -> Alcotest.fail "unknown table must fail"
+      | Error e ->
+          Alcotest.(check bool) "stage is parse-side" true
+            (List.mem (Verror.stage_name e.Verror.stage) [ "parse"; "type"; "lower" ]));
+      match Svc.exec t s "never-prepared" with
+      | Ok _ -> Alcotest.fail "unknown statement must fail"
+      | Error _ -> ())
+
+(* ---- determinism under concurrency ---- *)
+
+let test_concurrent_sessions_agree_with_serial () =
+  with_service
+    ~config:{ base_config with Svc.workers = 4; queue_capacity = 128 }
+    (fun t ->
+      let names = Q.cpu_figure13 in
+      let expected =
+        List.map
+          (fun name ->
+            let q, rows = serial_compiled name in
+            (name, q, canon q rows))
+          names
+      in
+      let sessions = List.init 3 (fun _ -> Svc.open_session t) in
+      let futures =
+        List.concat_map
+          (fun s -> List.map (fun name -> (name, Svc.query_async t s name)) names)
+          sessions
+      in
+      List.iter
+        (fun (name, fut) ->
+          let rows = ok (Svc.await fut) in
+          let _, q, want =
+            List.find (fun (n, _, _) -> n = name) expected
+          in
+          if not (Reference.rows_equal want (canon q rows)) then
+            Alcotest.failf "%s: concurrent result differs from serial" name)
+        futures;
+      let st = Svc.stats t in
+      Alcotest.(check int) "all pool jobs completed" st.Svc.pool.Pool.submitted
+        st.Svc.pool.Pool.completed;
+      Alcotest.(check int) "nothing shed at capacity 128" 0 st.Svc.pool.Pool.shed)
+
+(* ---- pool ---- *)
+
+let test_pool_runs_jobs_and_propagates_errors () =
+  let p = Pool.create ~workers:2 ~queue_capacity:64 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let futs =
+        List.init 50 (fun i ->
+            match Pool.submit p (fun () -> i * i) with
+            | Ok f -> f
+            | Error _ -> Alcotest.fail "submit rejected under capacity")
+      in
+      let total =
+        List.fold_left
+          (fun acc f ->
+            match Pool.await f with
+            | Ok v -> acc + v
+            | Error e -> Alcotest.failf "job failed: %s" (Printexc.to_string e))
+          0 futs
+      in
+      Alcotest.(check int) "sum of squares" (49 * 50 * 99 / 6) total;
+      (match Pool.submit p (fun () -> failwith "boom") with
+      | Ok f -> (
+          match Pool.await f with
+          | Error (Failure m) -> Alcotest.(check string) "exception surfaces" "boom" m
+          | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+          | Ok () -> Alcotest.fail "job should have failed")
+      | Error _ -> Alcotest.fail "submit rejected");
+      let st = Pool.stats p in
+      Alcotest.(check int) "completed all" 51 st.Pool.completed)
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~workers:2 ~queue_capacity:4 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  match Pool.submit p (fun () -> ()) with
+  | Error `Shutting_down -> ()
+  | Ok _ | Error `Queue_full -> Alcotest.fail "submit after shutdown must be rejected"
+
+(* ---- protocol ---- *)
+
+let test_protocol_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match P.parse_request (P.render_request req) with
+      | Ok req' -> Alcotest.(check bool) "request round-trips" true (req = req')
+      | Error e -> Alcotest.failf "request did not parse back: %s" e)
+    [
+      P.Prepare ("q6", "select count(*) from region");
+      P.Exec "q6";
+      P.Sql "select sum(l_quantity) from lineitem";
+      P.Query "Q14";
+      P.Stats;
+      P.Close;
+    ]
+
+let test_protocol_row_roundtrip () =
+  let row =
+    [
+      ("a", Some (Voodoo_vector.Scalar.I 42));
+      ("b", Some (Voodoo_vector.Scalar.I (-7)));
+      ("c", Some (Voodoo_vector.Scalar.F 0.1));
+      ("d", Some (Voodoo_vector.Scalar.F (-1.5e300)));
+      ("e", None);
+    ]
+  in
+  match P.parse_row (P.render_row row) with
+  | Ok row' -> Alcotest.(check bool) "row round-trips exactly" true (row = row')
+  | Error e -> Alcotest.failf "row did not parse back: %s" e
+
+let test_protocol_response_roundtrip () =
+  let reread resp =
+    let lines = ref (P.render_response resp) in
+    let next () =
+      match !lines with
+      | [] -> None
+      | l :: rest ->
+          lines := rest;
+          Some l
+    in
+    P.read_response next
+  in
+  let rows =
+    [
+      [ ("x", Some (Voodoo_vector.Scalar.I 1)); ("y", Some (Voodoo_vector.Scalar.F 2.5)) ];
+      [ ("x", Some (Voodoo_vector.Scalar.I 2)); ("y", None) ];
+    ]
+  in
+  (match reread (P.Rows rows) with
+  | Ok (P.Rows rows') -> Alcotest.(check bool) "rows round-trip" true (rows = rows')
+  | other ->
+      Alcotest.failf "rows response broke: %s"
+        (match other with Error e -> e | Ok _ -> "wrong constructor"));
+  (match reread (P.Stats_reply [ ("pool.workers", 4.0); ("hit.rate", 0.75) ]) with
+  | Ok (P.Stats_reply kv) ->
+      Alcotest.(check bool) "stats round-trip" true
+        (kv = [ ("pool.workers", 4.0); ("hit.rate", 0.75) ])
+  | _ -> Alcotest.fail "stats response broke");
+  match reread (P.Err ("resource", "queue full — request shed")) with
+  | Ok (P.Err (stage, _)) -> Alcotest.(check string) "error stage survives" "resource" stage
+  | _ -> Alcotest.fail "error response broke"
+
+(* ---- sessions ---- *)
+
+let test_session_lifecycle () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      ignore (ok (Svc.sql t s "select count(*) from region"));
+      let st = Svc.stats t in
+      Alcotest.(check int) "one live session" 1 st.Svc.sessions_live;
+      Svc.close_session t s;
+      let st' = Svc.stats t in
+      Alcotest.(check int) "closed" 0 st'.Svc.sessions_live;
+      Alcotest.(check bool) "session marked closed" true (Session.closed s);
+      match Svc.sql t s "select count(*) from region" with
+      | Ok _ -> Alcotest.fail "closed session must not answer"
+      | Error _ -> ())
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "plan-cache",
+        [
+          Alcotest.test_case "warm sql skips lower+compile" `Quick
+            test_warm_sql_skips_lower_compile;
+          Alcotest.test_case "re-prepare hits" `Quick test_reprepare_hits_plan_cache;
+          Alcotest.test_case "key discrimination" `Quick test_plan_key_discrimination;
+          Alcotest.test_case "LRU eviction at capacity" `Quick
+            test_plan_cache_lru_eviction;
+        ] );
+      ( "result-cache",
+        [
+          Alcotest.test_case "hit then invalidate on swap" `Quick
+            test_result_cache_hit_and_invalidation;
+          Alcotest.test_case "prepared survives swap" `Quick
+            test_prepared_survives_catalog_swap;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload sheds typed errors" `Quick
+            test_admission_control_sheds;
+          Alcotest.test_case "budget exhaustion is typed" `Quick test_budget_rejection;
+          Alcotest.test_case "failures stay typed" `Quick test_error_outcome_is_typed;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "3 sessions x 14 queries on 4 domains" `Slow
+            test_concurrent_sessions_agree_with_serial;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs jobs, propagates errors" `Quick
+            test_pool_runs_jobs_and_propagates_errors;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_protocol_request_roundtrip;
+          Alcotest.test_case "row round-trip" `Quick test_protocol_row_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_protocol_response_roundtrip;
+        ] );
+      ( "sessions",
+        [ Alcotest.test_case "lifecycle" `Quick test_session_lifecycle ] );
+    ]
