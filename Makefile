@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test check clean bench-exec
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 # and runs the full test suite. Equivalent to `dune build @check`.
 check:
 	dune build @check
+
+# Executor-mode wall clock: tree walk vs closures vs domain-parallel
+# chunks, over all 14 TPC-H queries -> BENCH_exec.json.
+bench-exec:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe exec
 
 clean:
 	dune clean

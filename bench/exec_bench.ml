@@ -1,0 +1,153 @@
+(** Execution-mode benchmark ([bench/main.exe exec]): wall-clock over all
+    14 TPC-H queries for the fragment executor's modes, in two sections —
+
+    - [sweep] (SF 0.01): reference tree walk vs. closure-compiled kernels,
+      instrumented and raw.  The tree walk re-interprets the kernel IR per
+      work item, so larger scale factors would take minutes per pass.
+    - [parallel] (SF 0.05): raw closures chunked across 1/2/4 domains.
+      Fragment extents at SF 0.01 are small enough that per-query serial
+      work (prepare, fetch) dominates; SF 0.05 gives the chunks something
+      to split.  The recorded [cores] value is the context for these
+      numbers: wall-clock speedup needs real cores, on a single-core host
+      extra domains only time-slice (rows and totals stay bit-identical
+      either way — that part is enforced by [test/test_exec_fast.ml]).
+
+    Plans are prepared once per query through a local memo (like the
+    service's plan cache) so the timings isolate execution, and each mode
+    reports its best of [reps] passes.  Results go to [BENCH_exec.json]. *)
+
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Codegen = Voodoo_compiler.Codegen
+
+let sweep_sf = 0.01
+let parallel_sf = 0.05
+let reps = 3
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Execute one named query end-to-end under [exec], preparing each phase's
+   plan at most once per process (multi-phase queries contribute several
+   plans; repeated reps hit the memo). *)
+let run_query ~prepared ~exec (q : Q.t) cat =
+  let eval c p =
+    let key = Marshal.to_string (p : Voodoo_relational.Ra.t) [] in
+    let prep =
+      match Hashtbl.find_opt prepared key with
+      | Some pr -> pr
+      | None ->
+          let pr = E.prepare c p in
+          Hashtbl.replace prepared key pr;
+          pr
+    in
+    E.run_prepared ~exec c prep
+  in
+  q.Q.run eval cat
+
+let bench_mode ~prepared ~exec q cat =
+  ignore (run_query ~prepared ~exec q cat) (* warm the plan memo *);
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let (), dt = time (fun () -> ignore (run_query ~prepared ~exec q cat)) in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let ratio num den = if den <= 0.0 then 0.0 else num /. den
+
+(* Run every TPC-H query under every mode; returns per-query assoc lists
+   of (mode label, best seconds). *)
+let sweep_modes ~sf cat modes =
+  List.map
+    (fun name ->
+      let q = Option.get (Q.find ~sf name) in
+      let prepared = Hashtbl.create 8 in
+      ( name,
+        List.map
+          (fun (label, exec) -> (label, bench_mode ~prepared ~exec q cat))
+          modes ))
+    Q.cpu_figure13
+
+let total per_query label =
+  List.fold_left (fun acc (_, ts) -> acc +. List.assoc label ts) 0.0 per_query
+
+let emit_queries oc per_query labels =
+  List.iteri
+    (fun i (name, ts) ->
+      Printf.fprintf oc "      { \"name\": %S" name;
+      List.iter
+        (fun l -> Printf.fprintf oc ", \"%s_s\": %.6f" l (List.assoc l ts))
+        labels;
+      Printf.fprintf oc " }%s\n"
+        (if i = List.length per_query - 1 then "" else ","))
+    per_query
+
+let run () =
+  (* -- sweep: tree walk vs closures, SF 0.01 -- *)
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:sweep_sf () in
+  let sweep =
+    sweep_modes ~sf:sweep_sf cat
+      [
+        ("tree_walk", Codegen.Tree_walk);
+        ("closure_instrumented", Codegen.Closure { instrument = true; jobs = 1 });
+        ("closure_raw", Codegen.Closure { instrument = false; jobs = 1 });
+      ]
+  in
+  let tw = total sweep "tree_walk"
+  and ci = total sweep "closure_instrumented"
+  and cr = total sweep "closure_raw" in
+
+  (* -- parallel: raw closures across domains, SF 0.05 -- *)
+  let pcat = Voodoo_tpch.Dbgen.generate ~sf:parallel_sf () in
+  let par =
+    sweep_modes ~sf:parallel_sf pcat
+      [
+        ("parallel_1", Codegen.Closure { instrument = false; jobs = 1 });
+        ("parallel_2", Codegen.Closure { instrument = false; jobs = 2 });
+        ("parallel_4", Codegen.Closure { instrument = false; jobs = 4 });
+      ]
+  in
+  let p1 = total par "parallel_1"
+  and p2 = total par "parallel_2"
+  and p4 = total par "parallel_4" in
+
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc
+    "{\n  \"reps\": %d,\n  \"cores\": %d,\n  \"sweep\": {\n    \"sf\": %g,\n\
+    \    \"queries\": [\n"
+    reps
+    (Domain.recommended_domain_count ())
+    sweep_sf;
+  emit_queries oc sweep [ "tree_walk"; "closure_instrumented"; "closure_raw" ];
+  Printf.fprintf oc
+    "    ],\n\
+    \    \"totals\": { \"tree_walk_s\": %.6f, \"closure_instrumented_s\": \
+     %.6f, \"closure_raw_s\": %.6f,\n\
+    \                 \"speedup_instrumented_vs_tree\": %.2f, \
+     \"speedup_raw_vs_tree\": %.2f }\n\
+    \  },\n\
+    \  \"parallel\": {\n\
+    \    \"sf\": %g,\n\
+    \    \"queries\": [\n"
+    tw ci cr (ratio tw ci) (ratio tw cr) parallel_sf;
+  emit_queries oc par [ "parallel_1"; "parallel_2"; "parallel_4" ];
+  Printf.fprintf oc
+    "    ],\n\
+    \    \"totals\": { \"parallel_1_s\": %.6f, \"parallel_2_s\": %.6f, \
+     \"parallel_4_s\": %.6f,\n\
+    \                 \"speedup_par2_vs_par1\": %.2f, \
+     \"speedup_par4_vs_par1\": %.2f }\n\
+    \  }\n\
+     }\n"
+    p1 p2 p4 (ratio p1 p2) (ratio p1 p4);
+  close_out oc;
+  Printf.printf
+    "exec: sweep sf %g — tree-walk %.3fs, closures %.3fs (instrumented) / \
+     %.3fs (raw, %.1fx); parallel sf %g on %d core(s) — 1 domain %.3fs, 2 \
+     domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx) -> BENCH_exec.json\n"
+    sweep_sf tw ci cr (ratio tw cr) parallel_sf
+    (Domain.recommended_domain_count ())
+    p1 p2 (ratio p1 p2) p4 (ratio p1 p4)

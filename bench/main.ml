@@ -80,4 +80,5 @@ let () =
   if want "stages" then run_stages ();
   if want "wall" then wall_clock ();
   if want "serve" then Serve_bench.run ();
+  if want "exec" then Exec_bench.run ();
   print_endline "\nbench: done."

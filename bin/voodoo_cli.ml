@@ -100,6 +100,56 @@ let trace_out_arg =
            (load in about://tracing or https://ui.perfetto.dev; implies \
            $(b,--trace))")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "execute each fragment's extent across $(docv) domains (results \
+           and event totals are bit-identical to sequential execution)")
+
+let no_sim_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sim" ]
+        ~doc:
+          "force raw closure execution, skipping the device simulation \
+           (branch predictors, position classifiers, event accounting); \
+           incompatible with $(b,--costs) and $(b,--trace).  Without any of \
+           those flags this is already the default")
+
+let tree_walk_arg =
+  Arg.(
+    value & flag
+    & info [ "tree-walk" ]
+        ~doc:
+          "execute with the reference tree-walk evaluator instead of compiled \
+           closures (the differential oracle; sequential and instrumented)")
+
+(* Which executor a subcommand should use.  Raw closures carry no event
+   accounting, so they are only legal when nothing downstream reads events
+   ([need_events] = --costs or --trace); otherwise the default is an
+   instrumented closure run, which prices identically to the tree walk. *)
+let pick_exec ~tree_walk ~no_sim ~jobs ~need_events =
+  if no_sim && need_events then begin
+    Fmt.epr
+      "voodoo: --no-sim skips the device simulation, so it cannot be \
+       combined with --costs or --trace@.";
+    exit 1
+  end;
+  if tree_walk then begin
+    if no_sim || jobs > 1 then begin
+      Fmt.epr
+        "voodoo: --tree-walk is the sequential instrumented reference; it \
+         cannot be combined with --no-sim or --jobs@.";
+      exit 1
+    end;
+    Voodoo_compiler.Codegen.Tree_walk
+  end
+  else
+    Voodoo_compiler.Codegen.Closure
+      { instrument = need_events; jobs = max 1 jobs }
+
 let device_arg =
   Arg.(
     value
@@ -191,10 +241,14 @@ let dbgen_cmd =
 
 (* --- query --- *)
 
-let run_query name sf engine costs resilient fault fault_seed traced trace_out =
+let run_query name sf engine costs resilient fault fault_seed traced trace_out
+    jobs no_sim tree_walk =
   let cat = catalog sf in
   let q = find_query sf name in
   let tr = mk_trace traced trace_out in
+  let exec =
+    pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
+  in
   let kernels = ref [] in
   let reports = ref [] in
   let eval c p =
@@ -212,7 +266,7 @@ let run_query name sf engine costs resilient fault fault_seed traced trace_out =
       | `Reference -> E.reference ?trace:tr c p
       | `Interp -> E.interp ?trace:tr c p
       | `Compiled ->
-          let r = E.compiled_full ?trace:tr c p in
+          let r = E.compiled_full ?trace:tr ~exec c p in
           kernels := !kernels @ r.kernels;
           r.rows
   in
@@ -234,7 +288,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"run a TPC-H query")
     Term.(
       const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg
-      $ resilient_arg $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg)
+      $ resilient_arg $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg
+      $ jobs_arg $ no_sim_arg $ tree_walk_arg)
 
 (* --- explain: plan, program, fragment DAG with estimates, then run --- *)
 
@@ -357,7 +412,8 @@ let exec_cmd =
 
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
-let run_sql text sf engine costs resilient fault fault_seed traced trace_out =
+let run_sql text sf engine costs resilient fault fault_seed traced trace_out
+    jobs no_sim tree_walk =
   let cat = catalog sf in
   let plan =
     try Sql.plan cat text
@@ -367,6 +423,9 @@ let run_sql text sf engine costs resilient fault fault_seed traced trace_out =
   in
   Fmt.pr "plan: %a@." Ra.pp plan;
   let tr = mk_trace traced trace_out in
+  let exec =
+    pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
+  in
   let kernels = ref [] in
   let report = ref None in
   let eval () =
@@ -384,7 +443,7 @@ let run_sql text sf engine costs resilient fault fault_seed traced trace_out =
       | `Reference -> E.reference ?trace:tr cat plan
       | `Interp -> E.interp ?trace:tr cat plan
       | `Compiled ->
-          let r = E.compiled_full ?trace:tr cat plan in
+          let r = E.compiled_full ?trace:tr ~exec cat plan in
           kernels := r.kernels;
           r.rows
   in
@@ -409,7 +468,8 @@ let sql_cmd =
   Cmd.v (Cmd.info "sql" ~doc:"run an ad-hoc SQL query over the TPC-H catalog")
     Term.(
       const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
-      $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg)
+      $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg $ jobs_arg
+      $ no_sim_arg $ tree_walk_arg)
 
 (* --- serve / client: the query-service socket front door --- *)
 
@@ -440,7 +500,7 @@ let addr_of ~socket ~host ~port =
   | None, None -> Server.Unix_socket "voodoo.sock"
 
 let serve sf socket host port workers queue plans result_mb resilient max_extent
-    max_bytes max_steps verbose =
+    max_bytes max_steps jobs verbose =
   setup_logs verbose;
   let d = Svc.default_config in
   let config =
@@ -458,6 +518,7 @@ let serve sf socket host port workers queue plans result_mb resilient max_extent
           max_steps;
         };
       engine = (if resilient then Svc.Resilient R.strict_policy else Svc.Direct);
+      jobs = max 1 jobs;
     }
   in
   let service = Svc.create ~registry:(Catalogs.shared ()) config in
@@ -508,6 +569,15 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-steps" ] ~docv:"N" ~doc:"per-query budget: interpreter steps")
   in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "intra-query domains: when the admission queue is idle, chunk \
+             each query's fragments across $(docv) domains (see \
+             docs/PARALLELISM.md)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -517,7 +587,7 @@ let serve_cmd =
     Term.(
       const serve $ sf_arg $ socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ plans_arg $ result_mb_arg $ resilient_arg $ max_extent_arg
-      $ max_bytes_arg $ max_steps_arg $ verbose_arg)
+      $ max_bytes_arg $ max_steps_arg $ serve_jobs_arg $ verbose_arg)
 
 let render_client_response ~raw = function
   | Proto.Rows rows ->

@@ -13,7 +13,12 @@ open Voodoo_relational
 module E = Voodoo_engine.Engine
 
 let options : Voodoo_compiler.Codegen.options =
-  { fuse = false; virtual_scatter = false; suppress_empty_slots = false }
+  {
+    Voodoo_compiler.Codegen.default_options with
+    fuse = false;
+    virtual_scatter = false;
+    suppress_empty_slots = false;
+  }
 
 let run (cat : Catalog.t) (plan : Ra.t) : E.compiled_run =
   E.compiled_full ~backend_opts:options cat plan

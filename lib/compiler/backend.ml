@@ -39,8 +39,10 @@ let compile ?trace ?(options = Codegen.default_options) ?(optimize = true)
 (** Execute, returning vectors and per-kernel events.  Statements that CSE
     merged stay reachable under their original names.  [budget] caps the
     run's resources (see {!Exec.run}). *)
-let run ?trace ?budget (c : compiled) : Exec.result =
-  let r = Exec.run ?trace ~options:c.options ?budget ~store:c.store c.plan in
+let run ?trace ?budget ?exec (c : compiled) : Exec.result =
+  let r =
+    Exec.run ?trace ~options:c.options ?budget ?exec ~store:c.store c.plan
+  in
   List.iter
     (fun (orig, kept) ->
       match Hashtbl.find_opt r.env kept with

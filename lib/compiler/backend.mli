@@ -25,7 +25,9 @@ val compile :
     merged stay reachable under their original names.  [budget] caps the
     run's resources; [trace] records per-fragment spans (see
     {!Exec.run}). *)
-val run : ?trace:Trace.t -> ?budget:Budget.t -> compiled -> Exec.result
+val run :
+  ?trace:Trace.t -> ?budget:Budget.t -> ?exec:Codegen.exec_mode -> compiled ->
+  Exec.result
 
 (** [eval c id] compiles-and-runs, returning one result vector. *)
 val eval : compiled -> Op.id -> Voodoo_vector.Svector.t

@@ -24,14 +24,27 @@ open Voodoo_vector
 open Voodoo_core
 open Fragment
 
+(* How Exec.run drives the plan: the reference per-work-item tree walk,
+   or closures compiled once per fragment (optionally skipping device
+   simulation, optionally chunking the extent over [jobs] domains). *)
+type exec_mode =
+  | Tree_walk
+  | Closure of { instrument : bool; jobs : int }
+
 type options = {
   fuse : bool;  (** operator fusion into fragments; off = bulk processing *)
   virtual_scatter : bool;
   suppress_empty_slots : bool;
+  exec : exec_mode;  (** execution strategy; plan shape is unaffected *)
 }
 
 let default_options =
-  { fuse = true; virtual_scatter = true; suppress_empty_slots = true }
+  {
+    fuse = true;
+    virtual_scatter = true;
+    suppress_empty_slots = true;
+    exec = Closure { instrument = true; jobs = 1 };
+  }
 
 (* compilation decisions are logged under this source (enable with
    [Logs.Src.set_level src (Some Debug)] or the CLI's [--verbose]) *)

@@ -19,12 +19,30 @@
 
 open Voodoo_core
 
+(** How {!Exec.run} drives the compiled plan.  [Tree_walk] is the
+    reference per-work-item interpreter kept as the differential oracle;
+    [Closure] compiles each fragment's fused statement list into OCaml
+    closures once per fragment — with [instrument = false] the closures
+    skip device simulation entirely (no events, no branch predictors:
+    legal only when nobody reads costs or traces), and [jobs > 1] splits
+    each fragment's extent into deterministic chunks run on the shared
+    domain pool ({!Voodoo_core.Domain_pool.shared}).  Rows and
+    instrumented event totals are bit-identical across all modes and any
+    job count.  The mode never changes the plan's shape, but it is part
+    of [options] so it travels with compiled plans and cache keys. *)
+type exec_mode =
+  | Tree_walk
+  | Closure of { instrument : bool; jobs : int }
+
 type options = {
   fuse : bool;  (** operator fusion into fragments; off = bulk processing *)
   virtual_scatter : bool;
   suppress_empty_slots : bool;
+  exec : exec_mode;  (** execution strategy; plan shape is unaffected *)
 }
 
+(** Fuse + virtualize + suppress, executed by instrumented closures on a
+    single domain. *)
 val default_options : options
 
 (** [build ?options ~vector_length p] compiles an (already optimized)

@@ -26,18 +26,25 @@ type result = {
 
 exception Exec_error of string
 
-(** [run ?trace ?options ?budget ~store plan] executes the plan.  The
-    optional {!Voodoo_core.Budget.t} caps total kernel extent and
+(** [run ?trace ?options ?budget ?exec ~store plan] executes the plan.
+    The optional {!Voodoo_core.Budget.t} caps total kernel extent and
     materialized vector bytes ({!Voodoo_core.Budget.Exceeded} aborts the
     run); the global {!Voodoo_core.Fault} injector, when armed, is
     consulted at every kernel launch.  With a {!Voodoo_core.Trace.t},
     every fragment runs inside a ["fragment:<i>"] span carrying its
     extent/intent/domain attributes and, as counters, its
     {!Events.totals} plus ["bytes.materialized"] and
-    ["fragment.extent"]. *)
+    ["fragment.extent"].
+
+    [exec] overrides [options.exec] for this run only (the service uses
+    this to pick raw closures or a per-query job count at dispatch time
+    without invalidating plan-cache keys).  Rows are bit-identical
+    across all modes; event totals are bit-identical across all
+    instrumented modes and job counts, and empty (all-zero) under
+    [Closure { instrument = false; _ }]. *)
 val run :
   ?trace:Trace.t -> ?options:Codegen.options -> ?budget:Budget.t ->
-  store:Store.t -> Fragment.plan -> result
+  ?exec:Codegen.exec_mode -> store:Store.t -> Fragment.plan -> result
 
 (** [output r id] reads a result vector.  Raises {!Exec_error}. *)
 val output : result -> Op.id -> Svector.t

@@ -1,0 +1,962 @@
+(** Closure compilation of fragment bodies (the fast execution path).
+
+    The reference executor ({!Exec}) walks each statement's tree once per
+    work item: every element access re-matches on the operator, re-looks
+    columns up in the environment, boxes scalars, and re-decides the
+    event accounting.  This module performs all of those decisions {e
+    once per fragment}, after {!Exec_state.prepare} has bound every
+    output, and emits a list of OCaml closures over the resolved column
+    buffers — monomorphic [int array]/[float array] loops for the common
+    dtype combinations, a generic scalar loop otherwise.
+
+    Two builds exist per statement:
+
+    - {e instrumented} ([instrument = true]): the closures replicate the
+      tree walk's event accounting exactly — same sites, same counts,
+      same per-element branch-predictor stream — so cost-model runs can
+      use the fast path with bit-identical {!Voodoo_device.Events}
+      records;
+    - {e raw} ([instrument = false]): device simulation is skipped
+      entirely (no events, no predictors, no position classification).
+      Only legal when nobody reads costs or traces; rows are still
+      bit-identical.
+
+    The first-reader read-charging of the tree walk (each buffer charged
+    once per work-item range) is resolved statically: the compiler
+    simulates the per-range charge table once for the [lo = 0] range
+    (which additionally runs the one-shot statements — materialize,
+    cross, partition) and once for every later range, and bakes the two
+    boolean outcomes into each charge site's closure.  The only dynamic
+    part of read accounting — empty-slot suppression of fold outputs
+    becoming visible to later statements of the same fragment — goes
+    through the context's suppression overlay.
+
+    All mutable state a closure touches at run time lives either in its
+    own output buffers (disjoint element ranges across chunks, see
+    {!Voodoo_core.Chunk}) or in the {!ctx} passed per chunk, which is
+    what makes the closures safe to run on multiple domains. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_device
+open Fragment
+open Exec_state
+
+(** Chunk-private scatter output: a log of (data row, output position)
+    pairs in write order.  The fragment IR is single-assignment, so a
+    scatter's source buffers are complete and unchanged once every chunk
+    has run — replaying the logs against the real output columns in chunk
+    order reproduces the sequential last-writer-wins outcome without
+    allocating private copies of the (much larger) output. *)
+type region = {
+  mutable rg_log : int array;  (** interleaved (i, p) pairs *)
+  mutable rg_len : int;  (** ints used *)
+}
+
+(** Per-chunk execution context: everything a closure may mutate besides
+    its own (element-disjoint) output buffers. *)
+type ctx = {
+  ev : Events.t;
+  pos : (string, pos_stats) Hashtbl.t;
+      (** chunk-local position observations, merged via
+          {!Exec_state.merge_pos} *)
+  sup : (Op.id, int) Hashtbl.t;
+      (** suppression {e deltas} against [st.suppressed] (written only at
+          a fold's final range, so chunk deltas sum exactly) *)
+  regions : (Op.id, region) Hashtbl.t;
+      (** private scatter outputs; empty when running sequentially *)
+}
+
+let make_ctx ~ev () =
+  { ev; pos = Hashtbl.create 8; sup = Hashtbl.create 4; regions = Hashtbl.create 2 }
+
+(* Absolute suppression count visible through the overlay. *)
+let sup_find st (ctx : ctx) id =
+  match Hashtbl.find_opt st.suppressed id, Hashtbl.find_opt ctx.sup id with
+  | None, None -> None
+  | b, d -> Some (Option.value b ~default:0 + Option.value d ~default:0)
+
+(* [effective_reads] with the overlay applied. *)
+let eff st ctx id count =
+  match sup_find st ctx id with
+  | Some valid when st.opts.Codegen.suppress_empty_slots -> min valid count
+  | _ -> count
+
+(* Fold the accumulated deltas back into the shared state (after all
+   chunks have been merged). *)
+let apply_sup st (sup : (Op.id, int) Hashtbl.t) =
+  Hashtbl.iter
+    (fun id d ->
+      Hashtbl.replace st.suppressed id
+        (Option.value (Hashtbl.find_opt st.suppressed id) ~default:0 + d))
+    sup
+
+(* ---------- dynamic column accessors (hoisted per statement) ---------- *)
+
+(* Validity at the broadcast-mapped index, matching [bget]'s indexing. *)
+let bvalid (c : Column.t) =
+  let broadcast = Column.length c = 1 in
+  match c.Column.valid with
+  | None -> fun _ -> true
+  | Some b -> if broadcast then fun _ -> Bitset.get b 0 else fun i -> Bitset.get b i
+
+(* Validity at the literal index (gather/scatter sources use [Column.get]
+   directly, with no broadcast remapping). *)
+let dvalid (c : Column.t) =
+  match c.Column.valid with
+  | None -> fun _ -> true
+  | Some b -> fun i -> Bitset.get b i
+
+(* Position read: [Scalar.to_int] of the raw slot. *)
+let praw (c : Column.t) =
+  match c.Column.data with
+  | Column.I a -> fun i -> a.(i)
+  | Column.F a -> fun i -> int_of_float a.(i)
+
+(* ---------- monomorphic binary kernels ---------- *)
+
+(* [binary_kernel op lcol rcol out] is a [lo hi -> unit] loop computing
+   [out.(i) <- op lcol.(i') rcol.(i')] for valid operand pairs (broadcast
+   length-1 operands index slot 0), marking written slots valid.  The
+   hot dtype combinations get direct array loops; anything else falls
+   back to the scalar semantics the tree walk uses, so results are
+   identical by construction. *)
+let binary_kernel (op : Op.binop) (lcol : Column.t) (rcol : Column.t)
+    (out : Column.t) =
+  let lbc = Column.length lcol = 1 and rbc = Column.length rcol = 1 in
+  let lv = bvalid lcol and rv = bvalid rcol in
+  let generic lo hi =
+    for i = lo to hi - 1 do
+      match bget lcol i, bget rcol i with
+      | Some a, Some b -> Column.set out i (Op.apply_binop op a b)
+      | None, _ | _, None -> ()
+    done
+  in
+  match lcol.Column.data, rcol.Column.data, out.Column.data, out.Column.valid with
+  | Column.I la, Column.I ra, Column.I oa, Some ob -> (
+      let ik f lo hi =
+        for i = lo to hi - 1 do
+          if lv i && rv i then begin
+            oa.(i) <- f la.(if lbc then 0 else i) ra.(if rbc then 0 else i);
+            Bitset.set ob i true
+          end
+        done
+      in
+      match op with
+      | Add -> ik ( + )
+      | Subtract -> ik ( - )
+      | Multiply -> ik ( * )
+      | Divide -> ik ( / )
+      | Modulo -> ik (fun x y -> ((x mod y) + abs y) mod abs y)
+      | BitShift -> ik (fun x s -> if s >= 0 then x lsl s else x asr (-s))
+      | LogicalAnd -> ik (fun a b -> if a <> 0 && b <> 0 then 1 else 0)
+      | LogicalOr -> ik (fun a b -> if a <> 0 || b <> 0 then 1 else 0)
+      | Greater -> ik (fun a b -> if a > b then 1 else 0)
+      | GreaterEqual -> ik (fun a b -> if a >= b then 1 else 0)
+      | Equals -> ik (fun a b -> if a = b then 1 else 0))
+  | Column.F la, Column.F ra, Column.F oa, Some ob -> (
+      let fk f lo hi =
+        for i = lo to hi - 1 do
+          if lv i && rv i then begin
+            oa.(i) <- f la.(if lbc then 0 else i) ra.(if rbc then 0 else i);
+            Bitset.set ob i true
+          end
+        done
+      in
+      match op with
+      | Add -> fk ( +. )
+      | Subtract -> fk ( -. )
+      | Multiply -> fk ( *. )
+      | Divide -> fk ( /. )
+      | Modulo -> fk Float.rem
+      | BitShift | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals ->
+          generic (* int-typed result: [out] cannot be a float column *))
+  | Column.F la, Column.F ra, Column.I oa, Some ob -> (
+      (* float comparisons and logic produce 0/1 ints; comparisons go
+         through [Float.compare], exactly as [Scalar.compare_scalar] *)
+      let ck f lo hi =
+        for i = lo to hi - 1 do
+          if lv i && rv i then begin
+            oa.(i) <-
+              (if f la.(if lbc then 0 else i) ra.(if rbc then 0 else i) then 1
+               else 0);
+            Bitset.set ob i true
+          end
+        done
+      in
+      match op with
+      | Greater -> ck (fun a b -> Float.compare a b > 0)
+      | GreaterEqual -> ck (fun a b -> Float.compare a b >= 0)
+      | Equals -> ck (fun a b -> Float.compare a b = 0)
+      | LogicalAnd -> ck (fun a b -> a <> 0.0 && b <> 0.0)
+      | LogicalOr -> ck (fun a b -> a <> 0.0 || b <> 0.0)
+      | Add | Subtract | Multiply | Divide | Modulo | BitShift -> generic)
+  | _ -> generic
+
+(* ---------- gather / scatter column movers ---------- *)
+
+(* [gather_copy (src, dst)] is a [p i -> unit] move of data row [p] into
+   output row [i]; ε source slots leave the output slot ε (created
+   empty). *)
+let gather_copy ((src : Column.t), (dst : Column.t)) =
+  let sv = dvalid src in
+  match src.Column.data, dst.Column.data, dst.Column.valid with
+  | Column.I sa, Column.I da, Some db ->
+      fun p i ->
+        if sv p then begin
+          da.(i) <- sa.(p);
+          Bitset.set db i true
+        end
+  | Column.F sa, Column.F da, Some db ->
+      fun p i ->
+        if sv p then begin
+          da.(i) <- sa.(p);
+          Bitset.set db i true
+        end
+  | _ ->
+      fun p i ->
+        (match Column.get src p with
+        | Some v -> Column.set dst i v
+        | None -> ())
+
+(* [scatter_writers pairs] are [i p -> unit] moves of data row [i] to
+   output position [p]; an ε source slot explicitly empties the target
+   (a scatter overwrites whatever was there). *)
+let scatter_writers pairs =
+  List.map
+    (fun ((src : Column.t), (dst : Column.t)) ->
+      let sv = dvalid src in
+      match src.Column.data, dst.Column.data, dst.Column.valid with
+      | Column.I sa, Column.I da, Some db ->
+          fun i p ->
+            if sv i then begin
+              da.(p) <- sa.(i);
+              Bitset.set db p true
+            end
+            else Bitset.set db p false
+      | Column.F sa, Column.F da, Some db ->
+          fun i p ->
+            if sv i then begin
+              da.(p) <- sa.(i);
+              Bitset.set db p true
+            end
+            else Bitset.set db p false
+      | _ ->
+          fun i p ->
+            (match Column.get src i with
+            | Some v -> Column.set dst p v
+            | None -> Column.set_empty dst p))
+    pairs
+
+(** Everything {!Exec_par} needs to give one scatter statement a private
+    per-chunk log. *)
+type scatter_info = {
+  sc_id : Op.id;
+  sc_write : int -> int -> unit;  (** composed real-column writers *)
+}
+
+let make_region (_ : scatter_info) = { rg_log = Array.make 512 0; rg_len = 0 }
+
+let record_write (r : region) i p =
+  let need = r.rg_len + 2 in
+  if need > Array.length r.rg_log then begin
+    let bigger = Array.make (2 * Array.length r.rg_log) 0 in
+    Array.blit r.rg_log 0 bigger 0 r.rg_len;
+    r.rg_log <- bigger
+  end;
+  r.rg_log.(r.rg_len) <- i;
+  r.rg_log.(r.rg_len + 1) <- p;
+  r.rg_len <- need
+
+(* Replay a chunk's scatter log against the real output columns; replaying
+   regions in chunk order reproduces the sequential last-writer-wins
+   outcome. *)
+let merge_region (si : scatter_info) (r : region) =
+  let log = r.rg_log in
+  let k = ref 0 in
+  while !k < r.rg_len do
+    si.sc_write log.(!k) log.(!k + 1);
+    k := !k + 2
+  done
+
+(* ---------- fold accumulation kernels ---------- *)
+
+(* Aggregate one run [rlo, rhi) of [col] and write the result at [rlo] of
+   [out], replicating the tree walk's accumulator exactly (including
+   starting from the first valid value, not from zero, so float rounding
+   is identical). *)
+let fold_run_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) =
+  let dt = fold_out_dtype agg col in
+  let v = dvalid col in
+  match agg, col.Column.data, out.Column.data, out.Column.valid with
+  | Count, _, Column.I oa, Some ob ->
+      fun rlo rhi ->
+        let c = ref 0 in
+        for i = rlo to rhi - 1 do
+          if v i then incr c
+        done;
+        oa.(rlo) <- !c;
+        Bitset.set ob rlo true
+  | Sum, Column.I a, Column.I oa, Some ob ->
+      fun rlo rhi ->
+        let s = ref 0 in
+        for i = rlo to rhi - 1 do
+          if v i then s := !s + a.(i)
+        done;
+        oa.(rlo) <- !s;
+        Bitset.set ob rlo true
+  | Sum, Column.F a, Column.F oa, Some ob ->
+      fun rlo rhi ->
+        let s = ref 0.0 and seen = ref false in
+        for i = rlo to rhi - 1 do
+          if v i then
+            if !seen then s := !s +. a.(i)
+            else begin
+              s := a.(i);
+              seen := true
+            end
+        done;
+        oa.(rlo) <- !s;
+        Bitset.set ob rlo true
+  | Max, Column.I a, Column.I oa, Some ob ->
+      fun rlo rhi ->
+        let m = ref 0 and seen = ref false in
+        for i = rlo to rhi - 1 do
+          if v i then
+            if !seen then (if a.(i) > !m then m := a.(i))
+            else begin
+              m := a.(i);
+              seen := true
+            end
+        done;
+        if !seen then begin
+          oa.(rlo) <- !m;
+          Bitset.set ob rlo true
+        end
+  | Min, Column.I a, Column.I oa, Some ob ->
+      fun rlo rhi ->
+        let m = ref 0 and seen = ref false in
+        for i = rlo to rhi - 1 do
+          if v i then
+            if !seen then (if a.(i) < !m then m := a.(i))
+            else begin
+              m := a.(i);
+              seen := true
+            end
+        done;
+        if !seen then begin
+          oa.(rlo) <- !m;
+          Bitset.set ob rlo true
+        end
+  | Max, Column.F a, Column.F oa, Some ob ->
+      fun rlo rhi ->
+        let m = ref 0.0 and seen = ref false in
+        for i = rlo to rhi - 1 do
+          if v i then
+            if !seen then (if Float.compare a.(i) !m > 0 then m := a.(i))
+            else begin
+              m := a.(i);
+              seen := true
+            end
+        done;
+        if !seen then begin
+          oa.(rlo) <- !m;
+          Bitset.set ob rlo true
+        end
+  | Min, Column.F a, Column.F oa, Some ob ->
+      fun rlo rhi ->
+        let m = ref 0.0 and seen = ref false in
+        for i = rlo to rhi - 1 do
+          if v i then
+            if !seen then (if Float.compare a.(i) !m < 0 then m := a.(i))
+            else begin
+              m := a.(i);
+              seen := true
+            end
+        done;
+        if !seen then begin
+          oa.(rlo) <- !m;
+          Bitset.set ob rlo true
+        end
+  | _ ->
+      (* mixed/exotic dtypes: the tree walk's scalar accumulator *)
+      fun rlo rhi ->
+        let acc = ref None in
+        for i = rlo to rhi - 1 do
+          match Column.get col i with
+          | Some v ->
+              acc :=
+                Some
+                  (match !acc, agg with
+                  | None, Count -> Scalar.I 1
+                  | None, _ -> v
+                  | Some cur, Sum -> Scalar.add cur v
+                  | Some cur, Max -> Scalar.max_s cur v
+                  | Some cur, Min -> Scalar.min_s cur v
+                  | Some cur, Count -> Scalar.add cur (Scalar.I 1))
+          | None -> ()
+        done;
+        (match !acc, agg with
+        | Some v, _ -> Column.set out rlo v
+        | None, (Sum | Count) -> Column.set out rlo (Scalar.zero dt)
+        | None, (Max | Min) -> ())
+
+(* Did the run end with no valid element?  Needed where the scalar fold
+   distinguishes "no value" from "zero": for Sum/Count the tree walk
+   writes zero anyway, which the specialised kernels above replicate by
+   starting at zero; only Max/Min skip the write (also replicated). *)
+
+(* ---------- compiled fragments ---------- *)
+
+type stmt_exec = {
+  xc_run : ctx -> int -> int -> unit;  (** [lo, hi) element range *)
+  xc_ranged : bool;
+      (** needs the exact per-work-item ranges (folds: run structure;
+          instrumented statements: per-range event accounting) *)
+}
+
+type compiled = {
+  cp_run : ctx -> w_lo:int -> w_hi:int -> unit;
+      (** execute work items [w_lo, w_hi) *)
+  cp_scatters : scatter_info list;
+  cp_single_chunk : bool;
+      (** shares accumulators across ranges (grouped folds): must not be
+          chunked *)
+}
+
+let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
+  let env = st.env in
+  (* Static per-range first-reader simulation: one charge table for the
+     lo = 0 range (one-shot statements included), one for later ranges. *)
+  let first_set = Hashtbl.create 16 and later_set = Hashtbl.create 16 in
+  let reg_charge ~lo0_only (src : Op.src) =
+    let id, rkp, key = resolve_charge st src in
+    let ff = not (Hashtbl.mem first_set key) in
+    if ff then Hashtbl.replace first_set key ();
+    let fl =
+      if lo0_only then false
+      else begin
+        let fl = not (Hashtbl.mem later_set key) in
+        if fl then Hashtbl.replace later_set key ();
+        fl
+      end
+    in
+    (id, rkp, ff, fl)
+  in
+  (* A charge-site closure: fires when this statement is the range's
+     first reader of the resolved buffer, with the suppression overlay
+     applied to the dynamic count. *)
+  let charge ~lo0_only src =
+    let id, rkp, ff, fl = reg_charge ~lo0_only src in
+    let site = id ^ Keypath.to_string rkp ^ ":r" in
+    match storage_of st id with
+    | Register | Virtual -> fun _ _ _ -> ()
+    | Global ->
+        fun ctx lo count ->
+          if if lo = 0 then ff else fl then
+            Events.mem ctx.ev ~site ~pattern:Cache.Sequential ~elem_bytes:width
+              (eff st ctx id count)
+    | Local ws ->
+        fun ctx lo count ->
+          if if lo = 0 then ff else fl then
+            Events.mem ~scalable:false ctx.ev ~site ~pattern:(Cache.Random ws)
+              ~elem_bytes:width
+              (eff st ctx id count)
+  in
+  let write sid =
+    match storage_of st sid with
+    | Register | Virtual -> fun _ _ -> ()
+    | Global ->
+        fun ctx count ->
+          Events.mem ctx.ev ~site:(sid ^ ":w") ~pattern:Cache.Sequential
+            ~elem_bytes:width count
+    | Local ws ->
+        fun ctx count ->
+          Events.mem ~scalable:false ctx.ev ~site:(sid ^ ":w")
+            ~pattern:(Cache.Random ws) ~elem_bytes:width count
+  in
+  let scatters = ref [] in
+  let compile_stmt (cs : compiled_stmt) : stmt_exec option =
+    let s = cs.stmt in
+    match s.op with
+    | Load _ | Persist _ | Constant _ | Range _ | Zip _ | Project _ | Upsert _ ->
+        None (* prepared once; no per-range work, no events *)
+    | Materialize { data; _ } | Break { data; _ } ->
+        if not instrument then None
+        else begin
+          let vec = lookup env data in
+          let n = Svector.length vec in
+          let cols = List.length (Svector.keypaths vec) in
+          let ch = charge ~lo0_only:true { Op.v = data; kp = [] } in
+          let wr = write s.id in
+          Some
+            {
+              xc_run =
+                (fun ctx lo _hi ->
+                  if lo = 0 then begin
+                    ch ctx 0 (n * cols);
+                    wr ctx (n * cols)
+                  end);
+              xc_ranged = false;
+            }
+        end
+    | Cross _ ->
+        if not instrument then None
+        else begin
+          let n = Svector.length (lookup env s.id) in
+          let wr = write s.id in
+          Some
+            {
+              xc_run =
+                (fun ctx lo _hi ->
+                  if lo = 0 then begin
+                    Events.alu ctx.ev Int (2 * n);
+                    wr ctx (2 * n)
+                  end);
+              xc_ranged = false;
+            }
+        end
+    | Binary { op; left; right; _ } ->
+        if storage_of st s.id = Virtual then None
+        else begin
+          let _, lcol = src_column env left and _, rcol = src_column env right in
+          let out = leaf_column (lookup env s.id) [] in
+          let n_out = Column.length out in
+          let kernel = binary_kernel op lcol rcol out in
+          if not instrument then
+            Some
+              {
+                xc_run = (fun _ctx lo hi -> kernel lo (min hi n_out));
+                xc_ranged = false;
+              }
+          else begin
+            let dt = Column.dtype out in
+            (* registration order = runtime charge order (left, right) *)
+            let chl = charge ~lo0_only:false left in
+            let chr = charge ~lo0_only:false right in
+            let wr = write s.id in
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi ->
+                    let hi = min hi n_out in
+                    kernel lo hi;
+                    let c = max 0 (hi - lo) in
+                    Events.alu ctx.ev dt c;
+                    chl ctx lo c;
+                    chr ctx lo c;
+                    wr ctx c);
+                xc_ranged = true;
+              }
+          end
+        end
+    | Gather { data; positions } ->
+        let dvec = lookup env data in
+        let _, pcol = src_column env positions in
+        let out = lookup env s.id in
+        let dn = Svector.length dvec in
+        let movers =
+          List.map
+            (fun kp -> gather_copy (Svector.column dvec kp, Svector.column out kp))
+            (Svector.keypaths dvec)
+        in
+        let pn = Column.length pcol in
+        let pv = dvalid pcol and pr = praw pcol in
+        if not instrument then
+          Some
+            {
+              xc_run =
+                (fun _ctx lo hi ->
+                  let hi = min hi pn in
+                  for i = lo to hi - 1 do
+                    if pv i then begin
+                      let p = pr i in
+                      if p >= 0 && p < dn then
+                        List.iter (fun m -> m p i) movers
+                    end
+                  done);
+              xc_ranged = false;
+            }
+        else begin
+          let ncols = List.length movers in
+          let chp = charge ~lo0_only:false positions in
+          let wr = write s.id in
+          let key = "g:" ^ s.id in
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let ps = stats_in ctx.pos key in
+                  let hi' = min hi pn in
+                  let valid = ref 0 in
+                  for i = lo to hi' - 1 do
+                    if pv i then begin
+                      let p = pr i in
+                      observe ps p;
+                      incr valid;
+                      if p >= 0 && p < dn then List.iter (fun m -> m p i) movers
+                    end
+                  done;
+                  Events.alu ctx.ev Int !valid;
+                  chp ctx lo !valid;
+                  wr ctx (!valid * ncols));
+              xc_ranged = true;
+            }
+        end
+    | Scatter { data; positions; _ } ->
+        if storage_of st s.id = Virtual then begin
+          (* identity scatter: alias the data vector, once.  Consumers
+             compiled after this statement resolve against the alias,
+             exactly as the tree walk's lo = 0 rebind. *)
+          Hashtbl.replace env s.id (lookup env data);
+          None
+        end
+        else begin
+          let dvec = lookup env data in
+          let out = lookup env s.id in
+          let _, pcol = src_column env positions in
+          let out_n = Svector.length out in
+          let pairs =
+            List.map
+              (fun kp -> (Svector.column dvec kp, Svector.column out kp))
+              (Svector.keypaths dvec)
+          in
+          let real_writers = scatter_writers pairs in
+          let seq_write =
+            match real_writers with
+            | [ w ] -> w
+            | ws -> fun i p -> List.iter (fun w -> w i p) ws
+          in
+          scatters := { sc_id = s.id; sc_write = seq_write } :: !scatters;
+          let hi_cap = min (Svector.length dvec) (Column.length pcol) in
+          let pv = dvalid pcol and pr = praw pcol in
+          let writer_of ctx =
+            match Hashtbl.find_opt ctx.regions s.id with
+            | Some r -> record_write r
+            | None -> seq_write
+          in
+          if not instrument then
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi ->
+                    let write = writer_of ctx in
+                    let hi = min hi hi_cap in
+                    for i = lo to hi - 1 do
+                      if pv i then begin
+                        let p = pr i in
+                        if p >= 0 && p < out_n then write i p
+                      end
+                    done);
+                xc_ranged = false;
+              }
+          else begin
+            let ncols = List.length pairs in
+            let chp = charge ~lo0_only:false positions in
+            let chd = charge ~lo0_only:false { Op.v = data; kp = [] } in
+            let key = "s:" ^ s.id in
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi ->
+                    let write = writer_of ctx in
+                    let ps = stats_in ctx.pos key in
+                    let hi' = min hi hi_cap in
+                    let valid = ref 0 in
+                    for i = lo to hi' - 1 do
+                      if pv i then begin
+                        let p = pr i in
+                        observe ps p;
+                        incr valid;
+                        if p >= 0 && p < out_n then write i p
+                      end
+                    done;
+                    Events.alu ctx.ev Int !valid;
+                    chp ctx lo !valid;
+                    chd ctx lo (!valid * ncols));
+                xc_ranged = true;
+              }
+          end
+        end
+    | Partition { values; pivots; _ } ->
+        (* whole-domain one-shot in its own fragment *)
+        let chv = charge ~lo0_only:true values in
+        let wr = write s.id in
+        Some
+          {
+            xc_run =
+              (fun ctx lo _hi ->
+                if lo = 0 then begin
+                  let n, npart = partition_compute st s ~values ~pivots in
+                  if instrument then begin
+                    chv ctx 0 (2 * n);
+                    Events.alu ctx.ev Int ((3 * n) + npart);
+                    Events.mem ctx.ev ~site:(s.id ^ ":hist")
+                      ~pattern:(Cache.Random (npart * width))
+                      ~elem_bytes:width (2 * n);
+                    wr ctx n
+                  end
+                end);
+            xc_ranged = false;
+          }
+    | FoldAgg { agg; fold; input; _ } -> (
+        match cs.grouped_fold with
+        | Some g ->
+            (* virtual scatter: accumulate straight off the source into
+               shared per-fragment accumulators — inherently sequential
+               across ranges (single chunk) *)
+            let _, gcol = src_column env { Op.v = g.source; kp = g.group_src.kp } in
+            let _, vcol = src_column env { Op.v = g.source; kp = g.value_src.kp } in
+            let accs, counts = Hashtbl.find st.group_acc s.id in
+            let k = Array.length accs in
+            let gn = Column.length gcol in
+            let gv = dvalid gcol and gr = praw gcol in
+            let vdt = Column.dtype vcol in
+            let chg = charge ~lo0_only:false g.group_src in
+            let chv = charge ~lo0_only:false g.value_src in
+            let wr = write s.id in
+            let acc_site = s.id ^ ":acc" in
+            let acc_bytes = k * width in
+            let accumulate lo hi =
+              for i = lo to hi - 1 do
+                let gi = if gv i then gr i else k - 1 in
+                if gi >= 0 && gi < k then begin
+                  counts.(gi) <- counts.(gi) + 1;
+                  match Column.get vcol i with
+                  | Some v ->
+                      accs.(gi) <-
+                        Some
+                          (match accs.(gi), agg with
+                          | None, Count -> Scalar.I 1
+                          | None, _ -> v
+                          | Some cur, Sum -> Scalar.add cur v
+                          | Some cur, Max -> Scalar.max_s cur v
+                          | Some cur, Min -> Scalar.min_s cur v
+                          | Some cur, Count -> Scalar.add cur (Scalar.I 1))
+                  | None -> ()
+                end
+              done
+            in
+            let finish (ctx : ctx) =
+              let out = leaf_column (lookup env s.id) [] in
+              let dt = Column.dtype out in
+              let pos = ref 0 in
+              for gi = 0 to k - 1 do
+                (match accs.(gi), agg with
+                | Some v, _ -> Column.set out !pos v
+                | None, (Sum | Count) ->
+                    if counts.(gi) > 0 then Column.set out !pos (Scalar.zero dt)
+                | None, (Max | Min) -> ());
+                pos := !pos + counts.(gi)
+              done;
+              (* overlay delta making the absolute suppression count k,
+                 replicating the tree walk's [Hashtbl.replace] *)
+              let base =
+                Option.value (Hashtbl.find_opt st.suppressed s.id) ~default:0
+              in
+              Hashtbl.replace ctx.sup s.id (k - base);
+              if instrument then wr ctx k
+            in
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi ->
+                    let n_range = hi - lo in
+                    let hi = min hi gn in
+                    accumulate lo hi;
+                    if instrument then begin
+                      Events.alu ctx.ev vdt (2 * n_range);
+                      chg ctx lo n_range;
+                      chv ctx lo n_range;
+                      Events.mem ctx.ev ~site:acc_site
+                        ~pattern:(Cache.Random acc_bytes) ~elem_bytes:width
+                        n_range
+                    end;
+                    if hi >= gn then finish ctx);
+                xc_ranged = true;
+              }
+        | None ->
+            let vec, col = src_column env input in
+            let out = leaf_column (lookup env s.id) [] in
+            let fold_col =
+              if aligned_fold st f env input fold then None
+              else Option.map (fun kp -> leaf_column vec kp) fold
+            in
+            let kernel = fold_run_kernel agg col out in
+            let n_vec = Svector.length vec in
+            let rid, _ = resolve_read st input.v (leaf vec input.kp) in
+            let cdt = Column.dtype col in
+            let chi = charge ~lo0_only:false input in
+            let wr = write s.id in
+            let suppressing = st.opts.Codegen.suppress_empty_slots in
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi ->
+                    let n_range = hi - lo in
+                    if instrument && fold_col <> None then
+                      Events.alu ctx.ev Int n_range;
+                    let run_count = ref 0 in
+                    List.iter
+                      (fun (rlo, rhi) ->
+                        incr run_count;
+                        kernel rlo rhi)
+                      (runs_in_range ~fold_col lo hi);
+                    if instrument then begin
+                      Events.alu ctx.ev cdt (eff st ctx rid n_range);
+                      chi ctx lo n_range;
+                      wr ctx !run_count
+                    end;
+                    if suppressing && hi >= n_vec then
+                      Hashtbl.replace ctx.sup s.id
+                        (Option.value (Hashtbl.find_opt ctx.sup s.id) ~default:0
+                        + !run_count));
+                xc_ranged = true;
+              })
+    | FoldSelect { fold; input; _ } ->
+        let vec, col = src_column env input in
+        let out = leaf_column (lookup env s.id) [] in
+        let fold_col =
+          if aligned_fold st f env input fold then None
+          else Option.map (fun kp -> leaf_column vec kp) fold
+        in
+        let cv = dvalid col in
+        let taken_at =
+          match col.Column.data with
+          | Column.I a -> fun i -> cv i && a.(i) <> 0
+          | Column.F a -> fun i -> cv i && a.(i) <> 0.0
+        in
+        let oa, ob =
+          match out.Column.data, out.Column.valid with
+          | Column.I oa, Some ob -> (Some oa, ob)
+          | _, Some ob -> (None, ob)
+          | _ -> err "fold-select output %s has no validity mask" s.id
+        in
+        let emit i cursor =
+          (match oa with
+          | Some oa -> oa.(cursor) <- i
+          | None -> Column.set out cursor (Scalar.I i));
+          Bitset.set ob cursor true
+        in
+        let cdt = Column.dtype col in
+        let chi = charge ~lo0_only:false input in
+        let wr = write s.id in
+        Some
+          {
+            xc_run =
+              (fun ctx lo hi ->
+                let n_range = hi - lo in
+                if instrument && fold_col <> None then
+                  Events.alu ctx.ev Int n_range;
+                let emitted = ref 0 in
+                List.iter
+                  (fun (rlo, rhi) ->
+                    let cursor = ref rlo in
+                    if instrument then
+                      for i = rlo to rhi - 1 do
+                        let taken = taken_at i in
+                        Events.branch ctx.ev ~site:s.id taken;
+                        if taken then begin
+                          emit i !cursor;
+                          incr cursor;
+                          incr emitted
+                        end
+                      done
+                    else
+                      for i = rlo to rhi - 1 do
+                        if taken_at i then begin
+                          emit i !cursor;
+                          incr cursor
+                        end
+                      done)
+                  (runs_in_range ~fold_col lo hi);
+                if instrument then begin
+                  Events.alu ctx.ev cdt n_range;
+                  Events.guarded ctx.ev !emitted;
+                  chi ctx lo n_range;
+                  wr ctx !emitted
+                end);
+            xc_ranged = true;
+          }
+    | FoldScan { fold; input; _ } ->
+        let vec, col = src_column env input in
+        let out = leaf_column (lookup env s.id) [] in
+        let fold_col =
+          if aligned_fold st f env input fold then None
+          else Option.map (fun kp -> leaf_column vec kp) fold
+        in
+        let cv = dvalid col in
+        let scan_run =
+          match col.Column.data, out.Column.data, out.Column.valid with
+          | Column.I a, Column.I oa, Some ob ->
+              fun rlo rhi ->
+                let acc = ref 0 in
+                for i = rlo to rhi - 1 do
+                  if cv i then acc := !acc + a.(i);
+                  oa.(i) <- !acc;
+                  Bitset.set ob i true
+                done
+          | Column.F a, Column.F oa, Some ob ->
+              fun rlo rhi ->
+                let acc = ref 0.0 in
+                for i = rlo to rhi - 1 do
+                  if cv i then acc := !acc +. a.(i);
+                  oa.(i) <- !acc;
+                  Bitset.set ob i true
+                done
+          | _ ->
+              fun rlo rhi ->
+                let acc = ref (Scalar.zero (Column.dtype col)) in
+                for i = rlo to rhi - 1 do
+                  (match Column.get col i with
+                  | Some v -> acc := Scalar.add !acc v
+                  | None -> ());
+                  Column.set out i !acc
+                done
+        in
+        let cdt = Column.dtype col in
+        let chi = charge ~lo0_only:false input in
+        let wr = write s.id in
+        Some
+          {
+            xc_run =
+              (fun ctx lo hi ->
+                let n_range = hi - lo in
+                if instrument && fold_col <> None then
+                  Events.alu ctx.ev Int n_range;
+                List.iter (fun (rlo, rhi) -> scan_run rlo rhi)
+                  (runs_in_range ~fold_col lo hi);
+                if instrument then begin
+                  Events.alu ctx.ev cdt n_range;
+                  chi ctx lo n_range;
+                  wr ctx n_range
+                end);
+            xc_ranged = true;
+          }
+  in
+  let execs = List.filter_map compile_stmt body in
+  let single_chunk =
+    List.exists
+      (fun (cs : compiled_stmt) -> cs.grouped_fold <> None)
+      body
+  in
+  let intent = max 1 f.intent in
+  let domain = f.domain in
+  let ranged = List.exists (fun e -> e.xc_ranged) execs in
+  let run ctx ~w_lo ~w_hi =
+    if not ranged then begin
+      (* pure element-wise body: one merged range per chunk (only the
+         range containing element 0 triggers the one-shot statements,
+         exactly as in the per-work-item loop) *)
+      let lo = w_lo * intent in
+      let hi = min domain (w_hi * intent) in
+      if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+    end
+    else
+      for w = w_lo to w_hi - 1 do
+        let lo = w * intent in
+        let hi = min domain ((w + 1) * intent) in
+        if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+      done
+  in
+  { cp_run = run; cp_scatters = List.rev !scatters; cp_single_chunk = single_chunk }

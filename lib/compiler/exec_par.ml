@@ -1,0 +1,125 @@
+(** Domain-parallel fragment execution.
+
+    Splits a fragment's extent into deterministic work-item chunks
+    ({!Voodoo_core.Chunk}), runs every chunk's compiled closures
+    ({!Exec_compile}) on the process-wide domain pool
+    ({!Voodoo_core.Domain_pool.shared}) — chunk 0 inline on the calling
+    domain — and merges the chunk-local observations back {e in chunk
+    order}, which makes the result bit-identical to sequential execution
+    for any job count:
+
+    - output buffers are written directly: chunks own disjoint element
+      ranges, and chunk boundaries fall on validity-mask byte boundaries
+      (see {!Voodoo_core.Chunk.boundary_quantum}), so no two domains
+      touch the same word;
+    - scatters write a chunk-private region, merged last-writer-wins in
+      chunk order ({!Exec_compile.merge_region});
+    - events merge by {!Voodoo_device.Events.merge_ordered} (branch
+      predictors compose exactly via their four-entry-state splits);
+    - position observations merge by {!Exec_state.merge_pos} (the only
+      cross-chunk interaction is the monotonicity check at the seam);
+    - suppression deltas are integers and simply sum.
+
+    Fragments whose body shares accumulators across ranges (grouped
+    folds) report [cp_single_chunk] and run sequentially; everything
+    else chunks.  An exception raised by any chunk is re-raised after
+    all chunks finish, picking the lowest chunk index — the same
+    exception sequential execution would have raised first. *)
+
+open Voodoo_core
+open Voodoo_device
+open Fragment
+module C = Exec_compile
+
+(* Fragments processing fewer elements than this run sequentially even
+   when jobs > 1: per-chunk contexts, pool hand-off and ordered merging
+   cost more than the kernel work they would split.  Determinism is
+   unaffected — a single chunk is the sequential path. *)
+let min_parallel_elements = 1 lsl 14
+
+(* Run one fragment's body (already prepared) under the given mode.
+   [ev] is the fragment's event record; raw mode leaves it empty. *)
+let exec_fragment st ev (f : frag) (body : compiled_stmt list) ~instrument
+    ~jobs =
+  let cp = C.compile st f body ~instrument in
+  let work = f.extent * max 1 f.intent in
+  let chunks =
+    if jobs <= 1 || cp.C.cp_single_chunk || work < min_parallel_elements then
+      Chunk.split ~extent:f.extent ~intent:(max 1 f.intent) ~jobs:1
+    else Chunk.split ~extent:f.extent ~intent:(max 1 f.intent) ~jobs
+  in
+  match chunks with
+  | [] -> ()
+  | [ c ] ->
+      (* sequential: record straight into the fragment's events *)
+      let ctx = C.make_ctx ~ev () in
+      cp.C.cp_run ctx ~w_lo:c.Chunk.w_lo ~w_hi:c.Chunk.w_hi;
+      C.apply_sup st ctx.C.sup;
+      if instrument then
+        List.iter (fun cs -> Exec_state.record_deferred st ev ~pos:ctx.C.pos cs)
+          body
+  | chunks ->
+      let pool = Domain_pool.shared ~workers:(max 1 (jobs - 1)) in
+      let tagged =
+        List.map
+          (fun (ch : Chunk.t) ->
+            let ctx = C.make_ctx ~ev:(Events.create ~chunked:true ()) () in
+            List.iter
+              (fun (si : C.scatter_info) ->
+                Hashtbl.replace ctx.C.regions si.C.sc_id (C.make_region si))
+              cp.C.cp_scatters;
+            (ch, ctx))
+          chunks
+      in
+      let run (ch, ctx) = cp.C.cp_run ctx ~w_lo:ch.Chunk.w_lo ~w_hi:ch.Chunk.w_hi in
+      let first, rest =
+        match tagged with t :: r -> (t, r) | [] -> assert false
+      in
+      (* submit the tail before running chunk 0 inline; a pool that
+         cannot take a job just runs it here (still deterministic: the
+         chunks are independent and merged by index) *)
+      let pending =
+        List.map
+          (fun t ->
+            match Domain_pool.submit pool (fun () -> run t) with
+            | Ok fut -> fun () -> Domain_pool.await fut
+            | Error (`Queue_full | `Shutting_down) ->
+                let r = try Ok (run t) with e -> Error e in
+                fun () -> r)
+          rest
+      in
+      let r0 = try Ok (run first) with e -> Error e in
+      let results = r0 :: List.map (fun wait -> wait ()) pending in
+      (match
+         List.find_opt (function Error _ -> true | Ok () -> false) results
+       with
+      | Some (Error e) -> raise e
+      | _ -> ());
+      (* merge chunk-local observations, in chunk order *)
+      let master_pos = Hashtbl.create 8 in
+      let sup_total = Hashtbl.create 4 in
+      List.iter
+        (fun ((_ : Chunk.t), (ctx : C.ctx)) ->
+          if instrument then begin
+            Events.merge_ordered ~into:ev ctx.C.ev;
+            List.iter
+              (fun (key, ps) ->
+                Exec_state.merge_pos ~into:(Exec_state.stats_in master_pos key) ps)
+              (List.sort compare
+                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.C.pos []))
+          end;
+          Hashtbl.iter
+            (fun id d ->
+              Hashtbl.replace sup_total id
+                (Option.value (Hashtbl.find_opt sup_total id) ~default:0 + d))
+            ctx.C.sup;
+          List.iter
+            (fun (si : C.scatter_info) ->
+              C.merge_region si (Hashtbl.find ctx.C.regions si.C.sc_id))
+            cp.C.cp_scatters)
+        tagged;
+      C.apply_sup st sup_total;
+      if instrument then
+        List.iter
+          (fun cs -> Exec_state.record_deferred st ev ~pos:master_pos cs)
+          body

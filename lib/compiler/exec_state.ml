@@ -1,0 +1,627 @@
+(** Shared executor state and helpers.
+
+    Everything both executor paths need lives here: the mutable run
+    state, storage-class lookups and alias resolution, per-statement
+    preparation (allocation/aliasing), fold-run computation,
+    position-pattern classification, deferred positional accounting and
+    the fault/budget plumbing.  {!Exec} drives the reference per-work-item
+    tree walk on top of this; {!Exec_compile}/[Exec_par] drive the
+    closure-compiled fast path.  Keeping the helpers in one place means
+    the two paths can only diverge in how they {e iterate}, not in what a
+    statement means. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_device
+open Fragment
+
+(** Device element width in bytes.  The paper's workloads use 32-bit values
+    (single-precision floats, dictionary codes, day numbers); our OCaml
+    arrays are wider but the cost model prices the device representation. *)
+let width = 4
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+(* ---------- helpers ---------- *)
+
+let lookup env v =
+  match Hashtbl.find_opt env v with
+  | Some x -> x
+  | None -> err "unbound vector %s" v
+
+let leaf vec (kp : Keypath.t) =
+  let schema = Svector.schema vec in
+  match List.assoc_opt kp schema with
+  | Some _ -> kp
+  | None -> (
+      match List.filter (fun (kp', _) -> Keypath.is_prefix kp kp') schema with
+      | [ (l, _) ] -> l
+      | [] -> err "no attribute %s" (Keypath.to_string kp)
+      | _ -> err "ambiguous attribute %s" (Keypath.to_string kp))
+
+let leaf_column vec kp = Svector.column vec (leaf vec kp)
+
+let src_column env (s : Op.src) =
+  let vec = lookup env s.v in
+  (vec, leaf_column vec s.kp)
+
+let bget col i = if Column.length col = 1 then Column.get col 0 else Column.get col i
+
+(* ---------- execution state ---------- *)
+
+type state = {
+  store : Store.t;
+  plan : plan;
+  env : (Op.id, Svector.t) Hashtbl.t;
+  meta : (Op.id, Meta.info) Hashtbl.t;
+  storage : (Op.id, storage) Hashtbl.t;
+  suppressed : (Op.id, int) Hashtbl.t;
+      (** fold outputs stored dense: id -> valid (run) count *)
+  interleaved : (Op.id, unit) Hashtbl.t;  (** row-major materialized vectors *)
+  opts : Codegen.options;
+  mutable group_acc : (Op.id, Scalar.t option array * int array) Hashtbl.t;
+      (** grouped-fold accumulators and counts, per FoldAgg stmt *)
+  in_frag : (Op.id, unit) Hashtbl.t;
+  charged : (string, unit) Hashtbl.t;
+      (** buffers already read in the current range: fused code loads a
+          value once into a register, however many statements consume it *)
+  pos_stats : (string, pos_stats) Hashtbl.t;
+      (** per gather/scatter statement, accumulated across all work items *)
+}
+
+and pos_stats = {
+  mutable monotone : bool;
+  mutable first : int;  (** first observed position (for chunk merging) *)
+  mutable last : int;
+  mutable zero_hits : int;
+  mutable total : int;
+}
+
+let storage_of st id =
+  Option.value (Hashtbl.find_opt st.storage id) ~default:Global
+
+(* Effective element count when reading [count] slots of vector [id]:
+   suppressed fold outputs are dense. *)
+let effective_reads st id count =
+  match Hashtbl.find_opt st.suppressed id with
+  | Some valid when st.opts.suppress_empty_slots -> min valid count
+  | _ -> count
+
+(* Record a read of [count] elements of input [id] (pattern Sequential). *)
+let record_read ?(attr = []) st ev id count =
+  let count = effective_reads st id count in
+  let site = id ^ Voodoo_vector.Keypath.to_string attr ^ ":r" in
+  match storage_of st id with
+  | Register | Virtual -> ()
+  | Global ->
+      Events.mem ev ~site ~pattern:Cache.Sequential ~elem_bytes:width count
+  | Local ws ->
+      Events.mem ~scalable:false ev ~site ~pattern:(Cache.Random ws)
+        ~elem_bytes:width count
+
+(* Record writing [count] elements of the result of [id]. *)
+let record_write st ev id count =
+  match storage_of st id with
+  | Register | Virtual -> ()
+  | Global ->
+      Events.mem ev ~site:(id ^ ":w") ~pattern:Cache.Sequential ~elem_bytes:width
+        count
+  | Local ws ->
+      Events.mem ~scalable:false ev ~site:(id ^ ":w") ~pattern:(Cache.Random ws)
+        ~elem_bytes:width count
+
+(* Follow structural aliases (zip/project/upsert, virtual scatters) to the
+   statement whose storage actually backs attribute [kp] of [v], so memory
+   traffic is charged to the real buffer. *)
+let rec resolve_read st (v : Op.id) (kp : Keypath.t) : Op.id * Keypath.t =
+  match Program.find st.plan.program v with
+  | Some { op = Zip { out1; src1; out2; src2 }; _ } ->
+      if Keypath.is_prefix out1 kp then
+        resolve_read st src1.v (Keypath.append src1.kp (Keypath.strip out1 kp))
+      else if Keypath.is_prefix out2 kp then
+        resolve_read st src2.v (Keypath.append src2.kp (Keypath.strip out2 kp))
+      else (v, kp)
+  | Some { op = Project { out; src }; _ } ->
+      if Keypath.is_prefix out kp then
+        resolve_read st src.v (Keypath.append src.kp (Keypath.strip out kp))
+      else (v, kp)
+  | Some { op = Upsert { target; out; src }; _ } ->
+      if Keypath.equal out kp then resolve_read st src.v src.kp
+      else resolve_read st target kp
+  | Some { op = Scatter { data; _ }; _ } when storage_of st v = Virtual ->
+      resolve_read st data kp
+  | _ -> (v, kp)
+
+(* The resolved (id, leaf keypath, charge key) of a source attribute, as
+   [charge_read] computes it: the static part of a read charge. *)
+let resolve_charge st (src : Op.src) =
+  let full_kp =
+    match Hashtbl.find_opt st.env src.v with
+    | Some vec -> ( try leaf vec src.kp with Exec_error _ -> src.kp)
+    | None -> src.kp
+  in
+  let id, rkp = resolve_read st src.v full_kp in
+  (id, rkp, id ^ Voodoo_vector.Keypath.to_string rkp)
+
+(* Charge [count] sequential reads of attribute [src], resolved through
+   aliases to its backing buffer; within one work-item range each buffer is
+   charged once (fused kernels keep the loaded value in a register). *)
+let charge_read st ev (src : Op.src) count =
+  let id, rkp, key = resolve_charge st src in
+  if not (Hashtbl.mem st.charged key) then begin
+    Hashtbl.replace st.charged key ();
+    record_read ~attr:rkp st ev id count
+  end
+
+(* ---------- per-statement preparation (allocation / aliasing) ---------- *)
+
+let fold_out_dtype agg col =
+  match (agg : Op.agg) with
+  | Count -> Scalar.Int
+  | Sum | Max | Min -> Column.dtype col
+
+let meta_of st id =
+  match Hashtbl.find_opt st.meta id with
+  | Some i -> i
+  | None -> err "no metadata for %s" id
+
+(* [force st v] looks [v] up, lazily binding statements that live outside
+   every fragment (loads, virtual control vectors, constants, identity
+   scatters).  Fragment-resident statements are bound when their fragment
+   executes; forcing one early is a plan bug. *)
+let rec force st v : Svector.t =
+  match Hashtbl.find_opt st.env v with
+  | Some x -> x
+  | None ->
+      if Hashtbl.mem st.in_frag v then
+        err "fragment statement %s forced before its fragment ran" v;
+      (match Program.find st.plan.program v with
+      | None -> err "unbound vector %s" v
+      | Some s -> bind_nonfrag st s);
+      Hashtbl.find st.env v
+
+and bind_nonfrag st (s : Program.stmt) =
+  let bind v = Hashtbl.replace st.env s.id v in
+  match s.op with
+  | Load table -> bind (Store.find_exn st.store table)
+  | Scatter { data; _ } when List.mem_assoc s.id st.plan.identity_scatters ->
+      (* identity positions: the scatter is a pure alias *)
+      bind (force st data)
+  | Scatter { data; shape; _ } ->
+      (* a scatter virtualized into grouped folds: only its shape matters *)
+      let dvec = force st data in
+      let out_n = (meta_of st shape).length in
+      bind
+        (Svector.of_columns
+           (List.map (fun (kp, dt) -> (kp, Column.create dt out_n))
+              (Svector.schema dvec)))
+  | Constant { out; value } ->
+      let col = Column.create (Scalar.dtype_of value) 1 in
+      Column.set col 0 value;
+      bind
+        (Svector.with_ctrl (Svector.single out col) out
+           (Ctrl.constant (Scalar.to_int value)))
+  | Range { out; from; step; _ } ->
+      bind (Svector.of_ctrl out (Ctrl.range ~from ~step) (meta_of st s.id).length)
+  | Zip { out1; src1; out2; src2 } ->
+      bind
+        (Svector.zip
+           (out1, force st src1.v, src1.kp)
+           (out2, force st src2.v, src2.kp))
+  | Project { out; src } -> bind (Svector.project ~out (force st src.v) src.kp)
+  | Upsert { target; out; src } ->
+      let svec = force st src.v in
+      bind (Svector.upsert (force st target) ~out svec (leaf svec src.kp))
+  | Binary { out; _ } | Partition { out; _ } -> (
+      (* virtual: materialize values from the closed form metadata derived *)
+      let i = meta_of st s.id in
+      let ctrl =
+        match Meta.ctrl_of i out, i.ctrls with
+        | Some c, _ -> Some c
+        | None, [ (_, c) ] -> Some c
+        | None, _ -> (
+            match s.op with Partition _ -> Some Ctrl.iota | _ -> None)
+      in
+      let const =
+        match Meta.const_of i out, i.const with
+        | Some c, _ -> Some c
+        | None, [ (_, c) ] -> Some c
+        | None, _ -> None
+      in
+      match ctrl, const with
+      | Some c, _ -> bind (Svector.of_ctrl out c i.length)
+      | _, Some k ->
+          let col = Column.create (Scalar.dtype_of k) 1 in
+          Column.set col 0 k;
+          bind (Svector.single out col)
+      | None, None -> err "non-virtual %s outside every fragment" s.id)
+  | _ -> err "statement %s outside every fragment" s.id
+
+and prepare st (cs : compiled_stmt) =
+  let env = st.env in
+  ignore env;
+  let lookup _env v = force st v in
+  let src_column _env (s : Op.src) =
+    let vec = force st s.v in
+    (vec, leaf_column vec s.kp)
+  in
+  let s = cs.stmt in
+  let bind v = Hashtbl.replace st.env s.id v in
+  match s.op with
+  | Load table -> bind (Store.find_exn st.store table)
+  | Persist (_, v) -> bind (lookup env v)
+  | Constant { out; value } ->
+      let col = Column.create (Scalar.dtype_of value) 1 in
+      Column.set col 0 value;
+      bind (Svector.with_ctrl (Svector.single out col)
+              out (Ctrl.constant (Scalar.to_int value)))
+  | Range { out; from; size; step } ->
+      let n =
+        match size with Lit n -> n | Of_vector v -> Svector.length (lookup env v)
+      in
+      bind (Svector.of_ctrl out (Ctrl.range ~from ~step) n)
+  | Cross { out1; v1; out2; v2 } ->
+      let n1 = Svector.length (lookup env v1)
+      and n2 = Svector.length (lookup env v2) in
+      let n = n1 * n2 in
+      bind
+        (Svector.of_columns
+           [
+             (out1, Column.init Int n (fun i -> Scalar.I (i / n2)));
+             (out2, Column.init Int n (fun i -> Scalar.I (i mod n2)));
+           ])
+  | Zip { out1; src1; out2; src2 } ->
+      bind
+        (Svector.zip (out1, lookup env src1.v, src1.kp)
+           (out2, lookup env src2.v, src2.kp))
+  | Project { out; src } -> bind (Svector.project ~out (lookup env src.v) src.kp)
+  | Upsert { target; out; src } ->
+      let svec = lookup env src.v in
+      bind (Svector.upsert (lookup env target) ~out svec (leaf svec src.kp))
+  | Binary { op; out; left; right } ->
+      let _, lcol = src_column env left and _, rcol = src_column env right in
+      let ln = Column.length lcol and rn = Column.length rcol in
+      let n = if ln = 1 then rn else if rn = 1 then ln else min ln rn in
+      let dt = Op.binop_dtype op (Column.dtype lcol) (Column.dtype rcol) in
+      (* virtual binaries were materialized from metadata at codegen time *)
+      bind (Svector.single out (Column.create dt n))
+  | Gather { data; positions } ->
+      let dvec = lookup env data in
+      let _, pcol = src_column env positions in
+      let n = Column.length pcol in
+      bind
+        (Svector.of_columns
+           (List.map
+              (fun (kp, dt) -> (kp, Column.create dt n))
+              (Svector.schema dvec)))
+  | Scatter { data; shape; positions; _ } ->
+      let dvec = lookup env data in
+      let _ = src_column env positions in
+      let out_n = Svector.length (lookup env shape) in
+      bind
+        (Svector.of_columns
+           (List.map
+              (fun (kp, dt) -> (kp, Column.create dt out_n))
+              (Svector.schema dvec)))
+  | Materialize { data; _ } | Break { data; _ } ->
+      let dvec = lookup env data in
+      if List.length (Svector.keypaths dvec) > 1 then
+        Hashtbl.replace st.interleaved s.id ();
+      bind dvec
+  | Partition { out; values; pivots } ->
+      let vvec, _ = src_column env values in
+      let _ = src_column env pivots in
+      bind (Svector.single out (Column.create Int (Svector.length vvec)))
+  | FoldSelect { out; input; _ } ->
+      let vec, _ = src_column env input in
+      bind (Svector.single out (Column.create Int (Svector.length vec)))
+  | FoldAgg { agg; out; input; _ } -> (
+      match cs.grouped_fold with
+      | Some g ->
+          let shape_n = (* output length: the scattered vector's length *)
+            Svector.length (lookup env input.v)
+          in
+          let _, vcol = src_column env { Op.v = g.source; kp = g.value_src.kp } in
+          let dt = fold_out_dtype agg vcol in
+          Hashtbl.replace st.group_acc s.id
+            (Array.make g.group_count None, Array.make g.group_count 0);
+          bind (Svector.single out (Column.create dt shape_n))
+      | None ->
+          let vec, col = src_column env input in
+          bind (Svector.single out (Column.create (fold_out_dtype agg col)
+                                      (Svector.length vec))))
+  | FoldScan { out; input; _ } ->
+      let vec, col = src_column env input in
+      bind
+        (Svector.single out (Column.create (Column.dtype col) (Svector.length vec)))
+
+(* ---------- run boundary computation for folds ---------- *)
+
+(* Sub-runs of [lo,hi) of the fold attribute.  When the fragment's intent
+   equals the uniform run length (the aligned case the compiler arranged),
+   the whole range is one run; otherwise boundaries are found by scanning
+   the materialized control attribute (costing one comparison per element,
+   which the caller accounts). *)
+let runs_in_range ~fold_col lo hi =
+  match fold_col with
+  | None -> [ (lo, hi) ]
+  | Some col ->
+      let rec go start i acc =
+        if i >= hi then List.rev ((start, hi) :: acc)
+        else if Column.get col i <> Column.get col (i - 1) then
+          go i (i + 1) ((start, i) :: acc)
+        else go start (i + 1) acc
+      in
+      if hi <= lo then [] else go lo (lo + 1) []
+
+(* Is the fragment range already aligned with the fold's runs? *)
+let aligned_fold st (frag : frag) env (input : Op.src) fold =
+  match fold with
+  | None -> Svector.length (lookup env input.v) <= frag.intent
+  | Some kp -> (
+      let vec = lookup env input.v in
+      let n = Svector.length vec in
+      match Svector.ctrl vec (leaf vec kp) with
+      | Some c -> (
+          match Ctrl.runs c ~n with
+          | Ctrl.Single_run -> n <= frag.intent
+          | Uniform l -> l = frag.intent
+          | Irregular -> false)
+      | None ->
+          ignore st;
+          false)
+
+(* ---------- position-pattern classification ---------- *)
+
+let new_pos_stats () =
+  { monotone = true; first = min_int; last = min_int; zero_hits = 0; total = 0 }
+
+let stats_in tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some ps -> ps
+  | None ->
+      let ps = new_pos_stats () in
+      Hashtbl.replace tbl key ps;
+      ps
+
+let stats_of st key = stats_in st.pos_stats key
+
+let observe ps p =
+  if ps.total = 0 then ps.first <- p;
+  if p < ps.last then ps.monotone <- false;
+  ps.last <- p;
+  if p = 0 then ps.zero_hits <- ps.zero_hits + 1;
+  ps.total <- ps.total + 1
+
+(* [merge_pos ~into ps] appends a later chunk's observations: exactly the
+   state [observe] would have reached had the chunk's positions streamed
+   in after [into]'s.  The only cross-chunk interaction is the
+   monotonicity check at the seam (first of the later chunk against last
+   of the earlier). *)
+let merge_pos ~into ps =
+  if ps.total > 0 then begin
+    if into.total = 0 then begin
+      into.monotone <- ps.monotone;
+      into.first <- ps.first
+    end
+    else into.monotone <- into.monotone && ps.monotone && ps.first >= into.last;
+    into.last <- ps.last;
+    into.zero_hits <- into.zero_hits + ps.zero_hits;
+    into.total <- into.total + ps.total
+  end
+
+(* Record [ps.total] accesses of element width into a buffer of [bytes]
+   bytes, splitting hot-line traffic from genuinely random traffic. *)
+let record_positional ?(serial = false) ev ~site ~bytes (ps : pos_stats) =
+  if ps.total = 0 then ()
+  else if ps.monotone then
+    Events.mem ev ~site ~pattern:Cache.Sequential ~elem_bytes:width ps.total
+  else begin
+    (* hot-line fraction: repeated lookups of slot 0 (predicated lookups) *)
+    let hot = if ps.zero_hits * 4 >= ps.total then ps.zero_hits else 0 in
+    if hot > 0 then
+      Events.mem ev ~site:(site ^ ":hot") ~pattern:Cache.Single_hot
+        ~elem_bytes:width hot;
+    Events.mem ~serial ev ~site ~pattern:(Cache.Random bytes) ~elem_bytes:width
+      (ps.total - hot)
+  end
+
+(* ---------- whole-domain partition (runs once, in its own fragment) ---- *)
+
+(* Histogram, prefix, emit (two passes over the values); shared verbatim
+   by the tree walk and the closure path — it is a one-shot computation,
+   not a per-element hot loop.  Returns [(n, npart)] for the caller's
+   event accounting. *)
+let partition_compute st (s : Program.stmt) ~(values : Op.src)
+    ~(pivots : Op.src) =
+  let env = st.env in
+  let vvec, vcol = src_column env values in
+  let _, pcol = src_column env pivots in
+  let n = Svector.length vvec in
+  let piv =
+    List.filter_map Fun.id (Column.to_scalars pcol)
+    |> List.sort Scalar.compare_scalar
+    |> Array.of_list
+  in
+  let npart = Array.length piv + 1 in
+  let part_of v =
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Scalar.compare_scalar piv.(mid) v < 0 then bs (mid + 1) hi
+        else bs lo mid
+    in
+    bs 0 (Array.length piv)
+  in
+  let parts =
+    Array.init n (fun i ->
+        match Column.get vcol i with
+        | Some v -> part_of v
+        | None -> npart - 1)
+  in
+  let counts = Array.make npart 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) parts;
+  let base = Array.make npart 0 in
+  for p = 1 to npart - 1 do
+    base.(p) <- base.(p - 1) + counts.(p - 1)
+  done;
+  let cursor = Array.copy base in
+  let out = leaf_column (lookup env s.id) [] in
+  for i = 0 to n - 1 do
+    let p = parts.(i) in
+    Column.set out i (Scalar.I cursor.(p));
+    cursor.(p) <- cursor.(p) + 1
+  done;
+  (n, npart)
+
+(* ---------- deferred positional accounting ---------- *)
+
+(* Record the positional traffic of a fragment's gathers and scatters once
+   all work items have run and the whole position sequence (accumulated in
+   [pos] — the state table for the tree walk, a merged chunk table for the
+   closure path) has been classified. *)
+let record_deferred st ev ~pos (cs : compiled_stmt) =
+  let s = cs.stmt in
+  match s.op with
+  | Gather { data; _ } -> (
+      match Hashtbl.find_opt pos ("g:" ^ s.id) with
+      | None -> ()
+      | Some ps ->
+          let dvec = lookup st.env data in
+          let dn = Svector.length dvec in
+          let ncols = List.length (Svector.keypaths dvec) in
+          let data_id, _ = resolve_read st data [] in
+          (* the lookups touch the whole gathered footprint either way; a
+             row-major (interleaved) layout needs one access per row where
+             a columnar layout needs one per column (Figure 14) *)
+          let charged_cols =
+            if Hashtbl.mem st.interleaved data_id then 1 else ncols
+          in
+          let bytes = dn * width * ncols in
+          (* beyond the first, columnar lookups depend on the same
+             iteration's position: their hit latency is exposed *)
+          for c = 1 to charged_cols do
+            record_positional ~serial:(c > 1) ev
+              ~site:(Printf.sprintf "%s:g%d" s.id c)
+              ~bytes ps
+          done)
+  | Scatter _ when cs.storage <> Virtual -> (
+      match Hashtbl.find_opt pos ("s:" ^ s.id) with
+      | None -> ()
+      | Some ps ->
+          let out = lookup st.env s.id in
+          let out_n = Svector.length out in
+          let ncols = List.length (Svector.keypaths out) in
+          for c = 1 to ncols do
+            record_positional ev
+              ~site:(Printf.sprintf "%s:s%d" s.id c)
+              ~bytes:(out_n * width) ps
+          done)
+  | _ -> ()
+
+(* ---------- fault / budget instrumentation ---------- *)
+
+(* Statements whose prepared vector owns fresh columns (as opposed to
+   aliasing a load, a zip/project view or the store): the only safe
+   corruption targets, and the ones whose materialization is charged
+   against the vector-bytes budget. *)
+let owns_fresh_columns (cs : compiled_stmt) =
+  match cs.stmt.op with
+  | Binary _ | Gather _ | Partition _ | Cross _ | FoldSelect _ | FoldAgg _
+  | FoldScan _ ->
+      cs.storage <> Virtual
+  | Scatter _ -> cs.storage <> Virtual
+  | Load _ | Persist _ | Constant _ | Range _ | Zip _ | Project _ | Upsert _
+  | Materialize _ | Break _ ->
+      false
+
+(* Charge the budget for a fragment statement's materialized result. *)
+let charge_budget st tr (cs : compiled_stmt) =
+  match storage_of st cs.stmt.id with
+  | Register | Virtual -> ()
+  | Global | Local _ -> (
+      match Hashtbl.find_opt st.env cs.stmt.id with
+      | Some vec when owns_fresh_columns cs ->
+          Budget.charge_bytes tr
+            (Svector.length vec * List.length (Svector.keypaths vec) * width)
+      | _ -> ())
+
+(* Deterministically perturb one freshly-materialized result of the
+   fragment, so an injected corruption is visible to differential checks
+   without mutating shared (store-resident) vectors.  Prefer a plan
+   output (corruption after the kernel ran is only observable by later
+   kernels or the fetch), falling back to the last fresh statement. *)
+let corrupt_fragment st ~seed (body : compiled_stmt list) =
+  let candidates = List.filter owns_fresh_columns body in
+  let preferred =
+    List.filter
+      (fun (cs : compiled_stmt) -> List.mem cs.stmt.id st.plan.outputs)
+      candidates
+  in
+  match List.rev (if preferred <> [] then preferred else candidates) with
+  | [] -> ()
+  | cs :: _ -> (
+      match Hashtbl.find_opt st.env cs.stmt.id with
+      | Some vec -> Fault.corrupt ~seed vec
+      | None -> ())
+
+(* ---------- driver scaffolding ---------- *)
+
+(* Copy a fragment's observed behaviour into its trace span: every event
+   total, the materialized result bytes, and the per-statement storage mix. *)
+let span_counters trace st (f : frag) ev =
+  List.iter (fun (name, v) -> Trace.count trace name v) (Events.totals ev);
+  Trace.count trace "fragment.extent" (float_of_int f.extent);
+  let bytes =
+    List.fold_left
+      (fun acc (cs : compiled_stmt) ->
+        match storage_of st cs.stmt.id with
+        | Register | Virtual -> acc
+        | Global | Local _ -> (
+            match Hashtbl.find_opt st.env cs.stmt.id with
+            | Some vec when owns_fresh_columns cs ->
+                acc
+                + Svector.length vec * List.length (Svector.keypaths vec)
+                  * width
+            | _ -> acc))
+      0 (stmts_in_order f)
+  in
+  Trace.count trace "bytes.materialized" (float_of_int bytes)
+
+let init_state ~store ~options (plan : plan) =
+  let st =
+    {
+      store;
+      plan;
+      env = Hashtbl.create 32;
+      meta = Hashtbl.create 32;
+      storage = Hashtbl.create 32;
+      suppressed = Hashtbl.create 8;
+      interleaved = Hashtbl.create 4;
+      opts = options;
+      group_acc = Hashtbl.create 4;
+      in_frag = Hashtbl.create 32;
+      charged = Hashtbl.create 8;
+      pos_stats = Hashtbl.create 8;
+    }
+  in
+  List.iter (fun (id, i) -> Hashtbl.replace st.meta id i) plan.meta;
+  (* register storage classes and fragment membership *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (cs : compiled_stmt) ->
+          Hashtbl.replace st.storage cs.stmt.id cs.storage;
+          Hashtbl.replace st.in_frag cs.stmt.id ())
+        (stmts_in_order f))
+    plan.frags;
+  List.iter
+    (fun (s : Program.stmt) ->
+      if not (Hashtbl.mem st.in_frag s.id) then
+        Hashtbl.replace st.storage s.id
+          (match s.op with Load _ -> Global | _ -> Virtual))
+    (Program.stmts plan.program);
+  st

@@ -1,0 +1,33 @@
+(** Deterministic work-item chunking for domain-parallel fragment
+    execution (see the interface). *)
+
+type t = { index : int; w_lo : int; w_hi : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Chunk boundaries must fall on element indices that are multiples of 8:
+   column validity masks pack eight slots per byte, so two chunks whose
+   element ranges share a byte would race on read-modify-write bit
+   updates.  A boundary at work item [w] sits at element [w * intent];
+   that is a multiple of 8 exactly when [w] is a multiple of
+   [8 / gcd intent 8]. *)
+let boundary_quantum ~intent = 8 / gcd (max 1 intent) 8
+
+let split ~extent ~intent ~jobs =
+  if extent <= 0 then []
+  else if jobs <= 1 then [ { index = 0; w_lo = 0; w_hi = extent } ]
+  else begin
+    let q = boundary_quantum ~intent in
+    (* target chunk size in work items, rounded up to the quantum *)
+    let per = (extent + jobs - 1) / jobs in
+    let per = (per + q - 1) / q * q in
+    let rec go index w_lo acc =
+      if w_lo >= extent then List.rev acc
+      else
+        let w_hi = min extent (w_lo + per) in
+        go (index + 1) w_hi ({ index; w_lo; w_hi } :: acc)
+    in
+    go 0 0 []
+  end
+
+let count ~extent ~intent ~jobs = List.length (split ~extent ~intent ~jobs)

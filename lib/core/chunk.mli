@@ -1,0 +1,36 @@
+(** Deterministic work-item chunking for domain-parallel fragment
+    execution.
+
+    A fragment's extent is a list of independent work items; each work
+    item [w] owns the element range [w*intent, (w+1)*intent).  Because
+    code generation aligns fold runs to work items (an aligned fold has
+    intent = run length; irregular folds get extent 1), any partition of
+    the extent into {e whole work items} respects control-vector
+    partition boundaries: no fold group ever spans two chunks.
+
+    One further constraint makes chunks safe to run concurrently against
+    shared output columns: validity masks pack eight element slots per
+    byte, so chunk boundaries are rounded to element multiples of 8 —
+    two chunks never touch the same mask byte.  The split depends only on
+    [(extent, intent, jobs)], never on timing, so the chunk list — and
+    everything derived from it in chunk order — is deterministic. *)
+
+type t = {
+  index : int;  (** position in chunk order, 0-based *)
+  w_lo : int;  (** first work item (inclusive) *)
+  w_hi : int;  (** last work item (exclusive) *)
+}
+
+(** Work items per boundary step: chunk boundaries are multiples of this,
+    which makes their element offsets multiples of 8. *)
+val boundary_quantum : intent:int -> int
+
+(** [split ~extent ~intent ~jobs] partitions [0..extent) into at most
+    [jobs] contiguous chunks of whole work items (fewer when the extent
+    is small or the alignment quantum forces bigger chunks).  [jobs <= 1]
+    yields a single chunk covering everything; [extent <= 0] yields no
+    chunks. *)
+val split : extent:int -> intent:int -> jobs:int -> t list
+
+(** Number of chunks [split] would produce. *)
+val count : extent:int -> intent:int -> jobs:int -> int

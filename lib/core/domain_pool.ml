@@ -1,0 +1,186 @@
+(** OCaml 5 domain worker pool: the concurrency core shared by the
+    service layer's admission-controlled pool and the executor's
+    intra-query chunk fan-out (see the interface). *)
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : ('a, exn) result option;
+}
+
+let fulfil fut outcome =
+  Mutex.lock fut.fm;
+  fut.state <- Some outcome;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let resolved v =
+  { fm = Mutex.create (); fc = Condition.create (); state = Some (Ok v) }
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Some outcome ->
+        Mutex.unlock fut.fm;
+        outcome
+    | None ->
+        Condition.wait fut.fc fut.fm;
+        wait ()
+  in
+  wait ()
+
+type t = {
+  m : Mutex.t;
+  ready : Condition.t;
+  (* a job computes its outcome, then returns the thunk that publishes it
+     to the future — run after the completion counters are updated, so
+     [await] returning implies [counters] already counts the job done *)
+  jobs : (unit -> unit -> unit) Queue.t;
+  mutable workers : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable submitted : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable running : int;
+}
+
+type counters = {
+  workers : int;
+  queued : int;
+  running : int;
+  submitted : int;
+  completed : int;
+  shed : int;
+}
+
+let default_workers () = max 2 (min 8 (Domain.recommended_domain_count () - 1))
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.ready t.m
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.m (* stopping, queue drained *)
+  else begin
+    let job = Queue.pop t.jobs in
+    t.running <- t.running + 1;
+    Mutex.unlock t.m;
+    let publish = job () in
+    Mutex.lock t.m;
+    t.running <- t.running - 1;
+    t.completed <- t.completed + 1;
+    Mutex.unlock t.m;
+    publish ();
+    worker_loop t
+  end
+
+let create ~workers () =
+  if workers < 1 then invalid_arg "Domain_pool.create: need at least one worker";
+  let t =
+    {
+      m = Mutex.create ();
+      ready = Condition.create ();
+      jobs = Queue.create ();
+      workers;
+      stopping = false;
+      domains = [];
+      submitted = 0;
+      shed = 0;
+      completed = 0;
+      running = 0;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit ?capacity t f =
+  Mutex.lock t.m;
+  if t.stopping then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.m;
+    Error `Shutting_down
+  end
+  else if
+    match capacity with Some c -> Queue.length t.jobs >= c | None -> false
+  then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.m;
+    Error `Queue_full
+  end
+  else begin
+    let fut = { fm = Mutex.create (); fc = Condition.create (); state = None } in
+    Queue.add
+      (fun () ->
+        let outcome = match f () with v -> Ok v | exception e -> Error e in
+        fun () -> fulfil fut outcome)
+      t.jobs;
+    t.submitted <- t.submitted + 1;
+    Condition.signal t.ready;
+    Mutex.unlock t.m;
+    Ok fut
+  end
+
+let counters t =
+  Mutex.lock t.m;
+  let c =
+    {
+      workers = t.workers;
+      queued = Queue.length t.jobs;
+      running = t.running;
+      submitted = t.submitted;
+      completed = t.completed;
+      shed = t.shed;
+    }
+  in
+  Mutex.unlock t.m;
+  c
+
+let shutdown t =
+  Mutex.lock t.m;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.ready;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+  else Mutex.unlock t.m
+
+(* ---- the shared chunk pool ---- *)
+
+(* One process-wide pool for intra-query chunk execution, created on
+   first use and grown on demand.  Jobs submitted here must never block
+   on other pool jobs (chunk work is pure compute), so sharing one pool
+   between concurrent queries cannot deadlock.  Joined at process exit —
+   dangling domains would keep the runtime alive. *)
+let shared_pool : t option ref = ref None
+
+let shared_m = Mutex.create ()
+
+let grow t target =
+  Mutex.lock t.m;
+  let extra = target - t.workers in
+  if extra > 0 && not t.stopping then begin
+    t.workers <- t.workers + extra;
+    let fresh = List.init extra (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+    t.domains <- t.domains @ fresh
+  end;
+  Mutex.unlock t.m
+
+let shared ~workers =
+  Mutex.lock shared_m;
+  let t =
+    match !shared_pool with
+    | Some t ->
+        grow t workers;
+        t
+    | None ->
+        let t = create ~workers:(max 1 workers) () in
+        shared_pool := Some t;
+        at_exit (fun () -> shutdown t);
+        t
+  in
+  Mutex.unlock shared_m;
+  t

@@ -1,0 +1,55 @@
+(** OCaml 5 domain worker pool: futures, a FIFO job queue drained by a
+    fixed set of domains, and an optional admission bound.
+
+    This is the concurrency core below both users of multicore in the
+    tree: {!Voodoo_service.Pool} wraps it with service-level admission
+    control and stats for {e inter}-query parallelism, and the executor's
+    chunk fan-out ([Voodoo_compiler.Exec_par]) uses the process-wide
+    {!shared} pool for {e intra}-query parallelism.  Chunk jobs are pure
+    compute and never block on other jobs, so both layers can share
+    domains without deadlock. *)
+
+(** A write-once cell fulfilled by the worker that runs the job. *)
+type 'a future
+
+(** Block until the job finishes; [Error e] re-surfaces the exception the
+    job raised. *)
+val await : 'a future -> ('a, exn) result
+
+(** An already-fulfilled future. *)
+val resolved : 'a -> 'a future
+
+type t
+
+type counters = {
+  workers : int;
+  queued : int;  (** jobs waiting right now *)
+  running : int;  (** jobs executing right now *)
+  submitted : int;  (** admitted since creation *)
+  completed : int;
+  shed : int;  (** rejected by a [capacity] bound *)
+}
+
+(** Default worker count: [recommended_domain_count - 1] clamped to
+    [2..8] — leave one core to the submitting thread. *)
+val default_workers : unit -> int
+
+val create : workers:int -> unit -> t
+
+(** [submit ?capacity t f] enqueues [f]; with [capacity], a submission
+    that finds at least that many jobs already queued is rejected
+    ([`Queue_full], counted as shed) instead of queued without limit. *)
+val submit :
+  ?capacity:int -> t -> (unit -> 'a) ->
+  ('a future, [ `Queue_full | `Shutting_down ]) result
+
+val counters : t -> counters
+
+(** Drain the queue, stop and join every domain.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [shared ~workers] is the process-wide pool for intra-query chunk
+    execution: created on first use, grown (never shrunk) so at least
+    [workers] domains exist, and joined automatically at process exit.
+    Do not {!shutdown} it. *)
+val shared : workers:int -> t

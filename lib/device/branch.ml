@@ -42,3 +42,41 @@ let record t taken =
 let misprediction_rate t =
   if t.predictions = 0 then 0.0
   else float_of_int t.mispredictions /. float_of_int t.predictions
+
+let copy t =
+  { state = t.state; predictions = t.predictions; mispredictions = t.mispredictions }
+
+(* ---- split predictors: exact composition over chunked streams ---- *)
+
+(* A predictor is a 4-state DFA, so a chunk that does not know the
+   predictor's entry state can simulate all four possibilities in
+   parallel; composing chunk results in order then replays the exact
+   sequential stream.  This is what makes domain-parallel execution's
+   misprediction counts bit-identical to sequential execution. *)
+
+let all_states = [| Strong_not; Weak_not; Weak_taken; Strong_taken |]
+
+let state_index = function
+  | Strong_not -> 0
+  | Weak_not -> 1
+  | Weak_taken -> 2
+  | Strong_taken -> 3
+
+type split = t array  (* one run per possible entry state *)
+
+let split_create () =
+  Array.map
+    (fun s -> { state = s; predictions = 0; mispredictions = 0 })
+    all_states
+
+let split_record (sp : split) taken = Array.iter (fun t -> record t taken) sp
+
+let split_copy (sp : split) = Array.map copy sp
+
+(** [apply_split t sp] advances [t] as if the stream recorded into [sp]
+    had been streamed through it directly. *)
+let apply_split t (sp : split) =
+  let r = sp.(state_index t.state) in
+  t.predictions <- t.predictions + r.predictions;
+  t.mispredictions <- t.mispredictions + r.mispredictions;
+  t.state <- r.state

@@ -20,3 +20,26 @@ val update : t -> bool -> unit
 val record : t -> bool -> unit
 
 val misprediction_rate : t -> float
+
+(** Independent copy (state and counters). *)
+val copy : t -> t
+
+(** A chunk-local record of a branch stream simulated from {e all four}
+    possible predictor entry states.  The predictor is a 4-state DFA, so
+    a chunk that does not know its entry state can run every possibility
+    and {!apply_split} later picks the one that matters — composing
+    chunk splits in order replays the exact sequential stream, making
+    domain-parallel misprediction counts bit-identical to sequential
+    execution. *)
+type split
+
+val split_create : unit -> split
+
+(** Record one outcome into all four simulated runs. *)
+val split_record : split -> bool -> unit
+
+val split_copy : split -> split
+
+(** [apply_split t sp] advances [t] (counters and state) exactly as if
+    [sp]'s stream had been recorded into it directly. *)
+val apply_split : t -> split -> unit

@@ -26,11 +26,16 @@ type mem_site = {
 
 type branch_site = {
   predictor : Branch.t;
+  split : Branch.split option;
+      (** chunk-local records stream through a split (all four entry
+          states) instead of the predictor, so chunks can later be
+          composed in order into the exact sequential predictor state *)
   mutable total : float;
   mutable taken : float;
 }
 
 type t = {
+  chunked : bool;  (** record branch outcomes into splits, for {!merge_ordered} *)
   mutable int_ops : float;
   mutable float_ops : float;
   mutable guarded_ops : float;
@@ -38,8 +43,9 @@ type t = {
   branches : (string, branch_site) Hashtbl.t;
 }
 
-let create () =
+let create ?(chunked = false) () =
   {
+    chunked;
     int_ops = 0.0;
     float_ops = 0.0;
     guarded_ops = 0.0;
@@ -74,19 +80,35 @@ let branch t ~site taken =
     match Hashtbl.find_opt t.branches site with
     | Some s -> s
     | None ->
-        let s = { predictor = Branch.create (); total = 0.0; taken = 0.0 } in
+        let s =
+          {
+            predictor = Branch.create ();
+            split = (if t.chunked then Some (Branch.split_create ()) else None);
+            total = 0.0;
+            taken = 0.0;
+          }
+        in
         Hashtbl.replace t.branches site s;
         s
   in
   s.total <- s.total +. 1.0;
   if taken then s.taken <- s.taken +. 1.0;
-  Branch.record s.predictor taken
+  match s.split with
+  | Some sp -> Branch.split_record sp taken
+  | None -> Branch.record s.predictor taken
+
+(* Fold over sites in name order: per-site misprediction estimates are
+   fractional floats, so a stable summation order keeps the total
+   bit-identical however the table was populated (sequentially or by
+   chunk merges). *)
+let sorted_sites tbl =
+  Hashtbl.fold (fun site s acc -> (site, s) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let mispredictions t =
-  Hashtbl.fold
-    (fun _ s acc ->
-      acc +. (Branch.misprediction_rate s.predictor *. s.total))
-    t.branches 0.0
+  List.fold_left
+    (fun acc (_, s) -> acc +. (Branch.misprediction_rate s.predictor *. s.total))
+    0.0 (sorted_sites t.branches)
 
 let total_branches t = Hashtbl.fold (fun _ s acc -> acc +. s.total) t.branches 0.0
 
@@ -165,6 +187,66 @@ let merge ~into (src : t) =
           s'.taken <- s'.taken +. s.taken
       | None -> Hashtbl.replace into.branches site s)
     src.branches
+
+(** [merge_ordered ~into src] accumulates a {e chunk}'s events ([src],
+    created with [~chunked:true]) into [into], preserving sequential
+    semantics exactly: counts add (all integer-valued, so float sums are
+    exact in any order) and each branch site's split is composed onto
+    [into]'s predictor — equivalent to having streamed the chunk's
+    outcomes right after everything already in [into].  Calling this
+    chunk-by-chunk in chunk order reproduces the sequential events
+    bit-identically. *)
+let merge_ordered ~into (src : t) =
+  into.int_ops <- into.int_ops +. src.int_ops;
+  into.float_ops <- into.float_ops +. src.float_ops;
+  into.guarded_ops <- into.guarded_ops +. src.guarded_ops;
+  List.iter
+    (fun (site, s) ->
+      match Hashtbl.find_opt into.mem site with
+      | Some s' -> s'.count <- s'.count +. s.count
+      | None -> Hashtbl.replace into.mem site { s with count = s.count })
+    (sorted_sites src.mem);
+  List.iter
+    (fun (site, s) ->
+      let s' =
+        match Hashtbl.find_opt into.branches site with
+        | Some s' -> s'
+        | None ->
+            (* a fresh predictor starts in the sequential initial state,
+               so composing the first chunk's split onto it replays the
+               stream from scratch *)
+            let s' =
+              { predictor = Branch.create (); split = None; total = 0.0; taken = 0.0 }
+            in
+            Hashtbl.replace into.branches site s';
+            s'
+      in
+      s'.total <- s'.total +. s.total;
+      s'.taken <- s'.taken +. s.taken;
+      match s.split with
+      | Some sp -> Branch.apply_split s'.predictor sp
+      | None -> invalid_arg "Events.merge_ordered: source was not chunked")
+    (sorted_sites src.branches)
+
+(** [copy t] is an independent deep copy: scaling or merging the copy
+    leaves [t] untouched. *)
+let copy t =
+  let c = create ~chunked:t.chunked () in
+  c.int_ops <- t.int_ops;
+  c.float_ops <- t.float_ops;
+  c.guarded_ops <- t.guarded_ops;
+  Hashtbl.iter (fun site s -> Hashtbl.replace c.mem site { s with count = s.count }) t.mem;
+  Hashtbl.iter
+    (fun site s ->
+      Hashtbl.replace c.branches site
+        {
+          predictor = Branch.copy s.predictor;
+          split = Option.map Branch.split_copy s.split;
+          total = s.total;
+          taken = s.taken;
+        })
+    t.branches;
+  c
 
 let pp ppf t =
   Fmt.pf ppf "int=%.0f float=%.0f guarded=%.0f branches=%.0f (mispred %.0f)"

@@ -23,11 +23,17 @@ type mem_site = {
 
 type branch_site = {
   predictor : Branch.t;
+  split : Branch.split option;
+      (** chunk-local records stream through a split (all four entry
+          states) instead of the predictor; see {!merge_ordered} *)
   mutable total : float;
   mutable taken : float;
 }
 
 type t = {
+  chunked : bool;
+      (** branch outcomes go to splits instead of predictors, making the
+          record composable via {!merge_ordered} *)
   mutable int_ops : float;
   mutable float_ops : float;
   mutable guarded_ops : float;
@@ -35,7 +41,9 @@ type t = {
   branches : (string, branch_site) Hashtbl.t;
 }
 
-val create : unit -> t
+(** [create ?chunked ()] — [chunked] (default false) marks a chunk-local
+    record destined for {!merge_ordered}. *)
+val create : ?chunked:bool -> unit -> t
 
 val alu : t -> Voodoo_vector.Scalar.dtype -> int -> unit
 
@@ -75,5 +83,19 @@ val scale_working_sets : t -> k:float -> min_bytes:int -> unit
 
 (** [merge ~into src] accumulates [src] into [into]. *)
 val merge : into:t -> t -> unit
+
+(** [merge_ordered ~into src] accumulates a chunk's events ([src] must
+    have been created with [~chunked:true]) into [into] with sequential
+    semantics preserved exactly: counts add and each branch site's split
+    is composed onto [into]'s predictor, equivalent to having streamed
+    the chunk's outcomes right after everything already in [into].
+    Merging chunks in chunk order reproduces the sequential record
+    bit-identically.  Raises [Invalid_argument] when [src] was not
+    chunked. *)
+val merge_ordered : into:t -> t -> unit
+
+(** [copy t] is an independent deep copy (predictor state included):
+    scaling or merging the copy leaves [t] untouched. *)
+val copy : t -> t
 
 val pp : Format.formatter -> t -> unit

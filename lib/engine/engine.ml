@@ -55,8 +55,8 @@ type compiled_run = {
   plan : Voodoo_compiler.Fragment.plan;
 }
 
-let compiled_full ?trace ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
-    (plan : Ra.t) : compiled_run =
+let compiled_full ?trace ?lower_opts ?backend_opts ?budget ?exec
+    (cat : Catalog.t) (plan : Ra.t) : compiled_run =
   Trace.with_span trace "engine:compiled" (fun () ->
       let l =
         Trace.with_span trace "lower" (fun () ->
@@ -68,7 +68,8 @@ let compiled_full ?trace ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
               l.program)
       in
       let r =
-        Trace.with_span trace "execute" (fun () -> Backend.run ?trace ?budget c)
+        Trace.with_span trace "execute" (fun () ->
+            Backend.run ?trace ?budget ?exec c)
       in
       let rows =
         Trace.with_span trace "fetch" (fun () ->
@@ -76,8 +77,8 @@ let compiled_full ?trace ?lower_opts ?backend_opts ?budget (cat : Catalog.t)
       in
       { rows; kernels = r.kernels; plan = c.plan })
 
-let compiled ?trace ?lower_opts ?backend_opts ?budget cat plan : rows =
-  (compiled_full ?trace ?lower_opts ?backend_opts ?budget cat plan).rows
+let compiled ?trace ?lower_opts ?backend_opts ?budget ?exec cat plan : rows =
+  (compiled_full ?trace ?lower_opts ?backend_opts ?budget ?exec cat plan).rows
 
 (** Prepared plans: the lower/compile stages hoisted out of the hot path
     so a long-lived service can pay them once per distinct query.  A
@@ -105,12 +106,12 @@ let prepare ?trace ?lower_opts ?backend_opts (cat : Catalog.t) (plan : Ra.t) :
       in
       { p_source = plan; p_lowered = l; p_compiled = c })
 
-let run_prepared_full ?trace ?budget (cat : Catalog.t) (p : prepared) :
+let run_prepared_full ?trace ?budget ?exec (cat : Catalog.t) (p : prepared) :
     compiled_run =
   Trace.with_span trace "engine:prepared" (fun () ->
       let r =
         Trace.with_span trace "execute" (fun () ->
-            Backend.run ?trace ?budget p.p_compiled)
+            Backend.run ?trace ?budget ?exec p.p_compiled)
       in
       let rows =
         Trace.with_span trace "fetch" (fun () ->
@@ -118,8 +119,8 @@ let run_prepared_full ?trace ?budget (cat : Catalog.t) (p : prepared) :
       in
       { rows; kernels = r.kernels; plan = p.p_compiled.plan })
 
-let run_prepared ?trace ?budget cat p : rows =
-  (run_prepared_full ?trace ?budget cat p).rows
+let run_prepared ?trace ?budget ?exec cat p : rows =
+  (run_prepared_full ?trace ?budget ?exec cat p).rows
 
 (** [agree plan rows1 rows2] compares results modulo row order, restricted
     to the plan's result columns. *)

@@ -45,6 +45,7 @@ val compiled_full :
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
   ?budget:Voodoo_core.Budget.t ->
+  ?exec:Voodoo_compiler.Codegen.exec_mode ->
   Catalog.t -> Ra.t -> compiled_run
 
 val compiled :
@@ -52,6 +53,7 @@ val compiled :
   ?lower_opts:Lower.options ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
   ?budget:Voodoo_core.Budget.t ->
+  ?exec:Voodoo_compiler.Codegen.exec_mode ->
   Catalog.t -> Ra.t -> rows
 
 (** {2 Prepared plans}
@@ -78,15 +80,21 @@ val prepare :
 
 (** [run_prepared_full cat p] executes a prepared plan: only ["execute"]
     and ["fetch"] spans appear — the absence of ["lower"]/["compile"]
-    spans is how a plan-cache hit shows up in a trace. *)
+    spans is how a plan-cache hit shows up in a trace.  [exec] overrides
+    the prepared options' execution mode for this run only (closure vs
+    tree walk, instrumentation, job count — see
+    {!Voodoo_compiler.Codegen.exec_mode}); rows are identical in every
+    mode. *)
 val run_prepared_full :
   ?trace:Voodoo_core.Trace.t ->
   ?budget:Voodoo_core.Budget.t ->
+  ?exec:Voodoo_compiler.Codegen.exec_mode ->
   Catalog.t -> prepared -> compiled_run
 
 val run_prepared :
   ?trace:Voodoo_core.Trace.t ->
   ?budget:Voodoo_core.Budget.t ->
+  ?exec:Voodoo_compiler.Codegen.exec_mode ->
   Catalog.t -> prepared -> rows
 
 (** [agree plan rows1 rows2] compares results modulo row order, restricted

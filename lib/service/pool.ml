@@ -1,50 +1,17 @@
 (** Multicore worker pool with a bounded admission queue (see the
-    interface). *)
+    interface).  The worker/future machinery lives in
+    {!Voodoo_core.Domain_pool} — shared with the executor's intra-query
+    chunk fan-out — and this module layers the service's admission
+    semantics and stats on top. *)
 
-type 'a future = {
-  fm : Mutex.t;
-  fc : Condition.t;
-  mutable state : ('a, exn) result option;
-}
+module D = Voodoo_core.Domain_pool
 
-let fulfil fut outcome =
-  Mutex.lock fut.fm;
-  fut.state <- Some outcome;
-  Condition.broadcast fut.fc;
-  Mutex.unlock fut.fm
+type 'a future = 'a D.future
 
-let resolved v =
-  { fm = Mutex.create (); fc = Condition.create (); state = Some (Ok v) }
+let await = D.await
+let resolved = D.resolved
 
-let await fut =
-  Mutex.lock fut.fm;
-  let rec wait () =
-    match fut.state with
-    | Some outcome ->
-        Mutex.unlock fut.fm;
-        outcome
-    | None ->
-        Condition.wait fut.fc fut.fm;
-        wait ()
-  in
-  wait ()
-
-type t = {
-  m : Mutex.t;
-  ready : Condition.t;
-  (* a job computes its outcome, then returns the thunk that publishes it
-     to the future — run after the completion counters are updated, so
-     [await] returning implies [stats] already counts the job done *)
-  jobs : (unit -> unit -> unit) Queue.t;
-  queue_capacity : int;
-  workers : int;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
-  mutable submitted : int;
-  mutable shed : int;
-  mutable completed : int;
-  mutable running : int;
-}
+type t = { core : D.t; queue_capacity : int }
 
 type stats = {
   workers : int;
@@ -56,104 +23,34 @@ type stats = {
   shed : int;
 }
 
-let default_workers () = max 2 (min 8 (Domain.recommended_domain_count () - 1))
-
-let rec worker_loop t =
-  Mutex.lock t.m;
-  while Queue.is_empty t.jobs && not t.stopping do
-    Condition.wait t.ready t.m
-  done;
-  if Queue.is_empty t.jobs then Mutex.unlock t.m (* stopping, queue drained *)
-  else begin
-    let job = Queue.pop t.jobs in
-    t.running <- t.running + 1;
-    Mutex.unlock t.m;
-    let publish = job () in
-    Mutex.lock t.m;
-    t.running <- t.running - 1;
-    t.completed <- t.completed + 1;
-    Mutex.unlock t.m;
-    publish ();
-    worker_loop t
-  end
+let default_workers = D.default_workers
 
 let create ?(workers = default_workers ()) ~queue_capacity () =
   if workers < 1 then invalid_arg "Pool.create: need at least one worker";
   if queue_capacity < 1 then invalid_arg "Pool.create: need queue capacity >= 1";
-  let t =
-    {
-      m = Mutex.create ();
-      ready = Condition.create ();
-      jobs = Queue.create ();
-      queue_capacity;
-      workers;
-      stopping = false;
-      domains = [];
-      submitted = 0;
-      shed = 0;
-      completed = 0;
-      running = 0;
-    }
-  in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  { core = D.create ~workers (); queue_capacity }
 
-let submit t f =
-  Mutex.lock t.m;
-  if t.stopping then begin
-    t.shed <- t.shed + 1;
-    Mutex.unlock t.m;
-    Error `Shutting_down
-  end
-  else if Queue.length t.jobs >= t.queue_capacity then begin
-    t.shed <- t.shed + 1;
-    Mutex.unlock t.m;
-    Error `Queue_full
-  end
-  else begin
-    let fut = { fm = Mutex.create (); fc = Condition.create (); state = None } in
-    Queue.add
-      (fun () ->
-        let outcome = match f () with v -> Ok v | exception e -> Error e in
-        fun () -> fulfil fut outcome)
-      t.jobs;
-    t.submitted <- t.submitted + 1;
-    Condition.signal t.ready;
-    Mutex.unlock t.m;
-    Ok fut
-  end
+let submit (t : t) f = D.submit ~capacity:t.queue_capacity t.core f
 
 let run t f =
   match submit t f with
-  | Error _ as e -> e
+  | Error `Queue_full -> Error `Queue_full
+  | Error `Shutting_down -> Error `Shutting_down
   | Ok fut -> (
       match await fut with
       | Ok v -> Ok v
       | Error e -> Error (`Job_raised e))
 
-let stats t =
-  Mutex.lock t.m;
-  let s =
-    {
-      workers = t.workers;
-      queue_capacity = t.queue_capacity;
-      queued = Queue.length t.jobs;
-      running = t.running;
-      submitted = t.submitted;
-      completed = t.completed;
-      shed = t.shed;
-    }
-  in
-  Mutex.unlock t.m;
-  s
+let stats (t : t) =
+  let c = D.counters t.core in
+  {
+    workers = c.D.workers;
+    queue_capacity = t.queue_capacity;
+    queued = c.D.queued;
+    running = c.D.running;
+    submitted = c.D.submitted;
+    completed = c.D.completed;
+    shed = c.D.shed;
+  }
 
-let shutdown t =
-  Mutex.lock t.m;
-  if not t.stopping then begin
-    t.stopping <- true;
-    Condition.broadcast t.ready;
-    Mutex.unlock t.m;
-    List.iter Domain.join t.domains;
-    t.domains <- []
-  end
-  else Mutex.unlock t.m
+let shutdown (t : t) = D.shutdown t.core

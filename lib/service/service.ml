@@ -19,6 +19,7 @@ type config = {
   result_cache_bytes : int;
   budget : Budget.t;
   engine : engine_mode;
+  jobs : int;
   lower_opts : Lower.options option;
   backend_opts : Voodoo_compiler.Codegen.options option;
 }
@@ -33,6 +34,7 @@ let default_config =
     result_cache_bytes = 16 * 1024 * 1024;
     budget = Budget.unlimited;
     engine = Direct;
+    jobs = 1;
     lower_opts = None;
     backend_opts = None;
   }
@@ -51,6 +53,8 @@ type t = {
   mutable queries : int;
   mutable result_hits : int;
   mutable errors : int;
+  mutable fast_path : int;
+  mutable parallel : int;
 }
 
 type outcome = (Engine.rows, Verror.t) result
@@ -80,6 +84,8 @@ let create ?registry (config : config) =
     queries = 0;
     result_hits = 0;
     errors = 0;
+    fast_path = 0;
+    parallel = 0;
   }
 
 let locked t f =
@@ -135,10 +141,28 @@ let get_or_prepare t ?trace (cat : Catalog.t) ~generation (plan : Ra.t) =
       Plan_cache.add t.plans key p;
       p
 
+(* Fast-path policy for [Direct] dispatch (see docs/PARALLELISM.md):
+   without a trace there is nothing to observe, so skip device simulation
+   entirely (raw closures); and when the admission queue is idle the
+   pool's spare domains are better spent inside this query, so chunk its
+   extents across [config.jobs] domains.  Under a backlog, inter-query
+   parallelism wins: run each query on one domain. *)
+let pick_exec t ?trace () =
+  let instrument = Option.is_some trace in
+  let idle = (Pool.stats t.pool).Pool.queued = 0 in
+  let jobs = if idle then max 1 t.config.jobs else 1 in
+  locked t (fun () ->
+      if not instrument then t.fast_path <- t.fast_path + 1;
+      if jobs > 1 then t.parallel <- t.parallel + 1);
+  Voodoo_compiler.Codegen.Closure { instrument; jobs }
+
 let run_prepared t ?trace cat (p : Engine.prepared) : outcome =
   match t.config.engine with
   | Direct -> (
-      match Engine.run_prepared ?trace ~budget:t.config.budget cat p with
+      let exec = pick_exec t ?trace () in
+      match
+        Engine.run_prepared ?trace ~budget:t.config.budget ~exec cat p
+      with
       | rows -> Ok rows
       | exception e -> Error (R.classify R.Compiled e))
   | Resilient policy -> (
@@ -362,15 +386,19 @@ type stats = {
   queries : int;
   result_hits : int;
   errors : int;
+  fast_path : int;
+  parallel : int;
   plan_cache : Plan_cache.stats;
   result_cache : Result_cache.stats;
   pool : Pool.stats;
 }
 
 let stats t =
-  let sessions_opened, sessions_live, queries, result_hits, errors =
+  let ( sessions_opened, sessions_live, queries, result_hits, errors,
+        fast_path, parallel ) =
     locked t (fun () ->
-        (t.sessions_opened, t.sessions_live, t.queries, t.result_hits, t.errors))
+        ( t.sessions_opened, t.sessions_live, t.queries, t.result_hits,
+          t.errors, t.fast_path, t.parallel ))
   in
   {
     sessions_opened;
@@ -378,6 +406,8 @@ let stats t =
     queries;
     result_hits;
     errors;
+    fast_path;
+    parallel;
     plan_cache = Plan_cache.stats t.plans;
     result_cache = Result_cache.stats t.results;
     pool = Pool.stats t.pool;
@@ -390,6 +420,8 @@ let stats_fields (s : stats) : (string * float) list =
     ("sessions.live", f s.sessions_live);
     ("queries.answered", f s.queries);
     ("queries.errors", f s.errors);
+    ("exec.fast_path", f s.fast_path);
+    ("exec.parallel", f s.parallel);
     ("result_cache.hits", f (s.result_cache.Result_cache.hits));
     ("result_cache.misses", f (s.result_cache.Result_cache.misses));
     ("result_cache.evictions", f (s.result_cache.Result_cache.evictions));

@@ -41,12 +41,20 @@ type config = {
   result_cache_bytes : int;  (** result cache cap (estimated bytes) *)
   budget : Budget.t;  (** per-execution resource budget *)
   engine : engine_mode;
+  jobs : int;
+      (** intra-query domains for [Direct] dispatch: when the admission
+          queue is idle, each fragment's extent is chunked across this
+          many domains ({!Voodoo_compiler.Codegen.exec_mode}); under a
+          backlog queries run one-domain so inter-query parallelism wins.
+          Rows are identical either way.  Untraced [Direct] queries also
+          skip device simulation (raw closures) — see
+          [docs/PARALLELISM.md]. *)
   lower_opts : Lower.options option;
   backend_opts : Voodoo_compiler.Codegen.options option;
 }
 
 (** sf 0.01, seed 1, {!Pool.default_workers} domains, queue 64, 64 plans,
-    16 MiB of results, unlimited budget, [Direct]. *)
+    16 MiB of results, unlimited budget, [Direct], [jobs = 1]. *)
 val default_config : config
 
 type t
@@ -116,6 +124,8 @@ type stats = {
   queries : int;  (** requests accepted (including cache hits) *)
   result_hits : int;  (** answered straight from the result cache *)
   errors : int;  (** typed error outcomes (sheds included) *)
+  fast_path : int;  (** [Direct] executions that skipped device simulation *)
+  parallel : int;  (** [Direct] executions chunked across >1 domain *)
   plan_cache : Plan_cache.stats;
   result_cache : Result_cache.stats;
   pool : Pool.stats;

@@ -1,0 +1,149 @@
+(* Differential tests for the fast execution path: every TPC-H query must
+   produce byte-identical rows under the reference tree walk, the
+   closure-compiled path (instrumented and raw) and domain-parallel
+   chunked execution at several job counts — and the instrumented modes
+   must also reproduce the tree walk's per-kernel event totals exactly,
+   since the cost model prices those.  Plus unit checks on the chunking
+   invariants and on [Exec.scale_events] leaving its input untouched. *)
+
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Dbgen = Voodoo_tpch.Dbgen
+module Codegen = Voodoo_compiler.Codegen
+module Events = Voodoo_device.Events
+module Chunk = Voodoo_core.Chunk
+module Reference = Voodoo_relational.Reference
+
+let sf = 0.005
+let catalog = lazy (Dbgen.generate ~sf ())
+let queries = Q.cpu_figure13
+
+let canon (q : Q.t) rows =
+  Reference.sort_rows (Reference.project_rows q.columns rows)
+
+(* Run one query under an execution mode, collecting rows and every
+   executed fragment's (extent, event totals). *)
+let run_mode ~exec name =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let kernels = ref [] in
+  let rows =
+    q.run
+      (fun c p ->
+        let r = E.compiled_full ~exec c p in
+        kernels := !kernels @ r.E.kernels;
+        r.E.rows)
+      cat
+  in
+  (rows, List.map (fun (e, ev) -> (e, Events.totals ev)) !kernels)
+
+let pp_totals tot =
+  String.concat "; "
+    (List.map
+       (fun (e, t) ->
+         Printf.sprintf "extent=%d [%s]" e
+           (String.concat ", "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%.1f" k v) t)))
+       tot)
+
+let test_query name () =
+  let base_rows, base_tot = run_mode ~exec:Codegen.Tree_walk name in
+  (* instrumented closures, sequential and chunked: rows AND totals *)
+  List.iter
+    (fun jobs ->
+      let rows, tot =
+        run_mode ~exec:(Codegen.Closure { instrument = true; jobs }) name
+      in
+      if rows <> base_rows then
+        Alcotest.failf "%s: rows diverge from tree walk at jobs=%d" name jobs;
+      List.iteri
+        (fun i ((be, bt), (ce, ct)) ->
+          if be <> ce || bt <> ct then
+            Alcotest.failf
+              "%s kernel %d: totals diverge at jobs=%d@.tree walk: %s@.closures: %s"
+              name i jobs
+              (pp_totals [ (be, bt) ])
+              (pp_totals [ (ce, ct) ]))
+        (List.combine base_tot tot))
+    [ 1; 2; 4 ];
+  (* raw closures (no device simulation): rows only *)
+  List.iter
+    (fun jobs ->
+      let rows, _ =
+        run_mode ~exec:(Codegen.Closure { instrument = false; jobs }) name
+      in
+      if rows <> base_rows then
+        Alcotest.failf "%s: raw rows diverge from tree walk at jobs=%d" name
+          jobs)
+    [ 1; 4 ];
+  (* and the usual cross-backend differential *)
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  let interp = q.run (fun c p -> E.interp c p) cat in
+  if not (Reference.rows_equal (canon q interp) (canon q base_rows)) then
+    Alcotest.failf "%s: interpreter disagrees with executor rows" name
+
+let chunk_invariants () =
+  List.iter
+    (fun (extent, intent, jobs) ->
+      let cs = Chunk.split ~extent ~intent ~jobs in
+      let q = Chunk.boundary_quantum ~intent in
+      Alcotest.(check bool) "quantum aligns to mask bytes" true (intent * q mod 8 = 0);
+      let last =
+        List.fold_left
+          (fun expect (c : Chunk.t) ->
+            Alcotest.(check int) "contiguous" expect c.Chunk.w_lo;
+            Alcotest.(check bool) "nonempty" true (c.Chunk.w_hi > c.Chunk.w_lo);
+            if c.Chunk.w_hi < extent then
+              Alcotest.(check int) "interior boundary aligned" 0
+                (c.Chunk.w_hi mod q);
+            c.Chunk.w_hi)
+          0 cs
+      in
+      Alcotest.(check int) "covers extent" (max 0 extent) last;
+      Alcotest.(check bool) "at most jobs chunks" true
+        (List.length cs <= max 1 jobs))
+    [
+      (0, 1, 4); (1, 1, 4); (7, 3, 2); (8, 8, 4); (100, 1, 4); (100, 6, 4);
+      (1024, 1, 8); (1000, 4, 3); (5, 1024, 4); (16, 2, 16);
+    ];
+  Alcotest.(check int) "jobs<=1 is one chunk" 1
+    (Chunk.count ~extent:100 ~intent:3 ~jobs:1)
+
+let test_scale_events () =
+  (* exercise Exec.scale_events directly on a real run *)
+  let module Exec = Voodoo_compiler.Exec in
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf "Q1") in
+  let saved = ref None in
+  ignore
+    (q.run
+       (fun c p ->
+         let r = E.compiled_full c p in
+         saved := Some r;
+         r.E.rows)
+       cat);
+  match !saved with
+  | None -> Alcotest.fail "no run captured"
+  | Some r ->
+      let before = List.map (fun (e, ev) -> (e, Events.totals ev)) r.E.kernels in
+      let fake = { Exec.env = Hashtbl.create 1; kernels = r.E.kernels; plan = r.E.plan } in
+      let scaled = Exec.scale_events fake 10.0 in
+      let after = List.map (fun (e, ev) -> (e, Events.totals ev)) r.E.kernels in
+      Alcotest.(check bool) "original kernels untouched by scale_events" true
+        (before = after);
+      Alcotest.(check bool) "scaled result differs" true
+        (after <> List.map (fun (e, ev) -> (e, Events.totals ev)) scaled.Exec.kernels)
+
+let () =
+  Alcotest.run "exec-fast"
+    [
+      ( "differential",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (test_query name))
+          queries );
+      ( "chunking",
+        [ Alcotest.test_case "split invariants" `Quick chunk_invariants ] );
+      ( "scale-events",
+        [ Alcotest.test_case "no shared mutation" `Quick test_scale_events ] );
+    ]

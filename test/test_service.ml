@@ -88,7 +88,8 @@ let test_reprepare_hits_plan_cache () =
 let test_plan_key_discrimination () =
   let no_opt =
     {
-      Voodoo_compiler.Codegen.fuse = false;
+      Voodoo_compiler.Codegen.default_options with
+      fuse = false;
       virtual_scatter = false;
       suppress_empty_slots = false;
     }

@@ -53,7 +53,8 @@ let test_compiled_no_opt name () =
     (compiled_eval
        ~backend_opts:
          {
-           Codegen.fuse = false;
+           Codegen.default_options with
+           fuse = false;
            virtual_scatter = false;
            suppress_empty_slots = false;
          }
