@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-exec
+.PHONY: all build test check clean bench-exec bench-tune
 
 all: build
 
@@ -18,6 +18,12 @@ check:
 bench-exec:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe exec
+
+# Adaptive plan tuner: tuned vs default wall clock on the three paper
+# micro families and the TPC-H suite -> BENCH_tune.json.
+bench-tune:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe tune
 
 clean:
 	dune clean

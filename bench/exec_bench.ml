@@ -7,22 +7,21 @@
     - [parallel] (SF 0.05): raw closures chunked across 1/2/4 domains.
       Fragment extents at SF 0.01 are small enough that per-query serial
       work (prepare, fetch) dominates; SF 0.05 gives the chunks something
-      to split.  The recorded [cores] value is the context for these
+      to split.  The envelope's [cores] value is the context for these
       numbers: wall-clock speedup needs real cores, on a single-core host
       extra domains only time-slice (rows and totals stay bit-identical
       either way — that part is enforced by [test/test_exec_fast.ml]).
 
     Plans are prepared once per query through a local memo (like the
     service's plan cache) so the timings isolate execution, and each mode
-    reports its best of [reps] passes.  Results go to [BENCH_exec.json]. *)
+    reports its best of [reps] passes.  Results go to [BENCH_exec.json]
+    under the common {!Voodoo_benchkit.Envelope}; [--smoke] shrinks the
+    scale factors, runs one rep and skips the file. *)
 
 module E = Voodoo_engine.Engine
 module Q = Voodoo_tpch.Queries
 module Codegen = Voodoo_compiler.Codegen
-
-let sweep_sf = 0.01
-let parallel_sf = 0.05
-let reps = 3
+module Envelope = Voodoo_benchkit.Envelope
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -47,7 +46,7 @@ let run_query ~prepared ~exec (q : Q.t) cat =
   in
   q.Q.run eval cat
 
-let bench_mode ~prepared ~exec q cat =
+let bench_mode ~reps ~prepared ~exec q cat =
   ignore (run_query ~prepared ~exec q cat) (* warm the plan memo *);
   let best = ref infinity in
   for _ = 1 to reps do
@@ -60,14 +59,15 @@ let ratio num den = if den <= 0.0 then 0.0 else num /. den
 
 (* Run every TPC-H query under every mode; returns per-query assoc lists
    of (mode label, best seconds). *)
-let sweep_modes ~sf cat modes =
+let sweep_modes ~reps ~sf cat modes =
   List.map
     (fun name ->
       let q = Option.get (Q.find ~sf name) in
       let prepared = Hashtbl.create 8 in
       ( name,
         List.map
-          (fun (label, exec) -> (label, bench_mode ~prepared ~exec q cat))
+          (fun (label, exec) ->
+            (label, bench_mode ~reps ~prepared ~exec q cat))
           modes ))
     Q.cpu_figure13
 
@@ -85,11 +85,15 @@ let emit_queries oc per_query labels =
         (if i = List.length per_query - 1 then "" else ","))
     per_query
 
-let run () =
-  (* -- sweep: tree walk vs closures, SF 0.01 -- *)
+let run ?(smoke = false) () =
+  let reps = if smoke then 1 else 3 in
+  let sweep_sf = if smoke then 0.001 else 0.01 in
+  let parallel_sf = if smoke then 0.005 else 0.05 in
+
+  (* -- sweep: tree walk vs closures -- *)
   let cat = Voodoo_tpch.Dbgen.generate ~sf:sweep_sf () in
   let sweep =
-    sweep_modes ~sf:sweep_sf cat
+    sweep_modes ~reps ~sf:sweep_sf cat
       [
         ("tree_walk", Codegen.Tree_walk);
         ("closure_instrumented", Codegen.Closure { instrument = true; jobs = 1 });
@@ -100,10 +104,10 @@ let run () =
   and ci = total sweep "closure_instrumented"
   and cr = total sweep "closure_raw" in
 
-  (* -- parallel: raw closures across domains, SF 0.05 -- *)
+  (* -- parallel: raw closures across domains -- *)
   let pcat = Voodoo_tpch.Dbgen.generate ~sf:parallel_sf () in
   let par =
-    sweep_modes ~sf:parallel_sf pcat
+    sweep_modes ~reps ~sf:parallel_sf pcat
       [
         ("parallel_1", Codegen.Closure { instrument = false; jobs = 1 });
         ("parallel_2", Codegen.Closure { instrument = false; jobs = 2 });
@@ -114,40 +118,39 @@ let run () =
   and p2 = total par "parallel_2"
   and p4 = total par "parallel_4" in
 
-  let oc = open_out "BENCH_exec.json" in
-  Printf.fprintf oc
-    "{\n  \"reps\": %d,\n  \"cores\": %d,\n  \"sweep\": {\n    \"sf\": %g,\n\
-    \    \"queries\": [\n"
-    reps
-    (Domain.recommended_domain_count ())
-    sweep_sf;
-  emit_queries oc sweep [ "tree_walk"; "closure_instrumented"; "closure_raw" ];
-  Printf.fprintf oc
-    "    ],\n\
-    \    \"totals\": { \"tree_walk_s\": %.6f, \"closure_instrumented_s\": \
-     %.6f, \"closure_raw_s\": %.6f,\n\
-    \                 \"speedup_instrumented_vs_tree\": %.2f, \
-     \"speedup_raw_vs_tree\": %.2f }\n\
-    \  },\n\
-    \  \"parallel\": {\n\
-    \    \"sf\": %g,\n\
-    \    \"queries\": [\n"
-    tw ci cr (ratio tw ci) (ratio tw cr) parallel_sf;
-  emit_queries oc par [ "parallel_1"; "parallel_2"; "parallel_4" ];
-  Printf.fprintf oc
-    "    ],\n\
-    \    \"totals\": { \"parallel_1_s\": %.6f, \"parallel_2_s\": %.6f, \
-     \"parallel_4_s\": %.6f,\n\
-    \                 \"speedup_par2_vs_par1\": %.2f, \
-     \"speedup_par4_vs_par1\": %.2f }\n\
-    \  }\n\
-     }\n"
-    p1 p2 p4 (ratio p1 p2) (ratio p1 p4);
-  close_out oc;
+  if not smoke then
+    Envelope.write ~suite:"exec" ~reps ~file:"BENCH_exec.json" (fun oc ->
+        Printf.fprintf oc "{\n    \"sweep\": {\n    \"sf\": %g,\n    \"queries\": [\n"
+          sweep_sf;
+        emit_queries oc sweep
+          [ "tree_walk"; "closure_instrumented"; "closure_raw" ];
+        Printf.fprintf oc
+          "    ],\n\
+          \    \"totals\": { \"tree_walk_s\": %.6f, \"closure_instrumented_s\": \
+           %.6f, \"closure_raw_s\": %.6f,\n\
+          \                 \"speedup_instrumented_vs_tree\": %.2f, \
+           \"speedup_raw_vs_tree\": %.2f }\n\
+          \  },\n\
+          \  \"parallel\": {\n\
+          \    \"sf\": %g,\n\
+          \    \"queries\": [\n"
+          tw ci cr (ratio tw ci) (ratio tw cr) parallel_sf;
+        emit_queries oc par [ "parallel_1"; "parallel_2"; "parallel_4" ];
+        Printf.fprintf oc
+          "    ],\n\
+          \    \"totals\": { \"parallel_1_s\": %.6f, \"parallel_2_s\": %.6f, \
+           \"parallel_4_s\": %.6f,\n\
+          \                 \"speedup_par2_vs_par1\": %.2f, \
+           \"speedup_par4_vs_par1\": %.2f }\n\
+          \  }\n\
+          \  }"
+          p1 p2 p4 (ratio p1 p2) (ratio p1 p4));
   Printf.printf
-    "exec: sweep sf %g — tree-walk %.3fs, closures %.3fs (instrumented) / \
+    "exec%s: sweep sf %g — tree-walk %.3fs, closures %.3fs (instrumented) / \
      %.3fs (raw, %.1fx); parallel sf %g on %d core(s) — 1 domain %.3fs, 2 \
-     domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx) -> BENCH_exec.json\n"
+     domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx)%s\n"
+    (if smoke then " (smoke)" else "")
     sweep_sf tw ci cr (ratio tw cr) parallel_sf
     (Domain.recommended_domain_count ())
     p1 p2 (ratio p1 p2) p4 (ratio p1 p4)
+    (if smoke then "" else " -> BENCH_exec.json")

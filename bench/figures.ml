@@ -10,7 +10,12 @@
 
 open Voodoo_device
 
-let exec_n = 1 lsl 18
+(* [--smoke] shrinks execution element counts (and the lookup targets —
+   cache honesty matters less than finishing under the @check alias in
+   seconds); the scaling of recorded events to paper sizes is unchanged. *)
+let smoke = ref false
+
+let exec_n () = if !smoke then 1 lsl 12 else 1 lsl 18
 
 (* paper-scale element counts *)
 let fig1_n = 1_000_000_000 (* "one billion single-precision floats" *)
@@ -26,7 +31,7 @@ let pr fmt = Printf.printf fmt
 let scale_run (kernels : (int * Events.t) list) ~k =
   List.map
     (fun (extent, ev) ->
-      if extent <= exec_n then begin
+      if extent <= exec_n () then begin
         Events.scale ev k;
         (int_of_float (float_of_int extent *. k), ev)
       end
@@ -61,8 +66,8 @@ let figure1 () =
     "Figure 1: branch-free selection vs branching, selectivity sweep (time \
      in s, 1B floats)";
   let sels = [ 1.0; 5.0; 10.0; 25.0; 50.0; 75.0; 100.0 ] in
-  let values = Voodoo_benchkit.Workloads.selection_input ~n:exec_n ~seed:11 in
-  let k = float_of_int fig1_n /. float_of_int exec_n in
+  let values = Voodoo_benchkit.Workloads.selection_input ~n:(exec_n ()) ~seed:11 in
+  let k = float_of_int fig1_n /. float_of_int (exec_n ()) in
   let run variant sel =
     let cut = sel in
     let r : Voodoo_benchkit.Handcoded.run =
@@ -103,9 +108,9 @@ let figure15 () =
     "Figure 15: selective aggregation (Branching / Branch-Free / \
      Vectorized), time in s, 1B floats";
   let sels = [ 0.01; 0.1; 1.0; 10.0; 50.0; 100.0 ] in
-  let values = Voodoo_benchkit.Workloads.selection_input ~n:exec_n ~seed:12 in
+  let values = Voodoo_benchkit.Workloads.selection_input ~n:(exec_n ()) ~seed:12 in
   let store = Voodoo_benchkit.Micro.selection_store values in
-  let k = float_of_int fig15_n /. float_of_int exec_n in
+  let k = float_of_int fig15_n /. float_of_int (exec_n ()) in
   let chunk = 8192 in
   let hand variant cut : (int * Events.t) list * float =
     let r : Voodoo_benchkit.Handcoded.run =
@@ -165,9 +170,9 @@ let layout_variant_name = function
 let figure14 () =
   header
     "Figure 14: just-in-time layout transformation (time in s, 32M lookups)";
-  let small_rows = 500_000 (* 4 MB at 2 x 4B columns *) in
-  let large_rows = 16_000_000 (* 128 MB *) in
-  let k = float_of_int fig14_n /. float_of_int exec_n in
+  let small_rows = if !smoke then 20_000 else 500_000 (* 4 MB at 2 x 4B columns *) in
+  let large_rows = if !smoke then 100_000 else 16_000_000 (* 128 MB *) in
+  let k = float_of_int fig14_n /. float_of_int (exec_n ()) in
   let cases =
     [
       ("Sequential", Voodoo_benchkit.Workloads.Sequential, large_rows);
@@ -178,7 +183,7 @@ let figure14 () =
   let variants = [ Separate; Single; Transform ] in
   let run_case (label, access, rows) =
     let c1, c2 = Voodoo_benchkit.Workloads.target_table ~rows ~seed:21 in
-    let positions = Voodoo_benchkit.Workloads.positions ~n:exec_n ~target_rows:rows ~access ~seed:22 in
+    let positions = Voodoo_benchkit.Workloads.positions ~n:(exec_n ()) ~target_rows:rows ~access ~seed:22 in
     let store = Voodoo_benchkit.Micro.layout_store ~positions ~c1 ~c2 in
     let hand v : Voodoo_benchkit.Handcoded.run =
       match v with
@@ -231,12 +236,12 @@ let fk_variant_name = function
 
 let figure16 () =
   header "Figure 16: selective foreign-key join (time in s, 20M rows)";
-  let target_rows = 16_000_000 in
+  let target_rows = if !smoke then 100_000 else 16_000_000 in
   let sels = [ 5.0; 20.0; 40.0; 60.0; 80.0; 100.0 ] in
-  let fact_v, fk = Voodoo_benchkit.Workloads.fk_fact ~n:exec_n ~target_rows ~seed:31 in
+  let fact_v, fk = Voodoo_benchkit.Workloads.fk_fact ~n:(exec_n ()) ~target_rows ~seed:31 in
   let target, _ = Voodoo_benchkit.Workloads.target_table ~rows:target_rows ~seed:32 in
   let store = Voodoo_benchkit.Micro.fkjoin_store ~fact_v ~fk ~target in
-  let k = float_of_int fig16_n /. float_of_int exec_n in
+  let k = float_of_int fig16_n /. float_of_int (exec_n ()) in
   let hand v cut : Voodoo_benchkit.Handcoded.run =
     match v with
     | FBranching -> Voodoo_benchkit.Handcoded.fkjoin_branching ~fact_v ~fk ~target ~cut

@@ -6,43 +6,48 @@
     models (see DESIGN.md §2 for the substitution rationale); wall-clock
     bechamel numbers measure this OCaml implementation's own throughput. *)
 
-let run_figures () =
+let run_figures ~smoke =
+  Figures.smoke := smoke;
   Figures.figure1 ();
   Figures.figure14 ();
   Figures.figure15 ();
   Figures.figure16 ()
 
-let run_tpch () =
+let run_tpch ~smoke =
+  Tpch_bench.smoke := smoke;
   Tpch_bench.figure13 ();
   Tpch_bench.figure12 ();
   Tpch_bench.ablations ()
 
-let run_stages () = Tpch_bench.stages ()
+let run_stages ~smoke =
+  Tpch_bench.smoke := smoke;
+  Tpch_bench.stages ()
 
 (* ---- wall-clock microbenchmarks (bechamel): this implementation's own
    speed, one Test per reproduced figure family ---- *)
 
-let wall_clock () =
+let wall_clock ~smoke =
   let open Bechamel in
-  let values = Voodoo_benchkit.Workloads.selection_input ~n:65536 ~seed:5 in
+  let n = if smoke then 4096 else 65536 in
+  let values = Voodoo_benchkit.Workloads.selection_input ~n ~seed:5 in
   let store = Voodoo_benchkit.Micro.selection_store values in
-  let target_rows = 65536 in
+  let target_rows = n in
   let c1, c2 = Voodoo_benchkit.Workloads.target_table ~rows:target_rows ~seed:6 in
   let positions =
-    Voodoo_benchkit.Workloads.positions ~n:65536 ~target_rows ~access:Voodoo_benchkit.Workloads.Random ~seed:7
+    Voodoo_benchkit.Workloads.positions ~n ~target_rows ~access:Voodoo_benchkit.Workloads.Random ~seed:7
   in
   let lstore = Voodoo_benchkit.Micro.layout_store ~positions ~c1 ~c2 in
-  let fact_v, fk = Voodoo_benchkit.Workloads.fk_fact ~n:65536 ~target_rows ~seed:8 in
+  let fact_v, fk = Voodoo_benchkit.Workloads.fk_fact ~n ~target_rows ~seed:8 in
   let fstore = Voodoo_benchkit.Micro.fkjoin_store ~fact_v ~fk ~target:c1 in
   let cat = Voodoo_tpch.Dbgen.generate ~sf:0.001 () in
   let q6 = Option.get (Voodoo_tpch.Queries.find ~sf:0.001 "Q6") in
   let tests =
     [
-      Test.make ~name:"fig1/15 selection (64k)" (Staged.stage (fun () ->
+      Test.make ~name:(Printf.sprintf "fig1/15 selection (%dk)" (n / 1024)) (Staged.stage (fun () ->
           ignore (Voodoo_benchkit.Micro.select_branching ~store ~cut:50.0 ())));
-      Test.make ~name:"fig14 layout (64k)" (Staged.stage (fun () ->
+      Test.make ~name:(Printf.sprintf "fig14 layout (%dk)" (n / 1024)) (Staged.stage (fun () ->
           ignore (Voodoo_benchkit.Micro.layout_single_loop ~store:lstore ())));
-      Test.make ~name:"fig16 fk-join (64k)" (Staged.stage (fun () ->
+      Test.make ~name:(Printf.sprintf "fig16 fk-join (%dk)" (n / 1024)) (Staged.stage (fun () ->
           ignore (Voodoo_benchkit.Micro.fkjoin_predicated_lookup ~store:fstore ~cut:50.0 ())));
       Test.make ~name:"fig12/13 tpch q6 (sf 0.001)" (Staged.stage (fun () ->
           ignore
@@ -51,7 +56,12 @@ let wall_clock () =
   in
   let benchmark test =
     let instance = Toolkit.Instance.monotonic_clock in
-    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let cfg =
+      Benchmark.cfg
+        ~limit:(if smoke then 20 else 200)
+        ~quota:(Time.second (if smoke then 0.05 else 0.5))
+        ()
+    in
     Benchmark.all cfg [ instance ] test
   in
   print_endline "\n=== wall-clock throughput of this implementation ===";
@@ -74,11 +84,14 @@ let wall_clock () =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--smoke") args in
   let want s = List.mem s args || List.length args = 1 in
-  if want "figures" then run_figures ();
-  if want "tpch" then run_tpch ();
-  if want "stages" then run_stages ();
-  if want "wall" then wall_clock ();
-  if want "serve" then Serve_bench.run ();
-  if want "exec" then Exec_bench.run ();
+  if want "figures" then run_figures ~smoke;
+  if want "tpch" then run_tpch ~smoke;
+  if want "stages" then run_stages ~smoke;
+  if want "wall" then wall_clock ~smoke;
+  if want "serve" then Serve_bench.run ~smoke ();
+  if want "exec" then Exec_bench.run ~smoke ();
+  if want "tune" then Tune_bench.run ~smoke ();
   print_endline "\nbench: done."

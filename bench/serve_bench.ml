@@ -3,7 +3,8 @@
     plan parsed, lowered and compiled) versus plan-cache-warm (compile
     skipped), result-cache hit rates on repeated traffic, and the
     shed-request count when a burst overruns admission control.  Results
-    go to [BENCH_serve.json]. *)
+    go to [BENCH_serve.json] under the common {!Voodoo_benchkit.Envelope};
+    [--smoke] shrinks the burst and skips the file. *)
 
 module Svc = Voodoo_service.Service
 module Catalogs = Voodoo_service.Catalogs
@@ -11,6 +12,7 @@ module Pool = Voodoo_service.Pool
 module Plan_cache = Voodoo_service.Plan_cache
 module Result_cache = Voodoo_service.Result_cache
 module Q = Voodoo_tpch.Queries
+module Envelope = Voodoo_benchkit.Envelope
 
 let sf = 0.001
 
@@ -38,7 +40,7 @@ let rate hits misses =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
-let run () =
+let run ?(smoke = false) () =
   let registry = Catalogs.create () in
   ignore (Catalogs.get registry ~sf ());
   let names = queries () in
@@ -69,7 +71,7 @@ let run () =
 
   (* -- overload: a burst far beyond the queue bound; admission control
      must shed, not crash -- *)
-  let burst = 200 in
+  let burst = if smoke then 40 else 200 in
   let over_svc =
     Svc.create ~registry
       {
@@ -91,33 +93,35 @@ let run () =
   let pool = (Svc.stats over_svc).Svc.pool in
   Svc.shutdown over_svc;
 
-  let oc = open_out "BENCH_serve.json" in
-  Printf.fprintf oc
-    {|{
-  "sf": %g,
-  "queries": %d,
-  "cold": { "seconds": %.6f, "queries_per_sec": %.2f },
-  "plan_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f, "speedup": %.2f },
-  "result_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f },
-  "plan_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
-  "result_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
-  "overload": { "burst": %d, "queue_capacity": 4, "workers": 2,
-                "shed": %d, "completed": %d, "typed_rejections": %d }
-}
-|}
-    sf n cold_s (qps n cold_s) warm_s (qps n warm_s)
-    (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
-    cached_s (qps n cached_s) plan_stats.Plan_cache.hits
-    plan_stats.Plan_cache.misses
-    (rate plan_stats.Plan_cache.hits plan_stats.Plan_cache.misses)
-    st.Svc.result_cache.Result_cache.hits st.Svc.result_cache.Result_cache.misses
-    (rate st.Svc.result_cache.Result_cache.hits
-       st.Svc.result_cache.Result_cache.misses)
-    burst pool.Pool.shed pool.Pool.completed shed_errors;
-  close_out oc;
+  if not smoke then
+    Envelope.write ~suite:"serve" ~reps:1 ~file:"BENCH_serve.json" (fun oc ->
+        Printf.fprintf oc
+          {|{
+    "sf": %g,
+    "queries": %d,
+    "cold": { "seconds": %.6f, "queries_per_sec": %.2f },
+    "plan_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f, "speedup": %.2f },
+    "result_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f },
+    "plan_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+    "result_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
+    "overload": { "burst": %d, "queue_capacity": 4, "workers": 2,
+                  "shed": %d, "completed": %d, "typed_rejections": %d }
+  }|}
+          sf n cold_s (qps n cold_s) warm_s (qps n warm_s)
+          (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+          cached_s (qps n cached_s) plan_stats.Plan_cache.hits
+          plan_stats.Plan_cache.misses
+          (rate plan_stats.Plan_cache.hits plan_stats.Plan_cache.misses)
+          st.Svc.result_cache.Result_cache.hits
+          st.Svc.result_cache.Result_cache.misses
+          (rate st.Svc.result_cache.Result_cache.hits
+             st.Svc.result_cache.Result_cache.misses)
+          burst pool.Pool.shed pool.Pool.completed shed_errors);
   Printf.printf
-    "serve: %d queries, cold %.1f q/s, plan-warm %.1f q/s (%.1fx), \
-     result-warm %.1f q/s, overload shed %d/%d -> BENCH_serve.json\n"
+    "serve%s: %d queries, cold %.1f q/s, plan-warm %.1f q/s (%.1fx), \
+     result-warm %.1f q/s, overload shed %d/%d%s\n"
+    (if smoke then " (smoke)" else "")
     n (qps n cold_s) (qps n warm_s)
     (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
     (qps n cached_s) pool.Pool.shed burst
+    (if smoke then "" else " -> BENCH_serve.json")

@@ -17,19 +17,24 @@ module Trace = Voodoo_core.Trace
 
 let pr fmt = Printf.printf fmt
 
-let exec_sf = 0.01
+(* [--smoke] drops the execution scale factor so the whole family runs in
+   seconds under the @check alias; event scaling to SF 10 is unchanged. *)
+let smoke = ref false
+
+let exec_sf () = if !smoke then 0.002 else 0.01
 let paper_sf = 10.0
 
-let scale = paper_sf /. exec_sf
+let scale () = paper_sf /. exec_sf ()
 
 type engine_run = { rows : E.rows; kernels : (int * Events.t) list }
 
 let scale_kernels kernels =
+  let k = scale () in
   List.map
     (fun (extent, ev) ->
-      Events.scale ev scale;
-      Events.scale_working_sets ev ~k:scale ~min_bytes:4096;
-      (int_of_float (float_of_int extent *. scale), ev))
+      Events.scale ev k;
+      Events.scale_working_sets ev ~k ~min_bytes:4096;
+      (int_of_float (float_of_int extent *. k), ev))
     kernels
 
 (* Run one query under an engine; kernels of all phases accumulate. *)
@@ -64,11 +69,11 @@ let ms kernels device = 1000.0 *. (Cost.total device kernels).total_s
 (** Figure 13: TPC-H on the CPU — HyPeR vs Voodoo vs Ocelot, SF 10. *)
 let figure13 () =
   pr "\n=== Figure 13: TPC-H on CPU, SF 10 (time in ms) ===\n";
-  let cat = Voodoo_tpch.Dbgen.generate ~sf:exec_sf () in
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:(exec_sf ()) () in
   pr "%-6s %10s %10s %10s\n" "query" "HyPeR" "Voodoo" "Ocelot";
   List.iter
     (fun name ->
-      let q = Option.get (Q.find ~sf:exec_sf name) in
+      let q = Option.get (Q.find ~sf:(exec_sf ()) name) in
       let hyper = run_query q cat `Hyper in
       let voodoo = run_query q cat `Voodoo in
       let ocelot = run_query q cat `Ocelot in
@@ -88,11 +93,11 @@ let figure13 () =
 (** Figure 12: TPC-H on the GPU — Voodoo vs Ocelot, SF 10. *)
 let figure12 () =
   pr "\n=== Figure 12: TPC-H on GPU, SF 10 (time in ms) ===\n";
-  let cat = Voodoo_tpch.Dbgen.generate ~sf:exec_sf () in
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:(exec_sf ()) () in
   pr "%-6s %10s %10s\n" "query" "Voodoo" "Ocelot";
   List.iter
     (fun name ->
-      let q = Option.get (Q.find ~sf:exec_sf name) in
+      let q = Option.get (Q.find ~sf:(exec_sf ()) name) in
       let voodoo = run_query q cat `Voodoo in
       let ocelot = run_query q cat `Ocelot in
       check_rows q cat voodoo.rows;
@@ -113,10 +118,10 @@ let figure12 () =
     spends its time (see docs/OBSERVABILITY.md). *)
 let stages () =
   pr "\n=== Per-stage breakdown (traced compiled runs, SF %g, wall-clock ms) ===\n"
-    exec_sf;
-  let cat = Voodoo_tpch.Dbgen.generate ~sf:exec_sf () in
+    (exec_sf ());
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:(exec_sf ()) () in
   let traced_run name =
-    let q = Option.get (Q.find ~sf:exec_sf name) in
+    let q = Option.get (Q.find ~sf:(exec_sf ()) name) in
     let tr = Trace.create () in
     ignore (q.run (fun c p -> (E.compiled_full ~trace:tr c p).E.rows) cat);
     tr
@@ -161,7 +166,7 @@ let stages () =
     (CPU model, SF 10). *)
 let ablations () =
   pr "\n=== Ablations: compiler design choices (CPU, SF 10, ms) ===\n";
-  let cat = Voodoo_tpch.Dbgen.generate ~sf:exec_sf () in
+  let cat = Voodoo_tpch.Dbgen.generate ~sf:(exec_sf ()) () in
   let opts = Voodoo_compiler.Codegen.default_options in
   let settings =
     [
@@ -175,7 +180,7 @@ let ablations () =
   List.iter
     (fun (label, backend_opts) ->
       let time name =
-        let q = Option.get (Q.find ~sf:exec_sf name) in
+        let q = Option.get (Q.find ~sf:(exec_sf ()) name) in
         let acc = ref [] in
         let rows =
           q.run
@@ -203,7 +208,7 @@ let ablations () =
   List.iter
     (fun (label, lower_opts) ->
       let time name =
-        let q = Option.get (Q.find ~sf:exec_sf name) in
+        let q = Option.get (Q.find ~sf:(exec_sf ()) name) in
         let acc = ref [] in
         match
           q.run

@@ -1,0 +1,140 @@
+(** Adaptive-tuner benchmark ([bench/main.exe tune]): what the rewrite
+    search ([lib/tuner], docs/TUNING.md) buys on this machine, measured on
+    raw wall clock — the numbers the online retuner would act on.
+
+    Two sections go to [BENCH_tune.json] under the common
+    {!Voodoo_benchkit.Envelope}:
+
+    - [micro]: the three micro families (selection strategy, layout
+      transformation, fold partitioning), each tuned from a deliberately
+      naive baseline with the wall-clock objective.  The reported
+      [tuned_s] is the search's own measurement of the winner, so
+      [tuned_s <= baseline_s] holds by construction (the baseline wins
+      ties); the interesting output is which rules won and by how much.
+    - [tpch]: every TPC-H query, each phase tuned through
+      {!Voodoo_tuner.Plan_tune.tune_prepared}; per query the summed
+      search objective of the untuned and tuned phase programs.
+
+    [--smoke] shrinks the input sizes and skips the file. *)
+
+module Search = Voodoo_tuner.Search
+module Plan_tune = Voodoo_tuner.Plan_tune
+module Micro = Voodoo_benchkit.Micro
+module Workloads = Voodoo_benchkit.Workloads
+module Envelope = Voodoo_benchkit.Envelope
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+
+let reps = 3
+let seed = 17
+
+let micro_families ~n =
+  let selection_store =
+    Micro.selection_store (Workloads.selection_input ~n ~seed:11)
+  in
+  let layout_store =
+    let c1, c2 = Workloads.target_table ~rows:n ~seed:12 in
+    let positions =
+      Workloads.positions ~n:(n / 4) ~target_rows:n ~access:Workloads.Random
+        ~seed:13
+    in
+    Micro.layout_store ~positions ~c1 ~c2
+  in
+  let fold_store =
+    Micro.fold_store (Array.init n (fun i -> ((i * 37) mod 101) - (i mod 7)))
+  in
+  [
+    ("selection", selection_store, Micro.select_branching_program ~cut:50.0 ());
+    ("layout", layout_store, Micro.layout_transform_program ());
+    ("fold_partition", fold_store, Micro.fold_partition_program ~grain:64 ());
+  ]
+
+let tune_micro ~budget_ms (name, store, (program, total)) =
+  let r =
+    Search.run ~objective:(Search.Wall_clock { reps }) ~budget_ms ~seed
+      ~max_rounds:4 ~top_k:4 ~roots:[ total ] ~store program
+  in
+  (name, r)
+
+(* Tune every phase of one TPC-H query; the per-phase searches' baseline
+   and winner objectives sum into the query's default/tuned seconds. *)
+let tune_query ~sf ~budget_ms cat name =
+  let q = Option.get (Q.find ~sf name) in
+  let base = ref 0.0 and tuned = ref 0.0 and rules = ref [] in
+  let eval c p =
+    let prep = E.prepare c p in
+    let tuned_prep, (r : Search.report) =
+      Plan_tune.tune_prepared ~objective:(Search.Wall_clock { reps })
+        ~budget_ms ~seed ~max_rounds:2 ~top_k:3 c prep
+    in
+    base := !base +. r.Search.baseline_s;
+    tuned := !tuned +. r.Search.best_s;
+    rules := !rules @ r.Search.best_rules;
+    E.run_prepared c tuned_prep
+  in
+  ignore (q.Q.run eval cat);
+  (name, !base, !tuned, !rules)
+
+let pct num den = if den <= 0.0 then 0.0 else 100.0 *. (1.0 -. (num /. den))
+
+let run ?(smoke = false) () =
+  let n = if smoke then 1 lsl 12 else 1 lsl 18 in
+  let sf = if smoke then 0.001 else 0.01 in
+  let budget_ms = if smoke then 2_000.0 else 20_000.0 in
+
+  let micro =
+    List.map (tune_micro ~budget_ms) (micro_families ~n)
+  in
+  Printf.printf "tune%s: micro families (n=%d, wall-clock objective):\n"
+    (if smoke then " (smoke)" else "")
+    n;
+  List.iter
+    (fun (name, (r : Search.report)) ->
+      Printf.printf "  %-16s baseline %8.3f ms -> tuned %8.3f ms (%5.1f%%)  %s\n"
+        name
+        (1000.0 *. r.Search.baseline_s)
+        (1000.0 *. r.Search.best_s)
+        (pct r.Search.best_s r.Search.baseline_s)
+        (if r.Search.best_rules = [] then "baseline kept"
+         else String.concat "+" r.Search.best_rules))
+    micro;
+
+  let cat = Voodoo_tpch.Dbgen.generate ~sf () in
+  let tpch = List.map (tune_query ~sf ~budget_ms cat) Q.cpu_figure13 in
+  let tpch_base = List.fold_left (fun a (_, b, _, _) -> a +. b) 0.0 tpch in
+  let tpch_tuned = List.fold_left (fun a (_, _, t, _) -> a +. t) 0.0 tpch in
+  Printf.printf "tune: tpch sf %g — default %.3f s, tuned %.3f s (%.1f%%)\n" sf
+    tpch_base tpch_tuned (pct tpch_tuned tpch_base);
+
+  if not smoke then
+    Envelope.write ~suite:"tune" ~reps ~file:"BENCH_tune.json" (fun oc ->
+        Printf.fprintf oc "{\n    \"seed\": %d,\n    \"micro\": { \"n\": %d, \"families\": [\n"
+          seed n;
+        List.iteri
+          (fun i (name, (r : Search.report)) ->
+            Printf.fprintf oc
+              "      { \"name\": %S, \"baseline_s\": %.6f, \"tuned_s\": %.6f, \
+               \"speedup\": %.3f, \"candidates\": %d, \"rules\": [%s] }%s\n"
+              name r.Search.baseline_s r.Search.best_s (Search.speedup r)
+              (List.length r.Search.candidates)
+              (String.concat ", "
+                 (List.map (Printf.sprintf "%S") r.Search.best_rules))
+              (if i = List.length micro - 1 then "" else ","))
+          micro;
+        Printf.fprintf oc "    ] },\n    \"tpch\": { \"sf\": %g, \"queries\": [\n" sf;
+        List.iteri
+          (fun i (name, b, t, rules) ->
+            Printf.fprintf oc
+              "      { \"name\": %S, \"default_s\": %.6f, \"tuned_s\": %.6f, \
+               \"rules\": [%s] }%s\n"
+              name b t
+              (String.concat ", " (List.map (Printf.sprintf "%S") rules))
+              (if i = List.length tpch - 1 then "" else ","))
+          tpch;
+        Printf.fprintf oc
+          "    ],\n    \"totals\": { \"default_s\": %.6f, \"tuned_s\": %.6f, \
+           \"speedup\": %.3f } }\n\
+          \  }"
+          tpch_base tpch_tuned
+          (if tpch_tuned > 0.0 then tpch_base /. tpch_tuned else 0.0));
+  if not smoke then print_endline "tune: -> BENCH_tune.json"

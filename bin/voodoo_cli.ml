@@ -8,6 +8,7 @@
     voodoo plan  Q1 --sf 0.01                 # RA plan, Voodoo program, fragments
     voodoo kernels Q6 --sf 0.01               # generated OpenCL
     voodoo exec program.voo --sf 0.01         # run a textual Voodoo program
+    voodoo tune Q6 --sf 0.01 --budget-ms 500 --seed 7  # search plan rewrites
     voodoo serve --socket voodoo.sock --sf 0.01   # query service front door
     voodoo client --socket voodoo.sock "QUERY Q6" # talk to it
     v} *)
@@ -30,6 +31,8 @@ module Catalogs = Voodoo_service.Catalogs
 module Server = Voodoo_service.Server
 module Proto = Voodoo_service.Protocol
 module Pool = Voodoo_service.Pool
+module Search = Voodoo_tuner.Search
+module Tune = Voodoo_tuner.Plan_tune
 
 (* Every subcommand draws its catalog from the shared registry: one
    [Dbgen.generate] per (sf, seed) for the whole process, however many
@@ -410,6 +413,112 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"compile and run a textual Voodoo program against the TPC-H store")
     Term.(const exec_file $ file_arg $ sf_arg)
 
+(* --- tune: search the rewrite space of a query's plans --- *)
+
+let pp_verdict ppf = function
+  | Search.Improved -> Fmt.string ppf "improved"
+  | Search.Measured -> Fmt.string ppf "measured"
+  | Search.Pruned -> Fmt.string ppf "pruned"
+  | Search.Rejected -> Fmt.string ppf "rejected"
+  | Search.Failed m -> Fmt.pf ppf "failed: %s" m
+
+let print_report phase (report : Search.report) =
+  Fmt.pr "━━━ phase %d: %d candidates over %d rounds (seed %d) ━━━@." phase
+    (List.length report.Search.candidates)
+    report.Search.rounds report.Search.seed;
+  Fmt.pr "  %-5s %-44s %12s %12s  %s@." "round" "rules" "est (ms)"
+    "score (ms)" "verdict";
+  List.iter
+    (fun c ->
+      Fmt.pr "  %-5d %-44s %12.4f %12s  %a@." c.Search.c_round
+        (String.concat "+" c.Search.c_rules)
+        (1000.0 *. c.Search.c_estimate_s)
+        (match c.Search.c_score_s with
+        | Some s -> Printf.sprintf "%.4f" (1000.0 *. s)
+        | None -> "-")
+        pp_verdict c.Search.c_verdict)
+    report.Search.candidates;
+  if report.Search.best_rules = [] then
+    Fmt.pr "  winner: baseline (%.4f ms) — no rewrite beat it@."
+      (1000.0 *. report.Search.baseline_s)
+  else
+    Fmt.pr "  winner: %s — %.4f ms vs baseline %.4f ms (speedup %.2fx)@."
+      (String.concat "+" report.Search.best_rules)
+      (1000.0 *. report.Search.best_s)
+      (1000.0 *. report.Search.baseline_s)
+      (Search.speedup report)
+
+let tune name sf budget_ms seed topk rounds device wall traced trace_out
+    verbose =
+  setup_logs verbose;
+  let cat = catalog sf in
+  let q = find_query sf name in
+  let tr = mk_trace traced trace_out in
+  let objective =
+    if wall then Search.Wall_clock { reps = 3 } else Search.Cost_model device
+  in
+  let phase = ref 0 in
+  let eval c p =
+    incr phase;
+    let prep = E.prepare c p in
+    let tuned, report =
+      Tune.tune_prepared ?trace:tr ~objective ~budget_ms ~seed ~top_k:topk
+        ~max_rounds:rounds c prep
+    in
+    print_report !phase report;
+    E.run_prepared ?trace:tr c tuned
+  in
+  let rows = q.run eval cat in
+  Fmt.pr "@.%s answered (tuned): %d rows@." q.name (List.length rows);
+  List.iter (fun r -> Fmt.pr "  %s@." (decode cat r)) rows;
+  finish_trace tr trace_out
+
+let tune_cmd =
+  let budget_ms_arg =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "budget-ms" ] ~docv:"MS" ~doc:"wall-clock budget of the search")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "search seed: fixes candidate enumeration order, so two runs \
+             with the same seed (and the default cost-model objective) \
+             print identical tables")
+  in
+  let topk_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "topk" ] ~docv:"K"
+          ~doc:"candidates measured per round (the rest are pruned on estimates)")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~docv:"N" ~doc:"maximum hill-climbing rounds")
+  in
+  let wall_arg =
+    Arg.(
+      value & flag
+      & info [ "wall" ]
+          ~doc:
+            "score candidates on raw wall clock (best of 3) instead of the \
+             deterministic device cost model")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "search semantics-preserving rewrites (fold regraining, selection \
+          strategy, fold fusion, layout) of a TPC-H query's plans and report \
+          every candidate; every winner is verified bit-identical before \
+          selection (see docs/TUNING.md)")
+    Term.(
+      const tune $ query_arg $ sf_arg $ budget_ms_arg $ seed_arg $ topk_arg
+      $ rounds_arg $ device_arg $ wall_arg $ trace_arg $ trace_out_arg
+      $ verbose_arg)
+
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
 let run_sql text sf engine costs resilient fault fault_seed traced trace_out
@@ -500,7 +609,7 @@ let addr_of ~socket ~host ~port =
   | None, None -> Server.Unix_socket "voodoo.sock"
 
 let serve sf socket host port workers queue plans result_mb resilient max_extent
-    max_bytes max_steps jobs verbose =
+    max_bytes max_steps jobs tune_after tune_budget_ms verbose =
   setup_logs verbose;
   let d = Svc.default_config in
   let config =
@@ -519,6 +628,8 @@ let serve sf socket host port workers queue plans result_mb resilient max_extent
         };
       engine = (if resilient then Svc.Resilient R.strict_policy else Svc.Direct);
       jobs = max 1 jobs;
+      tune_after;
+      tune_budget_ms;
     }
   in
   let service = Svc.create ~registry:(Catalogs.shared ()) config in
@@ -578,6 +689,23 @@ let serve_cmd =
              each query's fragments across $(docv) domains (see \
              docs/PARALLELISM.md)")
   in
+  let tune_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tune-after" ] ~docv:"N"
+          ~doc:
+            "online retuning: after a plan's $(docv)th execution, search \
+             plan rewrites on a background worker and repoint the plan \
+             cache at the winner (see docs/TUNING.md)")
+  in
+  let tune_budget_ms_arg =
+    Arg.(
+      value
+      & opt float Svc.default_config.Svc.tune_budget_ms
+      & info [ "tune-budget-ms" ] ~docv:"MS"
+          ~doc:"wall-clock budget for each background tuning search")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -587,7 +715,8 @@ let serve_cmd =
     Term.(
       const serve $ sf_arg $ socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ plans_arg $ result_mb_arg $ resilient_arg $ max_extent_arg
-      $ max_bytes_arg $ max_steps_arg $ serve_jobs_arg $ verbose_arg)
+      $ max_bytes_arg $ max_steps_arg $ serve_jobs_arg $ tune_after_arg
+      $ tune_budget_ms_arg $ verbose_arg)
 
 let render_client_response ~raw = function
   | Proto.Rows rows ->
@@ -711,6 +840,7 @@ let () =
                 plan_cmd;
                 kernels_cmd;
                 exec_cmd;
+                tune_cmd;
                 sql_cmd;
                 serve_cmd;
                 client_cmd;

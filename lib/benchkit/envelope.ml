@@ -1,0 +1,18 @@
+(** Common envelope for BENCH_*.json artifacts (see the interface). *)
+
+let schema_version = 1
+
+let write ~suite ~reps ~file payload =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": %S,\n\
+    \  \"schema_version\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"payload\": " suite schema_version
+    (Domain.recommended_domain_count ())
+    reps;
+  payload oc;
+  Printf.fprintf oc "\n}\n";
+  close_out oc

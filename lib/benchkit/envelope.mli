@@ -1,0 +1,22 @@
+(** Common envelope for [BENCH_*.json] artifacts.
+
+    Every bench family wraps its payload in one machine-comparable
+    envelope: suite name, schema version, host core count and iteration
+    count.  Fixing the outer shape keeps the bench trajectory comparable
+    across PRs and machines — a reader can diff two [BENCH_*.json] files
+    without knowing which family produced them. *)
+
+(** The envelope schema version written as ["schema_version"]. *)
+val schema_version : int
+
+(** [write ~suite ~reps ~file payload] writes
+
+    {v
+    { "suite": <suite>, "schema_version": N, "cores": <host cores>,
+      "reps": <reps>, "payload": <payload object> }
+    v}
+
+    to [file].  [payload] receives the open channel and must emit one
+    complete JSON value (conventionally an object). *)
+val write :
+  suite:string -> reps:int -> file:string -> (out_channel -> unit) -> unit

@@ -46,7 +46,7 @@ let selection_common b =
 (* ---------- selection variants (Figures 1 and 15) ---------- *)
 
 (* Branching: a controlled FoldSelect emits qualifying positions. *)
-let select_branching ?trace ~store ~cut () : run =
+let select_branching_program ~cut () =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -55,11 +55,15 @@ let select_branching ?trace ~store ~cut () : run =
   let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
   let vals = B.gather b input (pos, []) in
   let total = hier_sum b vals in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let select_branching ?trace ~store ~cut () : run =
+  let p, total = select_branching_program ~cut () in
+  run_program ?trace store p total
 
 (* Branch-free: cursor arithmetic — exclusive prefix sum of the predicate
    gives the write position; every tuple is written unconditionally. *)
-let select_branch_free ?trace ~store ~cut () : run =
+let select_branch_free_program ~cut () =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -77,11 +81,15 @@ let select_branch_free ?trace ~store ~cut () : run =
   let vp = B.multiply b input pred in
   let out = B.scatter b ~shape:input vp (wpos, []) in
   let total = hier_sum b out in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let select_branch_free ?trace ~store ~cut () : run =
+  let p, total = select_branch_free_program ~cut () in
+  run_program ?trace store p total
 
 (* Predicated aggregation: multiply the value by the predicate outcome and
    fold — no control flow at all. *)
-let select_predicated ?trace ~store ~cut () : run =
+let select_predicated_program ~cut () =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -90,11 +98,15 @@ let select_predicated ?trace ~store ~cut () : run =
   let z = B.zip b ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (vp, []) in
   let partial = B.fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
   let total = B.fold_sum b ~name:"total" (partial, []) in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let select_predicated ?trace ~store ~cut () : run =
+  let p, total = select_predicated_program ~cut () in
+  run_program ?trace store p total
 
 (* Vectorized: one extra operator — a Materialize with a chunk-sized
    control vector buffers the predicate outcome in cache. *)
-let select_vectorized ?trace ~store ~cut () : run =
+let select_vectorized_program ~cut () =
   let b = B.create () in
   let input, fold = selection_common b in
   let cutv = B.const_float b cut in
@@ -104,23 +116,31 @@ let select_vectorized ?trace ~store ~cut () : run =
   let pos = B.fold_select b ~fold:[ "f" ] (z, [ "p" ]) in
   let vals = B.gather b input (pos, []) in
   let total = hier_sum b vals in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let select_vectorized ?trace ~store ~cut () : run =
+  let p, total = select_vectorized_program ~cut () in
+  run_program ?trace store p total
 
 (* ---------- layout variants (Figure 14) ---------- *)
 
 (* Single loop: one gather resolves both columns of the columnar target. *)
-let layout_single_loop ?trace ~store () : run =
+let layout_single_loop_program () =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
   let g = B.gather b target (pos, []) in
   let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
   let total = hier_sum b both in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let layout_single_loop ?trace ~store () : run =
+  let p, total = layout_single_loop_program () in
+  run_program ?trace store p total
 
 (* Separate loops: a Break between two single-column gathers splits the
    traversals. *)
-let layout_separate_loops ?trace ~store () : run =
+let layout_separate_loops_program () =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
@@ -131,11 +151,15 @@ let layout_separate_loops ?trace ~store () : run =
   let g2 = B.gather b c2 (pos, []) in
   let both = B.binary b Op.Add (g1m, []) (g2, []) in
   let total = hier_sum b both in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let layout_separate_loops ?trace ~store () : run =
+  let p, total = layout_separate_loops_program () in
+  run_program ?trace store p total
 
 (* Layout transform: zip + materialize turn the target row-major before a
    single gathering loop. *)
-let layout_transform ?trace ~store () : run =
+let layout_transform_program () =
   let b = B.create () in
   let target = B.load b "target" in
   let pos = B.load b "positions" in
@@ -143,7 +167,31 @@ let layout_transform ?trace ~store () : run =
   let g = B.gather b rowwise (pos, []) in
   let both = B.binary b Op.Add (g, [ "c1" ]) (g, [ "c2" ]) in
   let total = hier_sum b both in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let layout_transform ?trace ~store () : run =
+  let p, total = layout_transform_program () in
+  run_program ?trace store p total
+
+(* ---------- fold partitioning (Figure 3 / Section 5.3) ---------- *)
+
+(* Hierarchical integer sum under an explicit grain: the fold-partitioning
+   tunable in isolation.  Integer data keeps every regrouping exact, so
+   partition-count rewrites stay bit-identical. *)
+let fold_partition_program ?(grain = grain) () =
+  let b = B.create () in
+  let input = B.load b ~name:"in" "values" in
+  let ids = B.range b (Of_vector input) in
+  let g = B.const_int b grain in
+  let fold = B.divide b ids g in
+  let z = B.zip b ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (input, []) in
+  let partial = B.fold_sum b ~fold:[ "f" ] (z, [ "v" ]) in
+  let total = B.fold_sum b ~name:"total" (partial, []) in
+  (B.finish b, total)
+
+let fold_partition_sum ?trace ?grain ~store () : run =
+  let p, total = fold_partition_program ?grain () in
+  run_program ?trace store p total
 
 (* ---------- branch-free FK joins (Figure 16) ---------- *)
 
@@ -199,6 +247,9 @@ let fkjoin_predicated_lookup ?trace ~store ~cut () : run =
 
 let selection_store values =
   Store.of_list [ ("values", Svector.single [ "v" ] (Column.of_float_array values)) ]
+
+let fold_store values =
+  Store.of_list [ ("values", Svector.single [ "v" ] (Column.of_int_array values)) ]
 
 let layout_store ~positions ~c1 ~c2 =
   Store.of_list

@@ -41,9 +41,33 @@ val fkjoin_predicated_agg :
 val fkjoin_predicated_lookup :
   ?trace:Trace.t -> store:Store.t -> cut:float -> unit -> run
 
+(** Fold partitioning: hierarchical integer sum under an explicit grain
+    (default {!grain}) — the partition-count tunable in isolation. *)
+val fold_partition_sum :
+  ?trace:Trace.t -> ?grain:int -> store:Store.t -> unit -> run
+
+(** {2 Program builders}
+
+    The same variants as (program, total-statement id) pairs, for
+    harnesses that compile and execute the programs themselves — the
+    tuner searches rewrites of exactly these. *)
+
+val select_branching_program : cut:float -> unit -> Program.t * Op.id
+val select_branch_free_program : cut:float -> unit -> Program.t * Op.id
+val select_predicated_program : cut:float -> unit -> Program.t * Op.id
+val select_vectorized_program : cut:float -> unit -> Program.t * Op.id
+val layout_single_loop_program : unit -> Program.t * Op.id
+val layout_separate_loops_program : unit -> Program.t * Op.id
+val layout_transform_program : unit -> Program.t * Op.id
+val fold_partition_program : ?grain:int -> unit -> Program.t * Op.id
+
 (** Store builders for the workloads above. *)
 
 val selection_store : float array -> Store.t
+
+(** Single integer column named ["values"] for the fold-partitioning
+    family. *)
+val fold_store : int array -> Store.t
 
 val layout_store :
   positions:int array -> c1:float array -> c2:float array -> Store.t

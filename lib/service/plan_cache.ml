@@ -71,6 +71,15 @@ let add t key prepared =
         Hashtbl.replace t.tbl key { prepared; last_used = t.tick }
       end)
 
+let replace t key prepared =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then
+        while Hashtbl.length t.tbl >= t.capacity do
+          evict_lru t
+        done;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.tbl key { prepared; last_used = t.tick })
+
 let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
 
 let invalidate_prefix t prefix =

@@ -25,6 +25,11 @@ val find : t -> string -> Engine.prepared option
     keeping the incumbent preserves its recency). *)
 val add : t -> string -> Engine.prepared -> unit
 
+(** [replace t key p] inserts or overwrites: the repointing operation of
+    online retuning — a tuned plan supersedes the incumbent under its
+    key.  Evicts like {!add} when inserting fresh. *)
+val replace : t -> string -> Engine.prepared -> unit
+
 val mem : t -> string -> bool
 
 (** [invalidate_prefix t p] drops entries whose key starts with [p] (not

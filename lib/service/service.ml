@@ -7,6 +7,8 @@ module Verror = Voodoo_core.Verror
 module Budget = Voodoo_core.Budget
 module Trace = Voodoo_core.Trace
 module Q = Voodoo_tpch.Queries
+module Plan_tune = Voodoo_tuner.Plan_tune
+module Search = Voodoo_tuner.Search
 
 type engine_mode = Direct | Resilient of R.policy
 
@@ -22,6 +24,9 @@ type config = {
   jobs : int;
   lower_opts : Lower.options option;
   backend_opts : Voodoo_compiler.Codegen.options option;
+  tune_after : int option;
+  tune_budget_ms : float;
+  tune_seed : int;
 }
 
 let default_config =
@@ -37,7 +42,21 @@ let default_config =
     jobs = 1;
     lower_opts = None;
     backend_opts = None;
+    tune_after = None;
+    tune_budget_ms = 250.0;
+    tune_seed = 42;
   }
+
+(* Per-plan retuning state, keyed by the base plan key.  [execs] counts
+   executions toward the [tune_after] threshold; [scheduled] latches so at
+   most one background search ever runs per plan per generation; [tuned]
+   is the repointed winner (None until a search finds a strict
+   improvement).  All fields are guarded by the service mutex. *)
+type tune_state = {
+  mutable execs : int;
+  mutable tuned : Engine.prepared option;
+  mutable scheduled : bool;
+}
 
 type t = {
   config : config;
@@ -46,6 +65,7 @@ type t = {
   results : Result_cache.t;
   pool : Pool.t;
   opts_digest : string;  (** lower/codegen options part of every cache key *)
+  tunes : (string, tune_state) Hashtbl.t;
   m : Mutex.t;
   mutable next_session : int;
   mutable sessions_opened : int;
@@ -55,6 +75,11 @@ type t = {
   mutable errors : int;
   mutable fast_path : int;
   mutable parallel : int;
+  mutable tune_scheduled : int;
+  mutable tune_completed : int;
+  mutable tune_candidates : int;
+  mutable tune_rejected : int;
+  mutable tune_repointed : int;
 }
 
 type outcome = (Engine.rows, Verror.t) result
@@ -77,6 +102,7 @@ let create ?registry (config : config) =
       Digest.to_hex
         (Digest.string
            (Marshal.to_string (config.lower_opts, config.backend_opts) []));
+    tunes = Hashtbl.create 16;
     m = Mutex.create ();
     next_session = 0;
     sessions_opened = 0;
@@ -86,6 +112,11 @@ let create ?registry (config : config) =
     errors = 0;
     fast_path = 0;
     parallel = 0;
+    tune_scheduled = 0;
+    tune_completed = 0;
+    tune_candidates = 0;
+    tune_rejected = 0;
+    tune_repointed = 0;
   }
 
 let locked t f =
@@ -116,10 +147,13 @@ let close_session t (s : Session.t) =
 
 (* ---- cache keys (documented in docs/SERVICE.md) ---- *)
 
-let plan_key t ~generation plan =
-  Printf.sprintf "g%d|plan|%s|%s" generation
+let engine_label t =
+  match t.config.engine with Direct -> "direct" | Resilient _ -> "resilient"
+
+let plan_key ?(variant = "base") t ~generation plan =
+  Printf.sprintf "g%d|plan|%s|%s|e%s|j%d|v%s" generation
     (Digest.to_hex (Digest.string (Marshal.to_string (plan : Ra.t) [])))
-    t.opts_digest
+    t.opts_digest (engine_label t) t.config.jobs variant
 
 let sql_result_key t ~generation text =
   Printf.sprintf "g%d|sql|%s|%s" generation text t.opts_digest
@@ -129,16 +163,105 @@ let query_result_key t ~generation name =
 
 (* ---- execution core (runs on pool domains) ---- *)
 
+let tune_variant = "tuned"
+
+(* Background search over one prepared plan (runs on a pool domain,
+   stealing only idle time — admission control still sheds under load).
+   The objective is the calibrated cost model, so the search is cheap and
+   deterministic; the search itself verifies every candidate bit-identical
+   before it can win.  On a strict win the plan cache is repointed under
+   the [tune_variant] key and [st.tuned] serves subsequent executions.
+   No trace is threaded through: [Trace.t] is not thread-safe. *)
+let schedule_tune t cat ~variant_key st prep =
+  let job () =
+    match
+      Plan_tune.tune_prepared
+        ~objective:(Search.Cost_model Voodoo_device.Config.cpu_simd)
+        ~budget_ms:t.config.tune_budget_ms ~seed:t.config.tune_seed
+        ~budget:t.config.budget cat prep
+    with
+    | tuned, report ->
+        let rejected =
+          List.length
+            (List.filter
+               (fun c -> c.Search.c_verdict = Search.Rejected)
+               report.Search.candidates)
+        in
+        let won = report.Search.best_rules <> [] in
+        if won then Plan_cache.replace t.plans variant_key tuned;
+        locked t (fun () ->
+            t.tune_completed <- t.tune_completed + 1;
+            t.tune_candidates <-
+              t.tune_candidates + List.length report.Search.candidates;
+            t.tune_rejected <- t.tune_rejected + rejected;
+            if won then begin
+              t.tune_repointed <- t.tune_repointed + 1;
+              st.tuned <- Some tuned
+            end)
+    | exception _ ->
+        (* a failed search must not poison the plan: keep serving the
+           incumbent and never retry (the latch stays set) *)
+        locked t (fun () -> t.tune_completed <- t.tune_completed + 1)
+  in
+  match Pool.submit t.pool job with
+  | Ok (_ : unit Pool.future) ->
+      locked t (fun () -> t.tune_scheduled <- t.tune_scheduled + 1)
+  | Error (`Queue_full | `Shutting_down) ->
+      (* couldn't schedule now; unlatch so a later execution retries *)
+      locked t (fun () -> st.scheduled <- false)
+
 let get_or_prepare t ?trace (cat : Catalog.t) ~generation (plan : Ra.t) =
   let key = plan_key t ~generation plan in
-  match Plan_cache.find t.plans key with
+  let tuned_now =
+    if t.config.tune_after = None then None
+    else
+      locked t (fun () ->
+          match Hashtbl.find_opt t.tunes key with
+          | Some st ->
+              st.execs <- st.execs + 1;
+              st.tuned
+          | None -> None)
+  in
+  match tuned_now with
   | Some p -> p
   | None ->
       let p =
-        Engine.prepare ?trace ?lower_opts:t.config.lower_opts
-          ?backend_opts:t.config.backend_opts cat plan
+        match Plan_cache.find t.plans key with
+        | Some p -> p
+        | None ->
+            let p =
+              Engine.prepare ?trace ?lower_opts:t.config.lower_opts
+                ?backend_opts:t.config.backend_opts cat plan
+            in
+            Plan_cache.add t.plans key p;
+            p
       in
-      Plan_cache.add t.plans key p;
+      (match t.config.tune_after with
+      | None -> ()
+      | Some threshold -> (
+          let to_schedule =
+            locked t (fun () ->
+                let st =
+                  match Hashtbl.find_opt t.tunes key with
+                  | Some st -> st
+                  | None ->
+                      let st = { execs = 1; tuned = None; scheduled = false } in
+                      Hashtbl.replace t.tunes key st;
+                      st
+                in
+                if st.execs >= threshold && not st.scheduled then begin
+                  st.scheduled <- true;
+                  Some st
+                end
+                else None)
+          in
+          match to_schedule with
+          | None -> ()
+          | Some st ->
+              let variant_key =
+                plan_key ~variant:tune_variant t ~generation plan
+              in
+              schedule_tune t cat ~variant_key st p));
       p
 
 (* Fast-path policy for [Direct] dispatch (see docs/PARALLELISM.md):
@@ -376,6 +499,14 @@ let refresh_catalog ?seed ~sf t =
   let prefix = Printf.sprintf "g%d|" old.Catalogs.generation in
   Result_cache.invalidate_prefix t.results prefix;
   Plan_cache.invalidate_prefix t.plans prefix;
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun key _ acc ->
+            if String.starts_with ~prefix key then key :: acc else acc)
+          t.tunes []
+      in
+      List.iter (Hashtbl.remove t.tunes) doomed);
   fresh
 
 (* ---- stats ---- *)
@@ -388,30 +519,49 @@ type stats = {
   errors : int;
   fast_path : int;
   parallel : int;
+  tune_scheduled : int;
+  tune_completed : int;
+  tune_candidates : int;
+  tune_rejected : int;
+  tune_repointed : int;
   plan_cache : Plan_cache.stats;
   result_cache : Result_cache.stats;
   pool : Pool.stats;
 }
 
 let stats t =
-  let ( sessions_opened, sessions_live, queries, result_hits, errors,
-        fast_path, parallel ) =
+  let mk =
     locked t (fun () ->
-        ( t.sessions_opened, t.sessions_live, t.queries, t.result_hits,
-          t.errors, t.fast_path, t.parallel ))
+        let ( sessions_opened, sessions_live, queries, result_hits, errors,
+              fast_path, parallel ) =
+          ( t.sessions_opened, t.sessions_live, t.queries, t.result_hits,
+            t.errors, t.fast_path, t.parallel )
+        and tune_scheduled, tune_completed, tune_candidates, tune_rejected,
+            tune_repointed =
+          ( t.tune_scheduled, t.tune_completed, t.tune_candidates,
+            t.tune_rejected, t.tune_repointed )
+        in
+        fun ~plan_cache ~result_cache ~pool ->
+          {
+            sessions_opened;
+            sessions_live;
+            queries;
+            result_hits;
+            errors;
+            fast_path;
+            parallel;
+            tune_scheduled;
+            tune_completed;
+            tune_candidates;
+            tune_rejected;
+            tune_repointed;
+            plan_cache;
+            result_cache;
+            pool;
+          })
   in
-  {
-    sessions_opened;
-    sessions_live;
-    queries;
-    result_hits;
-    errors;
-    fast_path;
-    parallel;
-    plan_cache = Plan_cache.stats t.plans;
-    result_cache = Result_cache.stats t.results;
-    pool = Pool.stats t.pool;
-  }
+  mk ~plan_cache:(Plan_cache.stats t.plans)
+    ~result_cache:(Result_cache.stats t.results) ~pool:(Pool.stats t.pool)
 
 let stats_fields (s : stats) : (string * float) list =
   let f = float_of_int in
@@ -422,6 +572,11 @@ let stats_fields (s : stats) : (string * float) list =
     ("queries.errors", f s.errors);
     ("exec.fast_path", f s.fast_path);
     ("exec.parallel", f s.parallel);
+    ("tune.scheduled", f s.tune_scheduled);
+    ("tune.completed", f s.tune_completed);
+    ("tune.candidates", f s.tune_candidates);
+    ("tune.rejected", f s.tune_rejected);
+    ("tune.repointed", f s.tune_repointed);
     ("result_cache.hits", f (s.result_cache.Result_cache.hits));
     ("result_cache.misses", f (s.result_cache.Result_cache.misses));
     ("result_cache.evictions", f (s.result_cache.Result_cache.evictions));

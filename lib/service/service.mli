@@ -51,10 +51,20 @@ type config = {
           [docs/PARALLELISM.md]. *)
   lower_opts : Lower.options option;
   backend_opts : Voodoo_compiler.Codegen.options option;
+  tune_after : int option;
+      (** online retuning threshold: after a plan has executed this many
+          times, a background pool job races tuner rewrites
+          ({!Voodoo_tuner.Search}) against the incumbent under the
+          calibrated cost model and — on a strict, bit-identical win —
+          repoints the plan cache at the tuned variant.  [None] (the
+          default) disables retuning.  See [docs/TUNING.md]. *)
+  tune_budget_ms : float;  (** wall budget of one background search *)
+  tune_seed : int;  (** search seed — fixes the candidate order *)
 }
 
 (** sf 0.01, seed 1, {!Pool.default_workers} domains, queue 64, 64 plans,
-    16 MiB of results, unlimited budget, [Direct], [jobs = 1]. *)
+    16 MiB of results, unlimited budget, [Direct], [jobs = 1], no online
+    retuning ([tune_after = None], budget 250 ms, seed 42). *)
 val default_config : config
 
 type t
@@ -126,6 +136,11 @@ type stats = {
   errors : int;  (** typed error outcomes (sheds included) *)
   fast_path : int;  (** [Direct] executions that skipped device simulation *)
   parallel : int;  (** [Direct] executions chunked across >1 domain *)
+  tune_scheduled : int;  (** background searches submitted to the pool *)
+  tune_completed : int;  (** background searches finished (win or not) *)
+  tune_candidates : int;  (** rewrite candidates considered, total *)
+  tune_rejected : int;  (** candidates rejected by result verification *)
+  tune_repointed : int;  (** plans repointed at a tuned variant *)
   plan_cache : Plan_cache.stats;
   result_cache : Result_cache.stats;
   pool : Pool.stats;
@@ -139,6 +154,8 @@ val stats_fields : stats -> (string * float) list
 (** {2 Exposed for tests} *)
 
 (** The plan-cache key: catalog generation + structural digest of the
-    relational plan + digest of the service's lower/codegen options.
-    Equal exactly when a cached prepared plan may be reused. *)
-val plan_key : t -> generation:int -> Ra.t -> string
+    relational plan + digest of the service's lower/codegen options +
+    engine mode + intra-query [jobs] + plan variant ([?variant], default
+    ["base"]; online retuning stores winners under ["tuned"]).  Equal
+    exactly when a cached prepared plan may be reused. *)
+val plan_key : ?variant:string -> t -> generation:int -> Ra.t -> string

@@ -1,0 +1,45 @@
+(** Tuning prepared relational plans (see the interface). *)
+
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+module Backend = Voodoo_compiler.Backend
+
+let roots_of_lowered (l : Lower.lowered) =
+  List.map snd l.Lower.keys
+  @ Option.to_list l.Lower.group_id
+  @ List.concat_map
+      (fun (a : Lower.lowered_agg) ->
+        a.Lower.vec :: Option.to_list a.Lower.count_vec)
+      l.Lower.aggs
+
+let tune_prepared ?trace ?objective ?budget_ms ?max_rounds ?top_k ?seed
+    ?budget (cat : Catalog.t) (p : Engine.prepared) =
+  let store = cat.Catalog.store in
+  let roots = roots_of_lowered p.Engine.p_lowered in
+  let report =
+    Search.run ?trace ?objective ?budget_ms ?max_rounds ?top_k ?seed ?budget
+      ~backend_opts:p.Engine.p_compiled.Backend.options ~store ~roots
+      p.Engine.p_lowered.Lower.program
+  in
+  let tuned =
+    if report.Search.best_rules = [] then p
+    else
+      let program = report.Search.best_program in
+      let p_compiled =
+        Backend.compile ~options:p.Engine.p_compiled.Backend.options ~store
+          program
+      in
+      {
+        p with
+        Engine.p_lowered = { p.Engine.p_lowered with Lower.program };
+        p_compiled;
+      }
+  in
+  (tuned, report)
+
+let variant_digest (p : Engine.prepared) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (Voodoo_core.Program.stmts p.Engine.p_lowered.Lower.program)
+          []))

@@ -1,0 +1,35 @@
+(** Tuning prepared relational plans.
+
+    A lowered plan's result is read back through {!Voodoo_relational.Lower.fetch}
+    from a fixed set of vectors (group keys, group ids, aggregates); those
+    are the roots the search must preserve bit-for-bit.  [tune_prepared]
+    runs {!Search.run} over the prepared plan's Voodoo program and, when a
+    variant wins, recompiles it under the same codegen options into a new
+    {!Voodoo_engine.Engine.prepared} that is a drop-in replacement — same
+    source plan, same fetch protocol, different kernels. *)
+
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+
+(** The statements {!Voodoo_relational.Lower.fetch} reads: key vectors,
+    the dense group id, aggregate and companion-count vectors. *)
+val roots_of_lowered : Lower.lowered -> Voodoo_core.Op.id list
+
+(** [tune_prepared cat p] searches rewrites of [p]'s program; returns the
+    tuned prepared plan ([p] itself when the baseline wins) and the full
+    search report.  Parameters forward to {!Search.run}. *)
+val tune_prepared :
+  ?trace:Voodoo_core.Trace.t ->
+  ?objective:Search.objective ->
+  ?budget_ms:float ->
+  ?max_rounds:int ->
+  ?top_k:int ->
+  ?seed:int ->
+  ?budget:Voodoo_core.Budget.t ->
+  Catalog.t ->
+  Engine.prepared ->
+  Engine.prepared * Search.report
+
+(** Digest of a prepared plan's Voodoo program — the plan-cache variant
+    key component distinguishing tuned from untuned plans. *)
+val variant_digest : Engine.prepared -> string

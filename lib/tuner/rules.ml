@@ -1,0 +1,784 @@
+(** Rewrite rules over Voodoo programs (see the interface). *)
+
+open Voodoo_vector
+open Voodoo_core
+
+type t = {
+  name : string;
+  descr : string;
+  apply : Program.t -> Program.t option;
+}
+
+let grain_ladder = [ 1024; 4096; 8192; 16384; 65536 ]
+
+(* ---------- program surgery helpers ---------- *)
+
+let stmts = Program.stmts
+
+let consumers p id =
+  List.filter
+    (fun (s : Program.stmt) -> List.mem id (Op.inputs s.op))
+    (stmts p)
+
+let replace_op p id op' =
+  Program.of_stmts
+    (List.map
+       (fun (s : Program.stmt) ->
+         if String.equal s.id id then { s with op = op' } else s)
+       (stmts p))
+
+(* Insert [news] immediately before statement [anchor]. *)
+let insert_before p anchor news =
+  Program.of_stmts
+    (List.concat_map
+       (fun (s : Program.stmt) ->
+         if String.equal s.id anchor then news @ [ s ] else [ s ])
+       (stmts p))
+
+(* Insert one statement right after [anchor] and redirect every later
+   reference to [anchor] through the new statement. *)
+let insert_after_redirect p anchor (nid, nop) =
+  let seen = ref false in
+  Program.of_stmts
+    (List.concat_map
+       (fun (s : Program.stmt) ->
+         if String.equal s.id anchor then begin
+           seen := true;
+           [ s; { Program.id = nid; op = nop } ]
+         end
+         else if !seen then
+           [
+             {
+               s with
+               Program.op =
+                 Optimize.rename
+                   (fun id -> if String.equal id anchor then nid else id)
+                   s.op;
+             };
+           ]
+         else [ s ])
+       (stmts p))
+
+(* Redirect every reference to [old] onto [target]; [old] becomes dead. *)
+let redirect p old target =
+  Program.of_stmts
+    (List.map
+       (fun (s : Program.stmt) ->
+         if String.equal s.id old then s
+         else
+           {
+             s with
+             Program.op =
+               Optimize.rename
+                 (fun id -> if String.equal id old then target else id)
+                 s.op;
+           })
+       (stmts p))
+
+let fresh p base =
+  let used = List.map (fun (s : Program.stmt) -> s.id) (stmts p) in
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" base i in
+    if List.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+let op_of p id = Option.map (fun (s : Program.stmt) -> s.op) (Program.find p id)
+
+(* Static lengths for broadcast checks; [None] when inference fails. *)
+let lengths ~store p =
+  match
+    Meta.infer
+      ~vector_length:(fun n -> Option.map Svector.length (Store.find store n))
+      p
+  with
+  | infos -> Some (fun id -> Option.map (fun i -> i.Meta.length) (List.assoc_opt id infos))
+  | exception _ -> None
+
+let is_comparison = function
+  | Some
+      (Op.Binary
+        {
+          op =
+            ( Op.Greater | Op.GreaterEqual | Op.Equals | Op.LogicalAnd
+            | Op.LogicalOr );
+          _;
+        }) ->
+      true
+  | _ -> false
+
+(* Does [id] resolve to a single-attribute vector?  Conservative. *)
+let rec single_attr ~store p id =
+  match op_of p id with
+  | Some (Op.Load n) -> (
+      match Store.find store n with
+      | Some v -> List.length (Svector.keypaths v) = 1
+      | None -> false)
+  | Some
+      ( Op.Binary _ | Op.Project _ | Op.Constant _ | Op.Range _ | Op.FoldAgg _
+      | Op.FoldSelect _ | Op.FoldScan _ | Op.Partition _ ) ->
+      true
+  | Some (Op.Gather { data; _ })
+  | Some (Op.Materialize { data; _ })
+  | Some (Op.Break { data; _ })
+  | Some (Op.Scatter { data; _ }) ->
+      single_attr ~store p data
+  | Some (Op.Persist (_, v)) -> single_attr ~store p v
+  | Some (Op.Zip _ | Op.Cross _ | Op.Upsert _) | None -> false
+
+(* ---------- the hierarchical controlled-fold pattern (Figure 3) ----------
+
+     ids     = Range over the data          (from 0, step 1)
+     g       = Constant (int grain)
+     d       = Binary Divide (ids, g)
+     z       = Zip (d -> fold attr, values -> value attr)
+     partial = FoldAgg agg1 ~fold (z, value attr)
+     total   = FoldAgg agg2 (partial, [])
+*)
+
+type hier = {
+  h_g : Op.id;
+  h_grain : int;
+  h_d : Op.id;
+  h_z : Op.id;
+  h_value : Op.src;  (** the zip's value side *)
+  h_partial : Op.id;
+  h_agg1 : Op.agg;
+  h_total : Op.id;
+  h_agg2 : Op.agg;
+  h_total_out : Keypath.t;
+}
+
+let agg_pair_ok = function
+  | Op.Sum, Op.Sum | Op.Max, Op.Max | Op.Min, Op.Min | Op.Count, Op.Sum ->
+      true
+  | _ -> false
+
+(* Match the chain hanging off divide statement [d]; the remaining
+   requirements on the grain constant are checked by the caller. *)
+let match_chain p (d : Program.stmt) =
+  match d.op with
+  | Op.Binary { op = Op.Divide; left; _ } -> (
+      match op_of p left.Op.v with
+      | Some (Op.Range { from = 0; step = 1; _ }) -> (
+          match consumers p d.id with
+          | [ { id = zid; op = Op.Zip { out1; src1; out2; src2 } } ] -> (
+              let side =
+                if
+                  String.equal src1.Op.v d.id
+                  && not (String.equal src2.Op.v d.id)
+                then Some (out1, out2, src2)
+                else if
+                  String.equal src2.Op.v d.id
+                  && not (String.equal src1.Op.v d.id)
+                then Some (out2, out1, src1)
+                else None
+              in
+              match side with
+              | None -> None
+              | Some (fold_out, value_out, value_src) -> (
+                  match consumers p zid with
+                  | [
+                      {
+                        id = pid;
+                        op =
+                          Op.FoldAgg { agg = agg1; fold = Some fkp; input; _ };
+                      };
+                    ]
+                    when Keypath.equal fkp fold_out
+                         && String.equal input.Op.v zid
+                         && Keypath.equal input.Op.kp value_out -> (
+                      match consumers p pid with
+                      | [
+                          {
+                            id = total;
+                            op =
+                              Op.FoldAgg
+                                {
+                                  agg = agg2;
+                                  fold = None;
+                                  input = tin;
+                                  out = total_out;
+                                };
+                          };
+                        ]
+                        when String.equal tin.Op.v pid
+                             && agg_pair_ok (agg1, agg2) ->
+                          Some
+                            {
+                              h_g = "";
+                              h_grain = 0;
+                              h_d = d.id;
+                              h_z = zid;
+                              h_value = value_src;
+                              h_partial = pid;
+                              h_agg1 = agg1;
+                              h_total = total;
+                              h_agg2 = agg2;
+                              h_total_out = total_out;
+                            }
+                      | _ -> None)
+                  | _ -> None))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* All hierarchical patterns whose grain constant is used by divides
+   only, each heading a valid chain.  [len] guards against broadcast:
+   the zip's value side must have the same length as the divide. *)
+let find_hiers ~store p =
+  let len = lengths ~store p in
+  let same_length a b =
+    match len with
+    | None -> false
+    | Some l -> (
+        match (l a, l b) with Some x, Some y -> x = y | _ -> false)
+  in
+  List.filter_map
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.Constant { value = Scalar.I g; _ } when g > 0 -> (
+          let uses = consumers p s.id in
+          let chains =
+            List.map
+              (fun (u : Program.stmt) ->
+                match u.op with
+                | Op.Binary { op = Op.Divide; right; _ }
+                  when String.equal right.Op.v s.id ->
+                    match_chain p u
+                | _ -> None)
+              uses
+          in
+          if uses = [] || List.exists (fun c -> c = None) chains then None
+          else
+            match List.filter_map Fun.id chains with
+            | h :: _ when same_length h.h_d h.h_value.Op.v ->
+                Some { h with h_g = s.id; h_grain = g }
+            | _ -> None)
+      | _ -> None)
+    (stmts p)
+
+(* ---------- fold partitioning ---------- *)
+
+let regrain n =
+  {
+    name = Printf.sprintf "regrain-%d" n;
+    descr =
+      Printf.sprintf
+        "re-derive the controlled-fold partition grain to %d rows per run" n;
+    apply =
+      (fun p ->
+        (* the store only guards broadcast, which a pure grain change
+           cannot introduce; skip the length check here *)
+        let candidates =
+          List.filter_map
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.Constant { value = Scalar.I g; out } when g > 0 && g <> n ->
+                  let uses = consumers p s.id in
+                  let ok =
+                    uses <> []
+                    && List.for_all
+                         (fun (u : Program.stmt) ->
+                           match u.op with
+                           | Op.Binary { op = Op.Divide; right; _ }
+                             when String.equal right.Op.v s.id ->
+                               match_chain p u <> None
+                           | _ -> false)
+                         uses
+                  in
+                  if ok then Some (s.id, out) else None
+              | _ -> None)
+            (stmts p)
+        in
+        match candidates with
+        | [] -> None
+        | (g, out) :: _ ->
+            Some (replace_op p g (Op.Constant { out; value = Scalar.I n })));
+  }
+
+let fuse_agg = function
+  | Op.Sum, Op.Sum -> Op.Sum
+  | Op.Max, Op.Max -> Op.Max
+  | Op.Min, Op.Min -> Op.Min
+  | Op.Count, Op.Sum -> Op.Count
+  | _ -> invalid_arg "fuse_agg"
+
+let fuse_folds_with ~store () =
+  {
+    name = "fuse-folds";
+    descr = "collapse a hierarchical fold into one flat global fold";
+    apply =
+      (fun p ->
+        match find_hiers ~store p with
+        | [] -> None
+        | h :: _ ->
+            let agg = fuse_agg (h.h_agg1, h.h_agg2) in
+            Some
+              (replace_op p h.h_total
+                 (Op.FoldAgg
+                    {
+                      agg;
+                      out = h.h_total_out;
+                      fold = None;
+                      input = h.h_value;
+                    })));
+  }
+
+let split_agg = function
+  | Op.Sum -> (Op.Sum, Op.Sum)
+  | Op.Max -> (Op.Max, Op.Max)
+  | Op.Min -> (Op.Min, Op.Min)
+  | Op.Count -> (Op.Count, Op.Sum)
+
+let split_fold_with ~store n =
+  {
+    name = Printf.sprintf "split-fold-%d" n;
+    descr =
+      Printf.sprintf
+        "partition a flat global fold into %d-row runs plus a total fold" n;
+    apply =
+      (fun p ->
+        let len = lengths ~store p in
+        let long_enough id =
+          match len with
+          | None -> false
+          | Some l -> ( match l id with Some x -> x > n | None -> false)
+        in
+        let site =
+          List.find_opt
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.FoldAgg { fold = None; input; _ } ->
+                  (* never un-fuse a partial: that just flaps *)
+                  (match op_of p input.Op.v with
+                  | Some (Op.FoldAgg { fold = Some _; _ }) -> false
+                  | _ -> true)
+                  && long_enough input.Op.v
+              | _ -> false)
+            (stmts p)
+        in
+        match site with
+        | Some { id = total; op = Op.FoldAgg { agg; out; input; _ } } ->
+            let agg1, agg2 = split_agg agg in
+            let ids = fresh p "tune_ids" in
+            let g = fresh p "tune_g" in
+            let d = fresh p "tune_f" in
+            let z = fresh p "tune_z" in
+            let partial = fresh p "tune_partial" in
+            let news =
+              [
+                {
+                  Program.id = ids;
+                  op =
+                    Op.Range
+                      {
+                        out = [ "val" ];
+                        from = 0;
+                        size = Op.Of_vector input.Op.v;
+                        step = 1;
+                      };
+                };
+                {
+                  Program.id = g;
+                  op = Op.Constant { out = [ "val" ]; value = Scalar.I n };
+                };
+                {
+                  Program.id = d;
+                  op =
+                    Op.Binary
+                      {
+                        op = Op.Divide;
+                        out = [ "val" ];
+                        left = { Op.v = ids; kp = [] };
+                        right = { Op.v = g; kp = [] };
+                      };
+                };
+                {
+                  Program.id = z;
+                  op =
+                    Op.Zip
+                      {
+                        out1 = [ "f" ];
+                        src1 = { Op.v = d; kp = [] };
+                        out2 = [ "v" ];
+                        src2 = input;
+                      };
+                };
+                {
+                  Program.id = partial;
+                  op =
+                    Op.FoldAgg
+                      {
+                        agg = agg1;
+                        out = [ "val" ];
+                        fold = Some [ "f" ];
+                        input = { Op.v = z; kp = [ "v" ] };
+                      };
+                };
+              ]
+            in
+            let p = insert_before p total news in
+            Some
+              (replace_op p total
+                 (Op.FoldAgg
+                    {
+                      agg = agg2;
+                      out;
+                      fold = None;
+                      input = { Op.v = partial; kp = [] };
+                    }))
+        | _ -> None);
+  }
+
+(* ---------- selection strategy ---------- *)
+
+(* Is every consumer of [vals] a pure sum sink — a consumer whose final
+   value only depends on the multiset sum of [vals]' slots per position
+   range?  Covers: size-only [Range] uses, direct [FoldAgg Sum], and the
+   Zip-into-controlled-Sum shape of {!hier_sum}. *)
+let sum_sinks p vals =
+  let sink (s : Program.stmt) =
+    match s.op with
+    | Op.Range { size = Op.Of_vector v; _ } -> String.equal v vals
+    | Op.FoldAgg { agg = Op.Sum; input; _ } -> String.equal input.Op.v vals
+    | Op.Zip { out1; src1; out2; src2 } ->
+        let vals_side =
+          if String.equal src1.Op.v vals && not (String.equal src2.Op.v vals)
+          then Some out1
+          else if
+            String.equal src2.Op.v vals && not (String.equal src1.Op.v vals)
+          then Some out2
+          else None
+        in
+        (match vals_side with
+        | None -> false
+        | Some vkp ->
+            consumers p s.id <> []
+            && List.for_all
+                 (fun (c : Program.stmt) ->
+                   match c.op with
+                   | Op.FoldAgg { agg = Op.Sum; fold = Some _; input; _ } ->
+                       String.equal input.Op.v s.id
+                       && Keypath.equal input.Op.kp vkp
+                   | _ -> false)
+                 (consumers p s.id))
+    | _ -> false
+  in
+  let cs = consumers p vals in
+  cs <> [] && List.for_all sink cs
+
+(* Match a branching selection: [pos = FoldSelect (pred or zipped pred)]
+   consumed only by [vals = Gather (data, pos)].  Returns
+   (pos, vals, data, pred source). *)
+let match_branching_selection ~store p =
+  List.find_map
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.FoldSelect { fold; input; _ } -> (
+          let pred_src =
+            match fold with
+            | None -> Some input
+            | Some fkp -> (
+                match op_of p input.Op.v with
+                | Some (Op.Zip { out1; src1; out2; src2 }) ->
+                    if Keypath.equal out1 fkp && Keypath.equal out2 input.Op.kp
+                    then Some src2
+                    else if
+                      Keypath.equal out2 fkp && Keypath.equal out1 input.Op.kp
+                    then Some src1
+                    else None
+                | _ -> None)
+          in
+          match pred_src with
+          | Some pred when is_comparison (op_of p pred.Op.v) -> (
+              match consumers p s.id with
+              | [
+                  {
+                    id = vals;
+                    op = Op.Gather { data; positions };
+                  };
+                ]
+                when String.equal positions.Op.v s.id
+                     && single_attr ~store p data
+                     && sum_sinks p vals -> (
+                  let len = lengths ~store p in
+                  match len with
+                  | Some l
+                    when l data <> None && l data = l pred.Op.v ->
+                      Some (s.id, vals, data, pred)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    (stmts p)
+
+let predicate_selection ~store =
+  {
+    name = "predicate-selection";
+    descr =
+      "replace select-then-gather by branch-free predication (value × flag)";
+    apply =
+      (fun p ->
+        match match_branching_selection ~store p with
+        | None -> None
+        | Some (_pos, vals, data, pred) ->
+            Some
+              (replace_op p vals
+                 (Op.Binary
+                    {
+                      op = Op.Multiply;
+                      out = [ "val" ];
+                      left = { Op.v = data; kp = [] };
+                      right = pred;
+                    })));
+  }
+
+let select_then_gather ~store =
+  {
+    name = "select-then-gather";
+    descr =
+      "split a predicated sum into a position list plus a gathering loop";
+    apply =
+      (fun p ->
+        let site =
+          List.find_map
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.Binary { op = Op.Multiply; left; right; _ } ->
+                  let pick pred data =
+                    if
+                      is_comparison (op_of p pred.Op.v)
+                      && (not (is_comparison (op_of p data.Op.v)))
+                      && Keypath.equal data.Op.kp []
+                      && single_attr ~store p data.Op.v
+                      && sum_sinks p s.id
+                    then
+                      match lengths ~store p with
+                      | Some l
+                        when l data.Op.v <> None && l data.Op.v = l pred.Op.v
+                        ->
+                          Some (s.id, data.Op.v, pred)
+                      | _ -> None
+                    else None
+                  in
+                  (match pick right left with
+                  | Some r -> Some r
+                  | None -> pick left right)
+              | _ -> None)
+            (stmts p)
+        in
+        match site with
+        | None -> None
+        | Some (vp, data, pred) ->
+            let pos = fresh p "tune_pos" in
+            let p =
+              insert_before p vp
+                [
+                  {
+                    Program.id = pos;
+                    op =
+                      Op.FoldSelect
+                        { out = [ "val" ]; fold = None; input = pred };
+                  };
+                ]
+            in
+            Some
+              (replace_op p vp
+                 (Op.Gather { data; positions = { Op.v = pos; kp = [] } })));
+  }
+
+let vectorize_predicate =
+  {
+    name = "vectorize-predicate";
+    descr = "buffer the selection predicate in chunks before the position list";
+    apply =
+      (fun p ->
+        let site =
+          List.find_map
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.FoldSelect { fold = Some fkp; input; _ } -> (
+                  match op_of p input.Op.v with
+                  | Some (Op.Zip { out1; src1; out2; src2 })
+                    when Keypath.equal out1 fkp
+                         && Keypath.equal out2 input.Op.kp
+                         && is_comparison (op_of p src2.Op.v) ->
+                      Some (input.Op.v, src1, src2)
+                  | _ -> None)
+              | _ -> None)
+            (stmts p)
+        in
+        match site with
+        | None -> None
+        | Some (z, ctrl, pred) ->
+            let chunked = fresh p "tune_chunked" in
+            let p =
+              insert_before p z
+                [
+                  {
+                    Program.id = chunked;
+                    op =
+                      Op.Materialize
+                        { data = pred.Op.v; chunks = Some ctrl };
+                  };
+                ]
+            in
+            (match op_of p z with
+            | Some (Op.Zip zop) ->
+                Some
+                  (replace_op p z
+                     (Op.Zip
+                        {
+                          zop with
+                          src2 = { zop.src2 with Op.v = chunked };
+                        }))
+            | _ -> None));
+  }
+
+let scalarize_predicate =
+  {
+    name = "scalarize-predicate";
+    descr = "drop a chunked predicate materialization";
+    apply =
+      (fun p ->
+        List.find_map
+          (fun (s : Program.stmt) ->
+            match s.op with
+            | Op.Materialize { data; chunks = Some _ }
+              when consumers p s.id <> [] ->
+                Some (redirect p s.id data)
+            | _ -> None)
+          (stmts p));
+  }
+
+(* ---------- pipeline shape ---------- *)
+
+let fuse_pipeline =
+  {
+    name = "fuse-pipeline";
+    descr = "remove a Break hint, fusing the producer into its consumers";
+    apply =
+      (fun p ->
+        List.find_map
+          (fun (s : Program.stmt) ->
+            match s.op with
+            | Op.Break { data; _ } when consumers p s.id <> [] ->
+                Some (redirect p s.id data)
+            | _ -> None)
+          (stmts p));
+  }
+
+let break_pipeline =
+  {
+    name = "break-pipeline";
+    descr = "insert a Break after a Gather, splitting the traversal loops";
+    apply =
+      (fun p ->
+        let site =
+          List.find_opt
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.Gather _ ->
+                  let cs = consumers p s.id in
+                  cs <> []
+                  && List.for_all
+                       (fun (c : Program.stmt) ->
+                         match c.op with Op.Break _ -> false | _ -> true)
+                       cs
+              | _ -> false)
+            (stmts p)
+        in
+        match site with
+        | None -> None
+        | Some s ->
+            let brk = fresh p "tune_break" in
+            Some
+              (insert_after_redirect p s.id
+                 (brk, Op.Break { data = s.id; runs = None })));
+  }
+
+(* ---------- layout ---------- *)
+
+let layout_transform ~store =
+  {
+    name = "layout-transform";
+    descr = "materialize a multi-attribute vector row-major before a Gather";
+    apply =
+      (fun p ->
+        let multi_attr id =
+          match op_of p id with
+          | Some (Op.Load n) -> (
+              match Store.find store n with
+              | Some v -> List.length (Svector.keypaths v) >= 2
+              | None -> false)
+          | _ -> false
+        in
+        let site =
+          List.find_opt
+            (fun (s : Program.stmt) ->
+              match s.op with
+              | Op.Gather { data; _ } -> multi_attr data
+              | _ -> false)
+            (stmts p)
+        in
+        match site with
+        | Some { id = g; op = Op.Gather { data; positions } } ->
+            let rw = fresh p "tune_rowwise" in
+            let p =
+              insert_before p g
+                [
+                  {
+                    Program.id = rw;
+                    op = Op.Materialize { data; chunks = None };
+                  };
+                ]
+            in
+            Some (replace_op p g (Op.Gather { data = rw; positions }))
+        | _ -> None);
+  }
+
+let layout_direct =
+  {
+    name = "layout-direct";
+    descr = "gather straight from the original layout, skipping a Materialize";
+    apply =
+      (fun p ->
+        List.find_map
+          (fun (s : Program.stmt) ->
+            match s.op with
+            | Op.Materialize { data; chunks = None } ->
+                let cs = consumers p s.id in
+                if
+                  cs <> []
+                  && List.for_all
+                       (fun (c : Program.stmt) ->
+                         match c.op with
+                         | Op.Gather { data = d; _ } -> String.equal d s.id
+                         | _ -> false)
+                       cs
+                then Some (redirect p s.id data)
+                else None
+            | _ -> None)
+          (stmts p));
+  }
+
+(* ---------- the catalog ---------- *)
+
+let fuse_folds ~store = fuse_folds_with ~store ()
+let split_fold ~store n = split_fold_with ~store n
+
+let catalog ~store =
+  List.map regrain grain_ladder
+  @ [ fuse_folds_with ~store () ]
+  @ List.map (split_fold_with ~store) [ 4096; 16384 ]
+  @ [
+      predicate_selection ~store;
+      select_then_gather ~store;
+      vectorize_predicate;
+      scalarize_predicate;
+      fuse_pipeline;
+      break_pipeline;
+      layout_transform ~store;
+      layout_direct;
+    ]

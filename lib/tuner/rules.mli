@@ -1,0 +1,81 @@
+(** Semantics-preserving rewrite rules over Voodoo programs — the tunables
+    of paper Section 5.3, expressed as program transformations.
+
+    Each rule carries an applicability predicate folded into [apply]: it
+    returns [None] when the program contains no site the rule can rewrite,
+    and [Some p'] with exactly one site rewritten otherwise (repeated
+    application walks through further sites).  Rules never touch
+    [Persist] effects and never change the values of the statements the
+    caller declared as roots; interior statements they orphan are left for
+    a caller-side {!Voodoo_core.Optimize.dce} pass.
+
+    Exactness: every rule preserves results {e exactly} on integer data.
+    On floating-point data the partition-count and fusion rules regroup
+    additions, so results can differ in the last bits — the search layer
+    ({!Search}) therefore re-verifies every candidate's root vectors
+    against the baseline with {!Voodoo_vector.Svector.equal} and rejects
+    any that are not bit-identical. *)
+
+open Voodoo_core
+
+type t = {
+  name : string;  (** stable identifier, e.g. ["regrain-4096"] *)
+  descr : string;
+  apply : Program.t -> Program.t option;
+}
+
+(** The default grain ladder of the {!regrain} and {!split_fold} rules. *)
+val grain_ladder : int list
+
+(** [regrain n] re-derives the control vector of a hierarchical
+    controlled-fold pattern (Figure 3: [Range] / constant grain /
+    [Divide] / [Zip] / controlled [FoldAgg] / total [FoldAgg]) for a run
+    length of [n] — the paper's partition-count tunable. *)
+val regrain : int -> t
+
+(** Collapse the hierarchical pattern into one flat global fold. *)
+val fuse_folds : store:Store.t -> t
+
+(** [split_fold ~store n] is the inverse of {!fuse_folds}: turn a flat
+    global fold into the hierarchical pattern with run length [n]. *)
+val split_fold : store:Store.t -> int -> t
+
+(** Selection strategy: replace a branching [FoldSelect]+[Gather] pair
+    whose only consumers are sum reductions by branch-free predication
+    (value × flag), per Figures 1/15. *)
+val predicate_selection : store:Store.t -> t
+
+(** Inverse of {!predicate_selection}: split a predicated sum back into
+    select-then-gather. *)
+val select_then_gather : store:Store.t -> t
+
+(** Buffer a selection predicate in cache-sized chunks before the
+    position list ([Materialize] with a chunk control — X100-style
+    vectorization). *)
+val vectorize_predicate : t
+
+(** Remove a chunked predicate materialization (inverse of
+    {!vectorize_predicate}). *)
+val scalarize_predicate : t
+
+(** Remove a [Break] pipeline hint, fusing the producer into its
+    consumers' loop. *)
+val fuse_pipeline : t
+
+(** Insert a [Break] after a [Gather], splitting the traversal into
+    separate loops (Figure 14's "separate loops" shape). *)
+val break_pipeline : t
+
+(** Materialize a multi-attribute vector row-major before a [Gather]
+    (Figure 14's layout transform). *)
+val layout_transform : store:Store.t -> t
+
+(** Remove an unchunked [Materialize] feeding [Gather]s — gather straight
+    from the original layout (inverse of {!layout_transform}). *)
+val layout_direct : t
+
+(** The full catalog.  [store] supplies persistent-vector lengths and
+    schemas for the applicability predicates ({!Voodoo_core.Meta.infer}
+    length checks rule out [Zip]/[Binary] broadcast sites, where fusing
+    runs would not be value-preserving). *)
+val catalog : store:Store.t -> t list

@@ -1,0 +1,275 @@
+(** Hill-climbing search over the rewrite rules (see the interface). *)
+
+open Voodoo_vector
+open Voodoo_core
+module Backend = Voodoo_compiler.Backend
+module Codegen = Voodoo_compiler.Codegen
+module Exec = Voodoo_compiler.Exec
+module Explain = Voodoo_compiler.Explain
+module Config = Voodoo_device.Config
+module Cost = Voodoo_device.Cost
+
+type objective = Cost_model of Config.t | Wall_clock of { reps : int }
+
+type verdict = Improved | Measured | Pruned | Rejected | Failed of string
+
+type candidate = {
+  c_rules : string list;
+  c_round : int;
+  c_estimate_s : float;
+  c_score_s : float option;
+  c_verdict : verdict;
+}
+
+type report = {
+  baseline_s : float;
+  best_s : float;
+  best_rules : string list;
+  best_program : Program.t;
+  candidates : candidate list;
+  rounds : int;
+  seed : int;
+}
+
+let speedup r = if r.best_s > 0.0 then r.baseline_s /. r.best_s else 1.0
+
+let digest p =
+  Digest.to_hex (Digest.string (Marshal.to_string (Program.stmts p) []))
+
+(* Seeded deterministic shuffle (multiplicative LCG sort keys): candidate
+   order depends only on the seed, never on wall clock. *)
+let shuffle seed l =
+  let state = ref (((seed * 2654435761) + 104729) land max_int) in
+  let next () =
+    state := ((!state * 25214903917) + 11) land max_int;
+    !state
+  in
+  List.map (fun x -> (next (), x)) l
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let estimate_device = Config.cpu_simd
+
+(* Execute a compiled candidate under the objective; returns the result
+   (for verification) and its score in seconds. *)
+let execute ?budget objective (c : Backend.compiled) =
+  match objective with
+  | Cost_model device ->
+      let r =
+        Backend.run ?budget
+          ~exec:(Codegen.Closure { instrument = true; jobs = 1 })
+          c
+      in
+      (r, (Cost.total device r.Exec.kernels).Cost.total_s)
+  | Wall_clock { reps } ->
+      let best = ref infinity and res = ref None in
+      for _ = 1 to max 1 reps do
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Backend.run ?budget
+            ~exec:(Codegen.Closure { instrument = false; jobs = 1 })
+            c
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then begin
+          best := dt;
+          res := Some r
+        end
+      done;
+      (Option.get !res, !best)
+
+let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
+    ?(max_rounds = 4) ?(top_k = 3) ?(seed = 42) ?budget ?backend_opts ?rules
+    ?roots ~store program =
+  let opts = Option.value backend_opts ~default:Codegen.default_options in
+  let rules = match rules with Some r -> r | None -> Rules.catalog ~store in
+  let roots =
+    match roots with Some r -> r | None -> Program.outputs program
+  in
+  (* keep Persist effects alive through caller-side DCE *)
+  let keep_roots =
+    roots
+    @ List.filter_map
+        (fun (s : Program.stmt) ->
+          match s.op with Op.Persist _ -> Some s.id | _ -> None)
+        (Program.stmts program)
+  in
+  let t0 = Unix.gettimeofday () in
+  let over_budget () = (Unix.gettimeofday () -. t0) *. 1000.0 > budget_ms in
+  Trace.with_span trace "tune" (fun () ->
+      (* baseline: measured through the same pipeline as every candidate *)
+      let base_compiled = Backend.compile ~options:opts ~store program in
+      let base_run, baseline_s =
+        Trace.with_span trace "tune:candidate"
+          ~attrs:[ ("rule", "baseline") ]
+          (fun () -> execute ?budget objective base_compiled)
+      in
+      let base_roots =
+        List.map (fun id -> (id, Exec.output base_run id)) roots
+      in
+      let verify r =
+        List.for_all
+          (fun (id, v0) ->
+            match Exec.output r id with
+            | v -> Svector.equal v0 v
+            | exception _ -> false)
+          base_roots
+      in
+      let seen = Hashtbl.create 64 in
+      Hashtbl.replace seen (digest program) ();
+      let candidates = ref [] in
+      let record c = candidates := c :: !candidates in
+      let current = ref program in
+      let current_rules = ref [] in
+      let current_score = ref baseline_s in
+      let rounds = ref 0 in
+      (try
+         for round = 1 to max_rounds do
+           if over_budget () then raise Exit;
+           rounds := round;
+           (* neighbors: one rule application each, deduplicated *)
+           let neighbors =
+             List.filter_map
+               (fun (r : Rules.t) ->
+                 match r.Rules.apply !current with
+                 | None -> None
+                 | exception _ -> None
+                 | Some p' -> (
+                     match Optimize.dce ~roots:keep_roots p' with
+                     | p' ->
+                         let dg = digest p' in
+                         if Hashtbl.mem seen dg then None
+                         else begin
+                           Hashtbl.replace seen dg ();
+                           Some (r.Rules.name, p')
+                         end
+                     | exception _ -> None))
+               rules
+           in
+           let neighbors = shuffle (seed + round) neighbors in
+           (* static pruning on Explain's estimates *)
+           let priced =
+             List.filter_map
+               (fun (name, p') ->
+                 let chain = !current_rules @ [ name ] in
+                 match Backend.compile ~options:opts ~store p' with
+                 | c ->
+                     let est =
+                       (Cost.total estimate_device
+                          (Explain.estimate c.Backend.plan))
+                         .Cost.total_s
+                     in
+                     Some (name, chain, p', c, est)
+                 | exception e ->
+                     record
+                       {
+                         c_rules = chain;
+                         c_round = round;
+                         c_estimate_s = nan;
+                         c_score_s = None;
+                         c_verdict = Failed (Printexc.to_string e);
+                       };
+                     None)
+               neighbors
+           in
+           let ranked =
+             List.stable_sort
+               (fun (_, _, _, _, a) (_, _, _, _, b) -> Float.compare a b)
+               priced
+           in
+           let rec split k = function
+             | [] -> ([], [])
+             | x :: rest when k > 0 ->
+                 let keep, drop = split (k - 1) rest in
+                 (x :: keep, drop)
+             | rest -> ([], rest)
+           in
+           let keep, drop = split top_k ranked in
+           List.iter
+             (fun (_, chain, _, _, est) ->
+               record
+                 {
+                   c_rules = chain;
+                   c_round = round;
+                   c_estimate_s = est;
+                   c_score_s = None;
+                   c_verdict = Pruned;
+                 })
+             drop;
+           (* measure the survivors *)
+           let best_move = ref None in
+           List.iter
+             (fun (name, chain, p', c, est) ->
+               if over_budget () then
+                 record
+                   {
+                     c_rules = chain;
+                     c_round = round;
+                     c_estimate_s = est;
+                     c_score_s = None;
+                     c_verdict = Failed "search budget exhausted";
+                   }
+               else
+                 match
+                   Trace.with_span trace "tune:candidate"
+                     ~attrs:
+                       [ ("rule", name); ("round", string_of_int round) ]
+                     (fun () -> execute ?budget objective c)
+                 with
+                 | exception e ->
+                     record
+                       {
+                         c_rules = chain;
+                         c_round = round;
+                         c_estimate_s = est;
+                         c_score_s = None;
+                         c_verdict = Failed (Printexc.to_string e);
+                       }
+                 | r, score ->
+                     if not (verify r) then
+                       record
+                         {
+                           c_rules = chain;
+                           c_round = round;
+                           c_estimate_s = est;
+                           c_score_s = Some score;
+                           c_verdict = Rejected;
+                         }
+                     else begin
+                       let improves =
+                         score < !current_score *. 0.999
+                         &&
+                         match !best_move with
+                         | Some (_, _, s) -> score < s
+                         | None -> true
+                       in
+                       record
+                         {
+                           c_rules = chain;
+                           c_round = round;
+                           c_estimate_s = est;
+                           c_score_s = Some score;
+                           c_verdict = (if improves then Improved else Measured);
+                         };
+                       if improves then best_move := Some (chain, p', score)
+                     end)
+             keep;
+           match !best_move with
+           | Some (chain, p', score) ->
+               current := p';
+               current_rules := chain;
+               current_score := score
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      Trace.count trace "tune.candidates"
+        (float_of_int (List.length !candidates));
+      {
+        baseline_s;
+        best_s = !current_score;
+        best_rules = !current_rules;
+        best_program = !current;
+        candidates = List.rev !candidates;
+        rounds = !rounds;
+        seed;
+      })

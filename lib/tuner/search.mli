@@ -1,0 +1,75 @@
+(** Hill-climbing search over the rewrite-rule catalog.
+
+    Each round applies every applicable rule to the current program,
+    prunes the neighbors on {!Voodoo_compiler.Explain}'s static cost
+    estimates, then {e measures} the survivors by executing them — either
+    pricing the deterministic simulated event counters on a device model
+    (the default, making the whole search reproducible) or timing raw
+    wall clock.  Every measured candidate's root vectors are compared
+    bit-for-bit against the baseline run ({!Voodoo_vector.Svector.equal});
+    candidates that differ — e.g. a float summation whose regrouping
+    changed the last bits — are {e rejected}, so the selected variant is
+    bit-identical to the untuned plan by construction.
+
+    Candidate enumeration order is shuffled by a seeded deterministic
+    generator: for a fixed seed (and the event-count objective) two runs
+    produce the same candidates, scores and winner.  [budget_ms] is a
+    hard wall-clock stop for the whole search; [budget] additionally caps
+    each candidate execution's resources
+    ({!Voodoo_core.Budget.Exceeded} fails just that candidate). *)
+
+open Voodoo_core
+
+type objective =
+  | Cost_model of Voodoo_device.Config.t
+      (** run instrumented, price {!Voodoo_device.Events} totals on the
+          device model — deterministic *)
+  | Wall_clock of { reps : int }  (** best-of-[reps] raw wall clock *)
+
+type verdict =
+  | Improved  (** measured, became the new incumbent *)
+  | Measured  (** measured and verified, but no improvement *)
+  | Pruned  (** dropped on the static estimate, never executed *)
+  | Rejected  (** executed, but roots not bit-identical to baseline *)
+  | Failed of string  (** compile or execution error *)
+
+type candidate = {
+  c_rules : string list;  (** rule chain from the baseline *)
+  c_round : int;
+  c_estimate_s : float;  (** static cost estimate (model seconds) *)
+  c_score_s : float option;  (** measured objective, when executed *)
+  c_verdict : verdict;
+}
+
+type report = {
+  baseline_s : float;  (** measured objective of the untuned program *)
+  best_s : float;
+  best_rules : string list;  (** [] when the baseline won *)
+  best_program : Program.t;
+  candidates : candidate list;  (** in examination order *)
+  rounds : int;
+  seed : int;
+}
+
+val speedup : report -> float
+
+(** [run ~store program] tunes [program].  [roots] (default: the
+    program's outputs) are the statements whose vectors must stay
+    bit-identical; they are preserved through every rewrite and verified
+    on every measurement.  [rules] defaults to
+    {!Rules.catalog}[ ~store].  With a trace, the search runs under a
+    ["tune"] span with one ["tune:candidate"] child per measurement. *)
+val run :
+  ?trace:Trace.t ->
+  ?objective:objective ->
+  ?budget_ms:float ->
+  ?max_rounds:int ->
+  ?top_k:int ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  ?backend_opts:Voodoo_compiler.Codegen.options ->
+  ?rules:Rules.t list ->
+  ?roots:Op.id list ->
+  store:Store.t ->
+  Program.t ->
+  report

@@ -17,6 +17,9 @@ type genop =
   | G_bin of int * int * int  (** binop index, operand picks *)
   | G_fold of int * int  (** agg index, operand *)
   | G_fold_div of int * int * int  (** agg, operand, partition size *)
+  | G_fold_hier of int * int * int
+      (** agg, operand, partition size: full two-level controlled fold
+          (partial runs then a flat total), the shape the tuner regrains *)
   | G_select of int * int  (** operand, threshold *)
   | G_scan of int
   | G_gather of int * int  (** data, positions *)
@@ -45,6 +48,10 @@ let gen_genop =
         ( 3,
           map3
             (fun a b c -> G_fold_div (a, b, 1 + c))
+            (int_bound 3) (int_bound 20) (int_bound 9) );
+        ( 2,
+          map3
+            (fun a b c -> G_fold_hier (a, b, 1 + c))
             (int_bound 3) (int_bound 20) (int_bound 9) );
         (3, map2 (fun a b -> G_select (a, b)) (int_bound 20) (int_bound 30));
         (2, map (fun a -> G_scan a) (int_bound 20));
@@ -100,6 +107,15 @@ let build choices : Program.t =
           let part = divide b ids (const_int b psize) in
           let z = zip b ~out1:[ "v" ] ~out2:[ "f" ] (v, []) (part, []) in
           push (fold_agg b agg ~fold:[ "f" ] (z, [ "v" ]))
+      | G_fold_hier (a, x, psize) ->
+          let agg = List.nth [ Op.Sum; Op.Max; Op.Min; Op.Count ] (a mod 4) in
+          let v = pick x in
+          let ids = range b (Of_vector v) in
+          let part = divide b ids (const_int b psize) in
+          let z = zip b ~out1:[ "v" ] ~out2:[ "f" ] (v, []) (part, []) in
+          let partial = fold_agg b agg ~fold:[ "f" ] (z, [ "v" ]) in
+          let tagg = if agg = Op.Count then Op.Sum else agg in
+          push (fold_agg b tagg (partial, []))
       | G_select (x, cut) ->
           let v = pick x in
           let pred = greater b v (const_int b cut) in

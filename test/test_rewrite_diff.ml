@@ -1,0 +1,139 @@
+(* Randomized differential testing of the rewrite layers.
+
+   Every layer that rewrites a Voodoo program — the optimizer pipeline
+   (const-fold + CSE + DCE) and the tuner's rule catalog — must never
+   change what the program computes.  Programs come from the shared
+   generator over an integer-only store, which keeps every fold
+   regrouping exact, so all comparisons are bit-identical
+   [Svector.equal] under the interpreter (an oracle independent of the
+   compiled backend the tuner's own verification uses).
+
+   The fold-shape rules (regrain / fuse / split) are value-exact at every
+   statement they touch, so they must preserve *all* program outputs.
+   Strategy rules (selection, layout, pipeline breaks) only contract to
+   preserve the search roots — those are exercised through [Search.run]
+   itself, whose winner must agree with the untuned program on every
+   root under the interpreter. *)
+
+module Gen = Test_support.Gen
+module Interp = Voodoo_interp.Interp
+module Optimize = Voodoo_core.Optimize
+module Program = Voodoo_core.Program
+module Pretty = Voodoo_core.Pretty
+module Svector = Voodoo_vector.Svector
+module Rules = Voodoo_tuner.Rules
+module Search = Voodoo_tuner.Search
+
+let resolve subst id =
+  match List.assoc_opt id subst with Some id' -> id' | None -> id
+
+let prop_optimize_default =
+  QCheck.Test.make
+    ~name:"const-fold + CSE + DCE preserve interpreter outputs" ~count:300
+    (QCheck.make (Gen.gen_choices ()))
+    (fun choices ->
+      let p = Gen.build choices in
+      let store = Gen.store () in
+      match Interp.run store p with
+      | exception Division_by_zero -> QCheck.assume_fail ()
+      | env ->
+          let p', subst = Optimize.default_with_subst p in
+          let env' = Interp.run store p' in
+          List.for_all
+            (fun id ->
+              let before = Hashtbl.find env id in
+              match Hashtbl.find_opt env' (resolve subst id) with
+              | None ->
+                  QCheck.Test.fail_reportf "output %s dropped by optimize:@.%s"
+                    id (Pretty.program_to_string p)
+              | Some after ->
+                  Svector.equal before after
+                  || QCheck.Test.fail_reportf
+                       "output %s changed by optimize:@.%s" id
+                       (Pretty.program_to_string p))
+            (Program.outputs p))
+
+let prop_fold_rules_exact =
+  QCheck.Test.make
+    ~name:"fold-shape tuner rules preserve every output" ~count:200
+    (QCheck.make (Gen.gen_choices ()))
+    (fun choices ->
+      let p = Gen.build choices in
+      let store = Gen.store () in
+      match Interp.run store p with
+      | exception Division_by_zero -> QCheck.assume_fail ()
+      | env ->
+          let rules =
+            [
+              Rules.regrain 8;
+              Rules.regrain 1024;
+              Rules.fuse_folds ~store;
+              (* the generator's store holds 64 rows, so a 16-row grain is
+                 the only split that can ever apply *)
+              Rules.split_fold ~store 16;
+            ]
+          in
+          List.for_all
+            (fun (r : Rules.t) ->
+              match r.Rules.apply p with
+              | None -> true
+              | Some p' ->
+                  let env' = Interp.run store p' in
+                  List.for_all
+                    (fun id ->
+                      match Hashtbl.find_opt env' id with
+                      | None ->
+                          QCheck.Test.fail_reportf
+                            "rule %s dropped output %s:@.%s" r.Rules.name id
+                            (Pretty.program_to_string p)
+                      | Some after ->
+                          Svector.equal (Hashtbl.find env id) after
+                          || QCheck.Test.fail_reportf
+                               "rule %s changed output %s:@.before:@.%s@.after:@.%s"
+                               r.Rules.name id
+                               (Pretty.program_to_string p)
+                               (Pretty.program_to_string p'))
+                    (Program.outputs p))
+            rules)
+
+(* The whole catalog, through the search front door: whatever chain of
+   rewrites wins, the winner must agree with the untuned program on every
+   root — checked here on the interpreter, independently of the search's
+   own compiled-backend verification. *)
+let prop_search_winner_exact =
+  QCheck.Test.make
+    ~name:"search winner interp-identical on all roots" ~count:40
+    (QCheck.make (Gen.gen_choices ~max_len:8 ()))
+    (fun choices ->
+      let p = Gen.build choices in
+      let store = Gen.store () in
+      match Interp.run store p with
+      | exception Division_by_zero -> QCheck.assume_fail ()
+      | env ->
+          let roots = Program.outputs p in
+          let r =
+            Search.run ~seed:1 ~budget_ms:5000.0 ~max_rounds:2 ~top_k:2 ~roots
+              ~store p
+          in
+          let env' = Interp.run store r.Search.best_program in
+          List.for_all
+            (fun id ->
+              Svector.equal (Hashtbl.find env id) (Hashtbl.find env' id)
+              || QCheck.Test.fail_reportf
+                   "winner [%s] changed root %s:@.%s"
+                   (String.concat "+" r.Search.best_rules)
+                   id
+                   (Pretty.program_to_string p))
+            roots)
+
+let () =
+  Alcotest.run "rewrite-diff"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_optimize_default;
+            prop_fold_rules_exact;
+            prop_search_winner_exact;
+          ] );
+    ]

@@ -115,6 +115,52 @@ let test_plan_key_discrimination () =
             (Svc.plan_key t1 ~generation:g plan1
             <> Svc.plan_key t1 ~generation:(g + 1) plan1)))
 
+(* The key must also cover execution and tuning dimensions: two services
+   differing only in [jobs] or engine mode must not share prepared plans,
+   and a tuned variant must never collide with its untuned base. *)
+let test_plan_key_exec_and_variant () =
+  with_service (fun t1 ->
+      with_service ~config:{ base_config with Svc.jobs = 4 } (fun t_jobs ->
+          with_service
+            ~config:
+              {
+                base_config with
+                Svc.engine =
+                  Svc.Resilient Voodoo_engine.Resilient.strict_policy;
+              }
+            (fun t_res ->
+              let entry = Catalogs.get registry ~sf () in
+              let g = entry.Catalogs.generation in
+              let plan = Sql.plan entry.Catalogs.cat "select count(*) from region" in
+              let k = Svc.plan_key t1 ~generation:g plan in
+              Alcotest.(check bool) "different jobs differ" true
+                (k <> Svc.plan_key t_jobs ~generation:g plan);
+              Alcotest.(check bool) "different engine mode differs" true
+                (k <> Svc.plan_key t_res ~generation:g plan);
+              Alcotest.(check string) "explicit base variant is the default" k
+                (Svc.plan_key ~variant:"base" t1 ~generation:g plan);
+              Alcotest.(check bool) "tuned variant never collides" true
+                (k <> Svc.plan_key ~variant:"tuned" t1 ~generation:g plan))))
+
+let test_plan_cache_replace () =
+  let cache = Plan_cache.create ~capacity:2 in
+  let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let p1 = E.prepare cat (Sql.plan cat "select count(*) from region") in
+  let p2 = E.prepare cat (Sql.plan cat "select count(*) from nation") in
+  Plan_cache.add cache "k" p1;
+  Plan_cache.add cache "k" p2;
+  (match Plan_cache.find cache "k" with
+  | Some p -> Alcotest.(check bool) "add keeps the incumbent" true (p == p1)
+  | None -> Alcotest.fail "entry vanished");
+  Plan_cache.replace cache "k" p2;
+  (match Plan_cache.find cache "k" with
+  | Some p -> Alcotest.(check bool) "replace repoints" true (p == p2)
+  | None -> Alcotest.fail "entry vanished after replace");
+  (* replace also inserts fresh, evicting at capacity like add *)
+  Plan_cache.replace cache "k2" p1;
+  Plan_cache.replace cache "k3" p1;
+  Alcotest.(check int) "capacity held" 2 (Plan_cache.stats cache).Plan_cache.entries
+
 let test_plan_cache_lru_eviction () =
   with_service
     ~config:{ base_config with Svc.plan_cache_capacity = 2 }
@@ -175,6 +221,55 @@ let test_prepared_survives_catalog_swap () =
       let r2 = ok (Svc.exec t s "n") in
       Alcotest.(check bool) "same rows across generations" true
         (Reference.rows_equal r1 r2))
+
+(* ---- online retuning ---- *)
+
+(* End-to-end: cross the execution threshold, wait for the background
+   search to finish, and require identical answers before and after any
+   repointing — plus the latch (one search per plan) and the STATS keys. *)
+let test_online_retune () =
+  with_service
+    ~config:
+      { base_config with Svc.tune_after = Some 2; tune_budget_ms = 10_000.0 }
+    (fun t ->
+      let s = Svc.open_session t in
+      let text =
+        "select sum(l_extendedprice) from lineitem where l_quantity <= 25"
+      in
+      let before = ok (Svc.sql t s text) in
+      ignore (ok (Svc.sql t s text));
+      (* the second execution crossed the threshold; wait out the search *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let rec wait () =
+        let st = Svc.stats t in
+        if st.Svc.tune_completed >= 1 then st
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "background tune never completed"
+        else begin
+          Unix.sleepf 0.02;
+          wait ()
+        end
+      in
+      let st = wait () in
+      Alcotest.(check int) "one search scheduled" 1 st.Svc.tune_scheduled;
+      Alcotest.(check bool) "candidates considered" true
+        (st.Svc.tune_candidates >= 1);
+      (* executions after the repointing window answer identically *)
+      let after = ok (Svc.sql t s text) in
+      Alcotest.(check bool) "rows identical across retuning" true
+        (compare before after = 0);
+      (* more traffic must not schedule a second search for this plan *)
+      ignore (ok (Svc.sql t s text));
+      ignore (ok (Svc.sql t s text));
+      let st' = Svc.stats t in
+      Alcotest.(check int) "search latched" 1 st'.Svc.tune_scheduled;
+      let fields = List.map fst (Svc.stats_fields st') in
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " present") true (List.mem k fields))
+        [
+          "tune.scheduled"; "tune.completed"; "tune.candidates";
+          "tune.rejected"; "tune.repointed";
+        ])
 
 (* ---- admission control & budgets ---- *)
 
@@ -405,9 +500,16 @@ let () =
             test_warm_sql_skips_lower_compile;
           Alcotest.test_case "re-prepare hits" `Quick test_reprepare_hits_plan_cache;
           Alcotest.test_case "key discrimination" `Quick test_plan_key_discrimination;
+          Alcotest.test_case "key covers exec mode and variant" `Quick
+            test_plan_key_exec_and_variant;
+          Alcotest.test_case "replace repoints, add keeps" `Quick
+            test_plan_cache_replace;
           Alcotest.test_case "LRU eviction at capacity" `Quick
             test_plan_cache_lru_eviction;
         ] );
+      ( "tuning",
+        [ Alcotest.test_case "online retune end-to-end" `Quick test_online_retune ]
+      );
       ( "result-cache",
         [
           Alcotest.test_case "hit then invalidate on swap" `Quick

@@ -1,12 +1,24 @@
-(* Tests for the cost-based strategy chooser (the paper's future-work
-   optimizer): all strategies agree on answers, costs are positive and
-   ordered, and device-dependent choices actually occur on a workload
-   built to discriminate. *)
+(* Tests for both tuning layers.
+
+   Part 1 — the cost-based lowering-strategy chooser
+   ([Voodoo_engine.Tuner]): all strategies agree on answers, costs are
+   positive and ordered, and device-dependent choices actually occur on a
+   workload built to discriminate.
+
+   Part 2 — the adaptive program tuner ([Voodoo_tuner]): every selected
+   variant is bit-identical to the untuned plan across all 14 TPC-H
+   queries and the three micro families, the search is deterministic for
+   a fixed seed, and individual rules rewrite the shapes they claim. *)
 
 open Voodoo_relational
 open Voodoo_device
 module E = Voodoo_engine.Engine
 module Tuner = Voodoo_engine.Tuner
+module Micro = Voodoo_benchkit.Micro
+module Workloads = Voodoo_benchkit.Workloads
+module Rules = Voodoo_tuner.Rules
+module Search = Voodoo_tuner.Search
+module Plan_tune = Voodoo_tuner.Plan_tune
 
 let check = Alcotest.(check bool)
 
@@ -74,6 +86,159 @@ let test_device_dependent_choice () =
   in
   check "rankings differ somewhere" true (differs (mk 25) || differs (mk 2))
 
+(* ---------- part 2: the adaptive program tuner ---------- *)
+
+let n_micro = 1 lsl 14
+
+let selection_store =
+  lazy (Micro.selection_store (Workloads.selection_input ~n:n_micro ~seed:11))
+
+let layout_store =
+  lazy
+    (let c1, c2 = Workloads.target_table ~rows:n_micro ~seed:12 in
+     let positions =
+       Workloads.positions ~n:(n_micro / 4) ~target_rows:n_micro
+         ~access:Workloads.Random ~seed:13
+     in
+     Micro.layout_store ~positions ~c1 ~c2)
+
+let fold_store =
+  lazy
+    (Micro.fold_store
+       (Array.init n_micro (fun i -> ((i * 37) mod 101) - (i mod 7))))
+
+(* Tune a micro program and require: the winner verified bit-identical
+   (enforced by the search itself — re-checked here by executing both),
+   and never slower than the baseline under the search's own objective. *)
+let tune_micro ~store (program, total) =
+  let r =
+    Search.run ~seed:5 ~budget_ms:60_000.0 ~max_rounds:4 ~top_k:4
+      ~roots:[ total ] ~store program
+  in
+  check "tuned never worse than baseline" true (r.Search.best_s <= r.Search.baseline_s);
+  let exec p =
+    let c = Voodoo_compiler.Backend.compile ~store p in
+    let run = Voodoo_compiler.Backend.run c in
+    Voodoo_compiler.Exec.output run total
+  in
+  check "winner bit-identical to baseline" true
+    (Voodoo_vector.Svector.equal (exec program) (exec r.Search.best_program));
+  r
+
+let test_micro_selection () =
+  let store = Lazy.force selection_store in
+  ignore (tune_micro ~store (Micro.select_branching_program ~cut:95.0 ()))
+
+let test_micro_layout () =
+  let store = Lazy.force layout_store in
+  ignore (tune_micro ~store (Micro.layout_transform_program ()))
+
+let test_micro_fold () =
+  let store = Lazy.force fold_store in
+  let r = tune_micro ~store (Micro.fold_partition_program ~grain:64 ()) in
+  (* integer data keeps partition rewrites exact, so something must win *)
+  check "fold family improved" true (r.Search.best_rules <> [])
+
+let test_deterministic () =
+  let store = Lazy.force selection_store in
+  let program, total = Micro.select_branching_program ~cut:50.0 () in
+  let once () =
+    let r =
+      Search.run ~seed:9 ~budget_ms:60_000.0 ~roots:[ total ] ~store program
+    in
+    ( r.Search.best_rules,
+      r.Search.best_s,
+      List.map
+        (fun c -> (c.Search.c_rules, c.Search.c_score_s, c.Search.c_verdict))
+        r.Search.candidates )
+  in
+  check "same seed, same search" true (once () = once ())
+
+(* Every tuner-selected variant returns bit-identical rows to the untuned
+   plan, across all 14 TPC-H queries (every phase of multi-phase queries
+   is tuned; later phases consume tuned results). *)
+let test_tpch_bit_identical () =
+  let cat = Lazy.force catalog in
+  List.iter
+    (fun name ->
+      let q = Option.get (Voodoo_tpch.Queries.find ~sf:0.003 name) in
+      let eval c p =
+        let prep = E.prepare c p in
+        let tuned, report =
+          Plan_tune.tune_prepared ~seed:3 ~budget_ms:60_000.0 ~max_rounds:2
+            ~top_k:2 c prep
+        in
+        let base_rows = E.run_prepared c prep in
+        let tuned_rows = E.run_prepared c tuned in
+        check
+          (Printf.sprintf "%s: tuned rows bit-identical (%d candidates)" name
+             (List.length report.Search.candidates))
+          true
+          (compare base_rows tuned_rows = 0);
+        tuned_rows
+      in
+      ignore (q.run eval cat))
+    Voodoo_tpch.Queries.cpu_figure13
+
+(* ---------- part 2b: individual rules ---------- *)
+
+let interp_total store p total =
+  Voodoo_interp.Interp.eval store p total
+
+let apply_exn (r : Rules.t) p =
+  match r.Rules.apply p with
+  | Some p' -> p'
+  | None -> Alcotest.failf "rule %s did not apply" r.Rules.name
+
+let test_rule_fuse_folds () =
+  let store = Lazy.force fold_store in
+  let p, total = Micro.fold_partition_program () in
+  let p' = apply_exn (Rules.fuse_folds ~store) p in
+  check "fused result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store p total)
+       (interp_total store p' total))
+
+let test_rule_predicate_selection () =
+  let store = Lazy.force selection_store in
+  let p, total = Micro.select_branching_program ~cut:50.0 () in
+  let p' = apply_exn (Rules.predicate_selection ~store) p in
+  check "predicated result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store p total)
+       (interp_total store p' total));
+  (* and the inverse direction applies to the predicated shape *)
+  let q, qtotal = Micro.select_predicated_program ~cut:50.0 () in
+  let q' = apply_exn (Rules.select_then_gather ~store) q in
+  check "re-branched result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store q qtotal)
+       (interp_total store q' qtotal))
+
+let test_rule_layout () =
+  let store = Lazy.force layout_store in
+  let p, total = Micro.layout_transform_program () in
+  let p' = apply_exn Rules.layout_direct p in
+  check "direct layout result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store p total)
+       (interp_total store p' total));
+  let q, qtotal = Micro.layout_single_loop_program () in
+  let q' = apply_exn (Rules.layout_transform ~store) q in
+  check "transformed layout result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store q qtotal)
+       (interp_total store q' qtotal))
+
+let test_rule_regrain () =
+  let store = Lazy.force fold_store in
+  let p, total = Micro.fold_partition_program ~grain:64 () in
+  let p' = apply_exn (Rules.regrain 4096) p in
+  check "regrained result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store p total)
+       (interp_total store p' total));
+  (* a flat fold splits back into the hierarchical shape *)
+  let q = apply_exn (Rules.fuse_folds ~store) p in
+  let q' = apply_exn (Rules.split_fold ~store 4096) q in
+  check "split result equal" true
+    (Voodoo_vector.Svector.equal (interp_total store q total)
+       (interp_total store q' total))
+
 let () =
   Alcotest.run "tuner"
     [
@@ -83,5 +248,20 @@ let () =
           Alcotest.test_case "answers preserved" `Quick test_choice_agrees_with_reference;
           Alcotest.test_case "mid selectivity" `Quick test_mid_selectivity_prefers_branch_free;
           Alcotest.test_case "device dependent" `Quick test_device_dependent_choice;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "micro selection" `Quick test_micro_selection;
+          Alcotest.test_case "micro layout" `Quick test_micro_layout;
+          Alcotest.test_case "micro fold partitioning" `Quick test_micro_fold;
+          Alcotest.test_case "deterministic for fixed seed" `Quick test_deterministic;
+          Alcotest.test_case "TPC-H bit-identical" `Slow test_tpch_bit_identical;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "fuse folds" `Quick test_rule_fuse_folds;
+          Alcotest.test_case "selection strategy" `Quick test_rule_predicate_selection;
+          Alcotest.test_case "layout" `Quick test_rule_layout;
+          Alcotest.test_case "regrain and split" `Quick test_rule_regrain;
         ] );
     ]
