@@ -1,4 +1,4 @@
-.PHONY: all build test check clean bench-exec bench-tune
+.PHONY: all build test check chaos-smoke clean bench-exec bench-tune
 
 all: build
 
@@ -9,9 +9,16 @@ test:
 	dune runtest
 
 # CI-style gate: builds every target (libraries, bin/, examples/, bench/)
-# and runs the full test suite. Equivalent to `dune build @check`.
+# and runs the full test suite, including the seeded chaos soak.
+# Equivalent to `dune build @check`.
 check:
 	dune build @check
+
+# Short seeded chaos soak on its own: all 14 TPC-H queries through a
+# fault-injecting socket proxy (drops, stalls, garbage, mid-response
+# kills) with retrying clients and post-chaos leak checks.
+chaos-smoke:
+	dune exec test/test_chaos.exe -- -e
 
 # Executor-mode wall clock: tree walk vs closures vs domain-parallel
 # chunks, over all 14 TPC-H queries -> BENCH_exec.json.

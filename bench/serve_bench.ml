@@ -2,15 +2,21 @@
     queries/sec through the in-process service front door, cold (every
     plan parsed, lowered and compiled) versus plan-cache-warm (compile
     skipped), result-cache hit rates on repeated traffic, and the
-    shed-request count when a burst overruns admission control.  Results
-    go to [BENCH_serve.json] under the common {!Voodoo_benchkit.Envelope};
-    [--smoke] shrinks the burst and skips the file. *)
+    shed-request count when a burst overruns admission control — plus the
+    robustness counters: deadline expiries, client retries/hedges through
+    a seeded chaos proxy, and the server's drain/reap/reject totals.
+    Results go to [BENCH_serve.json] under the common
+    {!Voodoo_benchkit.Envelope}; [--smoke] shrinks the sizes but still
+    writes the file (the counters are the cheap part). *)
 
 module Svc = Voodoo_service.Service
 module Catalogs = Voodoo_service.Catalogs
 module Pool = Voodoo_service.Pool
 module Plan_cache = Voodoo_service.Plan_cache
 module Result_cache = Voodoo_service.Result_cache
+module Server = Voodoo_service.Server
+module Chaos = Voodoo_service.Chaos
+module Protocol = Voodoo_service.Protocol
 module Q = Voodoo_tpch.Queries
 module Envelope = Voodoo_benchkit.Envelope
 
@@ -93,21 +99,118 @@ let run ?(smoke = false) () =
   let pool = (Svc.stats over_svc).Svc.pool in
   Svc.shutdown over_svc;
 
-  if not smoke then
-    Envelope.write ~suite:"serve" ~reps:1 ~file:"BENCH_serve.json" (fun oc ->
+  (* -- deadlines: requests with an already-expired deadline must all be
+     answered with a typed Resource error, and a generous deadline must
+     not perturb clean traffic -- *)
+  let dl_svc =
+    Svc.create ~registry
+      { Svc.default_config with Svc.sf; workers = 2; result_cache_bytes = 0 }
+  in
+  let ds = Svc.open_session dl_svc in
+  let expired = if smoke then 4 else 20 in
+  let expired_errors =
+    List.length
+      (List.filter
+         (fun r -> Result.is_error r)
+         (List.init expired (fun _ -> Svc.query ~timeout_ms:0.0 dl_svc ds "Q6")))
+  in
+  let (), generous_s =
+    time (fun () ->
+        List.iter
+          (fun name -> ignore (Svc.query ~timeout_ms:60_000.0 dl_svc ds name))
+          names)
+  in
+  let dl_stats = Svc.stats dl_svc in
+  Svc.shutdown dl_svc;
+
+  (* -- retries and drain through a real socket: the client retries
+     across a chaos proxy injecting drops/stalls/garbage/kills, then the
+     server is stopped with a request in flight so the drain path runs -- *)
+  let sock_dir = Filename.get_temp_dir_name () in
+  let upstream_path =
+    Filename.concat sock_dir (Printf.sprintf "voodoo_bench_up_%d.sock" (Unix.getpid ()))
+  in
+  let chaos_path =
+    Filename.concat sock_dir (Printf.sprintf "voodoo_bench_px_%d.sock" (Unix.getpid ()))
+  in
+  let net_svc =
+    Svc.create ~registry { Svc.default_config with Svc.sf; workers = 2 }
+  in
+  let server =
+    Server.start ~service:net_svc (Server.Unix_socket upstream_path)
+  in
+  let chaos =
+    Chaos.start ~seed:42 ~stall_ms:50.0
+      ~upstream:(Server.Unix_socket upstream_path)
+      ~listen:(Server.Unix_socket chaos_path) ()
+  in
+  let chaos_names = if smoke then [ "Q1"; "Q6"; "Q14" ] else names in
+  let call_totals = ref Server.Client.no_calls in
+  let chaos_answered =
+    List.fold_left
+      (fun acc name ->
+        let r, s =
+          Server.Client.call ~timeout_ms:2_000.0 ~retries:10 ~backoff_ms:2.0
+            ~seed:7
+            (Server.Unix_socket chaos_path)
+            (Protocol.Query name)
+        in
+        call_totals := Server.Client.merge_stats !call_totals s;
+        match r with Ok (Protocol.Rows _) -> acc + 1 | _ -> acc)
+      0 chaos_names
+  in
+  let chaos_stats = Chaos.stats chaos in
+  Chaos.stop chaos;
+  (* leave one request in flight, then stop with a tiny drain window so
+     the cooperative-cancellation path is exercised *)
+  (try
+     let conn =
+       Server.Client.connect ~retries:40 (Server.Unix_socket upstream_path)
+     in
+     let slow =
+       Thread.create
+         (fun () ->
+           ignore (Server.Client.request conn (Protocol.Query "Q9")))
+         ()
+     in
+     Thread.delay 0.005;
+     Server.stop ~drain_ms:1.0 server;
+     Thread.join slow;
+     Server.Client.close conn
+   with _ -> Server.stop server);
+  let server_stats = Server.stats server in
+  let net_stats = Svc.stats net_svc in
+  Svc.shutdown net_svc;
+
+  (* smoke still writes the envelope: the robustness counters are the
+     cheap part, and keeping the artifact comparable across runs is the
+     point of the envelope *)
+  Envelope.write ~suite:"serve" ~reps:1 ~file:"BENCH_serve.json" (fun oc ->
         Printf.fprintf oc
           {|{
     "sf": %g,
     "queries": %d,
+    "smoke": %b,
     "cold": { "seconds": %.6f, "queries_per_sec": %.2f },
     "plan_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f, "speedup": %.2f },
     "result_cache_warm": { "seconds": %.6f, "queries_per_sec": %.2f },
     "plan_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
     "result_cache": { "hits": %d, "misses": %d, "hit_rate": %.4f },
     "overload": { "burst": %d, "queue_capacity": 4, "workers": 2,
-                  "shed": %d, "completed": %d, "typed_rejections": %d }
+                  "shed": %d, "completed": %d, "typed_rejections": %d },
+    "timeouts": { "expired_requests": %d, "typed_errors": %d,
+                  "deadline_expired": %d, "cancelled": %d,
+                  "generous_deadline_seconds": %.6f },
+    "retries": { "chaos_queries": %d, "answered": %d, "attempts": %d,
+                 "retries": %d, "hedges": %d, "hedge_wins": %d,
+                 "faults": { "conns": %d, "passed": %d, "dropped": %d,
+                             "stalled": %d, "garbled": %d, "killed": %d,
+                             "trickled": %d } },
+    "drain": { "forced": %d, "cancelled_inflight": %d,
+               "conns_opened": %d, "conns_live": %d,
+               "idle_reaped": %d, "oversized": %d }
   }|}
-          sf n cold_s (qps n cold_s) warm_s (qps n warm_s)
+          sf n smoke cold_s (qps n cold_s) warm_s (qps n warm_s)
           (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
           cached_s (qps n cached_s) plan_stats.Plan_cache.hits
           plan_stats.Plan_cache.misses
@@ -116,12 +219,30 @@ let run ?(smoke = false) () =
           st.Svc.result_cache.Result_cache.misses
           (rate st.Svc.result_cache.Result_cache.hits
              st.Svc.result_cache.Result_cache.misses)
-          burst pool.Pool.shed pool.Pool.completed shed_errors);
+          burst pool.Pool.shed pool.Pool.completed shed_errors expired
+          expired_errors dl_stats.Svc.deadline_expired dl_stats.Svc.cancelled
+          generous_s
+          (List.length chaos_names)
+          chaos_answered !call_totals.Server.Client.attempts
+          !call_totals.Server.Client.retries !call_totals.Server.Client.hedges
+          !call_totals.Server.Client.hedge_wins chaos_stats.Chaos.conns
+          chaos_stats.Chaos.passed chaos_stats.Chaos.dropped
+          chaos_stats.Chaos.stalled chaos_stats.Chaos.garbled
+          chaos_stats.Chaos.killed chaos_stats.Chaos.trickled
+          server_stats.Server.drains_forced net_stats.Svc.cancelled
+          server_stats.Server.conns_opened server_stats.Server.conns_live
+          server_stats.Server.conns_idle_reaped
+          server_stats.Server.requests_oversized);
   Printf.printf
     "serve%s: %d queries, cold %.1f q/s, plan-warm %.1f q/s (%.1fx), \
-     result-warm %.1f q/s, overload shed %d/%d%s\n"
+     result-warm %.1f q/s, overload shed %d/%d, deadlines expired %d, \
+     chaos %d/%d answered (%d retries, %d faults) -> BENCH_serve.json\n"
     (if smoke then " (smoke)" else "")
     n (qps n cold_s) (qps n warm_s)
     (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
-    (qps n cached_s) pool.Pool.shed burst
-    (if smoke then "" else " -> BENCH_serve.json")
+    (qps n cached_s) pool.Pool.shed burst dl_stats.Svc.deadline_expired
+    chaos_answered
+    (List.length chaos_names)
+    !call_totals.Server.Client.retries
+    (chaos_stats.Chaos.dropped + chaos_stats.Chaos.stalled
+    + chaos_stats.Chaos.garbled + chaos_stats.Chaos.killed)

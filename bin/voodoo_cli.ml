@@ -609,7 +609,8 @@ let addr_of ~socket ~host ~port =
   | None, None -> Server.Unix_socket "voodoo.sock"
 
 let serve sf socket host port workers queue plans result_mb resilient max_extent
-    max_bytes max_steps jobs tune_after tune_budget_ms verbose =
+    max_bytes max_steps jobs tune_after tune_budget_ms request_timeout_ms
+    idle_timeout_ms max_conns drain_ms verbose =
   setup_logs verbose;
   let d = Svc.default_config in
   let config =
@@ -622,14 +623,25 @@ let serve sf socket host port workers queue plans result_mb resilient max_extent
       result_cache_bytes = result_mb * 1024 * 1024;
       budget =
         {
-          Budget.max_total_extent = max_extent;
+          Budget.unlimited with
+          max_total_extent = max_extent;
           max_vector_bytes = max_bytes;
           max_steps;
         };
+      request_timeout_ms;
       engine = (if resilient then Svc.Resilient R.strict_policy else Svc.Direct);
       jobs = max 1 jobs;
       tune_after;
       tune_budget_ms;
+    }
+  in
+  let options =
+    {
+      Server.default_options with
+      Server.request_timeout_ms;
+      idle_timeout_ms;
+      max_conns;
+      drain_ms;
     }
   in
   let service = Svc.create ~registry:(Catalogs.shared ()) config in
@@ -638,7 +650,22 @@ let serve sf socket host port workers queue plans result_mb resilient max_extent
   ignore (Catalogs.get (Catalogs.shared ()) ~seed:config.Svc.seed ~sf ());
   Fmt.pr "voodoo serve: listening on %a (sf %g, %d workers, queue %d)@."
     Server.pp_addr addr sf config.Svc.workers config.Svc.queue_capacity;
-  Server.serve_forever ~service addr
+  let server = Server.start ~options ~service addr in
+  (* graceful shutdown on SIGINT/SIGTERM: flag from the signal handler,
+     drain from the main thread (stop joins handler threads) *)
+  let stop_requested = ref false in
+  let request_stop (_ : int) = stop_requested := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  while not !stop_requested do
+    Thread.delay 0.2
+  done;
+  Fmt.pr "voodoo serve: draining (up to %g ms) …@." drain_ms;
+  Server.stop ~drain_ms server;
+  Svc.shutdown service;
+  Fmt.pr "voodoo serve: stopped@."
 
 let serve_cmd =
   let workers_arg =
@@ -706,6 +733,40 @@ let serve_cmd =
       & info [ "tune-budget-ms" ] ~docv:"MS"
           ~doc:"wall-clock budget for each background tuning search")
   in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "per-request wall-clock deadline: a query still running after \
+             $(docv) ms stops cooperatively with a typed resource error")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:"reap connections that send nothing for $(docv) ms")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "concurrent-connection cap: excess connections are answered with \
+             a typed resource error and closed")
+  in
+  let drain_ms_arg =
+    Arg.(
+      value
+      & opt float Server.default_options.Server.drain_ms
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "graceful-shutdown window: on SIGINT/SIGTERM in-flight requests \
+             get $(docv) ms to finish before being cancelled")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -716,7 +777,8 @@ let serve_cmd =
       const serve $ sf_arg $ socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ plans_arg $ result_mb_arg $ resilient_arg $ max_extent_arg
       $ max_bytes_arg $ max_steps_arg $ serve_jobs_arg $ tune_after_arg
-      $ tune_budget_ms_arg $ verbose_arg)
+      $ tune_budget_ms_arg $ request_timeout_arg $ idle_timeout_arg
+      $ max_conns_arg $ drain_ms_arg $ verbose_arg)
 
 let render_client_response ~raw = function
   | Proto.Rows rows ->
@@ -744,6 +806,9 @@ let render_client_response ~raw = function
       Fmt.pr "OK %d stats@." (List.length kvs);
       List.iter (fun (k, v) -> Fmt.pr "  %-28s %g@." k v) kvs;
       true
+  | Proto.Pong ->
+      Fmt.pr "OK pong@.";
+      true
   | Proto.Bye ->
       Fmt.pr "OK bye@.";
       true
@@ -751,9 +816,8 @@ let render_client_response ~raw = function
       Fmt.epr "ERR %s: %s@." stage msg;
       false
 
-let client socket host port raw lines =
+let client socket host port raw timeout_ms retries hedge_ms lines =
   let addr = addr_of ~socket ~host ~port in
-  let conn = Server.Client.connect ~retries:40 addr in
   let inputs =
     if lines <> [] then lines
     else
@@ -763,6 +827,27 @@ let client socket host port raw lines =
         | exception End_of_file -> List.rev acc
       in
       read []
+  in
+  (* a resilient transport policy (timeout/retries/hedging) issues every
+     request through Client.call on its own connection(s); the plain path
+     keeps one persistent connection *)
+  let resilient_transport =
+    timeout_ms <> None || retries > 0 || hedge_ms <> None
+  in
+  let conn =
+    if resilient_transport then None
+    else Some (Server.Client.connect ~retries:40 addr)
+  in
+  let totals = ref Server.Client.no_calls in
+  let issue req =
+    match conn with
+    | Some c -> Server.Client.request c req
+    | None ->
+        let r, s =
+          Server.Client.call ?timeout_ms ~retries ?hedge_ms addr req
+        in
+        totals := Server.Client.merge_stats !totals s;
+        r
   in
   let ok = ref true in
   List.iter
@@ -774,13 +859,19 @@ let client socket host port raw lines =
             Fmt.epr "ERR parse: %s@." m;
             ok := false
         | Ok req -> (
-            match Server.Client.request conn req with
+            match issue req with
             | Error m ->
                 Fmt.epr "ERR transport: %s@." m;
                 ok := false
             | Ok resp -> if not (render_client_response ~raw resp) then ok := false))
     inputs;
-  Server.Client.close conn;
+  (match conn with Some c -> Server.Client.close c | None -> ());
+  if resilient_transport then begin
+    let t = !totals in
+    Fmt.pr "calls: %d attempts, %d retries, %d hedges (%d hedge wins)@."
+      t.Server.Client.attempts t.Server.Client.retries t.Server.Client.hedges
+      t.Server.Client.hedge_wins
+  end;
   if not !ok then exit 1
 
 let client_cmd =
@@ -795,12 +886,38 @@ let client_cmd =
       & info [] ~docv:"REQUEST"
           ~doc:
             "protocol lines to send (PREPARE name: sql | EXEC name | SQL text | \
-             QUERY Qn | STATS | CLOSE); reads stdin when none given")
+             QUERY Qn | STATS | PING | CLOSE); reads stdin when none given")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"bound each attempt's socket reads/writes; implies one fresh connection per request")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "retry transport failures up to $(docv) times with jittered \
+             exponential backoff (idempotent requests only)")
+  in
+  let hedge_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "fire one speculative duplicate on a second connection if no \
+             answer within $(docv); first OK wins")
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"send protocol requests to a running $(b,voodoo serve) and print the replies")
-    Term.(const client $ socket_arg $ host_arg $ port_arg $ raw_arg $ lines_arg)
+    Term.(
+      const client $ socket_arg $ host_arg $ port_arg $ raw_arg $ timeout_arg
+      $ retries_arg $ hedge_arg $ lines_arg)
 
 (* Error hygiene: any typed engine/service error that escapes a subcommand
    becomes one clean line on stderr and a non-zero exit, never a raw OCaml
@@ -822,6 +939,7 @@ let hygienic f =
   | Voodoo_interp.Interp.Runtime_error m -> die "runtime error: %s" m
   | Budget.Exceeded m -> die "resource error: budget exceeded: %s" m
   | Fault.Injected m -> die "exec error: fault injected and not recovered: %s" m
+  | Server.Address_error m -> die "address error: %s" m
   | Unix.Unix_error (err, fn, arg) ->
       die "%s%s: %s" fn
         (if arg = "" then "" else " " ^ arg)

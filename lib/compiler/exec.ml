@@ -339,6 +339,11 @@ let run ?trace ?(options = Codegen.default_options)
     | Codegen.Closure { instrument; jobs } -> (instrument, max 1 jobs)
   in
   let tr = Budget.tracker budget in
+  (* cooperative deadline/cancellation: one closure built up front, only
+     when the budget is timed — untimed runs pay nothing in the loops *)
+  let chk =
+    if Budget.timed budget then Some (fun () -> Budget.check_time tr) else None
+  in
   let st = init_state ~store ~options plan in
   (* execute fragments in order *)
   let kernels =
@@ -359,6 +364,7 @@ let run ?trace ?(options = Codegen.default_options)
           (Printf.sprintf "fragment:%d" f.index)
           (fun () ->
             Fault.kernel_started ();
+            (match chk with Some c -> c () | None -> ());
             Budget.charge_extent tr f.extent;
             let ev = Events.create () in
             let body = stmts_in_order f in
@@ -371,17 +377,25 @@ let run ?trace ?(options = Codegen.default_options)
             | Codegen.Tree_walk ->
                 let intent = max 1 f.intent in
                 for w = 0 to f.extent - 1 do
+                  (match chk with Some c -> c () | None -> ());
                   let lo = w * intent in
                   let hi = min f.domain ((w + 1) * intent) in
                   Hashtbl.reset st.charged;
                   if hi > lo || lo = 0 then
-                    List.iter (fun cs -> exec_range st ev f cs lo hi) body
+                    List.iter
+                      (fun cs ->
+                        (* per-statement: fragments fold to few, large
+                           work items, so per-item checks alone can
+                           overshoot an expired deadline by a fragment *)
+                        (match chk with Some c -> c () | None -> ());
+                        exec_range st ev f cs lo hi)
+                      body
                 done;
                 List.iter
                   (fun cs -> record_deferred st ev ~pos:st.pos_stats cs)
                   body
             | Codegen.Closure _ ->
-                Exec_par.exec_fragment st ev f body ~instrument ~jobs);
+                Exec_par.exec_fragment ?chk st ev f body ~instrument ~jobs);
             (match Fault.corrupt_kernel_now () with
             | Some seed -> corrupt_fragment st ~seed body
             | None -> ());

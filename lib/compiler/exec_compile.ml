@@ -65,10 +65,19 @@ type ctx = {
           a fold's final range, so chunk deltas sum exactly) *)
   regions : (Op.id, region) Hashtbl.t;
       (** private scatter outputs; empty when running sequentially *)
+  chk : (unit -> unit) option;
+      (** cooperative deadline/cancellation check, called between work
+          items; raises {!Voodoo_core.Budget.Exceeded} to stop the chunk *)
 }
 
-let make_ctx ~ev () =
-  { ev; pos = Hashtbl.create 8; sup = Hashtbl.create 4; regions = Hashtbl.create 2 }
+let make_ctx ?chk ~ev () =
+  {
+    ev;
+    pos = Hashtbl.create 8;
+    sup = Hashtbl.create 4;
+    regions = Hashtbl.create 2;
+    chk;
+  }
 
 (* Absolute suppression count visible through the overlay. *)
 let sup_find st (ctx : ctx) id =
@@ -944,19 +953,39 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
   let domain = f.domain in
   let ranged = List.exists (fun e -> e.xc_ranged) execs in
   let run ctx ~w_lo ~w_hi =
-    if not ranged then begin
-      (* pure element-wise body: one merged range per chunk (only the
-         range containing element 0 triggers the one-shot statements,
-         exactly as in the per-work-item loop) *)
-      let lo = w_lo * intent in
-      let hi = min domain (w_hi * intent) in
-      if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
-    end
-    else
-      for w = w_lo to w_hi - 1 do
-        let lo = w * intent in
-        let hi = min domain ((w + 1) * intent) in
-        if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
-      done
+    match ctx.chk with
+    | Some check ->
+        (* a deadline or cancellation token is live: always walk work
+           items (bit-identical to the merged-range fast path — the
+           differential tests hold the two equal) and check between
+           items {e and} between statements — fragments fold to few,
+           large work items, so per-item checks alone can overshoot an
+           expired deadline by a whole fragment *)
+        for w = w_lo to w_hi - 1 do
+          check ();
+          let lo = w * intent in
+          let hi = min domain ((w + 1) * intent) in
+          if hi > lo || lo = 0 then
+            List.iter
+              (fun e ->
+                check ();
+                e.xc_run ctx lo hi)
+              execs
+        done
+    | None ->
+        if not ranged then begin
+          (* pure element-wise body: one merged range per chunk (only the
+             range containing element 0 triggers the one-shot statements,
+             exactly as in the per-work-item loop) *)
+          let lo = w_lo * intent in
+          let hi = min domain (w_hi * intent) in
+          if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+        end
+        else
+          for w = w_lo to w_hi - 1 do
+            let lo = w * intent in
+            let hi = min domain ((w + 1) * intent) in
+            if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+          done
   in
   { cp_run = run; cp_scatters = List.rev !scatters; cp_single_chunk = single_chunk }

@@ -38,8 +38,12 @@ module C = Exec_compile
 let min_parallel_elements = 1 lsl 14
 
 (* Run one fragment's body (already prepared) under the given mode.
-   [ev] is the fragment's event record; raw mode leaves it empty. *)
-let exec_fragment st ev (f : frag) (body : compiled_stmt list) ~instrument
+   [ev] is the fragment's event record; raw mode leaves it empty.
+   [chk] is the cooperative deadline/cancellation check: threaded into
+   every chunk's context, so an expired deadline stops each domain at
+   its next work-item boundary (the raised [Budget.Exceeded] is
+   re-raised here after all chunks settle — no torn merges). *)
+let exec_fragment ?chk st ev (f : frag) (body : compiled_stmt list) ~instrument
     ~jobs =
   let cp = C.compile st f body ~instrument in
   let work = f.extent * max 1 f.intent in
@@ -52,7 +56,7 @@ let exec_fragment st ev (f : frag) (body : compiled_stmt list) ~instrument
   | [] -> ()
   | [ c ] ->
       (* sequential: record straight into the fragment's events *)
-      let ctx = C.make_ctx ~ev () in
+      let ctx = C.make_ctx ?chk ~ev () in
       cp.C.cp_run ctx ~w_lo:c.Chunk.w_lo ~w_hi:c.Chunk.w_hi;
       C.apply_sup st ctx.C.sup;
       if instrument then
@@ -63,7 +67,7 @@ let exec_fragment st ev (f : frag) (body : compiled_stmt list) ~instrument
       let tagged =
         List.map
           (fun (ch : Chunk.t) ->
-            let ctx = C.make_ctx ~ev:(Events.create ~chunked:true ()) () in
+            let ctx = C.make_ctx ?chk ~ev:(Events.create ~chunked:true ()) () in
             List.iter
               (fun (si : C.scatter_info) ->
                 Hashtbl.replace ctx.C.regions si.C.sc_id (C.make_region si))

@@ -1,13 +1,42 @@
 (** Per-query resource budgets (see the interface). *)
 
+type token = {
+  mutable cancel_requested : bool;
+  mutable cancel_reason : string;
+}
+
+let token () = { cancel_requested = false; cancel_reason = "" }
+
+let cancel ?(reason = "cancelled") tk =
+  tk.cancel_requested <- true;
+  tk.cancel_reason <- reason
+
+let cancelled tk = tk.cancel_requested
+
 type t = {
   max_total_extent : int option;
   max_vector_bytes : int option;
   max_steps : int option;
+  deadline : float option;
+  cancel : token option;
 }
 
 let unlimited =
-  { max_total_extent = None; max_vector_bytes = None; max_steps = None }
+  {
+    max_total_extent = None;
+    max_vector_bytes = None;
+    max_steps = None;
+    deadline = None;
+    cancel = None;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let with_deadline b deadline = { b with deadline = Some deadline }
+
+let deadline_in b ~ms = { b with deadline = Some (now () +. (ms /. 1000.)) }
+
+let with_token b tk = { b with cancel = Some tk }
 
 exception Exceeded of string
 
@@ -26,6 +55,29 @@ let check what limit actual =
       raise
         (Exceeded (Printf.sprintf "%s budget exceeded: %d > %d" what actual cap))
   | _ -> ()
+
+(* The cooperative check the executors call at fragment, chunk, work-item
+   and statement boundaries.  Cancellation wins over the deadline so an
+   operator-initiated drain reads as "cancelled", not as a coincidental
+   timeout. *)
+let check_time tr =
+  (match tr.budget.cancel with
+  | Some tk when tk.cancel_requested ->
+      raise (Exceeded (Printf.sprintf "cancelled: %s" tk.cancel_reason))
+  | _ -> ());
+  match tr.budget.deadline with
+  | Some d ->
+      let t = now () in
+      if t > d then
+        raise
+          (Exceeded
+             (Printf.sprintf "deadline exceeded: %.1f ms past the deadline"
+                ((t -. d) *. 1000.)))
+  | None -> ()
+
+(* Fast guard: lets hot loops skip the per-batch call entirely when the
+   budget carries neither a deadline nor a token. *)
+let timed t = t.deadline <> None || t.cancel <> None
 
 let charge_extent tr n =
   tr.extent <- tr.extent + n;

@@ -1,4 +1,4 @@
-(** Per-query resource budgets.
+(** Per-query resource budgets and cooperative cancellation.
 
     A {!t} caps the resources one backend invocation may consume; the
     executors thread a {!tracker} through their main loops and charge it
@@ -6,23 +6,65 @@
     catchable error the resilient layer maps to a [Resource]-stage
     {!Verror.t}) instead of exhausting the machine.
 
-    The three dimensions mirror what each backend can actually burn:
+    The counted dimensions mirror what each backend can actually burn:
 
     - {b total extent}: the sum of kernel extents (parallel work items)
       the compiled backend launches;
     - {b vector bytes}: device bytes of materialized (non-virtual)
       result vectors, in either backend;
     - {b steps}: element-evaluation steps of the interpreter (the bulk
-      processor's unit of work). *)
+      processor's unit of work).
+
+    Two further limits are about {e time} rather than space:
+
+    - {b deadline}: an absolute wall-clock instant
+      ([Unix.gettimeofday] seconds) past which {!check_time} raises;
+    - {b cancel}: a shared {!token} an owner (the server's drain path,
+      an operator) can flip at any moment to stop in-flight work.
+
+    Both are checked {e cooperatively}: the executors call {!check_time}
+    at fragment, chunk, work-item-batch and interpreter-statement
+    boundaries, so an expired query stops within one batch of work —
+    never mid-vector, never leaving a torn result. *)
+
+(** A shared cancellation flag.  Thread-safe by construction: it is a
+    single monotonic boolean (set once, never cleared), so readers need
+    no lock. *)
+type token
+
+val token : unit -> token
+
+(** Request cancellation.  Idempotent; the first reason sticks for the
+    error message. *)
+val cancel : ?reason:string -> token -> unit
+
+val cancelled : token -> bool
 
 type t = {
   max_total_extent : int option;
   max_vector_bytes : int option;
   max_steps : int option;
+  deadline : float option;
+      (** absolute wall-clock instant (epoch seconds) *)
+  cancel : token option;
 }
 
 (** No limits at all. *)
 val unlimited : t
+
+(** Current wall clock, as {!check_time} sees it. *)
+val now : unit -> float
+
+val with_deadline : t -> float -> t
+
+(** [deadline_in b ~ms] sets the deadline [ms] milliseconds from now. *)
+val deadline_in : t -> ms:float -> t
+
+val with_token : t -> token -> t
+
+(** [timed b] is true when [b] carries a deadline or a token — lets hot
+    loops skip per-batch {!check_time} calls entirely otherwise. *)
+val timed : t -> bool
 
 exception Exceeded of string  (** rendered as "what: actual > limit" *)
 
@@ -39,6 +81,11 @@ val charge_extent : tracker -> int -> unit
 val charge_bytes : tracker -> int -> unit
 
 val charge_steps : tracker -> int -> unit
+
+(** Raise {!Exceeded} if the budget's token is cancelled ("cancelled:
+    reason") or its deadline has passed ("deadline exceeded: …").
+    Cancellation wins when both hold. *)
+val check_time : tracker -> unit
 
 (** Totals consumed so far (for reports). *)
 

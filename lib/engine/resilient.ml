@@ -182,12 +182,23 @@ let execute_gen ?trace ?prepared (policy : policy) (cat : Catalog.t)
             Error
               (Verror.make Lower "resilient policy permits no execution attempt")
       in
+      (* Wall-clock guard for the chain itself: falling back to another
+         backend cannot recover time that is already spent, so once the
+         policy budget's deadline has passed (or its token is cancelled)
+         the chain stops with the typed Resource error instead of
+         burning the remaining attempts — the Reference evaluator in
+         particular has no cooperative checks of its own. *)
+      let time_guard = Budget.tracker policy.budget in
       let rec go made (attempts : attempt list) (swallowed : Verror.t list)
           chain =
         match chain with
         | _ when made >= policy.max_attempts -> exhausted swallowed
         | [] -> exhausted swallowed
         | b :: rest -> (
+            match Budget.check_time time_guard with
+            | exception Budget.Exceeded m ->
+                Error (Verror.make Verror.Resource m)
+            | () ->
             match attempt b with
             | Ok rows ->
                 let attempts =

@@ -313,6 +313,7 @@ let run ?trace ?(budget = Budget.unlimited) (store : Store.t) (p : Program.t)
     (fun (s : Program.stmt) ->
       Trace.with_span trace ("stmt:" ^ s.id) (fun () ->
           Fault.step_started ();
+          Budget.check_time tr;
           let v =
             try eval_op store env s.op with
             | Runtime_error m -> err "in %s: %s" s.id m

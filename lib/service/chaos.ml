@@ -1,0 +1,286 @@
+(** Seeded socket-level chaos proxy (see the interface). *)
+
+type weights = {
+  w_pass : int;
+  w_drop_connect : int;
+  w_stall : int;
+  w_garbage : int;
+  w_kill : int;
+  w_trickle : int;
+}
+
+let default_weights =
+  {
+    w_pass = 6;
+    w_drop_connect = 1;
+    w_stall = 1;
+    w_garbage = 1;
+    w_kill = 1;
+    w_trickle = 2;
+  }
+
+type kind = Pass | Drop_connect | Stall | Garbage | Kill | Trickle
+
+type stats = {
+  conns : int;
+  passed : int;
+  dropped : int;
+  stalled : int;
+  garbled : int;
+  killed : int;
+  trickled : int;
+}
+
+type live = {
+  l_fds : Unix.file_descr list;
+  l_thread : Thread.t option;  (** the per-connection driver thread *)
+}
+
+type t = {
+  listener : Unix.file_descr;
+  listen_addr : Server.addr;
+  upstream : Server.addr;
+  weights : weights;
+  stall_ms : float;
+  rng : Random.State.t;  (** guarded by [m]: draws happen in accept order *)
+  m : Mutex.t;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t option;
+  lives : (int, live) Hashtbl.t;
+  mutable next_id : int;
+  mutable st : stats;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_quietly fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* Draw the next fault.  Under the mutex so that, with a sequential
+   client, connection [k] always gets the [k]-th draw of the seed. *)
+let pick t =
+  let w = t.weights in
+  let total =
+    w.w_pass + w.w_drop_connect + w.w_stall + w.w_garbage + w.w_kill
+    + w.w_trickle
+  in
+  locked t (fun () ->
+      t.st <- { t.st with conns = t.st.conns + 1 };
+      let r = Random.State.int t.rng (max 1 total) in
+      let k =
+        if r < w.w_pass then Pass
+        else if r < w.w_pass + w.w_drop_connect then Drop_connect
+        else if r < w.w_pass + w.w_drop_connect + w.w_stall then Stall
+        else if r < w.w_pass + w.w_drop_connect + w.w_stall + w.w_garbage then
+          Garbage
+        else if
+          r < w.w_pass + w.w_drop_connect + w.w_stall + w.w_garbage + w.w_kill
+        then Kill
+        else Trickle
+      in
+      (* deterministic per-connection cut point for [Kill] *)
+      let cut = 1 + Random.State.int t.rng 48 in
+      (match k with
+      | Pass -> t.st <- { t.st with passed = t.st.passed + 1 }
+      | Drop_connect -> t.st <- { t.st with dropped = t.st.dropped + 1 }
+      | Stall -> t.st <- { t.st with stalled = t.st.stalled + 1 }
+      | Garbage -> t.st <- { t.st with garbled = t.st.garbled + 1 }
+      | Kill -> t.st <- { t.st with killed = t.st.killed + 1 }
+      | Trickle -> t.st <- { t.st with trickled = t.st.trickled + 1 });
+      (k, cut))
+
+let rec write_all fd buf off len =
+  if len > 0 then
+    match Unix.write fd buf off len with
+    | n -> write_all fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd buf off len
+
+(* Shuttle bytes [src] → [dst] until EOF or error.  [trickle] forwards a
+   byte at a time with a small delay (framing stress, not failure);
+   [kill_after] cuts both directions dead once that many bytes have been
+   forwarded — the mid-response kill. *)
+let relay ?(trickle = false) ?kill_after src dst =
+  let buf = Bytes.create 4096 in
+  let budget = ref (Option.value kill_after ~default:max_int) in
+  let rec go () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        let n = min n !budget in
+        (if trickle then
+           for i = 0 to n - 1 do
+             write_all dst buf i 1;
+             Thread.delay 0.0002
+           done
+         else write_all dst buf 0 n);
+        budget := !budget - n;
+        if !budget > 0 then go ()
+        else begin
+          shutdown_quietly src;
+          shutdown_quietly dst
+        end
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  (* half-close so the peer's read sees EOF even while the other
+     direction is still draining *)
+  (try Unix.shutdown dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+
+let connect_upstream t =
+  let sockaddr = Server.sockaddr_of_addr t.upstream in
+  let domain =
+    match t.upstream with
+    | Server.Unix_socket _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      close_quietly fd;
+      None
+
+let handle t client kind cut =
+  match kind with
+  | Drop_connect -> close_quietly client
+  | Stall ->
+      (* silence: no bytes either way, then hang up — the client's
+         timeout (SO_RCVTIMEO) or our hangup ends the attempt *)
+      Thread.delay (t.stall_ms /. 1000.);
+      close_quietly client
+  | Garbage ->
+      (* consume the request so the client's send succeeds, answer
+         noise: an unparseable frame, never a valid response *)
+      let buf = Bytes.create 4096 in
+      (try ignore (Unix.read client buf 0 (Bytes.length buf) : int)
+       with Unix.Unix_error _ -> ());
+      let garbage = "\x00\x7f!! chaos: not a protocol frame !!\n" in
+      (try write_all client (Bytes.of_string garbage) 0 (String.length garbage)
+       with Unix.Unix_error _ -> ());
+      close_quietly client
+  | Pass | Trickle | Kill -> (
+      match connect_upstream t with
+      | None -> close_quietly client
+      | Some up ->
+          let trickle = kind = Trickle in
+          let kill_after = if kind = Kill then Some cut else None in
+          (* client → upstream clean; faults ride the response path *)
+          let back =
+            Thread.create (fun () -> relay ~trickle ?kill_after up client) ()
+          in
+          relay client up;
+          Thread.join back;
+          close_quietly up;
+          close_quietly client)
+
+let start ?(seed = 0) ?(weights = default_weights) ?(stall_ms = 200.0)
+    ~upstream ~listen () =
+  (match listen with
+  | Server.Unix_socket path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  let domain =
+    match listen with
+    | Server.Unix_socket _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let listener = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Server.sockaddr_of_addr listen);
+  Unix.listen listener 64;
+  let t =
+    {
+      listener;
+      listen_addr = listen;
+      upstream;
+      weights;
+      stall_ms;
+      rng = Random.State.make [| seed; 0x5eed |];
+      m = Mutex.create ();
+      stopped = false;
+      accept_thread = None;
+      lives = Hashtbl.create 16;
+      next_id = 0;
+      st =
+        {
+          conns = 0;
+          passed = 0;
+          dropped = 0;
+          stalled = 0;
+          garbled = 0;
+          killed = 0;
+          trickled = 0;
+        };
+    }
+  in
+  let accept_loop () =
+    let rec go () =
+      match Unix.accept t.listener with
+      | client, _peer ->
+          if t.stopped then close_quietly client
+          else begin
+            let kind, cut = pick t in
+            let id = locked t (fun () -> t.next_id <- t.next_id + 1; t.next_id) in
+            let th =
+              Thread.create
+                (fun () ->
+                  (try handle t client kind cut
+                   with Unix.Unix_error _ | Sys_error _ -> ());
+                  locked t (fun () -> Hashtbl.remove t.lives id))
+                ()
+            in
+            locked t (fun () ->
+                Hashtbl.replace t.lives id
+                  { l_fds = [ client ]; l_thread = Some th });
+            go ()
+          end
+      | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+  in
+  t.accept_thread <- Some (Thread.create accept_loop ());
+  t
+
+let stop t =
+  let proceed =
+    locked t (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if proceed then begin
+    shutdown_quietly t.listener;
+    (* poke a blocked accept, as Server.stop does *)
+    (try
+       let domain =
+         match t.listen_addr with
+         | Server.Unix_socket _ -> Unix.PF_UNIX
+         | Server.Tcp _ -> Unix.PF_INET
+       in
+       let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+       (try Unix.connect sock (Server.sockaddr_of_addr t.listen_addr)
+        with Unix.Unix_error _ -> ());
+       close_quietly sock
+     with Unix.Unix_error _ | Server.Address_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    close_quietly t.listener;
+    let remaining =
+      locked t (fun () -> Hashtbl.fold (fun _ l acc -> l :: acc) t.lives [])
+    in
+    List.iter (fun l -> List.iter shutdown_quietly l.l_fds) remaining;
+    List.iter
+      (fun l -> match l.l_thread with Some th -> Thread.join th | None -> ())
+      remaining;
+    match t.listen_addr with
+    | Server.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Server.Tcp _ -> ()
+  end
+
+let stats t = locked t (fun () -> t.st)

@@ -1,0 +1,60 @@
+(** A seeded, deterministic socket-level chaos proxy.
+
+    The proxy listens on one address and forwards byte streams to an
+    upstream {!Server} — except when it doesn't: a seeded RNG assigns
+    each accepted connection a fault (drop on connect, stall then hang
+    up, answer with a garbage frame, kill the connection mid-response,
+    trickle the response a byte at a time, or pass it through clean).
+    Same seed, same connection order → same fault sequence, so a soak
+    test over it is reproducible.
+
+    Faults are {e transport}-level only: the upstream server never sees
+    a malformed request it didn't receive, and a passed-through
+    connection is byte-identical to a direct one.  The client's
+    retry/hedging logic ({!Server.Client.call}) is what turns these
+    faults back into answers.  See [docs/ROBUSTNESS.md]. *)
+
+(** Relative weights for the per-connection fault draw (all
+    non-negative, at least one positive). *)
+type weights = {
+  w_pass : int;  (** clean byte-for-byte relay *)
+  w_drop_connect : int;  (** close immediately, before any byte *)
+  w_stall : int;  (** sit silent for [stall_ms], then hang up *)
+  w_garbage : int;  (** answer one unparseable frame, then hang up *)
+  w_kill : int;  (** relay, but cut the response off after a few bytes *)
+  w_trickle : int;  (** relay the response one byte at a time (must still succeed) *)
+}
+
+(** pass 6 : drop 1 : stall 1 : garbage 1 : kill 1 : trickle 2 *)
+val default_weights : weights
+
+type stats = {
+  conns : int;  (** connections accepted *)
+  passed : int;
+  dropped : int;
+  stalled : int;
+  garbled : int;
+  killed : int;
+  trickled : int;
+}
+
+type t
+
+(** [start ~upstream ~listen ()] binds [listen] and begins proxying to
+    [upstream].  [seed] fixes the fault sequence; [stall_ms] is the
+    silent period of a stalled connection (default 200 ms, keep it above
+    the client's timeout or below it — either way the client errors). *)
+val start :
+  ?seed:int ->
+  ?weights:weights ->
+  ?stall_ms:float ->
+  upstream:Server.addr ->
+  listen:Server.addr ->
+  unit ->
+  t
+
+(** Close the listener, disconnect every in-flight proxied connection,
+    join all relay threads, remove a Unix socket path.  Idempotent. *)
+val stop : t -> unit
+
+val stats : t -> stats

@@ -10,14 +10,24 @@ type request =
   | Sql of string
   | Query of string
   | Stats
+  | Ping
   | Close
 
 type response =
   | Rows of Engine.rows
   | Prepared of string
   | Stats_reply of (string * float) list
+  | Pong
   | Bye
   | Err of string * string  (** stage name, one-line message *)
+
+(* Every request except CLOSE is safe to retry on a fresh connection:
+   queries are reads, PREPARE of identical text is a plan-cache hit, and
+   STATS/PING observe.  CLOSE is tied to the connection it travelled on —
+   retrying it elsewhere would close somebody else's session. *)
+let idempotent = function
+  | Prepare _ | Exec _ | Sql _ | Query _ | Stats | Ping -> true
+  | Close -> false
 
 (* ---- requests ---- *)
 
@@ -48,12 +58,14 @@ let parse_request line : (request, string) result =
   | "SQL", text when text <> "" -> Ok (Sql text)
   | "QUERY", name when name <> "" -> Ok (Query name)
   | "STATS", "" -> Ok Stats
+  | "PING", "" -> Ok Ping
   | "CLOSE", "" -> Ok Close
   | "", "" -> Error "empty request"
   | verb, _ ->
       Error
         (Printf.sprintf
-           "unknown request %S (have: PREPARE EXEC SQL QUERY STATS CLOSE)" verb)
+           "unknown request %S (have: PREPARE EXEC SQL QUERY STATS PING CLOSE)"
+           verb)
 
 let render_request = function
   | Prepare (name, sql) -> Printf.sprintf "PREPARE %s %s" name sql
@@ -61,6 +73,7 @@ let render_request = function
   | Sql text -> "SQL " ^ text
   | Query name -> "QUERY " ^ name
   | Stats -> "STATS"
+  | Ping -> "PING"
   | Close -> "CLOSE"
 
 (* ---- scalar / row wire form ----
@@ -134,6 +147,7 @@ let render_response = function
       Printf.sprintf "OK STATS %d" (List.length fields)
       :: List.map (fun (k, v) -> Printf.sprintf "STAT %s %h" k v) fields
       @ [ "END" ]
+  | Pong -> [ "OK PONG" ]
   | Bye -> [ "OK BYE" ]
   | Err (stage, msg) -> [ Printf.sprintf "ERR %s: %s" stage (oneline msg) ]
 
@@ -188,6 +202,7 @@ let read_response (next_line : unit -> string option) :
               match read_n n [] parse_stat with
               | Ok fields -> expect_end (Stats_reply fields)
               | Error e -> Error e))
+      | "OK", ("PONG", _) -> Ok Pong
       | "OK", ("BYE", _) -> Ok Bye
       | "ERR", _ -> (
           let payload = String.sub line 4 (String.length line - 4) in

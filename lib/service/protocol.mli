@@ -17,14 +17,22 @@ type request =
   | Sql of string
   | Query of string  (** named TPC-H query *)
   | Stats
+  | Ping  (** health check: answered inline, never queued *)
   | Close
 
 type response =
   | Rows of Engine.rows
   | Prepared of string
   | Stats_reply of (string * float) list
+  | Pong
   | Bye
   | Err of string * string  (** [Verror] stage name, one-line message *)
+
+(** Safe to retry on a fresh connection after a transport failure?  True
+    for everything except [Close]: queries are reads, re-[Prepare] of
+    identical text is a plan-cache hit.  The client's retry/hedging logic
+    ({!Server.Client.call}) refuses to retry non-idempotent requests. *)
+val idempotent : request -> bool
 
 val parse_request : string -> (request, string) result
 

@@ -1,80 +1,257 @@
 (** Socket front door and client (see the interface). *)
 
 module P = Protocol
+module Budget = Voodoo_core.Budget
 
 type addr = Unix_socket of string | Tcp of string * int
 
+exception Address_error of string
+
 let sockaddr_of_addr = function
   | Unix_socket path -> Unix.ADDR_UNIX path
-  | Tcp (host, port) ->
-      let ip =
-        try Unix.inet_addr_of_string host
-        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      in
-      Unix.ADDR_INET (ip, port)
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Unix.ADDR_INET (ip, port)
+      | exception _ -> (
+          match
+            Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+          with
+          | { Unix.ai_addr; _ } :: _ -> ai_addr
+          | [] ->
+              raise
+                (Address_error
+                   (Printf.sprintf "cannot resolve host %S (port %d)" host port))
+          | exception Unix.Unix_error (e, _, _) ->
+              raise
+                (Address_error
+                   (Printf.sprintf "cannot resolve host %S: %s" host
+                      (Unix.error_message e)))))
 
 let pp_addr ppf = function
   | Unix_socket path -> Fmt.pf ppf "unix:%s" path
   | Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port
 
+(* ---- raw fd I/O: bounded line reader, full writes ----
+
+   Channels buffer without bound ([input_line] happily accumulates a
+   gigabyte of garbage) and double-close the fd; everything here reads
+   and writes the descriptor directly. *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off len
+
+type reader = {
+  r_fd : Unix.file_descr;
+  r_buf : Bytes.t;
+  mutable r_lo : int;
+  mutable r_hi : int;
+  r_max_line : int;
+}
+
+type line = Line of string | Too_long | Eof | Timed_out
+
+let make_reader ?(max_line = 64 * 1024) fd =
+  { r_fd = fd; r_buf = Bytes.create 8192; r_lo = 0; r_hi = 0; r_max_line = max_line }
+
+(* One line, newline stripped.  [Too_long] consumes through the
+   terminating newline, so the connection stays framed.  [Timed_out]
+   surfaces SO_RCVTIMEO expiry (the idle reaper / client timeout). *)
+let read_line (r : reader) : line =
+  let acc = Buffer.create 128 in
+  let overflowed = ref false in
+  let take n =
+    if not !overflowed then begin
+      if Buffer.length acc + n > r.r_max_line then overflowed := true
+      else Buffer.add_subbytes acc r.r_buf r.r_lo n
+    end
+  in
+  let rec go () =
+    if r.r_lo >= r.r_hi then
+      match Unix.read r.r_fd r.r_buf 0 (Bytes.length r.r_buf) with
+      | 0 -> Eof (* a partial unterminated line is dropped with the peer *)
+      | n ->
+          r.r_lo <- 0;
+          r.r_hi <- n;
+          go ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Timed_out
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) -> Eof
+    else
+      match Bytes.index_from_opt r.r_buf r.r_lo '\n' with
+      | Some i when i < r.r_hi ->
+          take (i - r.r_lo);
+          r.r_lo <- i + 1;
+          if !overflowed then Too_long else Line (Buffer.contents acc)
+      | _ ->
+          take (r.r_hi - r.r_lo);
+          r.r_lo <- r.r_hi;
+          go ()
+  in
+  go ()
+
+let send_response fd response =
+  let payload =
+    String.concat "" (List.map (fun l -> l ^ "\n") (P.render_response response))
+  in
+  write_all fd payload 0 (String.length payload)
+
+(* ---- server options ---- *)
+
+type options = {
+  request_timeout_ms : float option;
+  idle_timeout_ms : float option;
+  max_conns : int option;
+  max_line_bytes : int;
+  drain_ms : float;
+}
+
+let default_options =
+  {
+    request_timeout_ms = None;
+    idle_timeout_ms = None;
+    max_conns = None;
+    max_line_bytes = 64 * 1024;
+    drain_ms = 1_000.0;
+  }
+
+(* ---- connection registry ---- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_busy : bool;  (** mid-request: drain waits for these *)
+  mutable c_thread : Thread.t option;
+}
+
+type state = Running | Stopping | Stopped
+
+type t = {
+  listener : Unix.file_descr;
+  addr : addr;
+  service : Service.t;
+  opts : options;
+  m : Mutex.t;
+  mutable state : state;
+  mutable accept_thread : Thread.t option;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable opened : int;
+  mutable rejected : int;
+  mutable idle_reaped : int;
+  mutable oversized : int;
+  mutable handled : int;
+  mutable drain_forced : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+type stats = {
+  conns_opened : int;
+  conns_live : int;
+  conns_rejected : int;
+  conns_idle_reaped : int;
+  requests_oversized : int;
+  requests_handled : int;
+  drains_forced : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        conns_opened = t.opened;
+        conns_live = Hashtbl.length t.conns;
+        conns_rejected = t.rejected;
+        conns_idle_reaped = t.idle_reaped;
+        requests_oversized = t.oversized;
+        requests_handled = t.handled;
+        drains_forced = t.drain_forced;
+      })
+
+let stats_fields (s : stats) : (string * float) list =
+  let f = float_of_int in
+  [
+    ("server.conns.opened", f s.conns_opened);
+    ("server.conns.live", f s.conns_live);
+    ("server.conns.rejected", f s.conns_rejected);
+    ("server.conns.idle_reaped", f s.conns_idle_reaped);
+    ("server.requests.oversized", f s.requests_oversized);
+    ("server.requests.handled", f s.requests_handled);
+    ("server.drains.forced", f s.drains_forced);
+  ]
+
 (* ---- request dispatch: one connection = one session ---- *)
 
-let handle_request service session (req : P.request) : P.response * bool =
+let handle_request t session (req : P.request) : P.response * bool =
+  let timeout_ms = t.opts.request_timeout_ms in
   let rows_or_err = function
     | Ok rows -> P.Rows rows
     | Error e -> P.err_of_verror e
   in
   match req with
   | P.Prepare (name, sql) -> (
-      match Service.prepare service session ~name sql with
+      match Service.prepare t.service session ~name sql with
       | Ok () -> (P.Prepared name, true)
       | Error e -> (P.err_of_verror e, true))
-  | P.Exec name -> (rows_or_err (Service.exec service session name), true)
-  | P.Sql text -> (rows_or_err (Service.sql service session text), true)
-  | P.Query name -> (rows_or_err (Service.query service session name), true)
-  | P.Stats -> (P.Stats_reply (Service.stats_fields (Service.stats service)), true)
+  | P.Exec name ->
+      (rows_or_err (Service.exec ?timeout_ms t.service session name), true)
+  | P.Sql text ->
+      (rows_or_err (Service.sql ?timeout_ms t.service session text), true)
+  | P.Query name ->
+      (rows_or_err (Service.query ?timeout_ms t.service session name), true)
+  | P.Stats ->
+      ( P.Stats_reply
+          (Service.stats_fields (Service.stats t.service) @ stats_fields (stats t)),
+        true )
+  | P.Ping -> (P.Pong, true)
   | P.Close -> (P.Bye, false)
 
-let write_response oc response =
-  List.iter
-    (fun line ->
-      output_string oc line;
-      output_char oc '\n')
-    (P.render_response response);
-  flush oc
-
-let handle_connection service fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let session = Service.open_session service in
+let handle_connection t (c : conn) =
+  let session = Service.open_session t.service in
+  let reader = make_reader ~max_line:t.opts.max_line_bytes c.c_fd in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | line ->
+    match read_line reader with
+    | Eof -> ()
+    | Timed_out ->
+        (* the idle reaper: SO_RCVTIMEO fired with no request in flight *)
+        locked t (fun () -> t.idle_reaped <- t.idle_reaped + 1)
+    | Too_long ->
+        locked t (fun () -> t.oversized <- t.oversized + 1);
+        let msg =
+          Printf.sprintf "request line exceeds %d bytes" t.opts.max_line_bytes
+        in
+        (match send_response c.c_fd (P.Err ("parse", msg)) with
+        | () -> loop ()
+        | exception (Unix.Unix_error _ | Sys_error _) -> ())
+    | Line line ->
+        c.c_busy <- true;
         let response, continue =
           match P.parse_request line with
-          | Ok req -> handle_request service session req
+          | Ok req -> handle_request t session req
           | Error msg -> (P.Err ("parse", msg), true)
         in
-        (match write_response oc response with
-        | () -> if continue then loop ()
-        | exception Sys_error _ -> ())
+        locked t (fun () -> t.handled <- t.handled + 1);
+        let sent =
+          match send_response c.c_fd response with
+          | () -> true
+          | exception (Unix.Unix_error _ | Sys_error _) -> false
+        in
+        c.c_busy <- false;
+        if sent && continue then loop ()
   in
-  Fun.protect
-    ~finally:(fun () ->
-      Service.close_session service session;
-      try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
+  (fun () ->
+    try loop ()
+    with (Unix.Unix_error _ | Sys_error _) -> ())
+  |> Fun.protect ~finally:(fun () ->
+         c.c_busy <- false;
+         Service.close_session t.service session;
+         (try Unix.close c.c_fd with Unix.Unix_error _ -> ()))
 
 (* ---- the accept loop ---- *)
-
-type t = {
-  listener : Unix.file_descr;
-  addr : addr;
-  mutable stopping : bool;
-  mutable accept_thread : Thread.t option;
-}
 
 let bind_listener addr =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
@@ -92,25 +269,88 @@ let bind_listener addr =
   Unix.listen fd 64;
   fd
 
-let start ~service addr =
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start ?(options = default_options) ~service addr =
   let listener = bind_listener addr in
-  let t = { listener; addr; stopping = false; accept_thread = None } in
+  let t =
+    {
+      listener;
+      addr;
+      service;
+      opts = options;
+      m = Mutex.create ();
+      state = Running;
+      accept_thread = None;
+      conns = Hashtbl.create 16;
+      next_conn = 0;
+      opened = 0;
+      rejected = 0;
+      idle_reaped = 0;
+      oversized = 0;
+      handled = 0;
+      drain_forced = 0;
+    }
+  in
   let accept_loop () =
     let rec go () =
       match Unix.accept t.listener with
       | fd, _peer ->
-          if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+          if t.state <> Running then close_quietly fd
           else begin
-            ignore
-              (Thread.create
-                 (fun () ->
-                   try handle_connection service fd
-                   with e ->
-                     if not t.stopping then
-                       Logs.warn (fun m ->
-                           m "connection handler died: %s" (Printexc.to_string e)))
-                 ());
-            go ()
+            (* over the connection cap: answer with a typed error and
+               close — never silently drop, never queue unbounded *)
+            let admitted =
+              locked t (fun () ->
+                  match options.max_conns with
+                  | Some cap when Hashtbl.length t.conns >= cap ->
+                      t.rejected <- t.rejected + 1;
+                      None
+                  | _ ->
+                      let id = t.next_conn in
+                      t.next_conn <- id + 1;
+                      t.opened <- t.opened + 1;
+                      let c = { c_fd = fd; c_busy = false; c_thread = None } in
+                      Hashtbl.replace t.conns id c;
+                      Some (id, c))
+            in
+            match admitted with
+            | None ->
+                let cap = Option.value options.max_conns ~default:0 in
+                (try
+                   send_response fd
+                     (P.Err
+                        ( "resource",
+                          Printf.sprintf
+                            "connection limit reached (max %d) — retry later"
+                            cap ))
+                 with Unix.Unix_error _ | Sys_error _ -> ());
+                close_quietly fd;
+                go ()
+            | Some (id, c) ->
+                (match options.idle_timeout_ms with
+                | Some ms when ms > 0.0 ->
+                    (* reaper and write guard in one: a connection that
+                       neither sends nor receives for [ms] is torn down *)
+                    (try
+                       Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.);
+                       Unix.setsockopt_float fd Unix.SO_SNDTIMEO (ms /. 1000.)
+                     with Unix.Unix_error _ -> ())
+                | _ -> ());
+                let th =
+                  Thread.create
+                    (fun () ->
+                      (try handle_connection t c
+                       with e ->
+                         if t.state = Running then
+                           Logs.warn (fun m ->
+                               m "connection handler died: %s"
+                                 (Printexc.to_string e)));
+                      locked t (fun () -> Hashtbl.remove t.conns id))
+                    ()
+                in
+                c.c_thread <- Some th;
+                go ()
           end
       | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
           () (* stopped *)
@@ -121,9 +361,27 @@ let start ~service addr =
   t.accept_thread <- Some (Thread.create accept_loop ());
   t
 
-let stop t =
-  if not t.stopping then begin
-    t.stopping <- true;
+(* Graceful, idempotent stop:
+
+   1. stop accepting (shut the listener down, poke a blocked accept);
+   2. drain: wait up to [drain_ms] for in-flight requests to finish —
+      idle connections don't hold the drain, only busy ones do;
+   3. past the drain deadline, cooperatively cancel everything in flight
+      ({!Service.cancel_inflight}) — each request answers its client with
+      a typed Resource-stage error — and give it a short grace;
+   4. disconnect every remaining connection and join its thread;
+   5. remove a Unix socket path so the address is immediately reusable. *)
+let stop ?drain_ms t =
+  let drain_ms = Option.value drain_ms ~default:t.opts.drain_ms in
+  let proceed =
+    locked t (fun () ->
+        match t.state with
+        | Running ->
+            t.state <- Stopping;
+            true
+        | Stopping | Stopped -> false)
+  in
+  if proceed then begin
     (* A blocked [accept] is not interrupted by closing the fd on Linux:
        shut the listener down (wakes it with EINVAL), and as a fallback
        poke it with a throwaway connection the loop discards. *)
@@ -138,52 +396,240 @@ let stop t =
        let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
        (try Unix.connect sock (sockaddr_of_addr t.addr)
         with Unix.Unix_error _ -> ());
-       try Unix.close sock with Unix.Unix_error _ -> ()
-     with Unix.Unix_error _ -> ());
+       close_quietly sock
+     with Unix.Unix_error _ | Address_error _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    match t.addr with
+    close_quietly t.listener;
+    (* drain in-flight requests *)
+    let busy () =
+      locked t (fun () ->
+          Hashtbl.fold (fun _ c b -> b || c.c_busy) t.conns false)
+    in
+    let deadline = Unix.gettimeofday () +. (drain_ms /. 1000.) in
+    while busy () && Unix.gettimeofday () < deadline do
+      Thread.delay 0.005
+    done;
+    if busy () then begin
+      locked t (fun () -> t.drain_forced <- t.drain_forced + 1);
+      Service.cancel_inflight ~reason:"server draining" t.service;
+      (* cancellation is cooperative: workers stop at their next
+         fragment/chunk/work-item boundary *)
+      let grace = Unix.gettimeofday () +. 2.0 in
+      while busy () && Unix.gettimeofday () < grace do
+        Thread.delay 0.005
+      done
+    end;
+    (* disconnect whoever is left and wait for their handler threads *)
+    let remaining =
+      locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+    in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      remaining;
+    List.iter
+      (fun c -> match c.c_thread with Some th -> Thread.join th | None -> ())
+      remaining;
+    (match t.addr with
     | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
-    | Tcp _ -> ()
+    | Tcp _ -> ());
+    locked t (fun () -> t.state <- Stopped)
   end
 
-let serve_forever ~service addr =
-  let t = start ~service addr in
+let serve_forever ?options ~service addr =
+  let t = start ?options ~service addr in
   match t.accept_thread with Some th -> Thread.join th | None -> ()
 
 (* ---- client ---- *)
 
 module Client = struct
-  type conn = { ic : in_channel; oc : out_channel }
+  type conn = { fd : Unix.file_descr; reader : reader }
 
-  let connect ?(retries = 0) addr =
+  let connect ?(retries = 0) ?timeout_ms addr =
     let sockaddr = sockaddr_of_addr addr in
+    let domain =
+      match addr with Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+    in
     let rec go attempt =
-      match Unix.open_connection sockaddr with
-      | ic, oc -> { ic; oc }
-      | exception (Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) as e) ->
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sockaddr with
+      | () ->
+          (match timeout_ms with
+          | Some ms when ms > 0.0 -> (
+              try
+                Unix.setsockopt_float fd Unix.SO_RCVTIMEO (ms /. 1000.);
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO (ms /. 1000.)
+              with Unix.Unix_error _ -> ())
+          | _ -> ());
+          { fd; reader = make_reader fd }
+      | exception
+          (Unix.Unix_error ((ECONNREFUSED | ENOENT | ECONNRESET), _, _) as e)
+        ->
+          close_quietly fd;
           if attempt >= retries then raise e
           else begin
             Thread.delay 0.05;
             go (attempt + 1)
           end
+      | exception e ->
+          close_quietly fd;
+          raise e
     in
     go 0
 
   let request conn req : (P.response, string) result =
-    output_string conn.oc (P.render_request req);
-    output_char conn.oc '\n';
-    flush conn.oc;
-    P.read_response (fun () ->
-        match input_line conn.ic with
-        | line -> Some line
-        | exception End_of_file -> None)
+    let line = P.render_request req ^ "\n" in
+    match write_all conn.fd line 0 (String.length line) with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+    | () -> (
+        let timed_out = ref false in
+        let next_line () =
+          match read_line conn.reader with
+          | Line l -> Some l
+          | Too_long -> None
+          | Eof -> None
+          | Timed_out ->
+              timed_out := true;
+              None
+        in
+        match P.read_response next_line with
+        | Ok resp -> Ok resp
+        | Error e ->
+            if !timed_out then Error "timeout: no response within the deadline"
+            else Error e)
 
   let close conn =
     (try
-       output_string conn.oc (P.render_request P.Close);
-       output_char conn.oc '\n';
-       flush conn.oc
-     with Sys_error _ -> ());
-    try close_in conn.ic with Sys_error _ -> ()
+       let line = P.render_request P.Close ^ "\n" in
+       write_all conn.fd line 0 (String.length line)
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    close_quietly conn.fd
+
+  (* ---- self-contained calls: timeout, retries, hedging ---- *)
+
+  type call_stats = {
+    attempts : int;  (** connections opened (hedges included) *)
+    retries : int;  (** attempts after the first sequential one *)
+    hedges : int;  (** speculative duplicates sent *)
+    hedge_wins : int;  (** calls answered by the hedge, not the primary *)
+  }
+
+  let no_calls = { attempts = 0; retries = 0; hedges = 0; hedge_wins = 0 }
+
+  let merge_stats a b =
+    {
+      attempts = a.attempts + b.attempts;
+      retries = a.retries + b.retries;
+      hedges = a.hedges + b.hedges;
+      hedge_wins = a.hedge_wins + b.hedge_wins;
+    }
+
+  (* One attempt on a fresh connection.  The connection is always torn
+     down afterwards: retried requests never share transport state with
+     the attempt that failed. *)
+  let attempt_once ?timeout_ms addr req : (P.response, string) result =
+    match connect ?timeout_ms addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+    | exception Address_error m -> Error m
+    | conn ->
+        Fun.protect
+          ~finally:(fun () -> close_quietly conn.fd)
+          (fun () -> request conn req)
+
+  (* Race the primary attempt against one hedge fired after [hedge_ms] of
+     silence.  First [Ok] wins immediately; an [Error] only settles the
+     race once no other attempt is outstanding. *)
+  let raced ?timeout_ms ~hedge_ms addr req :
+      (P.response, string) result * call_stats =
+    let m = Mutex.create () in
+    let result = ref None in
+    let outstanding = ref 0 in
+    let winner = ref `Primary in
+    let post who (r : (P.response, string) result) =
+      Mutex.lock m;
+      (match r with
+      | Ok _ when !result = None ->
+          winner := who;
+          result := Some r
+      | _ -> ());
+      decr outstanding;
+      (match r with
+      | Error _ when !result = None && !outstanding = 0 -> result := Some r
+      | _ -> ());
+      Mutex.unlock m
+    in
+    let spawn who =
+      Mutex.lock m;
+      incr outstanding;
+      Mutex.unlock m;
+      Thread.create (fun () -> post who (attempt_once ?timeout_ms addr req)) ()
+    in
+    let settled () =
+      Mutex.lock m;
+      let r = !result in
+      Mutex.unlock m;
+      r
+    in
+    let (_ : Thread.t) = spawn `Primary in
+    let hedge_at = Unix.gettimeofday () +. (hedge_ms /. 1000.) in
+    let rec wait_primary () =
+      match settled () with
+      | Some _ -> false
+      | None ->
+          if Unix.gettimeofday () >= hedge_at then true
+          else begin
+            Thread.delay 0.002;
+            wait_primary ()
+          end
+    in
+    let hedged = wait_primary () in
+    if hedged then ignore (spawn `Hedge : Thread.t);
+    let rec wait_final () =
+      match settled () with
+      | Some r -> r
+      | None ->
+          Thread.delay 0.002;
+          wait_final ()
+    in
+    let r = wait_final () in
+    let stats =
+      {
+        attempts = (if hedged then 2 else 1);
+        retries = 0;
+        hedges = (if hedged then 1 else 0);
+        hedge_wins =
+          (match (r, !winner) with Ok _, `Hedge -> 1 | _ -> 0);
+      }
+    in
+    (r, stats)
+
+  let call ?timeout_ms ?(retries = 0) ?(backoff_ms = 25.0) ?hedge_ms ?(seed = 0)
+      addr req : (P.response, string) result * call_stats =
+    let rng = Random.State.make [| seed; Hashtbl.hash (P.render_request req) |] in
+    let retries = if P.idempotent req then max 0 retries else 0 in
+    let one () =
+      match hedge_ms with
+      | Some h when h > 0.0 -> raced ?timeout_ms ~hedge_ms:h addr req
+      | _ ->
+          ( attempt_once ?timeout_ms addr req,
+            { attempts = 1; retries = 0; hedges = 0; hedge_wins = 0 } )
+    in
+    let rec go k acc =
+      let r, s = one () in
+      let acc = merge_stats acc s in
+      match r with
+      | Ok _ -> (r, acc)
+      | Error _ when k < retries ->
+          (* jittered exponential backoff: base · 2^k · U[0.5, 1.5) *)
+          let jitter = 0.5 +. Random.State.float rng 1.0 in
+          let delay =
+            backoff_ms /. 1000. *. (2. ** float_of_int k) *. jitter
+          in
+          Thread.delay (min delay 2.0);
+          go (k + 1) { acc with retries = acc.retries + 1 }
+      | Error _ -> (r, acc)
+    in
+    go 0 no_calls
 end

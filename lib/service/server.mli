@@ -5,37 +5,135 @@
     {!Protocol} line grammar.  Query execution itself happens on the
     service's domain pool — connection threads only parse, submit and
     render — so slow clients do not hold worker domains, and admission
-    control applies uniformly to socket and in-process callers. *)
+    control applies uniformly to socket and in-process callers.
+
+    The server protects itself ({!options}): request lines are bounded
+    (an oversized line answers a typed parse error and the connection
+    survives), idle connections are reaped after [idle_timeout_ms],
+    at most [max_conns] connections are served at once (excess ones get
+    a typed Resource error and are closed), and every request runs under
+    [request_timeout_ms].  {!stop} drains gracefully: in-flight requests
+    get [drain_ms] to finish before being cooperatively cancelled
+    through the service's {!Voodoo_core.Budget} token.  See
+    [docs/SERVICE.md] and [docs/ROBUSTNESS.md]. *)
 
 type addr = Unix_socket of string | Tcp of string * int  (** host, port *)
 
+(** Hostname resolution failed ({!sockaddr_of_addr} uses
+    [Unix.getaddrinfo]); the message names the host. *)
+exception Address_error of string
+
 val pp_addr : Format.formatter -> addr -> unit
+
+(** Resolve to a concrete [Unix.sockaddr] (numeric IPs without a
+    lookup); raises {!Address_error} when resolution fails.  Exposed for
+    {!Chaos}, which dials the upstream itself. *)
+val sockaddr_of_addr : addr -> Unix.sockaddr
+
+type options = {
+  request_timeout_ms : float option;
+      (** per-request wall-clock deadline (passed to the service) *)
+  idle_timeout_ms : float option;
+      (** reap connections silent for this long (SO_RCVTIMEO) *)
+  max_conns : int option;  (** concurrent-connection cap *)
+  max_line_bytes : int;  (** request-line bound (default 64 KiB) *)
+  drain_ms : float;  (** default drain window of {!stop} *)
+}
+
+(** No timeouts, no cap, 64 KiB lines, 1 s drain. *)
+val default_options : options
 
 type t
 
 (** [start ~service addr] binds, listens and spawns the accept thread
     (an existing Unix socket path is replaced). *)
-val start : service:Service.t -> addr -> t
+val start : ?options:options -> service:Service.t -> addr -> t
 
-(** Close the listener, join the accept thread, remove the socket file.
-    Open connections finish their current request and then find their
-    socket closed.  Idempotent. *)
-val stop : t -> unit
+(** Graceful stop: close the listener, wait up to [drain_ms] (default:
+    [options.drain_ms]) for in-flight requests to finish, then
+    cooperatively cancel the stragglers ({!Service.cancel_inflight} —
+    each answers its client with a typed Resource error), disconnect
+    every connection, join every handler thread, and remove a Unix
+    socket path.  Idempotent and safe to call concurrently. *)
+val stop : ?drain_ms:float -> t -> unit
 
 (** [start] + block forever (the CLI's [voodoo serve]). *)
-val serve_forever : service:Service.t -> addr -> unit
+val serve_forever : ?options:options -> service:Service.t -> addr -> unit
+
+(** {2 Server-side counters}
+
+    Appended to the wire [STATS] reply (keys [server.conns.opened],
+    [server.conns.live], [server.conns.rejected],
+    [server.conns.idle_reaped], [server.requests.oversized],
+    [server.requests.handled], [server.drains.forced]). *)
+
+type stats = {
+  conns_opened : int;
+  conns_live : int;
+  conns_rejected : int;
+  conns_idle_reaped : int;
+  requests_oversized : int;
+  requests_handled : int;
+  drains_forced : int;
+}
+
+val stats : t -> stats
+
+val stats_fields : stats -> (string * float) list
 
 module Client : sig
   type conn
 
   (** [connect addr] opens a connection; [retries] short reconnection
-      attempts smooth over a server that is still binding. *)
-  val connect : ?retries:int -> addr -> conn
+      attempts smooth over a server that is still binding, [timeout_ms]
+      bounds every read and write on the connection (SO_RCVTIMEO /
+      SO_SNDTIMEO). *)
+  val connect : ?retries:int -> ?timeout_ms:float -> addr -> conn
 
   (** One request/response round trip.  [Error] means a transport or
-      framing failure; server-side failures arrive as [Protocol.Err]. *)
+      framing failure (including ["timeout: …"] when [timeout_ms]
+      expired); server-side failures arrive as [Protocol.Err]. *)
   val request : conn -> Protocol.request -> (Protocol.response, string) result
 
   (** Send [CLOSE] (best effort) and drop the connection. *)
   val close : conn -> unit
+
+  (** {2 Self-contained calls: timeout, retries, hedging} *)
+
+  type call_stats = {
+    attempts : int;  (** connections opened (hedges included) *)
+    retries : int;  (** sequential re-attempts after a failure *)
+    hedges : int;  (** speculative duplicates sent *)
+    hedge_wins : int;  (** calls answered by the hedge, not the primary *)
+  }
+
+  val no_calls : call_stats
+
+  val merge_stats : call_stats -> call_stats -> call_stats
+
+  (** [call addr req] performs one logical request on its own
+      connection(s) and always terminates:
+
+      - [timeout_ms] bounds each attempt's socket reads/writes;
+      - transport failures are retried up to [retries] times with
+        jittered exponential backoff ([backoff_ms] · 2{^k} · U[0.5,1.5)),
+        but {e only} when {!Protocol.idempotent} holds for [req];
+      - with [hedge_ms], an attempt that has not answered within that
+        latency fires one speculative duplicate on a second connection
+        and the first [Ok] wins (an [Error] only settles the race once
+        no attempt is outstanding);
+      - [seed] makes the backoff jitter deterministic.
+
+      Server-side failures ([Protocol.Err]) are {e answers}, not
+      transport failures: they return [Ok (Err …)] and are never
+      retried. *)
+  val call :
+    ?timeout_ms:float ->
+    ?retries:int ->
+    ?backoff_ms:float ->
+    ?hedge_ms:float ->
+    ?seed:int ->
+    addr ->
+    Protocol.request ->
+    (Protocol.response, string) result * call_stats
 end

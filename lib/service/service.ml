@@ -20,6 +20,7 @@ type config = {
   plan_cache_capacity : int;
   result_cache_bytes : int;
   budget : Budget.t;
+  request_timeout_ms : float option;
   engine : engine_mode;
   jobs : int;
   lower_opts : Lower.options option;
@@ -38,6 +39,7 @@ let default_config =
     plan_cache_capacity = 64;
     result_cache_bytes = 16 * 1024 * 1024;
     budget = Budget.unlimited;
+    request_timeout_ms = None;
     engine = Direct;
     jobs = 1;
     lower_opts = None;
@@ -67,12 +69,17 @@ type t = {
   opts_digest : string;  (** lower/codegen options part of every cache key *)
   tunes : (string, tune_state) Hashtbl.t;
   m : Mutex.t;
+  mutable inflight : Budget.token;
+      (** shared cancellation token of every in-flight execution; a drain
+          cancels it and installs a fresh one *)
   mutable next_session : int;
   mutable sessions_opened : int;
   mutable sessions_live : int;
   mutable queries : int;
   mutable result_hits : int;
   mutable errors : int;
+  mutable deadline_expired : int;
+  mutable cancelled : int;
   mutable fast_path : int;
   mutable parallel : int;
   mutable tune_scheduled : int;
@@ -104,12 +111,15 @@ let create ?registry (config : config) =
            (Marshal.to_string (config.lower_opts, config.backend_opts) []));
     tunes = Hashtbl.create 16;
     m = Mutex.create ();
+    inflight = Budget.token ();
     next_session = 0;
     sessions_opened = 0;
     sessions_live = 0;
     queries = 0;
     result_hits = 0;
     errors = 0;
+    deadline_expired = 0;
+    cancelled = 0;
     fast_path = 0;
     parallel = 0;
     tune_scheduled = 0;
@@ -124,6 +134,28 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 let shutdown t = Pool.shutdown t.pool
+
+(* ---- cancellation / per-request budgets ---- *)
+
+(* Cancel everything currently executing (cooperatively — workers notice
+   at their next check point) and install a fresh token so later requests
+   are unaffected.  Used by the server's drain path. *)
+let cancel_inflight ?(reason = "server draining") t =
+  locked t (fun () ->
+      Budget.cancel ~reason t.inflight;
+      t.inflight <- Budget.token ())
+
+(* The budget one request runs under: the service-wide caps, the shared
+   in-flight cancellation token, and — when a per-request or configured
+   timeout applies — a wall-clock deadline that starts now, so time spent
+   waiting in the admission queue counts against it. *)
+let request_budget ?timeout_ms t =
+  let b = locked t (fun () -> Budget.with_token t.config.budget t.inflight) in
+  match
+    (match timeout_ms with Some _ -> timeout_ms | None -> t.config.request_timeout_ms)
+  with
+  | Some ms -> Budget.deadline_in b ~ms
+  | None -> b
 
 (* ---- sessions ---- *)
 
@@ -279,33 +311,40 @@ let pick_exec t ?trace () =
       if jobs > 1 then t.parallel <- t.parallel + 1);
   Voodoo_compiler.Codegen.Closure { instrument; jobs }
 
-let run_prepared t ?trace cat (p : Engine.prepared) : outcome =
+let run_prepared t ?trace ~budget cat (p : Engine.prepared) : outcome =
   match t.config.engine with
   | Direct -> (
       let exec = pick_exec t ?trace () in
-      match
-        Engine.run_prepared ?trace ~budget:t.config.budget ~exec cat p
-      with
+      match Engine.run_prepared ?trace ~budget ~exec cat p with
       | rows -> Ok rows
       | exception e -> Error (R.classify R.Compiled e))
   | Resilient policy -> (
-      match R.execute_prepared ?trace policy cat p with
+      match R.execute_prepared ?trace { policy with R.budget } cat p with
       | Ok (rows, _report) -> Ok rows
       | Error e -> Error e)
 
+(* Time-based Resource errors get their own counters (the bench and the
+   drain path read them); the message prefixes are {!Budget.check_time}'s. *)
 let count_outcome t (o : outcome) =
   locked t (fun () ->
       match o with
       | Ok _ -> ()
-      | Error _ -> t.errors <- t.errors + 1);
+      | Error e ->
+          t.errors <- t.errors + 1;
+          if e.Verror.stage = Verror.Resource then begin
+            if String.starts_with ~prefix:"deadline exceeded" e.Verror.message
+            then t.deadline_expired <- t.deadline_expired + 1
+            else if String.starts_with ~prefix:"cancelled" e.Verror.message
+            then t.cancelled <- t.cancelled + 1
+          end);
   o
 
 (* One plan, straight through: plan cache, then execute under the budget. *)
-let plan_job t ?trace ~result_key ~generation ~cat plan () : outcome =
+let plan_job t ?trace ~budget ~result_key ~generation ~cat plan () : outcome =
   count_outcome t
     (match
        let p = get_or_prepare t ?trace cat ~generation plan in
-       run_prepared t ?trace cat p
+       run_prepared t ?trace ~budget cat p
      with
     | Ok rows ->
         Result_cache.add t.results result_key rows;
@@ -316,13 +355,13 @@ let plan_job t ?trace ~result_key ~generation ~cat plan () : outcome =
 (* A named multi-phase TPC-H query: every phase's plan goes through the
    plan cache; the whole run happens on a catalog fork so temp-table
    registration (Q20) cannot race with other domains. *)
-let named_query_job t ?trace ~result_key ~generation ~cat (q : Q.t) () :
+let named_query_job t ?trace ~budget ~result_key ~generation ~cat (q : Q.t) () :
     outcome =
   count_outcome t
     (let forked = Catalogs.fork cat in
      let eval c p =
        let prep = get_or_prepare t ?trace c ~generation p in
-       match run_prepared t ?trace c prep with
+       match run_prepared t ?trace ~budget c prep with
        | Ok rows -> rows
        | Error e -> raise (Service_error e)
      in
@@ -383,7 +422,7 @@ let parse_sql (cat : Catalog.t) text : (Ra.t, Verror.t) result =
 
 (* ---- front doors ---- *)
 
-let sql_async ?trace t (s : Session.t) text : outcome Pool.future =
+let sql_async ?trace ?timeout_ms t (s : Session.t) text : outcome Pool.future =
   if Session.closed s then
     Pool.resolved (count_outcome t (Error (closed_error s)))
   else begin
@@ -397,9 +436,10 @@ let sql_async ?trace t (s : Session.t) text : outcome Pool.future =
       match cached_answer t result_key with
       | Some rows -> Pool.resolved (Ok rows)
       | None ->
+          let budget = request_budget ?timeout_ms t in
           submit t
-            (plan_job t ?trace ~result_key ~generation ~cat:entry.Catalogs.cat
-               plan))
+            (plan_job t ?trace ~budget ~result_key ~generation
+               ~cat:entry.Catalogs.cat plan))
   end
 
 let prepare ?trace t (s : Session.t) ~name text : (unit, Verror.t) result =
@@ -425,7 +465,7 @@ let prepare ?trace t (s : Session.t) ~name text : (unit, Verror.t) result =
           ignore (count_outcome t (Error err));
           Error err)
 
-let exec_async ?trace t (s : Session.t) name : outcome Pool.future =
+let exec_async ?trace ?timeout_ms t (s : Session.t) name : outcome Pool.future =
   if Session.closed s then
     Pool.resolved (count_outcome t (Error (closed_error s)))
   else begin
@@ -457,12 +497,13 @@ let exec_async ?trace t (s : Session.t) name : outcome Pool.future =
           match cached_answer t result_key with
           | Some rows -> Pool.resolved (Ok rows)
           | None ->
+              let budget = request_budget ?timeout_ms t in
               submit t
-                (plan_job t ?trace ~result_key ~generation
+                (plan_job t ?trace ~budget ~result_key ~generation
                    ~cat:entry.Catalogs.cat stmt.Session.plan)))
   end
 
-let query_async ?trace t (s : Session.t) name : outcome Pool.future =
+let query_async ?trace ?timeout_ms t (s : Session.t) name : outcome Pool.future =
   if Session.closed s then
     Pool.resolved (count_outcome t (Error (closed_error s)))
   else begin
@@ -481,14 +522,15 @@ let query_async ?trace t (s : Session.t) name : outcome Pool.future =
       match cached_answer t result_key with
       | Some rows -> Pool.resolved (Ok rows)
       | None ->
+          let budget = request_budget ?timeout_ms t in
           submit t
-            (named_query_job t ?trace ~result_key ~generation
+            (named_query_job t ?trace ~budget ~result_key ~generation
                ~cat:entry.Catalogs.cat q))
   end
 
-let sql ?trace t s text = await (sql_async ?trace t s text)
-let exec ?trace t s name = await (exec_async ?trace t s name)
-let query ?trace t s name = await (query_async ?trace t s name)
+let sql ?trace ?timeout_ms t s text = await (sql_async ?trace ?timeout_ms t s text)
+let exec ?trace ?timeout_ms t s name = await (exec_async ?trace ?timeout_ms t s name)
+let query ?trace ?timeout_ms t s name = await (query_async ?trace ?timeout_ms t s name)
 
 (* ---- catalog swaps ---- *)
 
@@ -517,6 +559,8 @@ type stats = {
   queries : int;
   result_hits : int;
   errors : int;
+  deadline_expired : int;
+  cancelled : int;
   fast_path : int;
   parallel : int;
   tune_scheduled : int;
@@ -536,6 +580,7 @@ let stats t =
               fast_path, parallel ) =
           ( t.sessions_opened, t.sessions_live, t.queries, t.result_hits,
             t.errors, t.fast_path, t.parallel )
+        and deadline_expired, cancelled = (t.deadline_expired, t.cancelled)
         and tune_scheduled, tune_completed, tune_candidates, tune_rejected,
             tune_repointed =
           ( t.tune_scheduled, t.tune_completed, t.tune_candidates,
@@ -548,6 +593,8 @@ let stats t =
             queries;
             result_hits;
             errors;
+            deadline_expired;
+            cancelled;
             fast_path;
             parallel;
             tune_scheduled;
@@ -570,6 +617,8 @@ let stats_fields (s : stats) : (string * float) list =
     ("sessions.live", f s.sessions_live);
     ("queries.answered", f s.queries);
     ("queries.errors", f s.errors);
+    ("queries.deadline_expired", f s.deadline_expired);
+    ("queries.cancelled", f s.cancelled);
     ("exec.fast_path", f s.fast_path);
     ("exec.parallel", f s.parallel);
     ("tune.scheduled", f s.tune_scheduled);

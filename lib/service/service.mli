@@ -40,6 +40,13 @@ type config = {
   plan_cache_capacity : int;  (** prepared plans kept (entries) *)
   result_cache_bytes : int;  (** result cache cap (estimated bytes) *)
   budget : Budget.t;  (** per-execution resource budget *)
+  request_timeout_ms : float option;
+      (** default wall-clock deadline of every request, measured from
+          admission (queue wait counts); [None] means no deadline.  The
+          per-call [?timeout_ms] argument overrides it.  Expiry surfaces
+          as a [Resource]-stage {!Voodoo_core.Verror.t} ("deadline
+          exceeded …") — the executors check cooperatively at fragment,
+          chunk and work-item boundaries, so no torn result. *)
   engine : engine_mode;
   jobs : int;
       (** intra-query domains for [Direct] dispatch: when the admission
@@ -78,6 +85,13 @@ val create : ?registry:Catalogs.t -> config -> t
 (** Stop accepting work, drain the queue, join the domains.  Idempotent. *)
 val shutdown : t -> unit
 
+(** Cooperatively cancel every execution currently in flight (each stops
+    at its next fragment/chunk/work-item check point with a typed
+    [Resource]-stage "cancelled: reason" error) and install a fresh token
+    so later requests are unaffected.  The server's graceful drain calls
+    this when the drain deadline passes. *)
+val cancel_inflight : ?reason:string -> t -> unit
+
 (** {2 Sessions} *)
 
 (** [open_session t] makes a session at the service's default (or the
@@ -100,24 +114,34 @@ val prepare :
   ?trace:Voodoo_core.Trace.t ->
   t -> Session.t -> name:string -> string -> (unit, Verror.t) result
 
-(** Run a previously prepared statement by name. *)
+(** Run a previously prepared statement by name.  [?timeout_ms] (here and
+    below) overrides [config.request_timeout_ms] for this call. *)
 val exec_async :
-  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+  ?trace:Voodoo_core.Trace.t ->
+  ?timeout_ms:float ->
+  t -> Session.t -> string -> outcome Pool.future
 
 (** One-shot SQL text (planned, then cached like any other query). *)
 val sql_async :
-  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+  ?trace:Voodoo_core.Trace.t ->
+  ?timeout_ms:float ->
+  t -> Session.t -> string -> outcome Pool.future
 
 (** A named TPC-H query ([Q1] … [Q20]); multi-phase queries run all their
     phases in one pool job on a catalog fork. *)
 val query_async :
-  ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome Pool.future
+  ?trace:Voodoo_core.Trace.t ->
+  ?timeout_ms:float ->
+  t -> Session.t -> string -> outcome Pool.future
 
 val await : outcome Pool.future -> outcome
 
-val exec : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
-val sql : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
-val query : ?trace:Voodoo_core.Trace.t -> t -> Session.t -> string -> outcome
+val exec :
+  ?trace:Voodoo_core.Trace.t -> ?timeout_ms:float -> t -> Session.t -> string -> outcome
+val sql :
+  ?trace:Voodoo_core.Trace.t -> ?timeout_ms:float -> t -> Session.t -> string -> outcome
+val query :
+  ?trace:Voodoo_core.Trace.t -> ?timeout_ms:float -> t -> Session.t -> string -> outcome
 
 (** {2 Catalog swaps} *)
 
@@ -134,6 +158,8 @@ type stats = {
   queries : int;  (** requests accepted (including cache hits) *)
   result_hits : int;  (** answered straight from the result cache *)
   errors : int;  (** typed error outcomes (sheds included) *)
+  deadline_expired : int;  (** errors that were deadline expiries *)
+  cancelled : int;  (** errors that were cooperative cancellations *)
   fast_path : int;  (** [Direct] executions that skipped device simulation *)
   parallel : int;  (** [Direct] executions chunked across >1 domain *)
   tune_scheduled : int;  (** background searches submitted to the pool *)

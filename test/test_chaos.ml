@@ -1,0 +1,346 @@
+(* Socket-level chaos: a real server behind a seeded fault-injecting
+   proxy ([Chaos]).  The proxy drops connections, stalls, answers
+   garbage frames, kills responses halfway and trickles bytes one at a
+   time; the client's timeout/retry logic must turn every fault back
+   into rows or a typed error — never a hang, never a torn result —
+   and afterwards the server must be leak-free (no live sessions, no
+   live connections) and still answer bit-identical rows.
+
+   Also here: the server's self-protection (oversized request lines,
+   idle reaping, the connection cap), PING, stop/drain idempotency and
+   address-resolution errors — everything that needs a real socket. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Server = Voodoo_service.Server
+module Chaos = Voodoo_service.Chaos
+module P = Voodoo_service.Protocol
+
+let sf = 0.005
+
+let registry = Catalogs.create ()
+
+let canon (q : Q.t) rows =
+  Reference.sort_rows (Reference.project_rows q.Q.columns rows)
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "voodoo_%s_%d.sock" name (Unix.getpid ()))
+
+let with_server ?(config = fun c -> c) ?options name f =
+  let path = tmp name in
+  let cfg =
+    config { Svc.default_config with Svc.sf; workers = 2; queue_capacity = 32 }
+  in
+  let service = Svc.create ~registry cfg in
+  let server = Server.start ?options ~service (Server.Unix_socket path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Svc.shutdown service)
+    (fun () -> f ~path ~service ~server)
+
+(* Wait for an eventually-consistent condition (handler threads finish
+   just after the response is read). *)
+let eventually ?(tries = 100) what cond =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go (n - 1)
+    end
+  in
+  go tries
+
+(* ---- the soak ---- *)
+
+let test_chaos_soak () =
+  with_server "chaos_up" (fun ~path ~service ~server ->
+      let chaos_path = tmp "chaos_px" in
+      let chaos =
+        Chaos.start ~seed:42 ~stall_ms:150.0
+          ~upstream:(Server.Unix_socket path)
+          ~listen:(Server.Unix_socket chaos_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Chaos.stop chaos)
+        (fun () ->
+          let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+          let totals = ref Server.Client.no_calls in
+          List.iter
+            (fun name ->
+              let q = Option.get (Q.find ~sf name) in
+              let expected = canon q (q.Q.run (fun c p -> E.compiled c p) cat) in
+              let r, s =
+                Server.Client.call ~timeout_ms:2_000.0 ~retries:10
+                  ~backoff_ms:2.0 ~seed:7
+                  (Server.Unix_socket chaos_path)
+                  (P.Query name)
+              in
+              totals := Server.Client.merge_stats !totals s;
+              match r with
+              | Ok (P.Rows rows) ->
+                  if not (Reference.rows_equal expected (canon q rows)) then
+                    Alcotest.failf "%s: rows through chaos differ" name
+              | Ok (P.Err (stage, msg)) ->
+                  Alcotest.failf "%s: typed server error [%s] %s" name stage msg
+              | Ok _ -> Alcotest.failf "%s: unexpected response kind" name
+              | Error e ->
+                  Alcotest.failf "%s: not answered despite retries: %s" name e)
+            Q.cpu_figure13;
+          (* the proxy did inject faults (otherwise this test is a no-op)
+             and the client did retry through them *)
+          let cs = Chaos.stats chaos in
+          Alcotest.(check bool) "chaos injected faults" true
+            (cs.Chaos.dropped + cs.Chaos.stalled + cs.Chaos.garbled
+             + cs.Chaos.killed
+            > 0);
+          Alcotest.(check bool) "client retried" true
+            (!totals.Server.Client.retries > 0);
+          (* no leaks: every session and connection torn down *)
+          eventually "sessions to close" (fun () ->
+              (Svc.stats service).Svc.sessions_live = 0);
+          eventually "connections to close" (fun () ->
+              (Server.stats server).Server.conns_live = 0);
+          (* post-chaos, a clean direct connection answers bit-identical *)
+          let conn =
+            Server.Client.connect ~retries:40 (Server.Unix_socket path)
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close conn)
+            (fun () ->
+              List.iter
+                (fun name ->
+                  let q = Option.get (Q.find ~sf name) in
+                  let expected =
+                    canon q (q.Q.run (fun c p -> E.compiled c p) cat)
+                  in
+                  match Server.Client.request conn (P.Query name) with
+                  | Ok (P.Rows rows) ->
+                      if not (Reference.rows_equal expected (canon q rows))
+                      then Alcotest.failf "%s: post-chaos rows differ" name
+                  | Ok (P.Err (stage, msg)) ->
+                      Alcotest.failf "%s: post-chaos error [%s] %s" name stage
+                        msg
+                  | Ok _ -> Alcotest.failf "%s: unexpected response" name
+                  | Error e -> Alcotest.failf "%s: transport error: %s" name e)
+                Q.cpu_figure13)))
+
+(* Hedging: a stalled primary is overtaken by a speculative duplicate.
+   Weights allow only stall or pass, so the seed-fixed draw sequence is
+   easy to reason about: whenever the primary stalls, the hedge (fired
+   after 50 ms, against a 400 ms stall) must win. *)
+let test_hedging_beats_stall () =
+  with_server "hedge_up" (fun ~path ~service:_ ~server:_ ->
+      let chaos_path = tmp "hedge_px" in
+      let weights =
+        {
+          Chaos.w_pass = 1;
+          w_drop_connect = 0;
+          w_stall = 1;
+          w_garbage = 0;
+          w_kill = 0;
+          w_trickle = 0;
+        }
+      in
+      let chaos =
+        Chaos.start ~seed:3 ~weights ~stall_ms:400.0
+          ~upstream:(Server.Unix_socket path)
+          ~listen:(Server.Unix_socket chaos_path) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Chaos.stop chaos)
+        (fun () ->
+          let totals = ref Server.Client.no_calls in
+          for _ = 1 to 8 do
+            let r, s =
+              Server.Client.call ~timeout_ms:2_000.0 ~retries:4 ~backoff_ms:2.0
+                ~hedge_ms:50.0 ~seed:11
+                (Server.Unix_socket chaos_path)
+                (P.Query "Q6")
+            in
+            totals := Server.Client.merge_stats !totals s;
+            match r with
+            | Ok (P.Rows _) -> ()
+            | Ok _ -> Alcotest.fail "expected rows"
+            | Error e -> Alcotest.failf "hedged call failed: %s" e
+          done;
+          let t = !totals in
+          Alcotest.(check bool) "some hedges fired" true
+            (t.Server.Client.hedges > 0);
+          Alcotest.(check bool) "hedges can win" true
+            (t.Server.Client.hedge_wins > 0)))
+
+(* ---- self-protection ---- *)
+
+let test_oversized_line_answers_typed_error () =
+  let options = { Server.default_options with Server.max_line_bytes = 256 } in
+  with_server ~options "oversize" (fun ~path ~service:_ ~server:_ ->
+      let conn = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () ->
+          let huge = P.Sql ("select " ^ String.make 4096 'x') in
+          (match Server.Client.request conn huge with
+          | Ok (P.Err ("parse", msg)) ->
+              Alcotest.(check bool) "message names the bound" true
+                (String.length msg > 0)
+          | Ok _ -> Alcotest.fail "oversized line must answer ERR parse"
+          | Error e -> Alcotest.failf "connection must survive, got: %s" e);
+          (* the same connection still answers *)
+          match Server.Client.request conn P.Ping with
+          | Ok P.Pong -> ()
+          | _ -> Alcotest.fail "connection must stay framed after overflow"))
+
+let test_ping () =
+  with_server "ping" (fun ~path ~service:_ ~server:_ ->
+      let conn = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () ->
+          match Server.Client.request conn P.Ping with
+          | Ok P.Pong -> ()
+          | Ok _ -> Alcotest.fail "PING must answer PONG"
+          | Error e -> Alcotest.failf "transport error: %s" e))
+
+let test_idle_reaper () =
+  let options =
+    { Server.default_options with Server.idle_timeout_ms = Some 100.0 }
+  in
+  with_server ~options "idle" (fun ~path ~service:_ ~server ->
+      let conn = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      (match Server.Client.request conn P.Ping with
+      | Ok P.Pong -> ()
+      | _ -> Alcotest.fail "ping before idling");
+      (* sit silent past the timeout: the server reaps the connection *)
+      eventually "idle connection to be reaped" (fun () ->
+          let s = Server.stats server in
+          s.Server.conns_idle_reaped >= 1 && s.Server.conns_live = 0);
+      (try Server.Client.close conn with _ -> ()))
+
+let test_max_conns_rejects_typed () =
+  let options = { Server.default_options with Server.max_conns = Some 1 } in
+  with_server ~options "cap" (fun ~path ~service:_ ~server ->
+      let c1 = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c1)
+        (fun () ->
+          (* make sure c1 is registered before dialing c2 *)
+          (match Server.Client.request c1 P.Ping with
+          | Ok P.Pong -> ()
+          | _ -> Alcotest.fail "ping on first connection");
+          (* the second connection is answered with a typed Resource
+             error and closed; read it raw off the socket *)
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              let buf = Bytes.create 1024 in
+              let rec read_some acc =
+                if String.length acc > 0 && String.contains acc '\n' then acc
+                else
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> acc
+                  | n -> read_some (acc ^ Bytes.sub_string buf 0 n)
+                  | exception Unix.Unix_error _ -> acc
+              in
+              let line = read_some "" in
+              Alcotest.(check bool) "typed resource rejection" true
+                (String.length line >= 12
+                && String.sub line 0 12 = "ERR resource"));
+          eventually "rejection counted" (fun () ->
+              (Server.stats server).Server.conns_rejected >= 1)))
+
+(* ---- stop / drain robustness ---- *)
+
+let test_double_stop_and_restart_same_addr () =
+  let path = tmp "restart" in
+  let config = { Svc.default_config with Svc.sf; workers = 2 } in
+  let service = Svc.create ~registry config in
+  Fun.protect
+    ~finally:(fun () -> Svc.shutdown service)
+    (fun () ->
+      let server = Server.start ~service (Server.Unix_socket path) in
+      let conn = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      (match Server.Client.request conn P.Ping with
+      | Ok P.Pong -> ()
+      | _ -> Alcotest.fail "ping before stop");
+      (* stop with the client still connected — and stop again *)
+      Server.stop server;
+      Server.stop server;
+      (try Server.Client.close conn with _ -> ());
+      Alcotest.(check bool) "socket path removed" false (Sys.file_exists path);
+      (* concurrent double stop on a fresh server *)
+      let server2 = Server.start ~service (Server.Unix_socket path) in
+      let t1 = Thread.create (fun () -> Server.stop server2) () in
+      let t2 = Thread.create (fun () -> Server.stop server2) () in
+      Thread.join t1;
+      Thread.join t2;
+      (* the address is immediately reusable *)
+      let server3 = Server.start ~service (Server.Unix_socket path) in
+      let conn3 = Server.Client.connect ~retries:40 (Server.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close conn3;
+          Server.stop server3)
+        (fun () ->
+          match Server.Client.request conn3 (P.Query "Q6") with
+          | Ok (P.Rows _) -> ()
+          | Ok (P.Err (s, m)) -> Alcotest.failf "restart error [%s] %s" s m
+          | Ok _ -> Alcotest.fail "expected rows after restart"
+          | Error e -> Alcotest.failf "restart transport error: %s" e);
+      (* service-level shutdown is idempotent too *)
+      Svc.shutdown service;
+      Svc.shutdown service)
+
+let test_address_error_is_typed () =
+  (match
+     Server.Client.call ~retries:1
+       (Server.Tcp ("definitely-not-a-host.invalid", 1))
+       P.Ping
+   with
+  | Error msg, _ ->
+      Alcotest.(check bool) "names the failure" true (String.length msg > 0)
+  | Ok _, _ -> Alcotest.fail "unresolvable host must not answer");
+  match
+    Server.start
+      ~service:(Svc.create ~registry { Svc.default_config with Svc.sf })
+      (Server.Tcp ("definitely-not-a-host.invalid", 1))
+  with
+  | (_ : Server.t) -> Alcotest.fail "server bind to unresolvable host"
+  | exception Server.Address_error msg ->
+      Alcotest.(check bool) "typed address error" true (String.length msg > 0)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "all queries survive the chaos proxy" `Slow
+            test_chaos_soak;
+          Alcotest.test_case "hedging beats a stalled primary" `Slow
+            test_hedging_beats_stall;
+        ] );
+      ( "self-protection",
+        [
+          Alcotest.test_case "oversized line → typed error, conn survives"
+            `Quick test_oversized_line_answers_typed_error;
+          Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "idle connections are reaped" `Quick
+            test_idle_reaper;
+          Alcotest.test_case "connection cap rejects typed" `Quick
+            test_max_conns_rejects_typed;
+        ] );
+      ( "stop",
+        [
+          Alcotest.test_case "double stop, stop with clients, restart" `Quick
+            test_double_stop_and_restart_same_addr;
+          Alcotest.test_case "address errors are typed" `Quick
+            test_address_error_is_typed;
+        ] );
+    ]

@@ -162,7 +162,8 @@ let budget_falls_back_to_reference () =
       R.default_policy with
       budget =
         {
-          Budget.max_total_extent = Some 1;
+          Budget.unlimited with
+          max_total_extent = Some 1;
           max_vector_bytes = Some 64;
           max_steps = Some 10;
         };

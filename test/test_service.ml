@@ -316,7 +316,7 @@ let test_budget_rejection () =
       {
         base_config with
         Svc.budget =
-          { Budget.max_total_extent = Some 1; max_vector_bytes = None; max_steps = None };
+          { Budget.unlimited with max_total_extent = Some 1 };
       }
     (fun t ->
       let s = Svc.open_session t in
@@ -337,6 +337,173 @@ let test_error_outcome_is_typed () =
       match Svc.exec t s "never-prepared" with
       | Ok _ -> Alcotest.fail "unknown statement must fail"
       | Error _ -> ())
+
+(* ---- deadlines & cancellation ---- *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let expect_deadline_error what = function
+  | Ok _ -> Alcotest.failf "%s: an expired deadline must not answer" what
+  | Error e ->
+      Alcotest.(check string)
+        (what ^ ": deadline expiry is Resource-stage")
+        "resource"
+        (String.lowercase_ascii (Verror.stage_name e.Verror.stage));
+      Alcotest.(check bool)
+        (what ^ ": message names the deadline")
+        true
+        (starts_with "deadline exceeded" e.Verror.message)
+
+(* An already-expired deadline must surface as a typed Resource error —
+   never rows, never an exception — through every service shape: the
+   closure engine at 1/2/4 jobs and the resilient chain (whose fallback
+   must not resurrect a dead request by re-running it on a slower
+   backend). *)
+let test_expired_deadline_is_typed_everywhere () =
+  List.iter
+    (fun jobs ->
+      with_service ~config:{ base_config with Svc.jobs } (fun t ->
+          let s = Svc.open_session t in
+          expect_deadline_error
+            (Printf.sprintf "closure jobs=%d" jobs)
+            (Svc.sql ~timeout_ms:0.0 t s
+               "select sum(l_quantity) from lineitem");
+          let st = Svc.stats t in
+          Alcotest.(check int) "expiry counted" 1 st.Svc.deadline_expired))
+    [ 1; 2; 4 ];
+  List.iter
+    (fun (what, policy) ->
+      with_service
+        ~config:{ base_config with Svc.engine = Svc.Resilient policy }
+        (fun t ->
+          let s = Svc.open_session t in
+          expect_deadline_error what
+            (Svc.sql ~timeout_ms:0.0 t s "select count(*) from lineitem")))
+    [
+      ("resilient full chain", Voodoo_engine.Resilient.default_policy);
+      ( "resilient interp-only",
+        {
+          Voodoo_engine.Resilient.default_policy with
+          Voodoo_engine.Resilient.chain = [ Voodoo_engine.Resilient.Interp ];
+        } );
+    ]
+
+(* Engine level, below the service: the tree-walk executor and the
+   interpreter honor deadlines and cancellation tokens too (the service
+   only ever drives the closure path). *)
+let test_deadline_and_cancel_at_engine_level () =
+  let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let q = Option.get (Q.find ~sf "Q1") in
+  let expired = Budget.deadline_in Budget.unlimited ~ms:0.0 in
+  let expect what f =
+    match f () with
+    | (_ : E.rows) -> Alcotest.failf "%s: expired deadline must raise" what
+    | exception Budget.Exceeded m ->
+        Alcotest.(check bool)
+          (what ^ ": names the deadline")
+          true
+          (starts_with "deadline exceeded" m)
+  in
+  expect "tree-walk" (fun () ->
+      q.Q.run
+        (fun c p ->
+          E.compiled ~budget:expired ~exec:Voodoo_compiler.Codegen.Tree_walk c p)
+        cat);
+  expect "interp" (fun () ->
+      q.Q.run (fun c p -> E.interp ~budget:expired c p) cat);
+  (* cancellation: a cancelled token stops the run with its reason *)
+  let tok = Budget.token () in
+  Budget.cancel ~reason:"test says stop" tok;
+  let cancelled = Budget.with_token Budget.unlimited tok in
+  match q.Q.run (fun c p -> E.compiled ~budget:cancelled c p) cat with
+  | (_ : E.rows) -> Alcotest.fail "cancelled token must stop the run"
+  | exception Budget.Exceeded m ->
+      Alcotest.(check string) "cancellation carries the reason"
+        "cancelled: test says stop" m
+
+(* A deadline shorter than the query's runtime must answer a typed error
+   in well under 2x the deadline — the cooperative checks sit at
+   fragment, chunk and work-item boundaries, so expiry cannot overshoot
+   by a whole query.  Calibrated per mode against a clean run at a
+   larger scale factor so runtimes dominate the deadline. *)
+let test_deadline_bounded_latency () =
+  let sf = 0.02 in
+  let cat = Catalogs.fork (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let q = Option.get (Q.find ~sf "Q1") in
+  let modes =
+    [
+      ("closure jobs=1", fun b -> q.Q.run (fun c p -> E.compiled ?budget:b c p) cat);
+      ( "closure jobs=4",
+        fun b ->
+          q.Q.run
+            (fun c p ->
+              E.compiled ?budget:b
+                ~exec:
+                  (Voodoo_compiler.Codegen.Closure
+                     { instrument = false; jobs = 4 })
+                c p)
+            cat );
+      ( "tree-walk",
+        fun b ->
+          q.Q.run
+            (fun c p ->
+              E.compiled ?budget:b ~exec:Voodoo_compiler.Codegen.Tree_walk c p)
+            cat );
+      ("interp", fun b -> q.Q.run (fun c p -> E.interp ?budget:b c p) cat);
+    ]
+  in
+  List.iter
+    (fun (what, run) ->
+      ignore (run None : E.rows) (* warm: plan + compile cached costs *);
+      let t0 = Unix.gettimeofday () in
+      ignore (run None : E.rows);
+      let clean_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let deadline_ms = Float.max 10.0 (clean_ms /. 3.) in
+      let budget = Budget.deadline_in Budget.unlimited ~ms:deadline_ms in
+      let t0 = Unix.gettimeofday () in
+      (match run (Some budget) with
+      | (_ : E.rows) ->
+          Alcotest.failf "%s: ran to completion under a %.0fms deadline (clean %.0fms)"
+            what deadline_ms clean_ms
+      | exception Budget.Exceeded m ->
+          Alcotest.(check bool)
+            (what ^ ": typed deadline expiry")
+            true
+            (starts_with "deadline exceeded" m));
+      let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      if elapsed_ms >= 2. *. deadline_ms then
+        Alcotest.failf "%s: expiry took %.1fms against a %.0fms deadline"
+          what elapsed_ms deadline_ms)
+    modes
+
+(* A generous deadline must not perturb the answer: rows bit-identical
+   to the undeadlined run, and no expiry counted. *)
+let test_generous_deadline_identical () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      let q, expected = serial_compiled "Q1" in
+      let rows = ok (Svc.query ~timeout_ms:60_000.0 t s "Q1") in
+      Alcotest.(check bool) "rows bit-identical under a generous deadline" true
+        (Reference.rows_equal (canon q expected) (canon q rows));
+      let st = Svc.stats t in
+      Alcotest.(check int) "no expiry" 0 st.Svc.deadline_expired;
+      (* the stats surface carries both counters *)
+      let fields = List.map fst (Svc.stats_fields st) in
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " present") true (List.mem k fields))
+        [ "queries.deadline_expired"; "queries.cancelled" ])
+
+(* cancel_inflight cancels exactly the requests admitted before it: the
+   next request runs on a fresh token. *)
+let test_cancel_inflight_spares_later_requests () =
+  with_service (fun t ->
+      let s = Svc.open_session t in
+      Svc.cancel_inflight t;
+      ignore (ok (Svc.query t s "Q6"));
+      Svc.cancel_inflight ~reason:"again" t;
+      ignore (ok (Svc.query t s "Q6")))
 
 (* ---- determinism under concurrency ---- *)
 
@@ -523,6 +690,19 @@ let () =
             test_admission_control_sheds;
           Alcotest.test_case "budget exhaustion is typed" `Quick test_budget_rejection;
           Alcotest.test_case "failures stay typed" `Quick test_error_outcome_is_typed;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "expired deadline typed in every mode" `Quick
+            test_expired_deadline_is_typed_everywhere;
+          Alcotest.test_case "tree-walk, interp and tokens at engine level"
+            `Quick test_deadline_and_cancel_at_engine_level;
+          Alcotest.test_case "expiry answers in < 2x the deadline" `Slow
+            test_deadline_bounded_latency;
+          Alcotest.test_case "generous deadline leaves rows identical" `Quick
+            test_generous_deadline_identical;
+          Alcotest.test_case "cancel_inflight spares later requests" `Quick
+            test_cancel_inflight_spares_later_requests;
         ] );
       ( "determinism",
         [
