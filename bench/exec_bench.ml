@@ -21,7 +21,11 @@
 module E = Voodoo_engine.Engine
 module Q = Voodoo_tpch.Queries
 module Codegen = Voodoo_compiler.Codegen
+module Backend = Voodoo_compiler.Backend
+module Exec = Voodoo_compiler.Exec
 module Envelope = Voodoo_benchkit.Envelope
+module Micro = Voodoo_benchkit.Micro
+module Workloads = Voodoo_benchkit.Workloads
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -57,6 +61,88 @@ let bench_mode ~reps ~prepared ~exec q cat =
 
 let ratio num den = if den <= 0.0 then 0.0 else num /. den
 
+(* -- micro families: the Figure 1/14/15/16 programs, execution only --
+
+   Each family compiles once, then times [Backend.run] under raw closures
+   (the fast path) — the section that the tiled-storage work is measured
+   against.  [select_branching_sorted] runs the branching selection over
+   value-sorted input: with a 50% cut every tile is then all-pass or
+   all-fail, the best case for zone-map skipping (uniform inputs spread
+   qualifying tuples across every tile, so skipping never fires there). *)
+let micro_families ~smoke =
+  let n = if smoke then 1 lsl 14 else 1 lsl 19 in
+  let target_rows = if smoke then 1 lsl 12 else 1 lsl 16 in
+  let sel = Workloads.selection_input ~n ~seed:11 in
+  let sorted =
+    let a = Array.copy sel in
+    Array.sort compare a;
+    a
+  in
+  let positions =
+    Workloads.positions ~n ~target_rows ~access:Workloads.Random ~seed:12
+  in
+  let c1, c2 = Workloads.target_table ~rows:target_rows ~seed:13 in
+  let fact_v, fk = Workloads.fk_fact ~n ~target_rows ~seed:14 in
+  let ints = Array.init n (fun i -> ((i * 37) mod 101) - (i mod 7)) in
+  let sel_store = Micro.selection_store sel in
+  let lay_store = Micro.layout_store ~positions ~c1 ~c2 in
+  let fk_store = Micro.fkjoin_store ~fact_v ~fk ~target:c1 in
+  ( n,
+    [
+      ("select_branching", sel_store, Micro.select_branching_program ~cut:50.0 ());
+      ( "select_branching_sorted",
+        Micro.selection_store sorted,
+        Micro.select_branching_program ~cut:50.0 () );
+      ( "select_branch_free",
+        sel_store,
+        Micro.select_branch_free_program ~cut:50.0 () );
+      ("select_predicated", sel_store, Micro.select_predicated_program ~cut:50.0 ());
+      ("select_vectorized", sel_store, Micro.select_vectorized_program ~cut:50.0 ());
+      ("layout_single_loop", lay_store, Micro.layout_single_loop_program ());
+      ("layout_separate_loops", lay_store, Micro.layout_separate_loops_program ());
+      ("layout_transform", lay_store, Micro.layout_transform_program ());
+      ("fold_partition", Micro.fold_store ints, Micro.fold_partition_program ());
+      ("fkjoin_branching", fk_store, Micro.fkjoin_branching_program ~cut:50.0 ());
+      ( "fkjoin_predicated_agg",
+        fk_store,
+        Micro.fkjoin_predicated_agg_program ~cut:50.0 () );
+      ( "fkjoin_predicated_lookup",
+        fk_store,
+        Micro.fkjoin_predicated_lookup_program ~cut:50.0 () );
+    ] )
+
+let result_scalar r total =
+  let open Voodoo_vector in
+  let v = Exec.output r total in
+  let col = Svector.column v (List.hd (Svector.keypaths v)) in
+  match Column.get col 0 with Some s -> Scalar.to_float s | None -> 0.0
+
+(* Time each family under raw closures; [oracle] additionally runs the
+   tree walk and insists the fast path computes the identical scalar —
+   the smoke-mode seed-oracle assertion wired into [@check]. *)
+let bench_micro ~reps ~oracle families =
+  let raw = Codegen.Closure { instrument = false; jobs = 1 } in
+  List.map
+    (fun (name, store, (prog, total)) ->
+      let c = Backend.compile ~store prog in
+      let run_exec exec = result_scalar (Backend.run ~exec c) total in
+      let got = run_exec raw (* warm + value for the oracle check *) in
+      if oracle then begin
+        let want = run_exec Codegen.Tree_walk in
+        if got <> want then
+          failwith
+            (Printf.sprintf
+               "exec micro %s: raw closures computed %.9g, tree walk %.9g" name
+               got want)
+      end;
+      let best = ref infinity in
+      for _ = 1 to reps do
+        let (), dt = time (fun () -> ignore (run_exec raw)) in
+        if dt < !best then best := dt
+      done;
+      (name, !best))
+    families
+
 (* Run every TPC-H query under every mode; returns per-query assoc lists
    of (mode label, best seconds). *)
 let sweep_modes ~reps ~sf cat modes =
@@ -90,7 +176,7 @@ let run ?(smoke = false) () =
   let sweep_sf = if smoke then 0.001 else 0.01 in
   let parallel_sf = if smoke then 0.005 else 0.05 in
 
-  (* -- sweep: tree walk vs closures -- *)
+  (* -- sweep: tree walk vs closures (single domain) -- *)
   let cat = Voodoo_tpch.Dbgen.generate ~sf:sweep_sf () in
   let sweep =
     sweep_modes ~reps ~sf:sweep_sf cat
@@ -104,7 +190,17 @@ let run ?(smoke = false) () =
   and ci = total sweep "closure_instrumented"
   and cr = total sweep "closure_raw" in
 
-  (* -- parallel: raw closures across domains -- *)
+  (* -- micro families: raw-closure execution time per family.
+     Deliberately measured BEFORE the parallel phase: once worker
+     domains exist, every minor collection in the process pays a
+     stop-the-world handshake, which would tax these single-domain
+     loops with costs they do not cause.  Ordering single-domain
+     phases first keeps each phase's numbers attributable. -- *)
+  let micro_n, families = micro_families ~smoke in
+  let micro = bench_micro ~reps ~oracle:smoke families in
+  let micro_total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 micro in
+
+  (* -- parallel: raw closures across domains (spawns the pool) -- *)
   let pcat = Voodoo_tpch.Dbgen.generate ~sf:parallel_sf () in
   let par =
     sweep_modes ~reps ~sf:parallel_sf pcat
@@ -118,8 +214,11 @@ let run ?(smoke = false) () =
   and p2 = total par "parallel_2"
   and p4 = total par "parallel_4" in
 
+  let tile_w = Codegen.(effective_tile_width default_options) in
   if not smoke then
-    Envelope.write ~suite:"exec" ~reps ~file:"BENCH_exec.json" (fun oc ->
+    Envelope.write ~suite:"exec" ~reps
+      ~fields:[ ("tile_width", string_of_int tile_w) ]
+      ~file:"BENCH_exec.json" (fun oc ->
         Printf.fprintf oc "{\n    \"sweep\": {\n    \"sf\": %g,\n    \"queries\": [\n"
           sweep_sf;
         emit_queries oc sweep
@@ -142,15 +241,30 @@ let run ?(smoke = false) () =
            \"parallel_4_s\": %.6f,\n\
           \                 \"speedup_par2_vs_par1\": %.2f, \
            \"speedup_par4_vs_par1\": %.2f }\n\
+          \  },\n\
+          \  \"micro\": {\n\
+          \    \"n\": %d,\n\
+          \    \"families\": [\n"
+          p1 p2 p4 (ratio p1 p2) (ratio p1 p4) micro_n;
+        List.iteri
+          (fun i (name, s) ->
+            Printf.fprintf oc "      { \"name\": %S, \"closure_raw_s\": %.6f }%s\n"
+              name s
+              (if i = List.length micro - 1 then "" else ","))
+          micro;
+        Printf.fprintf oc
+          "    ],\n\
+          \    \"totals\": { \"closure_raw_s\": %.6f }\n\
           \  }\n\
           \  }"
-          p1 p2 p4 (ratio p1 p2) (ratio p1 p4));
+          micro_total);
   Printf.printf
     "exec%s: sweep sf %g — tree-walk %.3fs, closures %.3fs (instrumented) / \
      %.3fs (raw, %.1fx); parallel sf %g on %d core(s) — 1 domain %.3fs, 2 \
-     domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx)%s\n"
+     domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx); micro n=%d raw total \
+     %.3fs%s\n"
     (if smoke then " (smoke)" else "")
     sweep_sf tw ci cr (ratio tw cr) parallel_sf
     (Domain.recommended_domain_count ())
-    p1 p2 (ratio p1 p2) p4 (ratio p1 p4)
+    p1 p2 (ratio p1 p2) p4 (ratio p1 p4) micro_n micro_total
     (if smoke then "" else " -> BENCH_exec.json")

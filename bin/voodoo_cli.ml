@@ -129,6 +129,33 @@ let tree_walk_arg =
           "execute with the reference tree-walk evaluator instead of compiled \
            closures (the differential oracle; sequential and instrumented)")
 
+let tile_width_arg =
+  Arg.(
+    value & opt int Voodoo_compiler.Codegen.default_options.tile_width
+    & info [ "tile-width" ] ~docv:"SLOTS"
+        ~doc:
+          "slots per execution tile in the raw closure path (rounded to a \
+           multiple of 64, minimum 64); also the zone-map granularity.  \
+           Never changes results (docs/STORAGE.md)")
+
+let no_zone_maps_arg =
+  Arg.(
+    value & flag
+    & info [ "no-zone-maps" ]
+        ~doc:
+          "disable per-tile min/max summaries, so selections and folds scan \
+           every tile instead of skipping all-empty / all-false ones")
+
+(* Codegen options for a subcommand: the defaults with the executor and
+   the storage-engine tunables the flags selected. *)
+let mk_backend_opts ~exec ~tile_width ~no_zone_maps =
+  {
+    Voodoo_compiler.Codegen.default_options with
+    exec;
+    tile_width;
+    zone_maps = not no_zone_maps;
+  }
+
 (* Which executor a subcommand should use.  Raw closures carry no event
    accounting, so they are only legal when nothing downstream reads events
    ([need_events] = --costs or --trace); otherwise the default is an
@@ -245,13 +272,14 @@ let dbgen_cmd =
 (* --- query --- *)
 
 let run_query name sf engine costs resilient fault fault_seed traced trace_out
-    jobs no_sim tree_walk =
+    jobs no_sim tree_walk tile_width no_zone_maps =
   let cat = catalog sf in
   let q = find_query sf name in
   let tr = mk_trace traced trace_out in
   let exec =
     pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
   in
+  let backend_opts = mk_backend_opts ~exec ~tile_width ~no_zone_maps in
   let kernels = ref [] in
   let reports = ref [] in
   let eval c p =
@@ -269,7 +297,7 @@ let run_query name sf engine costs resilient fault fault_seed traced trace_out
       | `Reference -> E.reference ?trace:tr c p
       | `Interp -> E.interp ?trace:tr c p
       | `Compiled ->
-          let r = E.compiled_full ?trace:tr ~exec c p in
+          let r = E.compiled_full ?trace:tr ~backend_opts ~exec c p in
           kernels := !kernels @ r.kernels;
           r.rows
   in
@@ -292,7 +320,8 @@ let query_cmd =
     Term.(
       const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg
       $ resilient_arg $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg
-      $ jobs_arg $ no_sim_arg $ tree_walk_arg)
+      $ jobs_arg $ no_sim_arg $ tree_walk_arg $ tile_width_arg
+      $ no_zone_maps_arg)
 
 (* --- explain: plan, program, fragment DAG with estimates, then run --- *)
 
@@ -522,7 +551,7 @@ let tune_cmd =
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
 let run_sql text sf engine costs resilient fault fault_seed traced trace_out
-    jobs no_sim tree_walk =
+    jobs no_sim tree_walk tile_width no_zone_maps =
   let cat = catalog sf in
   let plan =
     try Sql.plan cat text
@@ -535,6 +564,7 @@ let run_sql text sf engine costs resilient fault fault_seed traced trace_out
   let exec =
     pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
   in
+  let backend_opts = mk_backend_opts ~exec ~tile_width ~no_zone_maps in
   let kernels = ref [] in
   let report = ref None in
   let eval () =
@@ -552,7 +582,7 @@ let run_sql text sf engine costs resilient fault fault_seed traced trace_out
       | `Reference -> E.reference ?trace:tr cat plan
       | `Interp -> E.interp ?trace:tr cat plan
       | `Compiled ->
-          let r = E.compiled_full ?trace:tr ~exec cat plan in
+          let r = E.compiled_full ?trace:tr ~backend_opts ~exec cat plan in
           kernels := r.kernels;
           r.rows
   in
@@ -578,7 +608,7 @@ let sql_cmd =
     Term.(
       const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
       $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg $ jobs_arg
-      $ no_sim_arg $ tree_walk_arg)
+      $ no_sim_arg $ tree_walk_arg $ tile_width_arg $ no_zone_maps_arg)
 
 (* --- serve / client: the query-service socket front door --- *)
 

@@ -2,17 +2,18 @@
 
 let schema_version = 1
 
-let write ~suite ~reps ~file payload =
+let write ?(fields = []) ~suite ~reps ~file payload =
   let oc = open_out file in
   Printf.fprintf oc
     "{\n\
     \  \"suite\": %S,\n\
     \  \"schema_version\": %d,\n\
     \  \"cores\": %d,\n\
-    \  \"reps\": %d,\n\
-    \  \"payload\": " suite schema_version
+    \  \"reps\": %d,\n" suite schema_version
     (Domain.recommended_domain_count ())
     reps;
+  List.iter (fun (k, v) -> Printf.fprintf oc "  %S: %s,\n" k v) fields;
+  Printf.fprintf oc "  \"payload\": ";
   payload oc;
   Printf.fprintf oc "\n}\n";
   close_out oc

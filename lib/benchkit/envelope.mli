@@ -17,6 +17,9 @@ val schema_version : int
     v}
 
     to [file].  [payload] receives the open channel and must emit one
-    complete JSON value (conventionally an object). *)
+    complete JSON value (conventionally an object).  [fields] are extra
+    envelope entries, each an already-serialized JSON value (e.g.
+    [("tile_width", "1024")]), emitted between [reps] and [payload]. *)
 val write :
+  ?fields:(string * string) list ->
   suite:string -> reps:int -> file:string -> (out_channel -> unit) -> unit

@@ -203,7 +203,7 @@ let fkjoin_common b =
   (v, fk, target)
 
 (* Branching: select first, look up qualifying tuples only. *)
-let fkjoin_branching ?trace ~store ~cut () : run =
+let fkjoin_branching_program ~cut () =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -216,11 +216,15 @@ let fkjoin_branching ?trace ~store ~cut () : run =
   let fkq = B.gather b fk (pos, []) in
   let tv = B.gather b target (fkq, []) in
   let total = hier_sum b tv in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let fkjoin_branching ?trace ~store ~cut () : run =
+  let p, total = fkjoin_branching_program ~cut () in
+  run_program ?trace store p total
 
 (* Predicated aggregation: look up every tuple, multiply by the predicate
    outcome. *)
-let fkjoin_predicated_agg ?trace ~store ~cut () : run =
+let fkjoin_predicated_agg_program ~cut () =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -228,11 +232,15 @@ let fkjoin_predicated_agg ?trace ~store ~cut () : run =
   let tv = B.gather b target (fk, []) in
   let tvp = B.multiply b tv pred in
   let total = hier_sum b tvp in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let fkjoin_predicated_agg ?trace ~store ~cut () : run =
+  let p, total = fkjoin_predicated_agg_program ~cut () in
+  run_program ?trace store p total
 
 (* Predicated lookups: multiply the position by the predicate first — all
    non-qualifying lookups hit slot zero's "very hot" line. *)
-let fkjoin_predicated_lookup ?trace ~store ~cut () : run =
+let fkjoin_predicated_lookup_program ~cut () =
   let b = B.create () in
   let v, fk, target = fkjoin_common b in
   let cutv = B.const_float b cut in
@@ -241,7 +249,11 @@ let fkjoin_predicated_lookup ?trace ~store ~cut () : run =
   let tv = B.gather b target (ppos, []) in
   let tvp = B.multiply b tv pred in
   let total = hier_sum b tvp in
-  run_program ?trace store (B.finish b) total
+  (B.finish b, total)
+
+let fkjoin_predicated_lookup ?trace ~store ~cut () : run =
+  let p, total = fkjoin_predicated_lookup_program ~cut () in
+  run_program ?trace store p total
 
 (* ---------- store builders ---------- *)
 

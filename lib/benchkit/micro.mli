@@ -60,6 +60,9 @@ val layout_single_loop_program : unit -> Program.t * Op.id
 val layout_separate_loops_program : unit -> Program.t * Op.id
 val layout_transform_program : unit -> Program.t * Op.id
 val fold_partition_program : ?grain:int -> unit -> Program.t * Op.id
+val fkjoin_branching_program : cut:float -> unit -> Program.t * Op.id
+val fkjoin_predicated_agg_program : cut:float -> unit -> Program.t * Op.id
+val fkjoin_predicated_lookup_program : cut:float -> unit -> Program.t * Op.id
 
 (** Store builders for the workloads above. *)
 

@@ -36,6 +36,11 @@ type options = {
   virtual_scatter : bool;
   suppress_empty_slots : bool;
   exec : exec_mode;  (** execution strategy; plan shape is unaffected *)
+  tile_width : int;
+      (** slots per execution tile in the raw closure path (rounded to a
+          multiple of 64, minimum 64); also the zone-map granularity *)
+  zone_maps : bool;
+      (** maintain and consult per-tile min/max summaries to skip tiles *)
 }
 
 let default_options =
@@ -44,7 +49,14 @@ let default_options =
     virtual_scatter = true;
     suppress_empty_slots = true;
     exec = Closure { instrument = true; jobs = 1 };
+    tile_width = 1024;
+    zone_maps = true;
   }
+
+(** The tile width actually used: [tile_width] clamped to a multiple of
+    64 no smaller than 64, so tiles cover whole validity-mask bytes (and
+    whole 64-slot mask words). *)
+let effective_tile_width o = max 64 (o.tile_width / 64 * 64)
 
 (* compilation decisions are logged under this source (enable with
    [Logs.Src.set_level src (Some Debug)] or the CLI's [--verbose]) *)

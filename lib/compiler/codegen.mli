@@ -39,11 +39,22 @@ type options = {
   virtual_scatter : bool;
   suppress_empty_slots : bool;
   exec : exec_mode;  (** execution strategy; plan shape is unaffected *)
+  tile_width : int;
+      (** slots per execution tile in the raw closure path (rounded to a
+          multiple of 64, minimum 64); also the zone-map granularity.
+          Never changes results — only how the work is blocked. *)
+  zone_maps : bool;
+      (** maintain and consult per-tile min/max summaries so selections
+          and folds can skip all-empty / all-false / all-true tiles *)
 }
 
 (** Fuse + virtualize + suppress, executed by instrumented closures on a
-    single domain. *)
+    single domain; 1024-slot tiles with zone maps on. *)
 val default_options : options
+
+(** [tile_width] clamped to a multiple of 64, minimum 64 — the width the
+    executor actually tiles (and builds zone maps) at. *)
+val effective_tile_width : options -> int
 
 (** [build ?options ~vector_length p] compiles an (already optimized)
     program; [vector_length name] gives the length of persistent vector

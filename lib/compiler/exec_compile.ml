@@ -6,8 +6,9 @@
     event accounting.  This module performs all of those decisions {e
     once per fragment}, after {!Exec_state.prepare} has bound every
     output, and emits a list of OCaml closures over the resolved column
-    buffers — monomorphic [int array]/[float array] loops for the common
-    dtype combinations, a generic scalar loop otherwise.
+    buffers — monomorphic loops over the raw Bigarray payloads
+    ([Array1.unsafe_get]/[unsafe_set]) for the common dtype combinations,
+    a generic scalar loop otherwise.
 
     Two builds exist per statement:
 
@@ -17,9 +18,33 @@
       use the fast path with bit-identical {!Voodoo_device.Events}
       records;
     - {e raw} ([instrument = false]): device simulation is skipped
-      entirely (no events, no predictors, no position classification).
-      Only legal when nobody reads costs or traces; rows are still
-      bit-identical.
+      entirely (no events, no predictors, no position classification),
+      and the driver runs each fragment {e tile-at-a-time}: fixed-width
+      tiles ({!Voodoo_compiler.Codegen.options.tile_width} slots, default
+      1024) flow through the fragment's fused statements back-to-back, so
+      a tile's outputs are still cache-hot when the next statement reads
+      them.  Rows are bit-identical to the instrumented build and the
+      tree walk.
+
+    Tiling never crosses a fold-run boundary: statements are split into
+    {e tile groups} at each controlled fold whose output is not
+    element-aligned with its input (FoldSelect compacts leftward, FoldAgg
+    writes only at run end), and each group finishes the whole work item
+    before the next group starts.  Fold accumulators and select cursors
+    stream across a run's tiles through per-chunk {!fstate} cells, so
+    chunked domain-parallel execution stays bit-identical for any job
+    count (chunk seams fall on tile boundaries, see
+    {!Voodoo_core.Chunk}).
+
+    With {!Voodoo_compiler.Codegen.options.zone_maps} on, the raw build
+    also skips tiles wholesale: comparison and logic kernels summarize
+    each tile they produce (all-true / all-false / mixed, published
+    per-chunk in {!ctx}), selections consult that summary — or a lazily
+    built {!Voodoo_vector.Column.zones} map when their input comes from
+    an earlier fragment — and emit nothing for all-false tiles or a
+    branch-free dense run of positions for all-true tiles; aligned folds
+    skip tiles whose zone map shows no valid slot.  Skipping is advisory
+    and never changes results (docs/STORAGE.md has the invariants).
 
     The first-reader read-charging of the tree walk (each buffer charged
     once per work-item range) is resolved statically: the compiler
@@ -41,6 +66,7 @@ open Voodoo_core
 open Voodoo_device
 open Fragment
 open Exec_state
+module A = Bigarray.Array1
 
 (** Chunk-private scatter output: a log of (data row, output position)
     pairs in write order.  The fragment IR is single-assignment, so a
@@ -51,6 +77,32 @@ open Exec_state
 type region = {
   mutable rg_log : int array;  (** interleaved (i, p) pairs *)
   mutable rg_len : int;  (** ints used *)
+}
+
+(** Per-chunk streaming state of one fold statement: accumulator,
+    first-valid flag and select cursor carried across the tiles of a run.
+    Closures are shared by every chunk, so this must live in {!ctx}, not
+    in the closure — runs never span chunks (chunk boundaries are
+    work-item multiples), so each chunk sees whole runs. *)
+type fstate = {
+  mutable fs_i : int;  (** int accumulator *)
+  mutable fs_f : float;  (** float accumulator *)
+  mutable fs_seen : bool;  (** a valid element has been folded *)
+  mutable fs_s : Scalar.t option;  (** generic scalar accumulator *)
+  mutable fs_cur : int;  (** select write cursor *)
+}
+
+(** Per-chunk summary of the {e latest} tile a predicate kernel wrote:
+    producing and consuming statements of one tile group run back-to-back
+    over the same range, so a selection only ever needs the most recent
+    entry.  A consumer trusts the flags only when [zl_lo, zl_hi) matches
+    its own range exactly — anything else (a guarded kernel that skipped
+    recording, a stale range) falls back to scanning. *)
+type zlast = {
+  mutable zl_lo : int;
+  mutable zl_hi : int;
+  mutable zl_any : bool;  (** some slot in the range is valid and nonzero *)
+  mutable zl_all : bool;  (** every slot in the range is valid and nonzero *)
 }
 
 (** Per-chunk execution context: everything a closure may mutate besides
@@ -65,6 +117,10 @@ type ctx = {
           a fold's final range, so chunk deltas sum exactly) *)
   regions : (Op.id, region) Hashtbl.t;
       (** private scatter outputs; empty when running sequentially *)
+  fst : (Op.id, fstate) Hashtbl.t;
+      (** streaming fold state, per fold statement *)
+  zn : (Op.id, zlast) Hashtbl.t;
+      (** latest predicate tile summary, per producing statement *)
   chk : (unit -> unit) option;
       (** cooperative deadline/cancellation check, called between work
           items; raises {!Voodoo_core.Budget.Exceeded} to stop the chunk *)
@@ -76,8 +132,26 @@ let make_ctx ?chk ~ev () =
     pos = Hashtbl.create 8;
     sup = Hashtbl.create 4;
     regions = Hashtbl.create 2;
+    fst = Hashtbl.create 4;
+    zn = Hashtbl.create 4;
     chk;
   }
+
+(* [Hashtbl.find] raising [Not_found], not [find_opt]: these run once per
+   tile and the option box would be the hot path's only allocation. *)
+let fstate_in (ctx : ctx) id =
+  try Hashtbl.find ctx.fst id
+  with Not_found ->
+    let fs = { fs_i = 0; fs_f = 0.0; fs_seen = false; fs_s = None; fs_cur = 0 } in
+    Hashtbl.replace ctx.fst id fs;
+    fs
+
+let zlast_in (ctx : ctx) id =
+  try Hashtbl.find ctx.zn id
+  with Not_found ->
+    let z = { zl_lo = -1; zl_hi = -1; zl_any = true; zl_all = false } in
+    Hashtbl.replace ctx.zn id z;
+    z
 
 (* Absolute suppression count visible through the overlay. *)
 let sup_find st (ctx : ctx) id =
@@ -107,99 +181,828 @@ let bvalid (c : Column.t) =
   let broadcast = Column.length c = 1 in
   match c.Column.valid with
   | None -> fun _ -> true
-  | Some b -> if broadcast then fun _ -> Bitset.get b 0 else fun i -> Bitset.get b i
+  | Some b ->
+      if broadcast then fun _ -> Bitset.get b 0
+      else fun i -> Bitset.unsafe_get b i
 
 (* Validity at the literal index (gather/scatter sources use [Column.get]
    directly, with no broadcast remapping). *)
 let dvalid (c : Column.t) =
   match c.Column.valid with
   | None -> fun _ -> true
-  | Some b -> fun i -> Bitset.get b i
+  | Some b -> fun i -> Bitset.unsafe_get b i
 
 (* Position read: [Scalar.to_int] of the raw slot. *)
 let praw (c : Column.t) =
   match c.Column.data with
-  | Column.I a -> fun i -> a.(i)
-  | Column.F a -> fun i -> int_of_float a.(i)
+  | Column.I a -> fun i -> A.unsafe_get a i
+  | Column.F a -> fun i -> int_of_float (A.unsafe_get a i)
 
 (* ---------- monomorphic binary kernels ---------- *)
 
-(* [binary_kernel op lcol rcol out] is a [lo hi -> unit] loop computing
-   [out.(i) <- op lcol.(i') rcol.(i')] for valid operand pairs (broadcast
-   length-1 operands index slot 0), marking written slots valid.  The
-   hot dtype combinations get direct array loops; anything else falls
-   back to the scalar semantics the tree walk uses, so results are
-   identical by construction. *)
-let binary_kernel (op : Op.binop) (lcol : Column.t) (rcol : Column.t)
-    (out : Column.t) =
+(* [binary_kernel sid op lcol rcol out] is a [ctx lo hi -> unit] loop
+   computing [out.(i) <- op lcol.(i') rcol.(i')] for valid operand pairs
+   (broadcast length-1 operands index slot 0), marking written slots
+   valid.  When both operands are fully valid the hot dtype combinations
+   get branch-free loops over the raw payloads — broadcast handled by an
+   index stride of 0, the output mask filled once per range — and the
+   predicate-producing ops (comparisons, logic) additionally publish an
+   all-true/all-false summary of the range under [sid] in [ctx.zn], which
+   downstream selections use to skip or dense-emit whole tiles.  Operands
+   with a validity mask keep per-element guards; anything else falls back
+   to the scalar semantics the tree walk uses, so results are identical
+   by construction. *)
+let binary_kernel sid (op : Op.binop) (lcol : Column.t) (rcol : Column.t)
+    (out : Column.t) : ctx -> int -> int -> unit =
   let lbc = Column.length lcol = 1 and rbc = Column.length rcol = 1 in
   let lv = bvalid lcol and rv = bvalid rcol in
-  let generic lo hi =
+  let all_valid = lcol.Column.valid = None && rcol.Column.valid = None in
+  let ls = if lbc then 0 else 1 and rs = if rbc then 0 else 1 in
+  let generic _ctx lo hi =
     for i = lo to hi - 1 do
       match bget lcol i, bget rcol i with
       | Some a, Some b -> Column.set out i (Op.apply_binop op a b)
       | None, _ | _, None -> ()
     done
   in
+  (* Publish the range summary for a predicate output: [any] = some slot
+     nonzero, [all] = every slot nonzero (the loop wrote every slot, so
+     "slot" = "valid slot" here). *)
+  let record (ctx : ctx) lo hi any all =
+    let z = zlast_in ctx sid in
+    z.zl_lo <- lo;
+    z.zl_hi <- hi;
+    z.zl_any <- any <> 0;
+    z.zl_all <- all <> 0
+  in
+  (* [mark]: validity maintenance for a fully-written range — a single
+     mask fill, or nothing at all when the output was promoted to
+     mask-free ({!promote_all_valid}). *)
+  let mark =
+    match out.Column.valid with
+    | None -> fun _ _ -> ()
+    | Some ob -> fun lo hi -> Bitset.fill_range ob lo hi true
+  in
   match lcol.Column.data, rcol.Column.data, out.Column.data, out.Column.valid with
-  | Column.I la, Column.I ra, Column.I oa, Some ob -> (
-      let ik f lo hi =
-        for i = lo to hi - 1 do
-          if lv i && rv i then begin
-            oa.(i) <- f la.(if lbc then 0 else i) ra.(if rbc then 0 else i);
-            Bitset.set ob i true
-          end
-        done
-      in
-      match op with
-      | Add -> ik ( + )
-      | Subtract -> ik ( - )
-      | Multiply -> ik ( * )
-      | Divide -> ik ( / )
-      | Modulo -> ik (fun x y -> ((x mod y) + abs y) mod abs y)
-      | BitShift -> ik (fun x s -> if s >= 0 then x lsl s else x asr (-s))
-      | LogicalAnd -> ik (fun a b -> if a <> 0 && b <> 0 then 1 else 0)
-      | LogicalOr -> ik (fun a b -> if a <> 0 || b <> 0 then 1 else 0)
-      | Greater -> ik (fun a b -> if a > b then 1 else 0)
-      | GreaterEqual -> ik (fun a b -> if a >= b then 1 else 0)
-      | Equals -> ik (fun a b -> if a = b then 1 else 0))
-  | Column.F la, Column.F ra, Column.F oa, Some ob -> (
-      let fk f lo hi =
-        for i = lo to hi - 1 do
-          if lv i && rv i then begin
-            oa.(i) <- f la.(if lbc then 0 else i) ra.(if rbc then 0 else i);
-            Bitset.set ob i true
-          end
-        done
-      in
-      match op with
-      | Add -> fk ( +. )
-      | Subtract -> fk ( -. )
-      | Multiply -> fk ( *. )
-      | Divide -> fk ( /. )
-      | Modulo -> fk Float.rem
-      | BitShift | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals ->
-          generic (* int-typed result: [out] cannot be a float column *))
-  | Column.F la, Column.F ra, Column.I oa, Some ob -> (
-      (* float comparisons and logic produce 0/1 ints; comparisons go
-         through [Float.compare], exactly as [Scalar.compare_scalar] *)
-      let ck f lo hi =
-        for i = lo to hi - 1 do
-          if lv i && rv i then begin
-            oa.(i) <-
-              (if f la.(if lbc then 0 else i) ra.(if rbc then 0 else i) then 1
-               else 0);
-            Bitset.set ob i true
-          end
-        done
-      in
-      match op with
-      | Greater -> ck (fun a b -> Float.compare a b > 0)
-      | GreaterEqual -> ck (fun a b -> Float.compare a b >= 0)
-      | Equals -> ck (fun a b -> Float.compare a b = 0)
-      | LogicalAnd -> ck (fun a b -> a <> 0.0 && b <> 0.0)
-      | LogicalOr -> ck (fun a b -> a <> 0.0 || b <> 0.0)
-      | Add | Subtract | Multiply | Divide | Modulo | BitShift -> generic)
+  | Column.I la, Column.I ra, Column.I oa, ov ->
+      ignore ov;
+      if all_valid then begin
+        (* arithmetic: plain branch-free loops *)
+        let arith f _ctx lo hi =
+          f lo hi;
+          mark lo hi
+        in
+        (* predicates: same loops, accumulating the tile summary *)
+        let pred f ctx lo hi =
+          let any, all = f lo hi in
+          mark lo hi;
+          record ctx lo hi any all
+        in
+        match op with
+        | Add ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i + A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i + b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a + A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) + A.unsafe_get ra (i * rs))
+                 done)
+        | Subtract ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i - A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i - b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a - A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) - A.unsafe_get ra (i * rs))
+                 done)
+        | Multiply ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i * A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i * b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a * A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) * A.unsafe_get ra (i * rs))
+                 done)
+        | Divide ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i / A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i / b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a / A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) / A.unsafe_get ra (i * rs))
+                 done)
+        | Modulo ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   let x = A.unsafe_get la i and y = A.unsafe_get ra i in
+                   A.unsafe_set oa i (((x mod y) + abs y) mod abs y)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let x = A.unsafe_get la i and y = b in
+                     A.unsafe_set oa i (((x mod y) + abs y) mod abs y)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let x = a and y = A.unsafe_get ra i in
+                     A.unsafe_set oa i (((x mod y) + abs y) mod abs y)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   let x = A.unsafe_get la (i * ls) and y = A.unsafe_get ra (i * rs) in
+                   A.unsafe_set oa i (((x mod y) + abs y) mod abs y)
+                 done)
+        | BitShift ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   let x = A.unsafe_get la i and s = A.unsafe_get ra i in
+                   A.unsafe_set oa i (if s >= 0 then x lsl s else x asr -s)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let x = A.unsafe_get la i and s = b in
+                     A.unsafe_set oa i (if s >= 0 then x lsl s else x asr -s)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let x = a and s = A.unsafe_get ra i in
+                     A.unsafe_set oa i (if s >= 0 then x lsl s else x asr -s)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   let x = A.unsafe_get la (i * ls) and s = A.unsafe_get ra (i * rs) in
+                   A.unsafe_set oa i (if s >= 0 then x lsl s else x asr -s)
+                 done)
+        | LogicalAnd ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i <> 0 && A.unsafe_get ra i <> 0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i <> 0 && b <> 0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a <> 0 && A.unsafe_get ra i <> 0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) <> 0 && A.unsafe_get ra (i * rs) <> 0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | LogicalOr ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i <> 0 || A.unsafe_get ra i <> 0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i <> 0 || b <> 0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a <> 0 || A.unsafe_get ra i <> 0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) <> 0 || A.unsafe_get ra (i * rs) <> 0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | Greater ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i > A.unsafe_get ra i then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i > b then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a > A.unsafe_get ra i then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) > A.unsafe_get ra (i * rs) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | GreaterEqual ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i >= A.unsafe_get ra i then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i >= b then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a >= A.unsafe_get ra i then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) >= A.unsafe_get ra (i * rs) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | Equals ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i = A.unsafe_get ra i then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i = b then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a = A.unsafe_get ra i then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) = A.unsafe_get ra (i * rs) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+      end
+      else begin
+        match ov with
+        | None -> generic
+        | Some ob ->
+        (* a validity mask is present: per-element guards *)
+        let ik f _ctx lo hi =
+          for i = lo to hi - 1 do
+            if lv i && rv i then begin
+              A.unsafe_set oa i
+                (f
+                   (A.unsafe_get la (if lbc then 0 else i))
+                   (A.unsafe_get ra (if rbc then 0 else i)));
+              Bitset.set ob i true
+            end
+          done
+        in
+        match op with
+        | Add -> ik ( + )
+        | Subtract -> ik ( - )
+        | Multiply -> ik ( * )
+        | Divide -> ik ( / )
+        | Modulo -> ik (fun x y -> ((x mod y) + abs y) mod abs y)
+        | BitShift -> ik (fun x s -> if s >= 0 then x lsl s else x asr -s)
+        | LogicalAnd -> ik (fun a b -> if a <> 0 && b <> 0 then 1 else 0)
+        | LogicalOr -> ik (fun a b -> if a <> 0 || b <> 0 then 1 else 0)
+        | Greater -> ik (fun a b -> if a > b then 1 else 0)
+        | GreaterEqual -> ik (fun a b -> if a >= b then 1 else 0)
+        | Equals -> ik (fun a b -> if a = b then 1 else 0)
+      end
+  | Column.F la, Column.F ra, Column.F oa, ov -> (
+      ignore ov;
+      if all_valid then begin
+        let arith f _ctx lo hi =
+          f lo hi;
+          mark lo hi
+        in
+        match op with
+        | Add ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i +. A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i +. b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a +. A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) +. A.unsafe_get ra (i * rs))
+                 done)
+        | Subtract ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i -. A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i -. b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a -. A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) -. A.unsafe_get ra (i * rs))
+                 done)
+        | Multiply ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i *. A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i *. b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a *. A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) *. A.unsafe_get ra (i * rs))
+                 done)
+        | Divide ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la i /. A.unsafe_get ra i)
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (A.unsafe_get la i /. b)
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (a /. A.unsafe_get ra i)
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (A.unsafe_get la (i * ls) /. A.unsafe_get ra (i * rs))
+                 done)
+        | Modulo ->
+            arith
+              (if (not lbc) && not rbc then fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (Float.rem (A.unsafe_get la i) (A.unsafe_get ra i))
+                 done
+               else if rbc && not lbc then fun lo hi ->
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (Float.rem (A.unsafe_get la i) (b))
+                   done
+               else if lbc && not rbc then fun lo hi ->
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     A.unsafe_set oa i (Float.rem (a) (A.unsafe_get ra i))
+                   done
+               else fun lo hi ->
+                 for i = lo to hi - 1 do
+                   A.unsafe_set oa i (Float.rem (A.unsafe_get la (i * ls)) (A.unsafe_get ra (i * rs)))
+                 done)
+        | BitShift | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals ->
+            generic (* int-typed result: [out] cannot be a float column *)
+      end
+      else
+        match ov with
+        | None -> generic
+        | Some ob ->
+        let fk f _ctx lo hi =
+          for i = lo to hi - 1 do
+            if lv i && rv i then begin
+              A.unsafe_set oa i
+                (f
+                   (A.unsafe_get la (if lbc then 0 else i))
+                   (A.unsafe_get ra (if rbc then 0 else i)));
+              Bitset.set ob i true
+            end
+          done
+        in
+        match op with
+        | Add -> fk ( +. )
+        | Subtract -> fk ( -. )
+        | Multiply -> fk ( *. )
+        | Divide -> fk ( /. )
+        | Modulo -> fk Float.rem
+        | BitShift | LogicalAnd | LogicalOr | Greater | GreaterEqual | Equals ->
+            generic)
+  | Column.F la, Column.F ra, Column.I oa, ov -> (
+      ignore ov;
+      (* float comparisons and logic produce 0/1 ints.  The branch-free
+         forms below replicate [Float.compare] bit-exactly, NaN included:
+         Float.compare treats NaN below every float and equal to itself,
+         so e.g. [compare a b > 0] iff [a > b || (b <> b && a = a)]. *)
+      if all_valid then begin
+        let pred f ctx lo hi =
+          let any, all = f lo hi in
+          mark lo hi;
+          record ctx lo hi any all
+        in
+        match op with
+        | Greater ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la i and b = A.unsafe_get ra i in
+                   let v = if a > b || (b <> b && a = a) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let a = A.unsafe_get la i and b = b in
+                     let v = if a > b || (b <> b && a = a) then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let a = a and b = A.unsafe_get ra i in
+                     let v = if a > b || (b <> b && a = a) then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la (i * ls) and b = A.unsafe_get ra (i * rs) in
+                   let v = if a > b || (b <> b && a = a) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | GreaterEqual ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la i and b = A.unsafe_get ra i in
+                   let v = if a >= b || b <> b then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let a = A.unsafe_get la i and b = b in
+                     let v = if a >= b || b <> b then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let a = a and b = A.unsafe_get ra i in
+                     let v = if a >= b || b <> b then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la (i * ls) and b = A.unsafe_get ra (i * rs) in
+                   let v = if a >= b || b <> b then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | Equals ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la i and b = A.unsafe_get ra i in
+                   let v = if a = b || (a <> a && b <> b) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let a = A.unsafe_get la i and b = b in
+                     let v = if a = b || (a <> a && b <> b) then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let a = a and b = A.unsafe_get ra i in
+                     let v = if a = b || (a <> a && b <> b) then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let a = A.unsafe_get la (i * ls) and b = A.unsafe_get ra (i * rs) in
+                   let v = if a = b || (a <> a && b <> b) then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | LogicalAnd ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i <> 0.0 && A.unsafe_get ra i <> 0.0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i <> 0.0 && b <> 0.0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a <> 0.0 && A.unsafe_get ra i <> 0.0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) <> 0.0 && A.unsafe_get ra (i * rs) <> 0.0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | LogicalOr ->
+            pred
+              (if (not lbc) && not rbc then fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la i <> 0.0 || A.unsafe_get ra i <> 0.0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all)
+               else if rbc && not lbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let b = A.unsafe_get ra 0 in
+                   for i = lo to hi - 1 do
+                     let v = if A.unsafe_get la i <> 0.0 || b <> 0.0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else if lbc && not rbc then fun lo hi ->
+                   let any = ref 0 and all = ref 1 in
+                   let a = A.unsafe_get la 0 in
+                   for i = lo to hi - 1 do
+                     let v = if a <> 0.0 || A.unsafe_get ra i <> 0.0 then 1 else 0 in
+                     A.unsafe_set oa i v;
+                     any := !any lor v;
+                     all := !all land v
+                   done;
+                   (!any, !all)
+               else fun lo hi ->
+                 let any = ref 0 and all = ref 1 in
+                 for i = lo to hi - 1 do
+                   let v = if A.unsafe_get la (i * ls) <> 0.0 || A.unsafe_get ra (i * rs) <> 0.0 then 1 else 0 in
+                   A.unsafe_set oa i v;
+                   any := !any lor v;
+                   all := !all land v
+                 done;
+                 (!any, !all))
+        | Add | Subtract | Multiply | Divide | Modulo | BitShift -> generic
+      end
+      else
+        match ov with
+        | None -> generic
+        | Some ob ->
+        let ck f _ctx lo hi =
+          for i = lo to hi - 1 do
+            if lv i && rv i then begin
+              A.unsafe_set oa i
+                (if
+                   f
+                     (A.unsafe_get la (if lbc then 0 else i))
+                     (A.unsafe_get ra (if rbc then 0 else i))
+                 then 1
+                 else 0);
+              Bitset.set ob i true
+            end
+          done
+        in
+        match op with
+        | Greater -> ck (fun a b -> Float.compare a b > 0)
+        | GreaterEqual -> ck (fun a b -> Float.compare a b >= 0)
+        | Equals -> ck (fun a b -> Float.compare a b = 0)
+        | LogicalAnd -> ck (fun a b -> a <> 0.0 && b <> 0.0)
+        | LogicalOr -> ck (fun a b -> a <> 0.0 || b <> 0.0)
+        | Add | Subtract | Multiply | Divide | Modulo | BitShift -> generic)
   | _ -> generic
 
 (* ---------- gather / scatter column movers ---------- *)
@@ -213,14 +1016,14 @@ let gather_copy ((src : Column.t), (dst : Column.t)) =
   | Column.I sa, Column.I da, Some db ->
       fun p i ->
         if sv p then begin
-          da.(i) <- sa.(p);
-          Bitset.set db i true
+          A.unsafe_set da i (A.unsafe_get sa p);
+          Bitset.unsafe_set_true db i
         end
   | Column.F sa, Column.F da, Some db ->
       fun p i ->
         if sv p then begin
-          da.(i) <- sa.(p);
-          Bitset.set db i true
+          A.unsafe_set da i (A.unsafe_get sa p);
+          Bitset.unsafe_set_true db i
         end
   | _ ->
       fun p i ->
@@ -239,14 +1042,14 @@ let scatter_writers pairs =
       | Column.I sa, Column.I da, Some db ->
           fun i p ->
             if sv i then begin
-              da.(p) <- sa.(i);
+              A.unsafe_set da p (A.unsafe_get sa i);
               Bitset.set db p true
             end
             else Bitset.set db p false
       | Column.F sa, Column.F da, Some db ->
           fun i p ->
             if sv i then begin
-              da.(p) <- sa.(i);
+              A.unsafe_set da p (A.unsafe_get sa i);
               Bitset.set db p true
             end
             else Bitset.set db p false
@@ -288,140 +1091,257 @@ let merge_region (si : scatter_info) (r : region) =
     k := !k + 2
   done
 
-(* ---------- fold accumulation kernels ---------- *)
+(* ---------- zone-map consultation ---------- *)
 
-(* Aggregate one run [rlo, rhi) of [col] and write the result at [rlo] of
-   [out], replicating the tree walk's accumulator exactly (including
-   starting from the first valid value, not from zero, so float rounding
-   is identical). *)
-let fold_run_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) =
+(* Where a fold/selection statement gets per-tile summaries of its input:
+   from the same-fragment predicate producer's per-chunk entry, from a
+   zone map built over a column that was complete before this fragment
+   started, or nowhere. *)
+type zview =
+  | Znone
+  | Zctx of Op.id  (** producer statement to look up in [ctx.zn] *)
+  | Zcol of Column.zones  (** eagerly built map of a stable input *)
+
+(* Verdict for one range: skip it, dense-emit it, or scan it. *)
+type zverdict = Zskip | Zdense | Zscan
+
+let zverdict (zv : zview) (ctx : ctx) n lo hi =
+  match zv with
+  | Znone -> Zscan
+  | Zctx pid -> (
+      match Hashtbl.find ctx.zn pid with
+      | z when z.zl_lo = lo && z.zl_hi = hi ->
+          if not z.zl_any then Zskip else if z.zl_all then Zdense else Zscan
+      | _ -> Zscan
+      | exception Not_found -> Zscan)
+  | Zcol z ->
+      (* only consult when [lo, hi) sits inside one zone tile *)
+      let ti = lo / z.zw in
+      if hi > min n ((ti + 1) * z.zw) then Zscan
+      else
+        let cnt = z.zcount.(ti) in
+        if cnt = 0 then Zskip
+        else if cnt < 0 then Zscan
+        else if z.zmin.(ti) = 0.0 && z.zmax.(ti) = 0.0 then Zskip
+        else if
+          cnt = min n ((ti + 1) * z.zw) - (ti * z.zw)
+          && (z.zmin.(ti) > 0.0 || z.zmax.(ti) < 0.0)
+        then Zdense
+        else Zscan
+
+(* Like [zverdict] but only answering "does this range hold no valid
+   slot at all?" — the sound tile-skip for any aggregate. *)
+let zempty (zv : zview) n lo hi =
+  match zv with
+  | Zcol z ->
+      let ti = lo / z.zw in
+      hi <= min n ((ti + 1) * z.zw) && z.zcount.(ti) = 0
+  | Znone | Zctx _ -> false
+
+(* ---------- streaming fold kernels ---------- *)
+
+(* Accumulation for one fold statement, split into [reset] (at run
+   start), [accum] over a sub-range, and [finish] (at run end, writing
+   the result at the run's first slot).  Calling the three over a run's
+   tiles in order is exactly the tree walk's single left-to-right pass:
+   the float Sum still starts from the run's first valid value (not from
+   zero), so rounding is bit-identical. *)
+type fold_stream = {
+  st_reset : fstate -> unit;
+  st_accum : fstate -> int -> int -> unit;
+  st_finish : fstate -> ctx -> int -> unit;
+}
+
+let reset_all (fs : fstate) =
+  fs.fs_i <- 0;
+  fs.fs_f <- 0.0;
+  fs.fs_seen <- false;
+  fs.fs_s <- None
+
+let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
+    fold_stream =
   let dt = fold_out_dtype agg col in
-  let v = dvalid col in
-  match agg, col.Column.data, out.Column.data, out.Column.valid with
-  | Count, _, Column.I oa, Some ob ->
-      fun rlo rhi ->
-        let c = ref 0 in
-        for i = rlo to rhi - 1 do
-          if v i then incr c
-        done;
-        oa.(rlo) <- !c;
-        Bitset.set ob rlo true
-  | Sum, Column.I a, Column.I oa, Some ob ->
-      fun rlo rhi ->
-        let s = ref 0 in
-        for i = rlo to rhi - 1 do
-          if v i then s := !s + a.(i)
-        done;
-        oa.(rlo) <- !s;
-        Bitset.set ob rlo true
-  | Sum, Column.F a, Column.F oa, Some ob ->
-      fun rlo rhi ->
-        let s = ref 0.0 and seen = ref false in
-        for i = rlo to rhi - 1 do
-          if v i then
-            if !seen then s := !s +. a.(i)
-            else begin
-              s := a.(i);
-              seen := true
+  let out_n = Column.length out in
+  let mk accum finish =
+    {
+      st_reset = reset_all;
+      st_accum = accum;
+      st_finish =
+        (fun fs _ctx rlo -> if rlo < out_n then finish fs rlo);
+    }
+  in
+  match agg, col.Column.data, col.Column.valid, out.Column.data, out.Column.valid
+  with
+  | Count, _, bo, Column.I oa, Some ob ->
+      let count =
+        match bo with
+        | None -> fun lo hi -> hi - lo
+        | Some b -> fun lo hi -> Bitset.count_range b lo hi
+      in
+      mk
+        (fun fs lo hi -> fs.fs_i <- fs.fs_i + count lo hi)
+        (fun fs rlo ->
+          A.unsafe_set oa rlo fs.fs_i;
+          Bitset.set ob rlo true)
+  | Sum, Column.I a, None, Column.I oa, Some ob ->
+      mk
+        (fun fs lo hi ->
+          let s = ref fs.fs_i in
+          for i = lo to hi - 1 do
+            s := !s + A.unsafe_get a i
+          done;
+          fs.fs_i <- !s)
+        (fun fs rlo ->
+          A.unsafe_set oa rlo fs.fs_i;
+          Bitset.set ob rlo true)
+  | Sum, Column.I a, Some b, Column.I oa, Some ob ->
+      mk
+        (fun fs lo hi ->
+          let s = ref fs.fs_i in
+          for i = lo to hi - 1 do
+            if Bitset.unsafe_get b i then s := !s + A.unsafe_get a i
+          done;
+          fs.fs_i <- !s)
+        (fun fs rlo ->
+          A.unsafe_set oa rlo fs.fs_i;
+          Bitset.set ob rlo true)
+  | Sum, Column.F a, None, Column.F oa, Some ob ->
+      mk
+        (fun fs lo hi ->
+          if lo < hi then begin
+            let start = ref lo in
+            if not fs.fs_seen then begin
+              fs.fs_f <- A.unsafe_get a lo;
+              fs.fs_seen <- true;
+              start := lo + 1
+            end;
+            let s = ref fs.fs_f in
+            for i = !start to hi - 1 do
+              s := !s +. A.unsafe_get a i
+            done;
+            fs.fs_f <- !s
+          end)
+        (fun fs rlo ->
+          A.unsafe_set oa rlo fs.fs_f;
+          Bitset.set ob rlo true)
+  | Sum, Column.F a, Some b, Column.F oa, Some ob ->
+      mk
+        (fun fs lo hi ->
+          let s = ref fs.fs_f and seen = ref fs.fs_seen in
+          for i = lo to hi - 1 do
+            if Bitset.unsafe_get b i then
+              if !seen then s := !s +. A.unsafe_get a i
+              else begin
+                s := A.unsafe_get a i;
+                seen := true
+              end
+          done;
+          fs.fs_f <- !s;
+          fs.fs_seen <- !seen)
+        (fun fs rlo ->
+          A.unsafe_set oa rlo fs.fs_f;
+          Bitset.set ob rlo true)
+  | (Max | Min), Column.I a, bo, Column.I oa, Some ob ->
+      let better = match agg with Max -> ( > ) | _ -> ( < ) in
+      let guard = match bo with None -> fun _ -> true | Some b -> Bitset.unsafe_get b in
+      mk
+        (fun fs lo hi ->
+          let m = ref fs.fs_i and seen = ref fs.fs_seen in
+          for i = lo to hi - 1 do
+            if guard i then begin
+              let x = A.unsafe_get a i in
+              if !seen then (if better x !m then m := x)
+              else begin
+                m := x;
+                seen := true
+              end
             end
-        done;
-        oa.(rlo) <- !s;
-        Bitset.set ob rlo true
-  | Max, Column.I a, Column.I oa, Some ob ->
-      fun rlo rhi ->
-        let m = ref 0 and seen = ref false in
-        for i = rlo to rhi - 1 do
-          if v i then
-            if !seen then (if a.(i) > !m then m := a.(i))
-            else begin
-              m := a.(i);
-              seen := true
+          done;
+          fs.fs_i <- !m;
+          fs.fs_seen <- !seen)
+        (fun fs rlo ->
+          if fs.fs_seen then begin
+            A.unsafe_set oa rlo fs.fs_i;
+            Bitset.set ob rlo true
+          end)
+  | (Max | Min), Column.F a, bo, Column.F oa, Some ob ->
+      let better =
+        match agg with
+        | Max -> fun x m -> Float.compare x m > 0
+        | _ -> fun x m -> Float.compare x m < 0
+      in
+      let guard = match bo with None -> fun _ -> true | Some b -> Bitset.unsafe_get b in
+      mk
+        (fun fs lo hi ->
+          let m = ref fs.fs_f and seen = ref fs.fs_seen in
+          for i = lo to hi - 1 do
+            if guard i then begin
+              let x = A.unsafe_get a i in
+              if !seen then (if better x !m then m := x)
+              else begin
+                m := x;
+                seen := true
+              end
             end
-        done;
-        if !seen then begin
-          oa.(rlo) <- !m;
-          Bitset.set ob rlo true
-        end
-  | Min, Column.I a, Column.I oa, Some ob ->
-      fun rlo rhi ->
-        let m = ref 0 and seen = ref false in
-        for i = rlo to rhi - 1 do
-          if v i then
-            if !seen then (if a.(i) < !m then m := a.(i))
-            else begin
-              m := a.(i);
-              seen := true
-            end
-        done;
-        if !seen then begin
-          oa.(rlo) <- !m;
-          Bitset.set ob rlo true
-        end
-  | Max, Column.F a, Column.F oa, Some ob ->
-      fun rlo rhi ->
-        let m = ref 0.0 and seen = ref false in
-        for i = rlo to rhi - 1 do
-          if v i then
-            if !seen then (if Float.compare a.(i) !m > 0 then m := a.(i))
-            else begin
-              m := a.(i);
-              seen := true
-            end
-        done;
-        if !seen then begin
-          oa.(rlo) <- !m;
-          Bitset.set ob rlo true
-        end
-  | Min, Column.F a, Column.F oa, Some ob ->
-      fun rlo rhi ->
-        let m = ref 0.0 and seen = ref false in
-        for i = rlo to rhi - 1 do
-          if v i then
-            if !seen then (if Float.compare a.(i) !m < 0 then m := a.(i))
-            else begin
-              m := a.(i);
-              seen := true
-            end
-        done;
-        if !seen then begin
-          oa.(rlo) <- !m;
-          Bitset.set ob rlo true
-        end
+          done;
+          fs.fs_f <- !m;
+          fs.fs_seen <- !seen)
+        (fun fs rlo ->
+          if fs.fs_seen then begin
+            A.unsafe_set oa rlo fs.fs_f;
+            Bitset.set ob rlo true
+          end)
   | _ ->
       (* mixed/exotic dtypes: the tree walk's scalar accumulator *)
-      fun rlo rhi ->
-        let acc = ref None in
-        for i = rlo to rhi - 1 do
-          match Column.get col i with
-          | Some v ->
-              acc :=
-                Some
-                  (match !acc, agg with
-                  | None, Count -> Scalar.I 1
-                  | None, _ -> v
-                  | Some cur, Sum -> Scalar.add cur v
-                  | Some cur, Max -> Scalar.max_s cur v
-                  | Some cur, Min -> Scalar.min_s cur v
-                  | Some cur, Count -> Scalar.add cur (Scalar.I 1))
-          | None -> ()
-        done;
-        (match !acc, agg with
-        | Some v, _ -> Column.set out rlo v
-        | None, (Sum | Count) -> Column.set out rlo (Scalar.zero dt)
-        | None, (Max | Min) -> ())
+      mk
+        (fun fs lo hi ->
+          let acc = ref fs.fs_s in
+          for i = lo to hi - 1 do
+            match Column.get col i with
+            | Some x ->
+                acc :=
+                  Some
+                    (match !acc, agg with
+                    | None, Count -> Scalar.I 1
+                    | None, _ -> x
+                    | Some cur, Sum -> Scalar.add cur x
+                    | Some cur, Max -> Scalar.max_s cur x
+                    | Some cur, Min -> Scalar.min_s cur x
+                    | Some cur, Count -> Scalar.add cur (Scalar.I 1))
+            | None -> ()
+          done;
+          fs.fs_s <- !acc)
+        (fun fs rlo ->
+          match fs.fs_s, agg with
+          | Some x, _ -> Column.set out rlo x
+          | None, (Sum | Count) -> Column.set out rlo (Scalar.zero dt)
+          | None, (Max | Min) -> ())
 
-(* Did the run end with no valid element?  Needed where the scalar fold
-   distinguishes "no value" from "zero": for Sum/Count the tree walk
-   writes zero anyway, which the specialised kernels above replicate by
-   starting at zero; only Max/Min skip the write (also replicated). *)
+(* Per-run aggregation over [rlo, rhi) in one call — the misaligned-fold
+   path, where run boundaries come from scanning the control attribute. *)
+let fold_run_kernel (stream : fold_stream) (fs : fstate) ctx rlo rhi =
+  stream.st_reset fs;
+  stream.st_accum fs rlo rhi;
+  stream.st_finish fs ctx rlo
 
 (* ---------- compiled fragments ---------- *)
+
+(* How the raw driver may subdivide a statement's per-work-item range. *)
+type tclass =
+  | Tfree  (** any subrange, in order: element-wise statements *)
+  | Truns  (** subranges must stay within one work item: aligned folds *)
+  | Tsolo  (** exact ranges only: misaligned folds (runs are scanned) *)
 
 type stmt_exec = {
   xc_run : ctx -> int -> int -> unit;  (** [lo, hi) element range *)
   xc_ranged : bool;
       (** needs the exact per-work-item ranges (folds: run structure;
           instrumented statements: per-range event accounting) *)
+  xc_tile : tclass;
+  xc_barrier : bool;
+      (** output is not element-aligned with the input (select compaction,
+          fold-at-run-start): statements after this one start a new tile
+          group *)
 }
 
 type compiled = {
@@ -435,6 +1355,23 @@ type compiled = {
 
 let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
   let env = st.env in
+  let opts = st.opts in
+  let tile_w = Codegen.effective_tile_width opts in
+  let body_ids = List.map (fun (cs : compiled_stmt) -> cs.stmt.id) body in
+  (* Zone view of a fold/selection input column: a same-fragment
+     predicate producer publishes per-tile summaries in [ctx.zn]; a
+     column complete before this fragment (earlier fragment or the
+     store) gets a zone map built once, here at compile time — compile
+     runs on one domain before any chunk starts, so no publication
+     races.  Raw mode only: the instrumented build must execute every
+     element to keep its event stream. *)
+  let zview_of (input : Op.src) (col : Column.t) : zview =
+    if instrument || not opts.Codegen.zone_maps then Znone
+    else
+      let rid, _, _ = resolve_charge st input in
+      if List.mem rid body_ids then Zctx rid
+      else Zcol (Column.zones col ~width:tile_w)
+  in
   (* Static per-range first-reader simulation: one charge table for the
      lo = 0 range (one-shot statements included), one for later ranges. *)
   let first_set = Hashtbl.create 16 and later_set = Hashtbl.create 16 in
@@ -484,6 +1421,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
           Events.mem ~scalable:false ctx.ev ~site:(sid ^ ":w")
             ~pattern:(Cache.Random ws) ~elem_bytes:width count
   in
+  let intent = max 1 f.intent in
+  let domain = f.domain in
   let scatters = ref [] in
   let compile_stmt (cs : compiled_stmt) : stmt_exec option =
     let s = cs.stmt in
@@ -507,6 +1446,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                     wr ctx (n * cols)
                   end);
               xc_ranged = false;
+              xc_tile = Tfree;
+              xc_barrier = false;
             }
         end
     | Cross _ ->
@@ -523,6 +1464,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                     wr ctx (2 * n)
                   end);
               xc_ranged = false;
+              xc_tile = Tfree;
+              xc_barrier = false;
             }
         end
     | Binary { op; left; right; _ } ->
@@ -531,12 +1474,22 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
           let _, lcol = src_column env left and _, rcol = src_column env right in
           let out = leaf_column (lookup env s.id) [] in
           let n_out = Column.length out in
-          let kernel = binary_kernel op lcol rcol out in
+          (* Mask promotion: with both operands mask-free and the fragment
+             covering every output slot, the kernel writes everything and
+             the result needs no validity mask either — so downstream
+             consumers see [valid = None] and take their own branch-free
+             paths.  The all-valid invariant cascades through fragments. *)
+          if lcol.Column.valid = None && rcol.Column.valid = None
+             && n_out <= domain
+          then out.Column.valid <- None;
+          let kernel = binary_kernel s.id op lcol rcol out in
           if not instrument then
             Some
               {
-                xc_run = (fun _ctx lo hi -> kernel lo (min hi n_out));
+                xc_run = (fun ctx lo hi -> kernel ctx lo (min hi n_out));
                 xc_ranged = false;
+                xc_tile = Tfree;
+                xc_barrier = false;
               }
           else begin
             let dt = Column.dtype out in
@@ -549,13 +1502,15 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                 xc_run =
                   (fun ctx lo hi ->
                     let hi = min hi n_out in
-                    kernel lo hi;
+                    kernel ctx lo hi;
                     let c = max 0 (hi - lo) in
                     Events.alu ctx.ev dt c;
                     chl ctx lo c;
                     chr ctx lo c;
                     wr ctx c);
                 xc_ranged = true;
+                xc_tile = Tfree;
+                xc_barrier = false;
               }
           end
         end
@@ -564,28 +1519,75 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
         let _, pcol = src_column env positions in
         let out = lookup env s.id in
         let dn = Svector.length dvec in
-        let movers =
+        let pairs =
           List.map
-            (fun kp -> gather_copy (Svector.column dvec kp, Svector.column out kp))
+            (fun kp -> (Svector.column dvec kp, Svector.column out kp))
             (Svector.keypaths dvec)
         in
+        let movers = List.map gather_copy pairs in
         let pn = Column.length pcol in
         let pv = dvalid pcol and pr = praw pcol in
-        if not instrument then
+        if not instrument then begin
+          (* hot shapes: int positions with no mask, moved columns fully
+             specialized — one tight loop, no per-element closure calls *)
+          let fast =
+            match pcol.Column.data, pcol.Column.valid, pairs with
+            | Column.I pa, None, [ (src, dst) ] -> (
+                match src.Column.data, src.Column.valid, dst.Column.data,
+                      dst.Column.valid
+                with
+                | Column.F sa, None, Column.F da, Some db ->
+                    Some
+                      (fun lo hi ->
+                        for i = lo to hi - 1 do
+                          let p = A.unsafe_get pa i in
+                          if p >= 0 && p < dn then begin
+                            A.unsafe_set da i (A.unsafe_get sa p);
+                            Bitset.unsafe_set_true db i
+                          end
+                        done)
+                | Column.I sa, None, Column.I da, Some db ->
+                    Some
+                      (fun lo hi ->
+                        for i = lo to hi - 1 do
+                          let p = A.unsafe_get pa i in
+                          if p >= 0 && p < dn then begin
+                            A.unsafe_set da i (A.unsafe_get sa p);
+                            Bitset.unsafe_set_true db i
+                          end
+                        done)
+                | _ -> None)
+            | _ -> None
+          in
+          let run =
+            match fast with
+            | Some k -> fun lo hi -> k lo hi
+            | None -> (
+                match pcol.Column.data, pcol.Column.valid, movers with
+                | Column.I pa, None, [ m ] ->
+                    fun lo hi ->
+                      for i = lo to hi - 1 do
+                        let p = A.unsafe_get pa i in
+                        if p >= 0 && p < dn then m p i
+                      done
+                | _ ->
+                    fun lo hi ->
+                      for i = lo to hi - 1 do
+                        if pv i then begin
+                          let p = pr i in
+                          if p >= 0 && p < dn then
+                            List.iter (fun m -> m p i) movers
+                        end
+                      done)
+          in
           Some
             {
-              xc_run =
-                (fun _ctx lo hi ->
-                  let hi = min hi pn in
-                  for i = lo to hi - 1 do
-                    if pv i then begin
-                      let p = pr i in
-                      if p >= 0 && p < dn then
-                        List.iter (fun m -> m p i) movers
-                    end
-                  done);
+              xc_run = (fun _ctx lo hi -> run lo (min hi pn));
               xc_ranged = false;
+              xc_tile = Tfree;
+              xc_barrier = false;
             }
+        end
         else begin
           let ncols = List.length movers in
           let chp = charge ~lo0_only:false positions in
@@ -610,6 +1612,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                   chp ctx lo !valid;
                   wr ctx (!valid * ncols));
               xc_ranged = true;
+              xc_tile = Tfree;
+              xc_barrier = false;
             }
         end
     | Scatter { data; positions; _ } ->
@@ -644,21 +1648,33 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             | Some r -> record_write r
             | None -> seq_write
           in
-          if not instrument then
-            Some
-              {
-                xc_run =
-                  (fun ctx lo hi ->
-                    let write = writer_of ctx in
-                    let hi = min hi hi_cap in
+          if not instrument then begin
+            let run =
+              match pcol.Column.data, pcol.Column.valid with
+              | Column.I pa, None ->
+                  fun write lo hi ->
+                    for i = lo to hi - 1 do
+                      let p = A.unsafe_get pa i in
+                      if p >= 0 && p < out_n then write i p
+                    done
+              | _ ->
+                  fun write lo hi ->
                     for i = lo to hi - 1 do
                       if pv i then begin
                         let p = pr i in
                         if p >= 0 && p < out_n then write i p
                       end
-                    done);
+                    done
+            in
+            Some
+              {
+                xc_run =
+                  (fun ctx lo hi -> run (writer_of ctx) lo (min hi hi_cap));
                 xc_ranged = false;
+                xc_tile = Tfree;
+                xc_barrier = false;
               }
+          end
           else begin
             let ncols = List.length pairs in
             let chp = charge ~lo0_only:false positions in
@@ -684,6 +1700,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                     chp ctx lo !valid;
                     chd ctx lo (!valid * ncols));
                 xc_ranged = true;
+                xc_tile = Tfree;
+                xc_barrier = false;
               }
           end
         end
@@ -707,6 +1725,8 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                   end
                 end);
             xc_ranged = false;
+            xc_tile = Tfree;
+            xc_barrier = false;
           }
     | FoldAgg { agg; fold; input; _ } -> (
         match cs.grouped_fold with
@@ -783,57 +1803,93 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                     end;
                     if hi >= gn then finish ctx);
                 xc_ranged = true;
+                xc_tile = Truns;
+                xc_barrier = true;
               }
         | None ->
             let vec, col = src_column env input in
             let out = leaf_column (lookup env s.id) [] in
+            let aligned = aligned_fold st f env input fold in
             let fold_col =
-              if aligned_fold st f env input fold then None
+              if aligned then None
               else Option.map (fun kp -> leaf_column vec kp) fold
             in
-            let kernel = fold_run_kernel agg col out in
+            let stream = fold_stream_kernel agg col out in
             let n_vec = Svector.length vec in
             let rid, _ = resolve_read st input.v (leaf vec input.kp) in
             let cdt = Column.dtype col in
             let chi = charge ~lo0_only:false input in
             let wr = write s.id in
             let suppressing = st.opts.Codegen.suppress_empty_slots in
-            Some
-              {
-                xc_run =
-                  (fun ctx lo hi ->
-                    let n_range = hi - lo in
-                    if instrument && fold_col <> None then
-                      Events.alu ctx.ev Int n_range;
-                    let run_count = ref 0 in
-                    List.iter
-                      (fun (rlo, rhi) ->
-                        incr run_count;
-                        kernel rlo rhi)
-                      (runs_in_range ~fold_col lo hi);
-                    if instrument then begin
-                      Events.alu ctx.ev cdt (eff st ctx rid n_range);
-                      chi ctx lo n_range;
-                      wr ctx !run_count
-                    end;
-                    if suppressing && hi >= n_vec then
-                      Hashtbl.replace ctx.sup s.id
-                        (Option.value (Hashtbl.find_opt ctx.sup s.id) ~default:0
-                        + !run_count));
-                xc_ranged = true;
-              })
+            let zv = if aligned then zview_of input col else Znone in
+            let events_for ctx lo hi run_count =
+              let n_range = hi - lo in
+              if fold_col <> None then Events.alu ctx.ev Int n_range;
+              Events.alu ctx.ev cdt (eff st ctx rid n_range);
+              chi ctx lo n_range;
+              wr ctx run_count
+            in
+            if aligned then
+              (* streaming: a run is one work item ([intent] elements);
+                 tiles of the run arrive in order, reset at the run's
+                 first element, finalize when the range reaches its end *)
+              Some
+                {
+                  xc_run =
+                    (fun ctx lo hi ->
+                      let fs = fstate_in ctx s.id in
+                      let rlo = lo - (lo mod intent) in
+                      if lo = rlo then stream.st_reset fs;
+                      if not (zempty zv n_vec lo hi) then
+                        stream.st_accum fs lo hi;
+                      let rhi = min domain (rlo + intent) in
+                      if hi >= rhi then stream.st_finish fs ctx rlo;
+                      if instrument then events_for ctx lo hi 1;
+                      if suppressing && hi >= n_vec then
+                        Hashtbl.replace ctx.sup s.id
+                          (Option.value
+                             (Hashtbl.find_opt ctx.sup s.id)
+                             ~default:0
+                          + 1));
+                  xc_ranged = true;
+                  xc_tile = Truns;
+                  xc_barrier = true;
+                }
+            else
+              Some
+                {
+                  xc_run =
+                    (fun ctx lo hi ->
+                      let fs = fstate_in ctx s.id in
+                      let run_count = ref 0 in
+                      List.iter
+                        (fun (rlo, rhi) ->
+                          incr run_count;
+                          fold_run_kernel stream fs ctx rlo rhi)
+                        (runs_in_range ~fold_col lo hi);
+                      if instrument then events_for ctx lo hi !run_count;
+                      if suppressing && hi >= n_vec then
+                        Hashtbl.replace ctx.sup s.id
+                          (Option.value
+                             (Hashtbl.find_opt ctx.sup s.id)
+                             ~default:0
+                          + !run_count));
+                  xc_ranged = true;
+                  xc_tile = Tsolo;
+                  xc_barrier = true;
+                })
     | FoldSelect { fold; input; _ } ->
         let vec, col = src_column env input in
         let out = leaf_column (lookup env s.id) [] in
+        let aligned = aligned_fold st f env input fold in
         let fold_col =
-          if aligned_fold st f env input fold then None
-          else Option.map (fun kp -> leaf_column vec kp) fold
+          if aligned then None else Option.map (fun kp -> leaf_column vec kp) fold
         in
         let cv = dvalid col in
         let taken_at =
           match col.Column.data with
-          | Column.I a -> fun i -> cv i && a.(i) <> 0
-          | Column.F a -> fun i -> cv i && a.(i) <> 0.0
+          | Column.I a -> fun i -> cv i && A.unsafe_get a i <> 0
+          | Column.F a -> fun i -> cv i && A.unsafe_get a i <> 0.0
         in
         let oa, ob =
           match out.Column.data, out.Column.valid with
@@ -843,124 +1899,362 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
         in
         let emit i cursor =
           (match oa with
-          | Some oa -> oa.(cursor) <- i
+          | Some oa -> A.unsafe_set oa cursor i
           | None -> Column.set out cursor (Scalar.I i));
           Bitset.set ob cursor true
         in
+        (* raw scan of [lo, hi): emit qualifying positions at the cursor,
+           return the new cursor *)
+        let scan_raw =
+          match col.Column.data, col.Column.valid, oa with
+          | Column.I a, None, Some oa ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  if A.unsafe_get a i <> 0 then begin
+                    A.unsafe_set oa !c i;
+                    Bitset.unsafe_set_true ob !c;
+                    incr c
+                  end
+                done;
+                !c
+          | Column.I a, Some b, Some oa ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  if Bitset.unsafe_get b i && A.unsafe_get a i <> 0 then begin
+                    A.unsafe_set oa !c i;
+                    Bitset.unsafe_set_true ob !c;
+                    incr c
+                  end
+                done;
+                !c
+          | Column.F a, None, Some oa ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  if A.unsafe_get a i <> 0.0 then begin
+                    A.unsafe_set oa !c i;
+                    Bitset.unsafe_set_true ob !c;
+                    incr c
+                  end
+                done;
+                !c
+          | Column.F a, Some b, Some oa ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  if Bitset.unsafe_get b i && A.unsafe_get a i <> 0.0 then begin
+                    A.unsafe_set oa !c i;
+                    Bitset.unsafe_set_true ob !c;
+                    incr c
+                  end
+                done;
+                !c
+          | _ ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  if taken_at i then begin
+                    emit i !c;
+                    incr c
+                  end
+                done;
+                !c
+        in
+        (* branch-free emit of every position in [lo, hi) — the all-true
+           zone verdict *)
+        let dense_raw =
+          match oa with
+          | Some oa ->
+              fun lo hi cur ->
+                for i = lo to hi - 1 do
+                  A.unsafe_set oa (cur + i - lo) i
+                done;
+                Bitset.fill_range ob cur (cur + (hi - lo)) true;
+                cur + (hi - lo)
+          | None ->
+              fun lo hi cur ->
+                let c = ref cur in
+                for i = lo to hi - 1 do
+                  emit i !c;
+                  incr c
+                done;
+                !c
+        in
+        let n_vec = Svector.length vec in
         let cdt = Column.dtype col in
         let chi = charge ~lo0_only:false input in
         let wr = write s.id in
-        Some
-          {
-            xc_run =
-              (fun ctx lo hi ->
-                let n_range = hi - lo in
-                if instrument && fold_col <> None then
-                  Events.alu ctx.ev Int n_range;
-                let emitted = ref 0 in
-                List.iter
-                  (fun (rlo, rhi) ->
-                    let cursor = ref rlo in
-                    if instrument then
-                      for i = rlo to rhi - 1 do
-                        let taken = taken_at i in
-                        Events.branch ctx.ev ~site:s.id taken;
-                        if taken then begin
-                          emit i !cursor;
-                          incr cursor;
-                          incr emitted
-                        end
-                      done
-                    else
-                      for i = rlo to rhi - 1 do
-                        if taken_at i then begin
-                          emit i !cursor;
-                          incr cursor
-                        end
-                      done)
-                  (runs_in_range ~fold_col lo hi);
-                if instrument then begin
+        let zv = if aligned then zview_of input col else Znone in
+        if aligned && not instrument then
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let fs = fstate_in ctx s.id in
+                  let rlo = lo - (lo mod intent) in
+                  if lo = rlo then fs.fs_cur <- rlo;
+                  (match zverdict zv ctx n_vec lo hi with
+                  | Zskip -> ()
+                  | Zdense -> fs.fs_cur <- dense_raw lo hi fs.fs_cur
+                  | Zscan -> fs.fs_cur <- scan_raw lo hi fs.fs_cur));
+              xc_ranged = true;
+              xc_tile = Truns;
+              xc_barrier = true;
+            }
+        else if aligned then
+          (* instrumented: per-element branch-predictor stream *)
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let fs = fstate_in ctx s.id in
+                  let rlo = lo - (lo mod intent) in
+                  if lo = rlo then fs.fs_cur <- rlo;
+                  let n_range = hi - lo in
+                  let emitted = ref 0 in
+                  let cursor = ref fs.fs_cur in
+                  for i = lo to hi - 1 do
+                    let taken = taken_at i in
+                    Events.branch ctx.ev ~site:s.id taken;
+                    if taken then begin
+                      emit i !cursor;
+                      incr cursor;
+                      incr emitted
+                    end
+                  done;
+                  fs.fs_cur <- !cursor;
                   Events.alu ctx.ev cdt n_range;
                   Events.guarded ctx.ev !emitted;
                   chi ctx lo n_range;
-                  wr ctx !emitted
-                end);
-            xc_ranged = true;
-          }
+                  wr ctx !emitted);
+              xc_ranged = true;
+              xc_tile = Truns;
+              xc_barrier = true;
+            }
+        else
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let n_range = hi - lo in
+                  if instrument && fold_col <> None then
+                    Events.alu ctx.ev Int n_range;
+                  let emitted = ref 0 in
+                  List.iter
+                    (fun (rlo, rhi) ->
+                      let cursor = ref rlo in
+                      if instrument then
+                        for i = rlo to rhi - 1 do
+                          let taken = taken_at i in
+                          Events.branch ctx.ev ~site:s.id taken;
+                          if taken then begin
+                            emit i !cursor;
+                            incr cursor;
+                            incr emitted
+                          end
+                        done
+                      else cursor := scan_raw rlo rhi !cursor)
+                    (runs_in_range ~fold_col lo hi);
+                  if instrument then begin
+                    Events.alu ctx.ev cdt n_range;
+                    Events.guarded ctx.ev !emitted;
+                    chi ctx lo n_range;
+                    wr ctx !emitted
+                  end);
+              xc_ranged = true;
+              xc_tile = Tsolo;
+              xc_barrier = true;
+            }
     | FoldScan { fold; input; _ } ->
         let vec, col = src_column env input in
         let out = leaf_column (lookup env s.id) [] in
+        let aligned = aligned_fold st f env input fold in
         let fold_col =
-          if aligned_fold st f env input fold then None
-          else Option.map (fun kp -> leaf_column vec kp) fold
+          if aligned then None else Option.map (fun kp -> leaf_column vec kp) fold
         in
         let cv = dvalid col in
-        let scan_run =
-          match col.Column.data, out.Column.data, out.Column.valid with
-          | Column.I a, Column.I oa, Some ob ->
-              fun rlo rhi ->
-                let acc = ref 0 in
-                for i = rlo to rhi - 1 do
-                  if cv i then acc := !acc + a.(i);
-                  oa.(i) <- !acc;
-                  Bitset.set ob i true
-                done
-          | Column.F a, Column.F oa, Some ob ->
-              fun rlo rhi ->
-                let acc = ref 0.0 in
-                for i = rlo to rhi - 1 do
-                  if cv i then acc := !acc +. a.(i);
-                  oa.(i) <- !acc;
-                  Bitset.set ob i true
-                done
+        (* a scan writes every slot of its range, so once the fragment
+           covers the whole output the result needs no mask — promote *)
+        if Column.length out <= domain then out.Column.valid <- None;
+        let smark =
+          match out.Column.valid with
+          | None -> fun _ _ -> ()
+          | Some ob -> fun lo hi -> Bitset.fill_range ob lo hi true
+        in
+        (* streaming scan: carry the running sum through the chunk state,
+           write every slot of the sub-range *)
+        let scan_int, scan_float, scan_gen =
+          match col.Column.data, col.Column.valid, out.Column.data with
+          | Column.I a, None, Column.I oa ->
+              ( Some
+                  (fun acc lo hi ->
+                    let acc = ref acc in
+                    for i = lo to hi - 1 do
+                      acc := !acc + A.unsafe_get a i;
+                      A.unsafe_set oa i !acc
+                    done;
+                    smark lo hi;
+                    !acc),
+                None, None )
+          | Column.I a, Some b, Column.I oa ->
+              ( Some
+                  (fun acc lo hi ->
+                    let acc = ref acc in
+                    for i = lo to hi - 1 do
+                      if Bitset.unsafe_get b i then acc := !acc + A.unsafe_get a i;
+                      A.unsafe_set oa i !acc
+                    done;
+                    smark lo hi;
+                    !acc),
+                None, None )
+          | Column.F a, None, Column.F oa ->
+              ( None,
+                Some
+                  (fun acc lo hi ->
+                    let acc = ref acc in
+                    for i = lo to hi - 1 do
+                      acc := !acc +. A.unsafe_get a i;
+                      A.unsafe_set oa i !acc
+                    done;
+                    smark lo hi;
+                    !acc),
+                None )
+          | Column.F a, Some b, Column.F oa ->
+              ( None,
+                Some
+                  (fun acc lo hi ->
+                    let acc = ref acc in
+                    for i = lo to hi - 1 do
+                      if Bitset.unsafe_get b i then acc := !acc +. A.unsafe_get a i;
+                      A.unsafe_set oa i !acc
+                    done;
+                    smark lo hi;
+                    !acc),
+                None )
           | _ ->
-              fun rlo rhi ->
-                let acc = ref (Scalar.zero (Column.dtype col)) in
-                for i = rlo to rhi - 1 do
-                  (match Column.get col i with
-                  | Some v -> acc := Scalar.add !acc v
-                  | None -> ());
-                  Column.set out i !acc
-                done
+              let dt = Column.dtype col in
+              ( None, None,
+                Some
+                  (fun acc lo hi ->
+                    let acc = ref (match acc with Some v -> v | None -> Scalar.zero dt) in
+                    for i = lo to hi - 1 do
+                      (match Column.get col i with
+                      | Some v -> acc := Scalar.add !acc v
+                      | None -> ());
+                      Column.set out i !acc
+                    done;
+                    Some !acc) )
+        in
+        ignore cv;
+        let accum (fs : fstate) lo hi =
+          match scan_int, scan_float, scan_gen with
+          | Some k, _, _ -> fs.fs_i <- k fs.fs_i lo hi
+          | _, Some k, _ -> fs.fs_f <- k fs.fs_f lo hi
+          | _, _, Some k -> fs.fs_s <- k fs.fs_s lo hi
+          | _ -> assert false
         in
         let cdt = Column.dtype col in
         let chi = charge ~lo0_only:false input in
         let wr = write s.id in
-        Some
-          {
-            xc_run =
-              (fun ctx lo hi ->
-                let n_range = hi - lo in
-                if instrument && fold_col <> None then
-                  Events.alu ctx.ev Int n_range;
-                List.iter (fun (rlo, rhi) -> scan_run rlo rhi)
-                  (runs_in_range ~fold_col lo hi);
-                if instrument then begin
-                  Events.alu ctx.ev cdt n_range;
-                  chi ctx lo n_range;
-                  wr ctx n_range
-                end);
-            xc_ranged = true;
-          }
+        if aligned then
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let fs = fstate_in ctx s.id in
+                  let rlo = lo - (lo mod intent) in
+                  if lo = rlo then reset_all fs;
+                  accum fs lo hi;
+                  if instrument then begin
+                    let n_range = hi - lo in
+                    Events.alu ctx.ev cdt n_range;
+                    chi ctx lo n_range;
+                    wr ctx n_range
+                  end);
+              xc_ranged = true;
+              xc_tile = Truns;
+              xc_barrier = false;
+            }
+        else
+          Some
+            {
+              xc_run =
+                (fun ctx lo hi ->
+                  let fs = fstate_in ctx s.id in
+                  let n_range = hi - lo in
+                  if instrument && fold_col <> None then
+                    Events.alu ctx.ev Int n_range;
+                  List.iter
+                    (fun (rlo, rhi) ->
+                      reset_all fs;
+                      accum fs rlo rhi)
+                    (runs_in_range ~fold_col lo hi);
+                  if instrument then begin
+                    Events.alu ctx.ev cdt n_range;
+                    chi ctx lo n_range;
+                    wr ctx n_range
+                  end);
+              xc_ranged = true;
+              xc_tile = Tsolo;
+              xc_barrier = true;
+            }
   in
   let execs = List.filter_map compile_stmt body in
   let single_chunk =
-    List.exists
-      (fun (cs : compiled_stmt) -> cs.grouped_fold <> None)
-      body
+    List.exists (fun (cs : compiled_stmt) -> cs.grouped_fold <> None) body
   in
-  let intent = max 1 f.intent in
-  let domain = f.domain in
   let ranged = List.exists (fun e -> e.xc_ranged) execs in
+  (* Tile groups for the raw driver: statements interleave tile-at-a-time
+     within a group; a barrier statement (fold whose output is not
+     element-aligned) closes its group, and a Tsolo statement (misaligned
+     fold) stands alone. *)
+  let groups =
+    let flush cur acc = if cur = [] then acc else List.rev cur :: acc in
+    let rec go cur acc = function
+      | [] -> List.rev (flush cur acc)
+      | e :: rest when e.xc_tile = Tsolo -> go [] ([ e ] :: flush cur acc) rest
+      | e :: rest when e.xc_barrier -> go [] (flush (e :: cur) acc) rest
+      | e :: rest -> go (e :: cur) acc rest
+    in
+    Array.of_list (List.map Array.of_list (go [] [] execs))
+  in
+  let all_free = List.for_all (fun e -> e.xc_tile = Tfree) execs in
+  (* Run the groups over element range [lo, hi), tile-at-a-time.  Tiles
+     align to absolute multiples of the tile width, so zone-map entries
+     (built at the same width) line up and chunk seams (also tile-aligned)
+     change nothing.  Index loops over arrays: the tile loop is hot and
+     must not allocate per tile. *)
+  let run_tiled ctx lo hi =
+    for gi = 0 to Array.length groups - 1 do
+      let g = groups.(gi) in
+      if Array.length g = 1 && g.(0).xc_tile = Tsolo then g.(0).xc_run ctx lo hi
+      else if hi <= lo then
+        for i = 0 to Array.length g - 1 do
+          g.(i).xc_run ctx lo hi
+        done
+      else begin
+        let tl = ref lo in
+        while !tl < hi do
+          let th = min hi (((!tl / tile_w) + 1) * tile_w) in
+          for i = 0 to Array.length g - 1 do
+            g.(i).xc_run ctx !tl th
+          done;
+          tl := th
+        done
+      end
+    done
+  in
   let run ctx ~w_lo ~w_hi =
     match ctx.chk with
     | Some check ->
         (* a deadline or cancellation token is live: always walk work
-           items (bit-identical to the merged-range fast path — the
-           differential tests hold the two equal) and check between
-           items {e and} between statements — fragments fold to few,
-           large work items, so per-item checks alone can overshoot an
-           expired deadline by a whole fragment *)
+           items (bit-identical to the tiled fast path — the differential
+           tests hold the two equal) and check between items {e and}
+           between statements — fragments fold to few, large work items,
+           so per-item checks alone can overshoot an expired deadline by
+           a whole fragment *)
         for w = w_lo to w_hi - 1 do
           check ();
           let lo = w * intent in
@@ -973,19 +2267,35 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
               execs
         done
     | None ->
-        if not ranged then begin
-          (* pure element-wise body: one merged range per chunk (only the
-             range containing element 0 triggers the one-shot statements,
-             exactly as in the per-work-item loop) *)
+        if instrument then begin
+          if not ranged then begin
+            (* pure element-wise body: one merged range per chunk (only
+               the range containing element 0 triggers the one-shot
+               statements, exactly as in the per-work-item loop) *)
+            let lo = w_lo * intent in
+            let hi = min domain (w_hi * intent) in
+            if hi > lo || lo = 0 then
+              List.iter (fun e -> e.xc_run ctx lo hi) execs
+          end
+          else
+            for w = w_lo to w_hi - 1 do
+              let lo = w * intent in
+              let hi = min domain ((w + 1) * intent) in
+              if hi > lo || lo = 0 then
+                List.iter (fun e -> e.xc_run ctx lo hi) execs
+            done
+        end
+        else if all_free then begin
+          (* no folds: work items are independent, tile the merged range *)
           let lo = w_lo * intent in
           let hi = min domain (w_hi * intent) in
-          if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+          if hi > lo || lo = 0 then run_tiled ctx lo hi
         end
         else
           for w = w_lo to w_hi - 1 do
             let lo = w * intent in
             let hi = min domain ((w + 1) * intent) in
-            if hi > lo || lo = 0 then List.iter (fun e -> e.xc_run ctx lo hi) execs
+            if hi > lo || lo = 0 then run_tiled ctx lo hi
           done
   in
   { cp_run = run; cp_scatters = List.rev !scatters; cp_single_chunk = single_chunk }

@@ -47,10 +47,13 @@ let exec_fragment ?chk st ev (f : frag) (body : compiled_stmt list) ~instrument
     ~jobs =
   let cp = C.compile st f body ~instrument in
   let work = f.extent * max 1 f.intent in
+  (* chunk seams on execution-tile boundaries: zone summaries and tile
+     kernels never straddle a seam, so tiled raw chunks merge exactly *)
+  let align = Codegen.effective_tile_width st.Exec_state.opts in
   let chunks =
     if jobs <= 1 || cp.C.cp_single_chunk || work < min_parallel_elements then
-      Chunk.split ~extent:f.extent ~intent:(max 1 f.intent) ~jobs:1
-    else Chunk.split ~extent:f.extent ~intent:(max 1 f.intent) ~jobs
+      Chunk.split ~align ~extent:f.extent ~intent:(max 1 f.intent) ~jobs:1 ()
+    else Chunk.split ~align ~extent:f.extent ~intent:(max 1 f.intent) ~jobs ()
   in
   match chunks with
   | [] -> ()

@@ -198,8 +198,7 @@ and bind_nonfrag st (s : Program.stmt) =
            (List.map (fun (kp, dt) -> (kp, Column.create dt out_n))
               (Svector.schema dvec)))
   | Constant { out; value } ->
-      let col = Column.create (Scalar.dtype_of value) 1 in
-      Column.set col 0 value;
+      let col = Column.init (Scalar.dtype_of value) 1 (fun _ -> value) in
       bind
         (Svector.with_ctrl (Svector.single out col) out
            (Ctrl.constant (Scalar.to_int value)))
@@ -233,8 +232,7 @@ and bind_nonfrag st (s : Program.stmt) =
       match ctrl, const with
       | Some c, _ -> bind (Svector.of_ctrl out c i.length)
       | _, Some k ->
-          let col = Column.create (Scalar.dtype_of k) 1 in
-          Column.set col 0 k;
+          let col = Column.init (Scalar.dtype_of k) 1 (fun _ -> k) in
           bind (Svector.single out col)
       | None, None -> err "non-virtual %s outside every fragment" s.id)
   | _ -> err "statement %s outside every fragment" s.id
@@ -253,8 +251,7 @@ and prepare st (cs : compiled_stmt) =
   | Load table -> bind (Store.find_exn st.store table)
   | Persist (_, v) -> bind (lookup env v)
   | Constant { out; value } ->
-      let col = Column.create (Scalar.dtype_of value) 1 in
-      Column.set col 0 value;
+      let col = Column.init (Scalar.dtype_of value) 1 (fun _ -> value) in
       bind (Svector.with_ctrl (Svector.single out col)
               out (Ctrl.constant (Scalar.to_int value)))
   | Range { out; from; size; step } ->

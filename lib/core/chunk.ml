@@ -5,19 +5,23 @@ type t = { index : int; w_lo : int; w_hi : int }
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
-(* Chunk boundaries must fall on element indices that are multiples of 8:
-   column validity masks pack eight slots per byte, so two chunks whose
-   element ranges share a byte would race on read-modify-write bit
-   updates.  A boundary at work item [w] sits at element [w * intent];
-   that is a multiple of 8 exactly when [w] is a multiple of
-   [8 / gcd intent 8]. *)
-let boundary_quantum ~intent = 8 / gcd (max 1 intent) 8
+(* Chunk boundaries must fall on element indices that are multiples of
+   [align]: column validity masks pack eight slots per byte (so [align]
+   is at least 8, keeping two chunks off the same mask byte), and the
+   tiled executor additionally wants boundaries on execution-tile
+   multiples so per-tile zone summaries never straddle a chunk seam.  A
+   boundary at work item [w] sits at element [w * intent]; that is a
+   multiple of [align] exactly when [w] is a multiple of
+   [align / gcd intent align]. *)
+let boundary_quantum ?(align = 8) ~intent () =
+  let align = max 8 align in
+  align / gcd (max 1 intent) align
 
-let split ~extent ~intent ~jobs =
+let split ?(align = 8) ~extent ~intent ~jobs () =
   if extent <= 0 then []
   else if jobs <= 1 then [ { index = 0; w_lo = 0; w_hi = extent } ]
   else begin
-    let q = boundary_quantum ~intent in
+    let q = boundary_quantum ~align ~intent () in
     (* target chunk size in work items, rounded up to the quantum *)
     let per = (extent + jobs - 1) / jobs in
     let per = (per + q - 1) / q * q in
@@ -30,4 +34,5 @@ let split ~extent ~intent ~jobs =
     go 0 0 []
   end
 
-let count ~extent ~intent ~jobs = List.length (split ~extent ~intent ~jobs)
+let count ?align ~extent ~intent ~jobs () =
+  List.length (split ?align ~extent ~intent ~jobs ())

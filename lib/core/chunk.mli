@@ -10,10 +10,13 @@
 
     One further constraint makes chunks safe to run concurrently against
     shared output columns: validity masks pack eight element slots per
-    byte, so chunk boundaries are rounded to element multiples of 8 —
-    two chunks never touch the same mask byte.  The split depends only on
-    [(extent, intent, jobs)], never on timing, so the chunk list — and
-    everything derived from it in chunk order — is deterministic. *)
+    byte, so chunk boundaries are rounded to element multiples of
+    [align] (at least 8) — two chunks never touch the same mask byte.
+    The tiled executor passes its tile width as [align], putting chunk
+    seams on execution-tile boundaries too, so per-tile zone summaries
+    and tile kernels never straddle a seam.  The split depends only on
+    [(extent, intent, jobs, align)], never on timing, so the chunk list —
+    and everything derived from it in chunk order — is deterministic. *)
 
 type t = {
   index : int;  (** position in chunk order, 0-based *)
@@ -22,15 +25,16 @@ type t = {
 }
 
 (** Work items per boundary step: chunk boundaries are multiples of this,
-    which makes their element offsets multiples of 8. *)
-val boundary_quantum : intent:int -> int
+    which makes their element offsets multiples of [align] (default 8;
+    values below 8 are raised to 8). *)
+val boundary_quantum : ?align:int -> intent:int -> unit -> int
 
-(** [split ~extent ~intent ~jobs] partitions [0..extent) into at most
+(** [split ~extent ~intent ~jobs ()] partitions [0..extent) into at most
     [jobs] contiguous chunks of whole work items (fewer when the extent
     is small or the alignment quantum forces bigger chunks).  [jobs <= 1]
     yields a single chunk covering everything; [extent <= 0] yields no
     chunks. *)
-val split : extent:int -> intent:int -> jobs:int -> t list
+val split : ?align:int -> extent:int -> intent:int -> jobs:int -> unit -> t list
 
 (** Number of chunks [split] would produce. *)
-val count : extent:int -> intent:int -> jobs:int -> int
+val count : ?align:int -> extent:int -> intent:int -> jobs:int -> unit -> int

@@ -1,5 +1,7 @@
 (** Compact mutable bitsets, used as validity masks (empty-slot ε tracking)
-    on columns. *)
+    on columns.  Bit [i] lives in byte [i lsr 3] at position [i land 7];
+    padding bits past [length] in the final byte carry no meaning (they
+    are masked out of byte-level queries). *)
 
 type t = { bits : Bytes.t; length : int }
 
@@ -23,20 +25,102 @@ let set t i v =
   let byte = if v then byte lor mask else byte land lnot mask in
   Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte land 0xff))
 
+(* Kernel-side accessors: no bounds checks — callers (the compiled tile
+   kernels) already iterate inside a validated [lo, hi) range. *)
+
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let unsafe_set_true t i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+(* Byte [j] of the mask, i.e. the validity of slots [8j .. 8j+7]. *)
+let unsafe_byte t j = Char.code (Bytes.unsafe_get t.bits j)
+
 let copy t = { t with bits = Bytes.copy t.bits }
 
+(* [fill_range t lo hi v] sets every bit in [lo, hi): partial head and
+   tail bytes via read-modify-write masks, whole bytes in the middle with
+   one [Bytes.fill]. *)
+let fill_range t lo hi v =
+  if lo < 0 || hi > t.length || lo > hi then
+    invalid_arg "Bitset.fill_range: bad range";
+  if lo < hi then begin
+    let blo = lo lsr 3 and bhi = (hi - 1) lsr 3 in
+    let head_mask = 0xff lsl (lo land 7) land 0xff in
+    let tail_mask = 0xff lsr (7 - ((hi - 1) land 7)) in
+    let apply b mask =
+      let old = Char.code (Bytes.unsafe_get t.bits b) in
+      let nw = if v then old lor mask else old land lnot mask land 0xff in
+      Bytes.unsafe_set t.bits b (Char.unsafe_chr nw)
+    in
+    if blo = bhi then apply blo (head_mask land tail_mask)
+    else begin
+      apply blo head_mask;
+      apply bhi tail_mask;
+      if bhi > blo + 1 then
+        Bytes.fill t.bits (blo + 1) (bhi - blo - 1) (if v then '\xff' else '\x00')
+    end
+  end
+
+let popcount8 =
+  Array.init 256 (fun b ->
+      let n = ref 0 in
+      for k = 0 to 7 do
+        if b land (1 lsl k) <> 0 then incr n
+      done;
+      !n)
+
 let count t =
+  let nbytes = Bytes.length t.bits in
   let n = ref 0 in
-  for i = 0 to t.length - 1 do
-    if get t i then incr n
+  for j = 0 to nbytes - 1 do
+    n := !n + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get t.bits j))
   done;
+  (* ignore padding bits past [length] in the final byte *)
+  let tail = t.length land 7 in
+  if tail <> 0 && nbytes > 0 then begin
+    let last = Char.code (Bytes.unsafe_get t.bits (nbytes - 1)) in
+    n := !n - Array.unsafe_get popcount8 (last land (0xff lsl tail) land 0xff)
+  end;
   !n
+
+let count_range t lo hi =
+  if lo < 0 || hi > t.length || lo > hi then
+    invalid_arg "Bitset.count_range: bad range";
+  let n = ref 0 in
+  if lo < hi then begin
+    let blo = lo lsr 3 and bhi = (hi - 1) lsr 3 in
+    let head_mask = 0xff lsl (lo land 7) land 0xff in
+    let tail_mask = 0xff lsr (7 - ((hi - 1) land 7)) in
+    if blo = bhi then
+      n :=
+        Array.unsafe_get popcount8
+          (Char.code (Bytes.unsafe_get t.bits blo) land head_mask land tail_mask)
+    else begin
+      n :=
+        Array.unsafe_get popcount8
+          (Char.code (Bytes.unsafe_get t.bits blo) land head_mask);
+      for j = blo + 1 to bhi - 1 do
+        n := !n + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get t.bits j))
+      done;
+      n :=
+        !n
+        + Array.unsafe_get popcount8
+            (Char.code (Bytes.unsafe_get t.bits bhi) land tail_mask)
+    end
+  end;
+  !n
+
+let all_set_range t lo hi = count_range t lo hi = hi - lo
 
 let for_all p t =
   let rec go i = i >= t.length || (p (get t i) && go (i + 1)) in
   go 0
 
-let all_set t = for_all (fun b -> b) t
+let all_set t = count t = t.length
 
 let equal a b =
   a.length = b.length

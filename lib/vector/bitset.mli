@@ -17,8 +17,35 @@ val set : t -> int -> bool -> unit
 
 val copy : t -> t
 
-(** Number of set bits. *)
+(** {2 Kernel-side accessors}
+
+    No bounds checks: the compiled tile kernels iterate inside ranges the
+    driver has already validated.  Out-of-range indices are undefined
+    behaviour. *)
+
+(** [unsafe_get t i] reads bit [i] without a bounds check. *)
+val unsafe_get : t -> int -> bool
+
+(** [unsafe_set_true t i] sets bit [i] without a bounds check. *)
+val unsafe_set_true : t -> int -> unit
+
+(** [unsafe_byte t j] is mask byte [j] — the validity of slots
+    [8j .. 8j+7] as an 8-bit word (bit [k] = slot [8j + k]). *)
+val unsafe_byte : t -> int -> int
+
+(** [fill_range t lo hi v] sets every bit in [lo, hi) to [v]: one
+    [Bytes.fill] for whole bytes, masked read-modify-write at the two
+    partial ends.  Raises [Invalid_argument] on a bad range. *)
+val fill_range : t -> int -> int -> bool -> unit
+
+(** Number of set bits (byte-at-a-time popcount). *)
 val count : t -> int
+
+(** Set bits within [lo, hi). *)
+val count_range : t -> int -> int -> int
+
+(** Whether every bit in [lo, hi) is set. *)
+val all_set_range : t -> int -> int -> bool
 
 val for_all : (bool -> bool) -> t -> bool
 val all_set : t -> bool

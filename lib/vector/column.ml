@@ -4,33 +4,77 @@
     (the paper's ε).  Empty slots appear when a scatter does not target a
     slot or when a controlled fold pads between run results; they are
     tracked with a validity bitset that is only allocated once the first
-    empty slot is produced. *)
+    empty slot is produced.
+
+    Payloads are unboxed {!Bigarray} buffers (native ints / float64), so
+    compiled kernels can loop over raw machine words without per-slot
+    boxing.  A freshly created column's payload is {e uninitialized}: a
+    slot's bytes are only meaningful once its validity bit is set, and
+    every reader goes through the validity mask first.
+
+    Columns also carry an optional {e zone map}: per-tile valid counts and
+    min/max summaries that let the executor skip tiles wholesale (see
+    docs/STORAGE.md).  Zone maps are advisory and lazily built; any
+    mutation through the scalar API drops them. *)
+
+module A = Bigarray.Array1
+
+type int_data = (int, Bigarray.int_elt, Bigarray.c_layout) A.t
+type float_data = (float, Bigarray.float64_elt, Bigarray.c_layout) A.t
 
 type data =
-  | I of int array
-  | F of float array
+  | I of int_data
+  | F of float_data
+
+type zones = {
+  zw : int;  (** tile width in slots *)
+  zcount : int array;  (** valid slots per tile; [-1] = not yet computed *)
+  zmin : float array;  (** min over the tile's valid slots (widened) *)
+  zmax : float array;  (** max over the tile's valid slots (widened) *)
+}
 
 type t = {
   data : data;
   mutable valid : Bitset.t option;  (** [None] means every slot is valid *)
+  mutable zones : zones option;  (** per-tile summaries; dropped on mutation *)
 }
 
-let length t = match t.data with I a -> Array.length a | F a -> Array.length a
+let length t = match t.data with I a -> A.dim a | F a -> A.dim a
 
 let dtype t : Scalar.dtype = match t.data with I _ -> Int | F _ -> Float
 
-(** [create dt n] is a column of [n] empty slots. *)
+(** [create dt n] is a column of [n] empty slots.  The payload buffer is
+    left uninitialized — only the (all-false) validity mask is zeroed, so
+    creation costs one [n/8]-byte fill rather than two [n]-word ones. *)
 let create (dt : Scalar.dtype) n =
-  let data = match dt with Int -> I (Array.make n 0) | Float -> F (Array.make n 0.0) in
-  { data; valid = Some (Bitset.create ~length:n ~default:false) }
+  let data =
+    match dt with
+    | Int -> I (A.create Bigarray.int Bigarray.c_layout n)
+    | Float -> F (A.create Bigarray.float64 Bigarray.c_layout n)
+  in
+  { data; valid = Some (Bitset.create ~length:n ~default:false); zones = None }
 
-let of_int_array a = { data = I a; valid = None }
-let of_float_array a = { data = F a; valid = None }
+let init_int n f =
+  let a = A.create Bigarray.int Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    A.unsafe_set a i (f i)
+  done;
+  { data = I a; valid = None; zones = None }
+
+let init_float n f =
+  let a = A.create Bigarray.float64 Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    A.unsafe_set a i (f i)
+  done;
+  { data = F a; valid = None; zones = None }
+
+let of_int_array src = init_int (Array.length src) (Array.unsafe_get src)
+let of_float_array src = init_float (Array.length src) (Array.unsafe_get src)
 
 let init (dt : Scalar.dtype) n f =
   match dt with
-  | Int -> of_int_array (Array.init n (fun i -> Scalar.to_int (f i)))
-  | Float -> of_float_array (Array.init n (fun i -> Scalar.to_float (f i)))
+  | Int -> init_int n (fun i -> Scalar.to_int (f i))
+  | Float -> init_float n (fun i -> Scalar.to_float (f i))
 
 let is_valid t i = match t.valid with None -> true | Some b -> Bitset.get b i
 
@@ -40,8 +84,8 @@ let get t i =
   else
     Some
       (match t.data with
-      | I a -> Scalar.I a.(i)
-      | F a -> Scalar.F a.(i))
+      | I a -> Scalar.I (A.get a i)
+      | F a -> Scalar.F (A.get a i))
 
 (** [get_exn t i] reads a slot that must be valid. *)
 let get_exn t i =
@@ -50,9 +94,11 @@ let get_exn t i =
   | None -> invalid_arg (Printf.sprintf "Column.get_exn: slot %d is empty" i)
 
 (** Raw reads that ignore validity (backends use these together with
-    explicit validity checks, mirroring separate data and mask buffers). *)
-let raw_int t i = match t.data with I a -> a.(i) | F a -> int_of_float a.(i)
-let raw_float t i = match t.data with I a -> float_of_int a.(i) | F a -> a.(i)
+    explicit validity checks, mirroring separate data and mask buffers).
+    On an invalid slot of a fresh column the payload bytes are
+    unspecified. *)
+let raw_int t i = match t.data with I a -> A.get a i | F a -> int_of_float (A.get a i)
+let raw_float t i = match t.data with I a -> float_of_int (A.get a i) | F a -> A.get a i
 
 let ensure_mask t =
   match t.valid with
@@ -62,19 +108,35 @@ let ensure_mask t =
       t.valid <- Some b;
       b
 
-let set t i (s : Scalar.t) =
-  (match t.data, s with
-  | I a, v -> a.(i) <- Scalar.to_int v
-  | F a, v -> a.(i) <- Scalar.to_float v);
-  match t.valid with None -> () | Some b -> Bitset.set b i true
+(** Drop any cached zone map.  Kernels that write a column's payload
+    directly (scatters, the tree walk's raw writers) must call this —
+    the scalar writers below do it themselves. *)
+let touch t = t.zones <- None
 
-let set_empty t i = Bitset.set (ensure_mask t) i false
+let set t i (s : Scalar.t) =
+  (match t.data with
+  | I a -> A.set a i (Scalar.to_int s)
+  | F a -> A.set a i (Scalar.to_float s));
+  (match t.valid with None -> () | Some b -> Bitset.set b i true);
+  t.zones <- None
+
+let set_empty t i =
+  Bitset.set (ensure_mask t) i false;
+  t.zones <- None
 
 let copy t =
-  {
-    data = (match t.data with I a -> I (Array.copy a) | F a -> F (Array.copy a));
-    valid = Option.map Bitset.copy t.valid;
-  }
+  let data =
+    match t.data with
+    | I a ->
+        let b = A.create Bigarray.int Bigarray.c_layout (A.dim a) in
+        A.blit a b;
+        I b
+    | F a ->
+        let b = A.create Bigarray.float64 Bigarray.c_layout (A.dim a) in
+        A.blit a b;
+        F b
+  in
+  { data; valid = Option.map Bitset.copy t.valid; zones = None }
 
 (** [of_scalars dt xs] builds a column from optional scalars ([None] = ε). *)
 let of_scalars (dt : Scalar.dtype) (xs : Scalar.t option list) =
@@ -89,6 +151,88 @@ let to_scalars t = List.init (length t) (get t)
 let count_valid t =
   match t.valid with None -> length t | Some b -> Bitset.count b
 
+(* ---------- zone maps ---------- *)
+
+let zone_tiles ~width n = (n + width - 1) / width
+
+(** Cached zone-map slots for tile width [width]: returns the existing
+    cache when the width matches, otherwise installs a blank one (every
+    [zcount] entry [-1]).  Producing kernels fill entries incrementally;
+    {!zones} fills them all. *)
+let zone_slots t ~width =
+  if width <= 0 then invalid_arg "Column.zone_slots: width must be positive";
+  match t.zones with
+  | Some z when z.zw = width -> z
+  | _ ->
+      let nt = zone_tiles ~width (length t) in
+      let z =
+        {
+          zw = width;
+          zcount = Array.make nt (-1);
+          zmin = Array.make nt infinity;
+          zmax = Array.make nt neg_infinity;
+        }
+      in
+      t.zones <- Some z;
+      z
+
+(* Compute one tile's summary from the payload.  A float NaN poisons the
+   tile to (-inf, +inf): NaN compares false against every bound, so
+   leaving it out of min/max would let a zone test claim "all zero" for a
+   tile whose NaN slot is truthy. *)
+let build_zone t (z : zones) ti =
+  let n = length t in
+  let lo = ti * z.zw and hi = min n ((ti + 1) * z.zw) in
+  let cnt = ref 0 and mn = ref infinity and mx = ref neg_infinity in
+  let see v =
+    if v <> v then begin
+      mn := neg_infinity;
+      mx := infinity
+    end
+    else begin
+      if v < !mn then mn := v;
+      if v > !mx then mx := v
+    end
+  in
+  (match (t.data, t.valid) with
+  | I a, None ->
+      cnt := hi - lo;
+      for i = lo to hi - 1 do
+        see (float_of_int (A.unsafe_get a i))
+      done
+  | I a, Some b ->
+      for i = lo to hi - 1 do
+        if Bitset.unsafe_get b i then begin
+          incr cnt;
+          see (float_of_int (A.unsafe_get a i))
+        end
+      done
+  | F a, None ->
+      cnt := hi - lo;
+      for i = lo to hi - 1 do
+        see (A.unsafe_get a i)
+      done
+  | F a, Some b ->
+      for i = lo to hi - 1 do
+        if Bitset.unsafe_get b i then begin
+          incr cnt;
+          see (A.unsafe_get a i)
+        end
+      done);
+  z.zcount.(ti) <- !cnt;
+  z.zmin.(ti) <- !mn;
+  z.zmax.(ti) <- !mx
+
+(** [zones t ~width] is the fully built zone map at tile width [width]
+    (cached; only sound to call once the column's contents are final —
+    concurrent raw writers would leave it stale). *)
+let zones t ~width =
+  let z = zone_slots t ~width in
+  for ti = 0 to Array.length z.zcount - 1 do
+    if z.zcount.(ti) < 0 then build_zone t z ti
+  done;
+  z
+
 let equal a b =
   length a = length b
   && dtype a = dtype b
@@ -96,7 +240,7 @@ let equal a b =
   let rec go i =
     i >= length a
     ||
-    (match get a i, get b i with
+    (match (get a i, get b i) with
      | None, None -> true
      | Some x, Some y -> Scalar.equal x y
      | None, Some _ | Some _, None -> false)

@@ -3,24 +3,59 @@
     Every slot either holds a scalar of the column's dtype or is {e empty}
     (the paper's ε).  Empty slots appear when a scatter does not target a
     slot or when a controlled fold pads between run results; they are
-    tracked with a validity bitset allocated lazily. *)
+    tracked with a validity bitset allocated lazily.
 
-type data = I of int array | F of float array
+    Payloads are unboxed {!Bigarray} buffers — native ints and float64 —
+    so compiled kernels loop over raw machine words ([Array1.unsafe_get]/
+    [unsafe_set]) instead of boxing a {!Scalar.t} per slot.  The payload
+    of a freshly {!create}d column is uninitialized; a slot's bytes only
+    become meaningful when its validity bit is set.  See docs/STORAGE.md
+    for the full layout. *)
+
+type int_data = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_data =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type data = I of int_data | F of float_data
+
+(** Per-tile summaries at a fixed tile width, used for zone-map skipping.
+    Entry [ti] describes slots [ti*zw, (ti+1)*zw) (the last tile may be
+    short).  [zcount.(ti) = -1] marks a tile not yet computed; otherwise
+    it is the tile's valid-slot count and [zmin]/[zmax] bound its valid
+    payloads, widened to float (exact for zero/nonzero tests; a float NaN
+    poisons its tile to [(-inf, +inf)]).  Advisory only — consumers must
+    treat an absent or unknown entry as "run the kernel". *)
+type zones = {
+  zw : int;
+  zcount : int array;
+  zmin : float array;
+  zmax : float array;
+}
 
 type t = {
   data : data;
   mutable valid : Bitset.t option;  (** [None] means every slot is valid *)
+  mutable zones : zones option;  (** per-tile summaries; dropped on mutation *)
 }
 
 val length : t -> int
 val dtype : t -> Scalar.dtype
 
-(** [create dt n] is a column of [n] empty slots. *)
+(** [create dt n] is a column of [n] empty slots.  Costs one mask fill
+    ([n/8] bytes); the payload is left uninitialized. *)
 val create : Scalar.dtype -> int -> t
 
-(** Wrap existing arrays (shared, not copied); all slots valid. *)
+(** Copy existing arrays into fresh payload buffers; all slots valid. *)
 val of_int_array : int array -> t
+
 val of_float_array : float array -> t
+
+(** [init_int n f] / [init_float n f] build fully valid columns by
+    filling the payload directly — the loaders' bulk path. *)
+val init_int : int -> (int -> int) -> t
+
+val init_float : int -> (int -> float) -> t
 
 (** [init dt n f] builds a fully valid column from [f]. *)
 val init : Scalar.dtype -> int -> (int -> Scalar.t) -> t
@@ -34,16 +69,27 @@ val get : t -> int -> Scalar.t option
 val get_exn : t -> int -> Scalar.t
 
 (** Raw reads that ignore validity (backends pair these with explicit
-    validity checks, mirroring separate data and mask buffers). *)
+    validity checks, mirroring separate data and mask buffers).  On an
+    invalid slot of a fresh column the payload bytes are unspecified. *)
 val raw_int : t -> int -> int
+
 val raw_float : t -> int -> float
 
+(** Force the validity mask to exist (all-true when absent) and return
+    it. *)
+val ensure_mask : t -> Bitset.t
+
 (** [set t i s] writes [s] (converted to the column dtype) and marks the
-    slot valid. *)
+    slot valid.  Drops any cached zone map. *)
 val set : t -> int -> Scalar.t -> unit
 
-(** [set_empty t i] turns slot [i] into ε. *)
+(** [set_empty t i] turns slot [i] into ε.  Drops any cached zone map. *)
 val set_empty : t -> int -> unit
+
+(** Drop any cached zone map.  Code that writes the payload or mask
+    directly (compiled scatter writers) must call this; {!set} and
+    {!set_empty} already do. *)
+val touch : t -> unit
 
 val copy : t -> t
 
@@ -54,6 +100,19 @@ val to_scalars : t -> Scalar.t option list
 
 (** Count of valid (non-ε) slots. *)
 val count_valid : t -> int
+
+(** Number of zone-map tiles a length-[n] column has at [width]. *)
+val zone_tiles : width:int -> int -> int
+
+(** Cached zone-map slots for [width]: the existing cache when the width
+    matches, otherwise a freshly installed blank one (every [zcount]
+    entry [-1]).  Producing kernels fill entries incrementally as they
+    complete tiles; {!zones} fills them all. *)
+val zone_slots : t -> width:int -> zones
+
+(** [zones t ~width] is the fully built zone map at [width] (cached).
+    Only sound once the column's contents are final. *)
+val zones : t -> width:int -> zones
 
 (** Slot-wise equality, including ε positions. *)
 val equal : t -> t -> bool

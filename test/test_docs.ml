@@ -150,6 +150,48 @@ let test_paths () =
     Alcotest.failf "backticked paths that resolve to nothing:\n  %s"
       (String.concat "\n  " (List.rev !errors))
 
+(* --- orphan pages --- *)
+
+(* Every page under docs/ must be reachable: linked (as a markdown link
+   target) from at least one *other* linted page.  A page nothing points
+   to is documentation nobody will find — add a link from README.md or a
+   sibling page, or delete the page. *)
+let test_orphans () =
+  let linked = Hashtbl.create 16 in
+  List.iter
+    (fun file ->
+      let text = read_file (in_repo file) in
+      List.iter
+        (fun target ->
+          let path =
+            match String.index_opt target '#' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          if path <> "" then
+            let resolved =
+              Filename.concat (Filename.dirname (in_repo file)) path
+            in
+            if Sys.file_exists resolved then
+              let rel =
+                (* normalize to a repo-relative docs/… key *)
+                Filename.concat "docs" (Filename.basename resolved)
+              in
+              if Filename.dirname file <> "docs"
+                 || Filename.basename resolved <> Filename.basename file
+              then Hashtbl.replace linked rel ())
+        (matches (Str.regexp "](\\([^)]+\\))") text))
+    (doc_files ());
+  let orphans =
+    Sys.readdir (in_repo "docs") |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.map (fun f -> Filename.concat "docs" f)
+    |> List.filter (fun p -> not (Hashtbl.mem linked p))
+  in
+  if orphans <> [] then
+    Alcotest.failf "docs pages nothing links to:\n  %s"
+      (String.concat "\n  " orphans)
+
 (* --- cited module names --- *)
 
 let test_modules () =
@@ -195,6 +237,7 @@ let () =
         [
           Alcotest.test_case "markdown links resolve" `Quick test_links;
           Alcotest.test_case "backticked paths resolve" `Quick test_paths;
+          Alcotest.test_case "no orphan docs pages" `Quick test_orphans;
           Alcotest.test_case "cited modules resolve" `Quick test_modules;
         ] );
     ]

@@ -86,9 +86,12 @@ let test_query name () =
 let chunk_invariants () =
   List.iter
     (fun (extent, intent, jobs) ->
-      let cs = Chunk.split ~extent ~intent ~jobs in
-      let q = Chunk.boundary_quantum ~intent in
+      let cs = Chunk.split ~extent ~intent ~jobs () in
+      let q = Chunk.boundary_quantum ~intent () in
       Alcotest.(check bool) "quantum aligns to mask bytes" true (intent * q mod 8 = 0);
+      let q1024 = Chunk.boundary_quantum ~align:1024 ~intent () in
+      Alcotest.(check bool) "tile-aligned quantum aligns to tiles" true
+        (intent * q1024 mod 1024 = 0);
       let last =
         List.fold_left
           (fun expect (c : Chunk.t) ->
@@ -108,7 +111,7 @@ let chunk_invariants () =
       (1024, 1, 8); (1000, 4, 3); (5, 1024, 4); (16, 2, 16);
     ];
   Alcotest.(check int) "jobs<=1 is one chunk" 1
-    (Chunk.count ~extent:100 ~intent:3 ~jobs:1)
+    (Chunk.count ~extent:100 ~intent:3 ~jobs:1 ())
 
 let test_scale_events () =
   (* exercise Exec.scale_events directly on a real run *)

@@ -1,0 +1,134 @@
+(* Differential tests for the tiled storage engine (docs/STORAGE.md):
+   tile-at-a-time raw execution must be invisible in results for any
+   tile width (including widths that do not divide the data length),
+   with zone maps on or off, over inputs with all-ε tiles, and across
+   the 14 TPC-H queries at several job counts. *)
+
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Dbgen = Voodoo_tpch.Dbgen
+module Codegen = Voodoo_compiler.Codegen
+module Backend = Voodoo_compiler.Backend
+module Exec = Voodoo_compiler.Exec
+module Micro = Voodoo_benchkit.Micro
+module Workloads = Voodoo_benchkit.Workloads
+module Svector = Voodoo_vector.Svector
+module Column = Voodoo_vector.Column
+module Scalar = Voodoo_vector.Scalar
+module Store = Voodoo_core.Store
+
+let opts ?(tile_width = Codegen.default_options.tile_width)
+    ?(zone_maps = true) ?(jobs = 1) () =
+  {
+    Codegen.default_options with
+    exec = Codegen.Closure { instrument = false; jobs };
+    tile_width;
+    zone_maps;
+  }
+
+(* Run [prog] over [store] under [options], returning the full output
+   vector of [total] (not just slot 0 — ε layout included). *)
+let run_program ~options store (prog, total) =
+  let c = Backend.compile ~options ~store prog in
+  let r = Backend.run c in
+  Exec.output r total
+
+let check_same name ~ref_v v =
+  if not (Svector.equal ref_v v) then Alcotest.failf "%s: outputs diverge" name
+
+(* --- tile widths that do not divide the data length --- *)
+
+(* 10007 is prime: every tile width leaves a short last tile, and
+   interior fragment extents never align with tile seams.  The tree
+   walk (untiled, slot-at-a-time over boxed scalars) is the oracle. *)
+let test_tile_boundaries () =
+  let n = 10_007 in
+  let sel = Workloads.selection_input ~n ~seed:3 in
+  let store = Micro.selection_store sel in
+  let programs =
+    [
+      ("select_branching", Micro.select_branching_program ~cut:50.0 ());
+      ("select_branch_free", Micro.select_branch_free_program ~cut:50.0 ());
+      ("select_predicated", Micro.select_predicated_program ~cut:50.0 ());
+    ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let ref_v =
+        run_program
+          ~options:{ (opts ()) with Codegen.exec = Codegen.Tree_walk }
+          store prog
+      in
+      List.iter
+        (fun tile_width ->
+          List.iter
+            (fun zone_maps ->
+              let v =
+                run_program ~options:(opts ~tile_width ~zone_maps ()) store prog
+              in
+              check_same
+                (Printf.sprintf "%s tw=%d zones=%b" name tile_width zone_maps)
+                ~ref_v v)
+            [ true; false ])
+        [ 64; 320; 1024; 8192; 1 lsl 17 ])
+    programs
+
+(* --- inputs with whole tiles of ε --- *)
+
+let test_all_empty_tiles () =
+  let n = 4_100 (* > 4 default tiles, short last tile *) in
+  let values =
+    List.init n (fun i ->
+        (* tiles 1 and 3 (at the default width 1024) are entirely ε *)
+        if i / 1024 = 1 || i / 1024 = 3 then None
+        else Some (Scalar.F (float_of_int (i mod 100))))
+  in
+  let store =
+    Store.of_list
+      [ ("values", Svector.single [ "v" ] (Column.of_scalars Scalar.Float values)) ]
+  in
+  let prog = Micro.select_branching_program ~cut:50.0 () in
+  let ref_v =
+    run_program ~options:{ (opts ()) with Codegen.exec = Codegen.Tree_walk }
+      store prog
+  in
+  List.iter
+    (fun zone_maps ->
+      let v = run_program ~options:(opts ~zone_maps ()) store prog in
+      check_same (Printf.sprintf "all-empty tiles zones=%b" zone_maps) ~ref_v v)
+    [ true; false ]
+
+(* --- zone-skip vs no-skip over TPC-H, at several job counts --- *)
+
+let sf = 0.005
+let catalog = lazy (Dbgen.generate ~sf ())
+
+let run_query ~backend_opts name =
+  let cat = Lazy.force catalog in
+  let q = Option.get (Q.find ~sf name) in
+  q.Q.run (fun c p -> E.compiled ~backend_opts c p) cat
+
+let test_query name () =
+  List.iter
+    (fun jobs ->
+      let skip = run_query ~backend_opts:(opts ~jobs ()) name in
+      let scan = run_query ~backend_opts:(opts ~zone_maps:false ~jobs ()) name in
+      if skip <> scan then
+        Alcotest.failf "%s: zone-skip rows diverge from no-skip at jobs=%d"
+          name jobs)
+    [ 1; 2; 4 ]
+
+let () =
+  Alcotest.run "tiles"
+    [
+      ( "boundaries",
+        [
+          Alcotest.test_case "odd lengths x widths x zones" `Quick
+            test_tile_boundaries;
+          Alcotest.test_case "all-empty tiles" `Quick test_all_empty_tiles;
+        ] );
+      ( "zone-maps",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (test_query name))
+          Q.cpu_figure13 );
+    ]
