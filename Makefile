@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke clean bench-exec bench-tune
+.PHONY: all build test check chaos-smoke clean bench-exec bench-tune bench-shard
 
 all: build
 
@@ -31,6 +31,13 @@ bench-exec:
 bench-tune:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe tune
+
+# Sharded serving: TPC-H throughput scattered over 1/2/4 in-process
+# shard workers, overload shedding and a chaos-stalled shard ->
+# BENCH_shard.json.  `make bench-shard SMOKE=--smoke` for the quick run.
+bench-shard:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe shard $(SMOKE)
 
 clean:
 	dune clean

@@ -217,7 +217,12 @@ let run ?(smoke = false) () =
   let tile_w = Codegen.(effective_tile_width default_options) in
   if not smoke then
     Envelope.write ~suite:"exec" ~reps
-      ~fields:[ ("tile_width", string_of_int tile_w) ]
+      ~fields:
+        [
+          ("tile_width", string_of_int tile_w);
+          ("jobs", "[1, 2, 4]");
+          ("shards", "1");
+        ]
       ~file:"BENCH_exec.json" (fun oc ->
         Printf.fprintf oc "{\n    \"sweep\": {\n    \"sf\": %g,\n    \"queries\": [\n"
           sweep_sf;

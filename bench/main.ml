@@ -94,4 +94,5 @@ let () =
   if want "serve" then Serve_bench.run ~smoke ();
   if want "exec" then Exec_bench.run ~smoke ();
   if want "tune" then Tune_bench.run ~smoke ();
+  if want "shard" then Shard_bench.run ~smoke ();
   print_endline "\nbench: done."

@@ -185,7 +185,9 @@ let run ?(smoke = false) () =
   (* smoke still writes the envelope: the robustness counters are the
      cheap part, and keeping the artifact comparable across runs is the
      point of the envelope *)
-  Envelope.write ~suite:"serve" ~reps:1 ~file:"BENCH_serve.json" (fun oc ->
+  Envelope.write ~suite:"serve" ~reps:1
+    ~fields:[ ("jobs", "2"); ("shards", "1") ]
+    ~file:"BENCH_serve.json" (fun oc ->
         Printf.fprintf oc
           {|{
     "sf": %g,

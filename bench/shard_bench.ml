@@ -1,0 +1,226 @@
+(** Sharded-serving benchmark ([bench/main.exe shard]): wall-clock
+    throughput of the full TPC-H query set scattered over 1, 2 and 4
+    in-process shard workers (real servers, real FRAGMENT round trips),
+    the overload path (a concurrent burst against a tiny-queue worker
+    must shed typed Resource errors at the coordinator, not crash), and
+    the chaos path (one shard behind a stalling proxy; the hedged RPC
+    layer must still answer every query).  Results go to
+    [BENCH_shard.json] under the common {!Voodoo_benchkit.Envelope};
+    [--smoke] shrinks shard counts and reps but still writes the file. *)
+
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Server = Voodoo_service.Server
+module Chaos = Voodoo_service.Chaos
+module Worker = Voodoo_distrib.Worker
+module Coordinator = Voodoo_distrib.Coordinator
+module Q = Voodoo_tpch.Queries
+module Envelope = Voodoo_benchkit.Envelope
+
+let sf = 0.002
+let worker_jobs = 1
+
+let worker_options =
+  { Server.default_options with Server.max_line_bytes = 8 * 1024 * 1024 }
+
+let sock tag i =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "voodoo_shard_bench_%s_%d_%d.sock" tag (Unix.getpid ()) i)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let qps n dt = if dt <= 0.0 then 0.0 else float_of_int n /. dt
+
+let start_worker ?(queue_capacity = 64) tag i =
+  let config =
+    { Svc.default_config with Svc.sf; workers = worker_jobs; queue_capacity }
+  in
+  let w = Worker.create ~config () in
+  let addr = Server.Unix_socket (sock tag i) in
+  let server =
+    Server.start ~options:worker_options ~handler:(Worker.handler w)
+      ~service:(Worker.service w) addr
+  in
+  (addr, server, w)
+
+let stop_worker (_, server, w) =
+  Server.stop server;
+  Worker.shutdown w
+
+let coordinator ?hedge_ms ?rpc_timeout_ms ?(retries = 2) registry addrs =
+  Coordinator.create ~registry
+    {
+      Coordinator.default_config with
+      Coordinator.addrs;
+      sf;
+      hedge_ms;
+      rpc_timeout_ms;
+      retries;
+    }
+
+let run_all coord names =
+  List.iter
+    (fun name ->
+      match Coordinator.query coord name with
+      | Ok _ -> ()
+      | Error e ->
+          failwith
+            (Printf.sprintf "shard bench: %s failed: %s" name
+               (Voodoo_core.Verror.to_string e)))
+    names
+
+let stat fields k = int_of_float (List.assoc k fields)
+
+let run ?(smoke = false) () =
+  let registry = Catalogs.create () in
+  ignore (Catalogs.get registry ~sf ());
+  let names = Q.cpu_figure13 in
+  let n = List.length names in
+  let reps = if smoke then 1 else 3 in
+  let shard_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let max_shards = List.fold_left max 1 shard_counts in
+
+  (* -- scaling: the same fleet serves every shard count, so the curve
+     isolates scatter/merge overhead rather than catalog build time -- *)
+  let fleet = List.init max_shards (start_worker "fleet") in
+  let addrs = List.map (fun (a, _, _) -> a) fleet in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let scaling =
+    List.map
+      (fun shards ->
+        let coord = coordinator registry (take shards addrs) in
+        let (), secs =
+          time (fun () ->
+              for _ = 1 to reps do
+                run_all coord names
+              done)
+        in
+        let fields = Coordinator.stats_fields coord in
+        (shards, secs, stat fields "coord.fragments",
+         stat fields "coord.local_runs"))
+      shard_counts
+  in
+
+  (* -- overload: a concurrent burst against a single worker whose
+     admission queue holds one request; the excess must come back as
+     typed Resource sheds counted at the coordinator -- *)
+  let tiny = start_worker ~queue_capacity:1 "tiny" 0 in
+  let tiny_addr, _, _ = tiny in
+  let over = coordinator ~retries:0 registry [ tiny_addr ] in
+  let burst = if smoke then 12 else 48 in
+  let errs = Array.make burst false in
+  let threads =
+    List.init burst (fun i ->
+        Thread.create
+          (fun () ->
+            match Coordinator.query over "Q6" with
+            | Ok _ -> ()
+            | Error _ -> errs.(i) <- true)
+          ())
+  in
+  List.iter Thread.join threads;
+  let over_fields = Coordinator.stats_fields over in
+  let shed = stat over_fields "coord.sheds" in
+  let burst_errors = Array.fold_left (fun a b -> if b then a + 1 else a) 0 errs in
+  stop_worker tiny;
+
+  (* -- chaos: shard 1 sits behind a proxy that stalls half its
+     connections for 30s; hedged duplicates (or per-attempt timeouts and
+     failover) must still answer every query -- *)
+  let chaos_listen =
+    Server.Unix_socket
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "voodoo_shard_bench_px_%d.sock" (Unix.getpid ())))
+  in
+  let proxy =
+    Chaos.start ~seed:7
+      ~weights:
+        {
+          Chaos.w_pass = 1;
+          w_drop_connect = 0;
+          w_stall = 1;
+          w_garbage = 0;
+          w_kill = 0;
+          w_trickle = 0;
+        }
+      ~stall_ms:30_000.
+      ~upstream:(List.nth addrs (min 1 (max_shards - 1)))
+      ~listen:chaos_listen ()
+  in
+  let chaos_names = if smoke then [ "Q1"; "Q6"; "Q14" ] else names in
+  let chaos_answered, chaos_fields, chaos_stats =
+    Fun.protect
+      ~finally:(fun () -> Chaos.stop proxy)
+      (fun () ->
+        let coord =
+          coordinator ~hedge_ms:150. ~rpc_timeout_ms:2_000. ~retries:2 registry
+            [ List.hd addrs; chaos_listen ]
+        in
+        let answered =
+          List.fold_left
+            (fun acc name ->
+              match Coordinator.query coord name with
+              | Ok _ -> acc + 1
+              | Error _ -> acc)
+            0 chaos_names
+        in
+        (answered, Coordinator.stats_fields coord, Chaos.stats proxy))
+  in
+  List.iter stop_worker fleet;
+
+  (* smoke still writes the envelope: a shrunken curve is still a curve,
+     and keeping the artifact comparable across runs is the point *)
+  Envelope.write ~suite:"shard" ~reps
+    ~fields:
+      [
+        ("jobs", string_of_int worker_jobs);
+        ( "shards",
+          Printf.sprintf "[%s]"
+            (String.concat ", " (List.map string_of_int shard_counts)) );
+      ]
+    ~file:"BENCH_shard.json" (fun oc ->
+      Printf.fprintf oc "{\n    \"sf\": %g,\n    \"queries\": %d,\n    \"smoke\": %b,\n    \"scaling\": [\n" sf n smoke;
+      List.iteri
+        (fun i (shards, secs, fragments, local_runs) ->
+          Printf.fprintf oc
+            "      { \"shards\": %d, \"seconds\": %.6f, \
+             \"queries_per_sec\": %.2f, \"fragments\": %d, \
+             \"local_runs\": %d }%s\n"
+            shards secs
+            (qps (n * reps) secs)
+            fragments local_runs
+            (if i < List.length scaling - 1 then "," else ""))
+        scaling;
+      Printf.fprintf oc
+        "    ],\n\
+        \    \"overload\": { \"burst\": %d, \"queue_capacity\": 1, \
+         \"shed\": %d, \"errors\": %d },\n\
+        \    \"chaos\": { \"queries\": %d, \"answered\": %d, \
+         \"hedges\": %d, \"retries\": %d, \"failovers\": %d,\n\
+        \               \"faults\": { \"conns\": %d, \"stalled\": %d } }\n\
+        \  }"
+        burst shed burst_errors (List.length chaos_names) chaos_answered
+        (stat chaos_fields "coord.rpc.hedges")
+        (stat chaos_fields "coord.rpc.retries")
+        (stat chaos_fields "coord.failovers")
+        chaos_stats.Chaos.conns chaos_stats.Chaos.stalled);
+
+  let one_shard_qps =
+    match scaling with
+    | (_, secs, _, _) :: _ -> qps (n * reps) secs
+    | [] -> 0.0
+  in
+  let top_qps =
+    List.fold_left (fun acc (_, secs, _, _) -> max acc (qps (n * reps) secs))
+      0.0 scaling
+  in
+  Printf.printf
+    "shard%s: %d queries x %d reps, 1-shard %.1f q/s, best %.1f q/s over \
+     %s shards, overload shed %d/%d, chaos %d/%d answered -> BENCH_shard.json\n"
+    (if smoke then " (smoke)" else "")
+    n reps one_shard_qps top_qps
+    (String.concat "/" (List.map string_of_int shard_counts))
+    shed burst chaos_answered (List.length chaos_names)

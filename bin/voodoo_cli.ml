@@ -10,6 +10,8 @@
     voodoo exec program.voo --sf 0.01         # run a textual Voodoo program
     voodoo tune Q6 --sf 0.01 --budget-ms 500 --seed 7  # search plan rewrites
     voodoo serve --socket voodoo.sock --sf 0.01   # query service front door
+    voodoo serve --shards 4 --sf 0.01             # distributed scatter-gather fleet
+    voodoo shard-worker --socket s0.sock --sf 0.01  # one shard of that fleet
     voodoo client --socket voodoo.sock "QUERY Q6" # talk to it
     v} *)
 
@@ -33,6 +35,8 @@ module Proto = Voodoo_service.Protocol
 module Pool = Voodoo_service.Pool
 module Search = Voodoo_tuner.Search
 module Tune = Voodoo_tuner.Plan_tune
+module Worker = Voodoo_distrib.Worker
+module Coordinator = Voodoo_distrib.Coordinator
 
 (* Every subcommand draws its catalog from the shared registry: one
    [Dbgen.generate] per (sf, seed) for the whole process, however many
@@ -638,9 +642,228 @@ let addr_of ~socket ~host ~port =
   | None, Some p -> Server.Tcp (host, p)
   | None, None -> Server.Unix_socket "voodoo.sock"
 
+(* --- shard-worker / distributed serve: scatter-gather over a fleet --- *)
+
+(* FRAGMENT payloads arrive as one line; give workers room for them. *)
+let worker_options =
+  { Server.default_options with Server.max_line_bytes = 8 * 1024 * 1024 }
+
+let wait_for_signals () =
+  let stop_requested = ref false in
+  let request_stop (_ : int) = stop_requested := true in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  while not !stop_requested do
+    Thread.delay 0.2
+  done
+
+let shard_worker sf socket host port workers queue request_timeout_ms verbose =
+  setup_logs verbose;
+  let d = Svc.default_config in
+  let config =
+    {
+      d with
+      Svc.sf;
+      workers = Option.value workers ~default:d.Svc.workers;
+      queue_capacity = queue;
+      request_timeout_ms;
+    }
+  in
+  let w = Worker.create ~config () in
+  let addr = addr_of ~socket ~host ~port in
+  Fmt.pr "voodoo shard-worker: listening on %a (sf %g, %d workers)@."
+    Server.pp_addr addr sf config.Svc.workers;
+  let server =
+    Server.start ~options:worker_options ~handler:(Worker.handler w)
+      ~service:(Worker.service w) addr
+  in
+  wait_for_signals ();
+  Fmt.pr "voodoo shard-worker: draining …@.";
+  Server.stop server;
+  Worker.shutdown w;
+  Fmt.pr "voodoo shard-worker: stopped@."
+
+let shard_worker_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N" ~doc:"worker domains (default: cores-1, clamped to 2..8)")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"admission bound: pending fragments beyond $(docv) are shed")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "default per-fragment deadline (a fragment's shipped remaining \
+             budget overrides it)")
+  in
+  Cmd.v
+    (Cmd.info "shard-worker"
+       ~doc:
+         "run one shard of a distributed fleet: a query service over a \
+          row-id-augmented catalog that executes FRAGMENT requests from a \
+          $(b,voodoo serve --shards) coordinator (see docs/SHARDING.md)")
+    Term.(
+      const shard_worker $ sf_arg $ socket_arg $ host_arg $ port_arg
+      $ workers_arg $ queue_arg $ request_timeout_arg $ verbose_arg)
+
+(* "host:port" or a Unix socket path. *)
+let parse_worker_addr s =
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p -> Ok (Server.Tcp (host, p))
+      | None -> Error (`Msg (Printf.sprintf "bad worker port in %S" s)))
+  | _ -> Ok (Server.Unix_socket s)
+
+let worker_addr_conv =
+  Arg.conv
+    ( parse_worker_addr,
+      fun ppf addr -> Server.pp_addr ppf addr )
+
+(* Spawn `voodoo shard-worker` children on per-process Unix sockets and
+   wait until each answers PING. *)
+let spawn_local_workers ~sf ~shards =
+  let exe = Sys.executable_name in
+  let children =
+    List.init shards (fun i ->
+        let path =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "voodoo_shard_%d_%d.sock" (Unix.getpid ()) i)
+        in
+        (try Sys.remove path with Sys_error _ -> ());
+        let pid =
+          Unix.create_process exe
+            [|
+              exe; "shard-worker"; "--socket"; path; "--sf";
+              Printf.sprintf "%g" sf;
+            |]
+            Unix.stdin Unix.stdout Unix.stderr
+        in
+        (pid, Server.Unix_socket path))
+  in
+  List.iter
+    (fun (pid, addr) ->
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let rec wait () =
+        match Server.Client.call ~timeout_ms:1_000. ~retries:0 addr Proto.Ping with
+        | Ok Proto.Pong, _ -> ()
+        | _ ->
+            if Unix.gettimeofday () > deadline then begin
+              Fmt.epr "voodoo serve: worker pid %d never became ready@." pid;
+              exit 1
+            end;
+            Thread.delay 0.25;
+            wait ()
+      in
+      wait ())
+    children;
+  children
+
+let stop_local_workers children =
+  List.iter
+    (fun (pid, addr) ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      match addr with
+      | Server.Unix_socket _ | Server.Tcp _ -> ())
+    children;
+  List.iter
+    (fun (pid, _) -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    children
+
+let serve_shards sf socket host port shards worker_addrs queue
+    request_timeout_ms idle_timeout_ms max_conns drain_ms hedge_ms retries
+    extent_rows verbose =
+  setup_logs verbose;
+  let children =
+    if worker_addrs <> [] then []
+    else begin
+      let n = max 1 shards in
+      Fmt.pr "voodoo serve: spawning %d local shard workers (sf %g) …@." n sf;
+      spawn_local_workers ~sf ~shards:n
+    end
+  in
+  let addrs =
+    if worker_addrs <> [] then worker_addrs else List.map snd children
+  in
+  let coord =
+    Coordinator.create
+      ~registry:(Catalogs.shared ())
+      {
+        Coordinator.default_config with
+        Coordinator.addrs;
+        sf;
+        extent_rows;
+        retries;
+        hedge_ms;
+        rpc_timeout_ms = request_timeout_ms;
+      }
+  in
+  (* a small local service backs sessions, PREPARE/EXEC and STATS; SQL
+     and QUERY scatter over the fleet *)
+  let service =
+    Svc.create ~registry:(Catalogs.shared ())
+      { Svc.default_config with Svc.sf; queue_capacity = queue; request_timeout_ms }
+  in
+  let handler _session (req : Proto.request) =
+    let rows_or_err = function
+      | Ok rows -> Proto.Rows rows
+      | Error e -> Proto.err_of_verror e
+    in
+    match req with
+    | Proto.Sql text ->
+        Some (rows_or_err (Coordinator.sql ?timeout_ms:request_timeout_ms coord text), true)
+    | Proto.Query name ->
+        Some (rows_or_err (Coordinator.query ?timeout_ms:request_timeout_ms coord name), true)
+    | Proto.Stats ->
+        Some
+          ( Proto.Stats_reply
+              (Coordinator.stats_fields coord
+              @ Svc.stats_fields (Svc.stats service)),
+            true )
+    | _ -> None
+  in
+  let options =
+    {
+      Server.default_options with
+      Server.request_timeout_ms;
+      idle_timeout_ms;
+      max_conns;
+      drain_ms;
+    }
+  in
+  let addr = addr_of ~socket ~host ~port in
+  Fmt.pr "voodoo serve: coordinating %d shards on %a (sf %g)@."
+    (Coordinator.shards coord) Server.pp_addr addr sf;
+  let server = Server.start ~options ~handler ~service addr in
+  wait_for_signals ();
+  Fmt.pr "voodoo serve: draining (up to %g ms) …@." drain_ms;
+  Server.stop ~drain_ms server;
+  Svc.shutdown service;
+  stop_local_workers children;
+  Fmt.pr "voodoo serve: stopped@."
+
 let serve sf socket host port workers queue plans result_mb resilient max_extent
     max_bytes max_steps jobs tune_after tune_budget_ms request_timeout_ms
-    idle_timeout_ms max_conns drain_ms verbose =
+    idle_timeout_ms max_conns drain_ms shards worker_addrs hedge_ms retries
+    extent_rows verbose =
+  if shards > 0 || worker_addrs <> [] then
+    serve_shards sf socket host port shards worker_addrs queue
+      request_timeout_ms idle_timeout_ms max_conns drain_ms hedge_ms retries
+      extent_rows verbose
+  else begin
   setup_logs verbose;
   let d = Svc.default_config in
   let config =
@@ -696,6 +919,7 @@ let serve sf socket host port workers queue plans result_mb resilient max_extent
   Server.stop ~drain_ms server;
   Svc.shutdown service;
   Fmt.pr "voodoo serve: stopped@."
+  end
 
 let serve_cmd =
   let workers_arg =
@@ -797,18 +1021,63 @@ let serve_cmd =
             "graceful-shutdown window: on SIGINT/SIGTERM in-flight requests \
              get $(docv) ms to finish before being cancelled")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "distributed mode: spawn $(docv) local shard workers and \
+             scatter-gather every SQL/QUERY over them (see docs/SHARDING.md; \
+             ignored when $(b,--worker) is given)")
+  in
+  let workers_addrs_arg =
+    Arg.(
+      value
+      & opt_all worker_addr_conv []
+      & info [ "worker" ] ~docv:"ADDR"
+          ~doc:
+            "address of an already-running $(b,voodoo shard-worker) \
+             (host:port or a Unix socket path; repeatable — shard id is the \
+             argument order); implies distributed mode")
+  in
+  let hedge_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-ms" ] ~docv:"MS"
+          ~doc:
+            "distributed mode: fire a speculative duplicate of a shard RPC \
+             that has not answered within $(docv) ms")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"distributed mode: per-shard transport retries before failing over")
+  in
+  let extent_rows_arg =
+    Arg.(
+      value & opt int Coordinator.default_config.Coordinator.extent_rows
+      & info [ "extent-rows" ] ~docv:"N"
+          ~doc:
+            "distributed mode: consistent-hash placement granularity (rows \
+             per extent)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "run the query service: sessions, plan and result caches, admission \
           control and a multicore worker pool behind a line-protocol socket \
-          (see docs/SERVICE.md)")
+          (see docs/SERVICE.md); with $(b,--shards)/$(b,--worker), a \
+          scatter-gather coordinator over a shard-worker fleet (see \
+          docs/SHARDING.md)")
     Term.(
       const serve $ sf_arg $ socket_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ plans_arg $ result_mb_arg $ resilient_arg $ max_extent_arg
       $ max_bytes_arg $ max_steps_arg $ serve_jobs_arg $ tune_after_arg
       $ tune_budget_ms_arg $ request_timeout_arg $ idle_timeout_arg
-      $ max_conns_arg $ drain_ms_arg $ verbose_arg)
+      $ max_conns_arg $ drain_ms_arg $ shards_arg $ workers_addrs_arg
+      $ hedge_ms_arg $ retries_arg $ extent_rows_arg $ verbose_arg)
 
 let render_client_response ~raw = function
   | Proto.Rows rows ->
@@ -991,5 +1260,6 @@ let () =
                 tune_cmd;
                 sql_cmd;
                 serve_cmd;
+                shard_worker_cmd;
                 client_cmd;
               ])))

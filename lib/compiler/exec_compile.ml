@@ -1013,6 +1013,11 @@ let binary_kernel sid (op : Op.binop) (lcol : Column.t) (rcol : Column.t)
 let gather_copy ((src : Column.t), (dst : Column.t)) =
   let sv = dvalid src in
   match src.Column.data, dst.Column.data, dst.Column.valid with
+  (* promoted output (mask-free source, in-bounds positions): plain move *)
+  | Column.I sa, Column.I da, None when src.Column.valid = None ->
+      fun p i -> A.unsafe_set da i (A.unsafe_get sa p)
+  | Column.F sa, Column.F da, None when src.Column.valid = None ->
+      fun p i -> A.unsafe_set da i (A.unsafe_get sa p)
   | Column.I sa, Column.I da, Some db ->
       fun p i ->
         if sv p then begin
@@ -1478,7 +1483,12 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
              covering every output slot, the kernel writes everything and
              the result needs no validity mask either — so downstream
              consumers see [valid = None] and take their own branch-free
-             paths.  The all-valid invariant cascades through fragments. *)
+             paths.  The all-valid invariant cascades through fragments.
+             Operands from earlier fragments are fully computed by now, so
+             a mask every slot of which turned out valid (a gather over
+             valid positions, say) drops first and joins the cascade. *)
+          Column.promote_all_valid lcol;
+          Column.promote_all_valid rcol;
           if lcol.Column.valid = None && rcol.Column.valid = None
              && n_out <= domain
           then out.Column.valid <- None;
@@ -1524,8 +1534,35 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             (fun kp -> (Svector.column dvec kp, Svector.column out kp))
             (Svector.keypaths dvec)
         in
-        let movers = List.map gather_copy pairs in
         let pn = Column.length pcol in
+        (* Mask promotion through Gather: integer positions with no mask
+           that the position column's zone map proves in bounds write
+           every output slot, so leaves gathered from mask-free sources
+           need no mask either — the move loops below then drop both the
+           bit write and (in the fast shapes) the bounds test, and the
+           all-valid cascade continues through the zips and folds
+           downstream. *)
+        let positions_in_bounds =
+          pn > 0 && dn > 0
+          &&
+          match pcol.Column.data, pcol.Column.valid with
+          | Column.I _, None ->
+              let z = Column.zones pcol ~width:(max 1 tile_w) in
+              let hi = float_of_int (dn - 1) in
+              let ok = ref true in
+              for ti = 0 to Array.length z.Column.zcount - 1 do
+                if z.Column.zmin.(ti) < 0.0 || z.Column.zmax.(ti) > hi then
+                  ok := false
+              done;
+              !ok
+          | _ -> false
+        in
+        if positions_in_bounds && pn <= domain then
+          List.iter
+            (fun (src, dst) ->
+              if src.Column.valid = None then dst.Column.valid <- None)
+            pairs;
+        let movers = List.map gather_copy pairs in
         let pv = dvalid pcol and pr = praw pcol in
         if not instrument then begin
           (* hot shapes: int positions with no mask, moved columns fully
@@ -1536,6 +1573,20 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                 match src.Column.data, src.Column.valid, dst.Column.data,
                       dst.Column.valid
                 with
+                (* promoted output: positions proven in bounds, source
+                   mask-free — neither test nor bit write survives *)
+                | Column.F sa, None, Column.F da, None ->
+                    Some
+                      (fun lo hi ->
+                        for i = lo to hi - 1 do
+                          A.unsafe_set da i (A.unsafe_get sa (A.unsafe_get pa i))
+                        done)
+                | Column.I sa, None, Column.I da, None ->
+                    Some
+                      (fun lo hi ->
+                        for i = lo to hi - 1 do
+                          A.unsafe_set da i (A.unsafe_get sa (A.unsafe_get pa i))
+                        done)
                 | Column.F sa, None, Column.F da, Some db ->
                     Some
                       (fun lo hi ->

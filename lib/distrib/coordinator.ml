@@ -1,0 +1,343 @@
+(** The scatter-gather coordinator.
+
+    Owns a replica of the catalog, a consistent-hash {!Ring} mapping
+    fixed-size row extents of every base table to shards, and the list
+    of worker addresses.  A query plan is {!Merge.analyze}d, restricted
+    per shard to the row-id ranges that shard owns, dispatched as
+    {!Fragment} payloads over the line protocol (one thread per shard,
+    with the client's retry/hedging underneath and failover to the next
+    worker when a shard stays unreachable — storage is replicated, so
+    any worker can run any fragment), and the partial answers are merged
+    back into the bit-identical single-process result.
+
+    Deadlines propagate: the coordinator computes one absolute deadline
+    per query and every fragment ships with the budget {e remaining} at
+    its dispatch, which the worker applies from admission.  Worker-side
+    admission sheds ([Resource]-stage errors) abort the query coherently
+    with the shard named in the message.  See [docs/SHARDING.md]. *)
+
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+module Verror = Voodoo_core.Verror
+module Service = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Protocol = Voodoo_service.Protocol
+module Server = Voodoo_service.Server
+module Client = Voodoo_service.Server.Client
+module Q = Voodoo_tpch.Queries
+
+type config = {
+  addrs : Server.addr list;  (** one worker per shard; shard id = index *)
+  sf : float;
+  seed : int;
+  extent_rows : int;  (** ring placement granularity (rows per extent) *)
+  vnodes : int;  (** ring virtual nodes per shard *)
+  rpc_timeout_ms : float option;  (** per-attempt socket bound, no deadline *)
+  retries : int;
+  backoff_ms : float;
+  hedge_ms : float option;  (** fire a speculative duplicate after this *)
+  rpc_seed : int;  (** backoff jitter seed *)
+  lower_opts : Lower.options option;  (** for coordinator-local merges *)
+  backend_opts : Voodoo_compiler.Codegen.options option;
+}
+
+let default_config =
+  {
+    addrs = [];
+    sf = 0.01;
+    seed = 1;
+    extent_rows = 1024;
+    vnodes = 64;
+    rpc_timeout_ms = None;
+    retries = 2;
+    backoff_ms = 25.0;
+    hedge_ms = None;
+    rpc_seed = 42;
+    lower_opts = None;
+    backend_opts = None;
+  }
+
+type t = {
+  config : config;
+  addrs : Server.addr array;
+  cat : Catalog.t;  (** coordinator replica (no row-id columns) *)
+  generation : int;
+  base_tables : string list;
+  owned : (string * (int * int) list array) list;
+      (** per base table: shard index → coalesced owned (lo, hi) ranges *)
+  mu : Mutex.t;
+  mutable queries : int;
+  mutable fragments : int;
+  mutable sheds : int;
+  mutable failovers : int;
+  mutable deadline_expired : int;
+  mutable local_runs : int;  (** plans answered without scattering *)
+  mutable calls : Client.call_stats;
+}
+
+exception Abort of Verror.t
+
+let shard_label i = Printf.sprintf "shard%d" i
+
+let extent_key table e = Printf.sprintf "%s/%d" table e
+
+(* Assign every extent of [table] via the ring, then coalesce each
+   shard's extents into (lo, hi) row ranges. *)
+let owned_ranges ring ~nshards ~extent_rows table nrows : (int * int) list array =
+  let owner_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace owner_index l i) (Ring.labels ring)
+  |> ignore;
+  let owner_of label = Hashtbl.find owner_index label in
+  let per = Array.make nshards [] in
+  let n_extents = (nrows + extent_rows - 1) / extent_rows in
+  for e = n_extents - 1 downto 0 do
+    let s = owner_of (Ring.owner ring (extent_key table e)) in
+    let lo = e * extent_rows and hi = min ((e + 1) * extent_rows) nrows - 1 in
+    per.(s) <-
+      (match per.(s) with
+      | (lo', hi') :: rest when hi + 1 = lo' -> (lo, hi') :: rest
+      | ranges -> (lo, hi) :: ranges)
+  done;
+  per
+
+let create ?(registry = Catalogs.shared ()) (config : config) : t =
+  if config.addrs = [] then invalid_arg "Coordinator.create: no workers";
+  let entry = Catalogs.get registry ~seed:config.seed ~sf:config.sf () in
+  let nshards = List.length config.addrs in
+  let ring =
+    Ring.make ~vnodes:config.vnodes (List.init nshards shard_label)
+  in
+  let base_tables = List.rev_map fst entry.Catalogs.cat.Catalog.tables in
+  let owned =
+    List.map
+      (fun name ->
+        let nrows = (Catalog.table entry.Catalogs.cat name).Table.nrows in
+        ( name,
+          owned_ranges ring ~nshards ~extent_rows:config.extent_rows name nrows
+        ))
+      base_tables
+  in
+  {
+    config;
+    addrs = Array.of_list config.addrs;
+    cat = entry.Catalogs.cat;
+    generation = entry.Catalogs.generation;
+    base_tables;
+    owned;
+    mu = Mutex.create ();
+    queries = 0;
+    fragments = 0;
+    sheds = 0;
+    failovers = 0;
+    deadline_expired = 0;
+    local_runs = 0;
+    calls = Client.no_calls;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---- deadlines ---- *)
+
+let deadline_of ?timeout_ms () =
+  Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) timeout_ms
+
+let remaining_ms t deadline =
+  match deadline with
+  | None -> t.config.rpc_timeout_ms
+  | Some d ->
+      let ms = (d -. Unix.gettimeofday ()) *. 1000. in
+      if ms <= 0.0 then begin
+        locked t (fun () -> t.deadline_expired <- t.deadline_expired + 1);
+        raise
+          (Abort
+             (Verror.make Verror.Resource
+                "deadline exceeded before fragment dispatch"))
+      end;
+      Some ms
+
+(* ---- fragment dispatch ---- *)
+
+(* One logical shard RPC: try the shard's own worker first, then fail
+   over around the fleet (replicated storage makes every worker able to
+   answer).  Transport failures rotate; server-side [Err] answers are
+   final. *)
+let dispatch t ~deadline ~shard (fragment : Fragment.t) : Engine.rows =
+  let n = Array.length t.addrs in
+  let payload = Protocol.Fragment (Fragment.encode fragment) in
+  let rec attempt k last_err =
+    if k >= n then
+      raise
+        (Abort
+           (Verror.makef Verror.Exec
+              "shard %d: no worker reachable (last transport error: %s)" shard
+              (Option.value last_err ~default:"none")))
+    else begin
+      if k > 0 then locked t (fun () -> t.failovers <- t.failovers + 1);
+      let addr = t.addrs.((shard + k) mod n) in
+      let timeout_ms = remaining_ms t deadline in
+      let resp, stats =
+        Client.call ?timeout_ms ~retries:t.config.retries
+          ~backoff_ms:t.config.backoff_ms ?hedge_ms:t.config.hedge_ms
+          ~seed:(t.config.rpc_seed + shard) addr payload
+      in
+      locked t (fun () ->
+          t.fragments <- t.fragments + 1;
+          t.calls <- Client.merge_stats t.calls stats);
+      match resp with
+      | Ok (Protocol.Rows rows) -> rows
+      | Ok (Protocol.Err (stage, msg)) ->
+          if stage = "resource" then
+            locked t (fun () -> t.sheds <- t.sheds + 1);
+          let stage_v =
+            if stage = "resource" then Verror.Resource else Verror.Exec
+          in
+          raise
+            (Abort (Verror.makef stage_v "shard %d: %s: %s" shard stage msg))
+      | Ok _ ->
+          raise
+            (Abort
+               (Verror.makef Verror.Exec
+                  "shard %d: unexpected response to FRAGMENT" shard))
+      | Error transport -> attempt (k + 1) (Some transport)
+    end
+  in
+  attempt 0 None
+
+(* ---- plan evaluation ---- *)
+
+let temps_of_plan t (cat : Catalog.t) (plan : Ra.t) : Fragment.temp list =
+  let rec scans acc = function
+    | Ra.Scan tbl -> if List.mem tbl acc then acc else tbl :: acc
+    | Ra.Select (q, _) | Ra.Map (q, _) -> scans acc q
+    | Ra.FkJoin { fact; dim; _ }
+    | Ra.LookupJoin { fact; dim; _ }
+    | Ra.SemiJoin { fact; dim; _ }
+    | Ra.AntiJoin { fact; dim; _ } ->
+        scans (scans acc fact) dim
+    | Ra.GroupAgg { input; _ } -> scans acc input
+  in
+  scans [] plan
+  |> List.filter (fun tbl -> not (List.mem tbl t.base_tables))
+  |> List.map (fun tbl -> Fragment.temp_of_table (Catalog.table cat tbl))
+
+let run_local t ?(count = true) (cat : Catalog.t) (plan : Ra.t) : Engine.rows =
+  if count then locked t (fun () -> t.local_runs <- t.local_runs + 1);
+  match
+    Engine.compiled ?lower_opts:t.config.lower_opts
+      ?backend_opts:t.config.backend_opts cat plan
+  with
+  | rows -> rows
+  | exception Abort e -> raise (Abort e)
+  | exception e ->
+      raise (Abort (Voodoo_engine.Resilient.classify Voodoo_engine.Resilient.Compiled e))
+
+(* Scatter [info]'s fragments over [jobs] = (shard, owned ranges) and
+   merge. *)
+let eval_scattered t ~deadline cat info temps jobs : Engine.rows =
+      let results = Array.make (List.length jobs) [] in
+      let errs = Array.make (List.length jobs) None in
+      let threads =
+        List.mapi
+          (fun slot (shard, ranges) ->
+            let plan = Merge.shard_plan info ~ranges in
+            Thread.create
+              (fun () ->
+                match
+                  let fr_timeout_ms = remaining_ms t deadline in
+                  dispatch t ~deadline ~shard
+                    {
+                      Fragment.fr_plan = plan;
+                      fr_temps = temps;
+                      fr_timeout_ms;
+                    }
+                with
+                | rows -> results.(slot) <- rows
+                | exception Abort e -> errs.(slot) <- Some e
+                | exception e ->
+                    errs.(slot) <-
+                      Some
+                        (Verror.makef Verror.Exec "shard %d: %s" shard
+                           (Printexc.to_string e)))
+              ())
+          jobs
+      in
+      List.iter Thread.join threads;
+      Array.iter (function Some e -> raise (Abort e) | None -> ()) errs;
+      let per_shard = Array.to_list results in
+      (match info.Merge.i_strategy with
+      | Merge.Partial -> Merge.merge_partial info per_shard
+      | Merge.Exchange ->
+          Merge.merge_exchange ?lower_opts:t.config.lower_opts
+            ?backend_opts:t.config.backend_opts cat info per_shard)
+
+(** Evaluate one plan: scatter when it is a shardable aggregate over a
+    base fact table, run locally otherwise (plans whose fact spine
+    bottoms out in a query temp table are tiny by construction). *)
+let eval t ~deadline (cat : Catalog.t) (plan : Ra.t) : Engine.rows =
+  match Merge.analyze cat plan with
+  | Error _ -> run_local t cat plan
+  | Ok info when not (List.mem info.Merge.i_base t.base_tables) ->
+      run_local t cat plan
+  | Ok info -> (
+      let temps = temps_of_plan t cat plan in
+      let per_table = List.assoc info.Merge.i_base t.owned in
+      let jobs =
+        Array.to_list per_table
+        |> List.mapi (fun shard ranges -> (shard, ranges))
+        |> List.filter (fun (_, ranges) -> ranges <> [])
+      in
+      match jobs with
+      | [] -> run_local t ~count:false cat plan
+      | jobs -> eval_scattered t ~deadline cat info temps jobs)
+
+(* ---- front doors ---- *)
+
+let with_query t f =
+  locked t (fun () -> t.queries <- t.queries + 1);
+  match f () with
+  | rows -> Ok rows
+  | exception Abort e -> Error e
+  | exception Sql.Sql_error m -> Error (Verror.make Verror.Parse m)
+  | exception e ->
+      Error
+        (Voodoo_engine.Resilient.classify Voodoo_engine.Resilient.Compiled e)
+
+(** Run a named TPC-H query distributed (multi-phase queries scatter
+    each phase; temp tables ship inside the fragments). *)
+let query ?timeout_ms t (name : string) : (Engine.rows, Verror.t) result =
+  let deadline = deadline_of ?timeout_ms () in
+  let name = String.uppercase_ascii name in
+  match Q.find ~sf:t.config.sf name with
+  | None -> Error (Verror.makef Verror.Parse "unknown query %S" name)
+  | Some q ->
+      with_query t (fun () ->
+          q.Q.run (fun cat plan -> eval t ~deadline cat plan)
+            (Catalogs.fork t.cat))
+
+(** One-shot SQL text, distributed. *)
+let sql ?timeout_ms t (text : string) : (Engine.rows, Verror.t) result =
+  let deadline = deadline_of ?timeout_ms () in
+  with_query t (fun () ->
+      let cat = Catalogs.fork t.cat in
+      let plan = Sql.plan cat text in
+      eval t ~deadline cat plan)
+
+let shards t = Array.length t.addrs
+
+let stats_fields t : (string * float) list =
+  locked t (fun () ->
+      [
+        ("coord.shards", float_of_int (Array.length t.addrs));
+        ("coord.queries", float_of_int t.queries);
+        ("coord.fragments", float_of_int t.fragments);
+        ("coord.sheds", float_of_int t.sheds);
+        ("coord.failovers", float_of_int t.failovers);
+        ("coord.deadline_expired", float_of_int t.deadline_expired);
+        ("coord.local_runs", float_of_int t.local_runs);
+        ("coord.rpc.attempts", float_of_int t.calls.Client.attempts);
+        ("coord.rpc.retries", float_of_int t.calls.Client.retries);
+        ("coord.rpc.hedges", float_of_int t.calls.Client.hedges);
+        ("coord.rpc.hedge_wins", float_of_int t.calls.Client.hedge_wins);
+      ])

@@ -1,0 +1,103 @@
+(** The shard-fragment wire payload.
+
+    A fragment is everything a worker needs to execute its slice of a
+    scattered plan: the restricted relational plan itself, any temp
+    tables the plan references that are not part of the base catalog
+    (TPC-H Q20 registers its phase-one aggregate as [q20_qty]), and the
+    remaining deadline budget.  [Ra.t] / [Rexpr.t] and rows are pure
+    data, so the payload is a [Marshal] image, hex-armoured to survive
+    the line protocol (no tabs, no newlines, no [=]).
+
+    The {!digest} deliberately excludes the deadline: two requests for
+    the same fragment hit the worker's plan cache even when their
+    remaining budgets differ. *)
+
+open Voodoo_relational
+module Column = Voodoo_vector.Column
+module Engine = Voodoo_engine.Engine
+
+type temp = {
+  t_name : string;
+  t_cols : (string * Table.coltype) list;
+  t_rows : Engine.rows;
+}
+
+type t = {
+  fr_plan : Ra.t;
+  fr_temps : temp list;
+  fr_timeout_ms : float option;  (** remaining deadline at dispatch *)
+}
+
+(* ---- hex armour ---- *)
+
+let to_hex (s : string) =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex (s : string) : (string, string) result =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex payload"
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+      | _ -> Error (Printf.sprintf "bad hex byte %C" c)
+    in
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.to_string b)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+(* ---- codec ---- *)
+
+let encode (t : t) : string = to_hex (Marshal.to_string t [])
+
+let decode (payload : string) : (t, string) result =
+  match of_hex payload with
+  | Error e -> Error e
+  | Ok raw -> (
+      match (Marshal.from_string raw 0 : t) with
+      | t -> Ok t
+      | exception _ -> Error "undecodable fragment payload")
+
+(* Payload digest for the worker's plan cache: plan + temp contents, not
+   the per-request deadline. *)
+let digest (t : t) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string (t.fr_plan, t.fr_temps) []))
+
+(* ---- temp tables ---- *)
+
+(* Portable image of a registered table: (column, type) spec plus rows,
+   rebuilt on the worker with {!Engine.table_of_rows} — the same function
+   that built it on the coordinator, so the reconstruction is
+   bit-identical (dictionary-free columns, same order, same stats). *)
+let temp_of_table (tbl : Table.t) : temp =
+  let cols = List.map (fun (c : Table.column) -> (c.name, c.ctype)) tbl.columns in
+  List.iter
+    (fun (c : Table.column) ->
+      if c.dict <> None then
+        invalid_arg
+          (Printf.sprintf "Fragment.temp_of_table: %s.%s has a dictionary"
+             tbl.name c.name))
+    tbl.columns;
+  let getters =
+    List.map (fun (c : Table.column) -> (c.name, Column.get c.data)) tbl.columns
+  in
+  let rows =
+    List.init tbl.nrows (fun i ->
+        List.map (fun (name, get) -> (name, get i)) getters)
+  in
+  { t_name = tbl.name; t_cols = cols; t_rows = rows }
+
+let table_of_temp (t : temp) : Table.t =
+  Engine.table_of_rows ~name:t.t_name ~columns:t.t_cols t.t_rows

@@ -1,0 +1,382 @@
+(** Scatter-gather plan lowering and result merging.
+
+    A [GroupAgg]-rooted plan splits into per-shard fragments (the same
+    plan with the fact scan restricted to the shard's row-id ranges) and
+    a final merge step.  Two strategies, chosen by analyzing the
+    aggregate list against the catalog:
+
+    - {b Partial}: every aggregate composes exactly across row subsets —
+      [Count] always, [Min]/[Max] (order-free even over floats), and
+      [Sum]/[Avg] of {e integer-valued} expressions (integer addition is
+      associative; the engine's float image of an integer is exact below
+      2{^53}).  [Avg] rewrites to [Sum]+[Count] per shard; the
+      coordinator divides once, exactly as [Lower.fetch] does.  Workers
+      run the grouped aggregation over their rows and the coordinator
+      merges per-group partials in shard order.
+
+    - {b Exchange}: float [Sum]/[Avg] is {e not} reassociable, so
+      workers instead return the pre-aggregation rows — each original
+      row's group keys and aggregate-input values, tagged with the fact
+      row id (a [GroupAgg] keyed on the row id: every group is a single
+      row, and [Min] of a singleton is the value itself, bit-exact).
+      The coordinator reassembles the rows in original row-id order,
+      registers them as a temp table, and runs the final [GroupAgg]
+      itself — same kernels, same value sequence, same fold-run
+      structure, hence bit-identical output.
+
+    Both strategies keep the output row order of single-process
+    execution: grouped rows appear in dense-group-id order, which is
+    lexicographic in the key values with the {e last} key most
+    significant (the first key has stride 1 in the group id). *)
+
+open Voodoo_vector
+open Voodoo_relational
+module Engine = Voodoo_engine.Engine
+module Catalogs = Voodoo_service.Catalogs
+
+(** The hidden dense row-id column shard workers add to every base
+    table; unique per table so [Catalog.owner] stays unambiguous. *)
+let rowid_col table = table ^ "__rowid"
+
+(* ---- integrality analysis ----
+
+   Conservative: [true] only when the expression provably evaluates to
+   integer values (comparisons and boolean connectives yield 0/1 flags;
+   TInt/TDate/TStr columns are integer codes).  Map-computed columns are
+   looked through via [env]; anything unknown is non-integral, which
+   only costs us the slower-but-always-exact Exchange strategy. *)
+
+let rec map_env acc (p : Ra.t) =
+  match p with
+  | Ra.Scan _ -> acc
+  | Ra.Select (q, _) -> map_env acc q
+  | Ra.Map (q, defs) -> map_env (defs @ acc) q
+  | Ra.FkJoin { fact; dim; _ } -> map_env (map_env acc dim) fact
+  | Ra.LookupJoin { fact; dim; _ } -> map_env (map_env acc dim) fact
+  | Ra.SemiJoin { fact; dim; _ } -> map_env (map_env acc dim) fact
+  | Ra.AntiJoin { fact; dim; _ } -> map_env (map_env acc dim) fact
+  | Ra.GroupAgg { input; _ } -> map_env acc input
+
+let rec integral (cat : Catalog.t) env (e : Rexpr.t) : bool =
+  match e with
+  | Rexpr.Col c -> (
+      match List.assoc_opt c env with
+      | Some def -> integral cat (List.remove_assoc c env) def
+      | None -> (
+          match Catalog.owner cat c with
+          | None -> false
+          | Some t -> (
+              match (Table.column (Catalog.table cat t) c).Table.ctype with
+              | Table.TInt | Table.TDate | Table.TStr -> true
+              | Table.TFloat -> false)))
+  | Rexpr.Int_lit _ | Rexpr.Str_lit _ | Rexpr.Date_lit _ -> true
+  | Rexpr.Float_lit _ -> false
+  | Rexpr.Add (a, b) | Rexpr.Sub (a, b) | Rexpr.Mul (a, b) ->
+      integral cat env a && integral cat env b
+  | Rexpr.Div _ -> false
+  | Rexpr.Gt _ | Rexpr.Ge _ | Rexpr.Lt _ | Rexpr.Le _ | Rexpr.Eq _
+  | Rexpr.Ne _ | Rexpr.And _ | Rexpr.Or _ | Rexpr.Not _ | Rexpr.Between _
+  | Rexpr.In_list _ ->
+      true
+
+(* ---- strategy ---- *)
+
+type strategy = Partial | Exchange
+
+type info = {
+  i_keys : string list;
+  i_aggs : Ra.agg list;
+  i_input : Ra.t;
+  i_base : string;  (** the fact base table the row-id restriction hits *)
+  i_strategy : strategy;
+}
+
+let exact_agg cat env (a : Ra.agg) =
+  match a.Ra.kind with
+  | Ra.Count | Ra.Min | Ra.Max -> true
+  | Ra.Sum | Ra.Avg -> integral cat env a.Ra.expr
+
+let analyze (cat : Catalog.t) (plan : Ra.t) : (info, string) result =
+  match plan with
+  | Ra.GroupAgg { input; keys; aggs } ->
+      let env = map_env [] input in
+      let strategy =
+        if List.for_all (exact_agg cat env) aggs then Partial else Exchange
+      in
+      Ok
+        {
+          i_keys = keys;
+          i_aggs = aggs;
+          i_input = input;
+          i_base = Ra.base_table input;
+          i_strategy = strategy;
+        }
+  | _ -> Error "scatter-gather needs a GroupAgg-rooted plan"
+
+(* ---- row-id restriction ---- *)
+
+(* OR of inclusive Between ranges over the fact table's row-id column. *)
+let ranges_pred table (ranges : (int * int) list) : Rexpr.t =
+  let rc = Rexpr.col (rowid_col table) in
+  let between (lo, hi) = Rexpr.Between (rc, Rexpr.i lo, Rexpr.i hi) in
+  match ranges with
+  | [] -> Rexpr.i 0 (* owns nothing: unsatisfiable *)
+  | r :: rest ->
+      List.fold_left (fun acc r -> Rexpr.( ||: ) acc (between r)) (between r) rest
+
+(* Inject [Select (Scan base, pred)] at the bottom of the fact spine.
+   Dimension sides stay untouched: joins need the full dimension (the
+   store is replicated), and the lowering requires dimension plans to be
+   alignment-preserving. *)
+let rec restrict ~base pred (p : Ra.t) : Ra.t =
+  match p with
+  | Ra.Scan t when t = base -> Ra.Select (Ra.Scan t, pred)
+  | Ra.Scan t -> Ra.Scan t
+  | Ra.Select (q, e) -> Ra.Select (restrict ~base pred q, e)
+  | Ra.Map (q, defs) -> Ra.Map (restrict ~base pred q, defs)
+  | Ra.FkJoin { fact; fk; dim; pk } ->
+      Ra.FkJoin { fact = restrict ~base pred fact; fk; dim; pk }
+  | Ra.LookupJoin { fact; fact_key; dim; dim_key; domain } ->
+      Ra.LookupJoin
+        { fact = restrict ~base pred fact; fact_key; dim; dim_key; domain }
+  | Ra.SemiJoin { fact; key; dim; dim_key } ->
+      Ra.SemiJoin { fact = restrict ~base pred fact; key; dim; dim_key }
+  | Ra.AntiJoin { fact; key; dim; dim_key } ->
+      Ra.AntiJoin { fact = restrict ~base pred fact; key; dim; dim_key }
+  | Ra.GroupAgg _ -> invalid_arg "restrict: nested GroupAgg"
+
+(* ---- per-shard fragment plans ---- *)
+
+(* Partial: same grouping, with Avg split into Sum + Count of the same
+   expression (the merge divides once, like Lower.fetch). *)
+let avg_sum_name n = n ^ "#sum"
+
+let avg_count_name n = n ^ "#cnt"
+
+let partial_aggs (aggs : Ra.agg list) : Ra.agg list =
+  List.concat_map
+    (fun (a : Ra.agg) ->
+      match a.Ra.kind with
+      | Ra.Avg ->
+          [
+            { Ra.name = avg_sum_name a.Ra.name; kind = Ra.Sum; expr = a.Ra.expr };
+            { Ra.name = avg_count_name a.Ra.name; kind = Ra.Count; expr = a.Ra.expr };
+          ]
+      | _ -> [ a ])
+    aggs
+
+let xk i = Printf.sprintf "xk%d" i
+
+let xa i = Printf.sprintf "xa%d" i
+
+(* Exchange: group by the fact row id — every group is exactly one row,
+   so Min ships each key/aggregate-input value verbatim. *)
+let exchange_aggs (info : info) : Ra.agg list =
+  List.mapi
+    (fun i k -> { Ra.name = xk i; kind = Ra.Min; expr = Rexpr.col k })
+    info.i_keys
+  @ List.mapi
+      (fun i (a : Ra.agg) -> { Ra.name = xa i; kind = Ra.Min; expr = a.Ra.expr })
+      info.i_aggs
+
+let shard_plan (info : info) ~(ranges : (int * int) list) : Ra.t =
+  let input = restrict ~base:info.i_base (ranges_pred info.i_base ranges) info.i_input in
+  match info.i_strategy with
+  | Partial ->
+      Ra.GroupAgg { input; keys = info.i_keys; aggs = partial_aggs info.i_aggs }
+  | Exchange ->
+      Ra.GroupAgg
+        { input; keys = [ rowid_col info.i_base ]; aggs = exchange_aggs info }
+
+(* ---- merging: Partial ---- *)
+
+let to_int_exn = function
+  | Some v -> Scalar.to_int v
+  | None -> invalid_arg "merge: ε group key"
+
+(* Group rows sort in dense-group-id order: lexicographic in key values
+   with the last key most significant (stride grows through the key
+   list), i.e. ordinary [compare] on the reversed key tuple. *)
+let key_tuple nk (row : (string * Scalar.t option) list) : int list =
+  List.rev (List.filteri (fun i _ -> i < nk) row |> List.map (fun (_, v) -> to_int_exn v))
+
+let merge_agg_values (a : Ra.agg) (vs : Scalar.t option list) : Scalar.t option =
+  let somes = List.filter_map Fun.id vs in
+  match a.Ra.kind with
+  | Ra.Sum | Ra.Count -> (
+      match somes with
+      | [] -> None
+      | v :: rest -> Some (List.fold_left Scalar.add v rest))
+  | Ra.Min -> (
+      match somes with
+      | [] -> None
+      | v :: rest -> Some (List.fold_left Scalar.min_s v rest))
+  | Ra.Max -> (
+      match somes with
+      | [] -> None
+      | v :: rest -> Some (List.fold_left Scalar.max_s v rest))
+  | Ra.Avg -> invalid_arg "merge_agg_values: Avg is rewritten"
+
+(* Combine one group's rows (shard order) into the output row. *)
+let combine_group (info : info) (present : (string * Scalar.t option) list list) :
+    (string * Scalar.t option) list =
+  let nk = List.length info.i_keys in
+  let keys =
+    match present with
+    | row :: _ -> List.filteri (fun i _ -> i < nk) row
+    | [] -> invalid_arg "combine_group: empty group"
+  in
+  let field name row = List.assoc name row in
+  let aggs =
+    List.map
+      (fun (a : Ra.agg) ->
+        match a.Ra.kind with
+        | Ra.Avg ->
+            (* one division over the exact merged sum/count, exactly as
+               Lower.fetch computes Avg from its companion count *)
+            let s =
+              merge_agg_values
+                { a with Ra.kind = Ra.Sum }
+                (List.map (field (avg_sum_name a.Ra.name)) present)
+            and c =
+              merge_agg_values
+                { a with Ra.kind = Ra.Count }
+                (List.map (field (avg_count_name a.Ra.name)) present)
+            in
+            let v =
+              match (s, c) with
+              | Some s, Some c when Scalar.to_float c <> 0.0 ->
+                  Some (Scalar.F (Scalar.to_float s /. Scalar.to_float c))
+              | _ -> None
+            in
+            (a.Ra.name, v)
+        | _ ->
+            (a.Ra.name, merge_agg_values a (List.map (field a.Ra.name) present)))
+      info.i_aggs
+  in
+  keys @ aggs
+
+let merge_partial (info : info) (per_shard : Engine.rows list) : Engine.rows =
+  match info.i_keys with
+  | [] ->
+      (* each shard contributed exactly one (possibly all-ε) row *)
+      [ combine_group info (List.concat_map Fun.id per_shard) ]
+  | keys ->
+      let nk = List.length keys in
+      let buckets : (int list, (string * Scalar.t option) list list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun rows ->
+          List.iter
+            (fun row ->
+              let k = key_tuple nk row in
+              match Hashtbl.find_opt buckets k with
+              | Some l -> l := row :: !l
+              | None -> Hashtbl.replace buckets k (ref [ row ]))
+            rows)
+        per_shard;
+      let group_keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) buckets []
+        |> List.sort compare
+      in
+      List.map
+        (fun k ->
+          let rows = List.rev !(Hashtbl.find buckets k) in
+          combine_group info rows)
+        group_keys
+
+(* ---- merging: Exchange ---- *)
+
+let exchange_table_name = "xchg"
+
+let sel_col = "xsel"
+
+(* Reassemble the exchanged pre-aggregation values at their {e original
+   row positions} — a temp table as long as the fact table, with a
+   selection flag marking the rows any shard shipped — and run the final
+   [GroupAgg] over [Select (Scan xchg, xsel = 1)] locally.
+
+   The positional layout is what buys bit-identity: a compacting
+   selection leaves ε at dropped positions, and the ungrouped
+   aggregation folds grain-sized {e position} blocks into partials
+   before the final reduction.  Rebuilding the values at their original
+   positions behind an equivalent selection reproduces that ε structure,
+   hence the same partial boundaries, the same addition order, the same
+   float rounding.  [cat] is the coordinator's (possibly forked)
+   catalog; the temp table goes on a private fork. *)
+let merge_exchange ?lower_opts ?backend_opts (cat : Catalog.t) (info : info)
+    (per_shard : Engine.rows list) : Engine.rows =
+  let rid = rowid_col info.i_base in
+  let nrows = (Catalog.table cat info.i_base).Table.nrows in
+  let nk = List.length info.i_keys in
+  let na = List.length info.i_aggs in
+  let all = List.concat per_shard in
+  let sel = Array.make nrows 0 in
+  let key_vals = Array.init nk (fun _ -> Array.make nrows 0) in
+  (* a value column is uniformly typed (every shard computes it with the
+     same kernels): sniff the constructor, default int when nothing was
+     shipped (the column is then never read through the selection) *)
+  let agg_float =
+    Array.init na (fun i ->
+        match all with
+        | [] -> false
+        | row :: _ -> (
+            match List.assoc (xa i) row with
+            | Some (Scalar.F _) -> true
+            | _ -> false))
+  in
+  let agg_i = Array.init na (fun _ -> Array.make nrows 0) in
+  let agg_f = Array.init na (fun _ -> Array.make nrows 0.0) in
+  List.iter
+    (fun row ->
+      let r = to_int_exn (List.assoc rid row) in
+      sel.(r) <- 1;
+      List.iteri
+        (fun i _ -> key_vals.(i).(r) <- to_int_exn (List.assoc (xk i) row))
+        info.i_keys;
+      List.iteri
+        (fun i _ ->
+          match List.assoc (xa i) row with
+          | Some (Scalar.I v) -> agg_i.(i).(r) <- v
+          | Some (Scalar.F v) -> agg_f.(i).(r) <- v
+          | None -> ())
+        info.i_aggs)
+    all;
+  let columns =
+    Table.int_column ~name:sel_col sel
+    :: List.mapi (fun i _ -> Table.int_column ~name:(xk i) key_vals.(i)) info.i_keys
+    @ List.mapi
+        (fun i _ ->
+          if agg_float.(i) then Table.float_column ~name:(xa i) agg_f.(i)
+          else Table.int_column ~name:(xa i) agg_i.(i))
+        info.i_aggs
+  in
+  let tmp = Table.make ~name:exchange_table_name columns in
+  let fork = Catalogs.fork cat in
+  Catalog.add_table fork tmp;
+  let final =
+    Ra.GroupAgg
+      {
+        input =
+          Ra.Select
+            (Ra.Scan exchange_table_name, Rexpr.(col sel_col =: i 1));
+        keys = List.mapi (fun i _ -> xk i) info.i_keys;
+        aggs =
+          List.mapi
+            (fun i (a : Ra.agg) -> { a with Ra.expr = Rexpr.col (xa i) })
+            info.i_aggs;
+      }
+  in
+  let rows = Engine.compiled ?lower_opts ?backend_opts fork final in
+  (* restore the original key column names *)
+  let names = List.mapi (fun i k -> (xk i, k)) info.i_keys in
+  List.map
+    (fun row ->
+      List.map
+        (fun (n, v) ->
+          match List.assoc_opt n names with
+          | Some orig -> (orig, v)
+          | None -> (n, v))
+        row)
+    rows

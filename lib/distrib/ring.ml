@@ -1,0 +1,77 @@
+(** Consistent-hash ring (see the interface). *)
+
+type t = {
+  vnodes : int;
+  labels : string list;  (** insertion-independent: kept sorted *)
+  points : (int * string) array;  (** sorted by hash point *)
+}
+
+(* A deterministic 62-bit hash from MD5 — stable across runs, processes
+   and machines (unlike [Hashtbl.hash], whose distribution over long
+   strings is also too coarse for ring placement). *)
+let hash62 (s : string) : int =
+  let d = Digest.string s in
+  let byte i = Char.code d.[i] in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor byte i
+  done;
+  !h land max_int
+
+let point_of ~label i = hash62 (Printf.sprintf "%s#%d" label i)
+
+let build vnodes labels =
+  let labels = List.sort_uniq compare labels in
+  let points =
+    List.concat_map
+      (fun label -> List.init vnodes (fun i -> (point_of ~label i, label)))
+      labels
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { vnodes; labels; points }
+
+let make ?(vnodes = 64) labels =
+  if labels = [] then invalid_arg "Ring.make: no shards";
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    invalid_arg "Ring.make: duplicate shard labels";
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes must be positive";
+  build vnodes labels
+
+let labels t = t.labels
+
+(* Index of the first point with hash >= h, wrapping past the end. *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = snd t.points.(successor_index t (hash62 key))
+
+let preference t key =
+  let n = Array.length t.points in
+  let start = successor_index t (hash62 key) in
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let i = ref 0 in
+  while Hashtbl.length seen < List.length t.labels && !i < n do
+    let label = snd t.points.((start + !i) mod n) in
+    if not (Hashtbl.mem seen label) then begin
+      Hashtbl.replace seen label ();
+      acc := label :: !acc
+    end;
+    incr i
+  done;
+  List.rev !acc
+
+let add t label =
+  if List.mem label t.labels then t else build t.vnodes (label :: t.labels)
+
+let remove t label =
+  let rest = List.filter (fun l -> l <> label) t.labels in
+  if rest = [] then invalid_arg "Ring.remove: last shard";
+  build t.vnodes rest

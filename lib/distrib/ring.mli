@@ -1,0 +1,31 @@
+(** The consistent-hash ring that assigns catalog extents to shards.
+
+    Every shard label is hashed onto the ring at [vnodes] points (virtual
+    nodes smooth the balance); an extent key is owned by the first shard
+    point clockwise from the key's hash.  The construction is fully
+    deterministic (MD5, no process state), so every coordinator — and
+    every run — derives the identical shard map, and adding or removing
+    one shard moves only the extents whose owning arc changed
+    (≈ 1/N of them), never reshuffling the rest. *)
+
+type t
+
+(** [make ?vnodes labels] builds the ring over distinct shard labels
+    (order-insensitive).  Default [vnodes] is 64 per shard.  Raises
+    [Invalid_argument] on an empty or duplicate label set. *)
+val make : ?vnodes:int -> string list -> t
+
+val labels : t -> string list
+
+(** The shard owning [key] (clockwise successor of the key's hash). *)
+val owner : t -> string -> string
+
+(** Every shard in preference order for [key]: the owner first, then the
+    distinct shards met walking clockwise — the failover order. *)
+val preference : t -> string -> string list
+
+(** [add t label] / [remove t label] rebuild the ring with one more /
+    fewer shard (the other shards' points are unchanged). *)
+val add : t -> string -> t
+
+val remove : t -> string -> t

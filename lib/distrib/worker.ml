@@ -1,0 +1,86 @@
+(** A shard worker: a {!Voodoo_service.Service} whose catalog carries a
+    hidden dense row-id column per base table, plus a server handler that
+    executes {!Fragment} payloads.
+
+    Storage is replicated — every worker generates the identical TPC-H
+    catalog ([Dbgen] is deterministic) — and {e compute} is sharded: the
+    coordinator restricts each fragment's fact scan to the row-id ranges
+    that worker owns.  Replication is what makes failover trivial (any
+    worker can run any fragment) and keeps dimension joins exact without
+    a shuffle. *)
+
+open Voodoo_relational
+module Service = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Protocol = Voodoo_service.Protocol
+module Dbgen = Voodoo_tpch.Dbgen
+
+type t = { service : Service.t; entry : Catalogs.entry }
+
+(** Rebuild [cat] with a [Merge.rowid_col] appended to every table —
+    same tables in the same registry order, so column ownership and all
+    original stats are untouched. *)
+let augment (cat : Catalog.t) : Catalog.t =
+  let out = Catalog.create () in
+  List.iter
+    (fun ((name, info) : string * Catalog.table_info) ->
+      let tbl = info.Catalog.table in
+      let rid =
+        Table.int_column ~name:(Merge.rowid_col name)
+          (Array.init tbl.Table.nrows Fun.id)
+      in
+      Catalog.add_table out
+        (Table.make ~name (tbl.Table.columns @ [ rid ])))
+    (List.rev cat.Catalog.tables);
+  out
+
+let create ?(config = Service.default_config) () : t =
+  let registry = Catalogs.create () in
+  let base = Dbgen.generate ~sf:config.Service.sf ~seed:config.Service.seed () in
+  let cat = augment base in
+  let entry =
+    Catalogs.register registry ~seed:config.Service.seed ~sf:config.Service.sf
+      cat ()
+  in
+  let service = Service.create ~registry config in
+  { service; entry }
+
+let service t = t.service
+
+let catalog t = t.entry.Catalogs.cat
+
+let shutdown t = Service.shutdown t.service
+
+let handle_fragment (t : t) (payload : string) : Protocol.response =
+  match Fragment.decode payload with
+  | Error e -> Protocol.Err ("parse", "fragment: " ^ e)
+  | Ok fr -> (
+      let cat =
+        match fr.Fragment.fr_temps with
+        | [] -> t.entry.Catalogs.cat
+        | temps ->
+            let fork = Catalogs.fork t.entry.Catalogs.cat in
+            List.iter
+              (fun tm -> Catalog.add_table fork (Fragment.table_of_temp tm))
+              temps;
+            fork
+      in
+      let cache_key =
+        Printf.sprintf "g%d|frag|%s" t.entry.Catalogs.generation
+          (Fragment.digest fr)
+      in
+      match
+        Service.run_plan ?timeout_ms:fr.Fragment.fr_timeout_ms ~cache_key
+          t.service ~cat fr.Fragment.fr_plan
+      with
+      | Ok rows -> Protocol.Rows rows
+      | Error e -> Protocol.err_of_verror e)
+
+(** The {!Voodoo_service.Server.handler} that answers [FRAGMENT]
+    requests; everything else falls through to the server's built-in
+    dispatch (so a shard worker still serves PING, SQL, STATS …). *)
+let handler (t : t) : Voodoo_service.Server.handler =
+ fun _session req ->
+  match req with
+  | Protocol.Fragment payload -> Some (handle_fragment t payload, true)
+  | _ -> None

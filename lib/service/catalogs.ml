@@ -48,6 +48,14 @@ let refresh t ?(seed = 1) ~sf () =
       Hashtbl.replace t.tbl (sf, seed) e;
       e)
 
+let register t ?(seed = 1) ~sf cat () =
+  locked t (fun () ->
+      let generation = t.next_generation in
+      t.next_generation <- generation + 1;
+      let e = { cat; sf; seed; generation } in
+      Hashtbl.replace t.tbl (sf, seed) e;
+      e)
+
 let generation (e : entry) = e.generation
 
 let default = lazy (create ())

@@ -33,6 +33,13 @@ val get : t -> ?seed:int -> sf:float -> unit -> entry
     the "catalog changed" event result caches must observe. *)
 val refresh : t -> ?seed:int -> sf:float -> unit -> entry
 
+(** [register t ~sf cat ()] installs a caller-built catalog as the entry
+    for [(sf, seed)] under a fresh generation, replacing any memoized
+    one.  Shard workers use it to serve their row-id-augmented catalog
+    (every table gains a [<table>__rowid] column) through the ordinary
+    session path, so fragments and interactive SQL see the same data. *)
+val register : t -> ?seed:int -> sf:float -> Catalog.t -> unit -> entry
+
 val generation : entry -> int
 
 (** [fork cat] is a shallow copy safe for per-execution mutation: the

@@ -9,6 +9,9 @@ type request =
   | Exec of string
   | Sql of string
   | Query of string
+  | Fragment of string
+      (** opaque shard-fragment payload (hex-encoded, see
+          [Voodoo_distrib.Fragment]); answered with [Rows] *)
   | Stats
   | Ping
   | Close
@@ -22,11 +25,12 @@ type response =
   | Err of string * string  (** stage name, one-line message *)
 
 (* Every request except CLOSE is safe to retry on a fresh connection:
-   queries are reads, PREPARE of identical text is a plan-cache hit, and
+   queries are reads, PREPARE of identical text is a plan-cache hit,
+   FRAGMENT is a pure read over an immutable shard catalog, and
    STATS/PING observe.  CLOSE is tied to the connection it travelled on —
    retrying it elsewhere would close somebody else's session. *)
 let idempotent = function
-  | Prepare _ | Exec _ | Sql _ | Query _ | Stats | Ping -> true
+  | Prepare _ | Exec _ | Sql _ | Query _ | Fragment _ | Stats | Ping -> true
   | Close -> false
 
 (* ---- requests ---- *)
@@ -57,6 +61,7 @@ let parse_request line : (request, string) result =
   | "EXEC", name when name <> "" -> Ok (Exec name)
   | "SQL", text when text <> "" -> Ok (Sql text)
   | "QUERY", name when name <> "" -> Ok (Query name)
+  | "FRAGMENT", payload when payload <> "" -> Ok (Fragment payload)
   | "STATS", "" -> Ok Stats
   | "PING", "" -> Ok Ping
   | "CLOSE", "" -> Ok Close
@@ -64,7 +69,8 @@ let parse_request line : (request, string) result =
   | verb, _ ->
       Error
         (Printf.sprintf
-           "unknown request %S (have: PREPARE EXEC SQL QUERY STATS PING CLOSE)"
+           "unknown request %S (have: PREPARE EXEC SQL QUERY FRAGMENT STATS \
+            PING CLOSE)"
            verb)
 
 let render_request = function
@@ -72,6 +78,7 @@ let render_request = function
   | Exec name -> "EXEC " ^ name
   | Sql text -> "SQL " ^ text
   | Query name -> "QUERY " ^ name
+  | Fragment payload -> "FRAGMENT " ^ payload
   | Stats -> "STATS"
   | Ping -> "PING"
   | Close -> "CLOSE"

@@ -16,6 +16,10 @@ type request =
   | Exec of string
   | Sql of string
   | Query of string  (** named TPC-H query *)
+  | Fragment of string
+      (** opaque shard-fragment payload (hex-encoded restricted plan plus
+          shipped temp tables, see [Voodoo_distrib.Fragment]); a worker
+          answers with [Rows] *)
   | Stats
   | Ping  (** health check: answered inline, never queued *)
   | Close

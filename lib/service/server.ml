@@ -128,10 +128,18 @@ type conn = {
 
 type state = Running | Stopping | Stopped
 
+(** A pluggable dispatcher consulted before the built-in [Service]
+    dispatch: [Some (response, keep_going)] answers the request, [None]
+    falls through.  Lets a shard worker answer [FRAGMENT] and a
+    coordinator scatter [SQL]/[QUERY] while everything else (sessions,
+    stats, ping, drain) stays stock. *)
+type handler = Session.t -> Protocol.request -> (Protocol.response * bool) option
+
 type t = {
   listener : Unix.file_descr;
   addr : addr;
   service : Service.t;
+  handler : handler option;
   opts : options;
   m : Mutex.t;
   mutable state : state;
@@ -192,6 +200,12 @@ let handle_request t session (req : P.request) : P.response * bool =
     | Ok rows -> P.Rows rows
     | Error e -> P.err_of_verror e
   in
+  let handled =
+    match t.handler with Some h -> h session req | None -> None
+  in
+  match handled with
+  | Some answer -> answer
+  | None -> (
   match req with
   | P.Prepare (name, sql) -> (
       match Service.prepare t.service session ~name sql with
@@ -203,12 +217,15 @@ let handle_request t session (req : P.request) : P.response * bool =
       (rows_or_err (Service.sql ?timeout_ms t.service session text), true)
   | P.Query name ->
       (rows_or_err (Service.query ?timeout_ms t.service session name), true)
+  | P.Fragment _ ->
+      (* only shard workers (which install a {!handler}) execute fragments *)
+      (P.Err ("parse", "this server does not execute shard fragments"), true)
   | P.Stats ->
       ( P.Stats_reply
           (Service.stats_fields (Service.stats t.service) @ stats_fields (stats t)),
         true )
   | P.Ping -> (P.Pong, true)
-  | P.Close -> (P.Bye, false)
+  | P.Close -> (P.Bye, false))
 
 let handle_connection t (c : conn) =
   let session = Service.open_session t.service in
@@ -271,13 +288,14 @@ let bind_listener addr =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let start ?(options = default_options) ~service addr =
+let start ?(options = default_options) ?handler ~service addr =
   let listener = bind_listener addr in
   let t =
     {
       listener;
       addr;
       service;
+      handler;
       opts = options;
       m = Mutex.create ();
       state = Running;
@@ -436,8 +454,8 @@ let stop ?drain_ms t =
     locked t (fun () -> t.state <- Stopped)
   end
 
-let serve_forever ?options ~service addr =
-  let t = start ?options ~service addr in
+let serve_forever ?options ?handler ~service addr =
+  let t = start ?options ?handler ~service addr in
   match t.accept_thread with Some th -> Thread.join th | None -> ()
 
 (* ---- client ---- *)

@@ -45,9 +45,17 @@ val default_options : options
 
 type t
 
+(** A pluggable dispatcher consulted before the built-in [Service]
+    dispatch: [Some (response, keep_going)] answers the request, [None]
+    falls through to the stock behaviour.  This is how a shard worker
+    answers [FRAGMENT] ([Voodoo_distrib.Worker.handler]) and a
+    coordinator scatters [SQL]/[QUERY] across the fleet, while sessions,
+    [STATS], [PING] and the drain path stay shared. *)
+type handler = Session.t -> Protocol.request -> (Protocol.response * bool) option
+
 (** [start ~service addr] binds, listens and spawns the accept thread
     (an existing Unix socket path is replaced). *)
-val start : ?options:options -> service:Service.t -> addr -> t
+val start : ?options:options -> ?handler:handler -> service:Service.t -> addr -> t
 
 (** Graceful stop: close the listener, wait up to [drain_ms] (default:
     [options.drain_ms]) for in-flight requests to finish, then
@@ -58,7 +66,8 @@ val start : ?options:options -> service:Service.t -> addr -> t
 val stop : ?drain_ms:float -> t -> unit
 
 (** [start] + block forever (the CLI's [voodoo serve]). *)
-val serve_forever : ?options:options -> service:Service.t -> addr -> unit
+val serve_forever :
+  ?options:options -> ?handler:handler -> service:Service.t -> addr -> unit
 
 (** {2 Server-side counters}
 

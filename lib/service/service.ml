@@ -528,6 +528,46 @@ let query_async ?trace ?timeout_ms t (s : Session.t) name : outcome Pool.future 
                ~cat:entry.Catalogs.cat q))
   end
 
+(* Raw-plan door for shard fragments (no session, no SQL text): the plan
+   arrives over the wire already restricted to the shard's rows, runs on a
+   caller-supplied catalog (the worker's row-id-augmented base catalog, or
+   a fork of it carrying shipped temp tables), and goes through the same
+   admission control, deadline budget and plan cache as every other
+   request.  [cache_key] is the caller's digest of the fragment payload:
+   identical fragments (plan + temp-table contents) reuse the prepared
+   artifact, so the compile cost is paid once per distinct fragment. *)
+let plan_async ?trace ?timeout_ms ?cache_key t ~cat (plan : Ra.t) :
+    outcome Pool.future =
+  locked t (fun () -> t.queries <- t.queries + 1);
+  let budget = request_budget ?timeout_ms t in
+  let prepare_now () =
+    Engine.prepare ?trace ?lower_opts:t.config.lower_opts
+      ?backend_opts:t.config.backend_opts cat plan
+  in
+  let job () =
+    count_outcome t
+      (match
+         let p =
+           match cache_key with
+           | None -> prepare_now ()
+           | Some key -> (
+               match Plan_cache.find t.plans key with
+               | Some p -> p
+               | None ->
+                   let p = prepare_now () in
+                   Plan_cache.add t.plans key p;
+                   p)
+         in
+         run_prepared t ?trace ~budget cat p
+       with
+      | outcome -> outcome
+      | exception e -> Error (R.classify R.Compiled e))
+  in
+  submit t job
+
+let run_plan ?trace ?timeout_ms ?cache_key t ~cat plan =
+  await (plan_async ?trace ?timeout_ms ?cache_key t ~cat plan)
+
 let sql ?trace ?timeout_ms t s text = await (sql_async ?trace ?timeout_ms t s text)
 let exec ?trace ?timeout_ms t s name = await (exec_async ?trace ?timeout_ms t s name)
 let query ?trace ?timeout_ms t s name = await (query_async ?trace ?timeout_ms t s name)

@@ -143,6 +143,29 @@ val sql :
 val query :
   ?trace:Voodoo_core.Trace.t -> ?timeout_ms:float -> t -> Session.t -> string -> outcome
 
+(** Raw-plan door for shard fragments (no session, no SQL): run [plan]
+    on a caller-supplied catalog under the same admission control,
+    deadline budget and plan cache as every other request.  [cache_key]
+    (the fragment-payload digest, worker-side) makes identical fragments
+    reuse the prepared artifact.  Used by [Voodoo_distrib.Worker]. *)
+val plan_async :
+  ?trace:Voodoo_core.Trace.t ->
+  ?timeout_ms:float ->
+  ?cache_key:string ->
+  t ->
+  cat:Voodoo_relational.Catalog.t ->
+  Voodoo_relational.Ra.t ->
+  outcome Pool.future
+
+val run_plan :
+  ?trace:Voodoo_core.Trace.t ->
+  ?timeout_ms:float ->
+  ?cache_key:string ->
+  t ->
+  cat:Voodoo_relational.Catalog.t ->
+  Voodoo_relational.Ra.t ->
+  outcome
+
 (** {2 Catalog swaps} *)
 
 (** [refresh_catalog ~sf t] regenerates the catalog under a new

@@ -138,6 +138,39 @@ let copy t =
   in
   { data; valid = Option.map Bitset.copy t.valid; zones = None }
 
+let promote_all_valid t =
+  match t.valid with
+  | Some b when Bitset.all_set b -> t.valid <- None
+  | _ -> ()
+
+let sub t n =
+  if n > length t then
+    invalid_arg
+      (Printf.sprintf "Column.sub: %d slots requested of %d" n (length t));
+  let data =
+    match t.data with
+    | I a ->
+        let b = A.create Bigarray.int Bigarray.c_layout n in
+        A.blit (A.sub a 0 n) b;
+        I b
+    | F a ->
+        let b = A.create Bigarray.float64 Bigarray.c_layout n in
+        A.blit (A.sub a 0 n) b;
+        F b
+  in
+  let valid =
+    match t.valid with
+    | None -> None
+    | Some b when Bitset.all_set_range b 0 n -> None
+    | Some b ->
+        let m = Bitset.create ~length:n ~default:false in
+        for i = 0 to n - 1 do
+          if Bitset.unsafe_get b i then Bitset.set m i true
+        done;
+        Some m
+  in
+  { data; valid; zones = None }
+
 (** [of_scalars dt xs] builds a column from optional scalars ([None] = ε). *)
 let of_scalars (dt : Scalar.dtype) (xs : Scalar.t option list) =
   let n = List.length xs in

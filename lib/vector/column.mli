@@ -93,6 +93,20 @@ val touch : t -> unit
 
 val copy : t -> t
 
+(** [promote_all_valid t] drops the validity mask when every bit is set —
+    [None] and an all-set mask mean the same column, but [None] lets every
+    downstream kernel take its branch-free path (and lets {!sub} and the
+    structured-vector zip/project keep their outputs mask-free).  No-op on
+    a partially valid or already mask-free column. *)
+val promote_all_valid : t -> unit
+
+(** [sub t n] copies the first [n] slots (payload blit, not per-slot
+    boxing).  Mask-freedom is preserved, and a masked column whose first
+    [n] slots are all valid promotes to mask-free; otherwise the mask
+    prefix is copied bit-for-bit.  Raises [Invalid_argument] when
+    [n > length t]. *)
+val sub : t -> int -> t
+
 (** [of_scalars dt xs] builds a column from optional scalars ([None] = ε). *)
 val of_scalars : Scalar.dtype -> Scalar.t option list -> t
 

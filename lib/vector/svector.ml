@@ -79,6 +79,10 @@ let project ~out t kp =
       invalid_arg
         (Printf.sprintf "Svector.project: no attribute under %s" (Keypath.to_string kp))
   | fields ->
+      (* mask-free promotion flows through projection: a source column
+         whose every slot turned out valid sheds its mask here, so
+         consumers of the re-rooted vector take branch-free paths *)
+      List.iter (fun (_, f) -> Column.promote_all_valid f.col) fields;
       make
         (List.map
            (fun (kp', f) -> (Keypath.rebase ~from:kp ~onto:out kp', f))
@@ -96,13 +100,9 @@ let truncate_col kp col n =
          "Svector: column %s shorter than requested length (%d < %d)"
          (Keypath.to_string kp) (Column.length col) n)
   else
-    let c = Column.create (Column.dtype col) n in
-    for i = 0 to n - 1 do
-      match Column.get col i with
-      | Some s -> Column.set c i s
-      | None -> ()
-    done;
-    c
+    (* payload blit; mask-freedom survives, and a fully valid masked
+       prefix promotes to mask-free (Column.sub) *)
+    Column.sub col n
 
 let zip (out1, t1, kp1) (out2, t2, kp2) =
   (* one-element inputs broadcast (like element-wise operators); otherwise
@@ -122,6 +122,9 @@ let zip (out1, t1, kp1) (out2, t2, kp2) =
   let grab out t kp =
     List.map
       (fun (kp', f) ->
+        (* by zip time the inputs are fully computed, so an all-set mask
+           can drop here and the pairing stays mask-free end to end *)
+        Column.promote_all_valid f.col;
         (Keypath.rebase ~from:kp ~onto:out kp', { f with col = fit kp' f.col }))
       (sub_fields t kp)
   in

@@ -1,0 +1,309 @@
+(* Distributed serving differentials.
+
+   The referee for the sharding layer: every TPC-H query, scattered over
+   1, 2 and 4 in-process shard workers (real servers on Unix sockets,
+   real FRAGMENT round trips), must return rows {e structurally equal}
+   ([=], no tolerance) to the single-process compiled engine — including
+   when one shard is dead (failover) and when one shard is behind a
+   stalling chaos proxy (retry/hedging).  Plus unit coverage of the
+   consistent-hash ring and the merge strategy analysis. *)
+
+open Voodoo_relational
+module E = Voodoo_engine.Engine
+module Q = Voodoo_tpch.Queries
+module Svc = Voodoo_service.Service
+module Catalogs = Voodoo_service.Catalogs
+module Server = Voodoo_service.Server
+module Chaos = Voodoo_service.Chaos
+module Ring = Voodoo_distrib.Ring
+module Merge = Voodoo_distrib.Merge
+module Worker = Voodoo_distrib.Worker
+module Coordinator = Voodoo_distrib.Coordinator
+
+let sf = 0.005
+
+(* ---- the shared in-process fleet ---- *)
+
+let sock i =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "voodoo_distrib_%d_%d.sock" (Unix.getpid ()) i)
+
+let worker_options =
+  { Server.default_options with Server.max_line_bytes = 8 * 1024 * 1024 }
+
+let fleet =
+  lazy
+    (List.init 4 (fun i ->
+         let config =
+           { Svc.default_config with Svc.sf; workers = 1; queue_capacity = 32 }
+         in
+         let w = Worker.create ~config () in
+         let addr = Server.Unix_socket (sock i) in
+         let _server =
+           Server.start ~options:worker_options ~handler:(Worker.handler w)
+             ~service:(Worker.service w) addr
+         in
+         addr))
+
+let registry = Catalogs.create ()
+
+let coordinator ?(extent_rows = 512) ?hedge_ms ?rpc_timeout_ms ?(retries = 2)
+    addrs =
+  Coordinator.create ~registry
+    {
+      Coordinator.default_config with
+      Coordinator.addrs;
+      sf;
+      extent_rows;
+      hedge_ms;
+      rpc_timeout_ms;
+      retries;
+    }
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let expected_rows =
+  lazy
+    (let cat = (Catalogs.get registry ~sf ()).Catalogs.cat in
+     List.map
+       (fun name ->
+         let q = Option.get (Q.find ~sf name) in
+         (name, q.Q.run (fun c p -> E.compiled c p) (Catalogs.fork cat)))
+       Q.cpu_figure13)
+
+let check_identical coord label =
+  List.iter
+    (fun (name, expected) ->
+      match Coordinator.query coord name with
+      | Error e ->
+          Alcotest.failf "%s %s: %s" label name (Voodoo_core.Verror.to_string e)
+      | Ok got ->
+          if got <> expected then
+            Alcotest.failf "%s %s: sharded rows differ from single-process"
+              label name)
+    (Lazy.force expected_rows)
+
+(* ---- ring ---- *)
+
+let keys_1000 = List.init 1000 (fun i -> Printf.sprintf "lineitem/%d" i)
+
+let test_ring_determinism () =
+  let a = Ring.make [ "s0"; "s1"; "s2" ] in
+  let b = Ring.make [ "s2"; "s0"; "s1" ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (k ^ " same owner across builds") (Ring.owner a k) (Ring.owner b k))
+    keys_1000
+
+let test_ring_balance () =
+  let ring = Ring.make (List.init 4 (Printf.sprintf "shard%d")) in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      let o = Ring.owner ring k in
+      Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+    keys_1000;
+  Alcotest.(check int) "every shard owns something" 4 (Hashtbl.length counts);
+  let mn = Hashtbl.fold (fun _ c m -> min c m) counts max_int in
+  let mx = Hashtbl.fold (fun _ c m -> max c m) counts 0 in
+  if float_of_int mx /. float_of_int mn > 3.0 then
+    Alcotest.failf "ring imbalance: max %d, min %d" mx mn
+
+let test_ring_minimal_movement () =
+  let before = Ring.make (List.init 4 (Printf.sprintf "shard%d")) in
+  let after = Ring.add before "shard4" in
+  let moved =
+    List.filter
+      (fun k ->
+        let o = Ring.owner before k and o' = Ring.owner after k in
+        if o' <> o && o' <> "shard4" then
+          Alcotest.failf "%s moved %s -> %s, not to the new shard" k o o';
+        o' <> o)
+      keys_1000
+  in
+  (* a fifth shard should claim roughly 1/5; allow a generous band *)
+  let frac = float_of_int (List.length moved) /. 1000.0 in
+  if frac > 0.35 then Alcotest.failf "add moved %.0f%% of keys" (100. *. frac);
+  if moved = [] then Alcotest.fail "add moved nothing";
+  (* removing it again restores the original map exactly *)
+  let restored = Ring.remove after "shard4" in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (k ^ " restored") (Ring.owner before k) (Ring.owner restored k))
+    keys_1000
+
+let test_ring_preference () =
+  let ring = Ring.make (List.init 4 (Printf.sprintf "shard%d")) in
+  List.iter
+    (fun k ->
+      let pref = Ring.preference ring k in
+      Alcotest.(check int) "preference covers every shard" 4 (List.length pref);
+      Alcotest.(check string) "owner first" (Ring.owner ring k) (List.hd pref);
+      Alcotest.(check int) "distinct" 4
+        (List.length (List.sort_uniq compare pref)))
+    (take 50 keys_1000)
+
+(* ---- strategy analysis ---- *)
+
+let test_strategy_analysis () =
+  let cat = (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let strategy plan =
+    match Merge.analyze cat plan with
+    | Ok info -> info.Merge.i_strategy
+    | Error e -> Alcotest.fail e
+  in
+  let agg name kind expr = { Ra.name; kind; expr } in
+  (* integer sum and count: partials merge exactly *)
+  let p1 =
+    Ra.GroupAgg
+      {
+        input = Ra.Scan "lineitem";
+        keys = [ "l_linestatus" ];
+        aggs =
+          [
+            agg "n" Ra.Count (Rexpr.col "l_quantity");
+            agg "q" Ra.Sum (Rexpr.col "l_quantity");
+            agg "aq" Ra.Avg (Rexpr.col "l_quantity");
+            agg "mx" Ra.Max (Rexpr.col "l_extendedprice");
+          ];
+      }
+  in
+  Alcotest.(check bool) "integral aggs take Partial" true
+    (strategy p1 = Merge.Partial);
+  (* a float sum forces the exchange strategy *)
+  let p2 =
+    Ra.GroupAgg
+      {
+        input = Ra.Scan "lineitem";
+        keys = [ "l_linestatus" ];
+        aggs = [ agg "rev" Ra.Sum (Rexpr.col "l_extendedprice") ];
+      }
+  in
+  Alcotest.(check bool) "float sum takes Exchange" true
+    (strategy p2 = Merge.Exchange);
+  (* Map-defined columns are looked through *)
+  let p3 =
+    Ra.GroupAgg
+      {
+        input =
+          Ra.Map
+            ( Ra.Scan "lineitem",
+              [ ("flagged", Rexpr.(col "l_quantity" >: i 10)) ] );
+        keys = [ "l_linestatus" ];
+        aggs = [ agg "n" Ra.Sum (Rexpr.col "flagged") ];
+      }
+  in
+  Alcotest.(check bool) "comparison-valued Map column is integral" true
+    (strategy p3 = Merge.Partial);
+  (* non-GroupAgg roots are rejected *)
+  (match Merge.analyze cat (Ra.Scan "lineitem") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare Scan must not analyze")
+
+(* ---- differentials ---- *)
+
+let test_differential_1_2_4 () =
+  let addrs = Lazy.force fleet in
+  List.iter
+    (fun n ->
+      let coord = coordinator (take n addrs) in
+      check_identical coord (Printf.sprintf "%d-shard" n))
+    [ 1; 2; 4 ]
+
+let test_sql_and_extent_grain () =
+  (* a different extent grain re-partitions every table; results must not
+     move, and the SQL door must agree with the query door *)
+  let addrs = Lazy.force fleet in
+  let coord = coordinator ~extent_rows:97 (take 2 addrs) in
+  check_identical coord "grain-97";
+  let cat = (Catalogs.get registry ~sf ()).Catalogs.cat in
+  let text = "select count(*) from lineitem" in
+  let expected = E.compiled (Catalogs.fork cat) (Sql.plan cat text) in
+  match Coordinator.sql coord text with
+  | Ok got -> Alcotest.(check bool) "sql door identical" true (got = expected)
+  | Error e -> Alcotest.failf "sql: %s" (Voodoo_core.Verror.to_string e)
+
+let test_dead_shard_failover () =
+  let addrs = Lazy.force fleet in
+  let dead =
+    Server.Unix_socket
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "voodoo_dead_%d.sock" (Unix.getpid ())))
+  in
+  (* shard 1's worker is unreachable: its fragments must fail over *)
+  let coord = coordinator ~retries:0 [ List.hd addrs; dead ] in
+  check_identical coord "dead-shard";
+  let failovers = List.assoc "coord.failovers" (Coordinator.stats_fields coord) in
+  Alcotest.(check bool) "failovers recorded" true (failovers > 0.)
+
+let test_chaos_stalled_shard () =
+  let addrs = Lazy.force fleet in
+  let upstream = List.nth addrs 1 in
+  let listen =
+    Server.Unix_socket
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "voodoo_chaos_%d.sock" (Unix.getpid ())))
+  in
+  let proxy =
+    Chaos.start ~seed:7
+      ~weights:
+        {
+          Chaos.w_pass = 1;
+          w_drop_connect = 0;
+          w_stall = 1;
+          w_garbage = 0;
+          w_kill = 0;
+          w_trickle = 0;
+        }
+      ~stall_ms:30_000. ~upstream ~listen ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Chaos.stop proxy)
+    (fun () ->
+      (* shard 1 sits behind the stalling proxy: the hedge (or, failing
+         that, the per-attempt timeout and failover) must still answer,
+         bit-identically *)
+      let coord =
+        coordinator ~hedge_ms:150. ~rpc_timeout_ms:2_000. ~retries:2
+          [ List.hd addrs; listen ]
+      in
+      check_identical coord "chaos-stall";
+      let fields = Coordinator.stats_fields coord in
+      let v k = List.assoc k fields in
+      let recovered =
+        v "coord.rpc.hedges" +. v "coord.rpc.retries" +. v "coord.failovers"
+      in
+      Alcotest.(check bool) "stall forced recovery work" true (recovered > 0.);
+      let st = Chaos.stats proxy in
+      Alcotest.(check bool) "proxy actually stalled a connection" true
+        (st.Chaos.stalled > 0))
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "determinism" `Quick test_ring_determinism;
+          Alcotest.test_case "balance" `Quick test_ring_balance;
+          Alcotest.test_case "minimal movement" `Quick test_ring_minimal_movement;
+          Alcotest.test_case "preference order" `Quick test_ring_preference;
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "strategy analysis" `Quick test_strategy_analysis ] );
+      ( "differential",
+        [
+          Alcotest.test_case "1/2/4 shards bit-identical" `Slow
+            test_differential_1_2_4;
+          Alcotest.test_case "sql door + odd extent grain" `Slow
+            test_sql_and_extent_grain;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "dead shard fails over" `Slow
+            test_dead_shard_failover;
+          Alcotest.test_case "stalled shard recovers hedged" `Slow
+            test_chaos_stalled_shard;
+        ] );
+    ]
