@@ -102,6 +102,11 @@ let micro_families ~smoke =
       ("layout_separate_loops", lay_store, Micro.layout_separate_loops_program ());
       ("layout_transform", lay_store, Micro.layout_transform_program ());
       ("fold_partition", Micro.fold_store ints, Micro.fold_partition_program ());
+      ( "group_fold",
+        Micro.group_store
+          ~gids:(Array.init n (fun i -> i * 7919 mod 64))
+          ~values:(Array.init n (fun i -> float_of_int (i * 31 mod 997) /. 7.0)),
+        Micro.group_fold_program () );
       ("fkjoin_branching", fk_store, Micro.fkjoin_branching_program ~cut:50.0 ());
       ( "fkjoin_predicated_agg",
         fk_store,
@@ -142,6 +147,54 @@ let bench_micro ~reps ~oracle families =
       done;
       (name, !best))
     families
+
+(* -- fold_parallel: the grouped-fold scaling family across domains --
+
+   The radix GROUP BY chain (partition → virtual scatter → per-group
+   fold) under raw closures at 1/2/4 jobs: per-chunk partial
+   accumulators, chunk-order merges, positional float re-fold.  Scalars
+   are asserted identical across job counts every run (not only in smoke
+   mode — the merge tree is exact by construction), and the engagement
+   counters prove the parallel path actually split.  Runs after the
+   query sweeps so the domain pool it spawns cannot tax earlier
+   single-domain phases. *)
+let bench_fold_parallel ~reps ~smoke =
+  let n = if smoke then 1 lsl 15 else 1 lsl 19 in
+  let store =
+    Micro.group_store
+      ~gids:(Array.init n (fun i -> i * 7919 mod 64))
+      ~values:(Array.init n (fun i -> float_of_int (i * 31 mod 997) /. 7.0))
+  in
+  let prog, total = Micro.group_fold_program () in
+  let c = Backend.compile ~store prog in
+  let scalar jobs =
+    result_scalar
+      (Backend.run ~exec:(Codegen.Closure { instrument = false; jobs }) c)
+      total
+  in
+  let baseline = scalar 1 in
+  let chunks0 = Voodoo_compiler.Exec_stats.fold_parallel_chunks () in
+  let times =
+    List.map
+      (fun jobs ->
+        let got = scalar jobs (* warm + bit-identity assertion *) in
+        if got <> baseline then
+          failwith
+            (Printf.sprintf
+               "exec fold_parallel: jobs=%d computed %.9g, jobs=1 %.9g" jobs
+               got baseline);
+        let best = ref infinity in
+        for _ = 1 to reps do
+          let (), dt = time (fun () -> ignore (scalar jobs)) in
+          if dt < !best then best := dt
+        done;
+        (jobs, !best))
+      [ 1; 2; 4 ]
+  in
+  let chunks = Voodoo_compiler.Exec_stats.fold_parallel_chunks () - chunks0 in
+  if chunks <= 0 then
+    failwith "exec fold_parallel: parallel grouped-fold path never engaged";
+  (n, times, chunks)
 
 (* Run every TPC-H query under every mode; returns per-query assoc lists
    of (mode label, best seconds). *)
@@ -214,6 +267,10 @@ let run ?(smoke = false) () =
   and p2 = total par "parallel_2"
   and p4 = total par "parallel_4" in
 
+  (* -- fold_parallel: grouped aggregation across domains -- *)
+  let fp_n, fp_times, fp_chunks = bench_fold_parallel ~reps ~smoke in
+  let fp jobs = List.assoc jobs fp_times in
+
   let tile_w = Codegen.(effective_tile_width default_options) in
   if not smoke then
     Envelope.write ~suite:"exec" ~reps
@@ -260,16 +317,31 @@ let run ?(smoke = false) () =
         Printf.fprintf oc
           "    ],\n\
           \    \"totals\": { \"closure_raw_s\": %.6f }\n\
+          \  },\n\
+          \  \"fold_parallel\": {\n\
+          \    \"n\": %d,\n\
+          \    \"group_fold_1_s\": %.6f, \"group_fold_2_s\": %.6f, \
+           \"group_fold_4_s\": %.6f,\n\
+          \    \"speedup_2_vs_1\": %.2f, \"speedup_4_vs_1\": %.2f,\n\
+          \    \"parallel_chunks\": %d\n\
           \  }\n\
           \  }"
-          micro_total);
+          micro_total fp_n (fp 1) (fp 2) (fp 4)
+          (ratio (fp 1) (fp 2))
+          (ratio (fp 1) (fp 4))
+          fp_chunks);
   Printf.printf
     "exec%s: sweep sf %g — tree-walk %.3fs, closures %.3fs (instrumented) / \
      %.3fs (raw, %.1fx); parallel sf %g on %d core(s) — 1 domain %.3fs, 2 \
      domains %.3fs (%.2fx), 4 domains %.3fs (%.2fx); micro n=%d raw total \
-     %.3fs%s\n"
+     %.3fs; group fold n=%d — 1 domain %.4fs, 2 domains %.4fs (%.2fx), 4 \
+     domains %.4fs (%.2fx), %d parallel chunks%s\n"
     (if smoke then " (smoke)" else "")
     sweep_sf tw ci cr (ratio tw cr) parallel_sf
     (Domain.recommended_domain_count ())
-    p1 p2 (ratio p1 p2) p4 (ratio p1 p4) micro_n micro_total
+    p1 p2 (ratio p1 p2) p4 (ratio p1 p4) micro_n micro_total fp_n (fp 1) (fp 2)
+    (ratio (fp 1) (fp 2))
+    (fp 4)
+    (ratio (fp 1) (fp 4))
+    fp_chunks
     (if smoke then "" else " -> BENCH_exec.json")

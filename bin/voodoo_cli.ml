@@ -150,14 +150,36 @@ let no_zone_maps_arg =
           "disable per-tile min/max summaries, so selections and folds scan \
            every tile instead of skipping all-empty / all-false ones")
 
+let fold_grain_arg =
+  Arg.(
+    value & opt int Voodoo_compiler.Codegen.default_options.fold_grain
+    & info [ "fold-grain" ] ~docv:"SLOTS"
+        ~doc:
+          "minimum elements per chunk when a grouped fold runs in parallel \
+           (the radix-partition grain, Section 5.3); below it per-chunk \
+           accumulator merges outweigh the split.  Never changes results \
+           (docs/PARALLELISM.md)")
+
+let no_partition_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-partition-fuse" ]
+        ~doc:
+          "disable Partition/Scatter fusion: materialize the radix scatter \
+           into group order instead of folding straight from the source \
+           through a virtual scatter")
+
 (* Codegen options for a subcommand: the defaults with the executor and
    the storage-engine tunables the flags selected. *)
-let mk_backend_opts ~exec ~tile_width ~no_zone_maps =
+let mk_backend_opts ~exec ~tile_width ~no_zone_maps ~fold_grain
+    ~no_partition_fuse =
   {
     Voodoo_compiler.Codegen.default_options with
     exec;
     tile_width;
     zone_maps = not no_zone_maps;
+    fold_grain;
+    partition_fuse = not no_partition_fuse;
   }
 
 (* Which executor a subcommand should use.  Raw closures carry no event
@@ -276,14 +298,17 @@ let dbgen_cmd =
 (* --- query --- *)
 
 let run_query name sf engine costs resilient fault fault_seed traced trace_out
-    jobs no_sim tree_walk tile_width no_zone_maps =
+    jobs no_sim tree_walk tile_width no_zone_maps fold_grain no_partition_fuse =
   let cat = catalog sf in
   let q = find_query sf name in
   let tr = mk_trace traced trace_out in
   let exec =
     pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
   in
-  let backend_opts = mk_backend_opts ~exec ~tile_width ~no_zone_maps in
+  let backend_opts =
+    mk_backend_opts ~exec ~tile_width ~no_zone_maps ~fold_grain
+      ~no_partition_fuse
+  in
   let kernels = ref [] in
   let reports = ref [] in
   let eval c p =
@@ -325,7 +350,7 @@ let query_cmd =
       const run_query $ query_arg $ sf_arg $ engine_arg $ costs_arg
       $ resilient_arg $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg
       $ jobs_arg $ no_sim_arg $ tree_walk_arg $ tile_width_arg
-      $ no_zone_maps_arg)
+      $ no_zone_maps_arg $ fold_grain_arg $ no_partition_fuse_arg)
 
 (* --- explain: plan, program, fragment DAG with estimates, then run --- *)
 
@@ -555,7 +580,7 @@ let tune_cmd =
 (* --- sql: ad-hoc SQL over the TPC-H catalog --- *)
 
 let run_sql text sf engine costs resilient fault fault_seed traced trace_out
-    jobs no_sim tree_walk tile_width no_zone_maps =
+    jobs no_sim tree_walk tile_width no_zone_maps fold_grain no_partition_fuse =
   let cat = catalog sf in
   let plan =
     try Sql.plan cat text
@@ -568,7 +593,10 @@ let run_sql text sf engine costs resilient fault fault_seed traced trace_out
   let exec =
     pick_exec ~tree_walk ~no_sim ~jobs ~need_events:(costs || tr <> None)
   in
-  let backend_opts = mk_backend_opts ~exec ~tile_width ~no_zone_maps in
+  let backend_opts =
+    mk_backend_opts ~exec ~tile_width ~no_zone_maps ~fold_grain
+      ~no_partition_fuse
+  in
   let kernels = ref [] in
   let report = ref None in
   let eval () =
@@ -612,7 +640,8 @@ let sql_cmd =
     Term.(
       const run_sql $ sql_arg $ sf_arg $ engine_arg $ costs_arg $ resilient_arg
       $ fault_arg $ fault_seed_arg $ trace_arg $ trace_out_arg $ jobs_arg
-      $ no_sim_arg $ tree_walk_arg $ tile_width_arg $ no_zone_maps_arg)
+      $ no_sim_arg $ tree_walk_arg $ tile_width_arg $ no_zone_maps_arg
+      $ fold_grain_arg $ no_partition_fuse_arg)
 
 (* --- serve / client: the query-service socket front door --- *)
 

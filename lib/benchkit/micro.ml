@@ -193,6 +193,31 @@ let fold_partition_sum ?trace ?grain ~store () : run =
   let p, total = fold_partition_program ?grain () in
   run_program ?trace store p total
 
+(* ---------- grouped aggregation (Figures 10/11, Section 5.3) ---------- *)
+
+(* Radix-style grouped aggregation, exactly the chain the relational layer
+   lowers a GROUP BY to: partition group ids against identity pivots,
+   scatter the rows into group order (virtualized by the backend), fold
+   each group run.  The per-group fold is the statement the parallel
+   grouped-fold path engages on; the trailing total collapses the k
+   aggregates into one checksum scalar. *)
+let group_fold_program ?(groups = 64) ?(agg = Op.Sum) () =
+  let b = B.create () in
+  let rows = B.load b "rows" in
+  let data =
+    B.zip b ~out1:[ "g" ] ~out2:[ "v" ] (rows, [ "g" ]) (rows, [ "v" ])
+  in
+  let pivots = B.range b ~out:[ "p" ] (Lit groups) in
+  let pos = B.partition b (data, [ "g" ]) (pivots, []) in
+  let scattered = B.scatter b ~shape:data data (pos, []) in
+  let per_group = B.fold_agg b agg ~fold:[ "g" ] (scattered, [ "v" ]) in
+  let total = B.fold_sum b ~name:"total" (per_group, []) in
+  (B.finish b, total)
+
+let group_fold ?trace ?groups ?agg ~store () : run =
+  let p, total = group_fold_program ?groups ?agg () in
+  run_program ?trace store p total
+
 (* ---------- branch-free FK joins (Figure 16) ---------- *)
 
 let fkjoin_common b =
@@ -262,6 +287,17 @@ let selection_store values =
 
 let fold_store values =
   Store.of_list [ ("values", Svector.single [ "v" ] (Column.of_int_array values)) ]
+
+let group_store ~gids ~values =
+  Store.of_list
+    [
+      ( "rows",
+        Svector.of_columns
+          [
+            ([ "g" ], Column.of_int_array gids);
+            ([ "v" ], Column.of_float_array values);
+          ] );
+    ]
 
 let layout_store ~positions ~c1 ~c2 =
   Store.of_list

@@ -46,6 +46,13 @@ val fkjoin_predicated_lookup :
 val fold_partition_sum :
   ?trace:Trace.t -> ?grain:int -> store:Store.t -> unit -> run
 
+(** Grouped aggregation (Figures 10/11): partition → scatter → per-group
+    fold, exactly the relational GROUP BY chain, over [groups] partitions
+    (default 64).  The scalar result is the sum over the per-group
+    aggregates. *)
+val group_fold :
+  ?trace:Trace.t -> ?groups:int -> ?agg:Op.agg -> store:Store.t -> unit -> run
+
 (** {2 Program builders}
 
     The same variants as (program, total-statement id) pairs, for
@@ -60,6 +67,7 @@ val layout_single_loop_program : unit -> Program.t * Op.id
 val layout_separate_loops_program : unit -> Program.t * Op.id
 val layout_transform_program : unit -> Program.t * Op.id
 val fold_partition_program : ?grain:int -> unit -> Program.t * Op.id
+val group_fold_program : ?groups:int -> ?agg:Op.agg -> unit -> Program.t * Op.id
 val fkjoin_branching_program : cut:float -> unit -> Program.t * Op.id
 val fkjoin_predicated_agg_program : cut:float -> unit -> Program.t * Op.id
 val fkjoin_predicated_lookup_program : cut:float -> unit -> Program.t * Op.id
@@ -71,6 +79,10 @@ val selection_store : float array -> Store.t
 (** Single integer column named ["values"] for the fold-partitioning
     family. *)
 val fold_store : int array -> Store.t
+
+(** Rows vector ["rows"]: int group ids ["g"] in [0, groups) and float
+    values ["v"], for the grouped-aggregation family. *)
+val group_store : gids:int array -> values:float array -> Store.t
 
 val layout_store :
   positions:int array -> c1:float array -> c2:float array -> Store.t

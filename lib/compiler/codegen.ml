@@ -41,6 +41,14 @@ type options = {
           multiple of 64, minimum 64); also the zone-map granularity *)
   zone_maps : bool;
       (** maintain and consult per-tile min/max summaries to skip tiles *)
+  fold_grain : int;
+      (** radix-partition grain: minimum elements a parallel fold chunk
+          owns before per-chunk partial accumulators pay for their merge
+          (paper §5.3's partition-size tunable) *)
+  partition_fuse : bool;
+      (** fuse [Partition]→[Scatter]→[FoldAgg] chains into direct grouped
+          aggregation (Figures 10/11); off = materialize the scattered
+          vector and fold over its runs (§5.3's fusion tunable) *)
 }
 
 let default_options =
@@ -51,12 +59,17 @@ let default_options =
     exec = Closure { instrument = true; jobs = 1 };
     tile_width = 1024;
     zone_maps = true;
+    fold_grain = 16384;
+    partition_fuse = true;
   }
 
 (** The tile width actually used: [tile_width] clamped to a multiple of
     64 no smaller than 64, so tiles cover whole validity-mask bytes (and
     whole 64-slot mask words). *)
 let effective_tile_width o = max 64 (o.tile_width / 64 * 64)
+
+(** The parallel-fold grain actually used: at least one element. *)
+let effective_fold_grain o = max 1 o.fold_grain
 
 (* compilation decisions are logged under this source (enable with
    [Logs.Src.set_level src (Some Debug)] or the CLI's [--verbose]) *)
@@ -238,7 +251,7 @@ let pivots_are_identity b (pivots : Op.src) =
   | _ -> false
 
 let detect_grouped_fold b (s : Program.stmt) =
-  if not b.opts.virtual_scatter then None
+  if not (b.opts.virtual_scatter && b.opts.partition_fuse) then None
   else
     match s.op with
     | Scatter { data; positions; _ } -> (

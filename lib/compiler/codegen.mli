@@ -46,15 +46,29 @@ type options = {
   zone_maps : bool;
       (** maintain and consult per-tile min/max summaries so selections
           and folds can skip all-empty / all-false / all-true tiles *)
+  fold_grain : int;
+      (** radix-partition grain (paper §5.3): minimum elements a parallel
+          grouped-fold chunk owns before its private partial accumulators
+          pay for the chunk-order merge.  Never changes results — only
+          how many chunks a fold fragment splits into. *)
+  partition_fuse : bool;
+      (** fuse [Partition]→[Scatter]→[FoldAgg] chains into direct grouped
+          aggregation (Figures 10–11); off = materialize the scattered
+          vector and fold over its runs (§5.3's fusion tunable).  Result
+          rows are identical either way. *)
 }
 
 (** Fuse + virtualize + suppress, executed by instrumented closures on a
-    single domain; 1024-slot tiles with zone maps on. *)
+    single domain; 1024-slot tiles with zone maps on, 16384-element fold
+    grain, Partition/Scatter fusion on. *)
 val default_options : options
 
 (** [tile_width] clamped to a multiple of 64, minimum 64 — the width the
     executor actually tiles (and builds zone maps) at. *)
 val effective_tile_width : options -> int
+
+(** [fold_grain] clamped to at least one element. *)
+val effective_fold_grain : options -> int
 
 (** [build ?options ~vector_length p] compiles an (already optimized)
     program; [vector_length name] gives the length of persistent vector

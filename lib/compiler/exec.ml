@@ -395,7 +395,18 @@ let run ?trace ?(options = Codegen.default_options)
                   (fun cs -> record_deferred st ev ~pos:st.pos_stats cs)
                   body
             | Codegen.Closure _ ->
-                Exec_par.exec_fragment ?chk st ev f body ~instrument ~jobs);
+                let pi =
+                  Exec_par.exec_fragment ?chk st ev f body ~instrument ~jobs
+                in
+                if pi.Exec_par.pi_fold_fused > 0 then begin
+                  Exec_stats.record_fold ~fused:pi.Exec_par.pi_fold_fused
+                    ~chunks:pi.Exec_par.pi_fold_chunks;
+                  Trace.count trace "fold.fused"
+                    (float_of_int pi.Exec_par.pi_fold_fused);
+                  if pi.Exec_par.pi_fold_chunks > 1 then
+                    Trace.count trace "fold.parallel_chunks"
+                      (float_of_int pi.Exec_par.pi_fold_chunks)
+                end);
             (match Fault.corrupt_kernel_now () with
             | Some seed -> corrupt_fragment st ~seed body
             | None -> ());

@@ -92,6 +92,35 @@ type fstate = {
   mutable fs_cur : int;  (** select write cursor *)
 }
 
+(** Per-chunk partial accumulators of one grouped fold (raw mode):
+    [k] slots, one per partition.  Freshly created arrays are the merge
+    identity (zero counts, nothing seen), so every chunk can build its
+    own lazily and partials combine in chunk order without special
+    cases. *)
+type gacc = {
+  ga_counts : int array;  (** slots routed to the group (any validity) *)
+  ga_i : int array;  (** int sums / extrema / valid-value counts *)
+  ga_f : float array;  (** float sums / extrema *)
+  ga_seen : Bytes.t;  (** ['\001'] once a valid value has accumulated *)
+  ga_s : Scalar.t option array;  (** generic fallback accumulators *)
+}
+
+let make_gacc k =
+  {
+    ga_counts = Array.make k 0;
+    ga_i = Array.make k 0;
+    ga_f = Array.make k 0.0;
+    ga_seen = Bytes.make k '\000';
+    ga_s = Array.make k None;
+  }
+
+let reset_gacc g =
+  Array.fill g.ga_counts 0 (Array.length g.ga_counts) 0;
+  Array.fill g.ga_i 0 (Array.length g.ga_i) 0;
+  Array.fill g.ga_f 0 (Array.length g.ga_f) 0.0;
+  Bytes.fill g.ga_seen 0 (Bytes.length g.ga_seen) '\000';
+  Array.fill g.ga_s 0 (Array.length g.ga_s) None
+
 (** Per-chunk summary of the {e latest} tile a predicate kernel wrote:
     producing and consuming statements of one tile group run back-to-back
     over the same range, so a selection only ever needs the most recent
@@ -121,6 +150,9 @@ type ctx = {
       (** streaming fold state, per fold statement *)
   zn : (Op.id, zlast) Hashtbl.t;
       (** latest predicate tile summary, per producing statement *)
+  gac : (Op.id, gacc) Hashtbl.t;
+      (** grouped-fold partial accumulators, per FoldAgg statement (raw
+          mode only; instrumented grouped folds share [st.group_acc]) *)
   chk : (unit -> unit) option;
       (** cooperative deadline/cancellation check, called between work
           items; raises {!Voodoo_core.Budget.Exceeded} to stop the chunk *)
@@ -134,6 +166,7 @@ let make_ctx ?chk ~ev () =
     regions = Hashtbl.create 2;
     fst = Hashtbl.create 4;
     zn = Hashtbl.create 4;
+    gac = Hashtbl.create 2;
     chk;
   }
 
@@ -145,6 +178,13 @@ let fstate_in (ctx : ctx) id =
     let fs = { fs_i = 0; fs_f = 0.0; fs_seen = false; fs_s = None; fs_cur = 0 } in
     Hashtbl.replace ctx.fst id fs;
     fs
+
+let gacc_in (ctx : ctx) id k =
+  try Hashtbl.find ctx.gac id
+  with Not_found ->
+    let g = make_gacc k in
+    Hashtbl.replace ctx.gac id g;
+    g
 
 let zlast_in (ctx : ctx) id =
   try Hashtbl.find ctx.zn id
@@ -1134,15 +1174,6 @@ let zverdict (zv : zview) (ctx : ctx) n lo hi =
         then Zdense
         else Zscan
 
-(* Like [zverdict] but only answering "does this range hold no valid
-   slot at all?" — the sound tile-skip for any aggregate. *)
-let zempty (zv : zview) n lo hi =
-  match zv with
-  | Zcol z ->
-      let ti = lo / z.zw in
-      hi <= min n ((ti + 1) * z.zw) && z.zcount.(ti) = 0
-  | Znone | Zctx _ -> false
-
 (* ---------- streaming fold kernels ---------- *)
 
 (* Accumulation for one fold statement, split into [reset] (at run
@@ -1162,6 +1193,23 @@ let reset_all (fs : fstate) =
   fs.fs_f <- 0.0;
   fs.fs_seen <- false;
   fs.fs_s <- None
+
+(* Drive [body i] over every valid slot of [lo, hi) under mask [b],
+   skipping eight slots at a time wherever a whole mask byte is zero —
+   ε-suppressed fold outputs are mostly such bytes, so this replaces the
+   zone-map consultation (and its O(n) build) for aggregate inputs.  The
+   valid slots are visited in the same order as a plain loop, so any
+   accumulation over them is bit-identical. *)
+let[@inline] masked_iter b lo hi body =
+  let i = ref lo in
+  while !i < hi do
+    if !i land 7 = 0 && !i + 8 <= hi && Bitset.unsafe_byte b (!i lsr 3) = 0
+    then i := !i + 8
+    else begin
+      if Bitset.unsafe_get b !i then body !i;
+      incr i
+    end
+  done
 
 let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
     fold_stream =
@@ -1203,9 +1251,7 @@ let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
       mk
         (fun fs lo hi ->
           let s = ref fs.fs_i in
-          for i = lo to hi - 1 do
-            if Bitset.unsafe_get b i then s := !s + A.unsafe_get a i
-          done;
+          masked_iter b lo hi (fun i -> s := !s + A.unsafe_get a i);
           fs.fs_i <- !s)
         (fun fs rlo ->
           A.unsafe_set oa rlo fs.fs_i;
@@ -1233,14 +1279,12 @@ let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
       mk
         (fun fs lo hi ->
           let s = ref fs.fs_f and seen = ref fs.fs_seen in
-          for i = lo to hi - 1 do
-            if Bitset.unsafe_get b i then
+          masked_iter b lo hi (fun i ->
               if !seen then s := !s +. A.unsafe_get a i
               else begin
                 s := A.unsafe_get a i;
                 seen := true
-              end
-          done;
+              end);
           fs.fs_f <- !s;
           fs.fs_seen <- !seen)
         (fun fs rlo ->
@@ -1248,22 +1292,35 @@ let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
           Bitset.set ob rlo true)
   | (Max | Min), Column.I a, bo, Column.I oa, Some ob ->
       let better = match agg with Max -> ( > ) | _ -> ( < ) in
-      let guard = match bo with None -> fun _ -> true | Some b -> Bitset.unsafe_get b in
-      mk
-        (fun fs lo hi ->
-          let m = ref fs.fs_i and seen = ref fs.fs_seen in
-          for i = lo to hi - 1 do
-            if guard i then begin
-              let x = A.unsafe_get a i in
-              if !seen then (if better x !m then m := x)
-              else begin
-                m := x;
-                seen := true
-              end
-            end
-          done;
-          fs.fs_i <- !m;
-          fs.fs_seen <- !seen)
+      let accum =
+        match bo with
+        | None ->
+            fun fs lo hi ->
+              let m = ref fs.fs_i and seen = ref fs.fs_seen in
+              for i = lo to hi - 1 do
+                let x = A.unsafe_get a i in
+                if !seen then (if better x !m then m := x)
+                else begin
+                  m := x;
+                  seen := true
+                end
+              done;
+              fs.fs_i <- !m;
+              fs.fs_seen <- !seen
+        | Some b ->
+            fun fs lo hi ->
+              let m = ref fs.fs_i and seen = ref fs.fs_seen in
+              masked_iter b lo hi (fun i ->
+                  let x = A.unsafe_get a i in
+                  if !seen then (if better x !m then m := x)
+                  else begin
+                    m := x;
+                    seen := true
+                  end);
+              fs.fs_i <- !m;
+              fs.fs_seen <- !seen
+      in
+      mk accum
         (fun fs rlo ->
           if fs.fs_seen then begin
             A.unsafe_set oa rlo fs.fs_i;
@@ -1275,22 +1332,35 @@ let fold_stream_kernel (agg : Op.agg) (col : Column.t) (out : Column.t) :
         | Max -> fun x m -> Float.compare x m > 0
         | _ -> fun x m -> Float.compare x m < 0
       in
-      let guard = match bo with None -> fun _ -> true | Some b -> Bitset.unsafe_get b in
-      mk
-        (fun fs lo hi ->
-          let m = ref fs.fs_f and seen = ref fs.fs_seen in
-          for i = lo to hi - 1 do
-            if guard i then begin
-              let x = A.unsafe_get a i in
-              if !seen then (if better x !m then m := x)
-              else begin
-                m := x;
-                seen := true
-              end
-            end
-          done;
-          fs.fs_f <- !m;
-          fs.fs_seen <- !seen)
+      let accum =
+        match bo with
+        | None ->
+            fun fs lo hi ->
+              let m = ref fs.fs_f and seen = ref fs.fs_seen in
+              for i = lo to hi - 1 do
+                let x = A.unsafe_get a i in
+                if !seen then (if better x !m then m := x)
+                else begin
+                  m := x;
+                  seen := true
+                end
+              done;
+              fs.fs_f <- !m;
+              fs.fs_seen <- !seen
+        | Some b ->
+            fun fs lo hi ->
+              let m = ref fs.fs_f and seen = ref fs.fs_seen in
+              masked_iter b lo hi (fun i ->
+                  let x = A.unsafe_get a i in
+                  if !seen then (if better x !m then m := x)
+                  else begin
+                    m := x;
+                    seen := true
+                  end);
+              fs.fs_f <- !m;
+              fs.fs_seen <- !seen
+      in
+      mk accum
         (fun fs rlo ->
           if fs.fs_seen then begin
             A.unsafe_set oa rlo fs.fs_f;
@@ -1349,13 +1419,39 @@ type stmt_exec = {
           group *)
 }
 
+(** Deferred epilogue of one raw-mode grouped fold.  The per-chunk
+    closures only stream slots into their chunk's private {!gacc}; the
+    driver combines partials {e in chunk order} and lays the results out
+    after every chunk has finished:
+
+    - [gx_merge into other] folds [other]'s partials into [into]'s —
+      exact for counts, int sums and extrema (first-winner ties), so the
+      combine tree reproduces the sequential fold bit-for-bit;
+    - [gx_refold] (float/generic sums only) discards the merged value
+      accumulators and re-folds sequentially over the fully materialized
+      source in position order — the in-process analog of
+      [Voodoo_distrib.Merge]'s positional exchange, buying ulp-identical
+      rounding at the cost of one extra scan when chunked;
+    - [gx_finalize] writes each group's aggregate at its partition's
+      start slot and records the suppression count, exactly as the
+      instrumented path's finish does. *)
+type grouped_exec = {
+  gx_id : Op.id;
+  gx_merge : into:ctx -> ctx -> unit;
+  gx_refold : (ctx -> unit) option;
+  gx_finalize : ctx -> unit;
+}
+
 type compiled = {
   cp_run : ctx -> w_lo:int -> w_hi:int -> unit;
       (** execute work items [w_lo, w_hi) *)
   cp_scatters : scatter_info list;
+  cp_grouped : grouped_exec list;
+      (** raw-mode grouped folds awaiting their deferred epilogue, in
+          statement order *)
   cp_single_chunk : bool;
-      (** shares accumulators across ranges (grouped folds): must not be
-          chunked *)
+      (** shares accumulators across ranges (instrumented grouped folds):
+          must not be chunked *)
 }
 
 let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
@@ -1363,6 +1459,9 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
   let opts = st.opts in
   let tile_w = Codegen.effective_tile_width opts in
   let body_ids = List.map (fun (cs : compiled_stmt) -> cs.stmt.id) body in
+  (* raw-mode grouped folds compiled in this fragment, in statement order
+     (reversed here); the driver runs their deferred epilogues *)
+  let grouped = ref ([] : grouped_exec list) in
   (* Zone view of a fold/selection input column: a same-fragment
      predicate producer publishes per-tile summaries in [ctx.zn]; a
      column complete before this fragment (earlier fragment or the
@@ -1781,10 +1880,11 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
           }
     | FoldAgg { agg; fold; input; _ } -> (
         match cs.grouped_fold with
-        | Some g ->
+        | Some g when instrument ->
             (* virtual scatter: accumulate straight off the source into
                shared per-fragment accumulators — inherently sequential
-               across ranges (single chunk) *)
+               across ranges (single chunk), keeping the event stream
+               bit-identical to the tree walk *)
             let _, gcol = src_column env { Op.v = g.source; kp = g.group_src.kp } in
             let _, vcol = src_column env { Op.v = g.source; kp = g.value_src.kp } in
             let accs, counts = Hashtbl.find st.group_acc s.id in
@@ -1835,7 +1935,7 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                 Option.value (Hashtbl.find_opt st.suppressed s.id) ~default:0
               in
               Hashtbl.replace ctx.sup s.id (k - base);
-              if instrument then wr ctx k
+              wr ctx k
             in
             Some
               {
@@ -1844,18 +1944,269 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                     let n_range = hi - lo in
                     let hi = min hi gn in
                     accumulate lo hi;
-                    if instrument then begin
-                      Events.alu ctx.ev vdt (2 * n_range);
-                      chg ctx lo n_range;
-                      chv ctx lo n_range;
-                      Events.mem ctx.ev ~site:acc_site
-                        ~pattern:(Cache.Random acc_bytes) ~elem_bytes:width
-                        n_range
-                    end;
+                    Events.alu ctx.ev vdt (2 * n_range);
+                    chg ctx lo n_range;
+                    chv ctx lo n_range;
+                    Events.mem ctx.ev ~site:acc_site
+                      ~pattern:(Cache.Random acc_bytes) ~elem_bytes:width
+                      n_range;
                     if hi >= gn then finish ctx);
                 xc_ranged = true;
                 xc_tile = Truns;
                 xc_barrier = true;
+              }
+        | Some g ->
+            (* raw mode: a streaming tile consumer.  Each chunk folds its
+               slots into private partial accumulators ({!gacc}); the
+               chunk-order merge, the optional positional re-fold and the
+               layout of the results happen in the driver's deferred
+               epilogue ({!grouped_exec}), after every chunk finished.
+               Classified [Tfree]/no-barrier so the fold joins its
+               producers' tile group and the zip intermediate is consumed
+               tile-at-a-time instead of materializing across a seam. *)
+            let _, gcol = src_column env { Op.v = g.source; kp = g.group_src.kp } in
+            let _, vcol = src_column env { Op.v = g.source; kp = g.value_src.kp } in
+            let accs0, _ = Hashtbl.find st.group_acc s.id in
+            let k = Array.length accs0 in
+            let gn = Column.length gcol in
+            let gv = dvalid gcol and gr = praw gcol in
+            let vv = dvalid vcol in
+            let out = leaf_column (lookup env s.id) [] in
+            let dt = Column.dtype out in
+            (* Accumulation kind: monomorphic loops for the physical
+               dtype combinations the tree walk produces directly, a
+               scalar fallback otherwise.  [`Refold] kinds (rounding
+               depends on accumulation order) re-fold positionally when
+               chunked; the rest merge exactly. *)
+            let accumulate : ctx -> int -> int -> unit =
+              let route body ctx lo hi =
+                let ga = gacc_in ctx s.id k in
+                let hi = min hi gn in
+                if hi > lo then body ga lo hi
+              in
+              match agg, vcol.Column.data, out.Column.data with
+              | Count, _, Column.I _ ->
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts and vals = ga.ga_i in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          if vv i then vals.(gi) <- vals.(gi) + 1
+                        end
+                      done)
+              | Sum, Column.I a, Column.I _ ->
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts and vals = ga.ga_i in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          if vv i then vals.(gi) <- vals.(gi) + A.unsafe_get a i
+                        end
+                      done)
+              | Sum, Column.F a, Column.F _ ->
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts
+                      and vals = ga.ga_f
+                      and seen = ga.ga_seen in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          if vv i then
+                            if Bytes.unsafe_get seen gi = '\001' then
+                              vals.(gi) <- vals.(gi) +. A.unsafe_get a i
+                            else begin
+                              vals.(gi) <- A.unsafe_get a i;
+                              Bytes.unsafe_set seen gi '\001'
+                            end
+                        end
+                      done)
+              | (Max | Min), Column.I a, Column.I _ ->
+                  let better = match agg with Max -> ( > ) | _ -> ( < ) in
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts
+                      and vals = ga.ga_i
+                      and seen = ga.ga_seen in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          if vv i then begin
+                            let x = A.unsafe_get a i in
+                            if Bytes.unsafe_get seen gi = '\001' then begin
+                              if better x vals.(gi) then vals.(gi) <- x
+                            end
+                            else begin
+                              vals.(gi) <- x;
+                              Bytes.unsafe_set seen gi '\001'
+                            end
+                          end
+                        end
+                      done)
+              | (Max | Min), Column.F a, Column.F _ ->
+                  let better =
+                    match agg with
+                    | Max -> fun x m -> Float.compare x m > 0
+                    | _ -> fun x m -> Float.compare x m < 0
+                  in
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts
+                      and vals = ga.ga_f
+                      and seen = ga.ga_seen in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          if vv i then begin
+                            let x = A.unsafe_get a i in
+                            if Bytes.unsafe_get seen gi = '\001' then begin
+                              if better x vals.(gi) then vals.(gi) <- x
+                            end
+                            else begin
+                              vals.(gi) <- x;
+                              Bytes.unsafe_set seen gi '\001'
+                            end
+                          end
+                        end
+                      done)
+              | _ ->
+                  route (fun ga lo hi ->
+                      let counts = ga.ga_counts and accs = ga.ga_s in
+                      for i = lo to hi - 1 do
+                        let gi = if gv i then gr i else k - 1 in
+                        if gi >= 0 && gi < k then begin
+                          counts.(gi) <- counts.(gi) + 1;
+                          match Column.get vcol i with
+                          | Some v ->
+                              accs.(gi) <-
+                                Some
+                                  (match accs.(gi), agg with
+                                  | None, Count -> Scalar.I 1
+                                  | None, _ -> v
+                                  | Some cur, Sum -> Scalar.add cur v
+                                  | Some cur, Max -> Scalar.max_s cur v
+                                  | Some cur, Min -> Scalar.min_s cur v
+                                  | Some cur, Count ->
+                                      Scalar.add cur (Scalar.I 1))
+                          | None -> ()
+                        end
+                      done)
+            in
+            let monomorphic =
+              match agg, vcol.Column.data, out.Column.data with
+              | Count, _, Column.I _
+              | (Sum | Max | Min), Column.I _, Column.I _
+              | (Sum | Max | Min), Column.F _, Column.F _ ->
+                  true
+              | _ -> false
+            in
+            (* Rounding of a chunked float/generic Sum depends on the
+               accumulation order; everything else combines exactly. *)
+            let needs_refold = agg = Op.Sum && dt = Scalar.Float in
+            let merge ~(into : ctx) (other : ctx) =
+              match Hashtbl.find_opt other.gac s.id with
+              | None -> ()
+              | Some go ->
+                  let gm = gacc_in into s.id k in
+                  for gi = 0 to k - 1 do
+                    gm.ga_counts.(gi) <- gm.ga_counts.(gi) + go.ga_counts.(gi);
+                    if not needs_refold then
+                      if monomorphic then begin
+                        match agg with
+                        | Count | Sum -> gm.ga_i.(gi) <- gm.ga_i.(gi) + go.ga_i.(gi)
+                        | Max | Min ->
+                            if Bytes.get go.ga_seen gi = '\001' then
+                              if Bytes.get gm.ga_seen gi = '\001' then begin
+                                (* later chunk wins only strictly: ties keep
+                                   the earlier value, as sequential does *)
+                                let take =
+                                  match dt, agg with
+                                  | Scalar.Int, Op.Max ->
+                                      go.ga_i.(gi) > gm.ga_i.(gi)
+                                  | Scalar.Int, _ -> go.ga_i.(gi) < gm.ga_i.(gi)
+                                  | Scalar.Float, Op.Max ->
+                                      Float.compare go.ga_f.(gi) gm.ga_f.(gi) > 0
+                                  | Scalar.Float, _ ->
+                                      Float.compare go.ga_f.(gi) gm.ga_f.(gi) < 0
+                                in
+                                if take then begin
+                                  gm.ga_i.(gi) <- go.ga_i.(gi);
+                                  gm.ga_f.(gi) <- go.ga_f.(gi)
+                                end
+                              end
+                              else begin
+                                gm.ga_i.(gi) <- go.ga_i.(gi);
+                                gm.ga_f.(gi) <- go.ga_f.(gi);
+                                Bytes.set gm.ga_seen gi '\001'
+                              end
+                      end
+                      else
+                        gm.ga_s.(gi) <-
+                          (match gm.ga_s.(gi), go.ga_s.(gi) with
+                          | None, x | x, None -> x
+                          | Some a, Some b -> (
+                              match agg with
+                              | Op.Max -> Some (Scalar.max_s a b)
+                              | Op.Min -> Some (Scalar.min_s a b)
+                              | Op.Sum | Op.Count -> Some (Scalar.add a b)))
+                  done
+            in
+            let refold =
+              if needs_refold || (agg = Op.Sum && not monomorphic) then
+                Some
+                  (fun ctx ->
+                    reset_gacc (gacc_in ctx s.id k);
+                    accumulate ctx 0 gn)
+              else None
+            in
+            let finalize (ctx : ctx) =
+              let ga = gacc_in ctx s.id k in
+              let pos = ref 0 in
+              for gi = 0 to k - 1 do
+                let c = ga.ga_counts.(gi) in
+                (if monomorphic then begin
+                   match agg with
+                   | Count | Sum ->
+                       if c > 0 then
+                         Column.set out !pos
+                           (match dt with
+                           | Scalar.Int -> Scalar.I ga.ga_i.(gi)
+                           | Scalar.Float ->
+                               if Bytes.get ga.ga_seen gi = '\001' then
+                                 Scalar.F ga.ga_f.(gi)
+                               else Scalar.zero dt)
+                   | Max | Min ->
+                       if Bytes.get ga.ga_seen gi = '\001' then
+                         Column.set out !pos
+                           (match dt with
+                           | Scalar.Int -> Scalar.I ga.ga_i.(gi)
+                           | Scalar.Float -> Scalar.F ga.ga_f.(gi))
+                 end
+                 else
+                   match ga.ga_s.(gi), agg with
+                   | Some v, _ -> Column.set out !pos v
+                   | None, (Sum | Count) ->
+                       if c > 0 then Column.set out !pos (Scalar.zero dt)
+                   | None, (Max | Min) -> ());
+                pos := !pos + c
+              done;
+              let base =
+                Option.value (Hashtbl.find_opt st.suppressed s.id) ~default:0
+              in
+              Hashtbl.replace ctx.sup s.id (k - base)
+            in
+            grouped :=
+              { gx_id = s.id; gx_merge = merge; gx_refold = refold;
+                gx_finalize = finalize }
+              :: !grouped;
+            Some
+              {
+                xc_run = accumulate;
+                xc_ranged = false;
+                xc_tile = Tfree;
+                xc_barrier = false;
               }
         | None ->
             let vec, col = src_column env input in
@@ -1872,7 +2223,6 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             let chi = charge ~lo0_only:false input in
             let wr = write s.id in
             let suppressing = st.opts.Codegen.suppress_empty_slots in
-            let zv = if aligned then zview_of input col else Znone in
             let events_for ctx lo hi run_count =
               let n_range = hi - lo in
               if fold_col <> None then Events.alu ctx.ev Int n_range;
@@ -1883,7 +2233,10 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             if aligned then
               (* streaming: a run is one work item ([intent] elements);
                  tiles of the run arrive in order, reset at the run's
-                 first element, finalize when the range reaches its end *)
+                 first element, finalize when the range reaches its end.
+                 No zone map here: the masked kernels already skip
+                 empty mask bytes ({!masked_iter}), without the O(n)
+                 zone build an intermediate input would pay per run *)
               Some
                 {
                   xc_run =
@@ -1891,8 +2244,7 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
                       let fs = fstate_in ctx s.id in
                       let rlo = lo - (lo mod intent) in
                       if lo = rlo then stream.st_reset fs;
-                      if not (zempty zv n_vec lo hi) then
-                        stream.st_accum fs lo hi;
+                      stream.st_accum fs lo hi;
                       let rhi = min domain (rlo + intent) in
                       if hi >= rhi then stream.st_finish fs ctx rlo;
                       if instrument then events_for ctx lo hi 1;
@@ -2253,8 +2605,12 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             }
   in
   let execs = List.filter_map compile_stmt body in
+  (* Only instrumented grouped folds still share accumulators across
+     ranges; raw grouped folds carry per-chunk partials and merge in the
+     driver, so they chunk like any other statement. *)
   let single_chunk =
-    List.exists (fun (cs : compiled_stmt) -> cs.grouped_fold <> None) body
+    instrument
+    && List.exists (fun (cs : compiled_stmt) -> cs.grouped_fold <> None) body
   in
   let ranged = List.exists (fun e -> e.xc_ranged) execs in
   (* Tile groups for the raw driver: statements interleave tile-at-a-time
@@ -2349,4 +2705,9 @@ let compile st (f : frag) (body : compiled_stmt list) ~instrument : compiled =
             if hi > lo || lo = 0 then run_tiled ctx lo hi
           done
   in
-  { cp_run = run; cp_scatters = List.rev !scatters; cp_single_chunk = single_chunk }
+  {
+    cp_run = run;
+    cp_scatters = List.rev !scatters;
+    cp_grouped = List.rev !grouped;
+    cp_single_chunk = single_chunk;
+  }

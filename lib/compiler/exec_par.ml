@@ -20,11 +20,21 @@
       cross-chunk interaction is the monotonicity check at the seam);
     - suppression deltas are integers and simply sum.
 
-    Fragments whose body shares accumulators across ranges (grouped
-    folds) report [cp_single_chunk] and run sequentially; everything
-    else chunks.  An exception raised by any chunk is re-raised after
-    all chunks finish, picking the lowest chunk index — the same
-    exception sequential execution would have raised first. *)
+    - raw-mode grouped folds accumulate into chunk-private partials and
+      combine through their deferred epilogue ({!Exec_compile.grouped_exec}):
+      partials merge in chunk order (exact for counts, int sums and
+      extrema), float sums re-fold positionally over the materialized
+      source, and the result layout plus suppression accounting happen
+      once, after every chunk finished.  Their chunk boundaries are
+      additionally snapped to the {!Codegen.options.fold_grain} so
+      accumulator merges stay amortized.
+
+    Only fragments whose body shares accumulators across ranges
+    (instrumented grouped folds) report [cp_single_chunk] and run
+    sequentially; everything else chunks.  An exception raised by any
+    chunk is re-raised after all chunks finish, picking the lowest chunk
+    index — the same exception sequential execution would have raised
+    first. *)
 
 open Voodoo_core
 open Voodoo_device
@@ -36,6 +46,32 @@ module C = Exec_compile
    cost more than the kernel work they would split.  Determinism is
    unaffected — a single chunk is the sequential path. *)
 let min_parallel_elements = 1 lsl 14
+
+(** How the new fold paths engaged for one fragment, for STATS counters
+    and trace attribution. *)
+type par_info = {
+  pi_fold_fused : int;
+      (** raw grouped folds streaming tile-at-a-time in this fragment *)
+  pi_fold_chunks : int;
+      (** chunks a grouped-fold fragment split into (0 when no grouped
+          fold ran, 1 when it ran sequentially) *)
+}
+
+let no_par_info = { pi_fold_fused = 0; pi_fold_chunks = 0 }
+
+(* Run the deferred grouped-fold epilogue: merge every later chunk's
+   partials into chunk 0's context in chunk order, re-fold positionally
+   where rounding demands it, then lay out results and suppression
+   deltas (into [ctx0.sup], picked up by the caller's sup merge). *)
+let grouped_epilogue (cp : C.compiled) (ctx0 : C.ctx) (rest : C.ctx list) =
+  List.iter
+    (fun (g : C.grouped_exec) ->
+      List.iter (fun ctx -> g.C.gx_merge ~into:ctx0 ctx) rest;
+      (match g.C.gx_refold with
+      | Some refold when rest <> [] -> refold ctx0
+      | _ -> ());
+      g.C.gx_finalize ctx0)
+    cp.C.cp_grouped
 
 (* Run one fragment's body (already prepared) under the given mode.
    [ev] is the fragment's event record; raw mode leaves it empty.
@@ -50,21 +86,38 @@ let exec_fragment ?chk st ev (f : frag) (body : compiled_stmt list) ~instrument
   (* chunk seams on execution-tile boundaries: zone summaries and tile
      kernels never straddle a seam, so tiled raw chunks merge exactly *)
   let align = Codegen.effective_tile_width st.Exec_state.opts in
+  let intent = max 1 f.intent in
+  (* grouped-fold fragments also snap chunk boundaries to the fold
+     grain: below that, per-chunk accumulator merges outweigh the split *)
+  let grain =
+    if cp.C.cp_grouped = [] then 1
+    else
+      (Codegen.effective_fold_grain st.Exec_state.opts + intent - 1) / intent
+  in
   let chunks =
     if jobs <= 1 || cp.C.cp_single_chunk || work < min_parallel_elements then
-      Chunk.split ~align ~extent:f.extent ~intent:(max 1 f.intent) ~jobs:1 ()
-    else Chunk.split ~align ~extent:f.extent ~intent:(max 1 f.intent) ~jobs ()
+      Chunk.split ~align ~extent:f.extent ~intent ~jobs:1 ()
+    else Chunk.split ~align ~grain ~extent:f.extent ~intent ~jobs ()
+  in
+  let info =
+    {
+      pi_fold_fused = List.length cp.C.cp_grouped;
+      pi_fold_chunks =
+        (if cp.C.cp_grouped = [] then 0 else List.length chunks);
+    }
   in
   match chunks with
-  | [] -> ()
+  | [] -> no_par_info
   | [ c ] ->
       (* sequential: record straight into the fragment's events *)
       let ctx = C.make_ctx ?chk ~ev () in
       cp.C.cp_run ctx ~w_lo:c.Chunk.w_lo ~w_hi:c.Chunk.w_hi;
+      grouped_epilogue cp ctx [];
       C.apply_sup st ctx.C.sup;
       if instrument then
         List.iter (fun cs -> Exec_state.record_deferred st ev ~pos:ctx.C.pos cs)
-          body
+          body;
+      info
   | chunks ->
       let pool = Domain_pool.shared ~workers:(max 1 (jobs - 1)) in
       let tagged =
@@ -102,6 +155,13 @@ let exec_fragment ?chk st ev (f : frag) (body : compiled_stmt list) ~instrument
        with
       | Some (Error e) -> raise e
       | _ -> ());
+      (* grouped-fold epilogue first: combine partials into chunk 0's
+         context (chunk order), so its suppression delta joins the sup
+         merge below *)
+      (match tagged with
+      | (_, ctx0) :: rest ->
+          grouped_epilogue cp ctx0 (List.map snd rest)
+      | [] -> ());
       (* merge chunk-local observations, in chunk order *)
       let master_pos = Hashtbl.create 8 in
       let sup_total = Hashtbl.create 4 in
@@ -129,4 +189,5 @@ let exec_fragment ?chk st ev (f : frag) (body : compiled_stmt list) ~instrument
       if instrument then
         List.iter
           (fun cs -> Exec_state.record_deferred st ev ~pos:master_pos cs)
-          body
+          body;
+      info

@@ -1,0 +1,17 @@
+(** Process-wide engagement counters for the parallel grouped-fold path
+    (see the interface). *)
+
+let fused = Atomic.make 0
+let parallel_chunks = Atomic.make 0
+
+let record_fold ~fused:f ~chunks =
+  if f > 0 then ignore (Atomic.fetch_and_add fused f);
+  (* a single chunk is the sequential path: only real splits count *)
+  if chunks > 1 then ignore (Atomic.fetch_and_add parallel_chunks chunks)
+
+let fold_fused () = Atomic.get fused
+let fold_parallel_chunks () = Atomic.get parallel_chunks
+
+let reset () =
+  Atomic.set fused 0;
+  Atomic.set parallel_chunks 0

@@ -1,0 +1,24 @@
+(** Process-wide engagement counters for the parallel grouped-fold path.
+
+    Raw-mode grouped folds stream tile-at-a-time inside their producers'
+    tile group and, when the fragment splits, accumulate into chunk-private
+    partials ({!Exec_compile.grouped_exec}).  These atomics count how often
+    each of those paths actually engaged, across every execution in the
+    process — the service surfaces them as [fold.fused] /
+    [fold.parallel_chunks] STATS lines, and tests assert engagement
+    through them.  Updated lock-free from {!Exec.run}; monotone between
+    {!reset}s. *)
+
+(** [record_fold ~fused ~chunks] accounts one fragment execution:
+    [fused] raw grouped folds ran in it, over [chunks] chunks.  A single
+    chunk is the sequential path and does not count as parallel. *)
+val record_fold : fused:int -> chunks:int -> unit
+
+(** Total raw grouped folds that streamed in fused tile groups. *)
+val fold_fused : unit -> int
+
+(** Total chunks executed by grouped-fold fragments that actually split
+    (2 chunks add 2, a sequential run adds 0). *)
+val fold_parallel_chunks : unit -> int
+
+val reset : unit -> unit

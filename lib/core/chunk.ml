@@ -17,13 +17,16 @@ let boundary_quantum ?(align = 8) ~intent () =
   let align = max 8 align in
   align / gcd (max 1 intent) align
 
-let split ?(align = 8) ~extent ~intent ~jobs () =
+let split ?(align = 8) ?(grain = 1) ~extent ~intent ~jobs () =
   if extent <= 0 then []
   else if jobs <= 1 then [ { index = 0; w_lo = 0; w_hi = extent } ]
   else begin
     let q = boundary_quantum ~align ~intent () in
-    (* target chunk size in work items, rounded up to the quantum *)
+    (* target chunk size in work items, rounded up to the quantum and to
+       any caller-imposed minimum chunk size (also quantum-rounded, so
+       boundaries stay aligned) *)
     let per = (extent + jobs - 1) / jobs in
+    let per = max per (max 1 grain) in
     let per = (per + q - 1) / q * q in
     let rec go index w_lo acc =
       if w_lo >= extent then List.rev acc
@@ -34,5 +37,5 @@ let split ?(align = 8) ~extent ~intent ~jobs () =
     go 0 0 []
   end
 
-let count ?align ~extent ~intent ~jobs () =
-  List.length (split ?align ~extent ~intent ~jobs ())
+let count ?align ?grain ~extent ~intent ~jobs () =
+  List.length (split ?align ?grain ~extent ~intent ~jobs ())

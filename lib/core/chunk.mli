@@ -31,10 +31,17 @@ val boundary_quantum : ?align:int -> intent:int -> unit -> int
 
 (** [split ~extent ~intent ~jobs ()] partitions [0..extent) into at most
     [jobs] contiguous chunks of whole work items (fewer when the extent
-    is small or the alignment quantum forces bigger chunks).  [jobs <= 1]
+    is small or the alignment quantum forces bigger chunks).  [grain]
+    (work items, default 1) imposes a minimum chunk size before quantum
+    rounding — parallel fold fragments use it to keep per-chunk
+    accumulator merges amortized over enough elements.  [jobs <= 1]
     yields a single chunk covering everything; [extent <= 0] yields no
     chunks. *)
-val split : ?align:int -> extent:int -> intent:int -> jobs:int -> unit -> t list
+val split :
+  ?align:int -> ?grain:int -> extent:int -> intent:int -> jobs:int -> unit ->
+  t list
 
 (** Number of chunks [split] would produce. *)
-val count : ?align:int -> extent:int -> intent:int -> jobs:int -> unit -> int
+val count :
+  ?align:int -> ?grain:int -> extent:int -> intent:int -> jobs:int -> unit ->
+  int

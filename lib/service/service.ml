@@ -603,6 +603,8 @@ type stats = {
   cancelled : int;
   fast_path : int;
   parallel : int;
+  fold_fused : int;
+  fold_parallel_chunks : int;
   tune_scheduled : int;
   tune_completed : int;
   tune_candidates : int;
@@ -637,6 +639,12 @@ let stats t =
             cancelled;
             fast_path;
             parallel;
+            (* process-wide atomics, not under the service lock: raw
+               grouped folds that streamed fused, and the chunks their
+               fragments actually split into *)
+            fold_fused = Voodoo_compiler.Exec_stats.fold_fused ();
+            fold_parallel_chunks =
+              Voodoo_compiler.Exec_stats.fold_parallel_chunks ();
             tune_scheduled;
             tune_completed;
             tune_candidates;
@@ -661,6 +669,8 @@ let stats_fields (s : stats) : (string * float) list =
     ("queries.cancelled", f s.cancelled);
     ("exec.fast_path", f s.fast_path);
     ("exec.parallel", f s.parallel);
+    ("fold.fused", f s.fold_fused);
+    ("fold.parallel_chunks", f s.fold_parallel_chunks);
     ("tune.scheduled", f s.tune_scheduled);
     ("tune.completed", f s.tune_completed);
     ("tune.candidates", f s.tune_candidates);

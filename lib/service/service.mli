@@ -185,6 +185,11 @@ type stats = {
   cancelled : int;  (** errors that were cooperative cancellations *)
   fast_path : int;  (** [Direct] executions that skipped device simulation *)
   parallel : int;  (** [Direct] executions chunked across >1 domain *)
+  fold_fused : int;
+      (** raw grouped folds that streamed inside their producers' tile
+          group (process-wide, {!Voodoo_compiler.Exec_stats}) *)
+  fold_parallel_chunks : int;
+      (** chunks executed by grouped-fold fragments that actually split *)
   tune_scheduled : int;  (** background searches submitted to the pool *)
   tune_completed : int;  (** background searches finished (win or not) *)
   tune_candidates : int;  (** rewrite candidates considered, total *)

@@ -25,9 +25,10 @@ let tune_prepared ?trace ?objective ?budget_ms ?max_rounds ?top_k ?seed
     if report.Search.best_rules = [] then p
     else
       let program = report.Search.best_program in
+      (* an option rule may have won a round: the tuned program is only
+         bit-identical under the options it was verified with *)
       let p_compiled =
-        Backend.compile ~options:p.Engine.p_compiled.Backend.options ~store
-          program
+        Backend.compile ~options:report.Search.best_options ~store program
       in
       {
         p with

@@ -4,7 +4,9 @@
     from a fixed set of vectors (group keys, group ids, aggregates); those
     are the roots the search must preserve bit-for-bit.  [tune_prepared]
     runs {!Search.run} over the prepared plan's Voodoo program and, when a
-    variant wins, recompiles it under the same codegen options into a new
+    variant wins, recompiles it under the winning codegen options
+    ({!Search.report.best_options} — option rules may have changed the
+    fold grain or Partition/Scatter fusion) into a new
     {!Voodoo_engine.Engine.prepared} that is a drop-in replacement — same
     source plan, same fetch protocol, different kernels. *)
 

@@ -782,3 +782,65 @@ let catalog ~store =
       layout_transform ~store;
       layout_direct;
     ]
+
+(* ---------- codegen-option rules (Section 5.3 execution tunables) ---------- *)
+
+module Codegen = Voodoo_compiler.Codegen
+
+type opt_rule = {
+  o_name : string;
+  o_descr : string;
+  o_apply : Codegen.options -> Program.t -> Codegen.options option;
+}
+
+(* Applicability anchor for both option rules: the program contains the
+   radix chain — a Scatter over Partition positions consumed by a
+   controlled FoldAgg.  Without that site neither the fold grain nor the
+   Partition/Scatter fusion setting can change the plan. *)
+let grouped_site p =
+  List.exists
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.Scatter { positions; _ } -> (
+          match Program.find p positions.Op.v with
+          | Some { op = Op.Partition _; _ } ->
+              List.exists
+                (fun (c : Program.stmt) ->
+                  match c.op with
+                  | Op.FoldAgg { fold = Some _; _ } ->
+                      List.mem s.id (Op.inputs c.op)
+                  | _ -> false)
+                (stmts p)
+          | _ -> false)
+      | _ -> false)
+    (stmts p)
+
+let fold_grain_ladder = [ 4096; 16384; 65536; 262144 ]
+
+let refold_grain n =
+  {
+    o_name = Printf.sprintf "fold-grain-%d" n;
+    o_descr =
+      Printf.sprintf
+        "snap grouped-fold chunk boundaries to a %d-element grain" n;
+    o_apply =
+      (fun opts p ->
+        if opts.Codegen.fold_grain <> n && grouped_site p then
+          Some { opts with Codegen.fold_grain = n }
+        else None);
+  }
+
+let toggle_partition_fuse =
+  {
+    o_name = "toggle-partition-fuse";
+    o_descr =
+      "flip Partition/Scatter fusion: virtual radix scatter vs materialized \
+       group order";
+    o_apply =
+      (fun opts p ->
+        if grouped_site p then
+          Some { opts with Codegen.partition_fuse = not opts.Codegen.partition_fuse }
+        else None);
+  }
+
+let opt_catalog = List.map refold_grain fold_grain_ladder @ [ toggle_partition_fuse ]

@@ -79,3 +79,38 @@ val layout_direct : t
     length checks rule out [Zip]/[Binary] broadcast sites, where fusing
     runs would not be value-preserving). *)
 val catalog : store:Store.t -> t list
+
+(** {2 Codegen-option rules}
+
+    Execution tunables searched alongside the program rewrites: instead
+    of transforming the program, these mutate the
+    {!Voodoo_compiler.Codegen.options} a candidate compiles under.  The
+    same exactness contract applies — the search re-verifies every
+    candidate's roots bit-for-bit, so an option whose engine path is not
+    bit-identical is rejected, never silently selected. *)
+
+type opt_rule = {
+  o_name : string;  (** stable identifier, e.g. ["fold-grain-65536"] *)
+  o_descr : string;
+  o_apply : Voodoo_compiler.Codegen.options -> Program.t ->
+    Voodoo_compiler.Codegen.options option;
+      (** [None] when the program has no site the option can affect, or
+          the option already holds the target value. *)
+}
+
+(** The {!refold_grain} ladder. *)
+val fold_grain_ladder : int list
+
+(** [refold_grain n] sets {!Voodoo_compiler.Codegen.options.fold_grain}
+    to [n] — the radix-partition grain of the parallel grouped-fold
+    path.  Applies only to programs with a Partition → Scatter →
+    controlled-FoldAgg chain. *)
+val refold_grain : int -> opt_rule
+
+(** Flip {!Voodoo_compiler.Codegen.options.partition_fuse}: virtual radix
+    scatter (accumulate straight from the source) vs a materialized
+    group-order pass.  Same applicability anchor as {!refold_grain}. *)
+val toggle_partition_fuse : opt_rule
+
+(** All option rules: the grain ladder plus the fusion toggle. *)
+val opt_catalog : opt_rule list

@@ -26,6 +26,7 @@ type report = {
   best_s : float;
   best_rules : string list;
   best_program : Program.t;
+  best_options : Codegen.options;
   candidates : candidate list;
   rounds : int;
   seed : int;
@@ -33,8 +34,12 @@ type report = {
 
 let speedup r = if r.best_s > 0.0 then r.baseline_s /. r.best_s else 1.0
 
-let digest p =
-  Digest.to_hex (Digest.string (Marshal.to_string (Program.stmts p) []))
+(* Candidate identity covers the codegen options too: an option rule
+   leaves the program untouched, so the program digest alone would
+   dedup it against the incumbent. *)
+let digest p (opts : Codegen.options) =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (Program.stmts p, opts) []))
 
 (* Seeded deterministic shuffle (multiplicative LCG sort keys): candidate
    order depends only on the seed, never on wall clock. *)
@@ -80,9 +85,12 @@ let execute ?budget objective (c : Backend.compiled) =
 
 let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
     ?(max_rounds = 4) ?(top_k = 3) ?(seed = 42) ?budget ?backend_opts ?rules
-    ?roots ~store program =
+    ?opt_rules ?roots ~store program =
   let opts = Option.value backend_opts ~default:Codegen.default_options in
   let rules = match rules with Some r -> r | None -> Rules.catalog ~store in
+  let opt_rules =
+    match opt_rules with Some r -> r | None -> Rules.opt_catalog
+  in
   let roots =
     match roots with Some r -> r | None -> Program.outputs program
   in
@@ -116,10 +124,11 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
           base_roots
       in
       let seen = Hashtbl.create 64 in
-      Hashtbl.replace seen (digest program) ();
+      Hashtbl.replace seen (digest program opts) ();
       let candidates = ref [] in
       let record c = candidates := c :: !candidates in
       let current = ref program in
+      let current_opts = ref opts in
       let current_rules = ref [] in
       let current_score = ref baseline_s in
       let rounds = ref 0 in
@@ -127,7 +136,17 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
          for round = 1 to max_rounds do
            if over_budget () then raise Exit;
            rounds := round;
-           (* neighbors: one rule application each, deduplicated *)
+           (* neighbors: one rule application each — a program rewrite
+              under the incumbent options, or an option mutation of the
+              incumbent program — deduplicated on (program, options) *)
+           let fresh p' o' name =
+             let dg = digest p' o' in
+             if Hashtbl.mem seen dg then None
+             else begin
+               Hashtbl.replace seen dg ();
+               Some (name, p', o')
+             end
+           in
            let neighbors =
              List.filter_map
                (fun (r : Rules.t) ->
@@ -136,30 +155,31 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
                  | exception _ -> None
                  | Some p' -> (
                      match Optimize.dce ~roots:keep_roots p' with
-                     | p' ->
-                         let dg = digest p' in
-                         if Hashtbl.mem seen dg then None
-                         else begin
-                           Hashtbl.replace seen dg ();
-                           Some (r.Rules.name, p')
-                         end
+                     | p' -> fresh p' !current_opts r.Rules.name
                      | exception _ -> None))
                rules
+             @ List.filter_map
+                 (fun (r : Rules.opt_rule) ->
+                   match r.Rules.o_apply !current_opts !current with
+                   | None -> None
+                   | exception _ -> None
+                   | Some o' -> fresh !current o' r.Rules.o_name)
+                 opt_rules
            in
            let neighbors = shuffle (seed + round) neighbors in
            (* static pruning on Explain's estimates *)
            let priced =
              List.filter_map
-               (fun (name, p') ->
+               (fun (name, p', o') ->
                  let chain = !current_rules @ [ name ] in
-                 match Backend.compile ~options:opts ~store p' with
+                 match Backend.compile ~options:o' ~store p' with
                  | c ->
                      let est =
                        (Cost.total estimate_device
                           (Explain.estimate c.Backend.plan))
                          .Cost.total_s
                      in
-                     Some (name, chain, p', c, est)
+                     Some (name, chain, p', o', c, est)
                  | exception e ->
                      record
                        {
@@ -174,7 +194,7 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
            in
            let ranked =
              List.stable_sort
-               (fun (_, _, _, _, a) (_, _, _, _, b) -> Float.compare a b)
+               (fun (_, _, _, _, _, a) (_, _, _, _, _, b) -> Float.compare a b)
                priced
            in
            let rec split k = function
@@ -186,7 +206,7 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
            in
            let keep, drop = split top_k ranked in
            List.iter
-             (fun (_, chain, _, _, est) ->
+             (fun (_, chain, _, _, _, est) ->
                record
                  {
                    c_rules = chain;
@@ -199,7 +219,7 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
            (* measure the survivors *)
            let best_move = ref None in
            List.iter
-             (fun (name, chain, p', c, est) ->
+             (fun (name, chain, p', o', c, est) ->
                if over_budget () then
                  record
                    {
@@ -240,7 +260,7 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
                          score < !current_score *. 0.999
                          &&
                          match !best_move with
-                         | Some (_, _, s) -> score < s
+                         | Some (_, _, _, s) -> score < s
                          | None -> true
                        in
                        record
@@ -251,12 +271,13 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
                            c_score_s = Some score;
                            c_verdict = (if improves then Improved else Measured);
                          };
-                       if improves then best_move := Some (chain, p', score)
+                       if improves then best_move := Some (chain, p', o', score)
                      end)
              keep;
            match !best_move with
-           | Some (chain, p', score) ->
+           | Some (chain, p', o', score) ->
                current := p';
+               current_opts := o';
                current_rules := chain;
                current_score := score
            | None -> raise Exit
@@ -269,6 +290,7 @@ let run ?trace ?(objective = Cost_model Config.cpu_simd) ?(budget_ms = 2000.0)
         best_s = !current_score;
         best_rules = !current_rules;
         best_program = !current;
+        best_options = !current_opts;
         candidates = List.rev !candidates;
         rounds = !rounds;
         seed;

@@ -46,6 +46,10 @@ type report = {
   best_s : float;
   best_rules : string list;  (** [] when the baseline won *)
   best_program : Program.t;
+  best_options : Voodoo_compiler.Codegen.options;
+      (** the incumbent's codegen options — differs from [backend_opts]
+          when an option rule ({!Rules.opt_rule}) won a round; callers
+          recompiling [best_program] must compile under these *)
   candidates : candidate list;  (** in examination order *)
   rounds : int;
   seed : int;
@@ -56,9 +60,12 @@ val speedup : report -> float
 (** [run ~store program] tunes [program].  [roots] (default: the
     program's outputs) are the statements whose vectors must stay
     bit-identical; they are preserved through every rewrite and verified
-    on every measurement.  [rules] defaults to
-    {!Rules.catalog}[ ~store].  With a trace, the search runs under a
-    ["tune"] span with one ["tune:candidate"] child per measurement. *)
+    on every measurement.  [rules] defaults to {!Rules.catalog}[ ~store];
+    [opt_rules] (default {!Rules.opt_catalog}) additionally searches
+    codegen-option mutations — fold grain, Partition/Scatter fusion —
+    of the incumbent program, deduplicated on (program, options) pairs.
+    With a trace, the search runs under a ["tune"] span with one
+    ["tune:candidate"] child per measurement. *)
 val run :
   ?trace:Trace.t ->
   ?objective:objective ->
@@ -69,6 +76,7 @@ val run :
   ?budget:Budget.t ->
   ?backend_opts:Voodoo_compiler.Codegen.options ->
   ?rules:Rules.t list ->
+  ?opt_rules:Rules.opt_rule list ->
   ?roots:Op.id list ->
   store:Store.t ->
   Program.t ->

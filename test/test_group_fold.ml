@@ -1,0 +1,208 @@
+(* Differential tests for parallel grouped aggregation
+   (docs/PARALLELISM.md rule 3, docs/STORAGE.md): the raw tiled path with
+   per-chunk partial accumulators must be bit-identical to the tree walk
+   — rows and totals — for any job count, tile width, zone-map setting,
+   aggregate kind and fold grain, including prime lengths, empty groups
+   and ε-suppressed inputs.  The interpreter stays the unordered oracle
+   (its scatter is materialized, so ε layout may differ). *)
+
+module B = Voodoo_core.Program.Builder
+module Store = Voodoo_core.Store
+module Op = Voodoo_core.Op
+module Codegen = Voodoo_compiler.Codegen
+module Backend = Voodoo_compiler.Backend
+module Exec = Voodoo_compiler.Exec
+module Exec_stats = Voodoo_compiler.Exec_stats
+module Interp = Voodoo_interp.Interp
+module Svector = Voodoo_vector.Svector
+module Column = Voodoo_vector.Column
+module Scalar = Voodoo_vector.Scalar
+
+(* The relational GROUP BY chain (lower.ml): partition group ids against
+   identity pivots, scatter into group order, fold each run.  Explicit
+   statement names so the interpreter env and the result can be joined. *)
+let program ?(groups = 64) ~agg () =
+  let b = B.create () in
+  let rows = B.load b "rows" in
+  let data =
+    B.zip b ~out1:[ "g" ] ~out2:[ "v" ] (rows, [ "g" ]) (rows, [ "v" ])
+  in
+  let pivots = B.range b ~out:[ "p" ] (Lit groups) in
+  let pos = B.partition b (data, [ "g" ]) (pivots, []) in
+  let scattered = B.scatter b ~shape:data data (pos, []) in
+  let pg = B.fold_agg b ~name:"pg" agg ~fold:[ "g" ] (scattered, [ "v" ]) in
+  let _total = B.fold_sum b ~name:"total" (pg, []) in
+  B.finish b
+
+let store ~gcol ~vcol =
+  Store.of_list
+    [ ("rows", Svector.of_columns [ ([ "g" ], gcol); ([ "v" ], vcol) ]) ]
+
+(* Skewed group ids over [0, 61): groups 61-63 of the default 64 pivots
+   stay empty, so result layout and suppression accounting cover the
+   no-rows case too. *)
+let gids n = Array.init n (fun i -> i * 7919 mod 61)
+let fvals n = Array.init n (fun i -> float_of_int (i * 31 mod 997) /. 7.0)
+let ivals n = Array.init n (fun i -> (i * 13 mod 211) - 17)
+
+let int_store n =
+  store ~gcol:(Column.of_int_array (gids n))
+    ~vcol:(Column.of_int_array (ivals n))
+
+let float_store n =
+  store ~gcol:(Column.of_int_array (gids n))
+    ~vcol:(Column.of_float_array (fvals n))
+
+(* Float values with ε holes, including whole bytes of the validity mask
+   (the byte-skipping accumulate path). *)
+let eps_store n =
+  let values =
+    List.init n (fun i ->
+        if i / 64 mod 3 = 1 || i mod 17 = 0 then None
+        else Some (Scalar.F (float_of_int (i * 31 mod 997) /. 7.0)))
+  in
+  store ~gcol:(Column.of_int_array (gids n))
+    ~vcol:(Column.of_scalars Scalar.Float values)
+
+let opts ?(tile_width = Codegen.default_options.tile_width)
+    ?(zone_maps = true) ?(jobs = 1) ?fold_grain ?(partition_fuse = true) () =
+  {
+    Codegen.default_options with
+    exec = Codegen.Closure { instrument = false; jobs };
+    tile_width;
+    zone_maps;
+    partition_fuse;
+    fold_grain =
+      Option.value fold_grain ~default:Codegen.default_options.fold_grain;
+  }
+
+let run ~options st prog =
+  let c = Backend.compile ~options ~store:st prog in
+  let r = Backend.run c in
+  (Exec.output r "pg", Exec.output r "total")
+
+let tree_walk st prog =
+  run ~options:{ (opts ()) with Codegen.exec = Codegen.Tree_walk } st prog
+
+let check_same name ~ref_v v =
+  if not (Svector.equal ref_v v) then Alcotest.failf "%s: outputs diverge" name
+
+let aggs = [ ("sum", Op.Sum); ("min", Op.Min); ("max", Op.Max); ("count", Op.Count) ]
+
+(* --- raw ≡ tree walk ≡ interp, jobs × widths × zones × aggs --- *)
+
+let test_differentials mk_store () =
+  let n = 10_007 (* prime: seams never align with group runs *) in
+  let st = mk_store n in
+  List.iter
+    (fun (aname, agg) ->
+      let prog = program ~agg () in
+      let ref_pg, ref_total = tree_walk st prog in
+      let ienv = Interp.run st prog in
+      if not (Svector.equal_unordered (Hashtbl.find ienv "pg") ref_pg) then
+        Alcotest.failf "%s: tree walk diverges from interp" aname;
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun tile_width ->
+              List.iter
+                (fun zone_maps ->
+                  let name =
+                    Printf.sprintf "%s jobs=%d tw=%d zones=%b" aname jobs
+                      tile_width zone_maps
+                  in
+                  let pg, total =
+                    run ~options:(opts ~tile_width ~zone_maps ~jobs ()) st prog
+                  in
+                  check_same (name ^ " rows") ~ref_v:ref_pg pg;
+                  check_same (name ^ " total") ~ref_v:ref_total total)
+                [ true; false ])
+            [ 64; 1024; 8192 ])
+        [ 1; 2; 4 ])
+    aggs
+
+(* --- parallel chunks really engage, and stay bit-identical --- *)
+
+let test_parallel_engagement () =
+  let n = 100_003 (* prime, above the parallel threshold *) in
+  let st = float_store n in
+  let prog = program ~agg:Op.Sum () in
+  let ref_pg, ref_total = tree_walk st prog in
+  let fused0 = Exec_stats.fold_fused () in
+  let chunks0 = Exec_stats.fold_parallel_chunks () in
+  let pg, total = run ~options:(opts ~jobs:4 ()) st prog in
+  if Exec_stats.fold_fused () - fused0 < 1 then
+    Alcotest.fail "raw grouped fold did not stream (fold.fused = 0)";
+  if Exec_stats.fold_parallel_chunks () - chunks0 < 2 then
+    Alcotest.fail "grouped fold did not split (fold.parallel_chunks < 2)";
+  check_same "parallel float-sum rows" ~ref_v:ref_pg pg;
+  check_same "parallel float-sum total" ~ref_v:ref_total total
+
+(* --- the new tunables: fold grain ladder, Partition/Scatter fusion --- *)
+
+let test_tunables () =
+  let n = 100_003 in
+  let st = float_store n in
+  let prog = program ~agg:Op.Sum () in
+  let ref_pg, ref_total = tree_walk st prog in
+  List.iter
+    (fun fold_grain ->
+      let name = Printf.sprintf "fold_grain=%d" fold_grain in
+      let pg, total = run ~options:(opts ~jobs:4 ~fold_grain ()) st prog in
+      check_same (name ^ " rows") ~ref_v:ref_pg pg;
+      check_same (name ^ " total") ~ref_v:ref_total total)
+    [ 1; 4096; 1 lsl 20 ];
+  (* fusion off: the scatter materializes, rows must not move *)
+  List.iter
+    (fun jobs ->
+      let name = Printf.sprintf "partition_fuse=false jobs=%d" jobs in
+      let pg, total =
+        run ~options:(opts ~jobs ~partition_fuse:false ()) st prog
+      in
+      check_same (name ^ " rows") ~ref_v:ref_pg pg;
+      check_same (name ^ " total") ~ref_v:ref_total total)
+    [ 1; 4 ]
+
+(* --- instrumented closures: unchanged single-chunk semantics --- *)
+
+let test_instrumented () =
+  let n = 10_007 in
+  let st = float_store n in
+  List.iter
+    (fun (aname, agg) ->
+      let prog = program ~agg () in
+      let ref_pg, ref_total = tree_walk st prog in
+      List.iter
+        (fun jobs ->
+          let options =
+            {
+              (opts ~jobs ()) with
+              Codegen.exec = Codegen.Closure { instrument = true; jobs };
+            }
+          in
+          let pg, total = run ~options st prog in
+          let name = Printf.sprintf "instrumented %s jobs=%d" aname jobs in
+          check_same (name ^ " rows") ~ref_v:ref_pg pg;
+          check_same (name ^ " total") ~ref_v:ref_total total)
+        [ 1; 4 ])
+    aggs
+
+let () =
+  Alcotest.run "group_fold"
+    [
+      ( "differentials",
+        [
+          Alcotest.test_case "int values" `Quick (test_differentials int_store);
+          Alcotest.test_case "float values" `Quick
+            (test_differentials float_store);
+          Alcotest.test_case "epsilon values" `Quick
+            (test_differentials eps_store);
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "chunks engage, bit-identical" `Quick
+            test_parallel_engagement;
+          Alcotest.test_case "tunables" `Quick test_tunables;
+          Alcotest.test_case "instrumented unchanged" `Quick test_instrumented;
+        ] );
+    ]

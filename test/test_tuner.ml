@@ -225,6 +225,90 @@ let test_rule_layout () =
     (Voodoo_vector.Svector.equal (interp_total store q qtotal)
        (interp_total store q' qtotal))
 
+(* ---------- part 2c: codegen-option rules ---------- *)
+
+module Codegen = Voodoo_compiler.Codegen
+
+let group_store =
+  lazy
+    (Micro.group_store
+       ~gids:(Array.init n_micro (fun i -> i * 7919 mod 61))
+       ~values:
+         (Array.init n_micro (fun i -> float_of_int (i * 31 mod 997) /. 7.0)))
+
+let test_opt_rule_applicability () =
+  let grouped, _ = Micro.group_fold_program () in
+  let flat, _ = Micro.fold_partition_program () in
+  let o = Codegen.default_options in
+  (* the grain ladder applies on the radix chain, except at the current
+     value; never on a program without Partition → Scatter → FoldAgg *)
+  List.iter
+    (fun n ->
+      let r = Rules.refold_grain n in
+      let expect_grouped = n <> o.Codegen.fold_grain in
+      check
+        (Printf.sprintf "%s applies to grouped" r.Rules.o_name)
+        expect_grouped
+        (match r.Rules.o_apply o grouped with
+        | Some o' -> o'.Codegen.fold_grain = n
+        | None -> false);
+      check
+        (Printf.sprintf "%s skips flat fold" r.Rules.o_name)
+        true
+        (r.Rules.o_apply o flat = None))
+    Rules.fold_grain_ladder;
+  (* the fusion toggle flips both ways on the radix chain only *)
+  let t = Rules.toggle_partition_fuse in
+  (match t.Rules.o_apply o grouped with
+  | Some o' ->
+      check "toggle flips off" true (not o'.Codegen.partition_fuse);
+      check "toggle flips back" true
+        (match t.Rules.o_apply o' grouped with
+        | Some o'' -> o''.Codegen.partition_fuse
+        | None -> false)
+  | None -> Alcotest.fail "toggle-partition-fuse did not apply");
+  check "toggle skips flat fold" true (t.Rules.o_apply o flat = None);
+  (* applicability is deterministic: same input, same output *)
+  check "opt rules deterministic" true
+    (List.for_all
+       (fun (r : Rules.opt_rule) ->
+         r.Rules.o_apply o grouped = r.Rules.o_apply o grouped)
+       Rules.opt_catalog)
+
+let test_opt_search_grouped () =
+  let store = Lazy.force group_store in
+  let program, total = Micro.group_fold_program () in
+  let r =
+    Search.run ~seed:7 ~budget_ms:60_000.0 ~max_rounds:3 ~top_k:4
+      ~roots:[ total ] ~store program
+  in
+  check "tuned never worse than baseline" true
+    (r.Search.best_s <= r.Search.baseline_s);
+  (* the winner is bit-identical executed under its own options *)
+  let exec options p =
+    let c = Voodoo_compiler.Backend.compile ~options ~store p in
+    let run = Voodoo_compiler.Backend.run c in
+    Voodoo_compiler.Exec.output run total
+  in
+  check "winner bit-identical to baseline" true
+    (Voodoo_vector.Svector.equal
+       (exec Codegen.default_options program)
+       (exec r.Search.best_options r.Search.best_program));
+  (* same seed, same search — option candidates included *)
+  let key (r : Search.report) =
+    ( r.Search.best_rules,
+      r.Search.best_s,
+      r.Search.best_options,
+      List.map
+        (fun c -> (c.Search.c_rules, c.Search.c_score_s, c.Search.c_verdict))
+        r.Search.candidates )
+  in
+  let again =
+    Search.run ~seed:7 ~budget_ms:60_000.0 ~max_rounds:3 ~top_k:4
+      ~roots:[ total ] ~store program
+  in
+  check "same seed, same search" true (key r = key again)
+
 let test_rule_regrain () =
   let store = Lazy.force fold_store in
   let p, total = Micro.fold_partition_program ~grain:64 () in
@@ -263,5 +347,12 @@ let () =
           Alcotest.test_case "selection strategy" `Quick test_rule_predicate_selection;
           Alcotest.test_case "layout" `Quick test_rule_layout;
           Alcotest.test_case "regrain and split" `Quick test_rule_regrain;
+        ] );
+      ( "option-rules",
+        [
+          Alcotest.test_case "applicability and determinism" `Quick
+            test_opt_rule_applicability;
+          Alcotest.test_case "grouped search bit-identical" `Quick
+            test_opt_search_grouped;
         ] );
     ]
