@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke clean bench-exec bench-tune bench-shard
+.PHONY: all build test check chaos-smoke clean bench-exec bench-tune bench-shard bench-vsim
 
 all: build
 
@@ -25,6 +25,14 @@ chaos-smoke:
 bench-exec:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe exec
+
+# Vector similarity: IVF vs the exhaustive oracle on a seeded dataset —
+# bit-identity at nprobe=nlist, the recall@10 floor, and the
+# recall-vs-work curve over the nprobe ladder -> BENCH_vsim.json.
+# `make bench-vsim SMOKE=--smoke` for the quick run (still writes the file).
+bench-vsim:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe vsim $(SMOKE)
 
 # Adaptive plan tuner: tuned vs default wall clock on the three paper
 # micro families and the TPC-H suite -> BENCH_tune.json.

@@ -277,6 +277,8 @@ let run ?(smoke = false) () =
       ~fields:
         [
           ("tile_width", string_of_int tile_w);
+          ("fold_grain", string_of_int Codegen.default_options.Codegen.fold_grain);
+          ("nprobe", string_of_int Codegen.default_options.Codegen.nprobe);
           ("jobs", "[1, 2, 4]");
           ("shards", "1");
         ]

@@ -95,4 +95,5 @@ let () =
   if want "exec" then Exec_bench.run ~smoke ();
   if want "tune" then Tune_bench.run ~smoke ();
   if want "shard" then Shard_bench.run ~smoke ();
+  if want "vsim" then Vsim_bench.run ~smoke ();
   print_endline "\nbench: done."

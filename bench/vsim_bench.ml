@@ -1,0 +1,191 @@
+(** Vector-similarity benchmark ([bench/main.exe vsim]): the IVF coarse
+    index against its own exhaustive oracle on a seeded gaussian-mixture
+    dataset (see docs/VSIM.md).
+
+    Three sections, all asserted before anything is timed:
+
+    - [identity]: at [nprobe = nlist] the IVF answer is bit-identical to
+      the exhaustive scan, and both are bit-identical across 1/2/4
+      intra-query domains — the determinism contract the subsystem
+      promises at any parallelism.
+    - [recall]: mean recall\@k at the default [nprobe] over seeded
+      queries must clear 0.9 — the quality floor the default tunable is
+      chosen for.
+    - [sweep]: mean per-query latency and recall at each rung of the
+      tuner's nprobe ladder, plus the exhaustive scan — the
+      recall-vs-work trade-off curve as data.
+
+    Results go to [BENCH_vsim.json] under the common
+    {!Voodoo_benchkit.Envelope} (with the [nprobe] and [fold_grain]
+    tunables recorded in the envelope fields).  Unlike the heavier
+    suites, [--smoke] still writes the file — the artifact is small and
+    the smoke sweep is wired into [@check] as a regression gate. *)
+
+module Codegen = Voodoo_compiler.Codegen
+module Envelope = Voodoo_benchkit.Envelope
+module Vds = Voodoo_vsim.Dataset
+module Vivf = Voodoo_vsim.Ivf
+module Vtopk = Voodoo_vsim.Topk
+module Vdist = Voodoo_vsim.Dist
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let entries_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Vtopk.entry) (y : Vtopk.entry) ->
+         x.Vtopk.row = y.Vtopk.row
+         && (Float.equal x.Vtopk.score y.Vtopk.score
+            || (Float.is_nan x.Vtopk.score && Float.is_nan y.Vtopk.score)))
+       a b
+
+let exec_jobs jobs = Codegen.Closure { instrument = false; jobs }
+
+let queries d ~count ~seed =
+  List.init count (fun i -> Vds.synth_query d ~seed:(seed + (i * 7919)))
+
+(* nprobe = nlist must reproduce the exhaustive scan exactly, at every
+   job count, for every metric.  Failure here is a correctness bug, not
+   a regression in speed — so it aborts the bench. *)
+let assert_identity d =
+  let ivf = d.Vds.index in
+  let nlist = ivf.Vivf.nlist in
+  List.iter
+    (fun metric ->
+      List.iter
+        (fun query ->
+          let oracle = Vivf.exhaustive ivf ~metric ~query ~k:10 in
+          List.iter
+            (fun jobs ->
+              let exec = exec_jobs jobs in
+              let full =
+                Vivf.search ~exec ivf ~metric ~query ~k:10 ~nprobe:nlist
+              in
+              let scan = Vivf.exhaustive ~exec ivf ~metric ~query ~k:10 in
+              if not (entries_equal full oracle) then
+                failwith
+                  (Printf.sprintf
+                     "vsim: IVF nprobe=nlist diverged from the oracle \
+                      (metric %s, jobs %d)"
+                     (Vdist.metric_name metric) jobs);
+              if not (entries_equal scan oracle) then
+                failwith
+                  (Printf.sprintf
+                     "vsim: exhaustive scan not job-invariant (metric %s, \
+                      jobs %d)"
+                     (Vdist.metric_name metric) jobs))
+            [ 1; 2; 4 ])
+        (queries d ~count:3 ~seed:5))
+    [ Vdist.Dot; Vdist.L2; Vdist.Cosine ]
+
+(* Mean recall@k and mean per-query seconds at one nprobe rung. *)
+let measure_rung d ~metric ~k ~qs ~oracles nprobe =
+  let ivf = d.Vds.index in
+  let recalls = ref 0.0 and secs = ref 0.0 in
+  List.iter2
+    (fun query oracle ->
+      let got, dt =
+        time (fun () -> Vivf.search ivf ~metric ~query ~k ~nprobe)
+      in
+      recalls := !recalls +. Vivf.recall ~got ~oracle;
+      secs := !secs +. dt)
+    qs oracles;
+  let q = float_of_int (List.length qs) in
+  (!recalls /. q, !secs /. q)
+
+let ratio num den = if den <= 0.0 then 0.0 else num /. den
+
+let run ?(smoke = false) () =
+  let n = if smoke then 1500 else 20000 in
+  let dim = if smoke then 8 else 32 in
+  let nlist = if smoke then 8 else 32 in
+  let count = if smoke then 6 else 20 in
+  let k = 10 in
+  let metric = Vdist.L2 in
+  let options = Codegen.default_options in
+  let d = Vds.synth ~options ~seed:42 ~dim ~nlist ~name:"bench" n in
+  let ivf = d.Vds.index in
+  let nlist = ivf.Vivf.nlist in
+
+  assert_identity d;
+
+  let qs = queries d ~count ~seed:1000 in
+  let oracle_secs = ref 0.0 in
+  let oracles =
+    List.map
+      (fun query ->
+        let o, dt = time (fun () -> Vivf.exhaustive ivf ~metric ~query ~k) in
+        oracle_secs := !oracle_secs +. dt;
+        o)
+      qs
+  in
+  let oracle_s = !oracle_secs /. float_of_int count in
+
+  (* the acceptance floor: the default nprobe must reach 0.9 recall@10 *)
+  let default_nprobe = min options.Codegen.nprobe nlist in
+  let default_recall, _ =
+    measure_rung d ~metric ~k ~qs ~oracles default_nprobe
+  in
+  if default_recall < 0.9 then
+    failwith
+      (Printf.sprintf
+         "vsim: recall@%d %.3f at default nprobe %d — below the 0.9 floor" k
+         default_recall default_nprobe);
+
+  (* the recall-vs-work curve over the tuner's nprobe ladder *)
+  let rungs =
+    List.filter (fun p -> p <= nlist) Voodoo_tuner.Rules.nprobe_ladder
+  in
+  let curve =
+    List.map
+      (fun nprobe ->
+        let recall, s = measure_rung d ~metric ~k ~qs ~oracles nprobe in
+        (nprobe, recall, s))
+      rungs
+  in
+
+  Envelope.write ~suite:"vsim"
+    ~reps:(if smoke then 1 else 3)
+    ~fields:
+      [
+        ("nprobe", string_of_int options.Codegen.nprobe);
+        ("fold_grain", string_of_int options.Codegen.fold_grain);
+        ("tile_width", string_of_int Codegen.(effective_tile_width options));
+        ("jobs", "[1, 2, 4]");
+      ]
+    ~file:"BENCH_vsim.json" (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \    \"n\": %d, \"dim\": %d, \"nlist\": %d, \"queries\": %d, \"k\": \
+         %d,\n\
+        \    \"metric\": %S,\n\
+        \    \"identity\": { \"nprobe_eq_nlist_bit_identical\": true, \
+         \"jobs\": [1, 2, 4] },\n\
+        \    \"default_nprobe\": %d, \"default_recall\": %.4f,\n\
+        \    \"exhaustive_s\": %.6f,\n\
+        \    \"curve\": [\n"
+        n dim nlist count k (Vdist.metric_name metric) default_nprobe
+        default_recall oracle_s;
+      List.iteri
+        (fun i (nprobe, recall, s) ->
+          Printf.fprintf oc
+            "      { \"nprobe\": %d, \"recall\": %.4f, \"search_s\": %.6f, \
+             \"speedup_vs_exhaustive\": %.2f }%s\n"
+            nprobe recall s (ratio oracle_s s)
+            (if i = List.length curve - 1 then "" else ","))
+        curve;
+      Printf.fprintf oc "    ]\n  }");
+  Printf.printf
+    "vsim%s: n=%d dim=%d nlist=%d — identity ok (jobs 1/2/4, 3 metrics); \
+     recall@%d %.3f at nprobe %d; curve %s vs exhaustive %.4fs -> \
+     BENCH_vsim.json\n"
+    (if smoke then " (smoke)" else "")
+    n dim nlist k default_recall default_nprobe
+    (String.concat ", "
+       (List.map
+          (fun (p, r, s) -> Printf.sprintf "p%d %.3f/%.2fx" p r (ratio oracle_s s))
+          curve))
+    oracle_s

@@ -1247,6 +1247,161 @@ let client_cmd =
       const client $ socket_arg $ host_arg $ port_arg $ raw_arg $ timeout_arg
       $ retries_arg $ hedge_arg $ lines_arg)
 
+(* --- vsim: vector-similarity datasets (docs/VSIM.md) --- *)
+
+module Vdist = Voodoo_vsim.Dist
+module Vds = Voodoo_vsim.Dataset
+module Vivf = Voodoo_vsim.Ivf
+module Vstats = Voodoo_vsim.Stats
+
+let vsim_options ~jobs ~tile_width ~nprobe =
+  {
+    Voodoo_compiler.Codegen.default_options with
+    exec = Voodoo_compiler.Codegen.Closure { instrument = false; jobs };
+    tile_width;
+    nprobe;
+  }
+
+let vsim_n_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "rows" ] ~docv:"N" ~doc:"vectors in the seeded synthetic dataset")
+
+let vsim_dim_arg =
+  Arg.(value & opt int 16 & info [ "dim" ] ~docv:"D" ~doc:"embedding dimension")
+
+let vsim_nlist_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "nlist" ] ~docv:"L" ~doc:"IVF centroid partitions to build")
+
+let vsim_nprobe_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "nprobe" ] ~docv:"P"
+        ~doc:"partitions scanned per query (recall vs work knob)")
+
+let vsim_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"dataset / k-means seed: same seed, same vectors, same index")
+
+let vsim_metric_arg =
+  Arg.(
+    value & opt string "l2"
+    & info [ "metric" ] ~docv:"M" ~doc:"distance: $(b,dot), $(b,l2) or $(b,cosine)")
+
+let vsim_k_arg =
+  Arg.(
+    value & opt int 10 & info [ "limit"; "k" ] ~docv:"K" ~doc:"results per query")
+
+let vsim_queries_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "queries" ] ~docv:"Q" ~doc:"seeded query vectors to run")
+
+let vsim_exhaustive_arg =
+  Arg.(
+    value & flag
+    & info [ "exhaustive" ]
+        ~doc:"bypass the IVF index and scan every row (the oracle)")
+
+let vsim_metric metric_s =
+  match Vdist.metric_of_name metric_s with
+  | Some m -> m
+  | None ->
+      Fmt.epr "voodoo: unknown metric %S (want dot, l2 or cosine)@." metric_s;
+      exit 1
+
+let vsim_dataset ~n ~dim ~nlist ~seed ~options =
+  let t0 = Unix.gettimeofday () in
+  let d = Vds.synth ~options ~seed ~dim ~nlist ~name:"vecs" n in
+  (d, 1000.0 *. (Unix.gettimeofday () -. t0))
+
+let vsim_build n dim nlist seed jobs tile_width verbose =
+  setup_logs verbose;
+  let options = vsim_options ~jobs ~tile_width ~nprobe:8 in
+  let d, ms = vsim_dataset ~n ~dim ~nlist ~seed ~options in
+  let ivf = d.Vds.index in
+  Fmt.pr "dataset %s: %d vectors x dim %d, built in %.1f ms@." d.Vds.name n
+    dim ms;
+  Fmt.pr "IVF: %d centroid partitions (seed %d)@." ivf.Vivf.nlist seed;
+  Array.iteri
+    (fun c rows -> Fmt.pr "  list %3d: %6d vectors@." c (Array.length rows))
+    ivf.Vivf.lists
+
+let vsim_search n dim nlist seed queries metric_s k nprobe exhaustive jobs
+    tile_width verbose =
+  setup_logs verbose;
+  let metric = vsim_metric metric_s in
+  let options = vsim_options ~jobs ~tile_width ~nprobe in
+  let d, ms = vsim_dataset ~n ~dim ~nlist ~seed ~options in
+  let ivf = d.Vds.index in
+  Fmt.pr "dataset %s: %d x dim %d, nlist %d, built in %.1f ms@." d.Vds.name n
+    dim ivf.Vivf.nlist ms;
+  let recall_sum = ref 0.0 and ivf_ms = ref 0.0 and scan_ms = ref 0.0 in
+  for qi = 0 to queries - 1 do
+    let query = Vds.synth_query d ~seed:(seed + (qi * 7919)) in
+    let t0 = Unix.gettimeofday () in
+    let got =
+      if exhaustive then Vivf.exhaustive ivf ~metric ~query ~k
+      else Vivf.search ivf ~metric ~query ~k ~nprobe
+    in
+    let t1 = Unix.gettimeofday () in
+    let oracle = Vivf.exhaustive ivf ~metric ~query ~k in
+    let t2 = Unix.gettimeofday () in
+    ivf_ms := !ivf_ms +. (1000.0 *. (t1 -. t0));
+    scan_ms := !scan_ms +. (1000.0 *. (t2 -. t1));
+    let r = Vivf.recall ~got ~oracle in
+    recall_sum := !recall_sum +. r;
+    Fmt.pr "query %d: recall@%d %.3f@." qi k r;
+    List.iter
+      (fun (e : Voodoo_vsim.Topk.entry) ->
+        Fmt.pr "  row %6d  score %.6f@." e.Voodoo_vsim.Topk.row
+          e.Voodoo_vsim.Topk.score)
+      got
+  done;
+  let q = float_of_int (max 1 queries) in
+  Fmt.pr "mean recall@%d %.3f over %d queries (%s, nprobe %d/%d)@." k
+    (!recall_sum /. q) queries
+    (if exhaustive then "exhaustive" else "IVF")
+    nprobe ivf.Vivf.nlist;
+  Fmt.pr "mean latency: %.2f ms vs exhaustive %.2f ms@." (!ivf_ms /. q)
+    (!scan_ms /. q);
+  Fmt.pr
+    "stats: searches %d, probes %d, probes skipped %d, top-k folds %d (split chunks %d)@."
+    (Vstats.searches ()) (Vstats.probes ())
+    (Vstats.probes_skipped ())
+    (Vstats.topk_folds ()) (Vstats.topk_chunks ())
+
+let vsim_cmd =
+  let build =
+    Cmd.v
+      (Cmd.info "build"
+         ~doc:
+           "build a seeded synthetic embedding dataset and its IVF coarse             index, then print the partition histogram")
+      Term.(
+        const vsim_build $ vsim_n_arg $ vsim_dim_arg $ vsim_nlist_arg
+        $ vsim_seed_arg $ jobs_arg $ tile_width_arg $ verbose_arg)
+  in
+  let search =
+    Cmd.v
+      (Cmd.info "search"
+         ~doc:
+           "run seeded queries through the IVF index, checking every answer             against the exhaustive oracle (recall and latency)")
+      Term.(
+        const vsim_search $ vsim_n_arg $ vsim_dim_arg $ vsim_nlist_arg
+        $ vsim_seed_arg $ vsim_queries_arg $ vsim_metric_arg $ vsim_k_arg
+        $ vsim_nprobe_arg $ vsim_exhaustive_arg $ jobs_arg $ tile_width_arg
+        $ verbose_arg)
+  in
+  Cmd.group
+    (Cmd.info "vsim"
+       ~doc:
+         "vector-similarity retrieval: embedding datasets, distance folds,           top-k and the IVF coarse index (see docs/VSIM.md)")
+    [ build; search ]
+
 (* Error hygiene: any typed engine/service error that escapes a subcommand
    becomes one clean line on stderr and a non-zero exit, never a raw OCaml
    backtrace.  The stage labels mirror [Verror.stage_name]. *)
@@ -1288,6 +1443,7 @@ let () =
                 exec_cmd;
                 tune_cmd;
                 sql_cmd;
+                vsim_cmd;
                 serve_cmd;
                 shard_worker_cmd;
                 client_cmd;

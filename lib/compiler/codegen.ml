@@ -49,6 +49,12 @@ type options = {
       (** fuse [Partition]→[Scatter]→[FoldAgg] chains into direct grouped
           aggregation (Figures 10/11); off = materialize the scattered
           vector and fold over its runs (§5.3's fusion tunable) *)
+  nprobe : int;
+      (** IVF coarse-index probe count consulted by the vector-similarity
+          probe scheduler ([Voodoo_vsim]), not by the executor: how many
+          centroid partitions a similarity search scans.  Rides the
+          options record so plan-cache keys and the tuner's
+          (program, options) search cover it. *)
 }
 
 let default_options =
@@ -61,6 +67,7 @@ let default_options =
     zone_maps = true;
     fold_grain = 16384;
     partition_fuse = true;
+    nprobe = 8;
   }
 
 (** The tile width actually used: [tile_width] clamped to a multiple of

@@ -56,11 +56,19 @@ type options = {
           aggregation (Figures 10–11); off = materialize the scattered
           vector and fold over its runs (§5.3's fusion tunable).  Result
           rows are identical either way. *)
+  nprobe : int;
+      (** IVF coarse-index probe count: how many centroid partitions a
+          vector-similarity search scans.  Consulted by the
+          [Voodoo_vsim] probe scheduler, never by the executor — for
+          ordinary relational plans it is inert.  It lives here so it
+          travels with compiled plans, is digested into service
+          plan-cache keys, and joins the tuner's (program, options)
+          search space like [fold_grain] does. *)
 }
 
 (** Fuse + virtualize + suppress, executed by instrumented closures on a
     single domain; 1024-slot tiles with zone maps on, 16384-element fold
-    grain, Partition/Scatter fusion on. *)
+    grain, Partition/Scatter fusion on, 8 IVF probes. *)
 val default_options : options
 
 (** [tile_width] clamped to a multiple of 64, minimum 64 — the width the

@@ -9,6 +9,8 @@ module Trace = Voodoo_core.Trace
 module Q = Voodoo_tpch.Queries
 module Plan_tune = Voodoo_tuner.Plan_tune
 module Search = Voodoo_tuner.Search
+module Vq = Voodoo_vsim.Query
+module Vds = Voodoo_vsim.Dataset
 
 type engine_mode = Direct | Resilient of R.policy
 
@@ -68,7 +70,12 @@ type t = {
   pool : Pool.t;
   opts_digest : string;  (** lower/codegen options part of every cache key *)
   tunes : (string, tune_state) Hashtbl.t;
+  vsims : (string, Vds.t) Hashtbl.t;
+      (** similarity datasets by name, guarded by [m] *)
   m : Mutex.t;
+  mutable vsim_generation : int;
+      (** bumped on (re)registration — the vsim analogue of the catalog
+          generation, leading every vsim result-cache key *)
   mutable inflight : Budget.token;
       (** shared cancellation token of every in-flight execution; a drain
           cancels it and installs a fresh one *)
@@ -104,6 +111,8 @@ let create ?registry (config : config) =
     registry;
     plans = Plan_cache.create ~capacity:config.plan_cache_capacity;
     results = Result_cache.create ~max_bytes:config.result_cache_bytes;
+    vsims = Hashtbl.create 4;
+    vsim_generation = 0;
     pool = Pool.create ~workers:config.workers ~queue_capacity:config.queue_capacity ();
     opts_digest =
       Digest.to_hex
@@ -192,6 +201,17 @@ let sql_result_key t ~generation text =
 
 let query_result_key t ~generation name =
   Printf.sprintf "g%d|query|%s|%s" generation name t.opts_digest
+
+(* Similarity results are keyed on the canonical rendering of the parsed
+   query (whitespace variants collapse; NPROBE/EXHAUSTIVE clauses are
+   part of the text, so a reprobed request is a distinct entry), the vsim
+   registration generation, the options digest (which covers the serving
+   [nprobe] default inside [backend_opts]) and [jobs] — top-k is
+   bit-identical at any job count, but keeping the dimension mirrors
+   [plan_key] and costs one cache line. *)
+let vsim_result_key t ~vgen (q : Vq.t) =
+  Printf.sprintf "g%d|vsim|%s|%s|j%d" vgen (Vq.render q) t.opts_digest
+    t.config.jobs
 
 (* ---- execution core (runs on pool domains) ---- *)
 
@@ -420,11 +440,87 @@ let parse_sql (cat : Catalog.t) text : (Ra.t, Verror.t) result =
   | exception Sql.Sql_error m -> Error (Verror.make Verror.Parse m)
   | exception e -> Error (R.classify R.Compiled e)
 
+(* ---- vector-similarity front door (docs/VSIM.md) ---- *)
+
+let register_vsim t (d : Vds.t) =
+  locked t (fun () ->
+      Hashtbl.replace t.vsims d.Vds.name d;
+      t.vsim_generation <- t.vsim_generation + 1)
+
+let vsim_datasets t =
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.vsims [])
+  |> List.sort String.compare
+
+let vsim_rows (entries : Voodoo_vsim.Topk.entry list) : Engine.rows =
+  List.map
+    (fun (e : Voodoo_vsim.Topk.entry) ->
+      [
+        ("row", Some (Voodoo_vector.Scalar.I e.Voodoo_vsim.Topk.row));
+        ("score", Some (Voodoo_vector.Scalar.F e.Voodoo_vsim.Topk.score));
+      ])
+    entries
+
+(* One similarity search, straight through.  The plan cache's job is done
+   inside the dataset's IVF index (distance programs compile once per
+   (metric, partition scope) and are rebound to each query vector), so
+   this job only wires the request budget — checked between probe
+   partitions, so deadlines and drain cancel mid-search — the result
+   cache, and the counters.  [pick_exec] runs on the pool domain, where
+   queue idleness decides intra-query chunking, same as SQL. *)
+let vsim_job t ~budget ~result_key (d : Vds.t) (q : Vq.t) () : outcome =
+  count_outcome t
+    (match
+       let exec = pick_exec t () in
+       let nprobe =
+         Option.map
+           (fun (o : Voodoo_compiler.Codegen.options) ->
+             o.Voodoo_compiler.Codegen.nprobe)
+           t.config.backend_opts
+       in
+       Vds.answer ~budget ~exec ?nprobe d q
+     with
+    | Ok entries ->
+        let rows = vsim_rows entries in
+        Result_cache.add t.results result_key rows;
+        Ok rows
+    | Error m -> Error (Verror.make Verror.Parse m)
+    | exception e -> Error (R.classify R.Compiled e))
+
+let vsim_async ?timeout_ms t (s : Session.t) text : outcome Pool.future =
+  begin_request t s;
+  match Vq.parse text with
+  | Error m ->
+      Pool.resolved (count_outcome t (Error (Verror.make Verror.Parse m)))
+  | Ok q -> (
+      let d, vgen =
+        locked t (fun () ->
+            (Hashtbl.find_opt t.vsims q.Vq.dataset, t.vsim_generation))
+      in
+      match d with
+      | None ->
+          Pool.resolved
+            (count_outcome t
+               (Error
+                  (Verror.makef Verror.Parse
+                     "unknown similarity dataset %S (registered: %s)"
+                     q.Vq.dataset
+                     (match vsim_datasets t with
+                     | [] -> "none"
+                     | ds -> String.concat ", " ds))))
+      | Some d -> (
+          let result_key = vsim_result_key t ~vgen q in
+          match cached_answer t result_key with
+          | Some rows -> Pool.resolved (Ok rows)
+          | None ->
+              let budget = request_budget ?timeout_ms t in
+              submit t (vsim_job t ~budget ~result_key d q)))
+
 (* ---- front doors ---- *)
 
 let sql_async ?trace ?timeout_ms t (s : Session.t) text : outcome Pool.future =
   if Session.closed s then
     Pool.resolved (count_outcome t (Error (closed_error s)))
+  else if Vq.is_similarity text then vsim_async ?timeout_ms t s text
   else begin
   begin_request t s;
   let entry = entry_for t s in
@@ -605,6 +701,11 @@ type stats = {
   parallel : int;
   fold_fused : int;
   fold_parallel_chunks : int;
+  vsim_searches : int;
+  vsim_probes : int;
+  vsim_probes_skipped : int;
+  topk_folds : int;
+  topk_chunks : int;
   tune_scheduled : int;
   tune_completed : int;
   tune_candidates : int;
@@ -645,6 +746,11 @@ let stats t =
             fold_fused = Voodoo_compiler.Exec_stats.fold_fused ();
             fold_parallel_chunks =
               Voodoo_compiler.Exec_stats.fold_parallel_chunks ();
+            vsim_searches = Voodoo_vsim.Stats.searches ();
+            vsim_probes = Voodoo_vsim.Stats.probes ();
+            vsim_probes_skipped = Voodoo_vsim.Stats.probes_skipped ();
+            topk_folds = Voodoo_vsim.Stats.topk_folds ();
+            topk_chunks = Voodoo_vsim.Stats.topk_chunks ();
             tune_scheduled;
             tune_completed;
             tune_candidates;
@@ -671,6 +777,11 @@ let stats_fields (s : stats) : (string * float) list =
     ("exec.parallel", f s.parallel);
     ("fold.fused", f s.fold_fused);
     ("fold.parallel_chunks", f s.fold_parallel_chunks);
+    ("fold.topk", f s.topk_folds);
+    ("fold.topk_chunks", f s.topk_chunks);
+    ("vsim.searches", f s.vsim_searches);
+    ("vsim.probes", f s.vsim_probes);
+    ("vsim.probes_skipped", f s.vsim_probes_skipped);
     ("tune.scheduled", f s.tune_scheduled);
     ("tune.completed", f s.tune_completed);
     ("tune.candidates", f s.tune_candidates);

@@ -101,6 +101,26 @@ val open_session : ?sf:float -> ?seed:int -> t -> Session.t
 
 val close_session : t -> Session.t -> unit
 
+(** {2 Vector similarity}
+
+    [SIMILARITY TO] requests enter through {!sql_async} like any other
+    SQL text: the door detects the clause
+    ({!Voodoo_vsim.Query.is_similarity}), parses it against the
+    registered datasets and answers through the dataset's IVF index (or
+    the exhaustive scan when the text says [EXHAUSTIVE]).  Results are
+    [(row, score)] rows, cached under the canonical query rendering +
+    vsim generation + options digest (which covers the serving [nprobe]
+    default in [backend_opts.nprobe]); the request budget is checked
+    between probe partitions, so deadlines and drain cancel a search
+    mid-probe.  See [docs/VSIM.md]. *)
+
+(** Register (or replace — the vsim generation bumps, invalidating cached
+    similarity results) a searchable dataset under its name. *)
+val register_vsim : t -> Voodoo_vsim.Dataset.t -> unit
+
+(** Registered dataset names, sorted. *)
+val vsim_datasets : t -> string list
+
 (** {2 Queries}
 
     The async forms return immediately: either a pending future, or an
@@ -190,6 +210,14 @@ type stats = {
           group (process-wide, {!Voodoo_compiler.Exec_stats}) *)
   fold_parallel_chunks : int;
       (** chunks executed by grouped-fold fragments that actually split *)
+  vsim_searches : int;
+      (** IVF similarity searches answered (process-wide,
+          {!Voodoo_vsim.Stats}) *)
+  vsim_probes : int;  (** partitions actually scanned by those searches *)
+  vsim_probes_skipped : int;
+      (** partitions pruned by the coarse index ([nlist - nprobe] each) *)
+  topk_folds : int;  (** bounded-heap top-k folds run *)
+  topk_chunks : int;  (** chunks of the folds that actually split *)
   tune_scheduled : int;  (** background searches submitted to the pool *)
   tune_completed : int;  (** background searches finished (win or not) *)
   tune_candidates : int;  (** rewrite candidates considered, total *)

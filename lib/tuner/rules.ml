@@ -843,4 +843,99 @@ let toggle_partition_fuse =
         else None);
   }
 
-let opt_catalog = List.map refold_grain fold_grain_ladder @ [ toggle_partition_fuse ]
+(* Applicability anchor for the tile-shape rules: the program has at
+   least one statement the raw closure path compiles into tile loops —
+   a fold, a gather/scatter, a materialization, or a Binary over
+   something other than pure control/constant inputs.  A program of only
+   Loads and virtual statements never opens a tile loop, so re-tiling it
+   cannot change anything. *)
+let tiled_site p =
+  let non_virtual (a : Op.src) =
+    match Program.find p a.Op.v with
+    | Some { op = Op.Range _; _ } | Some { op = Op.Constant _; _ } -> false
+    | _ -> true
+  in
+  List.exists
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.FoldAgg _ | Op.FoldSelect _ | Op.FoldScan _ | Op.Gather _
+      | Op.Scatter _ | Op.Materialize _ ->
+          true
+      | Op.Binary { left; right; _ } -> non_virtual left || non_virtual right
+      | _ -> false)
+    (stmts p)
+
+(* Applicability anchor for the zone-map toggle: zones are consulted by
+   selections (all-false/all-true tile skips), folds (all-ε skips) and
+   gathers (in-bounds proofs for mask-free promotion).  A program with
+   none of those sites never reads a zone. *)
+let zoned_site p =
+  List.exists
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.FoldSelect _ | Op.FoldAgg _ | Op.FoldScan _ | Op.Gather _ -> true
+      | _ -> false)
+    (stmts p)
+
+let tile_width_ladder = [ 256; 512; 1024; 4096 ]
+
+let retile n =
+  {
+    o_name = Printf.sprintf "tile-width-%d" n;
+    o_descr = Printf.sprintf "execute %d-slot tiles (zone-map granularity)" n;
+    o_apply =
+      (fun opts p ->
+        if opts.Codegen.tile_width <> n && tiled_site p then
+          Some { opts with Codegen.tile_width = n }
+        else None);
+  }
+
+let toggle_zone_maps =
+  {
+    o_name = "toggle-zone-maps";
+    o_descr =
+      "flip per-tile zone maps: min/max tile skipping vs no summary upkeep";
+    o_apply =
+      (fun opts p ->
+        if zoned_site p then
+          Some { opts with Codegen.zone_maps = not opts.Codegen.zone_maps }
+        else None);
+  }
+
+(* Applicability anchor for the IVF probe ladder: the vsim distance-fold
+   signature — a Gather whose positions are a Modulo of a Range (the
+   strided query replication [q[i mod dim]]).  Only similarity plans
+   contain it, and only their probe scheduler reads [nprobe]. *)
+let vsim_site p =
+  List.exists
+    (fun (s : Program.stmt) ->
+      match s.op with
+      | Op.Gather { positions; _ } -> (
+          match Program.find p positions.Op.v with
+          | Some { op = Op.Binary { op = Op.Modulo; left; _ }; _ } -> (
+              match Program.find p left.Op.v with
+              | Some { op = Op.Range _; _ } -> true
+              | _ -> false)
+          | _ -> false)
+      | _ -> false)
+    (stmts p)
+
+let nprobe_ladder = [ 1; 2; 4; 8; 16; 32 ]
+
+let reprobe n =
+  {
+    o_name = Printf.sprintf "nprobe-%d" n;
+    o_descr = Printf.sprintf "scan %d IVF centroid partitions per query" n;
+    o_apply =
+      (fun opts p ->
+        if opts.Codegen.nprobe <> n && vsim_site p then
+          Some { opts with Codegen.nprobe = n }
+        else None);
+  }
+
+let opt_catalog =
+  List.map refold_grain fold_grain_ladder
+  @ [ toggle_partition_fuse ]
+  @ List.map retile tile_width_ladder
+  @ [ toggle_zone_maps ]
+  @ List.map reprobe nprobe_ladder

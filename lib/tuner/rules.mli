@@ -112,5 +112,35 @@ val refold_grain : int -> opt_rule
     group-order pass.  Same applicability anchor as {!refold_grain}. *)
 val toggle_partition_fuse : opt_rule
 
-(** All option rules: the grain ladder plus the fusion toggle. *)
+(** The {!retile} ladder. *)
+val tile_width_ladder : int list
+
+(** [retile n] sets {!Voodoo_compiler.Codegen.options.tile_width} to [n]
+    — the raw path's execution-tile and zone-map granularity.  Applies
+    only to programs with at least one statement the closure path
+    compiles into tile loops (a fold, gather, scatter, materialization,
+    or a Binary over non-virtual inputs); result rows never change. *)
+val retile : int -> opt_rule
+
+(** Flip {!Voodoo_compiler.Codegen.options.zone_maps}: per-tile min/max
+    skipping vs no summary upkeep.  Applies only to programs with a
+    zone-consulting site (a selection, fold, or gather). *)
+val toggle_zone_maps : opt_rule
+
+(** The {!reprobe} ladder. *)
+val nprobe_ladder : int list
+
+(** [reprobe n] sets {!Voodoo_compiler.Codegen.options.nprobe} — how many
+    IVF centroid partitions a vector-similarity search scans.  Applies
+    only to programs carrying the vsim distance-fold signature (a Gather
+    of the query through a [Modulo] of a [Range] — the strided
+    [q[i mod dim]] replication).  Unlike every other option rule this
+    one is {e not} result-preserving at the search layer: fewer probes
+    trade recall for speed, so vsim searches over this ladder compare
+    candidates against the exhaustive oracle's recall, not bit-equality
+    (see [Voodoo_vsim.Ivf]). *)
+val reprobe : int -> opt_rule
+
+(** All option rules: the fold-grain ladder, the fusion toggle, the
+    tile-width ladder, the zone-map toggle, and the nprobe ladder. *)
 val opt_catalog : opt_rule list

@@ -1,0 +1,86 @@
+open Voodoo_vector
+
+type t = {
+  name : string;
+  emb : Embedding.t;
+  attrs : (string * Column.t) list;
+  index : Ivf.t;
+}
+
+let create ?options ?seed ~name ~nlist ?(attrs = []) emb =
+  List.iter
+    (fun (a, c) ->
+      if Column.length c <> emb.Embedding.n then
+        invalid_arg
+          (Printf.sprintf "Dataset.create: attribute %S has length %d, want %d"
+             a (Column.length c) emb.Embedding.n))
+    attrs;
+  { name; emb; attrs; index = Ivf.build ?options ?seed ~name ~nlist emb }
+
+let synth ?options ?clusters ~seed ~dim ~nlist ~name n =
+  let clusters = Option.value clusters ~default:(max 1 nlist) in
+  let emb = Embedding.synth ~seed ~clusters ~dim n in
+  let tag = Column.init_int n (fun i -> (i * 7 + seed) mod 10) in
+  Column.promote_all_valid tag;
+  create ?options ~seed ~name ~nlist ~attrs:[ ("tag", tag) ] emb
+
+let synth_query t ~seed =
+  Embedding.synth_query ~seed ~clusters:(max 1 t.index.Ivf.nlist)
+    ~dim:t.emb.Embedding.dim seed
+
+let filter_of t filter =
+  match filter with
+  | None -> Ok (fun _ -> true)
+  | Some (attr, cmp, lit) -> (
+      match List.assoc_opt attr t.attrs with
+      | None ->
+          Error
+            (Printf.sprintf "dataset %S has no attribute %S (have: %s)" t.name
+               attr
+               (String.concat ", " (List.map fst t.attrs)))
+      | Some col ->
+          let test =
+            match (cmp : Query.cmp) with
+            | Query.Lt -> fun v -> v < lit
+            | Query.Le -> fun v -> v <= lit
+            | Query.Gt -> fun v -> v > lit
+            | Query.Ge -> fun v -> v >= lit
+            | Query.Eq -> fun v -> Float.equal v lit
+          in
+          Ok
+            (fun i ->
+              match Column.get col i with
+              | Some s -> test (Scalar.to_float s)
+              | None -> false))
+
+let ( let* ) = Result.bind
+
+let check_dim t (q : Query.t) =
+  let dim = t.emb.Embedding.dim in
+  if Array.length q.Query.vector <> dim then
+    Error
+      (Printf.sprintf "query vector has %d components, dataset %S has dim %d"
+         (Array.length q.Query.vector) t.name dim)
+  else Ok ()
+
+let answer ?budget ?exec ?nprobe t (q : Query.t) =
+  let* () = check_dim t q in
+  let* filter = filter_of t q.Query.filter in
+  let metric = q.Query.metric and query = q.Query.vector and k = q.Query.k in
+  if q.Query.exhaustive then
+    Ok (Ivf.exhaustive ?budget ?exec ~filter t.index ~metric ~query ~k)
+  else
+    let nprobe =
+      match (q.Query.nprobe, nprobe) with
+      | Some n, _ -> n
+      | None, Some n -> n
+      | None, None -> t.index.Ivf.options.Voodoo_compiler.Codegen.nprobe
+    in
+    Ok (Ivf.search ?budget ?exec ~filter t.index ~metric ~query ~k ~nprobe)
+
+let answer_oracle ?budget ?exec t (q : Query.t) =
+  let* () = check_dim t q in
+  let* filter = filter_of t q.Query.filter in
+  Ok
+    (Ivf.exhaustive ?budget ?exec ~filter t.index ~metric:q.Query.metric
+       ~query:q.Query.vector ~k:q.Query.k)

@@ -1,0 +1,54 @@
+(** A named, searchable embedding dataset: the facade the service and
+    CLI register and query.  Binds an {!Embedding} set, plain attribute
+    columns (for the hybrid [WHERE] filter), and a built {!Ivf} index.
+
+    {!answer} is the one front door: it resolves a parsed {!Query.t} —
+    filter predicate against the attribute columns, nprobe precedence
+    (query clause > caller default > index build options), IVF vs
+    exhaustive — and returns ranked [(row, score)] entries. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_compiler
+
+type t = {
+  name : string;
+  emb : Embedding.t;
+  attrs : (string * Column.t) list;  (** length-n columns, filterable *)
+  index : Ivf.t;
+}
+
+(** Wrap an embedding set: builds the IVF index ([seed], [options]
+    forwarded to {!Ivf.build}). *)
+val create :
+  ?options:Codegen.options -> ?seed:int -> name:string -> nlist:int ->
+  ?attrs:(string * Column.t) list -> Embedding.t -> t
+
+(** [synth ~seed ~dim ~nlist n ~name] — a seeded gaussian-mixture
+    dataset ([clusters] defaults to [nlist]) with a deterministic
+    [tag] attribute (int, [0..9]) for filter queries. *)
+val synth :
+  ?options:Codegen.options -> ?clusters:int -> seed:int -> dim:int ->
+  nlist:int -> name:string -> int -> t
+
+(** A seeded query vector near one of the dataset's cluster centers. *)
+val synth_query : t -> seed:int -> float array
+
+(** Resolve a [WHERE] clause to a row predicate.  [Error] names the
+    missing attribute. *)
+val filter_of :
+  t -> (string * Query.cmp * float) option -> (int -> bool, string) result
+
+(** Answer a parsed query.  [nprobe] is the serving default used when
+    the query text has no [NPROBE] clause (falls back to the index's
+    build options).  [Error] on dimension mismatch or unknown filter
+    attribute. *)
+val answer :
+  ?budget:Budget.t -> ?exec:Codegen.exec_mode -> ?nprobe:int -> t ->
+  Query.t -> (Topk.entry list, string) result
+
+(** The exhaustive oracle for the same query (ignores
+    [nprobe]/[exhaustive]). *)
+val answer_oracle :
+  ?budget:Budget.t -> ?exec:Codegen.exec_mode -> t -> Query.t ->
+  (Topk.entry list, string) result

@@ -1,0 +1,138 @@
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_compiler
+module B = Program.Builder
+
+type metric = Dot | L2 | Cosine
+
+let metric_name = function Dot -> "dot" | L2 -> "l2" | Cosine -> "cosine"
+
+let metric_of_name s =
+  match String.lowercase_ascii s with
+  | "dot" -> Some Dot
+  | "l2" -> Some L2
+  | "cosine" | "cos" -> Some Cosine
+  | _ -> None
+
+let largest = function Dot | Cosine -> true | L2 -> false
+
+let program ~metric ~name ~n ~dim =
+  let b = B.create () in
+  let flat = B.load b ~name:"vsim_flat" name in
+  let q = B.load b ~name:"vsim_q" (name ^ "/q") in
+  (* virtual control plumbing: ids over the strided layout, run id and
+     component id by constant division — never materialized *)
+  let ids = B.range b ~name:"vsim_ids" (Op.Of_vector flat) in
+  let dimc = B.const_int b ~name:"vsim_dimc" dim in
+  let fold = B.divide b ~name:"vsim_fold" ids dimc in
+  let comp = B.modulo b ~name:"vsim_comp" ids dimc in
+  let qrep = B.gather b ~name:"vsim_qrep" q (comp, []) in
+  let prod =
+    match metric with
+    | Dot | Cosine -> B.multiply b ~name:"vsim_prod" flat qrep
+    | L2 ->
+        let d = B.subtract b ~name:"vsim_diff" flat qrep in
+        B.multiply b ~name:"vsim_sq" d d
+  in
+  let z = B.zip b ~name:"vsim_z" ~out1:[ "f" ] ~out2:[ "v" ] (fold, []) (prod, []) in
+  let sums = B.fold_sum b ~name:"vsim_sums" ~fold:[ "f" ] (z, [ "v" ]) in
+  (* compact the run-start sums to one dense slot per row *)
+  let rows = B.range b ~name:"vsim_rows" (Op.Lit n) in
+  let starts = B.multiply b ~name:"vsim_starts" rows dimc in
+  let dense = B.gather b ~name:"vsim_dense" sums (starts, []) in
+  let scores =
+    match metric with
+    | Dot | L2 -> dense
+    | Cosine ->
+        let norms = B.load b ~name:"vsim_norms" (name ^ "/norms") in
+        let qn = B.load b ~name:"vsim_qn" (name ^ "/qn") in
+        let denom = B.multiply b ~name:"vsim_denom" norms qn in
+        B.divide b ~name:"vsim_cos" dense denom
+  in
+  (B.finish b, scores)
+
+type compiled = {
+  metric : metric;
+  name : string;
+  n : int;
+  dim : int;
+  scores_id : Op.id;
+  c : Backend.compiled;
+}
+
+let query_entries ~name ~dim query =
+  if Array.length query <> dim then
+    invalid_arg
+      (Printf.sprintf "Dist: query has %d components, embedding dim is %d"
+         (Array.length query) dim);
+  let qcol = Column.of_float_array query in
+  Column.promote_all_valid qcol;
+  let qn = Column.of_float_array [| Embedding.norm_of query |] in
+  Column.promote_all_valid qn;
+  [ (name ^ "/q", Svector.single [] qcol); (name ^ "/qn", Svector.single [] qn) ]
+
+let store_of ~name emb ~query =
+  Store.of_list
+    (Embedding.store_entries ~name emb
+    @ query_entries ~name ~dim:emb.Embedding.dim query)
+
+let compile ?options ~metric ~name (emb : Embedding.t) =
+  let n = emb.n and dim = emb.dim in
+  let p, scores_id = program ~metric ~name ~n ~dim in
+  let store = store_of ~name emb ~query:(Array.make dim 0.0) in
+  let c = Backend.compile ?options ~store p in
+  { metric; name; n; dim; scores_id; c }
+
+(* scores vectors carry a single attribute (the Builder's default
+   [.val]); resolve it without hard-coding the name *)
+let the_column sv =
+  match Svector.keypaths sv with
+  | [ kp ] -> Svector.column sv kp
+  | _ -> invalid_arg "Dist: scores vector is not single-attribute"
+
+let run ?budget ?exec t (emb : Embedding.t) ~query =
+  if emb.n <> t.n || emb.dim <> t.dim then
+    invalid_arg
+      (Printf.sprintf "Dist.run: embedding is %dx%d, plan compiled for %dx%d"
+         emb.n emb.dim t.n t.dim);
+  let store = store_of ~name:t.name emb ~query in
+  let r =
+    Exec.run ~options:t.c.Backend.options ?budget ?exec ~store t.c.Backend.plan
+  in
+  let id =
+    match List.assoc_opt t.scores_id t.c.Backend.subst with
+    | Some kept -> kept
+    | None -> t.scores_id
+  in
+  the_column (Exec.output r id)
+
+let reference ~metric (emb : Embedding.t) ~query =
+  let dim = emb.dim in
+  if Array.length query <> dim then
+    invalid_arg "Dist.reference: query length mismatch";
+  let qnorm = Embedding.norm_of query in
+  Array.init emb.n (fun i ->
+      if not (Embedding.valid emb i) then
+        (* the engine's Sum over an all-ε run is 0, so a retracted row
+           scores 0.0 under dot/L2 (callers exclude it via row_valid);
+           cosine's ε norm poisons the division back to ε *)
+        match metric with Dot | L2 -> Some 0.0 | Cosine -> None
+      else
+        (* the engine's fold seeds the accumulator with the run's first
+           element, then adds — mirror it exactly (signed zeros) *)
+        let s = ref 0.0 in
+        let first = ref true in
+        let feed p = if !first then (s := p; first := false) else s := !s +. p in
+        (match metric with
+        | Dot | Cosine ->
+            for j = 0 to dim - 1 do
+              feed (Column.raw_float emb.flat ((i * dim) + j) *. query.(j))
+            done
+        | L2 ->
+            for j = 0 to dim - 1 do
+              let d = Column.raw_float emb.flat ((i * dim) + j) -. query.(j) in
+              feed (d *. d)
+            done);
+        match metric with
+        | Dot | L2 -> Some !s
+        | Cosine -> Some (!s /. (Column.raw_float emb.norms i *. qnorm)))

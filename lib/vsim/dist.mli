@@ -1,0 +1,89 @@
+(** Distance kernels as Voodoo programs.
+
+    Each metric compiles to ONE controlled fold over the strided
+    embedding layout ({!Embedding}):
+
+    {v
+      ids    = Range(flat)                 -- virtual control vector
+      fold   = ids / dim                   -- uniform runs of length dim
+      comp   = ids mod dim                 -- component index, virtual
+      qrep   = Gather(q, comp)             -- q[i mod dim], the strided
+                                              query replication
+      prod   = flat * qrep                 -- (L2: (flat - qrep)²)
+      sums   = FoldAgg Sum fold (prod)     -- per-row sums at run starts
+      scores = Gather(sums, Range(n)*dim)  -- dense, one slot per row
+    v}
+
+    The fold control has uniform runs of length [dim], so the compiled
+    fragment has extent [n] and intent [dim]: rows are the work items,
+    the inner component loop is branch-free, and the fragment inherits
+    tiling, zone-map skipping, mask-free promotion and domain-parallel
+    chunking from the tile-group path.  Cosine divides the dot fold by
+    [norms · ‖q‖] — both loaded as plain vectors ([‖q‖] is a persisted
+    one-element vector, broadcast), because the algebra has no square
+    root.  NaN components poison the products, the fold sum, and for
+    cosine the stored norm; a retracted row's all-ε run folds to ε.
+
+    [L2] scores are the {e squared} distance (monotone in the true
+    distance, so top-k order is unaffected and the kernel stays inside
+    the algebra). *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_compiler
+
+type metric = Dot | L2 | Cosine
+
+val metric_name : metric -> string
+val metric_of_name : string -> metric option
+
+(** [largest m] — does a larger score mean a closer row? ([Dot]/[Cosine]
+    yes, [L2] no.) *)
+val largest : metric -> bool
+
+(** [program ~metric ~name ~n ~dim] builds the kernel over store entries
+    [name] (flat, [n*dim] slots), [name ^ "/q"] ([dim]), and for cosine
+    [name ^ "/norms"] ([n]) and [name ^ "/qn"] (one element).  Returns
+    the program and the dense scores root (length [n]). *)
+val program : metric:metric -> name:string -> n:int -> dim:int -> Program.t * Op.id
+
+(** The store a kernel run binds: the embedding's entries plus the
+    query ([name ^ "/q"]) and its norm ([name ^ "/qn"], one element).
+    Exposed so differential tests can run the same program through the
+    interpreter. *)
+val store_of : name:string -> Embedding.t -> query:float array -> Store.t
+
+(** The unique attribute column of a single-attribute result vector
+    (score vectors carry the Builder's default [.val] attribute). *)
+val the_column : Svector.t -> Column.t
+
+type compiled = {
+  metric : metric;
+  name : string;
+  n : int;
+  dim : int;
+  scores_id : Op.id;
+  c : Backend.compiled;
+}
+
+(** Compile the kernel once against a template store built from the
+    embedding (with a zero query).  The compiled plan only depends on
+    lengths, so {!run} re-binds fresh query vectors without
+    recompiling — this is what the service's plan cache holds. *)
+val compile : ?options:Codegen.options -> metric:metric -> name:string ->
+  Embedding.t -> compiled
+
+(** [run c emb ~query] executes the compiled kernel against [emb] and
+    [query], returning the dense scores column (length [n]; ε for
+    retracted rows).  [exec] overrides the execution mode per run
+    (job count) without recompiling; [budget] is checked inside the
+    kernel loop.  Raises [Invalid_argument] if [emb]'s shape differs
+    from the compiled one or the query length is not [dim]. *)
+val run : ?budget:Budget.t -> ?exec:Codegen.exec_mode -> compiled ->
+  Embedding.t -> query:float array -> Column.t
+
+(** Naive sequential OCaml reference (same accumulation order as the
+    run-sequential fold): [None] for retracted rows, NaN where the
+    kernel is poisoned.  The differential oracle for {!run}. *)
+val reference : metric:metric -> Embedding.t -> query:float array ->
+  float option array

@@ -1,0 +1,86 @@
+open Voodoo_vector
+
+type t = {
+  dim : int;
+  n : int;
+  flat : Column.t;
+  norms : Column.t;
+  row_valid : Bitset.t;
+}
+
+(* Sequential accumulation in ascending component order — the same order
+   the compiled fold walks a run, so stored norms and kernel sums agree
+   bit-for-bit with the naive reference. *)
+let norm_of row =
+  let s = ref 0.0 in
+  Array.iter (fun x -> s := !s +. (x *. x)) row;
+  sqrt !s
+
+let of_rows ~dim rows =
+  if dim <= 0 then invalid_arg "Embedding.of_rows: dim must be positive";
+  let n = Array.length rows in
+  Array.iteri
+    (fun i r ->
+      if Array.length r <> dim then
+        invalid_arg
+          (Printf.sprintf "Embedding.of_rows: row %d has %d components, want %d"
+             i (Array.length r) dim))
+    rows;
+  let flat = Column.init_float (n * dim) (fun i -> rows.(i / dim).(i mod dim)) in
+  let norms = Column.init_float n (fun i -> norm_of rows.(i)) in
+  Column.promote_all_valid flat;
+  Column.promote_all_valid norms;
+  { dim; n; flat; norms; row_valid = Bitset.create ~length:n ~default:true }
+
+let valid t i = i >= 0 && i < t.n && Bitset.get t.row_valid i
+
+let get_row t i =
+  if i < 0 || i >= t.n then invalid_arg "Embedding.get_row: row out of range";
+  Array.init t.dim (fun j -> Column.raw_float t.flat ((i * t.dim) + j))
+
+let retract t i =
+  if i < 0 || i >= t.n then invalid_arg "Embedding.retract: row out of range";
+  for j = 0 to t.dim - 1 do
+    Column.set_empty t.flat ((i * t.dim) + j)
+  done;
+  Column.set_empty t.norms i;
+  Bitset.set t.row_valid i false
+
+(* splitmix-style seeded stream (constants fit OCaml's 63-bit int):
+   stable across OCaml versions, unlike Random.State's algorithm. *)
+let mix seed i =
+  let z = ref ((seed lxor (i * 0x2545F4914F6CDD1D)) land max_int) in
+  z := !z lxor (!z lsr 29);
+  z := !z * 0x106689D45497235B land max_int;
+  z := !z lxor (!z lsr 32);
+  !z land max_int
+
+let unit_float seed i =
+  float_of_int (mix seed i land 0xFFFFFFFFFFFF) /. float_of_int 0x1000000000000
+
+let center ~seed ~clusters ~dim c j =
+  (2.0 *. unit_float (seed * 7919) ((c * dim) + j)) -. 1.0
+  |> fun x -> x *. float_of_int (1 + (c mod clusters)) /. float_of_int clusters
+
+let synth_row ~seed ~clusters ~dim i =
+  let c = mix seed (i * 13) mod clusters |> abs in
+  Array.init dim (fun j ->
+      center ~seed ~clusters ~dim c j
+      +. (0.08 *. ((2.0 *. unit_float seed ((i * dim) + j)) -. 1.0)))
+
+let synth ~seed ~clusters ~dim n =
+  if clusters <= 0 then invalid_arg "Embedding.synth: clusters must be positive";
+  of_rows ~dim (Array.init n (synth_row ~seed ~clusters ~dim))
+
+let synth_query ~seed ~clusters ~dim i =
+  (* same mixture, different stream: near a center, tighter noise *)
+  let c = mix (seed lxor 0x5DEECE66D) (i * 29) mod clusters |> abs in
+  Array.init dim (fun j ->
+      center ~seed ~clusters ~dim c j
+      +. (0.05 *. ((2.0 *. unit_float (seed lxor 0x2545F491) ((i * dim) + j)) -. 1.0)))
+
+let store_entries ~name t =
+  [
+    (name, Svector.single [] t.flat);
+    (name ^ "/norms", Svector.single [] t.norms);
+  ]

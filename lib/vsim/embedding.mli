@@ -1,0 +1,60 @@
+(** Fixed-dimension embedding columns.
+
+    An embedding set of [n] rows × [dim] components is stored as ONE
+    strided float64 {!Voodoo_vector.Column}: row [i]'s components occupy
+    slots [i*dim .. i*dim + dim - 1], row-major.  That makes the whole
+    set a single Voodoo vector, so distance kernels are ordinary
+    controlled folds over it (see {!Dist}) and inherit the storage
+    engine's tiling, zone maps, mask-free promotion and chunking.
+
+    Validity is per {e row}, not per component: a row is either fully
+    present or retracted wholesale.  Retracting a row writes ε into all
+    of its slots through the column's packed {!Voodoo_vector.Bitset}
+    mask (so folds over the strided layout see an all-ε run and produce
+    an ε aggregate) and clears the row's bit in {!row_valid}.  There is
+    deliberately no way to invalidate a single component. *)
+
+open Voodoo_vector
+
+type t = private {
+  dim : int;  (** components per row; immutable *)
+  n : int;  (** rows *)
+  flat : Column.t;  (** float64, length [n * dim], row-major *)
+  norms : Column.t;
+      (** float64, length [n]: per-row L2 norm [sqrt (Σ x²)], computed
+          once at construction (the algebra has no square root, so
+          cosine loads this as a plain vector).  NaN components poison
+          the norm; retracted rows hold ε. *)
+  row_valid : Bitset.t;  (** length [n] *)
+}
+
+(** [of_rows ~dim rows] builds the strided layout.  Raises
+    [Invalid_argument] on a row whose length is not [dim]. *)
+val of_rows : dim:int -> float array array -> t
+
+(** [get_row t i] copies row [i] out ([Invalid_argument] out of range;
+    the components of a retracted row read as [nan]). *)
+val get_row : t -> int -> float array
+
+val valid : t -> int -> bool
+
+(** Retract row [i]: ε in every slot, norms ε, validity bit cleared. *)
+val retract : t -> int -> unit
+
+(** Sequential L2 norm of one row, poisoned by NaN components — the
+    same accumulation order the stored [norms] column was built with. *)
+val norm_of : float array -> float
+
+(** [synth ~seed ~clusters ~dim n] generates a seeded gaussian-mixture
+    embedding set: [clusters] well-separated centers in [[-1, 1]]^dim,
+    each row a center plus small noise.  Deterministic in [seed];
+    clusterable, so IVF recall is meaningful on it. *)
+val synth : seed:int -> clusters:int -> dim:int -> int -> t
+
+(** A seeded query vector drawn near one of the same [clusters] centers
+    (queries hit real cluster neighborhoods, not uniform noise). *)
+val synth_query : seed:int -> clusters:int -> dim:int -> int -> float array
+
+(** Store entries for the compiled distance kernels: [(name, flat)] and
+    [(name ^ "/norms", norms)]. *)
+val store_entries : name:string -> t -> (string * Svector.t) list

@@ -1,0 +1,221 @@
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_compiler
+
+type t = {
+  name : string;
+  emb : Embedding.t;
+  nlist : int;
+  centroids : float array array;
+  assign : Column.t;
+  lists : int array array;
+  packed : Embedding.t array;
+  options : Codegen.options;
+  plans : (string, Dist.compiled) Hashtbl.t;
+  m : Mutex.t;
+}
+
+(* squared L2 between a row and a centroid — build/probe bookkeeping,
+   not a ranked score, so plain 0-init accumulation is fine *)
+let d2 a b =
+  let s = ref 0.0 in
+  for j = 0 to Array.length a - 1 do
+    let d = a.(j) -. b.(j) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+(* nearest centroid, ties to the lower id; None when every distance is
+   NaN (a fully poisoned row still needs a deterministic home: 0) *)
+let nearest centroids row =
+  let best = ref (-1) and bd = ref Float.nan in
+  Array.iteri
+    (fun c cent ->
+      let d = d2 row cent in
+      if (not (Float.is_nan d)) && (!best < 0 || d < !bd) then begin
+        best := c;
+        bd := d
+      end)
+    centroids;
+  if !best < 0 then 0 else !best
+
+(* deterministic sampled k-means *)
+let kmeans ~seed ~iters ~sample ~nlist (emb : Embedding.t) =
+  let valid_rows =
+    List.filter (Embedding.valid emb) (List.init emb.Embedding.n Fun.id)
+  in
+  let nvalid = List.length valid_rows in
+  let nlist = max 1 (min nlist nvalid) in
+  let stride = max 1 (nvalid / max 1 sample) in
+  let sampled =
+    List.filteri (fun i _ -> i mod stride = 0) valid_rows
+    |> List.map (Embedding.get_row emb)
+    |> Array.of_list
+  in
+  let ns = Array.length sampled in
+  (* seeded distinct picks for the initial centroids *)
+  let centroids =
+    Array.init nlist (fun c ->
+        Array.copy sampled.(abs ((seed + (c * 2654435761)) mod ns)))
+  in
+  let dim = emb.Embedding.dim in
+  for _ = 1 to iters do
+    let counts = Array.make nlist 0 in
+    let sums = Array.init nlist (fun _ -> Array.make dim 0.0) in
+    Array.iter
+      (fun row ->
+        let c = nearest centroids row in
+        counts.(c) <- counts.(c) + 1;
+        for j = 0 to dim - 1 do
+          sums.(c).(j) <- sums.(c).(j) +. row.(j)
+        done)
+      sampled;
+    Array.iteri
+      (fun c cnt ->
+        (* an empty cluster keeps its old centroid *)
+        if cnt > 0 then
+          centroids.(c) <-
+            Array.map (fun s -> s /. float_of_int cnt) sums.(c))
+      counts
+  done;
+  (nlist, centroids)
+
+let build ?(options = Codegen.default_options) ?(seed = 42) ?(iters = 8)
+    ?sample ~name ~nlist (emb : Embedding.t) =
+  if nlist <= 0 then invalid_arg "Ivf.build: nlist must be positive";
+  let sample = Option.value sample ~default:(max (32 * nlist) 256) in
+  let nlist, centroids = kmeans ~seed ~iters ~sample ~nlist emb in
+  let n = emb.Embedding.n in
+  let assign = Column.create Scalar.Int n in
+  let buckets = Array.make nlist [] in
+  for i = n - 1 downto 0 do
+    if Embedding.valid emb i then begin
+      let c = nearest centroids (Embedding.get_row emb i) in
+      Column.set assign i (Scalar.I c);
+      buckets.(c) <- i :: buckets.(c)
+    end
+    else Column.set_empty assign i
+  done;
+  let lists = Array.map Array.of_list buckets in
+  let packed =
+    Array.map
+      (fun rows ->
+        Embedding.of_rows ~dim:emb.Embedding.dim
+          (Array.map (Embedding.get_row emb) rows))
+      lists
+  in
+  {
+    name;
+    emb;
+    nlist;
+    centroids;
+    assign;
+    lists;
+    packed;
+    options;
+    plans = Hashtbl.create 8;
+    m = Mutex.create ();
+  }
+
+let packed_ctrl t =
+  let total = Array.fold_left (fun a l -> a + Array.length l) 0 t.lists in
+  let col = Column.create Voodoo_vector.Scalar.Int total in
+  let pos = ref 0 in
+  Array.iteri
+    (fun c l ->
+      Array.iter
+        (fun _ ->
+          Column.set col !pos (Voodoo_vector.Scalar.I c);
+          incr pos)
+        l)
+    t.lists;
+  col
+
+let probe_order t ~query =
+  let ds =
+    Array.mapi (fun c cent -> (d2 query cent, c)) t.centroids
+  in
+  Array.sort
+    (fun (da, ca) (db, cb) ->
+      let na = Float.is_nan da and nb = Float.is_nan db in
+      if na && nb then compare ca cb
+      else if na then 1
+      else if nb then -1
+      else
+        match Float.compare da db with 0 -> compare ca cb | c -> c)
+    ds;
+  Array.map snd ds
+
+(* the compiled-kernel memo: one tiny plan per (metric, scope) *)
+let plan_for t ~metric ~scope (emb : Embedding.t) =
+  let key = Dist.metric_name metric ^ "|" ^ scope in
+  Mutex.lock t.m;
+  let p =
+    match Hashtbl.find_opt t.plans key with
+    | Some p -> p
+    | None ->
+        let p =
+          Dist.compile ~options:t.options ~metric
+            ~name:(t.name ^ "#" ^ scope) emb
+        in
+        Hashtbl.add t.plans key p;
+        p
+  in
+  Mutex.unlock t.m;
+  p
+
+let col_score col i =
+  match Column.get col i with
+  | Some s -> Some (Voodoo_vector.Scalar.to_float s)
+  | None -> None
+
+let search ?budget ?exec ?(filter = fun _ -> true) t ~metric ~query ~k ~nprobe =
+  let nprobe = max 1 (min nprobe t.nlist) in
+  let order = probe_order t ~query in
+  let largest = Dist.largest metric in
+  let h = Topk.heap ~k ~largest in
+  let tracker = Option.map Budget.tracker budget in
+  for p = 0 to nprobe - 1 do
+    (* the deadline/cancel checkpoint between partitions *)
+    Option.iter Budget.check_time tracker;
+    let c = order.(p) in
+    let rows = t.lists.(c) in
+    if Array.length rows > 0 then begin
+      let scores =
+        Dist.run ?budget ?exec (plan_for t ~metric ~scope:(string_of_int c) t.packed.(c))
+          t.packed.(c) ~query
+      in
+      Array.iteri
+        (fun local row ->
+          if filter row then
+            match col_score scores local with
+            | Some s -> Topk.push h { Topk.row; score = s }
+            | None -> ())
+        rows
+    end
+  done;
+  Stats.record_search ~probed:nprobe ~nlist:t.nlist;
+  Topk.contents h
+
+let exhaustive ?budget ?exec ?(filter = fun _ -> true) ?(chunks = 1) t ~metric
+    ~query ~k =
+  let scores =
+    Dist.run ?budget ?exec (plan_for t ~metric ~scope:"full" t.emb) t.emb ~query
+  in
+  let valid i = Embedding.valid t.emb i && filter i in
+  let out =
+    Topk.select ~chunks ~valid ~k ~largest:(Dist.largest metric)
+      ~n:t.emb.Embedding.n (col_score scores)
+  in
+  Stats.record_search ~probed:t.nlist ~nlist:t.nlist;
+  out
+
+let recall ~got ~oracle =
+  match oracle with
+  | [] -> 1.0
+  | _ ->
+      let hit = List.filter (fun (o : Topk.entry) ->
+          List.exists (fun (g : Topk.entry) -> g.Topk.row = o.Topk.row) got)
+          oracle
+      in
+      float_of_int (List.length hit) /. float_of_int (List.length oracle)

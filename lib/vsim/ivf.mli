@@ -1,0 +1,81 @@
+(** IVF coarse index: seeded k-means centroids, the assignment
+    materialized as a partition control vector, and an [nprobe] knob.
+
+    Build: a deterministic k-means (seeded init, fixed iteration count,
+    ties to the lower centroid id) over a strided sample of the valid
+    rows yields [nlist] centroids.  Every valid row is assigned to its
+    nearest centroid; the assignment is materialized two ways — the
+    per-row [assign] column in source order, and the packed partition
+    layout ([lists] + one packed {!Embedding} per centroid) whose
+    run-ordered centroid column {!packed_ctrl} is exactly the partition
+    control vector the paper's control machinery encodes.  Probing a
+    partition scans contiguous memory through the same compiled
+    distance kernels as the exhaustive path.
+
+    Search: centroids are ranked by L2 distance to the query
+    (deterministic tie-break), the first [nprobe] partitions are
+    scanned, candidates feed one bounded top-k heap.  Because per-row
+    scores are bit-identical between the packed and source layouts
+    (same run-sequential fold over the same components) and the top-k
+    order is total, [nprobe = nlist] returns {e bit-identical} rows to
+    {!exhaustive} — the differential oracle, exactly like the tree walk
+    is for raw execution.  Fewer probes trade recall for speed
+    (docs/VSIM.md quantifies the curve).
+
+    Compiled kernels are memoized per (metric, partition) under the
+    build-time codegen options; a per-run [exec] override picks the job
+    count without recompiling.  Deadlines/cancellation are checked
+    between probe partitions ({!Voodoo_core.Budget.check_time}) and
+    inside the kernels. *)
+
+open Voodoo_vector
+open Voodoo_core
+open Voodoo_compiler
+
+type t = private {
+  name : string;
+  emb : Embedding.t;
+  nlist : int;  (** centroid count actually built (≤ requested) *)
+  centroids : float array array;
+  assign : Column.t;  (** int, length n, source order; ε = retracted row *)
+  lists : int array array;  (** ascending row ids per centroid *)
+  packed : Embedding.t array;  (** packed partition layouts, one per centroid *)
+  options : Codegen.options;
+  plans : (string, Dist.compiled) Hashtbl.t;  (** memo, guarded by [m] *)
+  m : Mutex.t;
+}
+
+(** [build ~name ~nlist emb] — [seed] defaults to 42, [iters] to 8,
+    [sample] (rows k-means looks at) to [max (32 * nlist) 256].
+    [nlist] is clamped to the number of valid rows. *)
+val build :
+  ?options:Codegen.options -> ?seed:int -> ?iters:int -> ?sample:int ->
+  name:string -> nlist:int -> Embedding.t -> t
+
+(** The partition control vector: centroid ids in packed (run) order —
+    uniform-run metadata over this column is what a Voodoo [Partition]
+    of the assignment would produce. *)
+val packed_ctrl : t -> Column.t
+
+(** Centroid ids in probe order for a query: ascending L2 distance,
+    ties to the lower id (NaN distances order last). *)
+val probe_order : t -> query:float array -> int array
+
+(** [search t ~metric ~query ~k ~nprobe] — [filter] drops rows by
+    global id before ranking (hybrid filter + rank); [budget] is
+    checked between partitions and inside kernels. *)
+val search :
+  ?budget:Budget.t -> ?exec:Codegen.exec_mode -> ?filter:(int -> bool) ->
+  t -> metric:Dist.metric -> query:float array -> k:int -> nprobe:int ->
+  Topk.entry list
+
+(** The exhaustive-scan differential oracle over the source layout.
+    [chunks] splits the top-k scan (bit-identical at any count). *)
+val exhaustive :
+  ?budget:Budget.t -> ?exec:Codegen.exec_mode -> ?filter:(int -> bool) ->
+  ?chunks:int -> t -> metric:Dist.metric -> query:float array -> k:int ->
+  Topk.entry list
+
+(** [recall ~got ~oracle]: fraction of the oracle's rows present in
+    [got] (1.0 when the oracle is empty). *)
+val recall : got:Topk.entry list -> oracle:Topk.entry list -> float

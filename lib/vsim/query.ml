@@ -1,0 +1,139 @@
+type cmp = Lt | Le | Gt | Ge | Eq
+
+let cmp_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "="
+
+let cmp_of_name = function
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "=" | "==" -> Some Eq
+  | _ -> None
+
+type t = {
+  dataset : string;
+  vector : float array;
+  metric : Dist.metric;
+  nprobe : int option;
+  exhaustive : bool;
+  k : int;
+  filter : (string * cmp * float) option;
+}
+
+let contains_ci hay needle =
+  let hay = String.uppercase_ascii hay in
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let is_similarity text = contains_ci text "SIMILARITY TO"
+
+let tokenize text =
+  let b = Buffer.create (String.length text + 16) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' | ')' | ',' | ';' ->
+          Buffer.add_char b ' ';
+          if ch <> ';' && ch <> ',' then Buffer.add_char b ch;
+          Buffer.add_char b ' '
+      | c -> Buffer.add_char b c)
+    text;
+  String.split_on_char ' ' (Buffer.contents b)
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let ( let* ) = Result.bind
+
+let parse text =
+  let toks = tokenize text in
+  let kw t k = String.uppercase_ascii t = k in
+  let* toks =
+    match toks with
+    | s :: star :: f :: rest when kw s "SELECT" && star = "*" && kw f "FROM" ->
+        Ok rest
+    | _ -> Error "similarity query must start with SELECT * FROM <dataset>"
+  in
+  let* dataset, toks =
+    match toks with
+    | d :: rest -> Ok (d, rest)
+    | [] -> Error "missing dataset name after FROM"
+  in
+  let* filter, toks =
+    match toks with
+    | w :: attr :: op :: lit :: rest when kw w "WHERE" -> (
+        match (cmp_of_name op, float_of_string_opt lit) with
+        | Some c, Some f -> Ok (Some (attr, c, f), rest)
+        | None, _ -> Error (Printf.sprintf "unknown comparison %S in WHERE" op)
+        | _, None -> Error (Printf.sprintf "WHERE literal %S is not a number" lit))
+    | w :: _ when kw w "WHERE" -> Error "WHERE takes: <attr> <op> <number>"
+    | rest -> Ok (None, rest)
+  in
+  let* toks =
+    match toks with
+    | s :: t :: lp :: rest when kw s "SIMILARITY" && kw t "TO" && lp = "(" ->
+        Ok rest
+    | _ -> Error "expected SIMILARITY TO (v1, v2, ...)"
+  in
+  let rec components acc = function
+    | ")" :: rest -> Ok (List.rev acc, rest)
+    | v :: rest -> (
+        match float_of_string_opt v with
+        | Some f -> components (f :: acc) rest
+        | None -> Error (Printf.sprintf "vector component %S is not a number" v))
+    | [] -> Error "unterminated vector: missing )"
+  in
+  let* comps, toks = components [] toks in
+  let* () = if comps = [] then Error "empty query vector" else Ok () in
+  let rec clauses (metric, nprobe, exhaustive, k) = function
+    | [] -> Ok (metric, nprobe, exhaustive, k)
+    | m :: name :: rest when kw m "METRIC" -> (
+        match Dist.metric_of_name name with
+        | Some mt -> clauses (mt, nprobe, exhaustive, k) rest
+        | None -> Error (Printf.sprintf "unknown metric %S" name))
+    | np :: n :: rest when kw np "NPROBE" -> (
+        match int_of_string_opt n with
+        | Some i when i > 0 -> clauses (metric, Some i, exhaustive, k) rest
+        | _ -> Error (Printf.sprintf "NPROBE wants a positive integer, got %S" n))
+    | e :: rest when kw e "EXHAUSTIVE" -> clauses (metric, nprobe, true, k) rest
+    | l :: n :: rest when kw l "LIMIT" -> (
+        match int_of_string_opt n with
+        | Some i when i > 0 -> clauses (metric, nprobe, exhaustive, i) rest
+        | _ -> Error (Printf.sprintf "LIMIT wants a positive integer, got %S" n))
+    | tok :: _ -> Error (Printf.sprintf "unexpected token %S" tok)
+  in
+  let* metric, nprobe, exhaustive, k =
+    clauses (Dist.L2, None, false, 10) toks
+  in
+  Ok
+    {
+      dataset;
+      vector = Array.of_list comps;
+      metric;
+      nprobe;
+      exhaustive;
+      k;
+      filter;
+    }
+
+let render t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b ("SELECT * FROM " ^ t.dataset);
+  (match t.filter with
+  | Some (a, c, f) ->
+      Buffer.add_string b (Printf.sprintf " WHERE %s %s %h" a (cmp_name c) f)
+  | None -> ());
+  Buffer.add_string b " SIMILARITY TO (";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%h" v))
+    t.vector;
+  Buffer.add_string b (") METRIC " ^ Dist.metric_name t.metric);
+  (match t.nprobe with
+  | Some n -> Buffer.add_string b (Printf.sprintf " NPROBE %d" n)
+  | None -> ());
+  if t.exhaustive then Buffer.add_string b " EXHAUSTIVE";
+  Buffer.add_string b (Printf.sprintf " LIMIT %d" t.k);
+  Buffer.contents b

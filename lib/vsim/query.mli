@@ -1,0 +1,38 @@
+(** The [SIMILARITY TO] query surface — a hybrid filter + rank request:
+
+    {v
+    SELECT * FROM <dataset>
+      [WHERE <attr> <op> <number>]
+      SIMILARITY TO (v1, v2, ..., vd)
+      [METRIC dot|l2|cosine] [NPROBE <n>] [EXHAUSTIVE] [LIMIT <k>]
+    v}
+
+    Keywords are case-insensitive; [<op>] is one of [< <= > >= =].
+    [METRIC] defaults to [l2], [LIMIT] to 10; [NPROBE] overrides the
+    serving default for this request (and becomes part of the service's
+    cache keys); [EXHAUSTIVE] bypasses the IVF index and scans every
+    row — the oracle, queryable for recall spot-checks.  The service
+    routes any SQL text containing [SIMILARITY TO] here
+    ({!is_similarity}). *)
+
+type cmp = Lt | Le | Gt | Ge | Eq
+
+val cmp_name : cmp -> string
+
+type t = {
+  dataset : string;
+  vector : float array;
+  metric : Dist.metric;
+  nprobe : int option;
+  exhaustive : bool;
+  k : int;
+  filter : (string * cmp * float) option;
+}
+
+val is_similarity : string -> bool
+
+val parse : string -> (t, string) result
+
+(** Canonical rendering (stable across whitespace variants — the
+    service's result-cache key). *)
+val render : t -> string

@@ -1,0 +1,27 @@
+let searches_c = Atomic.make 0
+let probes_c = Atomic.make 0
+let skipped_c = Atomic.make 0
+let topk_c = Atomic.make 0
+let topk_chunks_c = Atomic.make 0
+
+let record_search ~probed ~nlist =
+  Atomic.incr searches_c;
+  ignore (Atomic.fetch_and_add probes_c probed);
+  ignore (Atomic.fetch_and_add skipped_c (max 0 (nlist - probed)))
+
+let record_topk ~chunks =
+  Atomic.incr topk_c;
+  if chunks > 1 then ignore (Atomic.fetch_and_add topk_chunks_c chunks)
+
+let searches () = Atomic.get searches_c
+let probes () = Atomic.get probes_c
+let probes_skipped () = Atomic.get skipped_c
+let topk_folds () = Atomic.get topk_c
+let topk_chunks () = Atomic.get topk_chunks_c
+
+let reset () =
+  Atomic.set searches_c 0;
+  Atomic.set probes_c 0;
+  Atomic.set skipped_c 0;
+  Atomic.set topk_c 0;
+  Atomic.set topk_chunks_c 0

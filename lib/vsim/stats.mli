@@ -1,0 +1,32 @@
+(** Process-wide engagement counters for the vector-similarity path.
+
+    Mirrors {!Voodoo_compiler.Exec_stats}: lock-free atomics the service
+    surfaces as STATS lines ([vsim.searches], [vsim.probes],
+    [vsim.probes_skipped], [fold.topk], [fold.topk_chunks]) and tests
+    assert engagement through.  Monotone between {!reset}s. *)
+
+(** Account one similarity search that scanned [probed] of [nlist] IVF
+    partitions ([nlist - probed] were skipped by the coarse index). *)
+val record_search : probed:int -> nlist:int -> unit
+
+(** Account one bounded-heap top-k fold over [chunks] chunks (a
+    single-chunk scan is the sequential path and adds 0 to the chunk
+    counter, mirroring [fold.parallel_chunks]). *)
+val record_topk : chunks:int -> unit
+
+(** Total similarity searches answered (IVF or exhaustive). *)
+val searches : unit -> int
+
+(** Total IVF partitions scanned across all searches. *)
+val probes : unit -> int
+
+(** Total IVF partitions skipped by the coarse index. *)
+val probes_skipped : unit -> int
+
+(** Total bounded-heap top-k folds run. *)
+val topk_folds : unit -> int
+
+(** Total chunks executed by top-k folds that actually split. *)
+val topk_chunks : unit -> int
+
+val reset : unit -> unit

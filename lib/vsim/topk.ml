@@ -1,0 +1,82 @@
+type entry = { row : int; score : float }
+
+(* total order: better score first, then lower row id.  NaN never wins
+   (callers drop NaN before feeding). *)
+let better ~largest a b =
+  if Float.equal a.score b.score then a.row < b.row
+  else if largest then a.score > b.score
+  else a.score < b.score
+
+(* A fixed-capacity binary heap with the WORST kept element at the
+   root, so feeding is O(log k) against the current cutoff. *)
+type heap = { mutable size : int; k : int; slots : entry array; largest : bool }
+
+let heap ~k ~largest =
+  { size = 0; k; slots = Array.make (max 1 k) { row = -1; score = 0.0 }; largest }
+
+(* root is worse than both children: [worse] is [better] flipped *)
+let worse h a b = better ~largest:(not h.largest) a b
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < h.size && worse h h.slots.(l) h.slots.(!m) then m := l;
+  if r < h.size && worse h h.slots.(r) h.slots.(!m) then m := r;
+  if !m <> i then begin
+    let t = h.slots.(i) in
+    h.slots.(i) <- h.slots.(!m);
+    h.slots.(!m) <- t;
+    sift_down h !m
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if worse h h.slots.(i) h.slots.(p) then begin
+      let t = h.slots.(i) in
+      h.slots.(i) <- h.slots.(p);
+      h.slots.(p) <- t;
+      sift_up h p
+    end
+  end
+
+let push h e =
+  if h.k > 0 && not (Float.is_nan e.score) then
+    if h.size < h.k then begin
+      h.slots.(h.size) <- e;
+      h.size <- h.size + 1;
+      sift_up h (h.size - 1)
+    end
+    else if better ~largest:h.largest e h.slots.(0) then begin
+      h.slots.(0) <- e;
+      sift_down h 0
+    end
+
+let contents h =
+  (* rank order, best first *)
+  let l = Array.to_list (Array.sub h.slots 0 h.size) in
+  List.sort (fun a b -> if better ~largest:h.largest a b then -1 else 1) l
+
+let select ?(chunks = 1) ?(valid = fun _ -> true) ~k ~largest ~n score =
+  let chunks = max 1 (min chunks (max 1 n)) in
+  let scan lo hi =
+    let h = heap ~k ~largest in
+    for i = lo to hi - 1 do
+      if valid i then
+        match score i with
+        | Some s -> push h { row = i; score = s }
+        | None -> ()
+    done;
+    h
+  in
+  let out = heap ~k ~largest in
+  let per = (n + chunks - 1) / chunks in
+  for c = 0 to chunks - 1 do
+    let lo = c * per and hi = min n ((c + 1) * per) in
+    if lo < hi then
+      (* merge in chunk order — the total order makes the result
+         independent of the chunking, like the grouped-fold merge *)
+      List.iter (push out) (contents (scan lo hi))
+  done;
+  Stats.record_topk ~chunks;
+  contents out

@@ -1,0 +1,42 @@
+(** Bounded-heap top-k with a deterministic total order.
+
+    The comparator is total: primary key the score ([largest] decides
+    the direction), tie-break on the lower row id.  Because the order
+    is total, the selected set and its output order are unique — the
+    chunked scan ({!select} with [chunks > 1], mirroring the grouped
+    folds' chunk-order merge discipline) is bit-identical to the
+    sequential one at any chunk count, which is what lets similarity
+    searches run the score scan domain-parallel without losing
+    reproducibility.
+
+    NaN scores never rank (a poisoned distance carries no order), and ε
+    scores (retracted rows) are skipped. *)
+
+type entry = { row : int; score : float }
+
+(** [better ~largest a b] — does [a] strictly outrank [b]? *)
+val better : largest:bool -> entry -> entry -> bool
+
+(** {2 Incremental feeding}
+
+    The IVF probe loop feeds candidates partition by partition; the
+    total order makes the result independent of feed order. *)
+
+type heap
+
+val heap : k:int -> largest:bool -> heap
+
+(** Feed one candidate; NaN scores are dropped. *)
+val push : heap -> entry -> unit
+
+(** Kept entries in rank order, best first. *)
+val contents : heap -> entry list
+
+(** [select ~k ~largest ~n score] scans rows [0..n-1], reading
+    [score i] ([None] = skip), and returns the top [k] in rank order
+    (best first).  [chunks] splits the scan into that many contiguous
+    ranges merged in chunk order (default 1); [valid] pre-filters rows
+    (default all).  Records a [fold.topk] STATS sample. *)
+val select :
+  ?chunks:int -> ?valid:(int -> bool) -> k:int -> largest:bool -> n:int ->
+  (int -> float option) -> entry list

@@ -642,6 +642,107 @@ let test_protocol_response_roundtrip () =
   | Ok (P.Err (stage, _)) -> Alcotest.(check string) "error stage survives" "resource" stage
   | _ -> Alcotest.fail "error response broke"
 
+(* ---- vector similarity ---- *)
+
+module Vds = Voodoo_vsim.Dataset
+module Vq = Voodoo_vsim.Query
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let vsim_config =
+  { base_config with Svc.result_cache_bytes = 1 lsl 20 (* hits wanted here *) }
+
+let vsim_dataset =
+  lazy (Vds.synth ~seed:17 ~dim:8 ~nlist:4 ~name:"vecs" 300)
+
+let vsim_query ?filter ?(exhaustive = false) ?k d seed =
+  Vq.render
+    {
+      Vq.dataset = d.Vds.name;
+      vector = Vds.synth_query d ~seed;
+      metric = Voodoo_vsim.Dist.L2;
+      nprobe = None;
+      exhaustive;
+      k = Option.value k ~default:5;
+      filter;
+    }
+
+let entry_rows entries =
+  List.map
+    (fun (e : Voodoo_vsim.Topk.entry) ->
+      [
+        ("row", Some (Voodoo_vector.Scalar.I e.Voodoo_vsim.Topk.row));
+        ("score", Some (Voodoo_vector.Scalar.F e.Voodoo_vsim.Topk.score));
+      ])
+    entries
+
+let test_vsim_sql_door_matches_direct_answer () =
+  with_service ~config:vsim_config (fun t ->
+      let d = Lazy.force vsim_dataset in
+      Svc.register_vsim t d;
+      Alcotest.(check (list string)) "registered" [ "vecs" ] (Svc.vsim_datasets t);
+      let s = Svc.open_session t in
+      let text = vsim_query d 3 in
+      let rows = ok (Svc.sql t s text) in
+      let direct =
+        match Vds.answer d (Result.get_ok (Vq.parse text)) with
+        | Ok es -> entry_rows es
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "k rows" 5 (List.length rows);
+      Alcotest.(check bool) "door == direct" true
+        (Reference.rows_equal rows direct);
+      (* same query again, via a lowercased, padded variant: the
+         canonical rendering collapses it to the same result-cache key *)
+      let sloppy = "  " ^ String.lowercase_ascii text ^ " ;" in
+      let rows2 = ok (Svc.sql t s sloppy) in
+      Alcotest.(check bool) "cached rows identical" true
+        (Reference.rows_equal rows rows2);
+      let st = Svc.stats t in
+      Alcotest.(check int) "second ask hit the result cache" 1 st.Svc.result_hits;
+      Alcotest.(check bool) "vsim.searches counted" true
+        (List.mem_assoc "vsim.searches" (Svc.stats_fields st)))
+
+let test_vsim_filter_and_exhaustive_oracle () =
+  with_service ~config:vsim_config (fun t ->
+      let d = Lazy.force vsim_dataset in
+      Svc.register_vsim t d;
+      let s = Svc.open_session t in
+      let filter = ("tag", Vq.Lt, 5.) in
+      let text = vsim_query ~filter ~exhaustive:true ~k:7 d 9 in
+      let rows = ok (Svc.sql t s text) in
+      let oracle =
+        match Vds.answer_oracle d (Result.get_ok (Vq.parse text)) with
+        | Ok es -> entry_rows es
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check bool) "exhaustive door == oracle" true
+        (Reference.rows_equal rows oracle);
+      List.iter
+        (fun row ->
+          match List.assoc "row" row with
+          | Some (Voodoo_vector.Scalar.I i) ->
+              Alcotest.(check bool) "WHERE honored" true ((i * 7 + 17) mod 10 < 5)
+          | _ -> Alcotest.fail "row id missing")
+        rows)
+
+let test_vsim_errors_are_typed () =
+  with_service ~config:vsim_config (fun t ->
+      let s = Svc.open_session t in
+      (match Svc.sql t s "SELECT * FROM ghosts SIMILARITY TO (1, 2) LIMIT 3" with
+      | Ok _ -> Alcotest.fail "expected unknown-dataset error"
+      | Error e ->
+          Alcotest.(check bool) "parse stage" true (e.Verror.stage = Verror.Parse);
+          Alcotest.(check bool) "names the dataset" true
+            (contains_sub e.Verror.message "ghosts"));
+      match Svc.sql t s "SELECT * FROM vecs SIMILARITY TO (1, 2) METRIC bogus" with
+      | Ok _ -> Alcotest.fail "expected metric parse error"
+      | Error e ->
+          Alcotest.(check bool) "parse stage" true (e.Verror.stage = Verror.Parse))
+
 (* ---- sessions ---- *)
 
 let test_session_lifecycle () =
@@ -721,6 +822,14 @@ let () =
           Alcotest.test_case "row round-trip" `Quick test_protocol_row_roundtrip;
           Alcotest.test_case "response round-trip" `Quick
             test_protocol_response_roundtrip;
+        ] );
+      ( "vsim",
+        [
+          Alcotest.test_case "SIMILARITY TO door matches direct answer" `Quick
+            test_vsim_sql_door_matches_direct_answer;
+          Alcotest.test_case "WHERE + EXHAUSTIVE matches oracle" `Quick
+            test_vsim_filter_and_exhaustive_oracle;
+          Alcotest.test_case "errors are typed" `Quick test_vsim_errors_are_typed;
         ] );
       ( "sessions",
         [ Alcotest.test_case "lifecycle" `Quick test_session_lifecycle ] );

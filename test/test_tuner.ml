@@ -275,6 +275,67 @@ let test_opt_rule_applicability () =
          r.Rules.o_apply o grouped = r.Rules.o_apply o grouped)
        Rules.opt_catalog)
 
+let test_opt_rule_tile_zone_nprobe () =
+  let grouped, _ = Micro.group_fold_program () in
+  (* arithmetic over virtual inputs only: never tiled, zoned or probed *)
+  let virtual_only =
+    let module B = Voodoo_core.Program.Builder in
+    let b = B.create () in
+    let r = B.range b (Voodoo_core.Op.Lit 64) in
+    let c = B.const_int b 3 in
+    ignore (B.multiply b r c);
+    B.finish b
+  in
+  let vsim, _ =
+    Voodoo_vsim.Dist.program ~metric:Voodoo_vsim.Dist.L2 ~name:"t" ~n:4 ~dim:2
+  in
+  let o = Codegen.default_options in
+  (* the tile-width ladder applies wherever a tile loop runs, except at
+     the current width *)
+  List.iter
+    (fun n ->
+      let r = Rules.retile n in
+      check
+        (Printf.sprintf "%s applies to grouped fold" r.Rules.o_name)
+        (n <> o.Codegen.tile_width)
+        (match r.Rules.o_apply o grouped with
+        | Some o' -> o'.Codegen.tile_width = n
+        | None -> false);
+      check
+        (Printf.sprintf "%s skips virtual-only arithmetic" r.Rules.o_name)
+        true
+        (r.Rules.o_apply o virtual_only = None))
+    Rules.tile_width_ladder;
+  (* the zone-map toggle flips both ways, on fold/gather sites only *)
+  let z = Rules.toggle_zone_maps in
+  (match z.Rules.o_apply o grouped with
+  | Some o' ->
+      check "zone toggle flips" true
+        (o'.Codegen.zone_maps = not o.Codegen.zone_maps);
+      check "zone toggle flips back" true
+        (match z.Rules.o_apply o' grouped with
+        | Some o'' -> o''.Codegen.zone_maps = o.Codegen.zone_maps
+        | None -> false)
+  | None -> Alcotest.fail "toggle-zone-maps did not apply");
+  check "zone toggle skips virtual-only arithmetic" true
+    (z.Rules.o_apply o virtual_only = None);
+  (* the nprobe ladder anchors on the vsim distance-fold signature — a
+     Gather of (Range mod dim) — and nothing else *)
+  List.iter
+    (fun n ->
+      let r = Rules.reprobe n in
+      check
+        (Printf.sprintf "%s applies to distance plan" r.Rules.o_name)
+        (n <> o.Codegen.nprobe)
+        (match r.Rules.o_apply o vsim with
+        | Some o' -> o'.Codegen.nprobe = n
+        | None -> false);
+      check
+        (Printf.sprintf "%s skips grouped fold" r.Rules.o_name)
+        true
+        (r.Rules.o_apply o grouped = None))
+    Rules.nprobe_ladder
+
 let test_opt_search_grouped () =
   let store = Lazy.force group_store in
   let program, total = Micro.group_fold_program () in
@@ -352,6 +413,8 @@ let () =
         [
           Alcotest.test_case "applicability and determinism" `Quick
             test_opt_rule_applicability;
+          Alcotest.test_case "tile width, zone maps, nprobe" `Quick
+            test_opt_rule_tile_zone_nprobe;
           Alcotest.test_case "grouped search bit-identical" `Quick
             test_opt_search_grouped;
         ] );

@@ -1,0 +1,321 @@
+(* Differential tests for the vector-similarity subsystem (docs/VSIM.md).
+
+   The distance kernels are ordinary Voodoo programs, so they get the
+   full three-way differential treatment: raw tiled execution ≡ the
+   interpreter ≡ a naive OCaml reference, on seeded embeddings that
+   include retracted (all-ε) rows and NaN components, at prime row
+   counts × tile widths × job counts.  The IVF coarse index gets the
+   same discipline the tree walk gives raw execution: with
+   nprobe = nlist it must return bit-identical rows to the
+   exhaustive-scan oracle at any job count. *)
+
+module Embedding = Voodoo_vsim.Embedding
+module Dist = Voodoo_vsim.Dist
+module Topk = Voodoo_vsim.Topk
+module Ivf = Voodoo_vsim.Ivf
+module Query = Voodoo_vsim.Query
+module Dataset = Voodoo_vsim.Dataset
+module Codegen = Voodoo_compiler.Codegen
+module Interp = Voodoo_interp.Interp
+module Column = Voodoo_vector.Column
+module Svector = Voodoo_vector.Svector
+module Scalar = Voodoo_vector.Scalar
+module Budget = Voodoo_core.Budget
+
+let opts ?(tile_width = Codegen.default_options.tile_width)
+    ?(zone_maps = true) ?(jobs = 1) () =
+  {
+    Codegen.default_options with
+    exec = Codegen.Closure { instrument = false; jobs };
+    tile_width;
+    zone_maps;
+  }
+
+(* a float option read of a score column slot; NaN compares equal to NaN *)
+let score_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Float.equal x y || (Float.is_nan x && Float.is_nan y)
+  | _ -> false
+
+let col_score c i =
+  match Column.get c i with
+  | None -> None
+  | Some (Scalar.F f) -> Some f
+  | Some s -> Alcotest.failf "score %d is not a float: %s" i (Fmt.str "%a" Scalar.pp s)
+
+(* seeded embeddings with some retracted rows and (optionally) NaN
+   components, per the satellite spec *)
+let j_nan i dim = i * 13 mod dim
+
+let mk_emb ?(nan_rows = []) ?(retract_rows = []) ~seed ~dim n =
+  let rows =
+    Array.init n (fun i ->
+        let r =
+          Array.init dim (fun j ->
+              Float.of_int (((i * 31) + (j * 7) + seed) mod 97) /. 9.7
+              -. 5.0)
+        in
+        if List.mem i nan_rows then r.(j_nan i dim) <- Float.nan;
+        r)
+  in
+  let e = Embedding.of_rows ~dim rows in
+  List.iter (Embedding.retract e) retract_rows;
+  e
+
+let mk_query ~seed dim =
+  Array.init dim (fun j -> Float.of_int (((j * 17) + seed) mod 23) /. 4.6 -. 2.0)
+
+(* --- three-way differential: compiled tiled ≡ interp ≡ reference --- *)
+
+let check_three_way ~name ~options emb query metric =
+  let dsname = "emb" in
+  let compiled = Dist.compile ~options ~metric ~name:dsname emb in
+  let scores = Dist.run compiled emb ~query in
+  let refs = Dist.reference ~metric emb ~query in
+  Alcotest.(check int) (name ^ ": length") emb.Embedding.n (Column.length scores);
+  Array.iteri
+    (fun i r ->
+      let got = col_score scores i in
+      if not (score_eq got r) then
+        Alcotest.failf "%s: row %d compiled=%s reference=%s" name i
+          (match got with None -> "ε" | Some f -> Printf.sprintf "%h" f)
+          (match r with None -> "ε" | Some f -> Printf.sprintf "%h" f))
+    refs;
+  (* interp runs the same program text on the same store *)
+  let p, scores_id = Dist.program ~metric ~name:dsname ~n:emb.Embedding.n ~dim:emb.Embedding.dim in
+  let store = Dist.store_of ~name:dsname emb ~query in
+  let env = Interp.run store p in
+  let iv = Hashtbl.find env scores_id in
+  let icol = Dist.the_column iv in
+  Array.iteri
+    (fun i r ->
+      if not (score_eq (col_score icol i) r) then
+        Alcotest.failf "%s: row %d interp diverges from reference" name i)
+    refs
+
+let test_differential () =
+  List.iter
+    (fun (n, dim) ->
+      List.iter
+        (fun tile_width ->
+          List.iter
+            (fun jobs ->
+              List.iter
+                (fun metric ->
+                  let emb =
+                    mk_emb ~nan_rows:[ 1; n / 2 ]
+                      ~retract_rows:[ 0; n - 1; n / 3 ]
+                      ~seed:(n + tile_width) ~dim n
+                  in
+                  let query = mk_query ~seed:jobs dim in
+                  let name =
+                    Printf.sprintf "%s n=%d dim=%d tw=%d jobs=%d"
+                      (Dist.metric_name metric) n dim tile_width jobs
+                  in
+                  check_three_way ~name
+                    ~options:(opts ~tile_width ~jobs ())
+                    emb query metric)
+                [ Dist.Dot; Dist.L2; Dist.Cosine ])
+            [ 1; 2; 4 ])
+        [ 320; 1024 ])
+    [ (257, 7); (101, 16) ]
+
+(* --- top-k: chunk invariance and deterministic tie-breaks --- *)
+
+let test_topk () =
+  let n = 997 in
+  (* scores with heavy ties and some NaN/ε slots *)
+  let score i =
+    if i mod 53 = 0 then None
+    else if i mod 97 = 0 then Some Float.nan
+    else Some (Float.of_int (i mod 17))
+  in
+  let base = Topk.select ~k:25 ~largest:true ~n score in
+  List.iter
+    (fun chunks ->
+      let got = Topk.select ~chunks ~k:25 ~largest:true ~n score in
+      if got <> base then
+        Alcotest.failf "topk: %d-chunk scan diverges from sequential" chunks)
+    [ 2; 3; 4; 7; 16 ];
+  (* ties broke to the lower row id, best first *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        let ok =
+          a.Topk.score > b.Topk.score
+          || (Float.equal a.Topk.score b.Topk.score && a.Topk.row < b.Topk.row)
+        in
+        ok && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "rank order with id tie-break" true (ordered base);
+  List.iter
+    (fun e ->
+      if Float.is_nan e.Topk.score then Alcotest.fail "NaN score ranked")
+    base;
+  (* smaller-is-better direction *)
+  let asc = Topk.select ~k:5 ~largest:false ~n score in
+  Alcotest.(check bool) "l2 direction" true
+    (List.for_all (fun e -> Float.equal e.Topk.score 0.0) asc)
+
+(* --- IVF: nprobe = nlist is bit-identical to the exhaustive oracle --- *)
+
+let entries_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Topk.entry) (y : Topk.entry) ->
+         x.Topk.row = y.Topk.row && Float.equal x.Topk.score y.Topk.score)
+       a b
+
+let test_ivf_oracle () =
+  List.iter
+    (fun (seed, n, dim, nlist) ->
+      let ds =
+        Dataset.synth ~options:(opts ()) ~seed ~dim ~nlist ~name:"docs" n
+      in
+      List.iter (Embedding.retract ds.Dataset.emb) [ 2; n / 2 ];
+      let query = Dataset.synth_query ds ~seed:(seed + 1) in
+      List.iter
+        (fun metric ->
+          List.iter
+            (fun jobs ->
+              let exec = Codegen.Closure { instrument = false; jobs } in
+              let ivf =
+                Ivf.search ~exec ds.Dataset.index ~metric ~query ~k:10
+                  ~nprobe:ds.Dataset.index.Ivf.nlist
+              in
+              let oracle =
+                Ivf.exhaustive ~exec ~chunks:jobs ds.Dataset.index ~metric
+                  ~query ~k:10
+              in
+              if not (entries_equal ivf oracle) then
+                Alcotest.failf
+                  "ivf[seed=%d %s jobs=%d]: nprobe=nlist diverges from                    exhaustive oracle"
+                  seed (Dist.metric_name metric) jobs;
+              Alcotest.(check bool)
+                "oracle returned rows" true
+                (List.length oracle > 0))
+            [ 1; 2; 4 ])
+        [ Dist.Dot; Dist.L2; Dist.Cosine ])
+    [ (7, 400, 8, 8); (11, 603, 5, 16); (13, 257, 3, 4) ]
+
+(* hybrid filter + rank: IVF at full probe ≡ filtered oracle ≡ naive *)
+let test_ivf_filter () =
+  let ds = Dataset.synth ~options:(opts ()) ~seed:3 ~dim:6 ~nlist:8 ~name:"d" 350 in
+  let q =
+    Query.
+      {
+        dataset = "d";
+        vector = Dataset.synth_query ds ~seed:9;
+        metric = Dist.L2;
+        nprobe = Some ds.Dataset.index.Ivf.nlist;
+        exhaustive = false;
+        k = 12;
+        filter = Some ("tag", Query.Le, 4.0);
+      }
+  in
+  let got = Result.get_ok (Dataset.answer ds q) in
+  let oracle = Result.get_ok (Dataset.answer_oracle ds q) in
+  if not (entries_equal got oracle) then
+    Alcotest.fail "filtered IVF diverges from filtered oracle";
+  let tag = List.assoc "tag" ds.Dataset.attrs in
+  List.iter
+    (fun (e : Topk.entry) ->
+      match Column.get tag e.Topk.row with
+      | Some s when Scalar.to_float s <= 4.0 -> ()
+      | _ -> Alcotest.failf "row %d violates the WHERE filter" e.Topk.row)
+    got;
+  Alcotest.(check bool) "filter kept some rows" true (List.length got > 0)
+
+(* recall at the default probe count on a clustered dataset *)
+let test_recall () =
+  let ds = Dataset.synth ~options:(opts ()) ~seed:21 ~dim:16 ~nlist:16 ~name:"r" 2000 in
+  let qs = List.init 20 (fun i -> Dataset.synth_query ds ~seed:(100 + i)) in
+  let total =
+    List.fold_left
+      (fun acc query ->
+        let got =
+          Ivf.search ds.Dataset.index ~metric:Dist.L2 ~query ~k:10
+            ~nprobe:Codegen.default_options.Codegen.nprobe
+        in
+        let oracle = Ivf.exhaustive ds.Dataset.index ~metric:Dist.L2 ~query ~k:10 in
+        acc +. Ivf.recall ~got ~oracle)
+      0.0 qs
+  in
+  let r = total /. 20.0 in
+  if r < 0.9 then
+    Alcotest.failf "recall@10 at default nprobe is %.3f, want >= 0.9" r
+
+(* deadlines/cancellation: an expired budget aborts between partitions *)
+let test_budget () =
+  let ds = Dataset.synth ~options:(opts ()) ~seed:5 ~dim:4 ~nlist:4 ~name:"b" 200 in
+  let tok = Budget.token () in
+  Budget.cancel ~reason:"test" tok;
+  let budget = Budget.with_token Budget.unlimited tok in
+  match
+    Ivf.search ~budget ds.Dataset.index ~metric:Dist.Dot
+      ~query:(Dataset.synth_query ds ~seed:1) ~k:5 ~nprobe:4
+  with
+  | _ -> Alcotest.fail "cancelled search returned results"
+  | exception Budget.Exceeded _ -> ()
+
+(* --- query text --- *)
+
+let test_query_parse () =
+  let ok =
+    Query.parse
+      "select * from docs where tag >= 3 similarity to (0.5, -1, 2.25) metric        cosine nprobe 4 limit 7"
+  in
+  (match ok with
+  | Ok q ->
+      Alcotest.(check string) "dataset" "docs" q.Query.dataset;
+      Alcotest.(check int) "k" 7 q.Query.k;
+      Alcotest.(check (option int)) "nprobe" (Some 4) q.Query.nprobe;
+      Alcotest.(check bool) "metric" true (q.Query.metric = Dist.Cosine);
+      Alcotest.(check bool) "filter" true
+        (q.Query.filter = Some ("tag", Query.Ge, 3.0));
+      Alcotest.(check (array (float 0.0))) "vector" [| 0.5; -1.0; 2.25 |]
+        q.Query.vector
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  Alcotest.(check bool) "detect" true
+    (Query.is_similarity "SELECT * FROM t SIMILARITY TO (1) LIMIT 1");
+  Alcotest.(check bool) "detect ci" true
+    (Query.is_similarity "select * from t similarity to (1)");
+  Alcotest.(check bool) "not similarity" false
+    (Query.is_similarity "SELECT count(*) FROM lineitem");
+  List.iter
+    (fun bad ->
+      match Query.parse bad with
+      | Ok _ -> Alcotest.failf "accepted bad query: %s" bad
+      | Error _ -> ())
+    [
+      "SELECT * FROM";
+      "SELECT * FROM d SIMILARITY TO (1, x)";
+      "SELECT * FROM d SIMILARITY TO (1, 2";
+      "SELECT * FROM d SIMILARITY TO () LIMIT 3";
+      "SELECT * FROM d SIMILARITY TO (1) METRIC hamming";
+      "SELECT * FROM d SIMILARITY TO (1) LIMIT 0";
+      "SELECT * FROM d WHERE tag ~ 3 SIMILARITY TO (1)";
+    ];
+  (* render is a stable canonical form: parse ∘ render = id *)
+  match Query.parse "SELECT * FROM d SIMILARITY TO (1, 2) NPROBE 2 LIMIT 3" with
+  | Ok q ->
+      Alcotest.(check string) "render fixpoint" (Query.render q)
+        (Query.render (Result.get_ok (Query.parse (Query.render q))))
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+
+let () =
+  let argv = Sys.argv in
+  Alcotest.run ~argv "vsim"
+    [
+      ("differential", [ Alcotest.test_case "three-way" `Quick test_differential ]);
+      ("topk", [ Alcotest.test_case "chunks+ties" `Quick test_topk ]);
+      ( "ivf",
+        [
+          Alcotest.test_case "oracle" `Quick test_ivf_oracle;
+          Alcotest.test_case "filter" `Quick test_ivf_filter;
+          Alcotest.test_case "recall" `Quick test_recall;
+          Alcotest.test_case "budget" `Quick test_budget;
+        ] );
+      ("query", [ Alcotest.test_case "parse" `Quick test_query_parse ]);
+    ]
